@@ -1,0 +1,65 @@
+// E3 — Theorem 5 (time) + the FastTrack comparison: amortized cost per
+// monitored operation as the task count grows, every detector fed the same
+// recorded trace. Expected shape: suprema-2D ~flat (Θ(α)); vector clocks
+// degrade with task count on shared locations; FastTrack flat on its fast
+// paths but degrading once reads share.
+#include <benchmark/benchmark.h>
+
+#include "baselines/fasttrack.hpp"
+#include "baselines/vector_clock.hpp"
+#include "bench_common.hpp"
+#include "core/detector.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace race2d;
+
+Trace make_trace(std::size_t tasks) {
+  ProgramParams params;
+  params.seed = 1234 + tasks;
+  params.max_tasks = tasks;
+  params.max_actions = 64;
+  params.max_depth = 512;
+  params.fork_prob = 0.35;  // push the generator toward the task cap
+  params.loc_pool = 128;    // shared pool: read metadata spans many tasks
+  params.write_frac = 0.2;
+  return benchutil::record(random_program(params));
+}
+
+template <typename Detector>
+void run_access(benchmark::State& state) {
+  const std::size_t tasks = static_cast<std::size_t>(state.range(0));
+  const Trace trace = make_trace(tasks);
+  std::size_t accesses = 0;
+  for (auto _ : state) {
+    Detector det;
+    accesses = benchutil::drive(det, trace);
+    benchmark::DoNotOptimize(det.race_found());
+  }
+  state.counters["tasks"] = static_cast<double>(tasks);
+  state.counters["accesses"] = static_cast<double>(accesses);
+  state.counters["ns_per_access"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(accesses),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * accesses));
+}
+
+void BM_Access_Suprema2D(benchmark::State& state) {
+  run_access<OnlineRaceDetector>(state);
+}
+void BM_Access_VectorClock(benchmark::State& state) {
+  run_access<VectorClockDetector>(state);
+}
+void BM_Access_FastTrack(benchmark::State& state) {
+  run_access<FastTrackDetector>(state);
+}
+
+BENCHMARK(BM_Access_Suprema2D)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_Access_VectorClock)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_Access_FastTrack)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Shared helpers for the benchmark suite: canned traces and detector
+// drivers, so every detector is measured on byte-identical event streams.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "runtime/serial_executor.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d::benchutil {
+
+/// Runs `program` once under the serial executor and returns its trace.
+inline Trace record(TaskBody program) {
+  TraceRecorder rec;
+  SerialExecutor exec(&rec);
+  exec.run(std::move(program));
+  return rec.take();
+}
+
+/// Replays a trace into any detector exposing the thread-level event API
+/// (OnlineRaceDetector, VectorClockDetector, FastTrackDetector,
+/// SPBagsDetector). Returns the number of memory accesses replayed.
+template <typename Detector>
+std::size_t drive(Detector& det, const Trace& trace) {
+  det.on_root();
+  std::size_t accesses = 0;
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kFork:
+        det.on_fork(e.actor);
+        break;
+      case TraceOp::kJoin:
+        det.on_join(e.actor, e.other);
+        break;
+      case TraceOp::kHalt:
+        det.on_halt(e.actor);
+        break;
+      case TraceOp::kSync:
+        if constexpr (requires { det.on_sync(e.actor); }) det.on_sync(e.actor);
+        break;
+      case TraceOp::kRead:
+        det.on_read(e.actor, e.loc);
+        ++accesses;
+        break;
+      case TraceOp::kWrite:
+        det.on_write(e.actor, e.loc);
+        ++accesses;
+        break;
+      case TraceOp::kRetire:
+        if constexpr (requires { det.on_retire(e.actor, e.loc); })
+          det.on_retire(e.actor, e.loc);
+        break;
+      case TraceOp::kFinishBegin:
+        if constexpr (requires { det.on_finish_begin(e.actor); })
+          det.on_finish_begin(e.actor);
+        break;
+      case TraceOp::kFinishEnd:
+        if constexpr (requires { det.on_finish_end(e.actor); })
+          det.on_finish_end(e.actor);
+        break;
+    }
+  }
+  return accesses;
+}
+
+}  // namespace race2d::benchutil

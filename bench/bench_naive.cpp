@@ -1,0 +1,60 @@
+// E8 — the §2.3 contrast: the naive detector keeps full R/W access sets per
+// location and checks each element by graph reachability; the suprema
+// detector keeps two ids and does two near-constant-time queries. Sweep the
+// number of concurrent readers per location and watch the naive cost grow.
+#include <benchmark/benchmark.h>
+
+#include "baselines/naive.hpp"
+#include "bench_common.hpp"
+#include "core/detector.hpp"
+#include "runtime/trace.hpp"
+
+namespace {
+
+using namespace race2d;
+
+// readers tasks all read the same location; the root writes it after joining
+// every reader (race-free, but the naive write check scans all readers).
+Trace fan_trace(std::size_t readers) {
+  Trace t;
+  for (TaskId c = 1; c <= readers; ++c) {
+    t.push_back({TraceOp::kFork, 0, c, 0});
+    t.push_back({TraceOp::kRead, c, kInvalidTask, 1});
+    t.push_back({TraceOp::kHalt, c, kInvalidTask, 0});
+  }
+  for (TaskId c = static_cast<TaskId>(readers); c >= 1; --c)
+    t.push_back({TraceOp::kJoin, 0, c, 0});
+  t.push_back({TraceOp::kWrite, 0, kInvalidTask, 1});
+  t.push_back({TraceOp::kHalt, 0, kInvalidTask, 0});
+  return t;
+}
+
+void BM_NaiveDetector(benchmark::State& state) {
+  const std::size_t readers = static_cast<std::size_t>(state.range(0));
+  const TaskGraph tg = build_task_graph(fan_trace(readers));
+  std::size_t max_set = 0;
+  for (auto _ : state) {
+    const NaiveResult r = detect_races_naive(tg);
+    max_set = r.max_set_size;
+    benchmark::DoNotOptimize(r.races.size());
+  }
+  state.counters["readers"] = static_cast<double>(readers);
+  state.counters["max_RW_set"] = static_cast<double>(max_set);
+}
+BENCHMARK(BM_NaiveDetector)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_SupremaDetectorSameWorkload(benchmark::State& state) {
+  const std::size_t readers = static_cast<std::size_t>(state.range(0));
+  const Trace trace = fan_trace(readers);
+  for (auto _ : state) {
+    OnlineRaceDetector det;
+    benchutil::drive(det, trace);
+    benchmark::DoNotOptimize(det.race_found());
+  }
+  state.counters["readers"] = static_cast<double>(readers);
+}
+BENCHMARK(BM_SupremaDetectorSameWorkload)->RangeMultiplier(4)->Range(4, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

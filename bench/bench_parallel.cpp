@@ -1,0 +1,68 @@
+// E7 — the programs the detector analyzes are genuinely parallel: pipeline
+// wall-clock on the parallel executor vs the serial executor across thread
+// counts. (Detection itself is serial by design — §2.3 — this experiment
+// demonstrates the workloads have real parallelism worth protecting.)
+#include <benchmark/benchmark.h>
+
+#include "runtime/parallel_executor.hpp"
+#include "runtime/serial_executor.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace race2d;
+
+constexpr std::size_t kStages = 8;
+constexpr std::size_t kItems = 32;
+constexpr std::size_t kWork = 4000;  // enough per-cell work to amortize
+
+// NOTE: on a single-core host (as in CI containers) speedup cannot
+// manifest; the experiment then bounds the parallel executor's OVERHEAD
+// (parallel wall-clock / serial wall-clock should stay near 1).
+
+void BM_PipelineSerial(benchmark::State& state) {
+  for (auto _ : state) {
+    StagedPipeline p(kStages, kItems, kWork);
+    SerialExecutor exec(nullptr);
+    exec.run(p.task());
+    benchmark::DoNotOptimize(p.checksum());
+  }
+}
+BENCHMARK(BM_PipelineSerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PipelineParallel(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    StagedPipeline p(kStages, kItems, kWork);
+    ParallelExecutor exec({threads});
+    exec.run(p.task());
+    benchmark::DoNotOptimize(p.checksum());
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_PipelineParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_FibParallel(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    FibWorkload fib(18);
+    ParallelExecutor exec({threads});
+    exec.run(fib.task());
+    benchmark::DoNotOptimize(fib.result());
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_FibParallel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// E4 — detection overhead on linear pipelines (§5 / Lee et al. workloads):
+// serial uninstrumented execution vs serial execution with the online
+// detector attached, across pipeline widths (stage counts). The paper's
+// claim to validate: overhead is a modest constant factor, independent of
+// the number of tasks/stages.
+#include <benchmark/benchmark.h>
+
+#include "runtime/instrumented.hpp"
+#include "runtime/serial_executor.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace race2d;
+
+constexpr std::size_t kItems = 64;
+constexpr std::size_t kWork = 32;
+
+void BM_PipelineSerialPlain(benchmark::State& state) {
+  const std::size_t stages = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    StagedPipeline p(stages, kItems, kWork);
+    SerialExecutor exec(nullptr);
+    exec.run(p.task());
+    benchmark::DoNotOptimize(p.checksum());
+  }
+  state.counters["stages"] = static_cast<double>(stages);
+  state.counters["cells"] = static_cast<double>(stages * kItems);
+}
+
+void BM_PipelineSerialDetected(benchmark::State& state) {
+  const std::size_t stages = static_cast<std::size_t>(state.range(0));
+  std::size_t races = 0;
+  for (auto _ : state) {
+    StagedPipeline p(stages, kItems, kWork);
+    const auto result = run_with_detection(p.task());
+    races += result.races.size();
+    benchmark::DoNotOptimize(p.checksum());
+  }
+  state.counters["stages"] = static_cast<double>(stages);
+  state.counters["races"] = static_cast<double>(races);
+}
+
+BENCHMARK(BM_PipelineSerialPlain)->RangeMultiplier(2)->Range(2, 64);
+BENCHMARK(BM_PipelineSerialDetected)->RangeMultiplier(2)->Range(2, 64);
+
+// The LCS wavefront: a real dynamic program under detection.
+void BM_LcsWavefrontDetected(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::string a(len, 'a'), b(len, 'b');
+  for (std::size_t i = 0; i < len; ++i) {
+    a[i] = static_cast<char>('a' + (i * 7) % 26);
+    b[i] = static_cast<char>('a' + (i * 11) % 26);
+  }
+  int length = 0;
+  for (auto _ : state) {
+    LcsWavefront wf(a, b, 16);
+    const auto result = run_with_detection(wf.task());
+    benchmark::DoNotOptimize(result.races.size());
+    length = wf.result();
+  }
+  state.counters["lcs"] = length;
+}
+BENCHMARK(BM_LcsWavefrontDetected)->Arg(128)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// R1 timing — Remark 1 preprocessing cost: deciding dimension 2 and
+// reconstructing a monotone planar diagram from a bare DAG. Quadratic-ish
+// preprocessing, never on the per-access fast path; this bench documents
+// the constant.
+#include <benchmark/benchmark.h>
+
+#include "lattice/generate.hpp"
+#include "lattice/realizer.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace race2d;
+
+Digraph scrambled(const Digraph& g, Xoshiro256& rng) {
+  std::vector<Arc> arcs = g.arcs();
+  for (std::size_t i = arcs.size(); i > 1; --i)
+    std::swap(arcs[i - 1], arcs[rng.below(i)]);
+  Digraph out(g.vertex_count());
+  for (const Arc& a : arcs) out.add_arc(a.src, a.dst);
+  return out;
+}
+
+void BM_RealizerGrid(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(3);
+  const Digraph g = scrambled(grid_diagram(side, side).graph(), rng);
+  for (auto _ : state) {
+    auto r = compute_realizer(g);
+    benchmark::DoNotOptimize(r.has_value());
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertex_count());
+}
+BENCHMARK(BM_RealizerGrid)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24);
+
+void BM_CanonicalDiagramGrid(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(4);
+  const Digraph g = scrambled(grid_diagram(side, side).graph(), rng);
+  for (auto _ : state) {
+    const Diagram d = canonical_diagram(g);
+    benchmark::DoNotOptimize(d.arc_count());
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertex_count());
+}
+BENCHMARK(BM_CanonicalDiagramGrid)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_RealizerRandomForkJoin(benchmark::State& state) {
+  Xoshiro256 rng(5);
+  ForkJoinParams params;
+  params.max_actions = static_cast<std::size_t>(state.range(0));
+  params.max_depth = 8;
+  const Digraph g =
+      scrambled(random_fork_join_diagram(rng, params).graph(), rng);
+  for (auto _ : state) {
+    auto r = compute_realizer(g);
+    benchmark::DoNotOptimize(r.has_value());
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertex_count());
+}
+BENCHMARK(BM_RealizerRandomForkJoin)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

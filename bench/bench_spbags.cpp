@@ -1,0 +1,54 @@
+// E5 — generalization cost check: on series-parallel (spawn/sync) programs,
+// SP-bags [12] and the 2D suprema detector must give identical verdicts; the
+// interesting question is the constant-factor gap, since both are
+// union–find-based Θ(1)-space detectors and the 2D one strictly generalizes.
+#include <benchmark/benchmark.h>
+
+#include "baselines/spbags.hpp"
+#include "bench_common.hpp"
+#include "core/detector.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace race2d;
+
+Trace fib_trace(unsigned n) {
+  FibWorkload fib(n);
+  return benchutil::record(fib.task());
+}
+
+void BM_SpBagsOnFib(benchmark::State& state) {
+  const Trace trace = fib_trace(static_cast<unsigned>(state.range(0)));
+  std::size_t accesses = 0;
+  for (auto _ : state) {
+    SPBagsDetector det;
+    accesses = benchutil::drive(det, trace);
+    benchmark::DoNotOptimize(det.race_found());
+  }
+  state.counters["accesses"] = static_cast<double>(accesses);
+  state.counters["ns_per_access"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(accesses),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Suprema2DOnFib(benchmark::State& state) {
+  const Trace trace = fib_trace(static_cast<unsigned>(state.range(0)));
+  std::size_t accesses = 0;
+  for (auto _ : state) {
+    OnlineRaceDetector det;
+    accesses = benchutil::drive(det, trace);
+    benchmark::DoNotOptimize(det.race_found());
+  }
+  state.counters["accesses"] = static_cast<double>(accesses);
+  state.counters["ns_per_access"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(accesses),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_SpBagsOnFib)->DenseRange(14, 22, 2);
+BENCHMARK(BM_Suprema2DOnFib)->DenseRange(14, 22, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// E1 — Theorem 3: answering m supremum queries over a lattice with n
+// elements costs Θ((m+n)·α(m+n,n)) time, i.e. near-linear in total and
+// near-constant per query. Sweep n over grids (the pipeline shape) and
+// random fork-join lattices; report ns per query.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/suprema_walk.hpp"
+#include "graph/reachability.hpp"
+#include "lattice/generate.hpp"
+#include "lattice/traversal.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace race2d;
+
+// Builds a query plan: at every vertex visit, query a handful of previously
+// visited vertices (satisfying precondition (1) trivially).
+struct Plan {
+  Diagram diagram;
+  Traversal traversal;
+  std::vector<std::vector<VertexId>> queries_at;  // per vertex
+  std::size_t query_count = 0;
+};
+
+Plan make_plan(Diagram d, std::size_t queries_per_vertex, std::uint64_t seed) {
+  Plan plan;
+  plan.diagram = std::move(d);
+  plan.traversal = non_separating_traversal(plan.diagram);
+  plan.queries_at.resize(plan.diagram.vertex_count());
+  Xoshiro256 rng(seed);
+  std::vector<VertexId> visited;
+  for (const TraversalEvent& e : plan.traversal) {
+    if (e.kind != EventKind::kLoop) continue;
+    visited.push_back(e.src);
+    auto& qs = plan.queries_at[e.src];
+    for (std::size_t k = 0; k < queries_per_vertex; ++k)
+      qs.push_back(visited[rng.below(visited.size())]);
+    plan.query_count += queries_per_vertex;
+  }
+  return plan;
+}
+
+void run_plan(benchmark::State& state, const Plan& plan) {
+  for (auto _ : state) {
+    SupremaEngine engine(plan.diagram.vertex_count());
+    VertexId sink = 0;
+    for (const TraversalEvent& e : plan.traversal) {
+      engine.on_event(e);
+      if (e.kind != EventKind::kLoop) continue;
+      for (VertexId x : plan.queries_at[e.src])
+        sink ^= engine.sup(x, e.src);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  const double total =
+      static_cast<double>(state.iterations()) *
+      static_cast<double>(plan.query_count);
+  state.counters["queries"] = static_cast<double>(plan.query_count);
+  state.counters["ns_per_query"] = benchmark::Counter(
+      total, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+
+void BM_SupremaGrid(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  run_plan(state, make_plan(grid_diagram(side, side), 4, 42));
+  state.counters["vertices"] = static_cast<double>(side * side);
+}
+BENCHMARK(BM_SupremaGrid)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Arg(512)->Arg(1024);
+
+void BM_SupremaRandomForkJoin(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  ForkJoinParams params;
+  params.max_actions = static_cast<std::size_t>(state.range(0));
+  params.max_depth = 64;
+  const Plan plan = make_plan(random_fork_join_diagram(rng, params), 4, 43);
+  state.counters["vertices"] =
+      static_cast<double>(plan.diagram.vertex_count());
+  run_plan(state, plan);
+}
+BENCHMARK(BM_SupremaRandomForkJoin)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Contrast: the brute-force reachability check a naive implementation would
+// make per query (BFS), on a modest grid — the gap motivates the algorithm.
+void BM_SupremaVsBfsReachability(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  const Diagram d = grid_diagram(side, side);
+  Xoshiro256 rng(11);
+  const std::size_t n = d.vertex_count();
+  for (auto _ : state) {
+    bool sink = false;
+    for (int q = 0; q < 64; ++q) {
+      const VertexId a = static_cast<VertexId>(rng.below(n));
+      const VertexId b = static_cast<VertexId>(rng.below(n));
+      sink ^= reachable(d.graph(), a, b);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SupremaVsBfsReachability)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// E6 — the union–find asymptotics underlying Theorem 3: amortized cost per
+// operation across structure sizes (should track α, i.e. be flat in
+// practice), for both the classic DSU and the paper's labeled variant.
+#include <benchmark/benchmark.h>
+
+#include "support/rng.hpp"
+#include "unionfind/labeled_union_find.hpp"
+#include "unionfind/union_find.hpp"
+
+namespace {
+
+using namespace race2d;
+
+void BM_UnionFindMixed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(99);
+  // Pre-generate the operation stream so RNG cost stays out of the loop.
+  std::vector<std::uint32_t> ops;
+  ops.reserve(4 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    ops.push_back(static_cast<std::uint32_t>(rng.below(n)));
+    ops.push_back(static_cast<std::uint32_t>(rng.below(n)));
+  }
+  for (auto _ : state) {
+    UnionFind uf(n);
+    std::uint32_t sink = 0;
+    for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
+      uf.unite(ops[i], ops[i + 1]);
+      sink ^= uf.find(ops[i + 1]);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["ns_per_op"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(ops.size()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_UnionFindMixed)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
+
+void BM_LabeledUnionFindMixed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(101);
+  std::vector<std::uint32_t> ops;
+  ops.reserve(4 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    ops.push_back(static_cast<std::uint32_t>(rng.below(n)));
+    ops.push_back(static_cast<std::uint32_t>(rng.below(n)));
+  }
+  for (auto _ : state) {
+    LabeledUnionFind dsu(n);
+    std::uint32_t sink = 0;
+    for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
+      dsu.merge_into(ops[i], ops[i + 1]);
+      sink ^= dsu.find_label(ops[i + 1]);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["ns_per_op"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(ops.size()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_LabeledUnionFindMixed)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,190 @@
+// Experiment-table driver: measures the E1/E2/E3/E8 shapes directly with a
+// steady-clock stopwatch and prints the markdown tables embedded in
+// EXPERIMENTS.md. A plain binary (not google-benchmark) so a single run
+// yields the full set of rows:
+//
+//   $ report_tables > tables.md
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "race2d.hpp"
+
+namespace {
+
+using namespace race2d;
+
+double time_of(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.elapsed_seconds());
+  }
+  return best;
+}
+
+// --- E1: suprema query cost vs lattice size --------------------------------
+
+void table_e1() {
+  std::printf("### E1 — ns per supremum query vs lattice size (grid, 4 "
+              "queries/vertex)\n\n");
+  std::printf("| vertices | ns/query |\n|---|---|\n");
+  for (std::size_t side : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const Diagram d = grid_diagram(side, side);
+    const Traversal traversal = non_separating_traversal(d);
+    Xoshiro256 rng(1);
+    // Query plan: 4 random previously-visited vertices per visit.
+    std::vector<std::vector<VertexId>> plan(d.vertex_count());
+    {
+      std::vector<VertexId> visited;
+      for (const TraversalEvent& e : traversal) {
+        if (e.kind != EventKind::kLoop) continue;
+        visited.push_back(e.src);
+        for (int k = 0; k < 4; ++k)
+          plan[e.src].push_back(visited[rng.below(visited.size())]);
+      }
+    }
+    const double secs = time_of([&] {
+      SupremaEngine engine(d.vertex_count());
+      VertexId sink = 0;
+      for (const TraversalEvent& e : traversal) {
+        engine.on_event(e);
+        if (e.kind != EventKind::kLoop) continue;
+        for (VertexId x : plan[e.src]) sink ^= engine.sup(x, e.src);
+      }
+      asm volatile("" : : "r"(sink));
+    });
+    const double queries = 4.0 * static_cast<double>(d.vertex_count());
+    std::printf("| %zu | %.1f |\n", d.vertex_count(), secs / queries * 1e9);
+  }
+  std::printf("\n");
+}
+
+// --- E2: shadow bytes per location vs task count ----------------------------
+
+Trace wide_read_trace(std::size_t tasks, std::size_t locs) {
+  Trace t;
+  for (TaskId c = 1; c <= tasks; ++c) {
+    t.push_back({TraceOp::kFork, 0, c, 0});
+    for (Loc l = 0; l < locs; ++l)
+      t.push_back({TraceOp::kRead, c, kInvalidTask, l});
+    t.push_back({TraceOp::kHalt, c, kInvalidTask, 0});
+  }
+  for (TaskId c = static_cast<TaskId>(tasks); c >= 1; --c)
+    t.push_back({TraceOp::kJoin, 0, c, 0});
+  t.push_back({TraceOp::kHalt, 0, kInvalidTask, 0});
+  return t;
+}
+
+template <typename Detector>
+double shadow_bytes_per_loc(const Trace& trace, std::size_t locs) {
+  Detector det;
+  benchutil::drive(det, trace);
+  return det.footprint().shadow_bytes_per_location(locs);
+}
+
+void table_e2() {
+  std::printf("### E2 — shadow bytes per tracked location vs task count "
+              "(64 shared locations, all-concurrent readers)\n\n");
+  std::printf("| tasks | suprema-2D | SP-bags class | FastTrack | "
+              "vector clocks |\n|---|---|---|---|---|\n");
+  for (std::size_t tasks : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    const Trace trace = wide_read_trace(tasks, 64);
+    std::printf("| %zu | %.0f | %.0f | %.0f | %.0f |\n", tasks,
+                shadow_bytes_per_loc<OnlineRaceDetector>(trace, 64),
+                shadow_bytes_per_loc<SPBagsDetector>(trace, 64),
+                shadow_bytes_per_loc<FastTrackDetector>(trace, 64),
+                shadow_bytes_per_loc<VectorClockDetector>(trace, 64));
+  }
+  std::printf("\n");
+}
+
+// --- E3: ns per monitored access vs task count ------------------------------
+
+void table_e3() {
+  std::printf("### E3 — ns per monitored operation vs task count (random "
+              "structured programs, shared pool)\n\n");
+  std::printf("| tasks | suprema-2D | FastTrack | vector clocks |\n"
+              "|---|---|---|---|\n");
+  for (std::size_t tasks : {16u, 64u, 256u, 1024u, 4096u}) {
+    ProgramParams params;
+    params.seed = 1234 + tasks;
+    params.max_tasks = tasks;
+    params.max_actions = 64;
+    params.max_depth = 512;
+    params.fork_prob = 0.35;
+    params.loc_pool = 128;
+    params.write_frac = 0.2;
+    const Trace trace = benchutil::record(random_program(params));
+    std::size_t accesses = 1;
+    for (const TraceEvent& e : trace)
+      accesses += (e.op == TraceOp::kRead || e.op == TraceOp::kWrite);
+
+    auto ns_per = [&](auto make) {
+      const double secs = time_of([&] {
+        auto det = make();
+        benchutil::drive(det, trace);
+        asm volatile("" : : "r"(det.race_found()));
+      });
+      return secs / static_cast<double>(accesses) * 1e9;
+    };
+    std::printf("| %zu | %.0f | %.0f | %.0f |\n", tasks,
+                ns_per([] { return OnlineRaceDetector(); }),
+                ns_per([] { return FastTrackDetector(); }),
+                ns_per([] { return VectorClockDetector(); }));
+  }
+  std::printf("\n");
+}
+
+// --- E8: naive detector degradation with reader-set size --------------------
+
+Trace fan_trace(std::size_t readers) {
+  Trace t;
+  for (TaskId c = 1; c <= readers; ++c) {
+    t.push_back({TraceOp::kFork, 0, c, 0});
+    t.push_back({TraceOp::kRead, c, kInvalidTask, 1});
+    t.push_back({TraceOp::kHalt, c, kInvalidTask, 0});
+  }
+  for (TaskId c = static_cast<TaskId>(readers); c >= 1; --c)
+    t.push_back({TraceOp::kJoin, 0, c, 0});
+  t.push_back({TraceOp::kWrite, 0, kInvalidTask, 1});
+  t.push_back({TraceOp::kHalt, 0, kInvalidTask, 0});
+  return t;
+}
+
+void benchmark_naive(const TaskGraph& tg) {
+  const NaiveResult r = detect_races_naive(tg);
+  asm volatile("" : : "r"(r.races.size()));
+}
+
+void table_e8() {
+  std::printf("### E8 — total detection time, naive §2.3 vs suprema "
+              "(N concurrent readers of one location + final ordered "
+              "write)\n\n");
+  std::printf("| readers | naive ms | suprema ms |\n|---|---|---|\n");
+  for (std::size_t readers : {64u, 256u, 1024u, 4096u}) {
+    const Trace trace = fan_trace(readers);
+    const TaskGraph tg = build_task_graph(trace);
+    const double naive_s =
+        time_of([&] { benchmark_naive(tg); }, readers > 1024 ? 1 : 3);
+    const double sup_s = time_of([&] {
+      OnlineRaceDetector det;
+      benchutil::drive(det, trace);
+      asm volatile("" : : "r"(det.race_found()));
+    });
+    std::printf("| %zu | %.3f | %.3f |\n", readers, naive_s * 1e3,
+                sup_s * 1e3);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("## Measured tables (regenerate with bench/report_tables)\n\n");
+  table_e1();
+  table_e2();
+  table_e3();
+  table_e8();
+  return 0;
+}

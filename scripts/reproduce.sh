@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, tests (plain + sanitized), examples,
+# benchmarks, and the EXPERIMENTS.md measured tables.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== configure + build"
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests"
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+echo "== examples"
+for e in build/examples/example_*; do
+  case "$(basename "$e")" in
+    example_trace_analyzer) "$e" --demo ;;
+    *) "$e" ;;
+  esac
+done
+
+echo "== benchmarks"
+for b in build/bench/bench_* build/bench/report_tables; do
+  echo "==== $(basename "$b")"
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo "== sanitized tests (optional, slow)"
+if [[ "${RACE2D_SANITIZE:-0}" == "1" ]]; then
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+echo "all done"

@@ -1,0 +1,94 @@
+#include "baselines/espbags.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+TaskId ESPBagsDetector::on_root() {
+  R2D_REQUIRE(ief_.empty(), "root already created");
+  const TaskId root = bags_.add();
+  bags_.set_label(root, s_label(root));
+  // The program runs inside an implicit outermost finish.
+  const FinishId outer = new_finish();
+  ief_.push_back(outer);
+  finish_stack_.push_back({outer});
+  return root;
+}
+
+TaskId ESPBagsDetector::on_fork(TaskId parent) {
+  R2D_REQUIRE(parent < ief_.size(), "unknown parent task");
+  const TaskId child = bags_.add();
+  bags_.set_label(child, s_label(child));
+  // The child's IEF is the spawner's innermost active finish; the child's
+  // own finish stack starts there (its finishes nest above it).
+  const FinishId ief = finish_stack_[parent].back();
+  ief_.push_back(ief);
+  finish_stack_.push_back({ief});
+  return child;
+}
+
+void ESPBagsDetector::on_finish_begin(TaskId t) {
+  R2D_REQUIRE(t < ief_.size(), "unknown task in finish_begin");
+  finish_stack_[t].push_back(new_finish());
+}
+
+void ESPBagsDetector::on_finish_end(TaskId t) {
+  R2D_REQUIRE(t < ief_.size(), "unknown task in finish_end");
+  R2D_REQUIRE(finish_stack_[t].size() > 1,
+              "finish_end without matching finish_begin");
+  const FinishId f = finish_stack_[t].back();
+  finish_stack_[t].pop_back();
+  // S(t) ∪= P(f): everything the finish awaited is now serial with t.
+  if (finish_p_rep_[f] != kInvalidTask) {
+    bags_.merge_into(t, finish_p_rep_[f]);
+    finish_p_rep_[f] = kInvalidTask;
+  }
+}
+
+void ESPBagsDetector::on_halt(TaskId t) {
+  R2D_REQUIRE(t < ief_.size(), "unknown task in halt");
+  R2D_REQUIRE(finish_stack_[t].size() == 1,
+              "task halted with an open finish scope");
+  if (t == 0) return;  // the root's halt ends the program
+  const FinishId f = ief_[t];
+  // P(IEF(t)) ∪= S(t): the completed async becomes parallel work awaited by
+  // its enclosing finish.
+  if (finish_p_rep_[f] != kInvalidTask) {
+    bags_.merge_into(finish_p_rep_[f], t);
+  } else {
+    bags_.set_label(t, p_label(f));
+    finish_p_rep_[f] = t;
+  }
+}
+
+void ESPBagsDetector::on_read(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  if (s.writer != kInvalidTask && in_p_bag(s.writer))
+    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
+                      access_count_});
+  if (s.reader == kInvalidTask || !in_p_bag(s.reader)) s.reader = t;
+}
+
+void ESPBagsDetector::on_write(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  if (s.reader != kInvalidTask && in_p_bag(s.reader))
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
+                      access_count_});
+  else if (s.writer != kInvalidTask && in_p_bag(s.writer))
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
+                      access_count_});
+  s.writer = t;
+}
+
+MemoryFootprint ESPBagsDetector::footprint() const {
+  MemoryFootprint f;
+  f.shadow_bytes = shadow_.heap_bytes();
+  f.per_task_bytes = bags_.heap_bytes() + vector_heap_bytes(ief_) +
+                     nested_vector_heap_bytes(finish_stack_) +
+                     vector_heap_bytes(finish_p_rep_);
+  return f;
+}
+
+}  // namespace race2d

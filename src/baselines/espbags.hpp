@@ -1,0 +1,89 @@
+// ESP-bags (Raman, Zhao, Sarkar, Vechev, Yahav — RV 2010, the paper's
+// reference [18]): the SP-bags generalization for async-finish parallelism,
+// where an async may ESCAPE the task that spawned it and is awaited by its
+// Immediately Enclosing Finish (IEF) instead.
+//
+// Bags: every task owns an S-bag ("completed work serial with the task's
+// present"); every finish instance owns a P-bag ("completed asyncs awaited
+// by this finish, parallel with the code after their spawn"). Rules, driven
+// by the trace events of a serial (child-first) execution:
+//
+//   fork child          S(child) = {child}; IEF(child) = spawner's top finish
+//   finish_begin by t   push a fresh finish on t's stack
+//   task c halts        P(IEF(c)) ∪= S(c) ∪ (c's unclosed P-bags — none if
+//                       scopes are used correctly)
+//   finish_end by t     S(t) ∪= P(f);  f discarded
+//   read / write        same conflict queries as SP-bags: racing iff the
+//                       stored accessor currently lies in some P-bag
+//
+// Valid for async-finish programs (FinishScope / TransitiveFinishScope over
+// the serial executor). Like SP-bags and the suprema detector: Θ(1) space
+// per task/finish and per tracked location.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/report.hpp"
+#include "support/flat_hash_map.hpp"
+#include "support/ids.hpp"
+#include "support/mem_accounting.hpp"
+#include "unionfind/labeled_union_find.hpp"
+
+namespace race2d {
+
+class ESPBagsDetector {
+ public:
+  explicit ESPBagsDetector(ReportPolicy policy = ReportPolicy::kAll)
+      : reporter_(policy) {}
+
+  TaskId on_root();
+  TaskId on_fork(TaskId parent);
+  void on_join(TaskId joiner, TaskId joined) {  // structural only
+    (void)joiner;
+    (void)joined;
+  }
+  void on_sync(TaskId t) { (void)t; }  // Cilk annotation; not used here
+  void on_finish_begin(TaskId t);
+  void on_finish_end(TaskId t);
+  void on_halt(TaskId t);
+  void on_read(TaskId t, Loc loc);
+  void on_write(TaskId t, Loc loc);
+
+  const RaceReporter& reporter() const { return reporter_; }
+  bool race_found() const { return reporter_.any(); }
+  std::size_t task_count() const { return ief_.size(); }
+  std::size_t finish_count() const { return finish_p_rep_.size(); }
+  std::size_t tracked_locations() const { return shadow_.size(); }
+
+  MemoryFootprint footprint() const;
+
+ private:
+  using FinishId = std::uint32_t;
+
+  // Labels pack a kind bit: S-bags even, P-bags odd (only the bit matters
+  // for race checks).
+  static std::uint32_t s_label(TaskId owner) { return owner * 2; }
+  static std::uint32_t p_label(FinishId f) { return f * 2 + 1; }
+  bool in_p_bag(TaskId member) { return bags_.find_label(member) & 1u; }
+
+  FinishId new_finish() {
+    finish_p_rep_.push_back(kInvalidTask);
+    return static_cast<FinishId>(finish_p_rep_.size() - 1);
+  }
+
+  struct LocState {
+    TaskId reader = kInvalidTask;
+    TaskId writer = kInvalidTask;
+  };
+
+  LabeledUnionFind bags_;               ///< elements are tasks
+  std::vector<FinishId> ief_;           ///< per task: its IEF at spawn
+  std::vector<std::vector<FinishId>> finish_stack_;  ///< per task
+  std::vector<TaskId> finish_p_rep_;    ///< per finish: P-bag member or invalid
+  FlatHashMap<Loc, LocState> shadow_;
+  RaceReporter reporter_;
+  std::size_t access_count_ = 0;
+};
+
+}  // namespace race2d

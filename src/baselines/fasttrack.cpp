@@ -1,0 +1,105 @@
+#include "baselines/fasttrack.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+TaskId FastTrackDetector::on_root() {
+  R2D_REQUIRE(clocks_.empty(), "root already created");
+  clocks_.emplace_back();
+  clocks_[0].set(0, 1);
+  return 0;
+}
+
+TaskId FastTrackDetector::on_fork(TaskId parent) {
+  R2D_REQUIRE(parent < clocks_.size(), "unknown parent task");
+  const TaskId child = static_cast<TaskId>(clocks_.size());
+  clocks_.push_back(clocks_[parent]);
+  clocks_[child].set(child, 1);
+  clocks_[parent].set(parent, clocks_[parent].get(parent) + 1);
+  return child;
+}
+
+void FastTrackDetector::on_join(TaskId joiner, TaskId joined) {
+  R2D_REQUIRE(joiner < clocks_.size() && joined < clocks_.size(),
+              "unknown task in join");
+  clocks_[joiner].merge(clocks_[joined]);
+  clocks_[joiner].set(joiner, clocks_[joiner].get(joiner) + 1);
+}
+
+void FastTrackDetector::on_read(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  const std::uint32_t own = clocks_[t].get(t);
+
+  // [read same epoch] — O(1) fast path.
+  if (!s.read_shared && s.read.valid() && s.read.tid == t &&
+      s.read.clock == own)
+    return;
+
+  // write-read race check.
+  if (!epoch_leq(s.write, t))
+    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
+                      access_count_});
+
+  if (s.read_shared) {
+    s.read_vc.set(t, own);  // [read shared]
+    return;
+  }
+  if (epoch_leq(s.read, t)) {
+    s.read = {t, own};  // [read exclusive]: previous read ordered before us
+    return;
+  }
+  // [read share]: concurrent reads — escalate to a full vector.
+  ++promotions_;
+  s.read_shared = true;
+  s.read_vc.set(s.read.tid, s.read.clock);
+  s.read_vc.set(t, own);
+  s.read = Epoch::none();
+}
+
+void FastTrackDetector::on_write(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  const std::uint32_t own = clocks_[t].get(t);
+
+  // [write same epoch].
+  if (s.write.valid() && s.write.tid == t && s.write.clock == own) return;
+
+  bool raced = false;
+  if (s.read_shared) {
+    if (!s.read_vc.leq(clocks_[t])) {
+      reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
+                        access_count_});
+      raced = true;
+    }
+  } else if (!epoch_leq(s.read, t)) {
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
+                      access_count_});
+    raced = true;
+  }
+  if (!raced && !epoch_leq(s.write, t))
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
+                      access_count_});
+
+  s.write = {t, own};
+  // [write shared] resets the read state (FastTrack's WriteShared rule).
+  if (s.read_shared) {
+    s.read_shared = false;
+    s.read_vc = VClock{};
+    s.read = Epoch::none();
+  }
+}
+
+MemoryFootprint FastTrackDetector::footprint() const {
+  MemoryFootprint f;
+  f.shadow_bytes = shadow_.heap_bytes();
+  shadow_.for_each([&f](Loc, const LocState& s) {
+    f.shadow_bytes += s.read_vc.heap_bytes();
+  });
+  for (const VClock& c : clocks_) f.per_task_bytes += c.heap_bytes();
+  f.per_task_bytes += vector_heap_bytes(clocks_);
+  return f;
+}
+
+}  // namespace race2d

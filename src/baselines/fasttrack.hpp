@@ -1,0 +1,70 @@
+// FastTrack-style adaptive detector (Flanagan & Freund, PLDI 2009 — the
+// paper's reference [13] for the state of the art in unstructured
+// parallelism). Same vector clocks per task as VectorClockDetector, but the
+// per-location state is adaptive: a single epoch (tid, clock) covers the
+// overwhelmingly common totally-ordered cases in O(1); only concurrent reads
+// escalate to a full read vector — hence Θ(n) per location in the worst
+// case, which is exactly the asymptotic gap Theorem 5 closes for 2D
+// structures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "baselines/vector_clock.hpp"
+#include "core/report.hpp"
+#include "support/flat_hash_map.hpp"
+#include "support/ids.hpp"
+#include "support/mem_accounting.hpp"
+
+namespace race2d {
+
+/// An epoch c@t; kNone marks "no access yet".
+struct Epoch {
+  TaskId tid = kInvalidTask;
+  std::uint32_t clock = 0;
+
+  static Epoch none() { return {}; }
+  bool valid() const { return tid != kInvalidTask; }
+};
+
+class FastTrackDetector {
+ public:
+  explicit FastTrackDetector(ReportPolicy policy = ReportPolicy::kAll)
+      : reporter_(policy) {}
+
+  TaskId on_root();
+  TaskId on_fork(TaskId parent);
+  void on_join(TaskId joiner, TaskId joined);
+  void on_halt(TaskId t) { (void)t; }
+  void on_read(TaskId t, Loc loc);
+  void on_write(TaskId t, Loc loc);
+
+  const RaceReporter& reporter() const { return reporter_; }
+  bool race_found() const { return reporter_.any(); }
+  std::size_t task_count() const { return clocks_.size(); }
+  std::size_t tracked_locations() const { return shadow_.size(); }
+  std::size_t shared_read_promotions() const { return promotions_; }
+
+  MemoryFootprint footprint() const;
+
+ private:
+  struct LocState {
+    Epoch write;
+    Epoch read;       ///< used while reads are totally ordered
+    VClock read_vc;   ///< escalated representation ("read shared")
+    bool read_shared = false;
+  };
+
+  bool epoch_leq(const Epoch& e, TaskId t) const {
+    return !e.valid() || e.clock <= clocks_[t].get(e.tid);
+  }
+
+  std::vector<VClock> clocks_;
+  FlatHashMap<Loc, LocState> shadow_;
+  RaceReporter reporter_;
+  std::size_t access_count_ = 0;
+  std::size_t promotions_ = 0;
+};
+
+}  // namespace race2d

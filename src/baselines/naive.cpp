@@ -1,0 +1,93 @@
+#include "baselines/naive.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/reachability.hpp"
+#include "support/assert.hpp"
+#include "support/flat_hash_map.hpp"
+
+namespace race2d {
+
+namespace {
+
+struct AccessSets {
+  std::vector<VertexId> readers;
+  std::vector<VertexId> writers;
+};
+
+}  // namespace
+
+NaiveResult detect_races_naive(const Diagram& d,
+                               const std::vector<std::vector<VertexAccess>>& ops,
+                               const std::vector<VertexId>& visit_order,
+                               ReportPolicy policy) {
+  R2D_REQUIRE(ops.size() == d.vertex_count(), "one access list per vertex");
+  TransitiveClosure closure(d.graph());
+  FlatHashMap<Loc, AccessSets> shadow;
+  RaceReporter reporter(policy);
+  NaiveResult result;
+  std::size_t access_index = 0;
+
+  auto all_ordered = [&](const std::vector<VertexId>& xs, VertexId t) {
+    for (VertexId x : xs)
+      if (!closure.reaches(x, t)) return false;
+    return true;
+  };
+
+  for (VertexId t : visit_order) {
+    for (const VertexAccess& a : ops[t]) {
+      ++access_index;
+      AccessSets& sets = shadow[a.loc];
+      if (a.kind == AccessKind::kRetire) {
+        // Mirror the suprema detector: a retirement must be ordered after
+        // every prior access; afterwards the location's history is dropped.
+        if (sets.readers.empty() && sets.writers.empty()) {
+          --access_index;  // detector skips never-accessed retires entirely
+        } else if (!all_ordered(sets.readers, t)) {
+          reporter.report({a.loc, t, AccessKind::kRetire, AccessKind::kRead,
+                           access_index});
+        } else if (!all_ordered(sets.writers, t)) {
+          reporter.report({a.loc, t, AccessKind::kRetire, AccessKind::kWrite,
+                           access_index});
+        }
+        sets.readers.clear();
+        sets.writers.clear();
+        continue;
+      }
+      if (a.kind == AccessKind::kRead) {
+        if (!all_ordered(sets.writers, t))
+          reporter.report({a.loc, t, AccessKind::kRead, AccessKind::kWrite,
+                           access_index});
+        sets.readers.push_back(t);
+      } else {
+        if (!all_ordered(sets.readers, t))
+          reporter.report({a.loc, t, AccessKind::kWrite, AccessKind::kRead,
+                           access_index});
+        else if (!all_ordered(sets.writers, t))
+          reporter.report({a.loc, t, AccessKind::kWrite, AccessKind::kWrite,
+                           access_index});
+        sets.writers.push_back(t);
+      }
+      result.max_set_size =
+          std::max(result.max_set_size, sets.readers.size() + sets.writers.size());
+    }
+  }
+
+  result.races = reporter.all();
+  result.shadow_bytes = shadow.heap_bytes();
+  shadow.for_each([&result](Loc, const AccessSets& s) {
+    result.shadow_bytes += (s.readers.capacity() + s.writers.capacity()) *
+                           sizeof(VertexId);
+  });
+  return result;
+}
+
+NaiveResult detect_races_naive(const TaskGraph& tg, ReportPolicy policy) {
+  // Trace-built task graphs number vertices in execution order.
+  std::vector<VertexId> order(tg.diagram.vertex_count());
+  std::iota(order.begin(), order.end(), 0);
+  return detect_races_naive(tg.diagram, tg.ops, order, policy);
+}
+
+}  // namespace race2d

@@ -1,0 +1,39 @@
+// The naive detector of §2.3: per location, keep the full sets R and W of
+// prior readers/writers and compare the current operation against every
+// element through the happens-before oracle. Exact (it IS the definition of
+// a race), but Θ(|R ∪ W|) space and time per location — the cost the
+// suprema detector eliminates. Serves as the gold reference in differential
+// tests and as the E8 contrast baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/report.hpp"
+#include "lattice/diagram.hpp"
+#include "runtime/trace.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+struct NaiveResult {
+  std::vector<RaceReport> races;
+  std::size_t shadow_bytes = 0;  ///< R/W set storage — grows with access count
+  std::size_t max_set_size = 0;  ///< largest R ∪ W encountered
+};
+
+/// Runs the naive algorithm over a diagram's vertices in the given visit
+/// order (use the traversal loop order to match the suprema detector's
+/// processing order exactly). ops[v] lists vertex v's accesses.
+NaiveResult detect_races_naive(const Diagram& d,
+                               const std::vector<std::vector<VertexAccess>>& ops,
+                               const std::vector<VertexId>& visit_order,
+                               ReportPolicy policy = ReportPolicy::kAll);
+
+/// Convenience for task graphs built from serial traces (vertex ids are
+/// already in execution order).
+NaiveResult detect_races_naive(const TaskGraph& tg,
+                               ReportPolicy policy = ReportPolicy::kAll);
+
+}  // namespace race2d

@@ -1,0 +1,33 @@
+// Reachability oracle over a materialized task graph — the ground truth for
+// race verdicts. "x happened before y" is exactly "y reachable from x" in
+// the task graph (§4); the oracle answers it from the transitive closure.
+#pragma once
+
+#include <optional>
+
+#include "graph/reachability.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+class HappensBeforeOracle {
+ public:
+  explicit HappensBeforeOracle(const TaskGraph& graph)
+      : graph_(graph), closure_(graph.diagram.graph()) {}
+
+  /// Vertex a's operation is ordered before vertex b's (reflexive).
+  bool ordered(VertexId a, VertexId b) const { return closure_.reaches(a, b); }
+
+  /// Two vertices are concurrent (neither ordered before the other).
+  bool concurrent(VertexId a, VertexId b) const {
+    return a != b && !closure_.comparable(a, b);
+  }
+
+  const TaskGraph& graph() const { return graph_; }
+
+ private:
+  const TaskGraph& graph_;
+  TransitiveClosure closure_;
+};
+
+}  // namespace race2d

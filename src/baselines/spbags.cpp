@@ -1,0 +1,81 @@
+#include "baselines/spbags.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+TaskId SPBagsDetector::on_root() {
+  R2D_REQUIRE(p_rep_.empty(), "root already created");
+  const TaskId root = bags_.add();  // singleton {root}
+  bags_.set_label(root, s_label(root));
+  p_rep_.push_back(kInvalidTask);
+  parent_of_.push_back(kInvalidTask);
+  return root;
+}
+
+TaskId SPBagsDetector::on_fork(TaskId parent) {
+  R2D_REQUIRE(parent < p_rep_.size(), "unknown parent task");
+  const TaskId child = bags_.add();
+  bags_.set_label(child, s_label(child));  // S(child) = {child}, P(child) = ∅
+  p_rep_.push_back(kInvalidTask);
+  parent_of_.push_back(parent);
+  return child;
+}
+
+void SPBagsDetector::on_halt(TaskId t) {
+  R2D_REQUIRE(t < p_rep_.size(), "unknown task in halt");
+  const TaskId parent = parent_of_[t];
+  if (parent == kInvalidTask) return;  // the root's halt ends the program
+  // The child returns: its whole contents (S-bag plus any unsynced P-bag)
+  // move into the parent's P-bag: P(F) ∪= S(F') ∪ P(F').
+  if (p_rep_[t] != kInvalidTask) {
+    bags_.merge_into(t, p_rep_[t]);
+    p_rep_[t] = kInvalidTask;
+  }
+  if (p_rep_[parent] != kInvalidTask) {
+    bags_.merge_into(p_rep_[parent], t);
+  } else {
+    bags_.set_label(t, p_label(parent));
+    p_rep_[parent] = t;
+  }
+}
+
+void SPBagsDetector::on_sync(TaskId t) {
+  R2D_REQUIRE(t < p_rep_.size(), "unknown task in sync");
+  // S(F) ∪= P(F); P(F) = ∅.
+  if (p_rep_[t] != kInvalidTask) {
+    bags_.merge_into(t, p_rep_[t]);  // t's set is S(t); its label survives
+    p_rep_[t] = kInvalidTask;
+  }
+}
+
+void SPBagsDetector::on_read(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  if (s.writer != kInvalidTask && in_p_bag(s.writer))
+    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
+                      access_count_});
+  if (s.reader == kInvalidTask || !in_p_bag(s.reader)) s.reader = t;
+}
+
+void SPBagsDetector::on_write(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  if (s.reader != kInvalidTask && in_p_bag(s.reader))
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
+                      access_count_});
+  else if (s.writer != kInvalidTask && in_p_bag(s.writer))
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
+                      access_count_});
+  s.writer = t;
+}
+
+MemoryFootprint SPBagsDetector::footprint() const {
+  MemoryFootprint f;
+  f.shadow_bytes = shadow_.heap_bytes();
+  f.per_task_bytes = bags_.heap_bytes() + vector_heap_bytes(p_rep_) +
+                     vector_heap_bytes(parent_of_);
+  return f;
+}
+
+}  // namespace race2d

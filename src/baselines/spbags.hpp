@@ -1,0 +1,69 @@
+// SP-bags (Feng & Leiserson, SPAA 1997 — the paper's reference [12]), the
+// prior-art Θ(1)-per-location detector the suprema algorithm generalizes
+// from series-parallel graphs to 2D lattices.
+//
+// Valid only for spawn/sync-structured programs executed in the serial
+// depth-first (child-first) order — which is exactly what SpawnScope over
+// the SerialExecutor produces. Every task F owns an S-bag ("F's completed
+// descendants serial with F's present") and a P-bag ("completed descendants
+// parallel with it"); bags live in a labeled union–find, the same machinery
+// Remark 2 traces back to Tarjan's LCA algorithm.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/report.hpp"
+#include "support/flat_hash_map.hpp"
+#include "support/ids.hpp"
+#include "support/mem_accounting.hpp"
+#include "unionfind/labeled_union_find.hpp"
+
+namespace race2d {
+
+class SPBagsDetector {
+ public:
+  explicit SPBagsDetector(ReportPolicy policy = ReportPolicy::kAll)
+      : reporter_(policy) {}
+
+  TaskId on_root();
+  TaskId on_fork(TaskId parent);  ///< Cilk spawn
+  /// No-op: in Cilk's serial (child-first) order a procedure returns at its
+  /// halt; the join event at sync time carries no bag action.
+  void on_join(TaskId joiner, TaskId joined) {
+    (void)joiner;
+    (void)joined;
+  }
+  void on_sync(TaskId t);  ///< Cilk sync: S(t) ∪= P(t)
+  /// Child return: P(parent) ∪= S(child) ∪ P(child).
+  void on_halt(TaskId t);
+  void on_read(TaskId t, Loc loc);
+  void on_write(TaskId t, Loc loc);
+
+  const RaceReporter& reporter() const { return reporter_; }
+  bool race_found() const { return reporter_.any(); }
+  std::size_t task_count() const { return p_rep_.size(); }
+  std::size_t tracked_locations() const { return shadow_.size(); }
+
+  MemoryFootprint footprint() const;
+
+ private:
+  // Bag labels pack (owner task, kind): owner*2 for S, owner*2+1 for P.
+  static std::uint32_t s_label(TaskId owner) { return owner * 2; }
+  static std::uint32_t p_label(TaskId owner) { return owner * 2 + 1; }
+  bool in_p_bag(TaskId member) { return bags_.find_label(member) & 1u; }
+
+  struct LocState {
+    TaskId reader = kInvalidTask;
+    TaskId writer = kInvalidTask;
+  };
+
+  LabeledUnionFind bags_;  ///< elements are tasks; set label encodes the bag
+  std::vector<TaskId> p_rep_;      ///< a member of each task's P-bag, or invalid
+  std::vector<TaskId> parent_of_;  ///< spawner of each task (root: invalid)
+  FlatHashMap<Loc, LocState> shadow_;
+  RaceReporter reporter_;
+  std::size_t access_count_ = 0;
+};
+
+}  // namespace race2d

@@ -1,0 +1,77 @@
+#include "baselines/vector_clock.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+void VClock::merge(const VClock& other) {
+  if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+  for (std::size_t i = 0; i < other.c_.size(); ++i)
+    c_[i] = std::max(c_[i], other.c_[i]);
+}
+
+bool VClock::leq(const VClock& other) const {
+  for (std::size_t i = 0; i < c_.size(); ++i)
+    if (c_[i] > other.get(static_cast<TaskId>(i))) return false;
+  return true;
+}
+
+TaskId VectorClockDetector::on_root() {
+  R2D_REQUIRE(clocks_.empty(), "root already created");
+  clocks_.emplace_back();
+  clocks_[0].set(0, 1);
+  return 0;
+}
+
+TaskId VectorClockDetector::on_fork(TaskId parent) {
+  R2D_REQUIRE(parent < clocks_.size(), "unknown parent task");
+  const TaskId child = static_cast<TaskId>(clocks_.size());
+  clocks_.push_back(clocks_[parent]);  // child inherits the parent's view
+  clocks_[child].set(child, 1);
+  clocks_[parent].set(parent, clocks_[parent].get(parent) + 1);
+  return child;
+}
+
+void VectorClockDetector::on_join(TaskId joiner, TaskId joined) {
+  R2D_REQUIRE(joiner < clocks_.size() && joined < clocks_.size(),
+              "unknown task in join");
+  clocks_[joiner].merge(clocks_[joined]);
+  clocks_[joiner].set(joiner, clocks_[joiner].get(joiner) + 1);
+}
+
+void VectorClockDetector::on_read(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  // A read races only with unordered prior writes.
+  if (!s.writes.leq(clocks_[t]))
+    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
+                      access_count_});
+  s.reads.set(t, clocks_[t].get(t));
+}
+
+void VectorClockDetector::on_write(TaskId t, Loc loc) {
+  ++access_count_;
+  LocState& s = shadow_[loc];
+  if (!s.reads.leq(clocks_[t]))
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
+                      access_count_});
+  else if (!s.writes.leq(clocks_[t]))
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
+                      access_count_});
+  s.writes.set(t, clocks_[t].get(t));
+}
+
+MemoryFootprint VectorClockDetector::footprint() const {
+  MemoryFootprint f;
+  f.shadow_bytes = shadow_.heap_bytes();
+  shadow_.for_each([&f](Loc, const LocState& s) {
+    f.shadow_bytes += s.reads.heap_bytes() + s.writes.heap_bytes();
+  });
+  for (const VClock& c : clocks_) f.per_task_bytes += c.heap_bytes();
+  f.per_task_bytes += vector_heap_bytes(clocks_);
+  return f;
+}
+
+}  // namespace race2d

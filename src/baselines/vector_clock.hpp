@@ -1,0 +1,76 @@
+// Vector-clock race detector (the DJIT+/FastTrack [13] state-of-the-art
+// class for unstructured parallelism): per task a vector clock, per tracked
+// location two full vector clocks (last reads, last writes). Sound and
+// precise, handles ANY fork-join interleaving — at the cost the paper
+// attacks: Θ(n) space per monitored location, n = number of tasks.
+//
+// Drives off the same thread-level event stream as OnlineRaceDetector so
+// the comparison in E2/E3 is apples-to-apples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+#include "support/flat_hash_map.hpp"
+#include "support/ids.hpp"
+#include "support/mem_accounting.hpp"
+
+namespace race2d {
+
+/// A growable vector clock; missing entries are 0.
+class VClock {
+ public:
+  std::uint32_t get(TaskId t) const {
+    return t < c_.size() ? c_[t] : 0;
+  }
+  void set(TaskId t, std::uint32_t v) {
+    if (t >= c_.size()) c_.resize(t + 1, 0);
+    c_[t] = v;
+  }
+  void merge(const VClock& other);             ///< componentwise max
+  bool leq(const VClock& other) const;         ///< ∀i: this[i] ≤ other[i]
+  bool leq_point(TaskId t, std::uint32_t v) const {
+    return get(t) <= v;
+  }
+  std::size_t size() const { return c_.size(); }
+  std::size_t heap_bytes() const { return vector_heap_bytes(c_); }
+
+ private:
+  std::vector<std::uint32_t> c_;
+};
+
+class VectorClockDetector {
+ public:
+  explicit VectorClockDetector(ReportPolicy policy = ReportPolicy::kAll)
+      : reporter_(policy) {}
+
+  TaskId on_root();
+  TaskId on_fork(TaskId parent);
+  void on_join(TaskId joiner, TaskId joined);
+  void on_halt(TaskId t) { (void)t; }
+  void on_read(TaskId t, Loc loc);
+  void on_write(TaskId t, Loc loc);
+
+  const RaceReporter& reporter() const { return reporter_; }
+  bool race_found() const { return reporter_.any(); }
+  std::size_t task_count() const { return clocks_.size(); }
+  std::size_t tracked_locations() const { return shadow_.size(); }
+
+  /// Bytes: shadow grows as Θ(n) per location — the contrast of E2.
+  MemoryFootprint footprint() const;
+
+ private:
+  struct LocState {
+    VClock reads;
+    VClock writes;
+  };
+
+  std::vector<VClock> clocks_;
+  FlatHashMap<Loc, LocState> shadow_;
+  RaceReporter reporter_;
+  std::size_t access_count_ = 0;
+};
+
+}  // namespace race2d

@@ -1,0 +1,4 @@
+#include "core/access_history.hpp"
+
+// Header-only; this TU anchors the module in the library.
+namespace race2d {}

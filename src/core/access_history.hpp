@@ -1,0 +1,46 @@
+// Shadow memory for the suprema-based detector (Figure 6).
+//
+// Per tracked location the detector stores exactly two vertex/task ids:
+// R[loc], the supremum of all prior readers, and W[loc], the supremum of all
+// prior writers. This Θ(1)-per-location cell is the entire point of the
+// paper — contrast baselines/shadow state which grows with the thread count.
+#pragma once
+
+#include <cstddef>
+
+#include "support/flat_hash_map.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+struct ShadowCell {
+  VertexId read_sup = kInvalidVertex;   ///< R[loc]; invalid = no prior read
+  VertexId write_sup = kInvalidVertex;  ///< W[loc]; invalid = no prior write
+};
+
+class AccessHistory {
+ public:
+  AccessHistory() = default;
+
+  /// The cell for `loc`, created empty on first touch.
+  ShadowCell& cell(Loc loc) { return cells_[loc]; }
+
+  /// Read-only lookup; nullptr when the location was never accessed.
+  const ShadowCell* find(Loc loc) const { return cells_.find(loc); }
+
+  /// Drops the cell for `loc` (shadow retirement). Returns whether a cell
+  /// existed. Reclaims the slot immediately (backward-shift deletion).
+  bool retire(Loc loc) { return cells_.erase(loc); }
+
+  std::size_t location_count() const { return cells_.size(); }
+
+  void clear() { cells_.clear(); }
+
+  /// Bytes of shadow state — the numerator of E2's bytes-per-location.
+  std::size_t heap_bytes() const { return cells_.heap_bytes(); }
+
+ private:
+  FlatHashMap<Loc, ShadowCell> cells_;
+};
+
+}  // namespace race2d

@@ -1,0 +1,52 @@
+// Shadow-location addressing policies — the piece a compiler-pass or
+// binary-instrumentation front-end would own in a production deployment
+// (the repro's substitute for reference [13]-style tooling): mapping real
+// memory addresses to monitored locations at a chosen granularity.
+//
+// Coarser granularity shrinks shadow state and per-access work at the cost
+// of false sharing (two variables in one cache line look like one
+// location); that trade-off is the front-end's, not the algorithm's.
+#pragma once
+
+#include <cstdint>
+
+#include "support/ids.hpp"
+
+namespace race2d {
+
+enum class Granularity : std::uint8_t {
+  kByte = 0,       ///< every byte its own location
+  kWord = 3,       ///< 8-byte words
+  kCacheLine = 6,  ///< 64-byte lines
+  kPage = 12,      ///< 4 KiB pages
+};
+
+class AddressMapper {
+ public:
+  explicit constexpr AddressMapper(Granularity g = Granularity::kWord)
+      : shift_(static_cast<std::uint8_t>(g)) {}
+
+  /// The monitored location covering address p.
+  Loc loc_for(const void* p) const {
+    return static_cast<Loc>(reinterpret_cast<std::uintptr_t>(p)) >> shift_;
+  }
+
+  /// The monitored location covering byte offset `offset` within an object
+  /// whose shadow range starts at `base` (for logical, non-address ranges).
+  Loc loc_for_offset(Loc base, std::size_t offset) const {
+    return base + (offset >> shift_);
+  }
+
+  /// Number of locations covering `bytes` bytes starting at offset 0.
+  std::size_t span(std::size_t bytes) const {
+    if (bytes == 0) return 0;
+    return ((bytes - 1) >> shift_) + 1;
+  }
+
+  unsigned granularity_bytes() const { return 1u << shift_; }
+
+ private:
+  std::uint8_t shift_;
+};
+
+}  // namespace race2d

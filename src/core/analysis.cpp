@@ -1,0 +1,41 @@
+#include "core/analysis.hpp"
+
+#include <sstream>
+
+#include "support/flat_hash_map.hpp"
+
+namespace race2d {
+
+RaceSummary summarize(const std::vector<RaceReport>& reports) {
+  RaceSummary summary;
+  summary.total_reports = reports.size();
+  FlatHashMap<Loc, std::size_t> index_of;  // loc -> slot in by_location
+  for (const RaceReport& r : reports) {
+    if (std::size_t* idx = index_of.find(r.loc)) {
+      ++summary.by_location[*idx].report_count;
+    } else {
+      index_of[r.loc] = summary.by_location.size();
+      summary.by_location.push_back({r.loc, 1, r});
+    }
+  }
+  return summary;
+}
+
+std::string to_string(const RaceSummary& summary) {
+  std::ostringstream os;
+  if (!summary.any()) {
+    os << "no races reported\n";
+    return os.str();
+  }
+  os << summary.total_reports << " report(s) on " << summary.by_location.size()
+     << " location(s); the first is precise, the rest are leads:\n";
+  for (std::size_t i = 0; i < summary.by_location.size(); ++i) {
+    const LocationSummary& ls = summary.by_location[i];
+    os << "  [" << (i == 0 ? "precise" : "lead") << "] " << to_string(ls.first);
+    if (ls.report_count > 1) os << " (+" << ls.report_count - 1 << " more)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace race2d

@@ -1,0 +1,36 @@
+// Post-processing of race reports: per-location aggregation and summaries.
+// The paper's precision guarantee covers the FIRST report; everything after
+// it is a lead, not a verdict — the summary keeps that distinction visible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace race2d {
+
+struct LocationSummary {
+  Loc loc = 0;
+  std::size_t report_count = 0;
+  RaceReport first;  ///< earliest report on this location
+};
+
+struct RaceSummary {
+  std::size_t total_reports = 0;
+  std::vector<LocationSummary> by_location;  ///< ordered by first occurrence
+
+  bool any() const { return total_reports > 0; }
+  /// The one report the paper guarantees precise (earliest overall), only
+  /// valid when any().
+  const RaceReport& precise_first() const { return by_location.front().first; }
+};
+
+/// Groups reports by location, preserving first-occurrence order.
+RaceSummary summarize(const std::vector<RaceReport>& reports);
+
+/// Human-readable multi-line rendering of a summary.
+std::string to_string(const RaceSummary& summary);
+
+}  // namespace race2d

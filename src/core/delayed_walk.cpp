@@ -1,0 +1,24 @@
+#include "core/delayed_walk.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+std::vector<VertexId> solve_suprema_delayed(const Diagram& d,
+                                            const std::vector<SupQuery>& queries) {
+  std::vector<std::vector<std::size_t>> by_target(d.vertex_count());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    R2D_REQUIRE(queries[i].t < d.vertex_count(), "query target out of range");
+    R2D_REQUIRE(queries[i].x < d.vertex_count(), "query operand out of range");
+    by_target[queries[i].t].push_back(i);
+  }
+
+  std::vector<VertexId> answers(queries.size(), kInvalidVertex);
+  walk_suprema_delayed(d, [&](VertexId t, SupremaEngine& engine) {
+    for (std::size_t qi : by_target[t])
+      answers[qi] = engine.sup(queries[qi].x, t);
+  });
+  return answers;
+}
+
+}  // namespace race2d

@@ -1,0 +1,50 @@
+// The fully-online variant of the suprema walk (§4, Figure 8).
+//
+// Over a *delayed* non-separating traversal the engine no longer returns
+// true suprema; it returns answers satisfying the relaxed conditions
+//   (6)  Sup(x, t) = t  ⇔  x ⊑ t
+//   (7)  Sup(Sup(x, y), t) = t  ⇔  Sup(x, t) = t ∧ Sup(y, t) = t
+// which is exactly what the race detector of Figure 6 needs (Theorem 4).
+//
+// DelayedSupremaSolver packages the offline form: build T', run Figure 8's
+// Walk, answer queries at vertex visits. The online runtime drives a
+// SupremaEngine directly instead (see runtime/instrumented.*).
+#pragma once
+
+#include <vector>
+
+#include "core/suprema_walk.hpp"
+#include "lattice/delayed.hpp"
+#include "lattice/diagram.hpp"
+
+namespace race2d {
+
+/// Runs Figure 8's Walk over the delayed traversal of `d`, invoking
+/// q(vertex, engine) at every loop.
+template <typename Q>
+void walk_suprema_delayed(const Diagram& d, Q&& q) {
+  SupremaEngine engine(d.vertex_count());
+  for (const TraversalEvent& e : delayed_traversal(d)) {
+    engine.on_event(e);
+    if (e.kind == EventKind::kLoop) q(e.src, engine);
+  }
+}
+
+/// Same walk over the RUNTIME-delayed traversal (every non-trigger last-arc
+/// delayed — the §5 stop-arc-at-halt rule; see runtime_delayed_arc_flags).
+template <typename Q>
+void walk_suprema_runtime_delayed(const Diagram& d, Q&& q) {
+  SupremaEngine engine(d.vertex_count());
+  for (const TraversalEvent& e : runtime_delayed_traversal(d)) {
+    engine.on_event(e);
+    if (e.kind == EventKind::kLoop) q(e.src, engine);
+  }
+}
+
+/// Offline batch form over the delayed traversal; answers obey (6)–(7) but
+/// need not equal true suprema (e.g. Sup(A, B) may legally answer A in the
+/// Figure 2 example even though sup{A,B} = C).
+std::vector<VertexId> solve_suprema_delayed(const Diagram& d,
+                                            const std::vector<SupQuery>& queries);
+
+}  // namespace race2d

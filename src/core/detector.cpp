@@ -1,0 +1,138 @@
+#include "core/detector.hpp"
+
+#include "core/delayed_walk.hpp"
+#include "core/streaming_detector.hpp"
+#include "lattice/delayed.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+TaskId OnlineRaceDetector::on_root() {
+  const TaskId root = engine_.add_vertex();
+  engine_.on_loop(root);
+  return root;
+}
+
+TaskId OnlineRaceDetector::on_fork(TaskId parent) {
+  R2D_REQUIRE(parent < engine_.vertex_count(), "unknown parent task");
+  const TaskId child = engine_.add_vertex();
+  // The fork arc (parent, child) is never a last-arc (the child is drawn to
+  // the parent's left; the parent's continuation is the rightmost arc), so
+  // Walk takes no action on it. The child's first loop follows immediately
+  // in fork-first order.
+  engine_.on_loop(child);
+  return child;
+}
+
+void OnlineRaceDetector::on_join(TaskId joiner, TaskId joined) {
+  R2D_REQUIRE(joiner < engine_.vertex_count() && joined < engine_.vertex_count(),
+              "unknown task in join");
+  // Delayed last-arc (joined, joiner): Union(joiner, joined), i.e. the
+  // joined task's last-arc tree hangs below the joiner, which keeps the label.
+  engine_.on_last_arc(joined, joiner);
+  engine_.on_loop(joiner);  // the join operation itself is a step of joiner
+}
+
+void OnlineRaceDetector::on_halt(TaskId t) {
+  R2D_REQUIRE(t < engine_.vertex_count(), "unknown task in halt");
+  engine_.on_stop_arc(t);
+}
+
+void OnlineRaceDetector::on_read(TaskId t, Loc loc) {
+  engine_.on_loop(t);
+  ++access_count_;
+  ShadowCell& cell = history_.cell(loc);
+  // §2.3: a read can only race with prior writes; compare against W[loc].
+  if (cell.write_sup != kInvalidVertex && engine_.sup(cell.write_sup, t) != t) {
+    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
+                      access_count_});
+  }
+  // Figure 6 line 3: R[loc] ← Sup(R[loc], t).
+  cell.read_sup =
+      cell.read_sup == kInvalidVertex ? t : engine_.sup(cell.read_sup, t);
+}
+
+void OnlineRaceDetector::on_write(TaskId t, Loc loc) {
+  engine_.on_loop(t);
+  ++access_count_;
+  ShadowCell& cell = history_.cell(loc);
+  // Figure 6 On-Write: a write races with prior reads and prior writes.
+  if (cell.read_sup != kInvalidVertex && engine_.sup(cell.read_sup, t) != t) {
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
+                      access_count_});
+  } else if (cell.write_sup != kInvalidVertex &&
+             engine_.sup(cell.write_sup, t) != t) {
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
+                      access_count_});
+  }
+  cell.write_sup =
+      cell.write_sup == kInvalidVertex ? t : engine_.sup(cell.write_sup, t);
+}
+
+void OnlineRaceDetector::on_retire(TaskId t, Loc loc) {
+  engine_.on_loop(t);
+  const ShadowCell* cell = history_.find(loc);
+  if (cell == nullptr) return;  // never accessed: nothing to retire
+  ++access_count_;
+  // Retiring storage that is still racing is itself a defect: check like a
+  // write before dropping the cell.
+  if (cell->read_sup != kInvalidVertex && engine_.sup(cell->read_sup, t) != t) {
+    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kRead,
+                      access_count_});
+  } else if (cell->write_sup != kInvalidVertex &&
+             engine_.sup(cell->write_sup, t) != t) {
+    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kWrite,
+                      access_count_});
+  }
+  history_.retire(loc);
+}
+
+MemoryFootprint OnlineRaceDetector::footprint() const {
+  MemoryFootprint f;
+  f.shadow_bytes = history_.heap_bytes();
+  f.per_task_bytes = engine_.heap_bytes();
+  return f;
+}
+
+std::vector<RaceReport> detect_races_offline(
+    const Diagram& d, const std::vector<std::vector<VertexAccess>>& ops,
+    WalkMode mode, ReportPolicy policy) {
+  R2D_REQUIRE(ops.size() == d.vertex_count(),
+              "one access list per vertex required");
+
+  Traversal traversal;
+  switch (mode) {
+    case WalkMode::kNonSeparating:
+      traversal = non_separating_traversal(d);
+      break;
+    case WalkMode::kDelayed:
+      traversal = delayed_traversal(d);
+      break;
+    case WalkMode::kRuntimeDelayed:
+      traversal = runtime_delayed_traversal(d);
+      break;
+  }
+
+  StreamingLatticeDetector detector(policy);
+  detector.grow_to(d.vertex_count());
+  for (const TraversalEvent& e : traversal) {
+    detector.on_event(e);
+    if (e.kind != EventKind::kLoop) continue;
+    for (const VertexAccess& a : ops[e.src]) {
+      switch (a.kind) {
+        case AccessKind::kRead:
+          detector.on_read(e.src, a.loc);
+          break;
+        case AccessKind::kWrite:
+          detector.on_write(e.src, a.loc);
+          break;
+        case AccessKind::kRetire:
+          detector.on_retire(e.src, a.loc);
+          break;
+      }
+    }
+  }
+  return detector.reporter().all();
+}
+
+}  // namespace race2d

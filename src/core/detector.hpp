@@ -1,0 +1,107 @@
+// The race detectors of §4 (Figure 6) over the suprema engine.
+//
+// OnlineRaceDetector — the paper's headline algorithm. It consumes the
+// thread-level event stream of a serial fork-first execution of a structured
+// fork-join program (§5): fork/join/halt structure events plus read/write
+// memory events. Internally this is precisely the collapsed delayed
+// traversal T'' of eq. (8):
+//     x forks y  ↦ (x, y)      — ordinary arc, no engine action
+//     x steps    ↦ (x, x)      — loop; every memory access marks its task
+//     x joins y  ↦ (y, x)      — delayed last-arc ⇒ Union(x, y)
+//     x halts    ↦ (x, ×)      — stop-arc ⇒ mark x unvisited
+// Resources: Θ(1) state per task and per tracked memory location, Θ(α)
+// amortized time per operation (Theorem 5).
+//
+// detect_races_offline — contribution (b) in language-independent form: race
+// detection over ANY task graph given as a 2D-lattice diagram with memory
+// accesses attached to vertices, via Figure 5's exact Walk or Figure 8's
+// delayed Walk.
+//
+// Note on Figure 6 as printed: its On-Read compares against R[loc]; §2.3
+// states "for a read we compare against sup W only" (read–read pairs do not
+// race). We implement the latter; see detector_semantics_test.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/access_history.hpp"
+#include "core/report.hpp"
+#include "core/suprema_walk.hpp"
+#include "support/ids.hpp"
+#include "support/mem_accounting.hpp"
+
+namespace race2d {
+
+class OnlineRaceDetector {
+ public:
+  explicit OnlineRaceDetector(ReportPolicy policy = ReportPolicy::kAll)
+      : reporter_(policy) {}
+
+  /// Registers the root task (the initial line {root | program}).
+  TaskId on_root();
+
+  /// `parent` forks a child; returns the child's task id. The child is
+  /// immediately visited (serial fork-first execution enters it next).
+  TaskId on_fork(TaskId parent);
+
+  /// `joiner` joins `joined` — the delayed last-arc (joined, joiner).
+  void on_join(TaskId joiner, TaskId joined);
+
+  /// `t` halts — the stop-arc (t, ×).
+  void on_halt(TaskId t);
+
+  /// Figure 6 On-Read / On-Write for the current operation of task `t`.
+  void on_read(TaskId t, Loc loc);
+  void on_write(TaskId t, Loc loc);
+
+  /// Retires `loc`'s shadow state (scope exit / free). Serial execution
+  /// recycles addresses of dead storage across logically concurrent tasks;
+  /// retiring at end-of-lifetime prevents spurious reports on reuse, exactly
+  /// like the free() hooks of production detectors. The retirement itself is
+  /// checked like a write (it must be ordered after every prior access —
+  /// retiring live racing storage is itself a bug worth one report).
+  void on_retire(TaskId t, Loc loc);
+
+  /// True iff task x's lattice position is ordered before task t's current
+  /// operation (eq. 6). Exposed for tests.
+  bool ordered_before(TaskId x, TaskId t) { return engine_.ordered_before(x, t); }
+
+  const RaceReporter& reporter() const { return reporter_; }
+  bool race_found() const { return reporter_.any(); }
+
+  std::size_t task_count() const { return engine_.vertex_count(); }
+  std::size_t access_count() const { return access_count_; }
+  std::size_t tracked_locations() const { return history_.location_count(); }
+
+  /// Exact byte accounting for E2: shadow = per-location, per-task = DSU.
+  MemoryFootprint footprint() const;
+
+ private:
+  SupremaEngine engine_;
+  AccessHistory history_;
+  RaceReporter reporter_;
+  std::size_t access_count_ = 0;
+};
+
+/// One memory access attached to a task-graph vertex.
+struct VertexAccess {
+  Loc loc;
+  AccessKind kind;
+};
+
+enum class WalkMode : std::uint8_t {
+  kNonSeparating,   ///< Figure 5 walk (offline; exact suprema)
+  kDelayed,         ///< Figure 8 walk over the Definition 3 delayed traversal
+  kRuntimeDelayed,  ///< Figure 8 walk, runtime delaying rule (see delayed.hpp)
+};
+
+/// Language-independent offline detection: runs Figure 6 over the walk of
+/// `d`, where ops[v] lists vertex v's accesses in order. Reports carry the
+/// vertex id in `current_task`. Requires check_diagram(d) to hold.
+std::vector<RaceReport> detect_races_offline(
+    const Diagram& d, const std::vector<std::vector<VertexAccess>>& ops,
+    WalkMode mode = WalkMode::kNonSeparating,
+    ReportPolicy policy = ReportPolicy::kAll);
+
+}  // namespace race2d

@@ -1,0 +1,30 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace race2d {
+
+namespace {
+const char* kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+    case AccessKind::kRetire:
+      return "retire";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string to_string(const RaceReport& r) {
+  std::ostringstream os;
+  os << "race on location 0x" << std::hex << r.loc << std::dec << ": "
+     << kind_name(r.current_kind) << " by task " << r.current_task
+     << " conflicts with a prior " << kind_name(r.prior_kind)
+     << " (access #" << r.access_index << ")";
+  return os.str();
+}
+
+}  // namespace race2d

@@ -1,0 +1,62 @@
+// Race reports and their collection policy.
+//
+// The paper's soundness contract (§2.3): if an execution finishes with no
+// reported race, the program is deterministic from that input; reports are
+// precise up to the FIRST one (later reports may be false positives). The
+// collector therefore always retains the first report and can either keep
+// collecting (kAll, default) or stop checking (kFirstOnly) afterwards.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace race2d {
+
+enum class AccessKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kRetire,  ///< shadow retirement (scope exit / free); conflicts like a write
+};
+
+struct RaceReport {
+  Loc loc = 0;
+  TaskId current_task = kInvalidTask;  ///< the access that exposed the race
+  AccessKind current_kind = AccessKind::kRead;
+  AccessKind prior_kind = AccessKind::kRead;  ///< kind of the conflicting set
+  std::size_t access_index = 0;  ///< ordinal of the exposing access in the run
+
+  bool operator==(const RaceReport&) const = default;
+};
+
+std::string to_string(const RaceReport& r);
+
+enum class ReportPolicy : std::uint8_t {
+  kAll,        ///< report every detected race (first one is the precise one)
+  kFirstOnly,  ///< stop recording after the first race
+};
+
+class RaceReporter {
+ public:
+  explicit RaceReporter(ReportPolicy policy = ReportPolicy::kAll)
+      : policy_(policy) {}
+
+  void report(const RaceReport& r) {
+    if (policy_ == ReportPolicy::kFirstOnly && !reports_.empty()) return;
+    reports_.push_back(r);
+  }
+
+  bool any() const { return !reports_.empty(); }
+  std::size_t count() const { return reports_.size(); }
+  const std::vector<RaceReport>& all() const { return reports_; }
+  const RaceReport& first() const { return reports_.front(); }
+  void clear() { reports_.clear(); }
+
+ private:
+  ReportPolicy policy_;
+  std::vector<RaceReport> reports_;
+};
+
+}  // namespace race2d

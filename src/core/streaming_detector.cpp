@@ -1,0 +1,51 @@
+#include "core/streaming_detector.hpp"
+
+namespace race2d {
+
+void StreamingLatticeDetector::on_read(VertexId t, Loc loc) {
+  ++access_count_;
+  ShadowCell& cell = history_.cell(loc);
+  // §2.3: a read can only race with prior writes.
+  if (cell.write_sup != kInvalidVertex && engine_.sup(cell.write_sup, t) != t)
+    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
+                      access_count_});
+  cell.read_sup =
+      cell.read_sup == kInvalidVertex ? t : engine_.sup(cell.read_sup, t);
+}
+
+void StreamingLatticeDetector::on_write(VertexId t, Loc loc) {
+  ++access_count_;
+  ShadowCell& cell = history_.cell(loc);
+  if (cell.read_sup != kInvalidVertex && engine_.sup(cell.read_sup, t) != t)
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
+                      access_count_});
+  else if (cell.write_sup != kInvalidVertex &&
+           engine_.sup(cell.write_sup, t) != t)
+    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
+                      access_count_});
+  cell.write_sup =
+      cell.write_sup == kInvalidVertex ? t : engine_.sup(cell.write_sup, t);
+}
+
+void StreamingLatticeDetector::on_retire(VertexId t, Loc loc) {
+  const ShadowCell* cell = history_.find(loc);
+  if (cell == nullptr) return;
+  ++access_count_;
+  if (cell->read_sup != kInvalidVertex && engine_.sup(cell->read_sup, t) != t)
+    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kRead,
+                      access_count_});
+  else if (cell->write_sup != kInvalidVertex &&
+           engine_.sup(cell->write_sup, t) != t)
+    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kWrite,
+                      access_count_});
+  history_.retire(loc);
+}
+
+MemoryFootprint StreamingLatticeDetector::footprint() const {
+  MemoryFootprint f;
+  f.shadow_bytes = history_.heap_bytes();
+  f.per_task_bytes = engine_.heap_bytes();
+  return f;
+}
+
+}  // namespace race2d

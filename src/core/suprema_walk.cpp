@@ -1,0 +1,41 @@
+#include "core/suprema_walk.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+void SupremaEngine::on_event(const TraversalEvent& e) {
+  switch (e.kind) {
+    case EventKind::kLoop:
+      on_loop(e.src);
+      break;
+    case EventKind::kLastArc:
+      on_last_arc(e.src, e.dst);
+      break;
+    case EventKind::kStopArc:
+      on_stop_arc(e.src);
+      break;
+    case EventKind::kArc:
+      break;  // ordinary arcs carry no algorithmic action (Figure 5)
+  }
+}
+
+std::vector<VertexId> solve_suprema(const Diagram& d,
+                                    const std::vector<SupQuery>& queries) {
+  // Bucket queries by their target vertex, preserving order.
+  std::vector<std::vector<std::size_t>> by_target(d.vertex_count());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    R2D_REQUIRE(queries[i].t < d.vertex_count(), "query target out of range");
+    R2D_REQUIRE(queries[i].x < d.vertex_count(), "query operand out of range");
+    by_target[queries[i].t].push_back(i);
+  }
+
+  std::vector<VertexId> answers(queries.size(), kInvalidVertex);
+  walk_suprema(d, [&](VertexId t, SupremaEngine& engine) {
+    for (std::size_t qi : by_target[t])
+      answers[qi] = engine.sup(queries[qi].x, t);
+  });
+  return answers;
+}
+
+}  // namespace race2d

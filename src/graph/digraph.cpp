@@ -1,0 +1,57 @@
+#include "graph/digraph.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+VertexId Digraph::add_vertex() {
+  const VertexId id = static_cast<VertexId>(out_.size());
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+void Digraph::resize(std::size_t count) {
+  R2D_REQUIRE(count >= out_.size(), "Digraph::resize cannot shrink");
+  out_.resize(count);
+  in_.resize(count);
+}
+
+void Digraph::add_arc(VertexId src, VertexId dst) {
+  R2D_REQUIRE(src < out_.size() && dst < out_.size(),
+              "Digraph::add_arc endpoint out of range");
+  out_[src].push_back(dst);
+  in_[dst].push_back(src);
+  ++arc_count_;
+}
+
+std::vector<Arc> Digraph::arcs() const {
+  std::vector<Arc> result;
+  result.reserve(arc_count_);
+  for (VertexId v = 0; v < out_.size(); ++v)
+    for (VertexId w : out_[v]) result.push_back(Arc{v, w});
+  return result;
+}
+
+std::vector<VertexId> Digraph::sources() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < out_.size(); ++v)
+    if (in_[v].empty()) result.push_back(v);
+  return result;
+}
+
+std::vector<VertexId> Digraph::sinks() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < out_.size(); ++v)
+    if (out_[v].empty()) result.push_back(v);
+  return result;
+}
+
+bool Digraph::has_arc(VertexId src, VertexId dst) const {
+  R2D_ASSERT(src < out_.size());
+  for (VertexId w : out_[src])
+    if (w == dst) return true;
+  return false;
+}
+
+}  // namespace race2d

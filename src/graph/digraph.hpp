@@ -1,0 +1,63 @@
+// Directed-graph substrate used by the lattice layer and the baselines.
+//
+// Task graphs are DAGs over dense VertexIds. Out-arc lists preserve
+// insertion order because, for lattice *diagrams*, the left-to-right order
+// of arcs around a vertex is semantically meaningful (§3: planar monotone
+// drawings); Digraph itself is order-preserving but order-agnostic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "support/small_vector.hpp"
+
+namespace race2d {
+
+struct Arc {
+  VertexId src;
+  VertexId dst;
+  bool operator==(const Arc&) const = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t vertex_count) { resize(vertex_count); }
+
+  /// Adds a fresh vertex and returns its id.
+  VertexId add_vertex();
+
+  /// Grows the vertex set to `count` vertices (ids 0..count-1).
+  void resize(std::size_t count);
+
+  /// Adds the arc (src, dst). Arcs append to the right of src's out-list,
+  /// matching the left-to-right construction of planar diagrams.
+  void add_arc(VertexId src, VertexId dst);
+
+  std::size_t vertex_count() const { return out_.size(); }
+  std::size_t arc_count() const { return arc_count_; }
+
+  const SmallVector<VertexId, 2>& out(VertexId v) const { return out_[v]; }
+  const SmallVector<VertexId, 2>& in(VertexId v) const { return in_[v]; }
+
+  std::size_t out_degree(VertexId v) const { return out_[v].size(); }
+  std::size_t in_degree(VertexId v) const { return in_[v].size(); }
+
+  /// All arcs in (src, position) order.
+  std::vector<Arc> arcs() const;
+
+  /// Vertices with no incoming / no outgoing arcs.
+  std::vector<VertexId> sources() const;
+  std::vector<VertexId> sinks() const;
+
+  /// True if the arc (src, dst) is present (linear scan; degrees are tiny).
+  bool has_arc(VertexId src, VertexId dst) const;
+
+ private:
+  std::vector<SmallVector<VertexId, 2>> out_;
+  std::vector<SmallVector<VertexId, 2>> in_;
+  std::size_t arc_count_ = 0;
+};
+
+}  // namespace race2d

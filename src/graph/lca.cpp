@@ -1,0 +1,82 @@
+#include "graph/lca.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "unionfind/labeled_union_find.hpp"
+
+namespace race2d {
+
+std::vector<VertexId> offline_lca(const RootedTree& tree,
+                                  const std::vector<LcaQuery>& queries) {
+  const std::size_t n = tree.size();
+  R2D_REQUIRE(n > 0, "offline_lca needs a non-empty tree");
+  R2D_REQUIRE(tree.parent[tree.root] == tree.root, "root must be self-parented");
+
+  // Children lists from the parent array.
+  std::vector<std::vector<VertexId>> children(n);
+  for (VertexId v = 0; v < n; ++v) {
+    R2D_REQUIRE(tree.parent[v] < n, "parent out of range");
+    if (v != tree.root) children[tree.parent[v]].push_back(v);
+  }
+
+  // Bucket queries by endpoint.
+  std::vector<std::vector<std::size_t>> pending(n);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    R2D_REQUIRE(queries[qi].a < n && queries[qi].b < n, "query endpoint out of range");
+    pending[queries[qi].a].push_back(qi);
+    pending[queries[qi].b].push_back(qi);
+  }
+
+  LabeledUnionFind dsu(n);
+  std::vector<char> visited(n, 0);
+  std::vector<VertexId> answer(queries.size(), kInvalidVertex);
+
+  // Iterative post-order DFS (explicit stack; trees can be deep).
+  struct Frame {
+    VertexId v;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const VertexId v = frame.v;
+    if (frame.next_child < children[v].size()) {
+      const VertexId c = children[v][frame.next_child++];
+      stack.push_back({c, 0});
+      continue;
+    }
+    // Post-visit of v: all children are merged into v's set already.
+    visited[v] = 1;
+    for (std::size_t qi : pending[v]) {
+      const LcaQuery& q = queries[qi];
+      const VertexId other = (q.a == v) ? q.b : q.a;
+      if (visited[other]) answer[qi] = dsu.find_label(other);
+      // If `other` is unvisited, the query resolves at `other`'s post-visit.
+      if (q.a == q.b) answer[qi] = v;
+    }
+    stack.pop_back();
+    if (v != tree.root) {
+      // Merge v's subtree into the parent's set, labeled by the parent.
+      dsu.merge_into(tree.parent[v], v);
+    }
+  }
+  return answer;
+}
+
+VertexId naive_lca(const RootedTree& tree, VertexId a, VertexId b) {
+  // Collect a's ancestor chain, then walk b upward until a hit.
+  std::vector<char> on_chain(tree.size(), 0);
+  VertexId v = a;
+  while (true) {
+    on_chain[v] = 1;
+    if (v == tree.root) break;
+    v = tree.parent[v];
+  }
+  v = b;
+  while (!on_chain[v]) v = tree.parent[v];
+  return v;
+}
+
+}  // namespace race2d

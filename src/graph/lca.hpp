@@ -1,0 +1,41 @@
+// Tarjan's offline lowest-common-ancestor algorithm on rooted trees.
+//
+// This is the base algorithm the paper extends (Remark 2): an LCA is the
+// infimum in a tree-shaped semilattice, and reversing arcs swaps infima and
+// suprema. The 2D suprema Walk in src/core generalizes exactly this routine;
+// we keep the classic version both as a substrate and as a differential
+// test partner (on trees both must agree).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"  // ContractViolation, thrown on bad input
+#include "support/ids.hpp"
+
+namespace race2d {
+
+/// A rooted tree over dense vertex ids given by a parent array;
+/// parent[root] == root.
+struct RootedTree {
+  std::vector<VertexId> parent;
+  VertexId root = 0;
+
+  std::size_t size() const { return parent.size(); }
+};
+
+struct LcaQuery {
+  VertexId a;
+  VertexId b;
+};
+
+/// Answers all queries offline in Θ((n + q) α(n)) time via one DFS with a
+/// union-find, exactly as in Tarjan 1979. Query endpoints must be tree
+/// vertices. Returns answers in query order.
+std::vector<VertexId> offline_lca(const RootedTree& tree,
+                                  const std::vector<LcaQuery>& queries);
+
+/// Reference LCA by walking parent chains; O(depth) per query. For testing.
+VertexId naive_lca(const RootedTree& tree, VertexId a, VertexId b);
+
+}  // namespace race2d

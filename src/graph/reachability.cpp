@@ -1,0 +1,51 @@
+#include "graph/reachability.hpp"
+
+#include <deque>
+
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+bool reachable(const Digraph& g, VertexId src, VertexId dst) {
+  if (src == dst) return true;
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::deque<VertexId> frontier{src};
+  seen[src] = true;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (VertexId w : g.out(v)) {
+      if (w == dst) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+TransitiveClosure::TransitiveClosure(const Digraph& g) {
+  n_ = g.vertex_count();
+  words_per_row_ = (n_ + 63) / 64;
+  words_.assign(n_ * words_per_row_, 0);
+
+  auto order = topological_order(g);
+  R2D_REQUIRE(order.has_value(), "TransitiveClosure requires a DAG");
+
+  // Process in reverse topological order: row(v) = {v} ∪ ⋃ row(w), w ∈ out(v).
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const VertexId v = *it;
+    set_bit(static_cast<std::size_t>(v) * words_per_row_ * 64 + v);
+    for (VertexId w : g.out(v)) or_row(v, w);
+  }
+}
+
+void TransitiveClosure::or_row(VertexId dst_row, VertexId src_row) {
+  std::uint64_t* d = &words_[static_cast<std::size_t>(dst_row) * words_per_row_];
+  const std::uint64_t* s = &words_[static_cast<std::size_t>(src_row) * words_per_row_];
+  for (std::size_t i = 0; i < words_per_row_; ++i) d[i] |= s[i];
+}
+
+}  // namespace race2d

@@ -1,0 +1,46 @@
+// Reachability queries on DAGs: on-demand BFS and a bitset transitive
+// closure. The closure is the ground truth behind every correctness test
+// (sup/inf brute force, naive detector, lattice validation); the paper's
+// detector must agree with reachability-based verdicts, eq. (3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace race2d {
+
+/// Single-query reachability via BFS from src. O(V + E).
+bool reachable(const Digraph& g, VertexId src, VertexId dst);
+
+/// Dense transitive closure of a DAG, one bit per ordered pair.
+/// Reflexive: reaches(v, v) is true. Θ(V^2/64 + V*E/64) time, Θ(V^2) bits.
+class TransitiveClosure {
+ public:
+  explicit TransitiveClosure(const Digraph& g);
+
+  bool reaches(VertexId src, VertexId dst) const {
+    return bit(static_cast<std::size_t>(src) * words_per_row_ * 64 + dst);
+  }
+
+  /// Partial-order comparability: src ⊑ dst or dst ⊑ src.
+  bool comparable(VertexId a, VertexId b) const {
+    return reaches(a, b) || reaches(b, a);
+  }
+
+  std::size_t vertex_count() const { return n_; }
+
+ private:
+  bool bit(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set_bit(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void or_row(VertexId dst_row, VertexId src_row);
+
+  std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace race2d

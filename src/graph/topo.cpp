@@ -1,0 +1,45 @@
+#include "graph/topo.hpp"
+
+#include <queue>
+
+namespace race2d {
+
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> indegree(n);
+  for (VertexId v = 0; v < n; ++v) indegree[v] = g.in_degree(v);
+
+  // Min-heap for deterministic tie-breaking.
+  std::priority_queue<VertexId, std::vector<VertexId>, std::greater<>> ready;
+  for (VertexId v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.push(v);
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const VertexId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (VertexId w : g.out(v))
+      if (--indegree[w] == 0) ready.push(w);
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const Digraph& g) { return topological_order(g).has_value(); }
+
+bool is_topological(const Digraph& g, const std::vector<VertexId>& order) {
+  if (order.size() != g.vertex_count()) return false;
+  std::vector<std::size_t> position(g.vertex_count(), g.vertex_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= g.vertex_count()) return false;
+    if (position[order[i]] != g.vertex_count()) return false;  // duplicate
+    position[order[i]] = i;
+  }
+  for (const Arc& a : g.arcs())
+    if (position[a.src] >= position[a.dst]) return false;
+  return true;
+}
+
+}  // namespace race2d

@@ -1,0 +1,22 @@
+// Topological ordering and acyclicity checks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace race2d {
+
+/// Kahn's algorithm. Returns a topological order, or nullopt if g has a
+/// cycle. Ties are broken by smallest vertex id, making the order
+/// deterministic (tests depend on this).
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
+
+/// True iff g has no directed cycle.
+bool is_acyclic(const Digraph& g);
+
+/// True iff `order` is a permutation of g's vertices that respects all arcs.
+bool is_topological(const Digraph& g, const std::vector<VertexId>& order);
+
+}  // namespace race2d

@@ -1,0 +1,66 @@
+// Delayed non-separating traversals and the thread collapse (§4).
+//
+// A non-separating traversal may visit an arc (s, t) before some vertex x
+// with x ❁ t is visited — condition (4) — which no real execution can do
+// (the arc's existence is only known once t executes). Definition 3 moves
+// every such arc to just before t's loop and leaves a stop-arc (s, ×) at its
+// original position (Figure 7). The thread collapse, eq. (8), then replaces
+// vertices by thread identifiers, where a thread is a maximal path of
+// NON-delayed last-arcs — this is what makes the detector's bookkeeping
+// proportional to the number of threads rather than operations (Theorem 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lattice/diagram.hpp"
+#include "lattice/traversal.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+/// Per-event flags for `t` (a non-separating traversal of `d`): flag[i] is
+/// true iff event i is an arc satisfying condition (4), i.e. some strict
+/// predecessor of its target is visited after it.
+std::vector<char> delayed_arc_flags(const Diagram& d, const Traversal& t);
+
+/// The delayed transformation T ↦ T' of Definition 3. Each delayed arc is
+/// replaced by a stop-arc in place and re-emitted (in original relative
+/// order) immediately before its target's trigger arc, which directly
+/// precedes the target's loop.
+Traversal delayed_traversal(const Diagram& d);
+
+/// Overload reusing a precomputed traversal and its delayed flags.
+Traversal delayed_traversal(const Diagram& d, const Traversal& t,
+                            const std::vector<char>& delayed);
+
+/// The runtime's delaying rule (§5): every LAST-arc that is not its target's
+/// trigger (the final in-arc visited, which directly precedes the target's
+/// loop) is delayed. This is a superset of the condition-(4) arcs — e.g. a
+/// fork-then-immediately-join halt arc fails (4) but is still delayed by the
+/// runtime's "emit a stop-arc at every halt" rule — and it is the rule under
+/// which threads (maximal non-delayed last-arc paths) are disjoint, making
+/// the §4 thread collapse well-defined. Delaying the extra arcs is harmless:
+/// nothing separates their old and new positions but other delayed arcs of
+/// the same target, so the Walk state evolution is unchanged.
+std::vector<char> runtime_delayed_arc_flags(const Diagram& d, const Traversal& t);
+
+/// delayed_traversal under the runtime delaying rule.
+Traversal runtime_delayed_traversal(const Diagram& d);
+
+struct ThreadDecomposition {
+  std::vector<TaskId> tid_of_vertex;  ///< dense thread id per vertex
+  std::size_t thread_count = 0;
+};
+
+/// Decomposes vertices into threads: maximal paths of non-delayed last-arcs.
+/// For Figure 7 this yields {2}, {3}, {5}, {6} and {1,4,7,8,9}.
+ThreadDecomposition decompose_threads(const Diagram& d);
+
+/// The transformation (8): rewrites every event of a (delayed) traversal
+/// from vertex ids to thread ids. Loops map to loops, arcs to arcs
+/// (possibly self-arcs when both endpoints share a thread), stop-arcs to
+/// stop-arcs.
+Traversal collapse_to_threads(const Traversal& t, const ThreadDecomposition& td);
+
+}  // namespace race2d

@@ -1,0 +1,16 @@
+#include "lattice/diagram.hpp"
+
+namespace race2d {
+
+Diagram Diagram::mirrored() const {
+  Diagram m(vertex_count());
+  // Reversing the out-fan of every vertex mirrors the drawing. Arcs must be
+  // re-inserted rightmost-first per source so the new fans are reversed.
+  for (VertexId v = 0; v < vertex_count(); ++v) {
+    const auto& fan = g_.out(v);
+    for (std::size_t i = fan.size(); i-- > 0;) m.add_arc(v, fan[i]);
+  }
+  return m;
+}
+
+}  // namespace race2d

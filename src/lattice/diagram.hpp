@@ -1,0 +1,57 @@
+// Monotone planar diagrams of two-dimensional lattices (§2.2, §3, Fig. 3).
+//
+// A Diagram is a DAG plus the one piece of geometric information the
+// algorithms actually consume: the *left-to-right order* of the arcs around
+// each vertex. Out-arcs are stored leftmost-first; the rightmost out-arc of
+// a vertex is its LAST-ARC (footnote 2 of the paper). Diagrams are built
+// left-to-right by construction (generators append arcs in drawing order).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+class Diagram {
+ public:
+  Diagram() = default;
+  explicit Diagram(std::size_t vertex_count) : g_(vertex_count) {}
+
+  VertexId add_vertex() { return g_.add_vertex(); }
+
+  /// Appends (src, dst) to the right of src's out-arc fan. Call order
+  /// therefore encodes the left-to-right planar arc order.
+  void add_arc(VertexId src, VertexId dst) { g_.add_arc(src, dst); }
+
+  const Digraph& graph() const { return g_; }
+  std::size_t vertex_count() const { return g_.vertex_count(); }
+  std::size_t arc_count() const { return g_.arc_count(); }
+
+  /// Out-neighbors of v, leftmost first.
+  const SmallVector<VertexId, 2>& out(VertexId v) const { return g_.out(v); }
+  const SmallVector<VertexId, 2>& in(VertexId v) const { return g_.in(v); }
+
+  /// The rightmost out-arc target of v, i.e. the head of v's last-arc;
+  /// kInvalidVertex if v has no out-arcs (the sink).
+  VertexId last_arc_target(VertexId v) const {
+    return g_.out(v).empty() ? kInvalidVertex : g_.out(v).back();
+  }
+
+  /// True iff (src, dst) is the last-arc (rightmost out-arc) of src.
+  bool is_last_arc(VertexId src, VertexId dst) const {
+    return last_arc_target(src) == dst;
+  }
+
+  /// Returns a mirrored copy: every out-arc and in-arc fan reversed.
+  /// Mirroring a monotone planar drawing about the vertical axis yields the
+  /// other non-separating linear extension (Dushnik–Miller, Remark 3).
+  Diagram mirrored() const;
+
+ private:
+  Digraph g_;
+};
+
+}  // namespace race2d

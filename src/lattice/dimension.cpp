@@ -1,0 +1,39 @@
+#include "lattice/dimension.hpp"
+
+#include "graph/reachability.hpp"
+#include "lattice/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+Realizer realizer_from_diagram(const Diagram& d) {
+  Realizer r;
+  r.l1 = loop_order(non_separating_traversal(d));
+  r.l2 = loop_order(non_separating_traversal(d.mirrored()));
+  return r;
+}
+
+bool is_realizer(const Digraph& g, const Realizer& r) {
+  const std::size_t n = g.vertex_count();
+  if (r.l1.size() != n || r.l2.size() != n) return false;
+  std::vector<std::size_t> p1(n), p2(n);
+  for (std::size_t i = 0; i < n; ++i) p1[r.l1[i]] = i;
+  for (std::size_t i = 0; i < n; ++i) p2[r.l2[i]] = i;
+
+  TransitiveClosure closure(g);
+  for (VertexId x = 0; x < n; ++x) {
+    for (VertexId y = 0; y < n; ++y) {
+      if (x == y) continue;
+      const bool in_order = closure.reaches(x, y);
+      const bool in_both = p1[x] < p1[y] && p2[x] < p2[y];
+      if (in_order != in_both) return false;
+    }
+  }
+  return true;
+}
+
+bool certifies_dimension_two(const Diagram& d) {
+  return is_realizer(d.graph(), realizer_from_diagram(d));
+}
+
+}  // namespace race2d

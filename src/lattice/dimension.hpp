@@ -1,0 +1,35 @@
+// Dushnik–Miller order dimension (Remark 3).
+//
+// A poset has dimension ≤ 2 iff it is the intersection of two linear orders;
+// for lattices this is equivalent to having a monotone planar diagram (Baker,
+// Fishburn & Roberts 1972). For a diagram we can *certify* dimension 2
+// constructively: the left-to-right non-separating traversal gives one linear
+// extension, and the mirrored (right-to-left) traversal gives the other; the
+// order must equal their intersection.
+#pragma once
+
+#include <vector>
+
+#include "lattice/diagram.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+/// A Dushnik–Miller realizer of size two: the order equals L1 ∩ L2.
+struct Realizer {
+  std::vector<VertexId> l1;  ///< left-to-right traversal order
+  std::vector<VertexId> l2;  ///< right-to-left (mirrored) traversal order
+};
+
+/// Extracts the candidate realizer from the diagram's two sweeps.
+Realizer realizer_from_diagram(const Diagram& d);
+
+/// True iff the diagram's reachability order equals l1 ∩ l2, proving the
+/// represented poset is two-dimensional. O(n^2).
+bool certifies_dimension_two(const Diagram& d);
+
+/// True iff `order` (reflexively closed reachability of g) equals the
+/// intersection of the two given linear orders.
+bool is_realizer(const Digraph& g, const Realizer& r);
+
+}  // namespace race2d

@@ -1,0 +1,64 @@
+#include "lattice/dot.hpp"
+
+#include <sstream>
+
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+namespace {
+
+const char* kTaskColors[] = {"#4c72b0", "#dd8452", "#55a868", "#c44e52",
+                             "#8172b3", "#937860", "#da8bc3", "#8c8c8c"};
+
+void emit_arcs(std::ostringstream& os, const Diagram& d,
+               const DotOptions& options) {
+  const int off = options.number_from_one ? 1 : 0;
+  for (VertexId v = 0; v < d.vertex_count(); ++v) {
+    const auto& fan = d.out(v);
+    for (std::size_t i = 0; i < fan.size(); ++i) {
+      os << "  v" << v + off << " -> v" << fan[i] + off;
+      if (options.mark_last_arcs && i + 1 < fan.size())
+        os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Diagram& d, const DotOptions& options) {
+  std::ostringstream os;
+  const int off = options.number_from_one ? 1 : 0;
+  os << "digraph diagram {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (VertexId v = 0; v < d.vertex_count(); ++v)
+    os << "  v" << v + off << " [label=\"" << v + off << "\"];\n";
+  emit_arcs(os, d, options);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const TaskGraph& tg, const DotOptions& options) {
+  std::ostringstream os;
+  const int off = options.number_from_one ? 1 : 0;
+  os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=box, "
+        "style=filled];\n";
+  for (VertexId v = 0; v < tg.diagram.vertex_count(); ++v) {
+    const TaskId task = tg.task_of_vertex[v];
+    os << "  v" << v + off << " [label=\"" << v + off << " t" << task;
+    for (const VertexAccess& a : tg.ops[v]) {
+      os << (a.kind == AccessKind::kRead
+                 ? "\\nR "
+                 : a.kind == AccessKind::kWrite ? "\\nW " : "\\nX ")
+         << std::hex << a.loc << std::dec;
+    }
+    os << "\", fillcolor=\""
+       << kTaskColors[task % (sizeof(kTaskColors) / sizeof(kTaskColors[0]))]
+       << "40\"];\n";
+  }
+  emit_arcs(os, tg.diagram, options);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace race2d

@@ -1,0 +1,27 @@
+// Graphviz DOT export of diagrams and task graphs — the development-time
+// visualization companion (renders the monotone drawings the paper's
+// figures show; last-arcs solid, other arcs dashed, as in Figure 4).
+#pragma once
+
+#include <string>
+
+#include "lattice/diagram.hpp"
+
+namespace race2d {
+
+struct TaskGraph;  // runtime/trace.hpp
+
+struct DotOptions {
+  bool mark_last_arcs = true;   ///< last-arcs solid, others dashed
+  bool number_from_one = true;  ///< match the paper's 1-based labels
+};
+
+/// DOT text of a diagram (top-to-bottom rank direction = the monotone
+/// downward drawing).
+std::string to_dot(const Diagram& d, const DotOptions& options = {});
+
+/// DOT text of a task graph: vertices grouped by task (color classes),
+/// memory accesses in the labels.
+std::string to_dot(const TaskGraph& tg, const DotOptions& options = {});
+
+}  // namespace race2d

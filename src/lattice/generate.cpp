@@ -1,0 +1,186 @@
+#include "lattice/generate.hpp"
+
+#include <deque>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+Diagram figure3_diagram() {
+  // Paper vertex k is VertexId k-1. Arc insertion order per source vertex is
+  // the left-to-right fan order read off Figure 3.
+  Diagram d(9);
+  auto arc = [&d](int src, int dst) {
+    d.add_arc(static_cast<VertexId>(src - 1), static_cast<VertexId>(dst - 1));
+  };
+  arc(1, 2);
+  arc(1, 4);
+  arc(2, 3);
+  arc(2, 5);
+  arc(3, 6);
+  arc(4, 5);
+  arc(4, 7);
+  arc(5, 6);
+  arc(5, 8);
+  arc(6, 9);
+  arc(7, 8);
+  arc(8, 9);
+  return d;
+}
+
+Diagram grid_diagram(std::size_t rows, std::size_t cols) {
+  R2D_REQUIRE(rows >= 1 && cols >= 1, "grid must be non-empty");
+  Diagram d(rows * cols);
+  auto id = [cols](std::size_t i, std::size_t j) {
+    return static_cast<VertexId>(i * cols + j);
+  };
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      // Down-arc first: in the monotone drawing (x = j - i, y = i + j) the
+      // arc to (i+1, j) leaves to the left of the arc to (i, j+1).
+      if (i + 1 < rows) d.add_arc(id(i, j), id(i + 1, j));
+      if (j + 1 < cols) d.add_arc(id(i, j), id(i, j + 1));
+    }
+  }
+  return d;
+}
+
+namespace {
+
+VertexId build_sp(Diagram& d, Xoshiro256& rng, std::size_t budget, VertexId src) {
+  if (budget <= 1) {
+    const VertexId v = d.add_vertex();
+    d.add_arc(src, v);
+    return v;
+  }
+  const std::size_t half = budget / 2;
+  if (rng.chance(0.5)) {
+    // Series composition: S(G1, G2) glues G1's sink to G2's source.
+    const VertexId mid = build_sp(d, rng, half, src);
+    return build_sp(d, rng, budget - half, mid);
+  }
+  // Parallel composition: both branches from src, merged at a fresh sink.
+  // The first branch's arcs insert first, so it is the left branch.
+  const VertexId left = build_sp(d, rng, half, src);
+  const VertexId right = build_sp(d, rng, budget - half, src);
+  const VertexId sink = d.add_vertex();
+  d.add_arc(left, sink);
+  d.add_arc(right, sink);
+  return sink;
+}
+
+}  // namespace
+
+Diagram random_sp_diagram(Xoshiro256& rng, std::size_t target_arcs) {
+  Diagram d;
+  const VertexId src = d.add_vertex();
+  build_sp(d, rng, target_arcs < 1 ? 1 : target_arcs, src);
+  return d;
+}
+
+namespace {
+
+// Simulation state for the Figure 9 line machine. Tasks live in a doubly
+// linked line; serial fork-first execution maintains the invariant that
+// every task strictly left of the running task has halted, so a join of the
+// left neighbor always succeeds immediately.
+struct SimTask {
+  VertexId cur = kInvalidVertex;
+  VertexId halt_vertex = kInvalidVertex;
+  SimTask* left = nullptr;
+  SimTask* right = nullptr;
+  bool halted = false;
+};
+
+struct LineMachine {
+  Diagram diagram;
+  Xoshiro256& rng;
+  const ForkJoinParams& params;
+  std::size_t vertex_cap;
+  std::deque<std::unique_ptr<SimTask>> all_tasks;
+
+  LineMachine(Xoshiro256& r, const ForkJoinParams& p, std::size_t cap)
+      : rng(r), params(p), vertex_cap(cap) {}
+
+  SimTask* make_task() {
+    all_tasks.push_back(std::make_unique<SimTask>());
+    return all_tasks.back().get();
+  }
+
+  VertexId step_vertex(SimTask* t) {
+    const VertexId v = diagram.add_vertex();
+    diagram.add_arc(t->cur, v);
+    t->cur = v;
+    return v;
+  }
+
+  void join_left(SimTask* t) {
+    SimTask* y = t->left;
+    R2D_ASSERT(y != nullptr && y->halted);
+    const VertexId j = diagram.add_vertex();
+    diagram.add_arc(y->halt_vertex, j);  // left in-arc (y is drawn left of t)
+    diagram.add_arc(t->cur, j);
+    t->cur = j;
+    // Unlink y from the line.
+    t->left = y->left;
+    if (y->left) y->left->right = t;
+  }
+
+  void halt(SimTask* t) {
+    const VertexId h = diagram.add_vertex();
+    diagram.add_arc(t->cur, h);
+    t->halt_vertex = h;
+    t->halted = true;
+  }
+
+  void run(SimTask* t, std::size_t depth) {
+    for (std::size_t a = 0; a < params.max_actions; ++a) {
+      const double u = rng.uniform01();
+      double threshold = params.fork_prob;
+      if (u < threshold) {
+        if (depth < params.max_depth && diagram.vertex_count() < vertex_cap) {
+          const VertexId f = step_vertex(t);  // the fork transition of t
+          SimTask* child = make_task();
+          child->cur = f;  // child's first vertex attaches below f, on the left
+          child->left = t->left;
+          child->right = t;
+          if (t->left) t->left->right = child;
+          t->left = child;
+          run(child, depth + 1);  // fork-first serial execution
+          halt(child);
+        }
+        continue;
+      }
+      threshold += params.join_prob;
+      if (u < threshold) {
+        if (t->left != nullptr) join_left(t);
+        continue;
+      }
+      threshold += params.step_prob;
+      if (u < threshold) {
+        step_vertex(t);
+        continue;
+      }
+      break;  // end this task's body early
+    }
+  }
+};
+
+}  // namespace
+
+Diagram random_fork_join_diagram(Xoshiro256& rng, const ForkJoinParams& params) {
+  // Cap total growth so the branching process cannot explode; tasks simply
+  // stop forking once the cap is reached, then drain via join/halt.
+  const std::size_t cap = params.max_actions * (params.max_depth + 1) * 4;
+  LineMachine machine(rng, params, cap);
+
+  SimTask* root = machine.make_task();
+  root->cur = machine.diagram.add_vertex();  // the begin vertex (source)
+  machine.run(root, 0);
+  while (root->left != nullptr) machine.join_left(root);
+  machine.halt(root);  // root's halt vertex is the unique sink
+  return std::move(machine.diagram);
+}
+
+}  // namespace race2d

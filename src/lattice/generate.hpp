@@ -1,0 +1,48 @@
+// Generators of monotone planar diagrams used by tests and benchmarks.
+//
+// * figure3_diagram     — the paper's running example (Figures 3, 4, 7).
+// * grid_diagram        — the m×n grid, the task-graph shape of linear
+//                         pipelines (§5 "Handling pipeline parallelism").
+// * random_sp_diagram   — random series-parallel graphs (the prior-work
+//                         class the paper generalizes).
+// * random_fork_join_diagram — random executions of the structured fork-join
+//                         rules of Figure 9, which by Theorem 6 are exactly
+//                         the 2D lattices; this is the unbiased test family.
+#pragma once
+
+#include <cstddef>
+
+#include "lattice/diagram.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+
+/// The 9-vertex lattice of Figure 3 with the paper's vertex numbering
+/// (paper vertex k = VertexId k-1).
+Diagram figure3_diagram();
+
+/// rows×cols grid: vertex (i, j) = i*cols + j, arcs (i,j)→(i+1,j) (drawn to
+/// the left) and (i,j)→(i,j+1) (to the right). Source (0,0), sink
+/// (rows-1, cols-1). A distributive 2D lattice.
+Diagram grid_diagram(std::size_t rows, std::size_t cols);
+
+/// Random series-parallel diagram with ~target_arcs arcs built by recursive
+/// series/parallel composition of single arcs.
+Diagram random_sp_diagram(Xoshiro256& rng, std::size_t target_arcs);
+
+struct ForkJoinParams {
+  std::size_t max_actions = 64;   ///< per-task action budget
+  std::size_t max_depth = 24;     ///< fork-nesting cap
+  double fork_prob = 0.30;
+  double join_prob = 0.25;        ///< join the (halted) left neighbor if any
+  double step_prob = 0.30;        ///< plain step (keeps chains long)
+};
+
+/// Simulates a random serial fork-first execution of the Figure 9 rules and
+/// returns the vertex-level task graph as a diagram (fans in execution
+/// order, hence left-to-right). Single source (root begin), single sink
+/// (root halt after joining all remaining left neighbors).
+Diagram random_fork_join_diagram(Xoshiro256& rng, const ForkJoinParams& params);
+
+}  // namespace race2d

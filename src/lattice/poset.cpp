@@ -1,0 +1,55 @@
+#include "lattice/poset.hpp"
+
+namespace race2d {
+
+std::optional<VertexId> Poset::supremum(VertexId x, VertexId y) const {
+  // Minimal elements among the common upper bounds; the supremum exists iff
+  // there is exactly one minimal common upper bound that is below all others.
+  std::vector<VertexId> ubs;
+  for (VertexId z = 0; z < n_; ++z)
+    if (leq(x, z) && leq(y, z)) ubs.push_back(z);
+  if (ubs.empty()) return std::nullopt;
+  // Candidate: an upper bound below all other upper bounds.
+  for (VertexId c : ubs) {
+    bool least = true;
+    for (VertexId z : ubs) {
+      if (!leq(c, z)) {
+        least = false;
+        break;
+      }
+    }
+    if (least) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<VertexId> Poset::infimum(VertexId x, VertexId y) const {
+  std::vector<VertexId> lbs;
+  for (VertexId z = 0; z < n_; ++z)
+    if (leq(z, x) && leq(z, y)) lbs.push_back(z);
+  if (lbs.empty()) return std::nullopt;
+  for (VertexId c : lbs) {
+    bool greatest = true;
+    for (VertexId z : lbs) {
+      if (!leq(z, c)) {
+        greatest = false;
+        break;
+      }
+    }
+    if (greatest) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<VertexId> Poset::supremum_of(const std::vector<VertexId>& xs) const {
+  if (xs.empty()) return std::nullopt;
+  VertexId acc = xs.front();
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    auto s = supremum(acc, xs[i]);
+    if (!s) return std::nullopt;
+    acc = *s;
+  }
+  return acc;
+}
+
+}  // namespace race2d

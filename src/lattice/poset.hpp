@@ -1,0 +1,43 @@
+// Finite posets backed by a DAG's reachability relation, with brute-force
+// infima/suprema. This is the ground-truth layer: the paper's Walk answers
+// Sup queries in near-constant time, and every property test compares it
+// against Poset::supremum computed from the transitive closure.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/reachability.hpp"
+
+namespace race2d {
+
+class Poset {
+ public:
+  explicit Poset(const Digraph& g) : closure_(g), n_(g.vertex_count()) {}
+
+  std::size_t size() const { return n_; }
+
+  /// x ⊑ y: y reachable from x (reflexive).
+  bool leq(VertexId x, VertexId y) const { return closure_.reaches(x, y); }
+
+  bool comparable(VertexId x, VertexId y) const { return closure_.comparable(x, y); }
+
+  /// Least upper bound of {x, y}, or nullopt if it does not exist or is not
+  /// unique. O(n^2) per query — reference implementation only.
+  std::optional<VertexId> supremum(VertexId x, VertexId y) const;
+
+  /// Greatest lower bound of {x, y}, same caveats.
+  std::optional<VertexId> infimum(VertexId x, VertexId y) const;
+
+  /// Supremum of an arbitrary non-empty set (folds pairwise suprema).
+  std::optional<VertexId> supremum_of(const std::vector<VertexId>& xs) const;
+
+  const TransitiveClosure& closure() const { return closure_; }
+
+ private:
+  TransitiveClosure closure_;
+  std::size_t n_;
+};
+
+}  // namespace race2d

@@ -1,0 +1,235 @@
+#include "lattice/realizer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "graph/reachability.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+namespace {
+
+// Dense bit matrix with row operations (successor/predecessor sets).
+class BitMatrix {
+ public:
+  explicit BitMatrix(std::size_t n)
+      : n_(n), words_per_row_((n + 63) / 64), bits_(n * words_per_row_, 0) {}
+
+  void set(std::size_t r, std::size_t c) {
+    bits_[r * words_per_row_ + (c >> 6)] |= std::uint64_t{1} << (c & 63);
+  }
+  bool get(std::size_t r, std::size_t c) const {
+    return (bits_[r * words_per_row_ + (c >> 6)] >> (c & 63)) & 1u;
+  }
+  /// True iff row `a` of this matrix intersects row `b` of `other`.
+  bool row_intersects(std::size_t a, const BitMatrix& other,
+                      std::size_t b) const {
+    const std::uint64_t* ra = &bits_[a * words_per_row_];
+    const std::uint64_t* rb = &other.bits_[b * other.words_per_row_];
+    for (std::size_t i = 0; i < words_per_row_; ++i)
+      if (ra[i] & rb[i]) return true;
+    return false;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
+};
+
+// Orientation state of incomparability edges: 0 unset, 1 = low→high,
+// 2 = high→low (keyed by the unordered pair with a < b).
+class Orientation {
+ public:
+  explicit Orientation(std::size_t n) : n_(n), state_(n * n, 0) {}
+
+  std::uint8_t get(VertexId a, VertexId b) const {
+    return a < b ? state_[a * n_ + b]
+                 : flip(state_[static_cast<std::size_t>(b) * n_ + a]);
+  }
+  void set_directed(VertexId from, VertexId to) {
+    if (from < to)
+      state_[static_cast<std::size_t>(from) * n_ + to] = 1;
+    else
+      state_[static_cast<std::size_t>(to) * n_ + from] = 2;
+  }
+
+ private:
+  static std::uint8_t flip(std::uint8_t s) {
+    return s == 0 ? 0 : (s == 1 ? 2 : 1);
+  }
+  std::size_t n_;
+  std::vector<std::uint8_t> state_;
+};
+
+// Builds a linear order from a complete, transitive relation given as
+// "less(a, b)": position = number of strict predecessors. Returns nullopt
+// when the counts are not a permutation (relation not a linear order).
+template <typename Less>
+std::optional<std::vector<VertexId>> linearize(std::size_t n, Less&& less) {
+  std::vector<std::size_t> rank(n, 0);
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = 0; b < n; ++b)
+      if (a != b && less(a, b)) ++rank[b];
+  std::vector<VertexId> order(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (rank[v] >= n || order[rank[v]] != kInvalidVertex) return std::nullopt;
+    order[rank[v]] = v;
+  }
+  return order;
+}
+
+}  // namespace
+
+std::optional<Realizer> compute_realizer(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return std::nullopt;
+  TransitiveClosure closure(g);
+
+  // Incomparability adjacency.
+  auto incomparable = [&](VertexId a, VertexId b) {
+    return a != b && !closure.comparable(a, b);
+  };
+  std::vector<std::vector<VertexId>> inc_adj(n);
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = 0; b < n; ++b)
+      if (incomparable(a, b)) inc_adj[a].push_back(b);
+
+  // Golumbic-style G-decomposition: repeatedly seed an unoriented edge and
+  // close its implication class under forcing, restricted to unoriented
+  // edges. Edges xy and xz force each other (same x-side direction) iff yz
+  // is NOT an incomparability edge.
+  Orientation orient(n);
+  // Class epoch per unordered pair: forcing propagates only through edges
+  // that are unoriented in the REMAINING graph (Golumbic's G-decomposition);
+  // an edge oriented by an earlier class is skipped, while a same-class
+  // revisit must agree in direction or the graph is not a comparability
+  // graph.
+  std::vector<std::uint32_t> epoch(n * n, 0);
+  auto pair_epoch = [&](VertexId a, VertexId b) -> std::uint32_t& {
+    return a < b ? epoch[static_cast<std::size_t>(a) * n + b]
+                 : epoch[static_cast<std::size_t>(b) * n + a];
+  };
+  std::uint32_t current_class = 0;
+
+  struct Directed {
+    VertexId from, to;
+  };
+  for (VertexId seed_a = 0; seed_a < n; ++seed_a) {
+    for (VertexId seed_b : inc_adj[seed_a]) {
+      if (seed_a > seed_b || orient.get(seed_a, seed_b) != 0) continue;
+      ++current_class;
+      std::deque<Directed> queue{{seed_a, seed_b}};
+      orient.set_directed(seed_a, seed_b);
+      pair_epoch(seed_a, seed_b) = current_class;
+      while (!queue.empty()) {
+        const Directed d = queue.front();
+        queue.pop_front();
+        auto force = [&](VertexId from, VertexId to) -> bool {
+          const std::uint8_t s = orient.get(from, to);  // 1 ⇔ from→to
+          if (s == 0) {
+            orient.set_directed(from, to);
+            pair_epoch(from, to) = current_class;
+            queue.push_back({from, to});
+            return true;
+          }
+          if (pair_epoch(from, to) != current_class) return true;  // old class
+          return s == 1;  // same class: direction must agree
+        };
+        // Share the tail: xy forces xz when yz ∉ E_inc.
+        for (VertexId z : inc_adj[d.from]) {
+          if (z == d.to || incomparable(d.to, z)) continue;
+          if (!force(d.from, z)) return std::nullopt;
+        }
+        // Share the head: xy forces zy when xz ∉ E_inc.
+        for (VertexId z : inc_adj[d.to]) {
+          if (z == d.from || incomparable(d.from, z)) continue;
+          if (!force(z, d.to)) return std::nullopt;
+        }
+      }
+    }
+  }
+
+  // L1 orders by P ∪ F, L2 by P ∪ F⁻¹; both must be linear orders.
+  // orient.get(a, b) == 1 means the conjugate order F directs a before b.
+  auto less1 = [&](VertexId a, VertexId b) {
+    if (closure.reaches(a, b)) return true;
+    if (closure.reaches(b, a)) return false;
+    return orient.get(a, b) == 1;
+  };
+  auto less2 = [&](VertexId a, VertexId b) {
+    if (closure.reaches(a, b)) return true;
+    if (closure.reaches(b, a)) return false;
+    return orient.get(a, b) == 2;  // F reversed
+  };
+
+  Realizer r;
+  auto l1 = linearize(n, less1);
+  auto l2 = linearize(n, less2);
+  if (!l1 || !l2) return std::nullopt;
+  r.l1 = std::move(*l1);
+  r.l2 = std::move(*l2);
+
+  // Final certificate: the order must equal L1 ∩ L2.
+  if (!is_realizer(g, r)) return std::nullopt;
+  return r;
+}
+
+Digraph hasse_digraph(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  TransitiveClosure closure(g);
+
+  // succ/pred STRICT bit sets for the between-emptiness test.
+  BitMatrix strict_succ(n), strict_pred(n);
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = 0; b < n; ++b)
+      if (a != b && closure.reaches(a, b)) {
+        strict_succ.set(a, b);
+        strict_pred.set(b, a);
+      }
+
+  // Cover test: a ⋖ b iff a < b and nothing lies strictly between, i.e. the
+  // strict successors of a and strict predecessors of b do not intersect
+  // (note a ∉ succ(a) and b ∉ pred(b), so the endpoints cannot interfere).
+  Digraph hasse(n);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = 0; b < n; ++b) {
+      if (a == b || !closure.reaches(a, b)) continue;
+      if (!strict_succ.row_intersects(a, strict_pred, b)) hasse.add_arc(a, b);
+    }
+  }
+  return hasse;
+}
+
+Diagram diagram_from_realizer(const Digraph& g, const Realizer& r) {
+  const std::size_t n = g.vertex_count();
+  std::vector<long> p1(n), p2(n);
+  for (std::size_t i = 0; i < n; ++i) p1[r.l1[i]] = static_cast<long>(i);
+  for (std::size_t i = 0; i < n; ++i) p2[r.l2[i]] = static_cast<long>(i);
+
+  const Digraph hasse = hasse_digraph(g);
+  Diagram d(n);
+  // Insert each vertex's covers left-to-right: in the 45°-rotated dominance
+  // drawing the horizontal coordinate is p1 − p2.
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<VertexId> covers(hasse.out(v).begin(), hasse.out(v).end());
+    std::sort(covers.begin(), covers.end(), [&](VertexId a, VertexId b) {
+      return p1[a] - p2[a] < p1[b] - p2[b];
+    });
+    for (VertexId w : covers) d.add_arc(v, w);
+  }
+  return d;
+}
+
+Diagram canonical_diagram(const Digraph& g) {
+  auto realizer = compute_realizer(g);
+  R2D_REQUIRE(realizer.has_value(),
+              "canonical_diagram: order is not two-dimensional");
+  return diagram_from_realizer(g, *realizer);
+}
+
+}  // namespace race2d

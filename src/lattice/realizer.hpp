@@ -1,0 +1,47 @@
+// Remark 1: obtaining a planar diagram (hence a non-separating traversal)
+// from the input digraph ALONE — no drawing given.
+//
+// Pipeline:
+//  1. compute_realizer — decide whether the DAG's reachability order has
+//     Dushnik–Miller dimension ≤ 2, and if so produce a realizer {L1, L2}
+//     (two linear extensions whose intersection is the order). Method: the
+//     incomparability graph of a 2D order is a comparability graph; orient
+//     it transitively by Golumbic-style forcing-class propagation, then
+//     verify (acyclicity + transitivity + realizer identity), so the answer
+//     is certified regardless of theory subtleties.
+//  2. hasse_diagram / diagram_from_realizer — the cover relation drawn as a
+//     dominance drawing: vertex v sits at (pos_L1(v), pos_L2(v)); rotating
+//     45° gives a downward monotone drawing; for dimension-2 lattices it is
+//     planar (Baker–Fishburn–Roberts 1972), and out-fans sorted by
+//     pos_L1 − pos_L2 are in left-to-right order.
+//  3. canonical_diagram — 1 + 2 composed; throws if the order is not 2D.
+//
+// Complexity: O(n^2·deg) closure work and O(n·m_inc) forcing propagation —
+// a preprocessing step, not on the detection fast path.
+#pragma once
+
+#include <optional>
+
+#include "graph/digraph.hpp"
+#include "lattice/diagram.hpp"
+#include "lattice/dimension.hpp"
+
+namespace race2d {
+
+/// Computes a two-realizer of g's reachability order, or nullopt if the
+/// order has dimension > 2 (or the conjugate orientation fails any check).
+std::optional<Realizer> compute_realizer(const Digraph& g);
+
+/// The cover (Hasse) relation of g's reachability order, as a plain digraph
+/// with unspecified fan order.
+Digraph hasse_digraph(const Digraph& g);
+
+/// Builds the monotone planar diagram of g's order from a realizer: arcs are
+/// the covers, fans ordered left-to-right by the dominance drawing.
+Diagram diagram_from_realizer(const Digraph& g, const Realizer& r);
+
+/// One-call form of Remark 1. Throws ContractViolation when g's order is
+/// not two-dimensional.
+Diagram canonical_diagram(const Digraph& g);
+
+}  // namespace race2d

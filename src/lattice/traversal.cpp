@@ -1,0 +1,132 @@
+#include "lattice/traversal.hpp"
+
+#include <sstream>
+
+#include "graph/reachability.hpp"
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+Traversal non_separating_traversal(const Diagram& d) {
+  const Digraph& g = d.graph();
+  const auto sources = g.sources();
+  R2D_REQUIRE(sources.size() == 1, "diagram must have exactly one source");
+
+  const std::size_t n = g.vertex_count();
+  Traversal t;
+  t.reserve(n + g.arc_count());
+
+  std::vector<std::uint32_t> seen_in(n, 0);
+  std::vector<char> entered(n, 0);
+
+  struct Frame {
+    VertexId v;
+    std::size_t next_out;
+  };
+  std::vector<Frame> stack;
+
+  auto enter = [&](VertexId v) {
+    R2D_REQUIRE(!entered[v], "vertex entered twice; diagram is not a DAG");
+    entered[v] = 1;
+    t.push_back({EventKind::kLoop, v, v});
+    stack.push_back({v, 0});
+  };
+
+  enter(sources.front());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const VertexId v = frame.v;
+    const auto& fan = g.out(v);
+    if (frame.next_out == fan.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const std::size_t i = frame.next_out++;
+    const VertexId w = fan[i];
+    const bool last = (i + 1 == fan.size());
+    t.push_back({last ? EventKind::kLastArc : EventKind::kArc, v, w});
+    if (++seen_in[w] == g.in_degree(w)) enter(w);
+    R2D_REQUIRE(seen_in[w] <= g.in_degree(w), "arc multiplicity mismatch");
+  }
+
+  R2D_REQUIRE(t.size() == n + g.arc_count(),
+              "not every vertex reachable from the source");
+  return t;
+}
+
+std::vector<std::size_t> loop_positions(const Traversal& t, std::size_t vertex_count) {
+  std::vector<std::size_t> pos(vertex_count, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (t[i].kind == EventKind::kLoop) pos[t[i].src] = i;
+  return pos;
+}
+
+std::vector<VertexId> loop_order(const Traversal& t) {
+  std::vector<VertexId> order;
+  for (const auto& e : t)
+    if (e.kind == EventKind::kLoop) order.push_back(e.src);
+  return order;
+}
+
+bool is_non_separating_traversal(const Diagram& d, const Traversal& t) {
+  const Digraph& g = d.graph();
+  const std::size_t n = g.vertex_count();
+  if (t.size() != n + g.arc_count()) return false;
+
+  // Event positions.
+  std::vector<std::size_t> loop_pos(n, t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto& e = t[i];
+    if (e.kind == EventKind::kStopArc) return false;
+    if (e.kind == EventKind::kLoop) {
+      if (e.src != e.dst || e.src >= n) return false;
+      if (loop_pos[e.src] != t.size()) return false;  // duplicate loop
+      loop_pos[e.src] = i;
+    }
+  }
+  for (std::size_t p : loop_pos)
+    if (p == t.size()) return false;  // missing loop
+
+  // Loop order must be a linear extension of the DAG.
+  if (!is_topological(g, loop_order(t))) return false;
+
+  // Per-vertex fan positions; check each arc appears once, with the right
+  // kind, in left-to-right fan order, after its source's loop and before its
+  // target's loop.
+  std::vector<std::size_t> next_fan_index(n, 0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto& e = t[i];
+    if (e.kind == EventKind::kLoop) continue;
+    if (e.src >= n || e.dst >= n) return false;
+    const auto& fan = g.out(e.src);
+    const std::size_t fi = next_fan_index[e.src]++;
+    if (fi >= fan.size() || fan[fi] != e.dst) return false;  // wrong fan order
+    const bool should_be_last = (fi + 1 == fan.size());
+    if (should_be_last != (e.kind == EventKind::kLastArc)) return false;
+    if (i < loop_pos[e.src]) return false;  // out-arc before source's visit
+    if (i > loop_pos[e.dst]) return false;  // in-arc after target's visit
+  }
+  for (VertexId v = 0; v < n; ++v)
+    if (next_fan_index[v] != g.out(v).size()) return false;  // missing arcs
+  return true;
+}
+
+std::string to_string(const Traversal& t) {
+  std::ostringstream os;
+  for (const auto& e : t) {
+    switch (e.kind) {
+      case EventKind::kLoop:
+        os << '(' << e.src + 1 << ',' << e.src + 1 << ')';
+        break;
+      case EventKind::kStopArc:
+        os << '(' << e.src + 1 << ",x)";
+        break;
+      default:
+        os << '(' << e.src + 1 << ',' << e.dst + 1 << ')';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace race2d

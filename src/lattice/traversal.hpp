@@ -1,0 +1,59 @@
+// Non-separating traversals (Definition 1, Figures 3–4).
+//
+// A traversal is a permutation of E ∪ {(x,x) | x ∈ V}: ordinary arcs, loops
+// (vertex visits), and — after the delayed transformation of §4 — stop-arcs.
+// We build the canonical non-separating traversal of a diagram by the
+// depth-first, left-to-right, topological walk: visit the source's loop,
+// then out-arcs leftmost-first; an arc (x, y) whose visit completes y's
+// in-arc set descends into y immediately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/diagram.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+enum class EventKind : std::uint8_t {
+  kArc,      ///< an ordinary (non-last) arc (src, dst)
+  kLastArc,  ///< the rightmost arc exiting src (triggers Union in Walk)
+  kLoop,     ///< the vertex visit (dst == src)
+  kStopArc,  ///< delayed-traversal marker (src, ×); dst is unused
+};
+
+struct TraversalEvent {
+  EventKind kind;
+  VertexId src;
+  VertexId dst;  ///< == src for loops; kInvalidVertex for stop-arcs
+
+  bool operator==(const TraversalEvent&) const = default;
+};
+
+using Traversal = std::vector<TraversalEvent>;
+
+/// Builds the non-separating traversal of `d` starting from its unique
+/// source. Requires: d acyclic with exactly one source; every vertex
+/// reachable from it. Throws ContractViolation otherwise.
+Traversal non_separating_traversal(const Diagram& d);
+
+/// Position of each vertex's loop within `t` (the linear order <T restricted
+/// to loops, i.e. the traversal's linear extension of the lattice order).
+std::vector<std::size_t> loop_positions(const Traversal& t, std::size_t vertex_count);
+
+/// The vertex visit order (loops only) of `t`.
+std::vector<VertexId> loop_order(const Traversal& t);
+
+/// Checks Definition 1 structurally: every arc and every loop appears exactly
+/// once, the order is topological ((a,x) before (y,b) whenever x ⊑ y ... in
+/// particular in-arcs ≤ loop ≤ out-arcs per vertex), and arcs of each vertex
+/// leave in left-to-right fan order. Stop-arcs are not allowed here.
+bool is_non_separating_traversal(const Diagram& d, const Traversal& t);
+
+/// Human-readable rendering, e.g. "(1,1)(1,2)(2,2)…" with 1-based ids to
+/// match the paper's figures; stop-arcs print as "(s,x)".
+std::string to_string(const Traversal& t);
+
+}  // namespace race2d

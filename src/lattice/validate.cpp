@@ -1,0 +1,48 @@
+#include "lattice/validate.hpp"
+
+#include <sstream>
+
+#include "graph/topo.hpp"
+#include "lattice/poset.hpp"
+#include "lattice/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+LatticeCheck check_lattice(const Digraph& g) {
+  if (g.vertex_count() == 0) return {false, "empty graph"};
+  if (!is_acyclic(g)) return {false, "graph has a cycle"};
+  if (g.sources().size() != 1) return {false, "not exactly one source"};
+  if (g.sinks().size() != 1) return {false, "not exactly one sink"};
+
+  Poset p(g);
+  const VertexId n = static_cast<VertexId>(g.vertex_count());
+  for (VertexId x = 0; x < n; ++x) {
+    for (VertexId y = static_cast<VertexId>(x + 1); y < n; ++y) {
+      if (!p.supremum(x, y)) {
+        std::ostringstream os;
+        os << "pair (" << x << "," << y << ") has no supremum";
+        return {false, os.str()};
+      }
+      if (!p.infimum(x, y)) {
+        std::ostringstream os;
+        os << "pair (" << x << "," << y << ") has no infimum";
+        return {false, os.str()};
+      }
+    }
+  }
+  return {true, ""};
+}
+
+LatticeCheck check_diagram(const Diagram& d) {
+  try {
+    const Traversal t = non_separating_traversal(d);
+    if (!is_non_separating_traversal(d, t))
+      return {false, "canonical walk is not a non-separating traversal"};
+  } catch (const ContractViolation& e) {
+    return {false, e.what()};
+  }
+  return {true, ""};
+}
+
+}  // namespace race2d

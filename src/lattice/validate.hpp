@@ -1,0 +1,30 @@
+// Structural validation: is a DAG a (2D) lattice, is a Diagram well-formed.
+// Reference-quality O(n^2)–O(n^3) checks used by tests and generators, not
+// by the online detector (which never needs them — Theorem 6 guarantees the
+// structure by construction for structured fork-join programs).
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "lattice/diagram.hpp"
+
+namespace race2d {
+
+struct LatticeCheck {
+  bool ok = false;
+  std::string reason;  ///< empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Acyclic, exactly one source and one sink, and every pair of vertices has
+/// both a supremum and an infimum.
+LatticeCheck check_lattice(const Digraph& g);
+
+/// The diagram admits the canonical depth-first left-to-right topological
+/// walk from a unique source that covers every vertex and arc (a necessary
+/// well-formedness condition for all algorithms in src/core).
+LatticeCheck check_diagram(const Diagram& d);
+
+}  // namespace race2d

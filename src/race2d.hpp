@@ -1,0 +1,64 @@
+// race2d — Race Detection in Two Dimensions (Dimitrov, Vechev, Sarkar,
+// SPAA 2015), reproduced as a library.
+//
+// Umbrella header: pulls in the whole public API.
+//
+//   Quick start:
+//     #include "race2d.hpp"
+//     auto result = race2d::run_with_detection([](race2d::TaskContext& ctx) {
+//       int shared = 0;
+//       auto child = ctx.fork([&](race2d::TaskContext& c) { c.store(shared, 1); });
+//       ctx.store(shared, 2);   // concurrent with the child's write: a race
+//       ctx.join(child);
+//     });
+//     // result.races holds one write-write report.
+#pragma once
+
+#include "core/access_history.hpp"    // Θ(1)-per-location shadow memory
+#include "core/addressing.hpp"        // granularity policies (front-end)
+#include "core/analysis.hpp"          // race-report aggregation
+#include "core/delayed_walk.hpp"      // Figure 8: relaxed online suprema
+#include "core/detector.hpp"          // Figure 6: the race detectors
+#include "core/report.hpp"            // race reports & policies
+#include "core/streaming_detector.hpp" // language-independent online form
+#include "core/suprema_walk.hpp"      // Figure 5: suprema in 2D lattices
+#include "graph/digraph.hpp"          // DAG substrate
+#include "graph/lca.hpp"              // Tarjan offline LCA (Remark 2)
+#include "graph/reachability.hpp"     // transitive closure / oracles
+#include "graph/topo.hpp"             // topological orders
+#include "lattice/delayed.hpp"        // Definition 3 + thread collapse (eq. 8)
+#include "lattice/diagram.hpp"        // monotone planar diagrams
+#include "lattice/dimension.hpp"      // Dushnik–Miller realizers (Remark 3)
+#include "lattice/dot.hpp"            // Graphviz export
+#include "lattice/generate.hpp"       // grids, SP, random fork-join lattices
+#include "lattice/poset.hpp"          // brute-force suprema (ground truth)
+#include "lattice/realizer.hpp"       // Remark 1: diagram from bare digraph
+#include "lattice/traversal.hpp"      // Definition 1 traversals
+#include "lattice/validate.hpp"       // lattice/diagram checks
+#include "baselines/fasttrack.hpp"    // FastTrack-style baseline [13]
+#include "baselines/naive.hpp"        // §2.3 naive detector
+#include "baselines/oracle.hpp"       // happens-before ground truth
+#include "baselines/espbags.hpp"      // ESP-bags baseline [18]
+#include "baselines/spbags.hpp"       // SP-bags baseline [12]
+#include "baselines/vector_clock.hpp" // DJIT+-style vector clocks
+#include "runtime/async_finish.hpp"   // X10-style sugar (§2.1)
+#include "runtime/future.hpp"         // futures over restricted fork-join
+#include "runtime/monitored.hpp"      // RAII-instrumented shared variables
+#include "runtime/instrumented.hpp"   // executor + detector glue
+#include "runtime/line.hpp"           // Figure 9 line discipline
+#include "runtime/listener.hpp"       // instrumentation hooks
+#include "runtime/parallel_executor.hpp"
+#include "runtime/pipeline.hpp"       // linear pipelines (§5)
+#include "runtime/program.hpp"        // TaskContext / TaskBody
+#include "runtime/serial_executor.hpp"
+#include "runtime/shared_array.hpp"   // instrumented array (block shadow)
+#include "runtime/spawn_sync.hpp"     // Cilk-style sugar (§2.1, eq. 11)
+#include "runtime/trace.hpp"          // traces & task graphs (Theorem 6)
+#include "runtime/trace_io.hpp"       // text (de)serialization of traces
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+#include "unionfind/labeled_union_find.hpp"
+#include "unionfind/union_find.hpp"
+#include "workloads/generators.hpp"   // random structured programs
+#include "workloads/kernels.hpp"      // fib / LCS wavefront / staged pipeline

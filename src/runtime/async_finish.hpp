@@ -1,0 +1,87 @@
+// X10/Habanero-style async/finish over the restricted fork-join (§2.1).
+//
+// Two flavors:
+//
+// * FinishScope — the common case: `finish { async A(); B(); }` joins the
+//   scope's DIRECT asyncs at scope exit (newest first). Tasks must join
+//   their own children before returning; works under both executors. As in
+//   Figure 1, the produced task graphs are series-parallel.
+//
+// * TransitiveFinishScope — full X10 semantics: the finish also awaits
+//   asyncs that ESCAPE the tasks that spawned them (a child may return with
+//   unjoined children; the enclosing finish drains them). The drain is
+//   computed from the live-task count of the Figure 9 line, so this flavor
+//   is exact under the SerialExecutor (detection mode) only. Escaping
+//   asyncs are what distinguish ESP-bags [18] from SP-bags [12]; see
+//   baselines/espbags.*.
+//
+// Both emit finish begin/end markers consumed by the ESP-bags baseline.
+#pragma once
+
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace race2d {
+
+class FinishScope {
+ public:
+  explicit FinishScope(TaskContext& ctx) : ctx_(ctx) {
+    ctx_.finish_begin_marker();
+  }
+
+  FinishScope(const FinishScope&) = delete;
+  FinishScope& operator=(const FinishScope&) = delete;
+
+  /// X10 `async { body }`.
+  TaskHandle async(TaskBody body) {
+    const TaskHandle h = ctx_.fork(std::move(body));
+    pending_.push_back(h);
+    return h;
+  }
+
+  std::size_t outstanding() const { return pending_.size(); }
+
+  /// End of the finish block: join every direct async, newest first.
+  ~FinishScope() {
+    while (!pending_.empty()) {
+      ctx_.join(pending_.back());
+      pending_.pop_back();
+    }
+    ctx_.sync_marker();
+    ctx_.finish_end_marker();
+  }
+
+ private:
+  TaskContext& ctx_;
+  std::vector<TaskHandle> pending_;
+};
+
+class TransitiveFinishScope {
+ public:
+  explicit TransitiveFinishScope(TaskContext& ctx)
+      : ctx_(ctx), base_live_(ctx.live_tasks()) {
+    ctx_.finish_begin_marker();
+  }
+
+  TransitiveFinishScope(const TransitiveFinishScope&) = delete;
+  TransitiveFinishScope& operator=(const TransitiveFinishScope&) = delete;
+
+  /// X10 `async { body }`; the body may itself fork tasks it never joins —
+  /// they become this finish's responsibility.
+  TaskHandle async(TaskBody body) { return ctx_.fork(std::move(body)); }
+
+  /// End of finish: drain every task created inside the scope, direct or
+  /// escaped. They all sit to this task's left in the line (serial mode).
+  ~TransitiveFinishScope() {
+    while (ctx_.live_tasks() > base_live_ && ctx_.join_left()) {
+    }
+    ctx_.finish_end_marker();
+  }
+
+ private:
+  TaskContext& ctx_;
+  std::size_t base_live_;
+};
+
+}  // namespace race2d

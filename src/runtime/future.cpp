@@ -1,0 +1,4 @@
+#include "runtime/future.hpp"
+
+// Header-only; this TU anchors the module in the library.
+namespace race2d {}

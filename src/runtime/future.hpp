@@ -1,0 +1,99 @@
+// Futures over the restricted fork-join (§2.2: "with them we can naturally
+// capture variety of other constructs such as futures").
+//
+// `spawn_future(ctx, fn)` forks a task computing fn's result; `get(ctx)`
+// joins it and returns the value. The line discipline applies unchanged: the
+// producing task must be the getter's immediate left neighbor at get() time,
+// which is precisely the restriction that keeps the task graph a 2D lattice.
+// Notably the getter need NOT be the spawner — a sibling forked later can
+// legally consume the future (the Figure 2 pattern with a payload).
+//
+// The future's storage is a shared heap cell with a logical monitored
+// location, so the detector sees the producer's write and every consumer's
+// read: touching `peek()` without get() (i.e. without the join) is reported
+// as a race, which is exactly the bug it would be.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "runtime/program.hpp"
+#include "support/assert.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+namespace detail {
+/// Logical location allocator for future cells (own range, collision-free
+/// with user pools by construction).
+inline Loc next_future_loc() {
+  static std::atomic<Loc> counter{Loc{0x46} << 32};  // 'F'
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return cell_ != nullptr; }
+  TaskHandle handle() const { return handle_; }
+
+  /// Joins the producing task (it must be this task's left neighbor) and
+  /// returns the value. May be called by any task positioned to join, once.
+  T get(TaskContext& ctx) {
+    R2D_REQUIRE(valid(), "get() on an empty Future");
+    ctx.join(handle_);
+    ctx.read(cell_->loc);
+    return std::move(cell_->value);
+  }
+
+  /// Reads the value WITHOUT joining. If the producer has not been joined
+  /// (directly or transitively), the detector reports this read as a race —
+  /// use in tests and demos of unsynchronized-future bugs.
+  const T& peek(TaskContext& ctx) const {
+    R2D_REQUIRE(valid(), "peek() on an empty Future");
+    ctx.read(cell_->loc);
+    return cell_->value;
+  }
+
+  /// The future's monitored location (for assertions in tests).
+  Loc loc() const {
+    R2D_REQUIRE(valid(), "loc() on an empty Future");
+    return cell_->loc;
+  }
+
+ private:
+  template <typename U>
+  friend Future<U> spawn_future(TaskContext&, std::function<U(TaskContext&)>);
+
+  struct Cell {
+    T value{};
+    Loc loc = 0;
+  };
+
+  std::shared_ptr<Cell> cell_;
+  TaskHandle handle_;
+};
+
+/// Forks a producer task evaluating `fn`; the result becomes available to
+/// whoever legally joins the producer.
+template <typename T>
+Future<T> spawn_future(TaskContext& ctx, std::function<T(TaskContext&)> fn) {
+  Future<T> future;
+  future.cell_ = std::make_shared<typename Future<T>::Cell>();
+  future.cell_->loc = detail::next_future_loc();
+  auto cell = future.cell_;
+  future.handle_ = ctx.fork([cell, fn = std::move(fn)](TaskContext& producer) {
+    T result = fn(producer);
+    producer.write(cell->loc);
+    cell->value = std::move(result);
+  });
+  return future;
+}
+
+}  // namespace race2d

@@ -1,0 +1,22 @@
+#include "runtime/instrumented.hpp"
+
+#include <utility>
+
+namespace race2d {
+
+DetectionResult run_with_detection(TaskBody program, ReportPolicy policy,
+                                   SerialExecutorOptions options) {
+  DetectorListener listener(policy);
+  SerialExecutor executor(&listener, options);
+  const std::size_t tasks = executor.run(std::move(program));
+
+  DetectionResult result;
+  result.races = listener.detector().reporter().all();
+  result.task_count = tasks;
+  result.access_count = listener.detector().access_count();
+  result.tracked_locations = listener.detector().tracked_locations();
+  result.footprint = listener.detector().footprint();
+  return result;
+}
+
+}  // namespace race2d

@@ -1,0 +1,84 @@
+#include "runtime/line.hpp"
+
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+void TaskLine::check_known(TaskId t, const char* who) const {
+  R2D_REQUIRE(t < records_.size(), std::string("unknown task in ") + who);
+  R2D_REQUIRE(!records_[t].removed,
+              std::string("task already joined away, in ") + who);
+}
+
+TaskId TaskLine::init_root() {
+  R2D_REQUIRE(records_.empty(), "TaskLine already initialized");
+  records_.push_back(Record{});
+  leftmost_ = 0;
+  live_count_ = 1;
+  return 0;
+}
+
+TaskId TaskLine::fork(TaskId parent) {
+  check_known(parent, "fork");
+  R2D_REQUIRE(!records_[parent].halted, "halted task cannot fork");
+  const TaskId child = static_cast<TaskId>(records_.size());
+  Record rec;
+  rec.left = records_[parent].left;
+  rec.right = parent;
+  records_.push_back(rec);
+  if (rec.left != kInvalidTask)
+    records_[rec.left].right = child;
+  else
+    leftmost_ = child;
+  records_[parent].left = child;
+  ++live_count_;
+  return child;
+}
+
+void TaskLine::halt(TaskId t) {
+  check_known(t, "halt");
+  R2D_REQUIRE(!records_[t].halted, "task halted twice");
+  records_[t].halted = true;
+}
+
+void TaskLine::join(TaskId joiner, TaskId joined) {
+  check_known(joiner, "join");
+  check_known(joined, "join");
+  R2D_REQUIRE(!records_[joiner].halted, "halted task cannot join");
+  R2D_REQUIRE(records_[joiner].left == joined,
+              "line discipline violation: join target is not the immediate "
+              "left neighbor (Figure 9 allows only that)");
+  R2D_REQUIRE(records_[joined].halted,
+              "join target has not halted (serial fork-first execution "
+              "guarantees this; a violation indicates executor misuse)");
+
+  Record& gone = records_[joined];
+  records_[joiner].left = gone.left;
+  if (gone.left != kInvalidTask)
+    records_[gone.left].right = joiner;
+  else
+    leftmost_ = joiner;
+  gone.removed = true;
+  --live_count_;
+}
+
+TaskId TaskLine::left_of(TaskId t) const {
+  check_known(t, "left_of");
+  return records_[t].left;
+}
+
+bool TaskLine::halted(TaskId t) const {
+  check_known(t, "halted");
+  return records_[t].halted;
+}
+
+std::vector<TaskId> TaskLine::snapshot() const {
+  std::vector<TaskId> line;
+  for (TaskId t = leftmost_; t != kInvalidTask; t = records_[t].right)
+    if (!records_[t].removed) line.push_back(t);
+  return line;
+}
+
+}  // namespace race2d

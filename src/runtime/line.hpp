@@ -1,0 +1,57 @@
+// The task line of Figure 9: all live tasks ordered L · x · R, a forked
+// child placed immediately left of its parent, joins allowed only on the
+// immediate left neighbor. TaskLine is the bookkeeping + validation engine
+// behind the serial executor; every discipline violation becomes a
+// ContractViolation naming the offending tasks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"  // ContractViolation, thrown on violations
+#include "support/ids.hpp"
+
+namespace race2d {
+
+class TaskLine {
+ public:
+  /// Creates the initial line {root | program}; returns the root's id (0).
+  TaskId init_root();
+
+  /// Inserts a fresh child immediately left of `parent`; returns its id.
+  TaskId fork(TaskId parent);
+
+  /// Marks `t` halted (it stays in the line until joined).
+  void halt(TaskId t);
+
+  /// Validates and applies "joiner joins joined": `joined` must be the
+  /// immediate left neighbor of `joiner` and must have halted. Removes
+  /// `joined` from the line.
+  void join(TaskId joiner, TaskId joined);
+
+  /// The immediate left neighbor of `t`, or kInvalidTask.
+  TaskId left_of(TaskId t) const;
+
+  bool halted(TaskId t) const;
+  std::size_t task_count() const { return records_.size(); }
+  std::size_t live_count() const { return live_count_; }
+
+  /// The full line left-to-right, for diagnostics and tests.
+  std::vector<TaskId> snapshot() const;
+
+ private:
+  struct Record {
+    TaskId left = kInvalidTask;
+    TaskId right = kInvalidTask;
+    bool halted = false;
+    bool removed = false;  ///< joined away
+  };
+
+  void check_known(TaskId t, const char* who) const;
+
+  std::vector<Record> records_;
+  TaskId leftmost_ = kInvalidTask;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace race2d

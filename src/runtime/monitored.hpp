@@ -1,0 +1,75 @@
+// Monitored<T>: an RAII-instrumented shared variable.
+//
+// Wraps a value with a fresh LOGICAL monitored location (never a recycled
+// stack address) and routes every access through the detector; the location
+// is retired automatically when the variable dies, so storage reuse can
+// never produce spurious reports. The idiomatic way to share data between
+// tasks in detector-visible programs:
+//
+//   Monitored<int> acc(ctx, 0);
+//   ctx.fork([&](TaskContext& c) { acc.store(c, acc.load(c) + 1); });
+//   ctx.join_left();
+//   int v = acc.load(ctx);
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "runtime/program.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+namespace detail {
+/// Logical location allocator for Monitored<T> cells (own id range).
+inline Loc next_monitored_loc() {
+  static std::atomic<Loc> counter{Loc{0x4D} << 32};  // 'M'
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+template <typename T>
+class Monitored {
+ public:
+  /// Constructs in `owner`'s context; construction counts as a write. The
+  /// destructor retires the location, so the variable must outlive every
+  /// task that touches it (joining them before scope exit guarantees that —
+  /// and the retire check reports a lifetime bug if it is violated).
+  explicit Monitored(TaskContext& owner, T initial = T{})
+      : owner_(owner), loc_(detail::next_monitored_loc()),
+        value_(std::move(initial)) {
+    owner_.write(loc_);
+  }
+
+  Monitored(const Monitored&) = delete;
+  Monitored& operator=(const Monitored&) = delete;
+
+  ~Monitored() { owner_.retire(loc_); }
+
+  T load(TaskContext& ctx) const {
+    ctx.read(loc_);
+    return value_;
+  }
+
+  void store(TaskContext& ctx, T v) {
+    ctx.write(loc_);
+    value_ = std::move(v);
+  }
+
+  /// Read-modify-write convenience (counts as read + write).
+  template <typename Fn>
+  void update(TaskContext& ctx, Fn&& fn) {
+    ctx.read(loc_);
+    ctx.write(loc_);
+    value_ = fn(std::move(value_));
+  }
+
+  Loc loc() const { return loc_; }
+
+ private:
+  TaskContext& owner_;
+  Loc loc_;
+  T value_;
+};
+
+}  // namespace race2d

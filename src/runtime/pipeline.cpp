@@ -1,0 +1,78 @@
+#include "runtime/pipeline.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+namespace {
+
+struct PipelineState {
+  const std::vector<StageFn>& stages;
+  const std::vector<bool>& stage_serial;
+  /// prev_of_stage[i]: the task running stage i of the most recently
+  /// dispatched item (the join target for the next item's stage-i cell when
+  /// stage i is serial).
+  std::vector<TaskHandle> prev_of_stage;
+};
+
+// Builds the body of cell(i, j). `prev` is captured by value at fork time:
+// for a serial stage it is the previous item's stage-i cell, this cell's
+// left neighbor when the join executes. Parallel stages pass an invalid
+// handle and skip the join, leaving their instances mutually unordered.
+TaskBody make_cell(PipelineState& state, std::size_t stage, std::size_t item,
+                   TaskHandle prev) {
+  return [&state, stage, item, prev](TaskContext& ctx) {
+    if (prev.valid()) ctx.join(prev);
+    state.stages[stage](ctx, item);
+    if (stage + 1 < state.stages.size()) {
+      const bool down_serial = state.stage_serial[stage + 1];
+      const TaskHandle down_prev =
+          down_serial ? state.prev_of_stage[stage + 1] : TaskHandle{};
+      const TaskHandle h =
+          ctx.fork(make_cell(state, stage + 1, item, down_prev));
+      state.prev_of_stage[stage + 1] = h;
+    }
+  };
+}
+
+}  // namespace
+
+void run_pipeline(TaskContext& ctx, const std::vector<StageFn>& stages,
+                  std::size_t item_count) {
+  run_pipeline(ctx, stages, item_count,
+               std::vector<bool>(stages.size(), true));
+}
+
+void run_pipeline(TaskContext& ctx, const std::vector<StageFn>& stages,
+                  std::size_t item_count,
+                  const std::vector<bool>& stage_serial) {
+  R2D_REQUIRE(!stages.empty(), "pipeline needs at least one stage");
+  R2D_REQUIRE(stage_serial.size() == stages.size(),
+              "one ordering flag per stage required");
+  for (std::size_t i = 1; i + 1 < stage_serial.size(); ++i) {
+    R2D_REQUIRE(stage_serial[i] || !stage_serial[i + 1],
+                "a serial stage may not follow a parallel stage (the serial "
+                "chain's join target would not be a left neighbor)");
+  }
+  const std::size_t m = stages.size();
+  if (item_count == 0) return;
+
+  if (m == 1) {
+    for (std::size_t j = 0; j < item_count; ++j) stages[0](ctx, j);
+    return;
+  }
+
+  PipelineState state{stages, stage_serial, std::vector<TaskHandle>(m)};
+  for (std::size_t j = 0; j < item_count; ++j) {
+    stages[0](ctx, j);
+    const TaskHandle head_prev =
+        stage_serial[1] ? state.prev_of_stage[1] : TaskHandle{};
+    const TaskHandle h = ctx.fork(make_cell(state, 1, j, head_prev));
+    state.prev_of_stage[1] = h;
+  }
+  // Drain every remaining cell: all unjoined cells sit to the host's left.
+  while (ctx.join_left()) {
+  }
+}
+
+}  // namespace race2d

@@ -1,0 +1,54 @@
+// Linear pipeline parallelism over the restricted fork-join (§5,
+// "Handling pipeline parallelism"; cf. Lee et al., SPAA 2013).
+//
+// A pipeline feeds items x_0 … x_{n-1} through stages S_0 … S_{m-1} with
+// dependences S_{i-1}(x_j) → S_i(x_j) and S_i(x_{j-1}) → S_i(x_j): the task
+// graph is the m×n grid, a two-dimensional lattice. The encoding into
+// Figure 9's rules makes every stage instance (i ≥ 1) its own task:
+//
+//   host (= the calling task) runs S_0 of every item in order and forks the
+//   chain head cell(1, j) after S_0(x_j);
+//   cell(i, j): join cell(i, j-1) if j > 0 — the left neighbor at that
+//   moment — run S_i(x_j), fork cell(i+1, j) if any, halt;
+//   host finally joins the last item's cells (1..m-1), its remaining left
+//   neighbors.
+//
+// Handles of previous-item cells flow through `prev_of_stage`; each slot is
+// written by cell(i-1, j)'s fork and read by cell(i-1, j+1) strictly after
+// it joined cell(i-1, j), so the accesses are ordered by the join dependence
+// and the scheme is safe under the parallel executor too.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace race2d {
+
+/// A pipeline stage: invoked once per item, with the item index.
+using StageFn = std::function<void(TaskContext&, std::size_t item)>;
+
+/// Runs the linear pipeline on the calling task. Stage 0 executes on the
+/// caller; stages 1..m-1 of each item execute in their own tasks, overlapped
+/// across items exactly as far as the grid dependences allow.
+void run_pipeline(TaskContext& ctx, const std::vector<StageFn>& stages,
+                  std::size_t item_count);
+
+/// As above, with per-stage ordering flags à la Lee et al.'s S/P stage
+/// annotations: stage_serial[i] == true keeps the S_i(x_{j-1}) → S_i(x_j)
+/// dependence (the default); false makes stage i a PARALLEL stage whose
+/// instances across items are unordered (they still follow their own item's
+/// previous stage). Stage 0 runs on the host and is inherently serial.
+/// stage_serial.size() must equal stages.size().
+///
+/// Restriction: a SERIAL stage may not follow a PARALLEL one (throws
+/// ContractViolation). With left-neighbor joins, the serial chain's handoff
+/// would have to reach across the unjoined parallel-stage cells sitting
+/// between consecutive items — precisely the "serial after parallel" case
+/// Lee et al. single out as requiring extra runtime machinery.
+void run_pipeline(TaskContext& ctx, const std::vector<StageFn>& stages,
+                  std::size_t item_count, const std::vector<bool>& stage_serial);
+
+}  // namespace race2d

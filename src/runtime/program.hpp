@@ -1,0 +1,98 @@
+// The programming model: structured fork-join tasks (§5, Figure 9).
+//
+// User code is a TaskBody — a callable receiving a TaskContext. The context
+// exposes the two restricted constructs (`fork` places the child immediately
+// to the current task's left in the line; `join` may target only the current
+// left neighbor) plus instrumented memory accesses. The same program runs
+// under the SerialExecutor (fork-first, detection-capable — the execution
+// order the online algorithm requires) and the ParallelExecutor (real
+// multithreading, no detection; detection is serial by design, §2.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/assert.hpp"  // ContractViolation, thrown on misuse
+#include "support/ids.hpp"
+
+namespace race2d {
+
+struct TaskHandle {
+  TaskId id = kInvalidTask;
+  bool valid() const { return id != kInvalidTask; }
+  bool operator==(const TaskHandle&) const = default;
+};
+
+class TaskContext;
+using TaskBody = std::function<void(TaskContext&)>;
+
+/// Maps a program variable's address to an abstract monitored location.
+inline Loc loc_of(const void* p) {
+  return static_cast<Loc>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+
+  /// Forks a child executing `body`; the child becomes this task's left
+  /// neighbor. Under the serial executor the child runs to completion before
+  /// fork() returns (fork-first order).
+  virtual TaskHandle fork(TaskBody body) = 0;
+
+  /// Joins `h`, which must be this task's current left neighbor (the
+  /// restriction that makes task graphs 2D lattices — Theorem 6); throws
+  /// ContractViolation otherwise. Blocks until `h` halts (parallel executor).
+  virtual void join(TaskHandle h) = 0;
+
+  /// Joins the current left neighbor, whoever it is. Returns false when this
+  /// task has no left neighbor.
+  virtual bool join_left() = 0;
+
+  /// True iff this task currently has a left neighbor.
+  virtual bool has_left() const = 0;
+
+  /// Instrumented memory accesses on abstract locations.
+  virtual void read(Loc loc) = 0;
+  virtual void write(Loc loc) = 0;
+
+  /// Retires a location's shadow state at end of lifetime (scope exit /
+  /// free). Use whenever storage will be recycled — the serial executor runs
+  /// all tasks on one stack, so dead locals' addresses get reused across
+  /// concurrent tasks and would otherwise report spurious races.
+  virtual void retire(Loc loc) = 0;
+
+  /// Annotation hook for series-parallel sugar: marks a Cilk-style sync
+  /// point (consumed by the SP-bags baseline; no structural effect).
+  virtual void sync_marker() = 0;
+
+  /// Annotation hooks for X10 finish scopes (consumed by the ESP-bags
+  /// baseline; no structural effect — joins still happen via join/join_left).
+  virtual void finish_begin_marker() = 0;
+  virtual void finish_end_marker() = 0;
+
+  /// Number of live (unjoined) tasks, this task included. Under the serial
+  /// executor this is the exact length of the Figure 9 line; the transitive
+  /// finish scope uses its delta to drain escaped asyncs.
+  virtual std::size_t live_tasks() const = 0;
+
+  virtual TaskId id() const = 0;
+
+  // -- typed convenience wrappers ------------------------------------------
+
+  /// Reads a program variable through the detector, then returns its value.
+  template <typename T>
+  T load(const T& var) {
+    read(loc_of(&var));
+    return var;
+  }
+
+  /// Writes a program variable through the detector.
+  template <typename T, typename U>
+  void store(T& var, U&& value) {
+    write(loc_of(&var));
+    var = static_cast<T>(std::forward<U>(value));
+  }
+};
+
+}  // namespace race2d

@@ -1,0 +1,42 @@
+// Serial fork-first execution (§5, "Obtaining delayed traversals").
+//
+// Executing a structured fork-join program serially, descending into each
+// forked child immediately, traverses the task graph in exactly the delayed
+// non-separating order the online detector needs. The executor maintains the
+// TaskLine, validates the discipline, and emits the event stream to an
+// ExecutionListener. It is strictly single-threaded; the price of Θ(1) space
+// detection is serial execution (paper, §2.3).
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/line.hpp"
+#include "runtime/listener.hpp"
+#include "runtime/program.hpp"
+
+namespace race2d {
+
+struct SerialExecutorOptions {
+  /// Fork-nesting limit; fork-first execution recurses one C++ frame per
+  /// nesting level, so deep chains of nested forks need a guard.
+  std::size_t max_fork_depth = 4096;
+};
+
+class SerialExecutor {
+ public:
+  explicit SerialExecutor(ExecutionListener* listener = nullptr,
+                          SerialExecutorOptions options = {})
+      : listener_(listener), options_(options) {}
+
+  /// Runs `root_body` as the root task to completion. Returns the number of
+  /// tasks executed. Throws ContractViolation on discipline violations.
+  std::size_t run(TaskBody root_body);
+
+ private:
+  friend class SerialContext;
+
+  ExecutionListener* listener_;
+  SerialExecutorOptions options_;
+};
+
+}  // namespace race2d

@@ -1,0 +1,102 @@
+// SharedArray<T>: an instrumented array for detector-visible programs.
+//
+// Elements live in normal memory; monitoring happens on a fresh LOGICAL
+// location range (never recycled addresses) at a configurable block
+// granularity — one location per `block` consecutive elements, the array
+// analogue of AddressMapper's cache-line policy. Range operations
+// instrument exactly the touched blocks, so a mergesort touching n elements
+// costs n/block shadow operations, not n.
+//
+// Lifetime: the destructor retires every block, so the array must outlive
+// all tasks that touch it (join them first; the retire check reports a
+// lifetime bug otherwise).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "runtime/program.hpp"
+#include "support/assert.hpp"
+#include "support/ids.hpp"
+
+namespace race2d {
+
+namespace detail {
+/// Logical location allocator for SharedArray blocks (own id range).
+inline Loc allocate_array_range(std::size_t blocks) {
+  static std::atomic<Loc> counter{Loc{0x41} << 40};  // 'A'
+  return counter.fetch_add(blocks, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+template <typename T>
+class SharedArray {
+ public:
+  /// Constructs in `owner`'s context; counts as a write of every block.
+  SharedArray(TaskContext& owner, std::size_t size, T init = T{},
+              std::size_t block = 16)
+      : owner_(owner),
+        data_(size, std::move(init)),
+        block_(block == 0 ? 1 : block),
+        base_(detail::allocate_array_range(block_count())) {
+    for (std::size_t b = 0; b < block_count(); ++b) owner_.write(base_ + b);
+  }
+
+  SharedArray(const SharedArray&) = delete;
+  SharedArray& operator=(const SharedArray&) = delete;
+
+  ~SharedArray() {
+    for (std::size_t b = 0; b < block_count(); ++b) owner_.retire(base_ + b);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t block_count() const { return (data_.size() + block_ - 1) / block_; }
+
+  T get(TaskContext& ctx, std::size_t i) const {
+    R2D_REQUIRE(i < data_.size(), "SharedArray index out of range");
+    ctx.read(base_ + i / block_);
+    return data_[i];
+  }
+
+  void set(TaskContext& ctx, std::size_t i, T v) {
+    R2D_REQUIRE(i < data_.size(), "SharedArray index out of range");
+    ctx.write(base_ + i / block_);
+    data_[i] = std::move(v);
+  }
+
+  /// Declares a read of the half-open element range [lo, hi) — one shadow
+  /// read per touched block. Use around bulk uninstrumented access via
+  /// raw().
+  void read_range(TaskContext& ctx, std::size_t lo, std::size_t hi) {
+    for_blocks(lo, hi, [&](Loc l) { ctx.read(l); });
+  }
+
+  /// Declares a write of [lo, hi).
+  void write_range(TaskContext& ctx, std::size_t lo, std::size_t hi) {
+    for_blocks(lo, hi, [&](Loc l) { ctx.write(l); });
+  }
+
+  /// Raw storage for bulk work bracketed by read_range/write_range.
+  T* raw() { return data_.data(); }
+  const T* raw() const { return data_.data(); }
+
+  Loc block_loc(std::size_t i) const { return base_ + i / block_; }
+
+ private:
+  template <typename Fn>
+  void for_blocks(std::size_t lo, std::size_t hi, Fn&& fn) {
+    R2D_REQUIRE(lo <= hi && hi <= data_.size(), "bad SharedArray range");
+    if (lo == hi) return;
+    const std::size_t first = lo / block_;
+    const std::size_t last = (hi - 1) / block_;
+    for (std::size_t b = first; b <= last; ++b) fn(base_ + b);
+  }
+
+  TaskContext& owner_;
+  std::vector<T> data_;
+  std::size_t block_;
+  Loc base_;
+};
+
+}  // namespace race2d

@@ -1,0 +1,52 @@
+// Cilk-style spawn/sync sugar over the restricted fork-join (§5, eq. 11).
+//
+// A spawned child goes immediately left of the parent; sync joins the
+// outstanding children newest-first, which is exactly a sequence of legal
+// left-neighbor joins (each join exposes the previous child). Programs
+// written with SpawnScope therefore produce series-parallel task graphs —
+// the class the paper generalizes — and additionally emit sync markers so
+// the SP-bags baseline can be driven from the same trace.
+#pragma once
+
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace race2d {
+
+class SpawnScope {
+ public:
+  explicit SpawnScope(TaskContext& ctx) : ctx_(ctx) {}
+
+  SpawnScope(const SpawnScope&) = delete;
+  SpawnScope& operator=(const SpawnScope&) = delete;
+
+  /// Cilk `spawn body`: forks a child task.
+  TaskHandle spawn(TaskBody body) {
+    const TaskHandle h = ctx_.fork(std::move(body));
+    pending_.push_back(h);
+    return h;
+  }
+
+  /// Cilk `sync`: waits for (joins) all children spawned in this scope.
+  void sync() {
+    while (!pending_.empty()) {
+      ctx_.join(pending_.back());  // newest child is the left neighbor
+      pending_.pop_back();
+    }
+    ctx_.sync_marker();
+  }
+
+  std::size_t outstanding() const { return pending_.size(); }
+
+  /// Implicit sync at the end of every Cilk procedure.
+  ~SpawnScope() {
+    if (!pending_.empty()) sync();
+  }
+
+ private:
+  TaskContext& ctx_;
+  std::vector<TaskHandle> pending_;
+};
+
+}  // namespace race2d

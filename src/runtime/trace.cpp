@@ -1,0 +1,134 @@
+#include "runtime/trace.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+void replay_trace(const Trace& trace, ExecutionListener& listener) {
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kFork:
+        listener.on_fork(e.actor, e.other);
+        break;
+      case TraceOp::kJoin:
+        listener.on_join(e.actor, e.other);
+        break;
+      case TraceOp::kHalt:
+        listener.on_halt(e.actor);
+        break;
+      case TraceOp::kSync:
+        listener.on_sync(e.actor);
+        break;
+      case TraceOp::kRead:
+        listener.on_read(e.actor, e.loc);
+        break;
+      case TraceOp::kWrite:
+        listener.on_write(e.actor, e.loc);
+        break;
+      case TraceOp::kRetire:
+        listener.on_retire(e.actor, e.loc);
+        break;
+      case TraceOp::kFinishBegin:
+        listener.on_finish_begin(e.actor);
+        break;
+      case TraceOp::kFinishEnd:
+        listener.on_finish_end(e.actor);
+        break;
+    }
+  }
+}
+
+TaskGraph build_task_graph(const Trace& trace) {
+  TaskGraph tg;
+
+  // cur[t]: the most recent vertex of task t (for a freshly forked child,
+  // the parent's fork vertex — the child's first vertex hangs below it).
+  std::vector<VertexId> cur;
+  std::vector<VertexId> halt_vertex;
+  auto ensure_task = [&](TaskId t) {
+    if (t >= cur.size()) {
+      cur.resize(t + 1, kInvalidVertex);
+      halt_vertex.resize(t + 1, kInvalidVertex);
+    }
+  };
+
+  auto new_vertex = [&tg](TaskId owner) {
+    const VertexId v = tg.diagram.add_vertex();
+    tg.ops.emplace_back();
+    tg.task_of_vertex.push_back(owner);
+    return v;
+  };
+
+  // Root begin vertex (the unique source). The root is task 0 by the
+  // executor's numbering convention.
+  ensure_task(0);
+  tg.source = new_vertex(0);
+  cur[0] = tg.source;
+  tg.task_count = 1;
+
+  auto advance = [&](TaskId t) {
+    R2D_REQUIRE(t < cur.size() && cur[t] != kInvalidVertex,
+                "trace event by an unknown task");
+    R2D_REQUIRE(halt_vertex[t] == kInvalidVertex, "trace event after halt");
+    const VertexId v = new_vertex(t);
+    tg.diagram.add_arc(cur[t], v);
+    cur[t] = v;
+    return v;
+  };
+
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kFork: {
+        const VertexId f = advance(e.actor);  // the fork transition
+        ensure_task(e.other);
+        R2D_REQUIRE(cur[e.other] == kInvalidVertex, "task forked twice");
+        cur[e.other] = f;  // child's first vertex will attach below f
+        ++tg.task_count;
+        break;
+      }
+      case TraceOp::kJoin: {
+        R2D_REQUIRE(e.other < halt_vertex.size() &&
+                        halt_vertex[e.other] != kInvalidVertex,
+                    "join of a task that has not halted in the trace");
+        const VertexId j = new_vertex(e.actor);
+        // The joined task is drawn left of the joiner: its halt arc is the
+        // left in-arc; then the joiner's step arc.
+        tg.diagram.add_arc(halt_vertex[e.other], j);
+        tg.diagram.add_arc(cur[e.actor], j);
+        cur[e.actor] = j;
+        break;
+      }
+      case TraceOp::kHalt: {
+        const VertexId h = advance(e.actor);
+        halt_vertex[e.actor] = h;
+        break;
+      }
+      case TraceOp::kSync:
+        break;  // annotation only; no vertex
+      case TraceOp::kRead: {
+        const VertexId v = advance(e.actor);
+        tg.ops[v].push_back({e.loc, AccessKind::kRead});
+        break;
+      }
+      case TraceOp::kWrite: {
+        const VertexId v = advance(e.actor);
+        tg.ops[v].push_back({e.loc, AccessKind::kWrite});
+        break;
+      }
+      case TraceOp::kRetire: {
+        const VertexId v = advance(e.actor);
+        tg.ops[v].push_back({e.loc, AccessKind::kRetire});
+        break;
+      }
+      case TraceOp::kFinishBegin:
+      case TraceOp::kFinishEnd:
+        break;  // annotations only; no vertex
+    }
+  }
+
+  R2D_REQUIRE(halt_vertex[0] != kInvalidVertex, "root never halted in trace");
+  tg.sink = halt_vertex[0];
+  return tg;
+}
+
+}  // namespace race2d

@@ -1,0 +1,104 @@
+// Execution traces: record a serial fork-first run, replay it into any
+// listener, and materialize the vertex-level task graph (§5, Theorem 6's
+// construction) as a monotone planar diagram.
+//
+// The task graph is where everything meets: the naive/oracle baselines
+// answer reachability on it, Theorem 6 tests check it is a 2D lattice, and
+// the offline detector runs over it for differential testing against the
+// online one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "lattice/diagram.hpp"
+#include "runtime/listener.hpp"
+
+namespace race2d {
+
+enum class TraceOp : std::uint8_t {
+  kFork,
+  kJoin,
+  kHalt,
+  kSync,
+  kRead,
+  kWrite,
+  kRetire,
+  kFinishBegin,
+  kFinishEnd,
+};
+
+struct TraceEvent {
+  TraceOp op;
+  TaskId actor = kInvalidTask;
+  TaskId other = kInvalidTask;  ///< forked child / joined task
+  Loc loc = 0;                  ///< for reads and writes
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+/// Records every event of a serial run.
+class TraceRecorder : public ExecutionListener {
+ public:
+  void on_fork(TaskId parent, TaskId child) override {
+    events_.push_back({TraceOp::kFork, parent, child, 0});
+  }
+  void on_join(TaskId joiner, TaskId joined) override {
+    events_.push_back({TraceOp::kJoin, joiner, joined, 0});
+  }
+  void on_halt(TaskId t) override {
+    events_.push_back({TraceOp::kHalt, t, kInvalidTask, 0});
+  }
+  void on_sync(TaskId t) override {
+    events_.push_back({TraceOp::kSync, t, kInvalidTask, 0});
+  }
+  void on_read(TaskId t, Loc loc) override {
+    events_.push_back({TraceOp::kRead, t, kInvalidTask, loc});
+  }
+  void on_write(TaskId t, Loc loc) override {
+    events_.push_back({TraceOp::kWrite, t, kInvalidTask, loc});
+  }
+  void on_retire(TaskId t, Loc loc) override {
+    events_.push_back({TraceOp::kRetire, t, kInvalidTask, loc});
+  }
+  void on_finish_begin(TaskId t) override {
+    events_.push_back({TraceOp::kFinishBegin, t, kInvalidTask, 0});
+  }
+  void on_finish_end(TaskId t) override {
+    events_.push_back({TraceOp::kFinishEnd, t, kInvalidTask, 0});
+  }
+
+  const Trace& trace() const { return events_; }
+  Trace take() { return std::move(events_); }
+
+ private:
+  Trace events_;
+};
+
+/// Replays a recorded trace into `listener` (e.g. to drive a baseline
+/// detector from the identical event stream the online detector saw).
+void replay_trace(const Trace& trace, ExecutionListener& listener);
+
+/// The vertex-level task graph of a serial fork-first trace.
+struct TaskGraph {
+  Diagram diagram;
+  /// ops[v]: memory accesses performed at vertex v (0 or 1 for traces).
+  std::vector<std::vector<VertexAccess>> ops;
+  /// The task each vertex belongs to.
+  std::vector<TaskId> task_of_vertex;
+  VertexId source = kInvalidVertex;  ///< root's begin vertex
+  VertexId sink = kInvalidVertex;    ///< root's halt vertex
+  std::size_t task_count = 0;
+};
+
+/// Builds the task graph per Theorem 6's construction: one vertex per
+/// transition (plus the root's begin vertex); step/fork/join/halt arcs in
+/// execution order, so out-arc fans are in left-to-right planar order.
+/// Requires a trace recorded from a serial fork-first run whose root joined
+/// every remaining task before halting (single sink).
+TaskGraph build_task_graph(const Trace& trace);
+
+}  // namespace race2d

@@ -1,0 +1,135 @@
+#include "runtime/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+namespace {
+
+const char* op_name(TraceOp op) {
+  switch (op) {
+    case TraceOp::kFork:
+      return "fork";
+    case TraceOp::kJoin:
+      return "join";
+    case TraceOp::kHalt:
+      return "halt";
+    case TraceOp::kSync:
+      return "sync";
+    case TraceOp::kRead:
+      return "read";
+    case TraceOp::kWrite:
+      return "write";
+    case TraceOp::kRetire:
+      return "retire";
+    case TraceOp::kFinishBegin:
+      return "finish_begin";
+    case TraceOp::kFinishEnd:
+      return "finish_end";
+  }
+  return "?";
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line_no << ": " << why;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace
+
+void write_trace_text(std::ostream& os, const Trace& trace) {
+  for (const TraceEvent& e : trace) {
+    os << op_name(e.op);
+    switch (e.op) {
+      case TraceOp::kFork:
+      case TraceOp::kJoin:
+        os << ' ' << e.actor << ' ' << e.other;
+        break;
+      case TraceOp::kHalt:
+      case TraceOp::kSync:
+      case TraceOp::kFinishBegin:
+      case TraceOp::kFinishEnd:
+        os << ' ' << e.actor;
+        break;
+      case TraceOp::kRead:
+      case TraceOp::kWrite:
+      case TraceOp::kRetire:
+        os << ' ' << e.actor << ' ' << std::hex << e.loc << std::dec;
+        break;
+    }
+    os << '\n';
+  }
+}
+
+std::string trace_to_text(const Trace& trace) {
+  std::ostringstream os;
+  write_trace_text(os, trace);
+  return os.str();
+}
+
+Trace parse_trace_text(std::istream& is) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string op;
+    if (!(fields >> op)) continue;  // blank / comment-only line
+
+    auto read_task = [&]() -> TaskId {
+      std::uint64_t v;
+      if (!(fields >> v)) fail(line_no, "missing task id");
+      return static_cast<TaskId>(v);
+    };
+    auto read_loc = [&]() -> Loc {
+      Loc v;
+      if (!(fields >> std::hex >> v)) fail(line_no, "missing location");
+      return v;
+    };
+
+    TraceEvent e{};
+    if (op == "fork") {
+      e = {TraceOp::kFork, read_task(), read_task(), 0};
+    } else if (op == "join") {
+      e = {TraceOp::kJoin, read_task(), read_task(), 0};
+    } else if (op == "halt") {
+      e = {TraceOp::kHalt, read_task(), kInvalidTask, 0};
+    } else if (op == "sync") {
+      e = {TraceOp::kSync, read_task(), kInvalidTask, 0};
+    } else if (op == "read") {
+      const TaskId t = read_task();
+      e = {TraceOp::kRead, t, kInvalidTask, read_loc()};
+    } else if (op == "write") {
+      const TaskId t = read_task();
+      e = {TraceOp::kWrite, t, kInvalidTask, read_loc()};
+    } else if (op == "retire") {
+      const TaskId t = read_task();
+      e = {TraceOp::kRetire, t, kInvalidTask, read_loc()};
+    } else if (op == "finish_begin") {
+      e = {TraceOp::kFinishBegin, read_task(), kInvalidTask, 0};
+    } else if (op == "finish_end") {
+      e = {TraceOp::kFinishEnd, read_task(), kInvalidTask, 0};
+    } else {
+      fail(line_no, "unknown event '" + op + "'");
+    }
+    std::string excess;
+    if (fields >> excess) fail(line_no, "trailing tokens");
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+Trace parse_trace_text(const std::string& text) {
+  std::istringstream is(text);
+  return parse_trace_text(is);
+}
+
+}  // namespace race2d

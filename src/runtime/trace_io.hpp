@@ -1,0 +1,32 @@
+// Text serialization of execution traces.
+//
+// One event per line:
+//   fork <parent> <child>
+//   join <joiner> <joined>
+//   halt <task>
+//   sync <task>
+//   read <task> <loc-hex>
+//   write <task> <loc-hex>
+//   retire <task> <loc-hex>
+// '#' starts a comment; blank lines are skipped. This is the interchange
+// format of the trace-analyzer tool: record once (any instrumentation
+// front-end), analyze offline with any of the detectors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+/// Writes `trace` in the text format.
+void write_trace_text(std::ostream& os, const Trace& trace);
+std::string trace_to_text(const Trace& trace);
+
+/// Parses the text format. Throws ContractViolation with a line number on
+/// malformed input.
+Trace parse_trace_text(std::istream& is);
+Trace parse_trace_text(const std::string& text);
+
+}  // namespace race2d

@@ -1,0 +1,44 @@
+// Assertion and contract-checking macros used across race2d.
+//
+// R2D_ASSERT   — internal invariant; compiled out in NDEBUG builds.
+// R2D_REQUIRE  — precondition on public API input; always checked, throws
+//                race2d::ContractViolation so callers can test misuse.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace race2d {
+
+/// Thrown when a public-API precondition is violated (e.g. a program
+/// breaks the structured fork-join line discipline).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "race2d assertion failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace race2d
+
+#ifdef NDEBUG
+#define R2D_ASSERT(expr) ((void)0)
+#else
+#define R2D_ASSERT(expr) \
+  ((expr) ? (void)0 : ::race2d::detail::assert_fail(#expr, __FILE__, __LINE__))
+#endif
+
+#define R2D_REQUIRE(expr, msg)                       \
+  do {                                               \
+    if (!(expr)) {                                   \
+      throw ::race2d::ContractViolation(             \
+          std::string(msg) + " (" #expr ")");        \
+    }                                                \
+  } while (0)

@@ -1,0 +1,27 @@
+// Strong identifier types shared by the lattice, core, and runtime layers.
+//
+// The paper's algorithms are phrased over *vertices* of a task graph and,
+// after the thread-collapse transformation (eq. 8), over *tasks*. Both are
+// dense 0-based indices here; kInvalid serves as the "no vertex yet"
+// sentinel used by the shadow memory (an empty R[loc] / W[loc] cell).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace race2d {
+
+/// Dense index of a vertex in a task graph / lattice diagram.
+using VertexId = std::uint32_t;
+
+/// Dense index of a task (thread) in a structured fork-join execution.
+using TaskId = std::uint32_t;
+
+/// An abstract memory location (address) monitored by a detector.
+using Loc = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+}  // namespace race2d

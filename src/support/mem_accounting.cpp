@@ -1,0 +1,5 @@
+#include "support/mem_accounting.hpp"
+
+// Header-only helpers; this translation unit anchors the module in the
+// library so IWYU-style consumers link against a single definition point.
+namespace race2d {}

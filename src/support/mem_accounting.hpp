@@ -1,0 +1,45 @@
+// Explicit byte accounting for the E2 space experiment.
+//
+// Theorem 5 claims Θ(1) space per thread and per tracked memory location,
+// versus Θ(n) per location for vector-clock detectors. Rather than inferring
+// footprints from the allocator, every detector exposes a MemoryFootprint
+// computed from its containers' real capacities, so the comparison is exact
+// and portable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace race2d {
+
+struct MemoryFootprint {
+  std::size_t shadow_bytes = 0;    ///< per-location state (R/W maps)
+  std::size_t per_task_bytes = 0;  ///< per-thread state (DSU, clocks, flags)
+  std::size_t other_bytes = 0;     ///< anything else (queues, reports, ...)
+
+  std::size_t total() const { return shadow_bytes + per_task_bytes + other_bytes; }
+
+  /// Average bytes of shadow state per tracked location; the quantity the
+  /// paper's Θ(1)-vs-Θ(n) claim is about.
+  double shadow_bytes_per_location(std::size_t locations) const {
+    return locations == 0 ? 0.0
+                          : static_cast<double>(shadow_bytes) /
+                                static_cast<double>(locations);
+  }
+};
+
+/// Capacity-based byte count of a std::vector's heap buffer.
+template <typename T>
+std::size_t vector_heap_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Byte count for a vector of vectors, including inner buffers.
+template <typename T>
+std::size_t nested_vector_heap_bytes(const std::vector<std::vector<T>>& v) {
+  std::size_t bytes = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) bytes += inner.capacity() * sizeof(T);
+  return bytes;
+}
+
+}  // namespace race2d

@@ -1,0 +1,40 @@
+#include "support/rng.hpp"
+
+namespace race2d {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // All-zero state is the one forbidden state for xoshiro; SplitMix64 of any
+  // seed cannot produce four zero words, but guard regardless.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace race2d

@@ -1,0 +1,181 @@
+// SmallVector<T, N>: a vector with inline storage for the first N elements.
+//
+// Task records in the runtime and adjacency lists in lattice diagrams are
+// overwhelmingly short (a vertex of a 2D lattice has at most two out-arcs in
+// the restricted fork-join of §5); inline storage removes an allocation per
+// task/vertex on the hot path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy(); }
+
+  T& operator[](std::size_t i) {
+    R2D_ASSERT(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    R2D_ASSERT(i < size_);
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* data() { return heap_ ? heap_ : inline_data(); }
+  const T* data() const { return heap_ ? heap_ : inline_data(); }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    R2D_ASSERT(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  void clear() {
+    T* p = data();
+    for (std::size_t i = 0; i < size_; ++i) p[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t want) {
+    if (want > capacity_) grow(want);
+  }
+
+  void resize(std::size_t want) {
+    reserve(want);
+    while (size_ < want) emplace_back();
+    while (size_ > want) pop_back();
+  }
+
+  bool operator==(const SmallVector& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
+
+  /// Bytes of heap memory owned by this container (for space accounting).
+  std::size_t heap_bytes() const { return heap_ ? capacity_ * sizeof(T) : 0; }
+
+ private:
+  T* inline_data() { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+  const T* inline_data() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void grow(std::size_t want) {
+    const std::size_t new_cap = std::max<std::size_t>(want, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    T* old = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    if (heap_) ::operator delete(heap_);
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void destroy() {
+    clear();
+    if (heap_) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  void move_from(SmallVector&& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = 0;
+      for (std::size_t i = 0; i < other.size_; ++i)
+        emplace_back(std::move(other.inline_data()[i]));
+      other.clear();
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace race2d

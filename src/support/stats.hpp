@@ -1,0 +1,41 @@
+// Streaming statistics used by benches and EXPERIMENTS.md reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace race2d {
+
+/// Welford-style accumulator: mean and variance in one pass, O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains samples; supports exact percentiles. For modest sample counts.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double percentile(double p) const;  ///< p in [0,100], linear interpolation
+  double median() const { return percentile(50.0); }
+  double mean() const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace race2d

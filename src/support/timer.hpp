@@ -1,0 +1,23 @@
+// Minimal monotonic stopwatch for examples and ad-hoc measurements
+// (benchmarks proper use google-benchmark's timing).
+#pragma once
+
+#include <chrono>
+
+namespace race2d {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace race2d

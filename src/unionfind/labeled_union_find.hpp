@@ -1,0 +1,67 @@
+// Labeled disjoint-set union — the exact structure the paper's Walk uses.
+//
+// The paper (§3, Figure 5) requires:
+//   Find(x)     — return the *label* of the set containing x, where the
+//                 label is the root of the corresponding last-arc tree;
+//   Union(y, x) — merge the sets containing y and x "under the label of the
+//                 set containing y".
+// Labels are kept per internal DSU root and rewritten on merge, so union by
+// rank stays available and the Tarjan bound applies (Theorems 3 and 5).
+// Alongside the label we keep the paper's per-vertex `visited` flag
+// (set by loops, cleared by stop-arcs, Figure 8) since every algorithm that
+// needs the labels also needs the flags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace race2d {
+
+class LabeledUnionFind {
+ public:
+  LabeledUnionFind() = default;
+  explicit LabeledUnionFind(std::size_t n) { grow_to(n); }
+
+  /// Ensures elements 0..n-1 exist; each new element forms the singleton
+  /// set {x} labeled x, unvisited.
+  void grow_to(std::size_t n);
+
+  /// Adds one fresh element (singleton labeled by itself, unvisited).
+  std::uint32_t add();
+
+  /// Label of the set containing x — the paper's Find(x).
+  std::uint32_t find_label(std::uint32_t x);
+
+  /// Merge the sets of `keep` and `absorb`; the merged set takes the label
+  /// of `keep`'s set — the paper's Union(keep, absorb).
+  void merge_into(std::uint32_t keep, std::uint32_t absorb);
+
+  /// Relabels the set containing x (used by the SP-bags baseline to retag a
+  /// whole bag in O(α)).
+  void set_label(std::uint32_t x, std::uint32_t label);
+
+  bool same_set(std::uint32_t a, std::uint32_t b) {
+    return find_root(a) == find_root(b);
+  }
+
+  bool visited(std::uint32_t x) const { return visited_[x] != 0; }
+  void set_visited(std::uint32_t x, bool value) { visited_[x] = value ? 1 : 0; }
+
+  std::size_t element_count() const { return parent_.size(); }
+
+  /// Heap bytes (for E2 accounting: this is the detector's per-thread state).
+  std::size_t heap_bytes() const;
+
+ private:
+  std::uint32_t find_root(std::uint32_t x);
+
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::vector<std::uint32_t> label_;  ///< meaningful at internal roots only
+  std::vector<std::uint8_t> visited_;
+};
+
+}  // namespace race2d

@@ -1,0 +1,49 @@
+#include "unionfind/union_find.hpp"
+
+#include "support/assert.hpp"
+#include "support/mem_accounting.hpp"
+
+namespace race2d {
+
+void UnionFind::grow_to(std::size_t n) {
+  const std::size_t old = parent_.size();
+  if (n <= old) return;
+  parent_.resize(n);
+  rank_.resize(n, 0);
+  for (std::size_t i = old; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+  set_count_ += n - old;
+}
+
+std::uint32_t UnionFind::add() {
+  const std::uint32_t id = static_cast<std::uint32_t>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  ++set_count_;
+  return id;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  R2D_ASSERT(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+std::uint32_t UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t ra = find(a);
+  std::uint32_t rb = find(b);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --set_count_;
+  return ra;
+}
+
+std::size_t UnionFind::heap_bytes() const {
+  return vector_heap_bytes(parent_) + vector_heap_bytes(rank_);
+}
+
+}  // namespace race2d

@@ -1,0 +1,45 @@
+// Classic disjoint-set union with union by rank and path halving.
+// Amortized Θ(α(m+n, n)) per operation (Tarjan 1975; Tarjan & van Leeuwen
+// 1984) — the bound that Theorem 3 of the paper inherits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace race2d {
+
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { grow_to(n); }
+
+  /// Ensures elements 0..n-1 exist (each new element its own singleton).
+  void grow_to(std::size_t n);
+
+  /// Adds one element; returns its id.
+  std::uint32_t add();
+
+  /// Representative of x's set, with path halving.
+  std::uint32_t find(std::uint32_t x);
+
+  /// Merges the sets of a and b (by rank). Returns the surviving root.
+  std::uint32_t unite(std::uint32_t a, std::uint32_t b);
+
+  bool same_set(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+  std::size_t element_count() const { return parent_.size(); }
+  std::size_t set_count() const { return set_count_; }
+
+  /// Heap bytes (for accounting).
+  std::size_t heap_bytes() const;
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t set_count_ = 0;
+};
+
+}  // namespace race2d

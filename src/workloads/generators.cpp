@@ -1,0 +1,111 @@
+#include "workloads/generators.hpp"
+
+#include <memory>
+
+#include "support/rng.hpp"
+
+namespace race2d {
+
+namespace {
+
+enum class AccessMode { kSharedPool, kPrivateWrites };
+
+// Private write locations live far above the shared pool so the two can
+// never collide.
+constexpr Loc kPrivateBase = Loc{1} << 32;
+constexpr Loc kPrivateStride = 8;
+
+struct GenState {
+  Xoshiro256 rng;
+  ProgramParams params;
+  AccessMode mode;
+  std::size_t live_forks = 1;       // root counts as one
+  std::size_t next_private = 0;     // per-task private block allocator
+};
+
+TaskBody make_task_body(std::shared_ptr<GenState> st, std::size_t depth,
+                        bool is_root);
+
+void run_random_actions(GenState& st, TaskContext& ctx, std::size_t depth,
+                        std::shared_ptr<GenState> self) {
+  const ProgramParams& p = st.params;
+  const Loc my_private = kPrivateBase + kPrivateStride * st.next_private++;
+  for (std::size_t a = 0; a < p.max_actions; ++a) {
+    const double u = st.rng.uniform01();
+    double threshold = p.fork_prob;
+    if (u < threshold) {
+      if (depth < p.max_depth && st.live_forks < p.max_tasks) {
+        ++st.live_forks;
+        ctx.fork(make_task_body(self, depth + 1, false));
+      }
+      continue;
+    }
+    threshold += p.join_prob;
+    if (u < threshold) {
+      ctx.join_left();  // no-op (false) when there is no left neighbor
+      continue;
+    }
+    threshold += p.access_prob;
+    if (u < threshold) {
+      const bool is_write = st.rng.chance(p.write_frac);
+      if (st.mode == AccessMode::kPrivateWrites && is_write) {
+        ctx.write(my_private + st.rng.below(kPrivateStride));
+      } else if (st.mode == AccessMode::kPrivateWrites) {
+        ctx.read(st.rng.below(p.loc_pool));
+      } else if (is_write) {
+        ctx.write(st.rng.below(p.loc_pool));
+      } else {
+        ctx.read(st.rng.below(p.loc_pool));
+      }
+      continue;
+    }
+    break;  // end this task early
+  }
+}
+
+TaskBody make_task_body(std::shared_ptr<GenState> st, std::size_t depth,
+                        bool is_root) {
+  return [st, depth, is_root](TaskContext& ctx) {
+    run_random_actions(*st, ctx, depth, st);
+    if (is_root) {
+      while (ctx.join_left()) {
+      }
+    }
+  };
+}
+
+TaskBody make_program(const ProgramParams& params, AccessMode mode) {
+  auto st = std::make_shared<GenState>();
+  st->rng.reseed(params.seed);
+  st->params = params;
+  st->mode = mode;
+  return make_task_body(st, 0, /*is_root=*/true);
+}
+
+}  // namespace
+
+TaskBody random_program(const ProgramParams& params) {
+  return make_program(params, AccessMode::kSharedPool);
+}
+
+TaskBody race_free_program(const ProgramParams& params) {
+  return make_program(params, AccessMode::kPrivateWrites);
+}
+
+TaskBody racy_program(const ProgramParams& params, Loc race_loc) {
+  TaskBody base_child = race_free_program(params);
+  return [base_child, race_loc](TaskContext& ctx) {
+    // The child runs a race-free program body and then writes race_loc; the
+    // parent writes race_loc immediately after the fork, before any join, so
+    // the two writes are concurrent in the task graph.
+    ctx.fork([base_child, race_loc](TaskContext& child) {
+      base_child(child);  // its own join-all keeps the child self-contained
+      child.write(race_loc);
+    });
+    ctx.write(race_loc);
+    while (ctx.join_left()) {
+    }
+  };
+}
+
+}  // namespace race2d

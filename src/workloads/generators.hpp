@@ -1,0 +1,41 @@
+// Random structured fork-join programs for differential testing and
+// benchmarks. All programs follow the Figure 9 discipline by construction
+// (forks nest, joins target the left neighbor), so their task graphs are 2D
+// lattices (Theorem 6). Determinism: the program's structural and access
+// choices are a pure function of the seed and the serial execution order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/program.hpp"
+
+namespace race2d {
+
+struct ProgramParams {
+  std::uint64_t seed = 1;
+  std::size_t max_actions = 32;  ///< per-task action budget
+  std::size_t max_depth = 12;    ///< fork nesting cap
+  std::size_t max_tasks = 512;   ///< global fork cap
+  double fork_prob = 0.25;
+  double join_prob = 0.20;
+  double access_prob = 0.45;     ///< otherwise: end task early
+  double write_frac = 0.4;       ///< fraction of accesses that are writes
+  std::size_t loc_pool = 64;     ///< shared locations drawn uniformly
+};
+
+/// Arbitrary random program: tasks read/write a shared location pool, so
+/// races occur with structure-dependent probability. Ground truth comes from
+/// the naive detector over the recorded trace.
+TaskBody random_program(const ProgramParams& params);
+
+/// Race-free by construction: reads target the shared pool, writes target
+/// locations private to the writing task (disjoint per task).
+TaskBody race_free_program(const ProgramParams& params);
+
+/// Guaranteed-racy: a race-free base, plus one pair of concurrent writes to
+/// a designated location `race_loc` performed by a forked child and its
+/// parent before the join.
+TaskBody racy_program(const ProgramParams& params, Loc race_loc);
+
+}  // namespace race2d

@@ -1,0 +1,195 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "runtime/pipeline.hpp"
+#include "runtime/spawn_sync.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FibWorkload
+
+namespace {
+
+constexpr Loc kFibRaceLoc = 0x11CE;
+
+// Monitored locations are LOGICAL ids drawn from a counter, not the stack
+// addresses of x/y: the serial executor runs every task on one C++ stack, so
+// raw local addresses are recycled across logically-concurrent sibling
+// subtrees, which a (correct) detector would flag as races on dead storage.
+struct FibState {
+  std::atomic<std::uint64_t> next_loc{0x20000000};
+  std::uint64_t* race_cell = nullptr;  // nullptr: clean variant
+};
+
+void fib_impl(TaskContext& ctx, unsigned n, std::uint64_t* out, Loc out_loc,
+              FibState& state) {
+  if (n < 2) {
+    ctx.write(out_loc);
+    *out = n;
+    return;
+  }
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  const Loc x_loc = state.next_loc.fetch_add(2, std::memory_order_relaxed);
+  const Loc y_loc = x_loc + 1;
+  SpawnScope scope(ctx);
+  scope.spawn([n, &x, x_loc, &state](TaskContext& child) {
+    fib_impl(child, n - 1, &x, x_loc, state);
+  });
+  fib_impl(ctx, n - 2, &y, y_loc, state);
+  if (state.race_cell != nullptr) {
+    // Unsynchronized bump of a shared cell before the sync: concurrent with
+    // the spawned child's bumps — a genuine write-write race.
+    ctx.write(kFibRaceLoc);
+    ++*state.race_cell;
+  }
+  scope.sync();
+  ctx.read(x_loc);
+  ctx.read(y_loc);
+  ctx.write(out_loc);
+  *out = x + y;
+}
+
+}  // namespace
+
+TaskBody FibWorkload::task() {
+  return [this](TaskContext& ctx) {
+    auto state = std::make_shared<FibState>();
+    state->race_cell = inject_race_ ? &race_cell_ : nullptr;
+    fib_impl(ctx, n_, &result_, 0x1FFFFFFF, *state);
+  };
+}
+
+std::uint64_t FibWorkload::expected(unsigned n) {
+  std::uint64_t a = 0;
+  std::uint64_t b = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// LcsWavefront
+
+LcsWavefront::LcsWavefront(std::string a, std::string b, std::size_t block)
+    : a_(std::move(a)), b_(std::move(b)), block_(block == 0 ? 1 : block) {
+  rows_ = (a_.size() + block_ - 1) / block_;
+  cols_ = (b_.size() + block_ - 1) / block_;
+  if (rows_ == 0) rows_ = 1;
+  if (cols_ == 0) cols_ = 1;
+  dp_.assign(a_.size() + 1, std::vector<int>(b_.size() + 1, 0));
+}
+
+void LcsWavefront::compute_block(TaskContext& ctx, std::size_t bi,
+                                 std::size_t bj) {
+  // Block-granular instrumentation: the shared objects are the DP blocks.
+  const Loc base = Loc{0xDC000000};
+  auto block_loc = [&](std::size_t i, std::size_t j) {
+    return base + i * cols_ + j;
+  };
+  if (bi > 0) ctx.read(block_loc(bi - 1, bj));
+  if (bj > 0) ctx.read(block_loc(bi, bj - 1));
+
+  const std::size_t i_lo = bi * block_ + 1;
+  const std::size_t i_hi = std::min(a_.size(), (bi + 1) * block_);
+  const std::size_t j_lo = bj * block_ + 1;
+  const std::size_t j_hi = std::min(b_.size(), (bj + 1) * block_);
+  for (std::size_t i = i_lo; i <= i_hi; ++i) {
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      dp_[i][j] = (a_[i - 1] == b_[j - 1])
+                      ? dp_[i - 1][j - 1] + 1
+                      : std::max(dp_[i - 1][j], dp_[i][j - 1]);
+    }
+  }
+  ctx.write(block_loc(bi, bj));
+}
+
+TaskBody LcsWavefront::task() {
+  return [this](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    stages.reserve(cols_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      stages.push_back([this, j](TaskContext& c, std::size_t item) {
+        compute_block(c, item, j);
+      });
+    }
+    run_pipeline(ctx, stages, rows_);
+  };
+}
+
+int LcsWavefront::result() const { return dp_[a_.size()][b_.size()]; }
+
+int LcsWavefront::reference_lcs(const std::string& a, const std::string& b) {
+  std::vector<std::vector<int>> dp(a.size() + 1,
+                                   std::vector<int>(b.size() + 1, 0));
+  for (std::size_t i = 1; i <= a.size(); ++i)
+    for (std::size_t j = 1; j <= b.size(); ++j)
+      dp[i][j] = (a[i - 1] == b[j - 1])
+                     ? dp[i - 1][j - 1] + 1
+                     : std::max(dp[i - 1][j], dp[i][j - 1]);
+  return dp[a.size()][b.size()];
+}
+
+// ---------------------------------------------------------------------------
+// StagedPipeline
+
+StagedPipeline::StagedPipeline(std::size_t stages, std::size_t items,
+                               std::size_t work_per_cell, bool inject_race)
+    : stages_(stages),
+      items_(items),
+      work_per_cell_(work_per_cell),
+      inject_race_(inject_race),
+      cells_(stages * items, 0) {
+  R2D_REQUIRE(stages > 0 && items > 0, "pipeline shape must be non-empty");
+}
+
+TaskBody StagedPipeline::task() {
+  return [this](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    stages.reserve(stages_);
+    for (std::size_t s = 0; s < stages_; ++s) {
+      stages.push_back([this, s](TaskContext& c, std::size_t item) {
+        std::uint64_t v = (s == 0)
+                              ? mix64(0x9E3779B97F4A7C15ULL ^ item)
+                              : c.load(cells_[(s - 1) * items_ + item]);
+        for (std::size_t w = 0; w < work_per_cell_; ++w) v = mix64(v ^ w);
+        c.store(cells_[s * items_ + item], v);
+        if (inject_race_) {
+          // Same-stage bumps are chained (ordered); cross-stage bumps are
+          // concurrent — the detector must flag this location.
+          c.store(shared_counter_, shared_counter_ + 1);
+        }
+      });
+    }
+    run_pipeline(ctx, stages, items_);
+  };
+}
+
+std::uint64_t StagedPipeline::checksum() const {
+  std::uint64_t acc = 0;
+  for (std::uint64_t v : cells_) acc = mix64(acc ^ v);
+  return acc;
+}
+
+}  // namespace race2d

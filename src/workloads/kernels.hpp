@@ -1,0 +1,84 @@
+// Deterministic application kernels exercising the public API. These back
+// the examples, the E4/E5/E7 benchmarks, and several integration tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace race2d {
+
+/// Cilk-style fib via SpawnScope (the canonical spawn/sync benchmark of the
+/// SP-bags paper). With `inject_race` the two recursive results are
+/// accumulated into one shared cell without synchronization, a textbook
+/// write-write race the detector must flag.
+class FibWorkload {
+ public:
+  explicit FibWorkload(unsigned n, bool inject_race = false)
+      : n_(n), inject_race_(inject_race) {}
+
+  /// Root task body. Run under any executor; instrumented accesses go
+  /// through ctx.load/ctx.store.
+  TaskBody task();
+
+  std::uint64_t result() const { return result_; }
+  static std::uint64_t expected(unsigned n);
+
+ private:
+  unsigned n_;
+  bool inject_race_;
+  std::uint64_t result_ = 0;
+  std::uint64_t race_cell_ = 0;  ///< shared accumulator for the racy variant
+};
+
+/// Longest-common-subsequence dynamic program as a linear pipeline: items =
+/// row blocks, stages = column blocks; cell (i, j) needs (i-1, j) and
+/// (i, j-1) — precisely the 2D grid lattice of §5. Computes the true LCS
+/// length, fully instrumented; race-free by construction.
+class LcsWavefront {
+ public:
+  LcsWavefront(std::string a, std::string b, std::size_t block = 16);
+
+  TaskBody task();
+
+  int result() const;
+  /// Reference serial DP for verification.
+  static int reference_lcs(const std::string& a, const std::string& b);
+
+ private:
+  void compute_block(TaskContext& ctx, std::size_t bi, std::size_t bj);
+
+  std::string a_, b_;
+  std::size_t block_;
+  std::size_t rows_, cols_;              // block grid shape
+  std::vector<std::vector<int>> dp_;     // (|a|+1) x (|b|+1)
+};
+
+/// Synthetic staged pipeline: every stage of every item spins `work_per_cell`
+/// iterations of a mixing function over a per-(stage,item) buffer cell, with
+/// instrumented reads of the previous stage's cell and writes of its own —
+/// race-free. With `inject_race`, every stage also bumps one accumulator
+/// shared ACROSS stages; same-stage bumps are chained (ordered) but
+/// cross-stage bumps are concurrent, so the detector must flag it.
+class StagedPipeline {
+ public:
+  StagedPipeline(std::size_t stages, std::size_t items,
+                 std::size_t work_per_cell = 32, bool inject_race = false);
+
+  TaskBody task();
+
+  /// Fold of all cells; identical across executors for the race-free
+  /// variant (used to verify parallel == serial results).
+  std::uint64_t checksum() const;
+
+ private:
+  std::size_t stages_, items_, work_per_cell_;
+  bool inject_race_;
+  std::vector<std::uint64_t> cells_;  // stages_ x items_
+  std::uint64_t shared_counter_ = 0;
+};
+
+}  // namespace race2d

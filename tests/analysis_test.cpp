@@ -1,0 +1,91 @@
+// Report aggregation and DOT export.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "lattice/dot.hpp"
+#include "lattice/generate.hpp"
+#include "runtime/instrumented.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(Analysis, EmptySummary) {
+  const RaceSummary s = summarize({});
+  EXPECT_FALSE(s.any());
+  EXPECT_EQ(s.total_reports, 0u);
+  EXPECT_NE(to_string(s).find("no races"), std::string::npos);
+}
+
+TEST(Analysis, GroupsByLocationPreservingFirstOccurrence) {
+  std::vector<RaceReport> reports = {
+      {0xA, 1, AccessKind::kWrite, AccessKind::kRead, 3},
+      {0xB, 2, AccessKind::kRead, AccessKind::kWrite, 5},
+      {0xA, 1, AccessKind::kWrite, AccessKind::kWrite, 9},
+      {0xA, 3, AccessKind::kRead, AccessKind::kWrite, 12},
+  };
+  const RaceSummary s = summarize(reports);
+  EXPECT_EQ(s.total_reports, 4u);
+  ASSERT_EQ(s.by_location.size(), 2u);
+  EXPECT_EQ(s.by_location[0].loc, 0xAu);
+  EXPECT_EQ(s.by_location[0].report_count, 3u);
+  EXPECT_EQ(s.by_location[0].first.access_index, 3u);
+  EXPECT_EQ(s.by_location[1].loc, 0xBu);
+  EXPECT_EQ(s.precise_first().access_index, 3u);
+}
+
+TEST(Analysis, SummaryStringMarksPreciseVsLeads) {
+  std::vector<RaceReport> reports = {
+      {0xA, 1, AccessKind::kWrite, AccessKind::kRead, 3},
+      {0xB, 2, AccessKind::kRead, AccessKind::kWrite, 5},
+  };
+  const std::string s = to_string(summarize(reports));
+  EXPECT_NE(s.find("[precise]"), std::string::npos);
+  EXPECT_NE(s.find("[lead]"), std::string::npos);
+}
+
+TEST(Analysis, EndToEndWithDetector) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) {
+      c.write(1);
+      c.write(2);
+      c.write(1);
+    });
+    ctx.write(1);
+    ctx.write(2);
+    while (ctx.join_left()) {
+    }
+  });
+  const RaceSummary s = summarize(result.races);
+  EXPECT_TRUE(s.any());
+  EXPECT_EQ(s.by_location.size(), 2u);
+  EXPECT_EQ(s.precise_first().loc, 1u);
+}
+
+TEST(Dot, DiagramExportContainsVerticesAndStyles) {
+  const std::string dot = to_dot(figure3_diagram());
+  EXPECT_NE(dot.find("digraph diagram"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -> v2 [style=dashed]"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -> v4;"), std::string::npos);  // last-arc: solid
+  EXPECT_NE(dot.find("v9"), std::string::npos);
+}
+
+TEST(Dot, TaskGraphExportShowsAccessesAndTasks) {
+  TraceRecorder rec;
+  SerialExecutor exec(&rec);
+  exec.run([](TaskContext& ctx) {
+    auto h = ctx.fork([](TaskContext& c) { c.write(0xAB); });
+    ctx.read(0xAB);
+    ctx.join(h);
+  });
+  const TaskGraph tg = build_task_graph(rec.trace());
+  const std::string dot = to_dot(tg);
+  EXPECT_NE(dot.find("digraph taskgraph"), std::string::npos);
+  EXPECT_NE(dot.find("W ab"), std::string::npos);
+  EXPECT_NE(dot.find("R ab"), std::string::npos);
+  EXPECT_NE(dot.find("t1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace race2d

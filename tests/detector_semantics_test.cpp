@@ -1,0 +1,207 @@
+// Semantics of the Figure 6 detector: what counts as a race, report
+// policies, first-race precision, and the documented On-Read correction
+// (reads compare against W only — §2.3).
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "runtime/instrumented.hpp"
+
+namespace race2d {
+namespace {
+
+constexpr Loc kX = 1;
+constexpr Loc kY = 2;
+
+TEST(DetectorSemantics, SequentialProgramNeverRaces) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.write(kX);
+      ctx.read(kX);
+    }
+  });
+  EXPECT_TRUE(result.race_free());
+  EXPECT_EQ(result.access_count, 20u);
+}
+
+TEST(DetectorSemantics, ConcurrentReadsDoNotRace) {
+  // Figure 6 as printed would flag read-read pairs; §2.3's text (and reality)
+  // says reads race only with writes. Two unjoined readers are fine.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) { c.read(kX); });
+    ctx.read(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(DetectorSemantics, ConcurrentWriteWriteRaces) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) { c.write(kX); });
+    ctx.write(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_EQ(result.races.size(), 1u);
+  EXPECT_EQ(result.races[0].current_kind, AccessKind::kWrite);
+  EXPECT_EQ(result.races[0].prior_kind, AccessKind::kWrite);
+}
+
+TEST(DetectorSemantics, ConcurrentReadThenWriteRaces) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) { c.read(kX); });
+    ctx.write(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_EQ(result.races.size(), 1u);
+  EXPECT_EQ(result.races[0].prior_kind, AccessKind::kRead);
+}
+
+TEST(DetectorSemantics, ConcurrentWriteThenReadRaces) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) { c.write(kX); });
+    ctx.read(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_EQ(result.races.size(), 1u);
+  EXPECT_EQ(result.races[0].current_kind, AccessKind::kRead);
+  EXPECT_EQ(result.races[0].prior_kind, AccessKind::kWrite);
+}
+
+TEST(DetectorSemantics, JoinOrdersAccesses) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    auto h = ctx.fork([](TaskContext& c) { c.write(kX); });
+    ctx.join(h);
+    ctx.write(kX);  // ordered after the child's write
+    ctx.read(kX);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(DetectorSemantics, DistinctLocationsIndependent) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) { c.write(kX); });
+    ctx.write(kY);  // different location: no race
+    while (ctx.join_left()) {
+    }
+  });
+  EXPECT_TRUE(result.race_free());
+  EXPECT_EQ(result.tracked_locations, 2u);
+}
+
+TEST(DetectorSemantics, TransitiveOrderingThroughSibling) {
+  // Figure 2's B-D pattern across tasks: a's write is ordered before the
+  // root's read because the root joined c which joined a.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    auto a = ctx.fork([](TaskContext& c) { c.write(kX); });
+    auto c = ctx.fork([a](TaskContext& cc) { cc.join(a); });
+    ctx.join(c);
+    ctx.read(kX);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(DetectorSemantics, FirstOnlyPolicyStopsRecording) {
+  const auto result = run_with_detection(
+      [](TaskContext& ctx) {
+        ctx.fork([](TaskContext& c) {
+          c.write(kX);
+          c.write(kY);
+        });
+        ctx.write(kX);
+        ctx.write(kY);
+        while (ctx.join_left()) {
+        }
+      },
+      ReportPolicy::kFirstOnly);
+  EXPECT_EQ(result.races.size(), 1u);
+}
+
+TEST(DetectorSemantics, AllPolicyRecordsBothLocations) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) {
+      c.write(kX);
+      c.write(kY);
+    });
+    ctx.write(kX);
+    ctx.write(kY);
+    while (ctx.join_left()) {
+    }
+  });
+  EXPECT_EQ(result.races.size(), 2u);
+}
+
+TEST(DetectorSemantics, GrandchildConcurrency) {
+  // A grandchild's write is concurrent with the root's until joined
+  // transitively.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) {
+      auto g = c.fork([](TaskContext& gc) { gc.write(kX); });
+      c.join(g);
+    });
+    ctx.write(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_EQ(result.races.size(), 1u);
+}
+
+TEST(DetectorSemantics, GrandchildOrderedAfterFullJoin) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    auto h = ctx.fork([](TaskContext& c) {
+      auto g = c.fork([](TaskContext& gc) { gc.write(kX); });
+      c.join(g);
+    });
+    ctx.join(h);
+    ctx.write(kX);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(DetectorSemantics, RaceReportPrinting) {
+  RaceReport r{0xbeef, 3, AccessKind::kWrite, AccessKind::kRead, 17};
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("beef"), std::string::npos);
+  EXPECT_NE(s.find("write"), std::string::npos);
+  EXPECT_NE(s.find("task 3"), std::string::npos);
+}
+
+TEST(DetectorSemantics, OrderedBeforeQuery) {
+  OnlineRaceDetector det;
+  const TaskId root = det.on_root();
+  const TaskId child = det.on_fork(root);
+  // While the child runs (fork-first), the fork point orders root ⊑ child.
+  EXPECT_TRUE(det.ordered_before(root, child));
+  det.on_halt(child);
+  // Root resumes: the halted, unjoined child is concurrent with it.
+  EXPECT_FALSE(det.ordered_before(child, root));
+  det.on_join(root, child);
+  EXPECT_TRUE(det.ordered_before(child, root));
+}
+
+TEST(DetectorSemantics, FootprintIsConstantPerLocation) {
+  // The Theorem 5 claim in miniature: shadow bytes per location do not grow
+  // with the number of tasks.
+  auto measure = [](std::size_t tasks) {
+    OnlineRaceDetector det;
+    const TaskId root = det.on_root();
+    std::vector<TaskId> children;
+    for (std::size_t i = 0; i < tasks; ++i) {
+      const TaskId c = det.on_fork(root);
+      det.on_write(c, static_cast<Loc>(i % 16));
+      det.on_halt(c);
+      children.push_back(c);
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it)
+      det.on_join(root, *it);
+    return det.footprint().shadow_bytes_per_location(det.tracked_locations());
+  };
+  const double small = measure(16);
+  const double large = measure(4096);
+  EXPECT_LE(large, small * 2.0);  // flat, modulo hash-table rounding
+}
+
+}  // namespace
+}  // namespace race2d

@@ -1,0 +1,146 @@
+// Tests for the DAG substrate: Digraph, topological orders, reachability,
+// transitive closure.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/reachability.hpp"
+#include "graph/topo.hpp"
+#include "lattice/generate.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+namespace {
+
+Digraph diamond() {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 3);
+  g.add_arc(2, 3);
+  return g;
+}
+
+TEST(Digraph, AddVertexAndArcs) {
+  Digraph g;
+  const VertexId a = g.add_vertex();
+  const VertexId b = g.add_vertex();
+  g.add_arc(a, b);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.arc_count(), 1u);
+  EXPECT_TRUE(g.has_arc(a, b));
+  EXPECT_FALSE(g.has_arc(b, a));
+}
+
+TEST(Digraph, OutFanPreservesInsertionOrder) {
+  Digraph g(4);
+  g.add_arc(0, 2);
+  g.add_arc(0, 1);
+  g.add_arc(0, 3);
+  ASSERT_EQ(g.out(0).size(), 3u);
+  EXPECT_EQ(g.out(0)[0], 2u);
+  EXPECT_EQ(g.out(0)[1], 1u);
+  EXPECT_EQ(g.out(0)[2], 3u);
+}
+
+TEST(Digraph, SourcesAndSinks) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.sources(), std::vector<VertexId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<VertexId>{3});
+}
+
+TEST(Digraph, ArcOutOfRangeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_arc(0, 5), ContractViolation);
+}
+
+TEST(Digraph, ArcsListsAll) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.arcs().size(), 4u);
+}
+
+TEST(Topo, DiamondOrder) {
+  const Digraph g = diamond();
+  auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(is_topological(g, *order));
+  EXPECT_EQ((*order)[0], 0u);
+  EXPECT_EQ((*order)[3], 3u);
+}
+
+TEST(Topo, CycleDetected) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Topo, IsTopologicalRejectsBadOrders) {
+  const Digraph g = diamond();
+  EXPECT_FALSE(is_topological(g, {3, 1, 2, 0}));   // arc violated
+  EXPECT_FALSE(is_topological(g, {0, 1, 2}));      // wrong size
+  EXPECT_FALSE(is_topological(g, {0, 1, 1, 3}));   // duplicate
+}
+
+TEST(Topo, DeterministicTieBreak) {
+  Digraph g(3);  // no arcs: pure tie-break by id
+  auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(Reachability, BfsDiamond) {
+  const Digraph g = diamond();
+  EXPECT_TRUE(reachable(g, 0, 3));
+  EXPECT_TRUE(reachable(g, 1, 3));
+  EXPECT_FALSE(reachable(g, 1, 2));
+  EXPECT_TRUE(reachable(g, 2, 2));  // reflexive
+  EXPECT_FALSE(reachable(g, 3, 0));
+}
+
+TEST(TransitiveClosure, MatchesBfsOnDiamond) {
+  const Digraph g = diamond();
+  TransitiveClosure tc(g);
+  for (VertexId a = 0; a < 4; ++a)
+    for (VertexId b = 0; b < 4; ++b)
+      EXPECT_EQ(tc.reaches(a, b), reachable(g, a, b)) << a << "->" << b;
+}
+
+TEST(TransitiveClosure, Comparable) {
+  const Digraph g = diamond();
+  TransitiveClosure tc(g);
+  EXPECT_TRUE(tc.comparable(0, 3));
+  EXPECT_FALSE(tc.comparable(1, 2));
+}
+
+TEST(TransitiveClosure, RequiresDag) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  EXPECT_THROW(TransitiveClosure{g}, ContractViolation);
+}
+
+// Property: closure == per-pair BFS on random 2D-lattice task graphs,
+// including sizes that cross the 64-bit word boundary of a closure row.
+class ClosureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosureProperty, MatchesBfsOnRandomForkJoinGraphs) {
+  Xoshiro256 rng(GetParam());
+  ForkJoinParams params;
+  params.max_actions = 24;
+  params.max_depth = 6;
+  const Diagram d = random_fork_join_diagram(rng, params);
+  const Digraph& g = d.graph();
+  ASSERT_GE(g.vertex_count(), 2u);
+  TransitiveClosure tc(g);
+  for (VertexId a = 0; a < g.vertex_count(); ++a)
+    for (VertexId b = 0; b < g.vertex_count(); ++b)
+      ASSERT_EQ(tc.reaches(a, b), reachable(g, a, b)) << a << "->" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace race2d

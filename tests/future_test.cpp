@@ -1,0 +1,132 @@
+// Futures over the restricted fork-join (§2.2): producers are forked tasks,
+// get() is a discipline-checked join, and unsynchronized consumption is a
+// detectable race.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/future.hpp"
+#include "runtime/instrumented.hpp"
+#include "runtime/parallel_executor.hpp"
+#include "runtime/serial_executor.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(Future, GetReturnsProducedValue) {
+  int result = 0;
+  SerialExecutor exec(nullptr);
+  exec.run([&result](TaskContext& ctx) {
+    Future<int> f = spawn_future<int>(ctx, [](TaskContext&) { return 42; });
+    result = f.get(ctx);
+  });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Future, MoveOnlyFriendlyTypes) {
+  std::string result;
+  SerialExecutor exec(nullptr);
+  exec.run([&result](TaskContext& ctx) {
+    auto f = spawn_future<std::string>(
+        ctx, [](TaskContext&) { return std::string("two-dimensional"); });
+    result = f.get(ctx);
+  });
+  EXPECT_EQ(result, "two-dimensional");
+}
+
+TEST(Future, EmptyFutureThrows) {
+  SerialExecutor exec(nullptr);
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 Future<int> f;
+                 f.get(ctx);
+               }),
+               ContractViolation);
+}
+
+TEST(Future, GetIsRaceFreeUnderDetection) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    Future<int> f = spawn_future<int>(ctx, [](TaskContext&) { return 7; });
+    const int v = f.get(ctx);
+    EXPECT_EQ(v, 7);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Future, PeekWithoutGetIsARace) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    Future<int> f = spawn_future<int>(ctx, [](TaskContext&) { return 7; });
+    (void)f.peek(ctx);  // read without the join: concurrent with the write
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_EQ(result.races.size(), 1u);
+  EXPECT_EQ(result.races[0].current_kind, AccessKind::kRead);
+  EXPECT_EQ(result.races[0].prior_kind, AccessKind::kWrite);
+}
+
+TEST(Future, PeekAfterGetIsFine) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    Future<int> f = spawn_future<int>(ctx, [](TaskContext&) { return 9; });
+    const int v = f.get(ctx);
+    EXPECT_EQ(f.peek(ctx), v);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Future, SiblingConsumesFutureFigure2Style) {
+  // The paper's non-SP pattern: t forks producer a, then forks consumer c
+  // which joins a — c (not the spawner) consumes the future.
+  int seen = -1;
+  const auto result = run_with_detection([&seen](TaskContext& ctx) {
+    Future<int> f =
+        spawn_future<int>(ctx, [](TaskContext&) { return 123; });
+    auto consumer = ctx.fork([f, &seen](TaskContext& c) mutable {
+      seen = f.get(c);  // legal: the producer is c's left neighbor
+    });
+    ctx.join(consumer);
+  });
+  EXPECT_EQ(seen, 123);
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Future, GetOfNonLeftNeighborThrows) {
+  SerialExecutor exec(nullptr);
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 Future<int> f =
+                     spawn_future<int>(ctx, [](TaskContext&) { return 1; });
+                 ctx.fork([](TaskContext&) {});  // now f's task is 2 away
+                 f.get(ctx);
+               }),
+               ContractViolation);
+}
+
+TEST(Future, ChainsOfFutures) {
+  int result = 0;
+  const auto detection = run_with_detection([&result](TaskContext& ctx) {
+    Future<int> a = spawn_future<int>(ctx, [](TaskContext&) { return 10; });
+    // The producer of b consumes a (a is its left neighbor at get time).
+    Future<int> b = spawn_future<int>(ctx, [a](TaskContext& p) mutable {
+      return a.get(p) + 5;
+    });
+    result = b.get(ctx);
+  });
+  EXPECT_EQ(result, 15);
+  EXPECT_TRUE(detection.race_free());
+}
+
+TEST(Future, WorksOnParallelExecutor) {
+  int result = 0;
+  ParallelExecutor exec({2});
+  exec.run([&result](TaskContext& ctx) {
+    Future<int> f = spawn_future<int>(ctx, [](TaskContext& p) {
+      Future<int> inner =
+          spawn_future<int>(p, [](TaskContext&) { return 20; });
+      return inner.get(p) + 1;
+    });
+    result = f.get(ctx);
+  });
+  EXPECT_EQ(result, 21);
+}
+
+}  // namespace
+}  // namespace race2d

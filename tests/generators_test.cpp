@@ -1,0 +1,111 @@
+// Workload generators: determinism, validity, and promised race properties.
+#include <gtest/gtest.h>
+
+#include "lattice/generate.hpp"
+#include "lattice/validate.hpp"
+#include "runtime/instrumented.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/trace.hpp"
+#include "support/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(Generators, RandomProgramIsDeterministicPerSeed) {
+  ProgramParams params;
+  params.seed = 77;
+  Trace first, second;
+  {
+    TraceRecorder rec;
+    SerialExecutor exec(&rec);
+    exec.run(random_program(params));
+    first = rec.take();
+  }
+  {
+    TraceRecorder rec;
+    SerialExecutor exec(&rec);
+    exec.run(random_program(params));
+    second = rec.take();
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  ProgramParams a, b;
+  a.seed = 1;
+  b.seed = 2;
+  TraceRecorder ra, rb;
+  SerialExecutor ea(&ra), eb(&rb);
+  ea.run(random_program(a));
+  eb.run(random_program(b));
+  EXPECT_NE(ra.trace(), rb.trace());
+}
+
+TEST(Generators, RandomProgramRespectsTaskCap) {
+  ProgramParams params;
+  params.seed = 5;
+  params.max_tasks = 10;
+  params.fork_prob = 0.9;
+  params.max_actions = 50;
+  SerialExecutor exec(nullptr);
+  EXPECT_LE(exec.run(random_program(params)), 10u);
+}
+
+TEST(Generators, GridDiagramShape) {
+  const Diagram d = grid_diagram(3, 4);
+  EXPECT_EQ(d.vertex_count(), 12u);
+  // Arcs: down (2*4) + right (3*3) = 17.
+  EXPECT_EQ(d.arc_count(), 17u);
+  EXPECT_EQ(d.graph().sources(), std::vector<VertexId>{0});
+  EXPECT_EQ(d.graph().sinks(), std::vector<VertexId>{11});
+}
+
+TEST(Generators, GridRejectsEmpty) {
+  EXPECT_THROW(grid_diagram(0, 3), ContractViolation);
+}
+
+TEST(Generators, RandomForkJoinDeterministicPerSeed) {
+  ForkJoinParams params;
+  Xoshiro256 rng1(9), rng2(9);
+  const Diagram a = random_fork_join_diagram(rng1, params);
+  const Diagram b = random_fork_join_diagram(rng2, params);
+  ASSERT_EQ(a.vertex_count(), b.vertex_count());
+  EXPECT_EQ(a.graph().arcs(), b.graph().arcs());
+}
+
+TEST(Generators, SpDiagramHasSingleSourceAndSink) {
+  Xoshiro256 rng(3);
+  const Diagram d = random_sp_diagram(rng, 30);
+  EXPECT_EQ(d.graph().sources().size(), 1u);
+  EXPECT_EQ(d.graph().sinks().size(), 1u);
+}
+
+class RaceFreedom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaceFreedom, RaceFreeProgramsNeverFlag) {
+  ProgramParams params;
+  params.seed = GetParam() * 11400714819323198485ULL + 11;
+  params.max_actions = 28;
+  params.max_depth = 7;
+  params.max_tasks = 96;
+  const auto result = run_with_detection(race_free_program(params));
+  EXPECT_TRUE(result.race_free()) << "seed " << GetParam();
+}
+
+TEST_P(RaceFreedom, RacyProgramsAlwaysFlag) {
+  ProgramParams params;
+  params.seed = GetParam() * 14029467366897019727ULL + 23;
+  params.max_actions = 20;
+  params.max_depth = 5;
+  const auto result = run_with_detection(racy_program(params, 0xF00D));
+  ASSERT_FALSE(result.race_free()) << "seed " << GetParam();
+  EXPECT_EQ(result.races[0].loc, 0xF00Du);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaceFreedom,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace race2d

@@ -1,0 +1,121 @@
+// Algebraic laws of the lattice layer: the brute-force sup/inf used as
+// ground truth must itself satisfy lattice identities on every generated
+// family — a sanity layer under all differential tests.
+#include <gtest/gtest.h>
+
+#include "lattice/generate.hpp"
+#include "lattice/poset.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+namespace {
+
+void check_laws(const Diagram& d, std::uint64_t seed) {
+  const Poset p(d.graph());
+  const std::size_t n = p.size();
+  Xoshiro256 rng(seed);
+
+  auto sup = [&](VertexId a, VertexId b) {
+    auto s = p.supremum(a, b);
+    EXPECT_TRUE(s.has_value());
+    return *s;
+  };
+  auto inf = [&](VertexId a, VertexId b) {
+    auto s = p.infimum(a, b);
+    EXPECT_TRUE(s.has_value());
+    return *s;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const VertexId a = static_cast<VertexId>(rng.below(n));
+    const VertexId b = static_cast<VertexId>(rng.below(n));
+    const VertexId c = static_cast<VertexId>(rng.below(n));
+
+    // Idempotence and commutativity.
+    ASSERT_EQ(sup(a, a), a);
+    ASSERT_EQ(inf(a, a), a);
+    ASSERT_EQ(sup(a, b), sup(b, a));
+    ASSERT_EQ(inf(a, b), inf(b, a));
+
+    // Associativity.
+    ASSERT_EQ(sup(a, sup(b, c)), sup(sup(a, b), c));
+    ASSERT_EQ(inf(a, inf(b, c)), inf(inf(a, b), c));
+
+    // Absorption.
+    ASSERT_EQ(sup(a, inf(a, b)), a);
+    ASSERT_EQ(inf(a, sup(a, b)), a);
+
+    // Consistency: a ⊑ b ⇔ sup = b ⇔ inf = a.
+    ASSERT_EQ(p.leq(a, b), sup(a, b) == b);
+    ASSERT_EQ(p.leq(a, b), inf(a, b) == a);
+
+    // The supremum is an upper bound below every other upper bound.
+    const VertexId s = sup(a, b);
+    ASSERT_TRUE(p.leq(a, s));
+    ASSERT_TRUE(p.leq(b, s));
+    for (VertexId z = 0; z < n; ++z) {
+      if (p.leq(a, z) && p.leq(b, z)) {
+        ASSERT_TRUE(p.leq(s, z));
+      }
+    }
+  }
+
+  // Folding via supremum_of agrees with pairwise folding.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<VertexId> xs;
+    for (int k = 0; k < 5; ++k)
+      xs.push_back(static_cast<VertexId>(rng.below(n)));
+    auto folded = p.supremum_of(xs);
+    ASSERT_TRUE(folded.has_value());
+    VertexId manual = xs[0];
+    for (std::size_t i = 1; i < xs.size(); ++i) manual = sup(manual, xs[i]);
+    ASSERT_EQ(*folded, manual);
+  }
+}
+
+TEST(LatticeLaws, Figure3) { check_laws(figure3_diagram(), 1); }
+
+TEST(LatticeLaws, Grid) { check_laws(grid_diagram(5, 4), 2); }
+
+TEST(LatticeLaws, Chain) {
+  Diagram d(6);
+  for (VertexId v = 0; v + 1 < 6; ++v) d.add_arc(v, v + 1);
+  check_laws(d, 3);
+}
+
+class LatticeLawsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatticeLawsProperty, RandomForkJoinLattices) {
+  Xoshiro256 rng(GetParam() * 0x9E3779B97F4A7C15ULL);
+  ForkJoinParams params;
+  params.max_actions = 14;
+  params.max_depth = 4;
+  check_laws(random_fork_join_diagram(rng, params), GetParam());
+}
+
+TEST_P(LatticeLawsProperty, RandomSpLattices) {
+  Xoshiro256 rng(GetParam() * 0xC2B2AE3D27D4EB4FULL);
+  check_laws(random_sp_diagram(rng, 12 + rng.below(30)), GetParam() + 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeLawsProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(LatticeLaws, SupremumAbsentInNonLattice) {
+  // Two maximal elements: their supremum does not exist.
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  Poset p(g);
+  EXPECT_FALSE(p.supremum(1, 2).has_value());
+  EXPECT_TRUE(p.infimum(1, 2).has_value());
+  EXPECT_EQ(*p.infimum(1, 2), 0u);
+}
+
+TEST(LatticeLaws, SupremumOfEmptySetIsNullopt) {
+  Poset p(grid_diagram(2, 2).graph());
+  EXPECT_FALSE(p.supremum_of({}).has_value());
+}
+
+}  // namespace
+}  // namespace race2d

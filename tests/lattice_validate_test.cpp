@@ -1,0 +1,130 @@
+// Lattice-hood and two-dimensionality of every generator family, plus
+// rejection of non-lattices — Theorem 6's structural guarantee, tested.
+#include <gtest/gtest.h>
+
+#include "lattice/dimension.hpp"
+#include "lattice/generate.hpp"
+#include "lattice/validate.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(Validate, Figure3IsATwoDimensionalLattice) {
+  const Diagram d = figure3_diagram();
+  EXPECT_TRUE(check_diagram(d).ok);
+  EXPECT_TRUE(check_lattice(d.graph()).ok) << check_lattice(d.graph()).reason;
+  EXPECT_TRUE(certifies_dimension_two(d));
+}
+
+TEST(Validate, GridsAreTwoDimensionalLattices) {
+  for (auto [r, c] : {std::pair<std::size_t, std::size_t>{1, 1},
+                      {1, 7},
+                      {5, 1},
+                      {3, 4},
+                      {6, 6}}) {
+    const Diagram d = grid_diagram(r, c);
+    EXPECT_TRUE(check_lattice(d.graph()).ok) << r << "x" << c;
+    EXPECT_TRUE(certifies_dimension_two(d)) << r << "x" << c;
+  }
+}
+
+TEST(Validate, CrownPosetIsNotALattice) {
+  // source -> {a, b} -> {c, d} -> sink with a,b below both c,d:
+  // sup{a,b} is not unique (both c and d are minimal upper bounds).
+  Digraph g(6);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 3);
+  g.add_arc(1, 4);
+  g.add_arc(2, 3);
+  g.add_arc(2, 4);
+  g.add_arc(3, 5);
+  g.add_arc(4, 5);
+  const auto check = check_lattice(g);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.reason.find("supremum"), std::string::npos);
+}
+
+TEST(Validate, TwoSinksRejected) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  EXPECT_FALSE(check_lattice(g).ok);
+}
+
+TEST(Validate, TwoSourcesRejected) {
+  Digraph g(3);
+  g.add_arc(0, 2);
+  g.add_arc(1, 2);
+  EXPECT_FALSE(check_lattice(g).ok);
+}
+
+TEST(Validate, CycleRejected) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  EXPECT_FALSE(check_lattice(g).ok);
+}
+
+TEST(Validate, EmptyRejected) {
+  Digraph g;
+  EXPECT_FALSE(check_lattice(g).ok);
+}
+
+TEST(Dimension, RealizerOfFigure3) {
+  const Diagram d = figure3_diagram();
+  const Realizer r = realizer_from_diagram(d);
+  EXPECT_TRUE(is_realizer(d.graph(), r));
+  // The left-to-right order is 1..9 (checked in traversal tests); the
+  // mirrored order must differ (the lattice is not a chain).
+  EXPECT_NE(r.l1, r.l2);
+}
+
+TEST(Dimension, ChainHasEqualRealizerOrders) {
+  Diagram d(4);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 3);
+  const Realizer r = realizer_from_diagram(d);
+  EXPECT_EQ(r.l1, r.l2);  // a total order needs only one linear extension
+  EXPECT_TRUE(is_realizer(d.graph(), r));
+}
+
+TEST(Dimension, RejectsWrongRealizer) {
+  const Diagram d = figure3_diagram();
+  Realizer r = realizer_from_diagram(d);
+  r.l2 = r.l1;  // pretend the order is a chain: intersection too big
+  EXPECT_FALSE(is_realizer(d.graph(), r));
+}
+
+// Property sweep: random SP diagrams and random fork-join executions are
+// 2D lattices (Theorem 6) certified by a Dushnik–Miller realizer.
+class GeneratorLatticeProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorLatticeProperty, RandomSpDiagramsAreTwoDimensionalLattices) {
+  Xoshiro256 rng(GetParam());
+  const Diagram d = random_sp_diagram(rng, 8 + rng.below(40));
+  EXPECT_TRUE(check_diagram(d).ok);
+  EXPECT_TRUE(check_lattice(d.graph()).ok) << check_lattice(d.graph()).reason;
+  EXPECT_TRUE(certifies_dimension_two(d));
+}
+
+TEST_P(GeneratorLatticeProperty, RandomForkJoinGraphsAreTwoDimensionalLattices) {
+  Xoshiro256 rng(GetParam() * 7919);
+  ForkJoinParams params;
+  params.max_actions = 16;
+  params.max_depth = 5;
+  const Diagram d = random_fork_join_diagram(rng, params);
+  ASSERT_LE(d.vertex_count(), 600u) << "keep brute-force checks tractable";
+  EXPECT_TRUE(check_diagram(d).ok);
+  EXPECT_TRUE(check_lattice(d.graph()).ok) << check_lattice(d.graph()).reason;
+  EXPECT_TRUE(certifies_dimension_two(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorLatticeProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace race2d

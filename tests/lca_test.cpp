@@ -1,0 +1,102 @@
+// Tarjan's offline LCA — the base algorithm the paper extends (Remark 2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/lca.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+namespace {
+
+RootedTree path_tree(std::size_t n) {
+  RootedTree t;
+  t.parent.resize(n);
+  t.parent[0] = 0;
+  for (VertexId v = 1; v < n; ++v) t.parent[v] = v - 1;
+  t.root = 0;
+  return t;
+}
+
+TEST(OfflineLca, SingleVertex) {
+  RootedTree t;
+  t.parent = {0};
+  t.root = 0;
+  auto ans = offline_lca(t, {{0, 0}});
+  ASSERT_EQ(ans.size(), 1u);
+  EXPECT_EQ(ans[0], 0u);
+}
+
+TEST(OfflineLca, PathTree) {
+  const RootedTree t = path_tree(6);
+  auto ans = offline_lca(t, {{5, 2}, {0, 4}, {3, 3}});
+  EXPECT_EQ(ans[0], 2u);  // ancestor on a path
+  EXPECT_EQ(ans[1], 0u);
+  EXPECT_EQ(ans[2], 3u);
+}
+
+TEST(OfflineLca, BinaryTree) {
+  // Heap-shaped: parent(v) = (v-1)/2 for 7 vertices.
+  RootedTree t;
+  t.parent.resize(7);
+  t.parent[0] = 0;
+  for (VertexId v = 1; v < 7; ++v) t.parent[v] = (v - 1) / 2;
+  t.root = 0;
+  auto ans = offline_lca(t, {{3, 4}, {3, 5}, {5, 6}, {3, 6}, {1, 3}});
+  EXPECT_EQ(ans[0], 1u);
+  EXPECT_EQ(ans[1], 0u);
+  EXPECT_EQ(ans[2], 2u);
+  EXPECT_EQ(ans[3], 0u);
+  EXPECT_EQ(ans[4], 1u);
+}
+
+TEST(OfflineLca, NaiveAgreesOnBinaryTree) {
+  RootedTree t;
+  t.parent.resize(7);
+  t.parent[0] = 0;
+  for (VertexId v = 1; v < 7; ++v) t.parent[v] = (v - 1) / 2;
+  t.root = 0;
+  EXPECT_EQ(naive_lca(t, 3, 4), 1u);
+  EXPECT_EQ(naive_lca(t, 5, 6), 2u);
+}
+
+TEST(OfflineLca, RejectsBadRoot) {
+  RootedTree t;
+  t.parent = {1, 1};  // vertex 0's parent is 1, root claimed to be 0
+  t.root = 0;
+  EXPECT_THROW(offline_lca(t, {}), ContractViolation);
+}
+
+// Property: offline answers equal the naive parent-chain walk on random
+// trees of various shapes (TEST_P sweep over seeds).
+class LcaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcaProperty, MatchesNaiveOnRandomTrees) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 2 + rng.below(200);
+  RootedTree t;
+  t.parent.resize(n);
+  t.parent[0] = 0;
+  t.root = 0;
+  // Skewed attachment keeps some trees deep and some bushy.
+  for (VertexId v = 1; v < n; ++v)
+    t.parent[v] = rng.chance(0.3) ? v - 1 : static_cast<VertexId>(rng.below(v));
+
+  std::vector<LcaQuery> queries;
+  for (int i = 0; i < 300; ++i)
+    queries.push_back({static_cast<VertexId>(rng.below(n)),
+                       static_cast<VertexId>(rng.below(n))});
+  const auto ans = offline_lca(t, queries);
+  ASSERT_EQ(ans.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    ASSERT_EQ(ans[i], naive_lca(t, queries[i].a, queries[i].b))
+        << "query " << queries[i].a << "," << queries[i].b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace race2d

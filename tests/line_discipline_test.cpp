@@ -1,0 +1,122 @@
+// The Figure 9 line discipline: forks insert left, joins consume only the
+// immediate left halted neighbor, violations throw.
+#include <gtest/gtest.h>
+
+#include "runtime/line.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(TaskLine, RootInitializes) {
+  TaskLine line;
+  EXPECT_EQ(line.init_root(), 0u);
+  EXPECT_EQ(line.task_count(), 1u);
+  EXPECT_EQ(line.live_count(), 1u);
+  EXPECT_EQ(line.snapshot(), (std::vector<TaskId>{0}));
+  EXPECT_EQ(line.left_of(0), kInvalidTask);
+}
+
+TEST(TaskLine, DoubleInitThrows) {
+  TaskLine line;
+  line.init_root();
+  EXPECT_THROW(line.init_root(), ContractViolation);
+}
+
+TEST(TaskLine, ForkInsertsLeftOfParent) {
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  EXPECT_EQ(line.snapshot(), (std::vector<TaskId>{a, 0}));
+  const TaskId b = line.fork(0);
+  EXPECT_EQ(line.snapshot(), (std::vector<TaskId>{a, b, 0}));
+  EXPECT_EQ(line.left_of(0), b);
+  EXPECT_EQ(line.left_of(b), a);
+  EXPECT_EQ(line.left_of(a), kInvalidTask);
+}
+
+TEST(TaskLine, NestedForkGoesLeftOfChild) {
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  const TaskId a1 = line.fork(a);
+  EXPECT_EQ(line.snapshot(), (std::vector<TaskId>{a1, a, 0}));
+}
+
+TEST(TaskLine, JoinRemovesLeftNeighbor) {
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  line.halt(a);
+  line.join(0, a);
+  EXPECT_EQ(line.snapshot(), (std::vector<TaskId>{0}));
+  EXPECT_EQ(line.live_count(), 1u);
+}
+
+TEST(TaskLine, JoinNonLeftNeighborThrows) {
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  const TaskId b = line.fork(0);
+  line.halt(a);
+  line.halt(b);
+  EXPECT_THROW(line.join(0, a), ContractViolation);  // a is two to the left
+  line.join(0, b);  // legal: b is the immediate left neighbor
+  line.join(0, a);  // now a became the immediate left neighbor
+}
+
+TEST(TaskLine, JoinUnhaltedThrows) {
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  EXPECT_THROW(line.join(0, a), ContractViolation);
+}
+
+TEST(TaskLine, JoinTwiceThrows) {
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  line.halt(a);
+  line.join(0, a);
+  EXPECT_THROW(line.join(0, a), ContractViolation);
+}
+
+TEST(TaskLine, HaltedTaskCannotForkOrJoin) {
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  line.halt(a);
+  EXPECT_THROW(line.fork(a), ContractViolation);
+  const TaskId b = line.fork(0);
+  line.halt(b);
+  EXPECT_THROW(line.join(a, b), ContractViolation);
+}
+
+TEST(TaskLine, DoubleHaltThrows) {
+  TaskLine line;
+  line.init_root();
+  line.halt(0);
+  EXPECT_THROW(line.halt(0), ContractViolation);
+}
+
+TEST(TaskLine, SiblingMayJoinSibling) {
+  // The non-SP pattern of Figure 2: t forks a, t forks c, c joins a.
+  TaskLine line;
+  line.init_root();
+  const TaskId a = line.fork(0);
+  line.halt(a);
+  const TaskId c = line.fork(0);
+  EXPECT_EQ(line.snapshot(), (std::vector<TaskId>{a, c, 0}));
+  line.join(c, a);  // c's left neighbor is a — legal, produces non-SP graphs
+  EXPECT_EQ(line.snapshot(), (std::vector<TaskId>{c, 0}));
+}
+
+TEST(TaskLine, UnknownTaskThrows) {
+  TaskLine line;
+  line.init_root();
+  EXPECT_THROW(line.fork(7), ContractViolation);
+  EXPECT_THROW(line.halt(7), ContractViolation);
+  EXPECT_THROW(line.left_of(7), ContractViolation);
+}
+
+}  // namespace
+}  // namespace race2d

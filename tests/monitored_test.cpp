@@ -1,0 +1,107 @@
+// Monitored<T>: RAII-instrumented shared variables.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/instrumented.hpp"
+#include "runtime/monitored.hpp"
+#include "runtime/spawn_sync.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(Monitored, SequentialUseIsRaceFree) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    Monitored<int> v(ctx, 1);
+    v.store(ctx, v.load(ctx) + 1);
+    EXPECT_EQ(v.load(ctx), 2);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Monitored, ConcurrentStoreIsARace) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    Monitored<int> v(ctx, 0);
+    ctx.fork([&v](TaskContext& c) { v.store(c, 1); });
+    v.store(ctx, 2);
+    while (ctx.join_left()) {
+    }
+  });
+  EXPECT_FALSE(result.race_free());
+}
+
+TEST(Monitored, JoinedAccessIsOrdered) {
+  int seen = 0;
+  const auto result = run_with_detection([&seen](TaskContext& ctx) {
+    Monitored<int> v(ctx, 0);
+    auto h = ctx.fork([&v](TaskContext& c) { v.store(c, 41); });
+    ctx.join(h);
+    v.update(ctx, [](int x) { return x + 1; });
+    seen = v.load(ctx);
+  });
+  EXPECT_EQ(seen, 42);
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Monitored, FreshLocationsNeverCollideAcrossScopes) {
+  // Two generations of Monitored variables in reused stack frames: the
+  // logical locations are fresh each time and retired at scope exit, so no
+  // cross-generation interference is possible.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    for (int gen = 0; gen < 3; ++gen) {
+      Monitored<int> v(ctx, gen);
+      ctx.fork([&v](TaskContext& c) { (void)v.load(c); });
+      // Not joining yet — the child's read is concurrent with nothing else.
+      while (ctx.join_left()) {
+      }
+    }
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Monitored, RetireWhileChildStillRacingIsReported) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    {
+      Monitored<int> v(ctx, 0);
+      ctx.fork([&v](TaskContext& c) { v.store(c, 1); });
+      // v dies here without joining the child: a lifetime bug.
+    }
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_FALSE(result.race_free());
+  EXPECT_EQ(result.races[0].current_kind, AccessKind::kRetire);
+}
+
+TEST(Monitored, WorksWithSpawnSyncAccumulation) {
+  int total = 0;
+  const auto result = run_with_detection([&total](TaskContext& ctx) {
+    Monitored<int> acc(ctx, 0);
+    SpawnScope scope(ctx);
+    for (int i = 1; i <= 4; ++i) {
+      scope.spawn([&acc, i](TaskContext& c) {
+        // Each child updates after the previous child was... NOT joined:
+        // this would race, so children write private cells instead.
+        Monitored<int> part(c, i * 10);
+        (void)part.load(c);
+      });
+      scope.sync();  // serialize generations
+      acc.update(ctx, [i](int x) { return x + i; });
+    }
+    total = acc.load(ctx);
+  });
+  EXPECT_EQ(total, 10);
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Monitored, MoveOnlyPayload) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    Monitored<std::string> s(ctx, "a");
+    s.update(ctx, [](std::string v) { return v + "b"; });
+    EXPECT_EQ(s.load(ctx), "ab");
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+}  // namespace
+}  // namespace race2d

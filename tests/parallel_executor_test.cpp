@@ -1,0 +1,144 @@
+// The parallel executor: same programs, same results, real threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "runtime/parallel_executor.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/spawn_sync.hpp"
+#include "workloads/kernels.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(ParallelExecutor, RunsEmptyRoot) {
+  ParallelExecutor exec;
+  EXPECT_EQ(exec.run([](TaskContext&) {}), 1u);
+}
+
+TEST(ParallelExecutor, ForkJoinBasic) {
+  std::atomic<int> counter{0};
+  ParallelExecutor exec;
+  exec.run([&counter](TaskContext& ctx) {
+    auto h = ctx.fork([&counter](TaskContext&) { counter.fetch_add(1); });
+    ctx.join(h);
+    counter.fetch_add(10);
+  });
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ParallelExecutor, FibMatchesSerialResult) {
+  FibWorkload serial_fib(16);
+  SerialExecutor serial;
+  serial.run(serial_fib.task());
+
+  FibWorkload parallel_fib(16);
+  ParallelExecutor parallel({4});
+  parallel.run(parallel_fib.task());
+
+  EXPECT_EQ(serial_fib.result(), parallel_fib.result());
+  EXPECT_EQ(parallel_fib.result(), FibWorkload::expected(16));
+}
+
+TEST(ParallelExecutor, StagedPipelineChecksumMatchesSerial) {
+  StagedPipeline serial_p(4, 16, 64);
+  SerialExecutor serial;
+  serial.run(serial_p.task());
+
+  StagedPipeline parallel_p(4, 16, 64);
+  ParallelExecutor parallel({4});
+  parallel.run(parallel_p.task());
+
+  EXPECT_EQ(serial_p.checksum(), parallel_p.checksum());
+}
+
+TEST(ParallelExecutor, LcsMatchesReference) {
+  const std::string a = "mississippi river banks";
+  const std::string b = "mississauga river bend";
+  LcsWavefront wf(a, b, 4);
+  ParallelExecutor exec({3});
+  exec.run(wf.task());
+  EXPECT_EQ(wf.result(), LcsWavefront::reference_lcs(a, b));
+}
+
+TEST(ParallelExecutor, ManySmallTasks) {
+  std::atomic<int> counter{0};
+  ParallelExecutor exec({4});
+  const std::size_t tasks = exec.run([&counter](TaskContext& ctx) {
+    SpawnScope scope(ctx);
+    for (int i = 0; i < 200; ++i)
+      scope.spawn([&counter](TaskContext&) { counter.fetch_add(1); });
+    scope.sync();
+  });
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(tasks, 201u);
+}
+
+TEST(ParallelExecutor, NestedForksRun) {
+  std::atomic<int> counter{0};
+  ParallelExecutor exec({4});
+  exec.run([&counter](TaskContext& ctx) {
+    SpawnScope outer(ctx);
+    for (int i = 0; i < 8; ++i) {
+      outer.spawn([&counter](TaskContext& c) {
+        SpawnScope inner(c);
+        for (int j = 0; j < 8; ++j)
+          inner.spawn([&counter](TaskContext&) { counter.fetch_add(1); });
+      });
+    }
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelExecutor, ExceptionPropagates) {
+  ParallelExecutor exec({2});
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 auto h = ctx.fork([](TaskContext&) {
+                   throw std::runtime_error("boom");
+                 });
+                 ctx.join(h);
+               }),
+               std::runtime_error);
+}
+
+TEST(ParallelExecutor, IllegalJoinDetected) {
+  ParallelExecutor exec({2});
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 auto a = ctx.fork([](TaskContext&) {});
+                 ctx.fork([](TaskContext&) {});
+                 ctx.join(a);  // not the left neighbor
+               }),
+               ContractViolation);
+}
+
+TEST(ParallelExecutor, JoinLeftWorks) {
+  std::atomic<int> counter{0};
+  ParallelExecutor exec({2});
+  exec.run([&counter](TaskContext& ctx) {
+    for (int i = 0; i < 5; ++i)
+      ctx.fork([&counter](TaskContext&) { counter.fetch_add(1); });
+    while (ctx.join_left()) {
+    }
+    EXPECT_FALSE(ctx.has_left());
+  });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ParallelExecutor, SingleThreadPoolStillCompletes) {
+  // Help-on-join must prevent deadlock even with one worker.
+  std::atomic<int> counter{0};
+  ParallelExecutor exec({1});
+  exec.run([&counter](TaskContext& ctx) {
+    SpawnScope scope(ctx);
+    for (int i = 0; i < 20; ++i)
+      scope.spawn([&counter](TaskContext& c) {
+        auto h = c.fork([&counter](TaskContext&) { counter.fetch_add(1); });
+        c.join(h);
+      });
+  });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace race2d

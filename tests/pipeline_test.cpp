@@ -1,0 +1,286 @@
+// Linear pipelines (§5): the encoding into restricted fork-join, the grid
+// shape of the resulting task graphs, LCS correctness, and race detection on
+// pipelined workloads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/naive.hpp"
+#include "lattice/dimension.hpp"
+#include "lattice/validate.hpp"
+#include "runtime/instrumented.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/trace.hpp"
+#include "workloads/kernels.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(Pipeline, StageInvocationCountsAndOrderPerItem) {
+  const std::size_t m = 3, n = 5;
+  std::vector<std::vector<int>> seen(m);  // stage -> items in order
+  SerialExecutor exec(nullptr);
+  exec.run([&](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    for (std::size_t s = 0; s < m; ++s)
+      stages.push_back([&seen, s](TaskContext&, std::size_t item) {
+        seen[s].push_back(static_cast<int>(item));
+      });
+    run_pipeline(ctx, stages, n);
+  });
+  for (std::size_t s = 0; s < m; ++s)
+    EXPECT_EQ(seen[s], (std::vector<int>{0, 1, 2, 3, 4})) << "stage " << s;
+}
+
+TEST(Pipeline, SingleStageRunsInline) {
+  std::vector<int> seen;
+  SerialExecutor exec(nullptr);
+  std::size_t tasks = exec.run([&](TaskContext& ctx) {
+    std::vector<StageFn> stages{
+        [&seen](TaskContext&, std::size_t item) {
+          seen.push_back(static_cast<int>(item));
+        }};
+    run_pipeline(ctx, stages, 4);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(tasks, 1u);  // no forks for a 1-stage pipeline
+}
+
+TEST(Pipeline, ZeroItemsIsANoop) {
+  SerialExecutor exec(nullptr);
+  EXPECT_EQ(exec.run([](TaskContext& ctx) {
+              std::vector<StageFn> stages{[](TaskContext&, std::size_t) {}};
+              run_pipeline(ctx, stages, 0);
+            }),
+            1u);
+}
+
+TEST(Pipeline, TaskCountIsCellsPlusHost) {
+  // Stages m, items n: host + (m-1)*n cell tasks.
+  const std::size_t m = 4, n = 6;
+  SerialExecutor exec(nullptr);
+  const std::size_t tasks = exec.run([&](TaskContext& ctx) {
+    std::vector<StageFn> stages(m, [](TaskContext&, std::size_t) {});
+    run_pipeline(ctx, stages, n);
+  });
+  EXPECT_EQ(tasks, 1 + (m - 1) * n);
+}
+
+TEST(Pipeline, TaskGraphIsTwoDimensionalLattice) {
+  TraceRecorder rec;
+  SerialExecutor exec(&rec);
+  exec.run([](TaskContext& ctx) {
+    std::vector<StageFn> stages(3, [](TaskContext&, std::size_t) {});
+    run_pipeline(ctx, stages, 4);
+  });
+  const TaskGraph tg = build_task_graph(rec.trace());
+  EXPECT_TRUE(check_diagram(tg.diagram).ok);
+  EXPECT_TRUE(check_lattice(tg.diagram.graph()).ok)
+      << check_lattice(tg.diagram.graph()).reason;
+  EXPECT_TRUE(certifies_dimension_two(tg.diagram));
+}
+
+TEST(Pipeline, GridDependencesAreEnforced) {
+  // Instrumented per-cell accesses must be race-free exactly because the
+  // pipeline orders S_{i-1}(x_j) -> S_i(x_j) and S_i(x_{j-1}) -> S_i(x_j).
+  const std::size_t m = 3, n = 4;
+  const auto result = run_with_detection([=](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    for (std::size_t s = 0; s < m; ++s) {
+      stages.push_back([=](TaskContext& c, std::size_t item) {
+        const Loc cell = 1000 + s * 100 + item;
+        if (s > 0) c.read(1000 + (s - 1) * 100 + item);
+        if (item > 0) c.read(1000 + s * 100 + (item - 1));
+        c.write(cell);
+      });
+    }
+    run_pipeline(ctx, stages, n);
+  });
+  EXPECT_TRUE(result.race_free());
+  EXPECT_EQ(result.task_count, 1 + (m - 1) * n);
+}
+
+TEST(Pipeline, CrossStageSharedCounterRaces) {
+  StagedPipeline racy(3, 4, /*work_per_cell=*/4, /*inject_race=*/true);
+  const auto result = run_with_detection(racy.task());
+  EXPECT_FALSE(result.race_free());
+}
+
+TEST(Pipeline, StagedPipelineCleanVariantRaceFree) {
+  StagedPipeline clean(4, 6, /*work_per_cell=*/4);
+  const auto result = run_with_detection(clean.task());
+  EXPECT_TRUE(result.race_free());
+  EXPECT_NE(clean.checksum(), 0u);
+}
+
+TEST(Pipeline, LcsComputesCorrectLength) {
+  const std::string a = "the quick brown fox jumps over the lazy dog";
+  const std::string b = "quiet brown foxes sleep over lazy logs";
+  LcsWavefront wf(a, b, /*block=*/5);
+  SerialExecutor exec(nullptr);
+  exec.run(wf.task());
+  EXPECT_EQ(wf.result(), LcsWavefront::reference_lcs(a, b));
+  EXPECT_GT(wf.result(), 0);
+}
+
+TEST(Pipeline, LcsIsRaceFree) {
+  LcsWavefront wf("abcabcabcabc", "cbacbacba", /*block=*/3);
+  const auto result = run_with_detection(wf.task());
+  EXPECT_TRUE(result.race_free());
+  EXPECT_EQ(wf.result(), LcsWavefront::reference_lcs("abcabcabcabc", "cbacbacba"));
+}
+
+TEST(Pipeline, LcsEmptyStrings) {
+  LcsWavefront wf("", "", 4);
+  SerialExecutor exec(nullptr);
+  exec.run(wf.task());
+  EXPECT_EQ(wf.result(), 0);
+}
+
+TEST(Pipeline, LcsIdenticalStrings) {
+  LcsWavefront wf("parallel", "parallel", 2);
+  SerialExecutor exec(nullptr);
+  exec.run(wf.task());
+  EXPECT_EQ(wf.result(), 8);
+}
+
+TEST(Pipeline, RequiresAtLeastOneStage) {
+  SerialExecutor exec(nullptr);
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 std::vector<StageFn> stages;
+                 run_pipeline(ctx, stages, 3);
+               }),
+               ContractViolation);
+}
+
+TEST(PipelineStages, ParallelStageInstancesAreUnordered) {
+  // Stage 1 parallel: its instances race on a shared counter; making the
+  // stage serial removes the race. Same program, one flag flipped.
+  auto program = [](bool serial_stage1, Loc counter) {
+    return [=](TaskContext& ctx) {
+      std::vector<StageFn> stages;
+      stages.push_back([](TaskContext&, std::size_t) {});
+      stages.push_back([counter](TaskContext& c, std::size_t) {
+        c.write(counter);
+      });
+      run_pipeline(ctx, stages, 4, {true, serial_stage1});
+    };
+  };
+  EXPECT_TRUE(run_with_detection(program(true, 0x51)).race_free());
+  EXPECT_FALSE(run_with_detection(program(false, 0x52)).race_free());
+}
+
+TEST(PipelineStages, ParallelStageStillFollowsOwnItem) {
+  // Even a parallel stage is ordered after its own item's previous stage:
+  // per-item cells never race.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    stages.push_back([](TaskContext& c, std::size_t item) {
+      c.write(0x100 + item);
+    });
+    stages.push_back([](TaskContext& c, std::size_t item) {
+      c.read(0x100 + item);
+      c.write(0x200 + item);
+    });
+    run_pipeline(ctx, stages, 6, {true, false});
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(PipelineStages, SerialAfterParallelIsRejected) {
+  // P then S cannot be expressed with left-neighbor joins (the serial
+  // chain's target is shielded by unjoined parallel cells); the builder
+  // rejects it up front.
+  SerialExecutor exec(nullptr);
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 std::vector<StageFn> stages(
+                     3, [](TaskContext&, std::size_t) {});
+                 run_pipeline(ctx, stages, 5, {true, false, true});
+               }),
+               ContractViolation);
+}
+
+TEST(PipelineStages, AllParallelStagesFormAForkFan) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    for (int s = 0; s < 3; ++s)
+      stages.push_back([s](TaskContext& c, std::size_t item) {
+        c.write(0x1000 + s * 64 + item);
+      });
+    run_pipeline(ctx, stages, 4, {true, false, false});
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Pipeline, GaussSeidelSkewLesson) {
+  // The right-halo dependence (b+1, t-1) → (b, t) is NOT a grid edge in
+  // block×sweep coordinates: naive pipelining races. Skewing (stage = t+b)
+  // turns both halo dependences into grid edges: race-free.
+  const std::size_t nblocks = 4, sweeps = 3;
+  const Loc base = 0x700;
+  auto relax = [=](TaskContext& c, std::size_t b) {
+    if (b > 0) c.read(base + (b - 1));
+    if (b + 1 < nblocks) c.read(base + (b + 1));
+    c.write(base + b);
+  };
+
+  const auto naive = run_with_detection([&](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    for (std::size_t b = 0; b < nblocks; ++b)
+      stages.push_back([=](TaskContext& c, std::size_t) { relax(c, b); });
+    run_pipeline(ctx, stages, sweeps);
+  });
+  EXPECT_FALSE(naive.race_free());
+
+  const auto skewed = run_with_detection([&](TaskContext& ctx) {
+    std::vector<StageFn> stages;
+    for (std::size_t q = 0; q < sweeps + nblocks - 1; ++q)
+      stages.push_back([=](TaskContext& c, std::size_t p) {
+        if (q >= p && q - p < nblocks) relax(c, q - p);
+      });
+    run_pipeline(ctx, stages, sweeps);
+  });
+  EXPECT_TRUE(skewed.race_free());
+}
+
+TEST(PipelineStages, FlagCountMustMatch) {
+  SerialExecutor exec(nullptr);
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 std::vector<StageFn> stages(2, [](TaskContext&, std::size_t) {});
+                 run_pipeline(ctx, stages, 3, {true});
+               }),
+               ContractViolation);
+}
+
+// Shape sweep: pipelines of many shapes remain race-free and lattice-shaped.
+struct Shape {
+  std::size_t stages;
+  std::size_t items;
+};
+
+class PipelineShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(PipelineShapes, CleanPipelineRaceFreeAndLatticeShaped) {
+  const auto [m, n] = GetParam();
+  StagedPipeline p(m, n, /*work_per_cell=*/2);
+  TraceRecorder rec;
+  DetectorListener detecting;
+  MultiListener fan;
+  fan.add(&rec);
+  fan.add(&detecting);
+  SerialExecutor exec(&fan);
+  exec.run(p.task());
+  EXPECT_FALSE(detecting.detector().race_found()) << m << "x" << n;
+  const TaskGraph tg = build_task_graph(rec.trace());
+  EXPECT_TRUE(check_lattice(tg.diagram.graph()).ok) << m << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PipelineShapes,
+                         ::testing::Values(Shape{2, 2}, Shape{2, 8},
+                                           Shape{8, 2}, Shape{3, 5},
+                                           Shape{5, 3}, Shape{4, 4},
+                                           Shape{1, 9}, Shape{6, 1}));
+
+}  // namespace
+}  // namespace race2d

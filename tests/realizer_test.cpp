@@ -1,0 +1,157 @@
+// Remark 1: recovering a monotone planar diagram from the bare digraph.
+// compute_realizer must certify dimension ≤ 2 with a realizer, reject
+// 3-dimensional orders, and diagram_from_realizer must rebuild a diagram on
+// which the whole §3 machinery works (validated against brute force).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/suprema_walk.hpp"
+#include "graph/reachability.hpp"
+#include "lattice/generate.hpp"
+#include "lattice/poset.hpp"
+#include "lattice/realizer.hpp"
+#include "lattice/traversal.hpp"
+#include "lattice/validate.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+namespace {
+
+// Strips drawing information: same vertices and arcs, arbitrary fan order.
+Digraph scrambled_copy(const Digraph& g, Xoshiro256& rng) {
+  std::vector<Arc> arcs = g.arcs();
+  for (std::size_t i = arcs.size(); i > 1; --i)
+    std::swap(arcs[i - 1], arcs[rng.below(i)]);
+  Digraph out(g.vertex_count());
+  for (const Arc& a : arcs) out.add_arc(a.src, a.dst);
+  return out;
+}
+
+void expect_reconstruction_works(const Digraph& g) {
+  const auto realizer = compute_realizer(g);
+  ASSERT_TRUE(realizer.has_value());
+  ASSERT_TRUE(is_realizer(g, *realizer));
+
+  const Diagram rebuilt = diagram_from_realizer(g, *realizer);
+  EXPECT_TRUE(check_diagram(rebuilt).ok);
+
+  // Same reachability as the input (the diagram uses covers only).
+  TransitiveClosure original(g);
+  TransitiveClosure recovered(rebuilt.graph());
+  const std::size_t n = g.vertex_count();
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = 0; b < n; ++b)
+      ASSERT_EQ(original.reaches(a, b), recovered.reaches(a, b))
+          << a << "->" << b;
+
+  // The §3 suprema walk is exact on the reconstructed diagram.
+  const Poset poset(rebuilt.graph());
+  SupremaEngine engine(n);
+  std::vector<char> valid(n, 0);
+  for (const TraversalEvent& e : non_separating_traversal(rebuilt)) {
+    engine.on_event(e);
+    if (e.kind == EventKind::kLastArc) {
+      valid[e.src] = 1;
+      valid[e.dst] = 1;
+    }
+    if (e.kind != EventKind::kLoop) continue;
+    valid[e.src] = 1;
+    for (VertexId x = 0; x < n; ++x) {
+      if (!valid[x]) continue;
+      const auto expected = poset.supremum(x, e.src);
+      ASSERT_TRUE(expected.has_value());
+      ASSERT_EQ(engine.sup(x, e.src), *expected);
+    }
+  }
+}
+
+TEST(Realizer, Figure3FromScrambledArcs) {
+  Xoshiro256 rng(17);
+  expect_reconstruction_works(scrambled_copy(figure3_diagram().graph(), rng));
+}
+
+TEST(Realizer, GridsFromScrambledArcs) {
+  Xoshiro256 rng(18);
+  expect_reconstruction_works(scrambled_copy(grid_diagram(4, 5).graph(), rng));
+  expect_reconstruction_works(scrambled_copy(grid_diagram(1, 6).graph(), rng));
+  expect_reconstruction_works(scrambled_copy(grid_diagram(6, 1).graph(), rng));
+}
+
+TEST(Realizer, ChainAndSingleVertex) {
+  Digraph chain(4);
+  chain.add_arc(0, 1);
+  chain.add_arc(1, 2);
+  chain.add_arc(2, 3);
+  expect_reconstruction_works(chain);
+  expect_reconstruction_works(Digraph(1));
+}
+
+TEST(Realizer, TransitiveArcsAreDroppedByHasse) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(0, 2);  // transitive
+  const Digraph hasse = hasse_digraph(g);
+  EXPECT_EQ(hasse.arc_count(), 2u);
+  EXPECT_TRUE(hasse.has_arc(0, 1));
+  EXPECT_TRUE(hasse.has_arc(1, 2));
+  EXPECT_FALSE(hasse.has_arc(0, 2));
+  expect_reconstruction_works(g);
+}
+
+TEST(Realizer, StandardExampleS3IsRejected) {
+  // The standard 3-dimensional example: a1..a3 below every bj except j = i.
+  // Dimension(S3) = 3, so no two-realizer exists.
+  Digraph g(6);  // 0..2 = a1..a3, 3..5 = b1..b3
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      if (i != j) g.add_arc(i, 3 + j);
+  EXPECT_FALSE(compute_realizer(g).has_value());
+  EXPECT_THROW(canonical_diagram(g), ContractViolation);
+}
+
+TEST(Realizer, S3PlusBoundsStillRejected) {
+  // Adding a bottom and a top does not lower the dimension below 3.
+  Digraph g(8);  // 6 = bottom, 7 = top
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      if (i != j) g.add_arc(i, 3 + j);
+  for (int i = 0; i < 3; ++i) {
+    g.add_arc(6, i);
+    g.add_arc(3 + i, 7);
+  }
+  EXPECT_FALSE(compute_realizer(g).has_value());
+}
+
+TEST(Realizer, CanonicalDiagramMatchesDimensionCertificate) {
+  Xoshiro256 rng(21);
+  const Diagram original = grid_diagram(3, 4);
+  const Diagram rebuilt =
+      canonical_diagram(scrambled_copy(original.graph(), rng));
+  EXPECT_TRUE(certifies_dimension_two(rebuilt));
+}
+
+class RealizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RealizerProperty, RandomForkJoinGraphsReconstruct) {
+  Xoshiro256 rng(GetParam() * 7540113804746346429ULL + 5);
+  ForkJoinParams params;
+  params.max_actions = 12;
+  params.max_depth = 4;
+  const Diagram original = random_fork_join_diagram(rng, params);
+  ASSERT_LE(original.vertex_count(), 300u);
+  expect_reconstruction_works(scrambled_copy(original.graph(), rng));
+}
+
+TEST_P(RealizerProperty, RandomSpGraphsReconstruct) {
+  Xoshiro256 rng(GetParam() * 2862933555777941757ULL + 9);
+  const Diagram original = random_sp_diagram(rng, 10 + rng.below(30));
+  expect_reconstruction_works(scrambled_copy(original.graph(), rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RealizerProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace race2d

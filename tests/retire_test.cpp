@@ -1,0 +1,157 @@
+// Shadow retirement: end-of-lifetime hooks that keep address reuse from
+// producing spurious reports — and that themselves catch retire-while-racing
+// bugs. Mirrors the free()/scope-exit handling of production detectors.
+#include <gtest/gtest.h>
+
+#include "baselines/naive.hpp"
+#include "core/detector.hpp"
+#include "runtime/instrumented.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+namespace {
+
+constexpr Loc kX = 0xA;
+
+TEST(Retire, ReuseAfterRetireDoesNotFlag) {
+  // Two concurrent-with-each-other "generations" of tasks reuse the same
+  // address, but each generation is retired after its sync — no race.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    for (int generation = 0; generation < 2; ++generation) {
+      auto h = ctx.fork([](TaskContext& c) { c.write(kX); });
+      ctx.join(h);
+      ctx.read(kX);
+      ctx.retire(kX);  // storage dies here; the next generation may reuse it
+    }
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Retire, WithoutRetireTheSameReuseWouldBeOrderedAnyway) {
+  // Control: in the joined variant reuse is ordered even without retire.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    for (int generation = 0; generation < 2; ++generation) {
+      auto h = ctx.fork([](TaskContext& c) { c.write(kX); });
+      ctx.join(h);
+    }
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Retire, UnorderedReuseNeedsRetire) {
+  // The stack-recycling artifact in miniature: generation 1's writer is
+  // never joined, so generation 2's write to the recycled address reports —
+  // unless the storage was retired by its owner first.
+  auto program = [](bool retire) {
+    return [retire](TaskContext& ctx) {
+      ctx.fork([retire](TaskContext& c) {
+        c.write(kX);
+        if (retire) c.retire(kX);  // the task's local dies at scope exit
+      });
+      // No join: the child is concurrent with what follows.
+      ctx.write(kX);  // "new" storage at the recycled address
+      while (ctx.join_left()) {
+      }
+    };
+  };
+  EXPECT_FALSE(run_with_detection(program(false)).race_free());
+  EXPECT_TRUE(run_with_detection(program(true)).race_free());
+}
+
+TEST(Retire, RetiringRacingStorageIsItselfReported) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) { c.write(kX); });
+    ctx.retire(kX);  // concurrent with the child's write: a lifetime bug
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_EQ(result.races.size(), 1u);
+  EXPECT_EQ(result.races[0].current_kind, AccessKind::kRetire);
+  EXPECT_EQ(result.races[0].prior_kind, AccessKind::kWrite);
+}
+
+TEST(Retire, RetireOfUntouchedLocationIsANoop) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    ctx.retire(kX);
+    ctx.retire(kX);  // double retire of nothing: still fine
+  });
+  EXPECT_TRUE(result.race_free());
+  EXPECT_EQ(result.access_count, 0u);
+}
+
+TEST(Retire, ShrinksTrackedLocationCount) {
+  OnlineRaceDetector det;
+  const TaskId root = det.on_root();
+  det.on_write(root, 1);
+  det.on_write(root, 2);
+  EXPECT_EQ(det.tracked_locations(), 2u);
+  det.on_retire(root, 1);
+  EXPECT_EQ(det.tracked_locations(), 1u);
+}
+
+TEST(Retire, ReportPrintsRetireKind) {
+  RaceReport r{kX, 1, AccessKind::kRetire, AccessKind::kRead, 3};
+  EXPECT_NE(to_string(r).find("retire"), std::string::npos);
+}
+
+TEST(Retire, NaiveDetectorAgreesOnRetireSemantics) {
+  auto run_both = [](TaskBody body) {
+    TraceRecorder rec;
+    DetectorListener detecting;
+    MultiListener fan;
+    fan.add(&rec);
+    fan.add(&detecting);
+    SerialExecutor exec(&fan);
+    exec.run(std::move(body));
+    const NaiveResult gold = detect_races_naive(build_task_graph(rec.trace()));
+    return std::pair<bool, bool>{detecting.detector().race_found(),
+                                 !gold.races.empty()};
+  };
+
+  // Race-free reuse with retirement.
+  auto [a1, a2] = run_both([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) {
+      c.write(kX);
+      c.retire(kX);
+    });
+    ctx.write(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  EXPECT_FALSE(a1);
+  EXPECT_FALSE(a2);
+
+  // Racing retire.
+  auto [b1, b2] = run_both([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) { c.write(kX); });
+    ctx.retire(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  EXPECT_TRUE(b1);
+  EXPECT_TRUE(b2);
+}
+
+TEST(Retire, OfflineDetectorHandlesRetires) {
+  TraceRecorder rec;
+  SerialExecutor exec(&rec);
+  exec.run([](TaskContext& ctx) {
+    ctx.fork([](TaskContext& c) {
+      c.write(kX);
+      c.retire(kX);
+    });
+    ctx.write(kX);
+    while (ctx.join_left()) {
+    }
+  });
+  const TaskGraph tg = build_task_graph(rec.trace());
+  for (WalkMode mode : {WalkMode::kNonSeparating, WalkMode::kDelayed,
+                        WalkMode::kRuntimeDelayed}) {
+    EXPECT_TRUE(detect_races_offline(tg.diagram, tg.ops, mode).empty())
+        << static_cast<int>(mode);
+  }
+}
+
+}  // namespace
+}  // namespace race2d

@@ -1,0 +1,165 @@
+// AddressMapper policies and SharedArray instrumentation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/addressing.hpp"
+#include "runtime/instrumented.hpp"
+#include "runtime/shared_array.hpp"
+#include "runtime/spawn_sync.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(AddressMapper, ByteGranularityIsIdentityShift) {
+  AddressMapper m(Granularity::kByte);
+  int x = 0;
+  EXPECT_EQ(m.loc_for(&x), reinterpret_cast<std::uintptr_t>(&x));
+  EXPECT_EQ(m.granularity_bytes(), 1u);
+}
+
+TEST(AddressMapper, CacheLineMergesNeighbors) {
+  AddressMapper m(Granularity::kCacheLine);
+  alignas(64) char line[64];
+  EXPECT_EQ(m.loc_for(&line[0]), m.loc_for(&line[63]));
+  EXPECT_NE(m.loc_for(&line[0]), m.loc_for(&line[0] + 64));
+  EXPECT_EQ(m.granularity_bytes(), 64u);
+}
+
+TEST(AddressMapper, WordSeparatesDistinctWords) {
+  AddressMapper m(Granularity::kWord);
+  alignas(8) std::uint64_t words[2];
+  EXPECT_NE(m.loc_for(&words[0]), m.loc_for(&words[1]));
+}
+
+TEST(AddressMapper, SpanCounts) {
+  AddressMapper m(Granularity::kCacheLine);
+  EXPECT_EQ(m.span(0), 0u);
+  EXPECT_EQ(m.span(1), 1u);
+  EXPECT_EQ(m.span(64), 1u);
+  EXPECT_EQ(m.span(65), 2u);
+  EXPECT_EQ(m.span(640), 10u);
+}
+
+TEST(AddressMapper, OffsetMapping) {
+  AddressMapper m(Granularity::kWord);
+  EXPECT_EQ(m.loc_for_offset(100, 0), 100u);
+  EXPECT_EQ(m.loc_for_offset(100, 7), 100u);
+  EXPECT_EQ(m.loc_for_offset(100, 8), 101u);
+}
+
+TEST(SharedArray, GetSetRoundTrip) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SharedArray<int> a(ctx, 10, 7);
+    EXPECT_EQ(a.get(ctx, 3), 7);
+    a.set(ctx, 3, 42);
+    EXPECT_EQ(a.get(ctx, 3), 42);
+    EXPECT_EQ(a.size(), 10u);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(SharedArray, BlockGranularityGroupsElements) {
+  SerialExecutor exec(nullptr);
+  exec.run([](TaskContext& ctx) {
+    SharedArray<int> a(ctx, 40, 0, /*block=*/16);
+    EXPECT_EQ(a.block_count(), 3u);
+    EXPECT_EQ(a.block_loc(0), a.block_loc(15));
+    EXPECT_NE(a.block_loc(15), a.block_loc(16));
+  });
+}
+
+TEST(SharedArray, DisjointBlocksAreIndependent) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SharedArray<int> a(ctx, 64, 0, /*block=*/16);
+    SpawnScope scope(ctx);
+    for (int part = 0; part < 4; ++part) {
+      scope.spawn([&a, part](TaskContext& c) {
+        for (std::size_t i = 0; i < 16; ++i)
+          a.set(c, static_cast<std::size_t>(part) * 16 + i, part);
+      });
+    }
+    scope.sync();
+    EXPECT_EQ(a.get(ctx, 17), 1);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(SharedArray, SameBlockConflictIsARace) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SharedArray<int> a(ctx, 32, 0, /*block=*/16);
+    SpawnScope scope(ctx);
+    scope.spawn([&a](TaskContext& c) { a.set(c, 0, 1); });
+    scope.spawn([&a](TaskContext& c) { a.set(c, 15, 2); });  // same block!
+    scope.sync();
+  });
+  EXPECT_FALSE(result.race_free());
+}
+
+TEST(SharedArray, RangeOpsInstrumentTouchedBlocksOnly) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SharedArray<int> a(ctx, 64, 0, /*block=*/16);
+    SpawnScope scope(ctx);
+    scope.spawn([&a](TaskContext& c) {
+      a.write_range(c, 0, 32);  // blocks 0,1
+      std::fill(a.raw(), a.raw() + 32, 9);
+    });
+    a.write_range(ctx, 32, 64);  // blocks 2,3 — disjoint: no race
+    std::fill(a.raw() + 32, a.raw() + 64, 8);
+    scope.sync();
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(SharedArray, OverlappingRangesRace) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SharedArray<int> a(ctx, 64, 0, /*block=*/16);
+    SpawnScope scope(ctx);
+    scope.spawn([&a](TaskContext& c) { a.write_range(c, 0, 40); });
+    a.read_range(ctx, 32, 64);  // block 2 overlaps the child's write
+    scope.sync();
+  });
+  EXPECT_FALSE(result.race_free());
+}
+
+TEST(SharedArray, OutOfRangeThrows) {
+  SerialExecutor exec(nullptr);
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 SharedArray<int> a(ctx, 4);
+                 a.get(ctx, 4);
+               }),
+               ContractViolation);
+  EXPECT_THROW(exec.run([](TaskContext& ctx) {
+                 SharedArray<int> a(ctx, 4);
+                 a.read_range(ctx, 2, 9);
+               }),
+               ContractViolation);
+}
+
+TEST(SharedArray, LifetimeViolationReported) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    {
+      SharedArray<int> a(ctx, 8);
+      ctx.fork([&a](TaskContext& c) { a.set(c, 0, 1); });
+      // destroyed while the (unjoined) child's write is still racing
+    }
+    while (ctx.join_left()) {
+    }
+  });
+  ASSERT_FALSE(result.race_free());
+  EXPECT_EQ(result.races[0].current_kind, AccessKind::kRetire);
+}
+
+TEST(SharedArray, FreshRangesNeverCollide) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    for (int gen = 0; gen < 3; ++gen) {
+      SharedArray<int> a(ctx, 16);
+      auto h = ctx.fork([&a, gen](TaskContext& c) { a.set(c, 1, gen); });
+      ctx.join(h);
+    }
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+}  // namespace
+}  // namespace race2d

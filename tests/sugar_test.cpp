@@ -1,0 +1,178 @@
+// Spawn/sync and async/finish sugar (§2.1, eq. 11): both produce the same
+// series-parallel task graphs (Figure 1's point), nest correctly, and sync
+// implicitly at scope exit.
+#include <gtest/gtest.h>
+
+#include "lattice/validate.hpp"
+#include "runtime/async_finish.hpp"
+#include "runtime/instrumented.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/spawn_sync.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+namespace {
+
+Trace run_trace(TaskBody body) {
+  TraceRecorder rec;
+  SerialExecutor exec(&rec);
+  exec.run(std::move(body));
+  return rec.take();
+}
+
+// Strips annotation markers (sync / finish begin / finish end) so
+// graph-identical programs compare equal even if the dialects emit markers
+// at different points.
+Trace without_syncs(Trace t) {
+  Trace out;
+  for (const auto& e : t)
+    if (e.op != TraceOp::kSync && e.op != TraceOp::kFinishBegin &&
+        e.op != TraceOp::kFinishEnd)
+      out.push_back(e);
+  return out;
+}
+
+TEST(SpawnScope, ImplicitSyncAtScopeExit) {
+  const Trace t = run_trace([](TaskContext& ctx) {
+    SpawnScope scope(ctx);
+    scope.spawn([](TaskContext&) {});
+    // no explicit sync: destructor must join
+  });
+  bool joined = false;
+  for (const auto& e : t) joined |= (e.op == TraceOp::kJoin);
+  EXPECT_TRUE(joined);
+}
+
+TEST(SpawnScope, SyncJoinsAllChildrenLifo) {
+  const Trace t = run_trace([](TaskContext& ctx) {
+    SpawnScope scope(ctx);
+    scope.spawn([](TaskContext&) {});
+    scope.spawn([](TaskContext&) {});
+    scope.spawn([](TaskContext&) {});
+    EXPECT_EQ(scope.outstanding(), 3u);
+    scope.sync();
+    EXPECT_EQ(scope.outstanding(), 0u);
+  });
+  std::vector<TaskId> join_targets;
+  for (const auto& e : t)
+    if (e.op == TraceOp::kJoin) join_targets.push_back(e.other);
+  EXPECT_EQ(join_targets, (std::vector<TaskId>{3, 2, 1}));
+}
+
+TEST(SpawnScope, SyncEmitsMarker) {
+  const Trace t = run_trace([](TaskContext& ctx) {
+    SpawnScope scope(ctx);
+    scope.spawn([](TaskContext&) {});
+    scope.sync();
+  });
+  bool marker = false;
+  for (const auto& e : t) marker |= (e.op == TraceOp::kSync);
+  EXPECT_TRUE(marker);
+}
+
+TEST(FinishScope, JoinsAtScopeEnd) {
+  std::vector<int> order;
+  run_trace([&order](TaskContext& ctx) {
+    {
+      FinishScope finish(ctx);
+      finish.async([&order](TaskContext&) { order.push_back(1); });
+      finish.async([&order](TaskContext&) { order.push_back(2); });
+    }  // finish: all asyncs joined here
+    order.push_back(3);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Figure1, SpawnSyncAndAsyncFinishGiveTheSameTaskGraph) {
+  // spawn A(); B(); sync; spawn C(); D(); sync  vs
+  // finish { async A(); B(); }  finish { async C(); D(); }
+  const Loc la = 1, lb = 2, lc = 3, ld = 4;
+  const Trace spawn_sync = run_trace([&](TaskContext& ctx) {
+    SpawnScope s1(ctx);
+    s1.spawn([&](TaskContext& c) { c.read(la); });  // A
+    ctx.read(lb);                                   // B
+    s1.sync();
+    SpawnScope s2(ctx);
+    s2.spawn([&](TaskContext& c) { c.read(lc); });  // C
+    ctx.read(ld);                                   // D
+    s2.sync();
+  });
+  const Trace async_finish = run_trace([&](TaskContext& ctx) {
+    {
+      FinishScope f(ctx);
+      f.async([&](TaskContext& c) { c.read(la); });  // A
+      ctx.read(lb);                                  // B
+    }
+    {
+      FinishScope f(ctx);
+      f.async([&](TaskContext& c) { c.read(lc); });  // C
+      ctx.read(ld);                                  // D
+    }
+  });
+  EXPECT_EQ(without_syncs(spawn_sync), without_syncs(async_finish));
+}
+
+TEST(Figure1, BothDialectsProduceLattices) {
+  for (int dialect = 0; dialect < 2; ++dialect) {
+    const Trace t = run_trace([dialect](TaskContext& ctx) {
+      if (dialect == 0) {
+        SpawnScope s(ctx);
+        s.spawn([](TaskContext& c) { c.write(1); });
+        ctx.write(2);
+      } else {
+        FinishScope f(ctx);
+        f.async([](TaskContext& c) { c.write(1); });
+        ctx.write(2);
+      }
+    });
+    const TaskGraph tg = build_task_graph(t);
+    EXPECT_TRUE(check_lattice(tg.diagram.graph()).ok) << "dialect " << dialect;
+  }
+}
+
+TEST(Nesting, ScopesComposeAcrossTasks) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SpawnScope outer(ctx);
+    outer.spawn([](TaskContext& c) {
+      SpawnScope inner(c);
+      inner.spawn([](TaskContext& cc) { cc.write(10); });
+      inner.sync();
+      c.write(10);  // ordered after the inner child's write
+    });
+    outer.sync();
+    ctx.write(10);  // ordered after everything
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(Nesting, UnsyncedInnerChildStillJoinedByScopeExit) {
+  // The inner scope's destructor joins before the outer child halts, so the
+  // outer sync covers everything and the final write is ordered.
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SpawnScope outer(ctx);
+    outer.spawn([](TaskContext& c) {
+      SpawnScope inner(c);
+      inner.spawn([](TaskContext& cc) { cc.write(20); });
+      // no explicit inner.sync()
+    });
+    outer.sync();
+    ctx.write(20);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+TEST(MixedDialects, FinishInsideSpawn) {
+  const auto result = run_with_detection([](TaskContext& ctx) {
+    SpawnScope s(ctx);
+    s.spawn([](TaskContext& c) {
+      FinishScope f(c);
+      f.async([](TaskContext& cc) { cc.write(30); });
+    });
+    s.sync();
+    ctx.read(30);
+  });
+  EXPECT_TRUE(result.race_free());
+}
+
+}  // namespace
+}  // namespace race2d

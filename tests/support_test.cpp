@@ -1,0 +1,299 @@
+// Unit and property tests for the support substrate: RNG, SmallVector,
+// FlatHashMap, statistics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/flat_hash_map.hpp"
+#include "support/rng.hpp"
+#include "support/small_vector.hpp"
+#include "support/stats.hpp"
+
+namespace race2d {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Xoshiro256
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Xoshiro256, BelowZeroBoundIsZero) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, Uniform01InUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[rng.below(8)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+// ---------------------------------------------------------------------------
+// SmallVector
+
+TEST(SmallVector, StartsEmptyInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.heap_bytes(), 0u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.heap_bytes(), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, SpillsToHeapAndPreservesContents) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i * 3);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GT(v.heap_bytes(), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SmallVector, PopBack) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVector, CopyConstructIndependent) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back("gamma");
+  SmallVector<std::string, 2> w(v);
+  w[0] = "changed";
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(w[2], "gamma");
+}
+
+TEST(SmallVector, MoveConstructStealsHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  SmallVector<int, 2> w(std::move(v));
+  EXPECT_EQ(w.size(), 50u);
+  EXPECT_EQ(w[49], 49);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): spec'd state
+}
+
+TEST(SmallVector, MoveWhileInline) {
+  SmallVector<std::string, 4> v;
+  v.push_back("x");
+  SmallVector<std::string, 4> w(std::move(v));
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], "x");
+}
+
+TEST(SmallVector, AssignmentOperators) {
+  SmallVector<int, 2> a{1, 2, 3};
+  SmallVector<int, 2> b;
+  b = a;
+  EXPECT_EQ(b, a);
+  SmallVector<int, 2> c;
+  c = std::move(b);
+  EXPECT_EQ(c, a);
+}
+
+TEST(SmallVector, ClearKeepsCapacity) {
+  SmallVector<int, 2> v{1, 2, 3, 4};
+  const auto cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVector, ResizeGrowsAndShrinks) {
+  SmallVector<int, 2> v;
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 0);
+  v.resize(3);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SmallVector, IterationMatchesIndexing) {
+  SmallVector<int, 3> v{5, 6, 7, 8};
+  int expected = 5;
+  for (int x : v) EXPECT_EQ(x, expected++);
+}
+
+// ---------------------------------------------------------------------------
+// FlatHashMap
+
+TEST(FlatHashMap, InsertAndFind) {
+  FlatHashMap<std::uint64_t, int> m;
+  m[7] = 42;
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 42);
+  EXPECT_EQ(m.find(8), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, OperatorBracketDefaultConstructs) {
+  FlatHashMap<std::uint64_t, int> m;
+  EXPECT_EQ(m[99], 0);
+  EXPECT_TRUE(m.contains(99));
+}
+
+TEST(FlatHashMap, EraseRemoves) {
+  FlatHashMap<std::uint64_t, int> m;
+  m[1] = 10;
+  m[2] = 20;
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, GrowsPastInitialCapacity) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m(4);
+  for (std::uint64_t i = 0; i < 1000; ++i) m[i] = i * i;
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(m.find(i), nullptr) << i;
+    EXPECT_EQ(*m.find(i), i * i);
+  }
+}
+
+TEST(FlatHashMap, ClearEmpties) {
+  FlatHashMap<std::uint64_t, int> m;
+  for (std::uint64_t i = 0; i < 64; ++i) m[i] = 1;
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(3), nullptr);
+}
+
+TEST(FlatHashMap, ForEachVisitsAll) {
+  FlatHashMap<std::uint64_t, int> m;
+  for (std::uint64_t i = 0; i < 20; ++i) m[i] = static_cast<int>(i);
+  int sum = 0;
+  std::size_t n = 0;
+  m.for_each([&](std::uint64_t, int v) {
+    sum += v;
+    ++n;
+  });
+  EXPECT_EQ(n, 20u);
+  EXPECT_EQ(sum, 190);
+}
+
+// Randomized differential test against std::unordered_map, exercising the
+// backward-shift deletion path heavily.
+class FlatHashMapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatHashMapFuzz, MatchesStdUnorderedMap) {
+  Xoshiro256 rng(GetParam());
+  FlatHashMap<std::uint64_t, std::uint64_t> mine(4);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t key = rng.below(200);  // dense keys force collisions
+    switch (rng.below(3)) {
+      case 0: {
+        const std::uint64_t value = rng();
+        mine[key] = value;
+        ref[key] = value;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(mine.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {
+        auto it = ref.find(key);
+        const std::uint64_t* p = mine.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(p, nullptr);
+        } else {
+          ASSERT_NE(p, nullptr);
+          EXPECT_EQ(*p, it->second);
+        }
+      }
+    }
+    EXPECT_EQ(mine.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatHashMapFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+TEST(RunningStats, MeanAndStddev) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace race2d

@@ -1,0 +1,117 @@
+// Theorem 1 / Figure 5: over a non-separating traversal, the Walk's
+// Sup(x, t) equals the true supremum sup{x, t} for every valid query
+// (x in the closure of the prefix ending at t). Tested exhaustively on the
+// paper's example and by property sweeps on all generator families.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/suprema_walk.hpp"
+#include "lattice/generate.hpp"
+#include "lattice/poset.hpp"
+#include "lattice/traversal.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+namespace {
+
+// Runs the walk and checks every valid Sup(x, t) against the brute-force
+// supremum. Valid x at time t: x's loop already visited, or x incident to a
+// visited last-arc (the vertices of the forest T/(t,t), §3).
+void check_all_queries(const Diagram& d) {
+  const Poset poset(d.graph());
+  const Traversal traversal = non_separating_traversal(d);
+  const std::size_t n = d.vertex_count();
+
+  SupremaEngine engine(n);
+  std::vector<char> valid(n, 0);
+  for (const TraversalEvent& e : traversal) {
+    engine.on_event(e);
+    if (e.kind == EventKind::kLastArc) {
+      valid[e.src] = 1;
+      valid[e.dst] = 1;
+    }
+    if (e.kind != EventKind::kLoop) continue;
+    const VertexId t = e.src;
+    valid[t] = 1;
+    for (VertexId x = 0; x < n; ++x) {
+      if (!valid[x]) continue;
+      const auto expected = poset.supremum(x, t);
+      ASSERT_TRUE(expected.has_value()) << "not a lattice?";
+      ASSERT_EQ(engine.sup(x, t), *expected)
+          << "Sup(" << x + 1 << ", " << t + 1 << ")";
+    }
+  }
+}
+
+TEST(Theorem1, PaperExampleQueries) {
+  // From §3: with x = 3 and t = 5 the root is 6, traversed after 5, so
+  // sup = 6; with x = 1 and t = 5 the root is 4 and sup = 5 (1-based ids).
+  const Diagram d = figure3_diagram();
+  const Traversal traversal = non_separating_traversal(d);
+  SupremaEngine engine(d.vertex_count());
+  for (const TraversalEvent& e : traversal) {
+    engine.on_event(e);
+    if (e.kind == EventKind::kLoop && e.src == 4) {  // paper vertex 5
+      EXPECT_EQ(engine.sup(2, 4), 5u);  // sup{3,5} = 6
+      EXPECT_EQ(engine.sup(0, 4), 4u);  // sup{1,5} = 5
+      EXPECT_EQ(engine.sup(5, 4), 5u);  // valid per §3: Sup(6,5); sup = 6
+    }
+  }
+}
+
+TEST(Theorem1, Figure3Exhaustive) { check_all_queries(figure3_diagram()); }
+
+TEST(Theorem1, GridsExhaustive) {
+  check_all_queries(grid_diagram(1, 1));
+  check_all_queries(grid_diagram(1, 6));
+  check_all_queries(grid_diagram(6, 1));
+  check_all_queries(grid_diagram(4, 5));
+  check_all_queries(grid_diagram(7, 3));
+}
+
+TEST(Theorem1, ChainIsDegenerate2DLattice) {
+  Diagram d(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) d.add_arc(v, v + 1);
+  check_all_queries(d);
+}
+
+class SupremaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SupremaProperty, RandomSpDiagrams) {
+  Xoshiro256 rng(GetParam());
+  check_all_queries(random_sp_diagram(rng, 10 + rng.below(50)));
+}
+
+TEST_P(SupremaProperty, RandomForkJoinDiagrams) {
+  Xoshiro256 rng(GetParam() * 104729);
+  ForkJoinParams params;
+  params.max_actions = 20;
+  params.max_depth = 6;
+  check_all_queries(random_fork_join_diagram(rng, params));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupremaProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(SolveSuprema, BatchApiOnFigure3) {
+  const Diagram d = figure3_diagram();
+  // (x, t) pairs in 0-based ids; queries must satisfy precondition (1).
+  const std::vector<SupQuery> queries = {
+      {2, 4},  // sup{3,5} = 6
+      {0, 4},  // sup{1,5} = 5
+      {1, 3},  // sup{2,4} = 5
+      {0, 8},  // sup{1,9} = 9
+      {5, 7},  // sup{6,8} = 9
+  };
+  const auto answers = solve_suprema(d, queries);
+  EXPECT_EQ(answers, (std::vector<VertexId>{5, 4, 4, 8, 8}));
+}
+
+TEST(SolveSuprema, OutOfRangeQueryThrows) {
+  const Diagram d = figure3_diagram();
+  EXPECT_THROW(solve_suprema(d, {{42, 1}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace race2d

@@ -1,0 +1,158 @@
+// Exact reproduction of the paper's Figures 3, 4 and 7: the 9-vertex
+// lattice, its non-separating traversal, the delayed transformation with
+// stop-arcs, and the thread decomposition {2},{3},{5},{6},{1,4,7,8,9}.
+#include <gtest/gtest.h>
+
+#include "lattice/delayed.hpp"
+#include "lattice/generate.hpp"
+#include "lattice/traversal.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(Figure4, ExactNonSeparatingTraversal) {
+  const Diagram d = figure3_diagram();
+  const Traversal t = non_separating_traversal(d);
+  // The caption sequence of Figure 4 (1-based vertex ids).
+  EXPECT_EQ(to_string(t),
+            "(1,1)(1,2)(2,2)(2,3)(3,3)(3,6)(2,5)(1,4)(4,4)(4,5)(5,5)"
+            "(5,6)(6,6)(6,9)(5,8)(4,7)(7,7)(7,8)(8,8)(8,9)(9,9)");
+}
+
+TEST(Figure4, TraversalIsNonSeparating) {
+  const Diagram d = figure3_diagram();
+  const Traversal t = non_separating_traversal(d);
+  EXPECT_TRUE(is_non_separating_traversal(d, t));
+}
+
+TEST(Figure4, LastArcsAreTheRightmostFanArcs) {
+  const Diagram d = figure3_diagram();
+  // Paper (solid arcs of Figure 4): (1,4),(2,5),(3,6),(4,7),(5,8),(6,9),
+  // (7,8),(8,9) are last-arcs; e.g. (1,2) is not.
+  EXPECT_TRUE(d.is_last_arc(0, 3));
+  EXPECT_TRUE(d.is_last_arc(1, 4));
+  EXPECT_TRUE(d.is_last_arc(2, 5));
+  EXPECT_TRUE(d.is_last_arc(3, 6));
+  EXPECT_TRUE(d.is_last_arc(4, 7));
+  EXPECT_TRUE(d.is_last_arc(5, 8));
+  EXPECT_TRUE(d.is_last_arc(6, 7));
+  EXPECT_TRUE(d.is_last_arc(7, 8));
+  EXPECT_FALSE(d.is_last_arc(0, 1));
+  EXPECT_FALSE(d.is_last_arc(1, 2));
+  EXPECT_FALSE(d.is_last_arc(3, 4));
+  EXPECT_FALSE(d.is_last_arc(4, 5));
+}
+
+TEST(Figure4, LoopOrderIsOneThroughNine) {
+  const Diagram d = figure3_diagram();
+  const auto order = loop_order(non_separating_traversal(d));
+  EXPECT_EQ(order,
+            (std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Figure7, DelayedArcsAreExactlyTheFourCrossedOnes) {
+  const Diagram d = figure3_diagram();
+  const Traversal t = non_separating_traversal(d);
+  const auto flags = delayed_arc_flags(d, t);
+  // Delayed (condition 4): (3,6), (2,5), (6,9), (5,8). Nothing else.
+  std::vector<std::pair<VertexId, VertexId>> delayed;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (flags[i]) delayed.push_back({t[i].src, t[i].dst});
+  EXPECT_EQ(delayed, (std::vector<std::pair<VertexId, VertexId>>{
+                         {2, 5}, {1, 4}, {5, 8}, {4, 7}}));
+}
+
+TEST(Figure7, ExactDelayedTraversal) {
+  const Diagram d = figure3_diagram();
+  const Traversal t = delayed_traversal(d);
+  // Figure 7's caption shows the prefix
+  //   (1,1)···(3,3)(3,×)(2,×)(1,4)(4,4)(2,5)(4,5)(5,5)···
+  // Full expected sequence continues with the remaining delayed arcs
+  // (6,9) and (5,8) moved before their targets' triggers.
+  EXPECT_EQ(to_string(t),
+            "(1,1)(1,2)(2,2)(2,3)(3,3)(3,x)(2,x)(1,4)(4,4)(2,5)(4,5)(5,5)"
+            "(3,6)(5,6)(6,6)(6,x)(5,x)(4,7)(7,7)(5,8)(7,8)(8,8)(6,9)(8,9)"
+            "(9,9)");
+}
+
+TEST(Figure7, ThreadsMatchThePaper) {
+  const Diagram d = figure3_diagram();
+  const ThreadDecomposition td = decompose_threads(d);
+  // Paper: threads are {2}, {3}, {5}, {6}, {1,4,7,8,9}. Vertices sharing a
+  // thread id (0-based vertex ids here).
+  auto tid = [&](int paper_vertex) {
+    return td.tid_of_vertex[static_cast<VertexId>(paper_vertex - 1)];
+  };
+  EXPECT_EQ(td.thread_count, 5u);
+  EXPECT_EQ(tid(1), tid(4));
+  EXPECT_EQ(tid(4), tid(7));
+  EXPECT_EQ(tid(7), tid(8));
+  EXPECT_EQ(tid(8), tid(9));
+  EXPECT_NE(tid(2), tid(1));
+  EXPECT_NE(tid(3), tid(1));
+  EXPECT_NE(tid(5), tid(1));
+  EXPECT_NE(tid(6), tid(1));
+  EXPECT_NE(tid(2), tid(3));
+  EXPECT_NE(tid(2), tid(5));
+  EXPECT_NE(tid(3), tid(6));
+  EXPECT_NE(tid(5), tid(6));
+}
+
+TEST(Traversal, GridTraversalValid) {
+  const Diagram d = grid_diagram(3, 4);
+  const Traversal t = non_separating_traversal(d);
+  EXPECT_TRUE(is_non_separating_traversal(d, t));
+  EXPECT_EQ(loop_order(t).size(), 12u);
+}
+
+TEST(Traversal, SingleVertexDiagram) {
+  Diagram d(1);
+  const Traversal t = non_separating_traversal(d);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].kind, EventKind::kLoop);
+}
+
+TEST(Traversal, TwoSourcesRejected) {
+  Diagram d(3);
+  d.add_arc(0, 2);
+  d.add_arc(1, 2);
+  EXPECT_THROW(non_separating_traversal(d), ContractViolation);
+}
+
+TEST(Traversal, UnreachableVertexRejected) {
+  Diagram d(3);
+  d.add_arc(1, 2);  // vertex 0 is a second source, 1->2 component apart
+  EXPECT_THROW(non_separating_traversal(d), ContractViolation);
+}
+
+TEST(Traversal, ValidatorRejectsReorderedLoops) {
+  const Diagram d = figure3_diagram();
+  Traversal t = non_separating_traversal(d);
+  std::swap(t[0], t[2]);  // loop of 2 before loop of 1 breaks everything
+  EXPECT_FALSE(is_non_separating_traversal(d, t));
+}
+
+TEST(Traversal, ValidatorRejectsStopArcs) {
+  const Diagram d = figure3_diagram();
+  Traversal t = non_separating_traversal(d);
+  t[5] = {EventKind::kStopArc, t[5].src, kInvalidVertex};
+  EXPECT_FALSE(is_non_separating_traversal(d, t));
+}
+
+TEST(Traversal, MirroredDiagramTraversalAlsoValid) {
+  const Diagram d = figure3_diagram();
+  const Diagram m = d.mirrored();
+  const Traversal t = non_separating_traversal(m);
+  EXPECT_TRUE(is_non_separating_traversal(m, t));
+  // Right-to-left sweep of Figure 3 visits 4 before 2.
+  const auto order = loop_order(t);
+  std::size_t pos2 = 0, pos4 = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 1) pos2 = i;
+    if (order[i] == 3) pos4 = i;
+  }
+  EXPECT_LT(pos4, pos2);
+}
+
+}  // namespace
+}  // namespace race2d

@@ -1,0 +1,136 @@
+// Union–find semantics, including the paper's labeled variant where
+// Union(y, x) keeps the label of y's set regardless of rank decisions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "unionfind/labeled_union_find.hpp"
+#include "unionfind/union_find.hpp"
+
+namespace race2d {
+namespace {
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(4);
+  uf.unite(0, 1);
+  EXPECT_TRUE(uf.same_set(0, 1));
+  EXPECT_FALSE(uf.same_set(0, 2));
+  EXPECT_EQ(uf.set_count(), 3u);
+}
+
+TEST(UnionFind, UniteIdempotent) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.unite(1, 0);
+  EXPECT_EQ(uf.set_count(), 2u);
+}
+
+TEST(UnionFind, AddGrows) {
+  UnionFind uf;
+  EXPECT_EQ(uf.add(), 0u);
+  EXPECT_EQ(uf.add(), 1u);
+  uf.grow_to(10);
+  EXPECT_EQ(uf.element_count(), 10u);
+  EXPECT_EQ(uf.set_count(), 10u);
+}
+
+TEST(UnionFind, TransitiveMerges) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same_set(0, 3));
+  EXPECT_FALSE(uf.same_set(0, 4));
+}
+
+TEST(LabeledUnionFind, InitialLabelsAreSelves) {
+  LabeledUnionFind dsu(4);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(dsu.find_label(i), i);
+}
+
+TEST(LabeledUnionFind, MergeKeepsKeepersLabel) {
+  LabeledUnionFind dsu(4);
+  dsu.merge_into(2, 0);  // Union(2, 0): label of set {0,2} is 2
+  EXPECT_EQ(dsu.find_label(0), 2u);
+  EXPECT_EQ(dsu.find_label(2), 2u);
+  dsu.merge_into(3, 2);  // label becomes 3
+  EXPECT_EQ(dsu.find_label(0), 3u);
+  EXPECT_EQ(dsu.find_label(2), 3u);
+  EXPECT_EQ(dsu.find_label(1), 1u);
+}
+
+TEST(LabeledUnionFind, LabelSurvivesRankDecisions) {
+  // Force the absorbed set to have the larger rank so the internal root is
+  // NOT the keeper's root; the label must still be the keeper's.
+  LabeledUnionFind dsu(8);
+  dsu.merge_into(0, 1);
+  dsu.merge_into(0, 2);
+  dsu.merge_into(0, 3);  // set {0..3}, some rank
+  dsu.merge_into(7, 0);  // keeper 7 is a singleton with rank 0
+  for (std::uint32_t i : {0u, 1u, 2u, 3u, 7u}) EXPECT_EQ(dsu.find_label(i), 7u);
+}
+
+TEST(LabeledUnionFind, VisitedFlags) {
+  LabeledUnionFind dsu(3);
+  EXPECT_FALSE(dsu.visited(0));
+  dsu.set_visited(0, true);
+  EXPECT_TRUE(dsu.visited(0));
+  dsu.set_visited(0, false);
+  EXPECT_FALSE(dsu.visited(0));
+}
+
+TEST(LabeledUnionFind, SetLabelRetags) {
+  LabeledUnionFind dsu(4);
+  dsu.merge_into(0, 1);
+  dsu.set_label(1, 3);  // retags the whole set {0,1}
+  EXPECT_EQ(dsu.find_label(0), 3u);
+  EXPECT_EQ(dsu.find_label(1), 3u);
+}
+
+TEST(LabeledUnionFind, MergeSameSetIsNoop) {
+  LabeledUnionFind dsu(2);
+  dsu.merge_into(1, 0);
+  dsu.merge_into(0, 1);  // already one set; label must stay 1
+  EXPECT_EQ(dsu.find_label(0), 1u);
+}
+
+// Property: labels follow a reference implementation under random merges.
+class LabeledDsuProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LabeledDsuProperty, MatchesReferenceLabels) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 64;
+  LabeledUnionFind dsu(n);
+  // Reference: set id per element, label per set id (vector scan).
+  std::vector<std::uint32_t> set_of(n), label_of(n);
+  std::iota(set_of.begin(), set_of.end(), 0);
+  std::iota(label_of.begin(), label_of.end(), 0);
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint32_t keep = static_cast<std::uint32_t>(rng.below(n));
+    const std::uint32_t absorb = static_cast<std::uint32_t>(rng.below(n));
+    dsu.merge_into(keep, absorb);
+    const std::uint32_t ks = set_of[keep];
+    const std::uint32_t as = set_of[absorb];
+    if (ks != as) {
+      for (auto& s : set_of)
+        if (s == as) s = ks;
+    }
+    for (std::uint32_t i = 0; i < n; ++i)
+      ASSERT_EQ(dsu.find_label(i), label_of[set_of[i]]) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabeledDsuProperty,
+                         ::testing::Values(5, 15, 25, 35, 45));
+
+}  // namespace
+}  // namespace race2d
