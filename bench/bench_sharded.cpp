@@ -1,0 +1,112 @@
+// E8b — sharded replay scaling: detect_races_parallel at K ∈ {1,2,4,8}
+// shards vs the serial OnlineRaceDetector replay, on an access-heavy trace
+// (4096 tasks × 64 accesses each). Location-sharded workers all replay the
+// full structural stream (cheap) but split the accesses (the dominant
+// cost), so throughput should scale with K up to the core count.
+//
+// NOTE: on a single-CPU container (this repo's reference machine, see
+// EXPERIMENTS.md E7) wall-clock speedup cannot manifest; what this bench
+// bounds there is the sharding overhead (prescan + K-fold structural
+// replay + merge). Run on a ≥4-core machine to see the scaling shape.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sharded_analyzer.hpp"
+#include "runtime/program.hpp"
+
+namespace {
+
+using namespace race2d;
+
+// 4096 tasks, 64 accesses each, forked in blocks of 8 so the trace has real
+// concurrency windows. Each task owns 8 locations and revisits them 8
+// times — the owner-epoch fast path's target pattern — and locations are
+// task-private, so the trace is race-free (throughput, not reporting, is
+// what's measured).
+Trace make_access_heavy_trace() {
+  constexpr std::size_t kTasks = 4096;
+  constexpr std::size_t kBlock = 8;
+  constexpr std::size_t kAccessesPerTask = 64;
+  return benchutil::record([=](TaskContext& ctx) {
+    std::size_t next_task = 0;
+    while (next_task < kTasks) {
+      std::vector<TaskHandle> block;
+      for (std::size_t b = 0; b < kBlock && next_task < kTasks; ++b) {
+        const std::size_t id = next_task++;
+        block.push_back(ctx.fork([id](TaskContext& c) {
+          for (std::size_t j = 0; j < kAccessesPerTask; ++j) {
+            const Loc loc = static_cast<Loc>((id << 3) | (j & 7));
+            if ((j & 3) == 0)
+              c.write(loc);
+            else
+              c.read(loc);
+          }
+        }));
+      }
+      // Joins must target the current left neighbor (Figure 9), i.e. the
+      // most recently forked child first.
+      for (auto it = block.rbegin(); it != block.rend(); ++it) ctx.join(*it);
+    }
+  });
+}
+
+const Trace& heavy_trace() {
+  static const Trace trace = make_access_heavy_trace();
+  return trace;
+}
+
+std::size_t count_accesses(const Trace& trace) {
+  std::size_t n = 0;
+  for (const TraceEvent& e : trace)
+    if (e.op == TraceOp::kRead || e.op == TraceOp::kWrite) ++n;
+  return n;
+}
+
+void BM_ShardedReplay(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  const Trace& trace = heavy_trace();
+  const std::size_t accesses = count_accesses(trace);
+  std::size_t races = 0;
+  for (auto _ : state) {
+    const auto reports = detect_races_parallel(trace, shards);
+    races = reports.size();
+    benchmark::DoNotOptimize(races);
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["races"] = static_cast<double>(races);
+  state.counters["accesses_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(accesses),
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * accesses));
+}
+
+void BM_SerialReplay(benchmark::State& state) {
+  const Trace& trace = heavy_trace();
+  const std::size_t accesses = count_accesses(trace);
+  for (auto _ : state) {
+    const auto reports = detect_races_trace(trace);
+    benchmark::DoNotOptimize(reports.size());
+  }
+  state.counters["accesses_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(accesses),
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * accesses));
+}
+
+BENCHMARK(BM_SerialReplay)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShardedReplay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,7 +5,11 @@
 //   $ example_trace_analyzer <trace-file>      analyze a file
 //   $ example_trace_analyzer --demo            record+analyze a demo program
 //   $ example_trace_analyzer --emit            print a demo trace to stdout
+//
+// Add --shards=N to also run the sharded parallel analyzer with N workers
+// (its merged reports are bit-identical to the serial replay).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -77,11 +81,29 @@ void report(const char* name, const Trace& trace) {
   std::printf("\n");
 }
 
-int analyze(const Trace& trace) {
+int analyze(const Trace& trace, std::size_t shards) {
   std::printf("events: %zu\n", trace.size());
   report<OnlineRaceDetector>("suprema-2D", trace);
   report<VectorClockDetector>("vector-clock", trace);
   report<FastTrackDetector>("fasttrack", trace);
+
+  if (shards > 0) {
+    ShardedTraceAnalyzer analyzer(trace, shards);
+    const auto races = analyzer.run();
+    std::printf("sharded x%-3zu races=%zu", shards, races.size());
+    if (!races.empty())
+      std::printf("  first: %s", to_string(races.front()).c_str());
+    std::printf("\n");
+    const auto& stats = analyzer.shard_stats();
+    for (std::size_t s = 0; s < stats.size(); ++s) {
+      std::printf("  shard %zu: %zu accesses, %zu locations, %zu race(s)\n", s,
+                  stats[s].checked_accesses, stats[s].tracked_locations,
+                  stats[s].races);
+    }
+    const auto serial = detect_races_trace(trace);
+    std::printf("  parallel == serial replay: %s\n",
+                races == serial ? "yes" : "NO (bug!)");
+  }
 
   // Structural analysis via the materialized task graph.
   const TaskGraph tg = build_task_graph(trace);
@@ -98,27 +120,48 @@ int analyze(const Trace& trace) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0)
-    return analyze(demo_trace());
-  if (argc == 2 && std::strcmp(argv[1], "--emit") == 0) {
+  std::size_t shards = 0;
+  const char* input = nullptr;
+  bool demo = false;
+  bool emit = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+      if (shards == 0) {
+        std::fprintf(stderr, "--shards needs a positive worker count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--emit") == 0) {
+      emit = true;
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      input = nullptr;  // too many positionals: fall through to usage
+      break;
+    }
+  }
+  if (emit) {
     write_trace_text(std::cout, demo_trace());
     return 0;
   }
-  if (argc == 2) {
-    std::ifstream in(argv[1]);
+  if (demo) return analyze(demo_trace(), shards);
+  if (input != nullptr) {
+    std::ifstream in(input);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", input);
       return 2;
     }
     try {
-      return analyze(parse_trace_text(in));
+      return analyze(parse_trace_text(in), shards);
     } catch (const race2d::ContractViolation& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
   }
   std::fprintf(stderr,
-               "usage: %s <trace-file> | --demo | --emit\n"
+               "usage: %s [--shards=N] <trace-file> | --demo | --emit\n"
                "trace format: fork/join/halt/sync p [q], read/write/retire "
                "t loc-hex\n",
                argv[0]);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fast correctness gate: the tier-1 build + test cycle, then a
+# ThreadSanitizer build of the concurrency-bearing tests (the sharded
+# trace analyzer spawns real threads; TSan checks the workers share
+# nothing but the read-only trace and their private reporters).
+#
+# Usage: scripts/check.sh            full gate (tier-1 + TSan)
+#        RACE2D_SKIP_TSAN=1 scripts/check.sh    tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure)
+
+if [[ "${RACE2D_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== TSan skipped (RACE2D_SKIP_TSAN=1)"
+  exit 0
+fi
+
+echo "== ThreadSanitizer build (sharded analyzer + parallel executor)"
+cmake -B build-tsan -S . \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1 -g" \
+  >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target \
+  sharded_analyzer_test parallel_executor_test
+./build-tsan/tests/sharded_analyzer_test
+./build-tsan/tests/parallel_executor_test
+
+echo "check.sh: all green"

@@ -4,9 +4,20 @@
 // R[loc], the supremum of all prior readers, and W[loc], the supremum of all
 // prior writers. This Θ(1)-per-location cell is the entire point of the
 // paper — contrast baselines/shadow state which grows with the thread count.
+//
+// On top of the two suprema the cell carries an *owner-epoch* fast path in
+// the spirit of FastTrack's same-epoch check: (epoch_task, epoch_version)
+// records that at engine version `epoch_version`, task `epoch_task`
+// observed both suprema ordered before it (and folded them to itself). A
+// repeat access by the same task at the same structural version is then
+// provably race-free and needs no union-find query at all. Racing accesses
+// are never cached, so they always re-query — and any structural event
+// (join, halt, task start) bumps the version and invalidates every cached
+// verdict. Still Θ(1) per location.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "support/flat_hash_map.hpp"
 #include "support/ids.hpp"
@@ -16,6 +27,8 @@ namespace race2d {
 struct ShadowCell {
   VertexId read_sup = kInvalidVertex;   ///< R[loc]; invalid = no prior read
   VertexId write_sup = kInvalidVertex;  ///< W[loc]; invalid = no prior write
+  VertexId epoch_task = kInvalidVertex;  ///< owner of the cached clean verdict
+  std::uint64_t epoch_version = 0;  ///< engine version the verdict was cached at
 };
 
 class AccessHistory {
@@ -25,8 +38,14 @@ class AccessHistory {
   /// The cell for `loc`, created empty on first touch.
   ShadowCell& cell(Loc loc) { return cells_[loc]; }
 
-  /// Read-only lookup; nullptr when the location was never accessed.
+  /// Lookup without creation; nullptr when the location was never accessed.
+  ShadowCell* find(Loc loc) { return cells_.find(loc); }
   const ShadowCell* find(Loc loc) const { return cells_.find(loc); }
+
+  /// Pre-sizes the table for `n` distinct live locations so replay does not
+  /// pay incremental rehashes on the hot loop. Callers with a recorded
+  /// trace derive `n` from a prescan (see detect_races_parallel).
+  void reserve(std::size_t n) { cells_.reserve(n); }
 
   /// Drops the cell for `loc` (shadow retirement). Returns whether a cell
   /// existed. Reclaims the slot immediately (backward-shift deletion).

@@ -1,6 +1,9 @@
 #include "core/detector.hpp"
 
+#include <unordered_set>
+
 #include "core/delayed_walk.hpp"
+#include "core/shadow_ops.hpp"
 #include "core/streaming_detector.hpp"
 #include "lattice/delayed.hpp"
 #include "support/assert.hpp"
@@ -41,50 +44,23 @@ void OnlineRaceDetector::on_halt(TaskId t) {
 void OnlineRaceDetector::on_read(TaskId t, Loc loc) {
   engine_.on_loop(t);
   ++access_count_;
-  ShadowCell& cell = history_.cell(loc);
-  // §2.3: a read can only race with prior writes; compare against W[loc].
-  if (cell.write_sup != kInvalidVertex && engine_.sup(cell.write_sup, t) != t) {
-    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
-                      access_count_});
-  }
-  // Figure 6 line 3: R[loc] ← Sup(R[loc], t).
-  cell.read_sup =
-      cell.read_sup == kInvalidVertex ? t : engine_.sup(cell.read_sup, t);
+  detail::shadow_read(engine_, history_.cell(loc), t, loc, access_count_,
+                      reporter_);
 }
 
 void OnlineRaceDetector::on_write(TaskId t, Loc loc) {
   engine_.on_loop(t);
   ++access_count_;
-  ShadowCell& cell = history_.cell(loc);
-  // Figure 6 On-Write: a write races with prior reads and prior writes.
-  if (cell.read_sup != kInvalidVertex && engine_.sup(cell.read_sup, t) != t) {
-    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
-                      access_count_});
-  } else if (cell.write_sup != kInvalidVertex &&
-             engine_.sup(cell.write_sup, t) != t) {
-    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
-                      access_count_});
-  }
-  cell.write_sup =
-      cell.write_sup == kInvalidVertex ? t : engine_.sup(cell.write_sup, t);
+  detail::shadow_write(engine_, history_.cell(loc), t, loc, access_count_,
+                       reporter_);
 }
 
 void OnlineRaceDetector::on_retire(TaskId t, Loc loc) {
   engine_.on_loop(t);
-  const ShadowCell* cell = history_.find(loc);
-  if (cell == nullptr) return;  // never accessed: nothing to retire
-  ++access_count_;
-  // Retiring storage that is still racing is itself a defect: check like a
-  // write before dropping the cell.
-  if (cell->read_sup != kInvalidVertex && engine_.sup(cell->read_sup, t) != t) {
-    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kRead,
-                      access_count_});
-  } else if (cell->write_sup != kInvalidVertex &&
-             engine_.sup(cell->write_sup, t) != t) {
-    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kWrite,
-                      access_count_});
+  if (detail::shadow_retire(engine_, history_, t, loc, access_count_ + 1,
+                            reporter_)) {
+    ++access_count_;
   }
-  history_.retire(loc);
 }
 
 MemoryFootprint OnlineRaceDetector::footprint() const {
@@ -115,6 +91,16 @@ std::vector<RaceReport> detect_races_offline(
 
   StreamingLatticeDetector detector(policy);
   detector.grow_to(d.vertex_count());
+  // Pre-size the shadow map for the distinct locations this workload
+  // touches, so the replay loop never pays an incremental rehash. (Exact
+  // count, not access count: over-reserving would distort E2's
+  // bytes-per-location accounting.)
+  {
+    std::unordered_set<Loc> locs;
+    for (const auto& vertex_ops : ops)
+      for (const VertexAccess& a : vertex_ops) locs.insert(a.loc);
+    detector.reserve_locations(locs.size());
+  }
   for (const TraversalEvent& e : traversal) {
     detector.on_event(e);
     if (e.kind != EventKind::kLoop) continue;

@@ -1,0 +1,114 @@
+// Figure 6's On-Read / On-Write / On-Retire as shared inline routines, with
+// the owner-epoch fast path on the shadow cell.
+//
+// Three detectors run this exact per-access logic — OnlineRaceDetector
+// (thread-collapsed), StreamingLatticeDetector (vertex-level), and the
+// ShardedTraceAnalyzer workers — and the sharded analyzer's reports must be
+// bit-identical to serial replay. Keeping the logic in one place is what
+// makes that guarantee reviewable.
+//
+// Owner-epoch fast path. After an access by t that reports no race, both
+// suprema of the cell are ordered before t and fold to t under the Sup
+// update (R[loc] ← Sup(R[loc], t) = t, and likewise W on a write). The cell
+// then caches (epoch_task = t, epoch_version = engine.structural_version()).
+// A later access by the same t at the same version can skip both Sup
+// queries: no structural event (merge, halt, task start) intervened, so the
+// "ordered" verdict still holds, and the only state change the slow path
+// would make is folding the accessed supremum to t — which the fast path
+// performs directly. Racing accesses never populate the cache (they must
+// keep re-querying: a join can order them later), and any slow-path access
+// by a different task overwrites or clears the cache, so staleness is
+// impossible by construction.
+#pragma once
+
+#include <cstddef>
+
+#include "core/access_history.hpp"
+#include "core/report.hpp"
+#include "core/suprema_walk.hpp"
+#include "support/ids.hpp"
+
+namespace race2d::detail {
+
+inline bool epoch_hit(const ShadowCell& cell, const SupremaEngine& engine,
+                      VertexId t) {
+  return cell.epoch_task == t &&
+         cell.epoch_version == engine.structural_version();
+}
+
+/// On-Read (Figure 6 line 2–3, with the §2.3 read rule: reads race only
+/// with prior writes). `ordinal` is the access index carried by reports.
+inline void shadow_read(SupremaEngine& engine, ShadowCell& cell, VertexId t,
+                        Loc loc, std::size_t ordinal, RaceReporter& reporter) {
+  if (epoch_hit(cell, engine, t)) {
+    cell.read_sup = t;  // Sup(R[loc], t) = t: R[loc] ⊑ t was cached
+    return;
+  }
+  bool clean = true;
+  if (cell.write_sup != kInvalidVertex && engine.sup(cell.write_sup, t) != t) {
+    reporter.report({loc, t, AccessKind::kRead, AccessKind::kWrite, ordinal});
+    clean = false;
+  }
+  // Figure 6 line 3: R[loc] ← Sup(R[loc], t).
+  cell.read_sup =
+      cell.read_sup == kInvalidVertex ? t : engine.sup(cell.read_sup, t);
+  // Cache only the fully-ordered outcome: prior writes ⊑ t (clean) and
+  // prior reads ⊑ t (the Sup update folded R[loc] to t).
+  if (clean && cell.read_sup == t) {
+    cell.epoch_task = t;
+    cell.epoch_version = engine.structural_version();
+  } else {
+    cell.epoch_task = kInvalidVertex;
+  }
+}
+
+/// On-Write (Figure 6 line 5–8): a write races with prior reads and writes.
+inline void shadow_write(SupremaEngine& engine, ShadowCell& cell, VertexId t,
+                         Loc loc, std::size_t ordinal, RaceReporter& reporter) {
+  if (epoch_hit(cell, engine, t)) {
+    cell.write_sup = t;  // Sup(W[loc], t) = t: W[loc] ⊑ t was cached
+    return;
+  }
+  bool clean = true;
+  if (cell.read_sup != kInvalidVertex && engine.sup(cell.read_sup, t) != t) {
+    reporter.report({loc, t, AccessKind::kWrite, AccessKind::kRead, ordinal});
+    clean = false;
+  } else if (cell.write_sup != kInvalidVertex &&
+             engine.sup(cell.write_sup, t) != t) {
+    reporter.report({loc, t, AccessKind::kWrite, AccessKind::kWrite, ordinal});
+    clean = false;
+  }
+  cell.write_sup =
+      cell.write_sup == kInvalidVertex ? t : engine.sup(cell.write_sup, t);
+  if (clean && cell.write_sup == t) {
+    cell.epoch_task = t;
+    cell.epoch_version = engine.structural_version();
+  } else {
+    cell.epoch_task = kInvalidVertex;
+  }
+}
+
+/// On-Retire: checked like a write (retiring live racing storage is itself a
+/// defect), then the cell is dropped. Returns whether a cell existed — i.e.
+/// whether the retire counted as an access.
+inline bool shadow_retire(SupremaEngine& engine, AccessHistory& history,
+                          VertexId t, Loc loc, std::size_t ordinal,
+                          RaceReporter& reporter) {
+  ShadowCell* cell = history.find(loc);
+  if (cell == nullptr) return false;  // never accessed: nothing to retire
+  if (!epoch_hit(*cell, engine, t)) {  // cached clean verdict ⇒ no report
+    if (cell->read_sup != kInvalidVertex &&
+        engine.sup(cell->read_sup, t) != t) {
+      reporter.report(
+          {loc, t, AccessKind::kRetire, AccessKind::kRead, ordinal});
+    } else if (cell->write_sup != kInvalidVertex &&
+               engine.sup(cell->write_sup, t) != t) {
+      reporter.report(
+          {loc, t, AccessKind::kRetire, AccessKind::kWrite, ordinal});
+    }
+  }
+  history.retire(loc);
+  return true;
+}
+
+}  // namespace race2d::detail

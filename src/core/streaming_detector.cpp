@@ -1,44 +1,26 @@
 #include "core/streaming_detector.hpp"
 
+#include "core/shadow_ops.hpp"
+
 namespace race2d {
 
 void StreamingLatticeDetector::on_read(VertexId t, Loc loc) {
   ++access_count_;
-  ShadowCell& cell = history_.cell(loc);
-  // §2.3: a read can only race with prior writes.
-  if (cell.write_sup != kInvalidVertex && engine_.sup(cell.write_sup, t) != t)
-    reporter_.report({loc, t, AccessKind::kRead, AccessKind::kWrite,
-                      access_count_});
-  cell.read_sup =
-      cell.read_sup == kInvalidVertex ? t : engine_.sup(cell.read_sup, t);
+  detail::shadow_read(engine_, history_.cell(loc), t, loc, access_count_,
+                      reporter_);
 }
 
 void StreamingLatticeDetector::on_write(VertexId t, Loc loc) {
   ++access_count_;
-  ShadowCell& cell = history_.cell(loc);
-  if (cell.read_sup != kInvalidVertex && engine_.sup(cell.read_sup, t) != t)
-    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kRead,
-                      access_count_});
-  else if (cell.write_sup != kInvalidVertex &&
-           engine_.sup(cell.write_sup, t) != t)
-    reporter_.report({loc, t, AccessKind::kWrite, AccessKind::kWrite,
-                      access_count_});
-  cell.write_sup =
-      cell.write_sup == kInvalidVertex ? t : engine_.sup(cell.write_sup, t);
+  detail::shadow_write(engine_, history_.cell(loc), t, loc, access_count_,
+                       reporter_);
 }
 
 void StreamingLatticeDetector::on_retire(VertexId t, Loc loc) {
-  const ShadowCell* cell = history_.find(loc);
-  if (cell == nullptr) return;
-  ++access_count_;
-  if (cell->read_sup != kInvalidVertex && engine_.sup(cell->read_sup, t) != t)
-    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kRead,
-                      access_count_});
-  else if (cell->write_sup != kInvalidVertex &&
-           engine_.sup(cell->write_sup, t) != t)
-    reporter_.report({loc, t, AccessKind::kRetire, AccessKind::kWrite,
-                      access_count_});
-  history_.retire(loc);
+  if (detail::shadow_retire(engine_, history_, t, loc, access_count_ + 1,
+                            reporter_)) {
+    ++access_count_;
+  }
 }
 
 MemoryFootprint StreamingLatticeDetector::footprint() const {

@@ -29,6 +29,9 @@ class StreamingLatticeDetector {
   void grow_to(std::size_t vertex_count) { engine_.grow_to(vertex_count); }
   VertexId add_vertex() { return engine_.add_vertex(); }
 
+  /// Pre-size the shadow map for `n` distinct locations (optional).
+  void reserve_locations(std::size_t n) { history_.reserve(n); }
+
   /// Advances the walk by one traversal event (loop / last-arc / stop-arc;
   /// ordinary arcs are no-ops). Events must arrive in traversal order.
   void on_event(const TraversalEvent& e) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "lattice/diagram.hpp"
@@ -37,16 +38,29 @@ class SupremaEngine {
 
   std::size_t vertex_count() const { return dsu_.element_count(); }
 
-  /// Walk line 2–3: visiting the loop (t, t).
-  void on_loop(VertexId t) { dsu_.set_visited(t, true); }
+  /// Walk line 2–3: visiting the loop (t, t). Only a false→true transition
+  /// can change Sup answers (and thus bumps the structural version); the
+  /// thread-collapsed detectors re-loop the current task on every access.
+  void on_loop(VertexId t) {
+    if (!dsu_.visited(t)) {
+      dsu_.set_visited(t, true);
+      ++version_;
+    }
+  }
 
   /// Walk line 5–6: visiting a last-arc (s, t) merges s's tree into t's,
   /// keeping t's label — Union(t, s).
-  void on_last_arc(VertexId s, VertexId t) { dsu_.merge_into(t, s); }
+  void on_last_arc(VertexId s, VertexId t) {
+    dsu_.merge_into(t, s);
+    ++version_;
+  }
 
   /// Figure 8, line 7–8: a stop-arc (s, ×) marks s unvisited so it becomes
   /// observationally equivalent to the not-yet-visited supremum.
-  void on_stop_arc(VertexId s) { dsu_.set_visited(s, false); }
+  void on_stop_arc(VertexId s) {
+    dsu_.set_visited(s, false);
+    ++version_;
+  }
 
   /// Dispatches any traversal event (ordinary arcs are no-ops).
   void on_event(const TraversalEvent& e);
@@ -63,11 +77,19 @@ class SupremaEngine {
 
   bool visited(VertexId v) const { return dsu_.visited(v); }
 
+  /// Monotone counter bumped whenever the engine's state changes in a way
+  /// that could alter a Sup answer (first visit, merge, un-visit). The
+  /// shadow cells' owner-epoch fast path caches "ordered" verdicts keyed by
+  /// (task, version); a matching version proves no structural event
+  /// intervened, so the cached verdict still stands.
+  std::uint64_t structural_version() const { return version_; }
+
   /// Heap bytes — the detector's Θ(1)-per-thread state (Theorem 5).
   std::size_t heap_bytes() const { return dsu_.heap_bytes(); }
 
  private:
   LabeledUnionFind dsu_;
+  std::uint64_t version_ = 0;
 };
 
 /// Batch solver mirroring Figure 5's Walk(T, Q): runs the canonical

@@ -20,6 +20,7 @@
 #include "core/delayed_walk.hpp"      // Figure 8: relaxed online suprema
 #include "core/detector.hpp"          // Figure 6: the race detectors
 #include "core/report.hpp"            // race reports & policies
+#include "core/sharded_analyzer.hpp"  // location-sharded parallel replay
 #include "core/streaming_detector.hpp" // language-independent online form
 #include "core/suprema_walk.hpp"      // Figure 5: suprema in 2D lattices
 #include "graph/digraph.hpp"          // DAG substrate

@@ -46,6 +46,16 @@ class FlatHashMap {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Pre-sizes the table so `n` entries fit without triggering an
+  /// incremental rehash (the 5/8 load-factor bound of maybe_grow). Never
+  /// shrinks; existing entries are rehashed into the larger table.
+  void reserve(std::size_t n) {
+    std::size_t wanted = 4;
+    while (n * 8 > wanted * 5) wanted <<= 1;
+    if (wanted <= slots_.size()) return;
+    rehash_to(wanted);
+  }
+
   /// Returns the value for `key`, default-constructing it if absent.
   V& operator[](const K& key) {
     maybe_grow();
@@ -143,9 +153,13 @@ class FlatHashMap {
     // linear probing clusters badly beyond that, and the table must never
     // fill completely or the probe loops would not terminate.
     if ((size_ + 1) * 8 <= slots_.size() * 5) return;
+    rehash_to(slots_.size() * 2);
+  }
+
+  void rehash_to(std::size_t new_slot_count) {
     std::vector<Slot> old = std::move(slots_);
     slots_.clear();
-    slots_.resize(old.size() * 2);
+    slots_.resize(new_slot_count);
     size_ = 0;
     for (auto& s : old) {
       if (!s.occupied) continue;

@@ -1,8 +1,5 @@
 #include "unionfind/labeled_union_find.hpp"
 
-#include <utility>
-
-#include "support/assert.hpp"
 #include "support/mem_accounting.hpp"
 
 namespace race2d {
@@ -27,34 +24,6 @@ std::uint32_t LabeledUnionFind::add() {
   label_.push_back(id);
   visited_.push_back(0);
   return id;
-}
-
-std::uint32_t LabeledUnionFind::find_root(std::uint32_t x) {
-  R2D_ASSERT(x < parent_.size());
-  while (parent_[x] != x) {
-    parent_[x] = parent_[parent_[x]];  // path halving
-    x = parent_[x];
-  }
-  return x;
-}
-
-std::uint32_t LabeledUnionFind::find_label(std::uint32_t x) {
-  return label_[find_root(x)];
-}
-
-void LabeledUnionFind::merge_into(std::uint32_t keep, std::uint32_t absorb) {
-  std::uint32_t rk = find_root(keep);
-  std::uint32_t ra = find_root(absorb);
-  if (rk == ra) return;
-  const std::uint32_t kept_label = label_[rk];
-  if (rank_[rk] < rank_[ra]) std::swap(rk, ra);
-  parent_[ra] = rk;
-  if (rank_[rk] == rank_[ra]) ++rank_[rk];
-  label_[rk] = kept_label;  // label travels with `keep`'s set, not the rank winner
-}
-
-void LabeledUnionFind::set_label(std::uint32_t x, std::uint32_t label) {
-  label_[find_root(x)] = label;
 }
 
 std::size_t LabeledUnionFind::heap_bytes() const {

@@ -14,8 +14,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "support/assert.hpp"
 #include "support/ids.hpp"
 
 namespace race2d {
@@ -32,16 +34,29 @@ class LabeledUnionFind {
   /// Adds one fresh element (singleton labeled by itself, unvisited).
   std::uint32_t add();
 
-  /// Label of the set containing x — the paper's Find(x).
-  std::uint32_t find_label(std::uint32_t x);
+  /// Label of the set containing x — the paper's Find(x). Inline: this is
+  /// the detector's per-access hot path (one call per Sup query).
+  std::uint32_t find_label(std::uint32_t x) { return label_[find_root(x)]; }
 
   /// Merge the sets of `keep` and `absorb`; the merged set takes the label
-  /// of `keep`'s set — the paper's Union(keep, absorb).
-  void merge_into(std::uint32_t keep, std::uint32_t absorb);
+  /// of `keep`'s set — the paper's Union(keep, absorb). The label handoff
+  /// reuses the roots computed for the link step (no re-find).
+  void merge_into(std::uint32_t keep, std::uint32_t absorb) {
+    std::uint32_t rk = find_root(keep);
+    std::uint32_t ra = find_root(absorb);
+    if (rk == ra) return;
+    const std::uint32_t kept_label = label_[rk];
+    if (rank_[rk] < rank_[ra]) std::swap(rk, ra);
+    parent_[ra] = rk;
+    if (rank_[rk] == rank_[ra]) ++rank_[rk];
+    label_[rk] = kept_label;  // label travels with `keep`'s set, not the rank winner
+  }
 
   /// Relabels the set containing x (used by the SP-bags baseline to retag a
   /// whole bag in O(α)).
-  void set_label(std::uint32_t x, std::uint32_t label);
+  void set_label(std::uint32_t x, std::uint32_t label) {
+    label_[find_root(x)] = label;
+  }
 
   bool same_set(std::uint32_t a, std::uint32_t b) {
     return find_root(a) == find_root(b);
@@ -56,7 +71,14 @@ class LabeledUnionFind {
   std::size_t heap_bytes() const;
 
  private:
-  std::uint32_t find_root(std::uint32_t x);
+  std::uint32_t find_root(std::uint32_t x) {
+    R2D_ASSERT(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
 
   std::vector<std::uint32_t> parent_;
   std::vector<std::uint8_t> rank_;

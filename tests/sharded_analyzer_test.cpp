@@ -1,0 +1,233 @@
+// ShardedTraceAnalyzer: location-sharded parallel replay must be
+// bit-identical to serial replay for every shard count, and must agree
+// with the offline walk over the materialized task graph. Plus regression
+// coverage for the owner-epoch fast path (a join must invalidate cached
+// verdicts — re-accesses re-query).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/sharded_analyzer.hpp"
+#include "core/suprema_walk.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/trace.hpp"
+#include "workloads/generators.hpp"
+
+namespace race2d {
+namespace {
+
+Trace record(TaskBody program) {
+  TraceRecorder rec;
+  SerialExecutor exec(&rec);
+  exec.run(std::move(program));
+  return rec.take();
+}
+
+constexpr std::size_t kShardCounts[] = {1, 2, 3, 8};
+
+void expect_parallel_matches_serial(const Trace& trace, std::uint64_t seed) {
+  const std::vector<RaceReport> serial = detect_races_trace(trace);
+  for (std::size_t shards : kShardCounts) {
+    const std::vector<RaceReport> parallel =
+        detect_races_parallel(trace, shards);
+    // Bit-identical: every field of every report, in the same order.
+    EXPECT_EQ(parallel, serial) << "seed " << seed << " shards " << shards;
+  }
+  // kFirstOnly keeps the globally first report regardless of its shard.
+  const auto first_serial = detect_races_trace(trace, ReportPolicy::kFirstOnly);
+  for (std::size_t shards : kShardCounts) {
+    EXPECT_EQ(detect_races_parallel(trace, shards, ReportPolicy::kFirstOnly),
+              first_serial)
+        << "seed " << seed << " shards " << shards;
+  }
+}
+
+void expect_parallel_matches_offline(const Trace& trace, std::uint64_t seed) {
+  // The offline walk reports vertex ids, the sharded replay thread ids, so
+  // compare the race sets on their shared coordinates: which access exposed
+  // the race, where, and against what kind of prior access.
+  const TaskGraph tg = build_task_graph(trace);
+  const std::vector<RaceReport> offline =
+      detect_races_offline(tg.diagram, tg.ops, WalkMode::kNonSeparating);
+  for (std::size_t shards : kShardCounts) {
+    const std::vector<RaceReport> parallel =
+        detect_races_parallel(trace, shards);
+    ASSERT_EQ(parallel.size(), offline.size())
+        << "seed " << seed << " shards " << shards;
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      EXPECT_EQ(parallel[i].access_index, offline[i].access_index)
+          << "seed " << seed << " shards " << shards << " report " << i;
+      EXPECT_EQ(parallel[i].loc, offline[i].loc)
+          << "seed " << seed << " shards " << shards << " report " << i;
+      EXPECT_EQ(parallel[i].current_kind, offline[i].current_kind)
+          << "seed " << seed << " shards " << shards << " report " << i;
+      EXPECT_EQ(parallel[i].prior_kind, offline[i].prior_kind)
+          << "seed " << seed << " shards " << shards << " report " << i;
+    }
+  }
+}
+
+class ShardedVsSerial : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedVsSerial, RaceHeavyRandomPrograms) {
+  ProgramParams params;
+  params.seed = GetParam();
+  params.max_actions = 24;
+  params.max_depth = 6;
+  params.max_tasks = 64;
+  params.loc_pool = 12;  // small pool: races frequent
+  const Trace trace = record(random_program(params));
+  expect_parallel_matches_serial(trace, GetParam());
+  expect_parallel_matches_offline(trace, GetParam());
+}
+
+TEST_P(ShardedVsSerial, SparseRandomPrograms) {
+  ProgramParams params;
+  params.seed = GetParam() * 2654435761u;
+  params.max_actions = 20;
+  params.max_depth = 5;
+  params.max_tasks = 48;
+  params.loc_pool = 4096;  // big pool: races rare, most runs race-free
+  params.write_frac = 0.15;
+  const Trace trace = record(random_program(params));
+  expect_parallel_matches_serial(trace, GetParam());
+}
+
+TEST_P(ShardedVsSerial, RaceFreeProgramsStayClean) {
+  ProgramParams params;
+  params.seed = GetParam() * 40503u + 7;
+  params.max_actions = 24;
+  params.max_depth = 6;
+  params.max_tasks = 64;
+  const Trace trace = record(race_free_program(params));
+  for (std::size_t shards : kShardCounts) {
+    EXPECT_TRUE(detect_races_parallel(trace, shards).empty())
+        << "seed " << GetParam() << " shards " << shards;
+  }
+}
+
+TEST_P(ShardedVsSerial, RacyProgramsAlwaysCaught) {
+  ProgramParams params;
+  params.seed = GetParam() * 7877u + 13;
+  params.max_actions = 16;
+  params.max_depth = 5;
+  params.max_tasks = 48;
+  const Loc race_loc = 0xACE;
+  const Trace trace = record(racy_program(params, race_loc));
+  for (std::size_t shards : kShardCounts) {
+    const auto races = detect_races_parallel(trace, shards);
+    ASSERT_FALSE(races.empty()) << "seed " << GetParam();
+    EXPECT_EQ(races[0].loc, race_loc);
+  }
+  expect_parallel_matches_serial(trace, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedVsSerial,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(ShardedAnalyzer, StatsPartitionTheAccesses) {
+  ProgramParams params;
+  params.seed = 99;
+  params.max_tasks = 64;
+  params.loc_pool = 32;
+  const Trace trace = record(random_program(params));
+  ShardedTraceAnalyzer analyzer(trace, 4);
+  const auto races = analyzer.run();
+  std::size_t checked = 0;
+  for (const ShardStats& s : analyzer.shard_stats()) checked += s.checked_accesses;
+  // Every countable access is checked by exactly one shard.
+  EXPECT_EQ(checked, analyzer.access_count());
+  std::size_t reported = 0;
+  for (const ShardStats& s : analyzer.shard_stats()) reported += s.races;
+  EXPECT_EQ(reported, races.size());
+}
+
+TEST(ShardedAnalyzer, RetireLivenessOrdinalsMatchSerial) {
+  // Retires of dead locations do not count as accesses; the prescan must
+  // agree with the online detector's ordinals even through retire/re-access
+  // cycles.
+  const Trace trace = record([](TaskContext& ctx) {
+    ctx.write(0x1);
+    ctx.retire(0x1);   // live retire: counts
+    ctx.retire(0x1);   // dead retire: does not count
+    ctx.read(0x1);     // recreates the cell
+    auto child = ctx.fork([](TaskContext& c) { c.write(0x1); });
+    ctx.retire(0x1);   // races with the child's write
+    ctx.join(child);
+  });
+  expect_parallel_matches_serial(trace, 0);
+}
+
+// --- owner-epoch fast path -------------------------------------------------
+
+TEST(EpochCache, StructuralVersionBumpsOnStructureOnly) {
+  SupremaEngine engine;
+  const VertexId a = engine.add_vertex();
+  engine.on_loop(a);
+  const std::uint64_t after_start = engine.structural_version();
+  EXPECT_GT(after_start, 0u);
+  engine.on_loop(a);  // re-loop of a visited vertex: no structural change
+  engine.on_loop(a);
+  EXPECT_EQ(engine.structural_version(), after_start);
+
+  const VertexId b = engine.add_vertex();
+  EXPECT_EQ(engine.structural_version(), after_start);  // creation alone: no
+  engine.on_loop(b);  // task start
+  EXPECT_GT(engine.structural_version(), after_start);
+
+  const std::uint64_t before_halt = engine.structural_version();
+  engine.on_stop_arc(b);  // halt
+  EXPECT_GT(engine.structural_version(), before_halt);
+  const std::uint64_t before_join = engine.structural_version();
+  engine.on_last_arc(b, a);  // join
+  EXPECT_GT(engine.structural_version(), before_join);
+}
+
+TEST(EpochCache, JoinInvalidatesCachedVerdicts) {
+  // Task 0 races with its (already halted, not yet joined) child on the
+  // first read, then joins it. The re-access after the join must re-query:
+  // the race is ordered away, so exactly ONE report total. A cache that
+  // survived the join's version bump would either duplicate the report or
+  // keep the stale verdict.
+  const Trace trace = {
+      {TraceOp::kFork, 0, 1, 0},
+      {TraceOp::kWrite, 1, kInvalidTask, 0x10},
+      {TraceOp::kHalt, 1, kInvalidTask, 0},
+      {TraceOp::kRead, 0, kInvalidTask, 0x10},   // access 2: races with write
+      {TraceOp::kJoin, 0, 1, 0},
+      {TraceOp::kRead, 0, kInvalidTask, 0x10},   // ordered now: no report
+      {TraceOp::kWrite, 0, kInvalidTask, 0x10},  // ordered now: no report
+      {TraceOp::kHalt, 0, kInvalidTask, 0},
+  };
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    const auto races = detect_races_parallel(trace, shards);
+    ASSERT_EQ(races.size(), 1u) << "shards " << shards;
+    EXPECT_EQ(races[0].access_index, 2u);
+    EXPECT_EQ(races[0].loc, 0x10u);
+    EXPECT_EQ(races[0].current_kind, AccessKind::kRead);
+    EXPECT_EQ(races[0].prior_kind, AccessKind::kWrite);
+  }
+  EXPECT_EQ(detect_races_trace(trace).size(), 1u);
+}
+
+TEST(EpochCache, RepeatedSameTaskAccessesStayExact) {
+  // A task hammering one location (the fast path's target pattern) must
+  // report exactly what serial logic reports: nothing when ordered,
+  // every racing access when not.
+  const Trace trace = record([](TaskContext& ctx) {
+    for (int i = 0; i < 100; ++i) ctx.write(0x7);   // same-task: clean
+    auto child = ctx.fork([](TaskContext& c) {
+      for (int i = 0; i < 50; ++i) c.read(0x7);     // racy reads vs parent?
+    });
+    ctx.join(child);
+    for (int i = 0; i < 100; ++i) ctx.read(0x7);    // ordered after join
+  });
+  expect_parallel_matches_serial(trace, 0);
+  // Child reads are ordered after the parent's writes (fork order), and
+  // post-join accesses are ordered after everything: race-free overall.
+  EXPECT_TRUE(detect_races_trace(trace).empty());
+}
+
+}  // namespace
+}  // namespace race2d
