@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Fast correctness gate: the tier-1 build + test cycle, then a
-# ThreadSanitizer build of the concurrency-bearing tests (the sharded
-# trace analyzer spawns real threads; TSan checks the workers share
-# nothing but the read-only trace and their private reporters).
+# Correctness gate: the tier-1 build + test cycle, an ASan+UBSan build of
+# the FULL test suite (the verify layer intentionally feeds corrupt traces
+# to every detector; the sanitizers prove the rejection paths never read
+# past a buffer), then a ThreadSanitizer build of the concurrency-bearing
+# tests (the sharded trace analyzer spawns real threads; TSan checks the
+# workers share nothing but the read-only trace and their private
+# reporters). clang-tidy runs last when installed (scripts/tidy.sh).
 #
-# Usage: scripts/check.sh            full gate (tier-1 + TSan)
-#        RACE2D_SKIP_TSAN=1 scripts/check.sh    tier-1 only
+# Usage: scripts/check.sh            full gate (tier-1 + ASan/UBSan + TSan)
+#        RACE2D_SKIP_ASAN=1 scripts/check.sh    skip the ASan/UBSan pass
+#        RACE2D_SKIP_TSAN=1 scripts/check.sh    skip the TSan pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,8 +18,20 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure)
 
+if [[ "${RACE2D_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== ASan/UBSan skipped (RACE2D_SKIP_ASAN=1)"
+else
+  echo "== AddressSanitizer + UBSan build (full test suite)"
+  cmake -B build-asan -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -O1 -g" \
+    >/dev/null
+  cmake --build build-asan -j "$(nproc)"
+  (cd build-asan && ctest --output-on-failure)
+fi
+
 if [[ "${RACE2D_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan skipped (RACE2D_SKIP_TSAN=1)"
+  scripts/tidy.sh
   exit 0
 fi
 
@@ -27,5 +43,7 @@ cmake --build build-tsan -j "$(nproc)" --target \
   sharded_analyzer_test parallel_executor_test
 ./build-tsan/tests/sharded_analyzer_test
 ./build-tsan/tests/parallel_executor_test
+
+scripts/tidy.sh
 
 echo "check.sh: all green"

@@ -1,5 +1,6 @@
 #include "core/detector.hpp"
 
+#include <sstream>
 #include <unordered_set>
 
 #include "core/delayed_walk.hpp"
@@ -7,6 +8,7 @@
 #include "core/streaming_detector.hpp"
 #include "lattice/delayed.hpp"
 #include "support/assert.hpp"
+#include "verify/graph_lint.hpp"
 
 namespace race2d {
 
@@ -73,8 +75,20 @@ MemoryFootprint OnlineRaceDetector::footprint() const {
 std::vector<RaceReport> detect_races_offline(
     const Diagram& d, const std::vector<std::vector<VertexAccess>>& ops,
     WalkMode mode, ReportPolicy policy) {
-  R2D_REQUIRE(ops.size() == d.vertex_count(),
-              "one access list per vertex required");
+  // Structured rejection of malformed inputs: a garbage diagram would
+  // otherwise surface as a ContractViolation (or an infinite walk) from
+  // deep inside the traversal construction.
+  require_diagram_clean(d);
+  if (ops.size() != d.vertex_count()) {
+    LintResult shape;
+    std::ostringstream os;
+    os << "ops has " << ops.size() << " access list(s) for "
+       << d.vertex_count() << " vertices";
+    shape.diagnostics.push_back({LintCode::kOpsShapeMismatch,
+                                 LintSeverity::kError, ops.size(), os.str(),
+                                 "supply exactly one access list per vertex"});
+    throw DiagramLintError(std::move(shape));
+  }
 
   Traversal traversal;
   switch (mode) {

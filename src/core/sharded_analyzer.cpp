@@ -22,8 +22,8 @@ constexpr std::size_t kReserveCapLocs = 4096;
 }  // namespace
 
 ShardedTraceAnalyzer::ShardedTraceAnalyzer(const Trace& trace,
-                                           std::size_t shards)
-    : trace_(&trace), shards_(shards) {
+                                           std::size_t shards, LintGate gate)
+    : trace_(&trace), shards_(shards), gate_(gate) {
   R2D_REQUIRE(shards_ >= 1, "need at least one shard");
 }
 
@@ -363,7 +363,13 @@ void ShardedTraceAnalyzer::run_shard_direct(RaceReporter& reporter,
 }
 
 std::vector<RaceReport> ShardedTraceAnalyzer::run(ReportPolicy policy) {
-  if (!scanned_) scan();
+  if (!scanned_) {
+    // Lint before any replay state exists: the scan and the workers assume
+    // the §5 line discipline and dense fork-order ids, and a malformed
+    // trace would otherwise trip R2D_REQUIREs (or worse) mid-replay.
+    if (gate_ == LintGate::kEnforce) require_lint_clean(*trace_);
+    scan();
+  }
   stats_.assign(shards_, ShardStats{});
   // Workers collect everything; the policy is applied after the merge so
   // kFirstOnly keeps the globally first report, not some shard's first.
@@ -416,13 +422,16 @@ std::vector<RaceReport> ShardedTraceAnalyzer::run(ReportPolicy policy) {
 
 std::vector<RaceReport> detect_races_parallel(const Trace& trace,
                                               std::size_t shards,
-                                              ReportPolicy policy) {
-  ShardedTraceAnalyzer analyzer(trace, shards);
+                                              ReportPolicy policy,
+                                              LintGate gate) {
+  ShardedTraceAnalyzer analyzer(trace, shards, gate);
   return analyzer.run(policy);
 }
 
 std::vector<RaceReport> detect_races_trace(const Trace& trace,
-                                           ReportPolicy policy) {
+                                           ReportPolicy policy,
+                                           LintGate gate) {
+  if (gate == LintGate::kEnforce) require_lint_clean(trace);
   OnlineRaceDetector detector(policy);
   detector.on_root();
   for (const TraceEvent& e : trace) {

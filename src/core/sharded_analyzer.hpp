@@ -32,6 +32,7 @@
 
 #include "core/report.hpp"
 #include "runtime/trace.hpp"
+#include "verify/trace_lint.hpp"
 
 namespace race2d {
 
@@ -45,8 +46,11 @@ struct ShardStats {
 class ShardedTraceAnalyzer {
  public:
   /// Stores the trace and validates `shards`; the scan work happens on the
-  /// first run(). The trace must outlive the analyzer.
-  ShardedTraceAnalyzer(const Trace& trace, std::size_t shards);
+  /// first run(). The trace must outlive the analyzer. With
+  /// LintGate::kEnforce (the default) the first run() lints the trace and
+  /// throws TraceLintError instead of replaying a malformed one.
+  ShardedTraceAnalyzer(const Trace& trace, std::size_t shards,
+                       LintGate gate = LintGate::kEnforce);
 
   /// Replays with shard_count() workers (shard 0 runs on the calling
   /// thread) and returns the deterministically merged reports. The first
@@ -109,6 +113,7 @@ class ShardedTraceAnalyzer {
 
   const Trace* trace_;
   std::size_t shards_;
+  LintGate gate_;
   std::size_t task_count_ = 1;
   std::size_t access_count_ = 0;
   bool scanned_ = false;
@@ -131,14 +136,18 @@ class ShardedTraceAnalyzer {
 
 /// One-call driver: sharded replay of `trace` with `shards` workers.
 /// Bit-identical to serial replay (detect_races_trace) for every K ≥ 1.
+/// Lint-failing traces raise TraceLintError unless the gate is kSkip.
 std::vector<RaceReport> detect_races_parallel(
     const Trace& trace, std::size_t shards,
-    ReportPolicy policy = ReportPolicy::kAll);
+    ReportPolicy policy = ReportPolicy::kAll,
+    LintGate gate = LintGate::kEnforce);
 
 /// Serial reference: replays `trace` through one OnlineRaceDetector. Kept
 /// as an independent code path so tests can check the sharded analyzer
-/// against it.
+/// against it. Lint-failing traces raise TraceLintError unless the gate is
+/// kSkip.
 std::vector<RaceReport> detect_races_trace(
-    const Trace& trace, ReportPolicy policy = ReportPolicy::kAll);
+    const Trace& trace, ReportPolicy policy = ReportPolicy::kAll,
+    LintGate gate = LintGate::kEnforce);
 
 }  // namespace race2d

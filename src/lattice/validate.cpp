@@ -1,19 +1,99 @@
 #include "lattice/validate.hpp"
 
 #include <sstream>
+#include <vector>
 
 #include "graph/topo.hpp"
 #include "lattice/poset.hpp"
 #include "lattice/traversal.hpp"
 #include "support/assert.hpp"
+#include "verify/graph_lint.hpp"
 
 namespace race2d {
 
+namespace {
+
+/// Renders up to 8 ids: "0, 3, 7" or "0, 3, 7, ... (12 total)".
+std::string id_list(const std::vector<VertexId>& ids) {
+  std::ostringstream os;
+  const std::size_t shown = ids.size() < 8 ? ids.size() : 8;
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i != 0) os << ", ";
+    os << ids[i];
+  }
+  if (ids.size() > shown) os << ", ... (" << ids.size() << " total)";
+  return os.str();
+}
+
+/// A vertex lying on a directed cycle of g; requires g to be cyclic.
+/// Kahn's algorithm peels every vertex NOT downstream-entangled with a
+/// cycle; walking predecessors inside the leftover set must revisit a
+/// vertex, and the revisited vertex is on a cycle.
+VertexId find_cycle_vertex(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> in_deg(n);
+  std::vector<VertexId> queue;
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    in_deg[v] = g.in_degree(v);
+    if (in_deg[v] == 0) queue.push_back(v);
+  }
+  std::size_t peeled = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.back();
+    queue.pop_back();
+    ++peeled;
+    for (const VertexId w : g.out(v))
+      if (--in_deg[w] == 0) queue.push_back(w);
+  }
+  R2D_ASSERT(peeled < n);  // caller guarantees a cycle exists
+  VertexId start = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v)
+    if (in_deg[v] != 0) {
+      start = v;
+      break;
+    }
+  // Every leftover vertex has a leftover predecessor, so this walk can only
+  // terminate by revisiting — and the revisit closes a cycle.
+  std::vector<char> seen(n, 0);
+  VertexId v = start;
+  while (!seen[v]) {
+    seen[v] = 1;
+    for (const VertexId w : g.in(v))
+      if (in_deg[w] != 0) {
+        v = w;
+        break;
+      }
+  }
+  return v;
+}
+
+}  // namespace
+
 LatticeCheck check_lattice(const Digraph& g) {
   if (g.vertex_count() == 0) return {false, "empty graph"};
-  if (!is_acyclic(g)) return {false, "graph has a cycle"};
-  if (g.sources().size() != 1) return {false, "not exactly one source"};
-  if (g.sinks().size() != 1) return {false, "not exactly one sink"};
+  if (!is_acyclic(g)) {
+    std::ostringstream os;
+    os << "graph has a cycle through vertex " << find_cycle_vertex(g);
+    return {false, os.str()};
+  }
+  if (const auto srcs = g.sources(); srcs.size() != 1) {
+    std::ostringstream os;
+    if (srcs.empty()) {
+      os << "no source vertex (every vertex has an in-arc)";
+    } else {
+      os << srcs.size() << " source vertices: " << id_list(srcs);
+    }
+    return {false, os.str()};
+  }
+  if (const auto sinks = g.sinks(); sinks.size() != 1) {
+    std::ostringstream os;
+    if (sinks.empty()) {
+      os << "no sink vertex (every vertex has an out-arc)";
+    } else {
+      os << sinks.size() << " sink vertices: " << id_list(sinks);
+    }
+    return {false, os.str()};
+  }
 
   Poset p(g);
   const VertexId n = static_cast<VertexId>(g.vertex_count());
@@ -35,10 +115,17 @@ LatticeCheck check_lattice(const Digraph& g) {
 }
 
 LatticeCheck check_diagram(const Diagram& d) {
+  // The shape lint runs first so the reason names the offending vertex or
+  // arc instead of whatever assert the traversal construction hits.
+  if (const LintResult shape = lint_diagram(d); !shape.ok())
+    return {false, to_string(shape.first_error())};
   try {
     const Traversal t = non_separating_traversal(d);
-    if (!is_non_separating_traversal(d, t))
-      return {false, "canonical walk is not a non-separating traversal"};
+    if (const LintResult order =
+            lint_traversal(d, t, TraversalKind::kNonSeparating);
+        !order.ok())
+      return {false, "canonical walk is not a non-separating traversal: " +
+                         to_string(order.first_error())};
   } catch (const ContractViolation& e) {
     return {false, e.what()};
   }

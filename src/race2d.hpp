@@ -61,5 +61,9 @@
 #include "support/timer.hpp"
 #include "unionfind/labeled_union_find.hpp"
 #include "unionfind/union_find.hpp"
+#include "verify/certificate.hpp"     // certifying race reports (witness pairs)
+#include "verify/diagnostics.hpp"     // stable lint codes & structured errors
+#include "verify/graph_lint.hpp"      // diagram / traversal order linting
+#include "verify/trace_lint.hpp"      // §5 line-discipline trace linter
 #include "workloads/generators.hpp"   // random structured programs
 #include "workloads/kernels.hpp"      // fib / LCS wavefront / staged pipeline

@@ -1,10 +1,11 @@
 #include "runtime/trace_io.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
-#include "support/assert.hpp"
+#include "verify/trace_lint.hpp"
 
 namespace race2d {
 
@@ -35,12 +36,19 @@ const char* op_name(TraceOp op) {
 }
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& why) {
-  std::ostringstream os;
-  os << "trace parse error at line " << line_no << ": " << why;
-  throw ContractViolation(os.str());
+  throw TraceParseError(line_no, why);
 }
 
 }  // namespace
+
+TraceParseError::TraceParseError(std::size_t line_number,
+                                 const std::string& what)
+    : ContractViolation([&] {
+        std::ostringstream os;
+        os << "trace parse error at line " << line_number << ": " << what;
+        return os.str();
+      }()),
+      line_number_(line_number) {}
 
 void write_trace_text(std::ostream& os, const Trace& trace) {
   for (const TraceEvent& e : trace) {
@@ -86,12 +94,20 @@ Trace parse_trace_text(std::istream& is) {
 
     auto read_task = [&]() -> TaskId {
       std::uint64_t v;
-      if (!(fields >> v)) fail(line_no, "missing task id");
+      if (!(fields >> v)) fail(line_no, "missing or malformed task id");
+      // TaskId is narrower than the parsed integer; a silent cast here once
+      // turned a corrupt 2^32-scale id into a plausible small one.
+      if (v >= kInvalidTask) {
+        std::ostringstream os;
+        os << "task id " << v << " out of range (max "
+           << (kInvalidTask - 1) << ')';
+        fail(line_no, os.str());
+      }
       return static_cast<TaskId>(v);
     };
     auto read_loc = [&]() -> Loc {
       Loc v;
-      if (!(fields >> std::hex >> v)) fail(line_no, "missing location");
+      if (!(fields >> std::hex >> v)) fail(line_no, "missing or malformed location");
       return v;
     };
 
@@ -124,12 +140,24 @@ Trace parse_trace_text(std::istream& is) {
     if (fields >> excess) fail(line_no, "trailing tokens");
     trace.push_back(e);
   }
+  if (is.bad()) fail(line_no + 1, "I/O error while reading trace");
   return trace;
 }
 
 Trace parse_trace_text(const std::string& text) {
   std::istringstream is(text);
   return parse_trace_text(is);
+}
+
+Trace load_trace_text(std::istream& is) {
+  Trace trace = parse_trace_text(is);
+  require_lint_clean(trace);
+  return trace;
+}
+
+Trace load_trace_text(const std::string& text) {
+  std::istringstream is(text);
+  return load_trace_text(is);
 }
 
 }  // namespace race2d

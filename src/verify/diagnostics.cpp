@@ -1,0 +1,151 @@
+#include "verify/diagnostics.hpp"
+
+#include <sstream>
+
+namespace race2d {
+
+const char* lint_code_id(LintCode code) {
+  switch (code) {
+    case LintCode::kUnknownActor:        return "L001";
+    case LintCode::kActorHalted:         return "L002";
+    case LintCode::kDoubleHalt:          return "L003";
+    case LintCode::kForkChildCollision:  return "L004";
+    case LintCode::kForkChildNotDense:   return "L005";
+    case LintCode::kOutOfSerialOrder:    return "L006";
+    case LintCode::kJoinTargetUnknown:   return "L007";
+    case LintCode::kJoinTargetNotHalted: return "L008";
+    case LintCode::kJoinNotLeftNeighbor: return "L009";
+    case LintCode::kJoinTargetJoined:    return "L010";
+    case LintCode::kEventAfterRootHalt:  return "L011";
+    case LintCode::kTruncatedTrace:      return "L012";
+    case LintCode::kUnjoinedTask:        return "L013";
+    case LintCode::kFinishEndUnbalanced: return "L014";
+    case LintCode::kFinishUnclosed:      return "L015";
+    case LintCode::kInvalidTaskId:       return "L016";
+    case LintCode::kAccessAfterRetire:   return "W101";
+    case LintCode::kDeadRetire:          return "W102";
+    case LintCode::kEmptyDiagram:        return "D001";
+    case LintCode::kNotSingleSource:     return "D002";
+    case LintCode::kUnreachableOrCyclic: return "D003";
+    case LintCode::kSelfArc:             return "D004";
+    case LintCode::kDuplicateArc:        return "D005";
+    case LintCode::kOpsShapeMismatch:    return "D006";
+    case LintCode::kVertexOutOfRange:    return "T001";
+    case LintCode::kMissingLoop:         return "T002";
+    case LintCode::kDuplicateLoop:       return "T003";
+    case LintCode::kUnknownArc:          return "T004";
+    case LintCode::kArcOutOfOrder:       return "T005";
+    case LintCode::kFanOrderViolation:   return "T006";
+    case LintCode::kLastArcMismatch:     return "T007";
+    case LintCode::kStopArcViolation:    return "T008";
+    case LintCode::kMissingArc:          return "T009";
+  }
+  return "????";
+}
+
+const char* lint_code_slug(LintCode code) {
+  switch (code) {
+    case LintCode::kUnknownActor:        return "unknown-actor";
+    case LintCode::kActorHalted:         return "actor-halted";
+    case LintCode::kDoubleHalt:          return "double-halt";
+    case LintCode::kForkChildCollision:  return "fork-child-collision";
+    case LintCode::kForkChildNotDense:   return "fork-child-not-dense";
+    case LintCode::kOutOfSerialOrder:    return "out-of-serial-order";
+    case LintCode::kJoinTargetUnknown:   return "join-target-unknown";
+    case LintCode::kJoinTargetNotHalted: return "join-target-not-halted";
+    case LintCode::kJoinNotLeftNeighbor: return "join-not-left-neighbor";
+    case LintCode::kJoinTargetJoined:    return "join-target-already-joined";
+    case LintCode::kEventAfterRootHalt:  return "event-after-root-halt";
+    case LintCode::kTruncatedTrace:      return "truncated-trace";
+    case LintCode::kUnjoinedTask:        return "unjoined-task";
+    case LintCode::kFinishEndUnbalanced: return "finish-end-unbalanced";
+    case LintCode::kFinishUnclosed:      return "finish-unclosed";
+    case LintCode::kInvalidTaskId:       return "invalid-task-id";
+    case LintCode::kAccessAfterRetire:   return "access-after-retire";
+    case LintCode::kDeadRetire:          return "dead-retire";
+    case LintCode::kEmptyDiagram:        return "empty-diagram";
+    case LintCode::kNotSingleSource:     return "not-single-source";
+    case LintCode::kUnreachableOrCyclic: return "unreachable-or-cyclic";
+    case LintCode::kSelfArc:             return "self-arc";
+    case LintCode::kDuplicateArc:        return "duplicate-arc";
+    case LintCode::kOpsShapeMismatch:    return "ops-shape-mismatch";
+    case LintCode::kVertexOutOfRange:    return "vertex-out-of-range";
+    case LintCode::kMissingLoop:         return "missing-loop";
+    case LintCode::kDuplicateLoop:       return "duplicate-loop";
+    case LintCode::kUnknownArc:          return "unknown-arc";
+    case LintCode::kArcOutOfOrder:       return "arc-out-of-order";
+    case LintCode::kFanOrderViolation:   return "fan-order-violation";
+    case LintCode::kLastArcMismatch:     return "last-arc-mismatch";
+    case LintCode::kStopArcViolation:    return "stop-arc-violation";
+    case LintCode::kMissingArc:          return "missing-arc";
+  }
+  return "unknown";
+}
+
+LintSeverity lint_code_severity(LintCode code) {
+  switch (code) {
+    case LintCode::kAccessAfterRetire:
+    case LintCode::kDeadRetire:
+      return LintSeverity::kWarning;
+    default:
+      return LintSeverity::kError;
+  }
+}
+
+std::string to_string(const LintDiagnostic& d) {
+  std::ostringstream os;
+  os << lint_code_id(d.code) << ' ' << lint_code_slug(d.code) << " at event "
+     << d.index << ": " << d.message;
+  if (!d.hint.empty()) os << " (hint: " << d.hint << ')';
+  return os.str();
+}
+
+std::size_t LintResult::error_count() const {
+  std::size_t n = 0;
+  for (const LintDiagnostic& d : diagnostics)
+    if (d.severity == LintSeverity::kError) ++n;
+  return n;
+}
+
+std::size_t LintResult::warning_count() const {
+  std::size_t n = 0;
+  for (const LintDiagnostic& d : diagnostics)
+    if (d.severity == LintSeverity::kWarning) ++n;
+  return n;
+}
+
+const LintDiagnostic& LintResult::first_error() const {
+  for (const LintDiagnostic& d : diagnostics)
+    if (d.severity == LintSeverity::kError) return d;
+  R2D_ASSERT(false && "first_error() on a clean LintResult");
+  return diagnostics.front();
+}
+
+std::string to_string(const LintResult& r) {
+  std::ostringstream os;
+  for (const LintDiagnostic& d : r.diagnostics) os << to_string(d) << '\n';
+  if (r.truncated) os << "... (diagnostic list truncated)\n";
+  return os.str();
+}
+
+namespace {
+
+std::string headline(const char* what, const LintResult& r) {
+  std::ostringstream os;
+  os << what << ": " << r.error_count() << " error(s), " << r.warning_count()
+     << " warning(s)";
+  if (!r.ok()) os << "; first: " << to_string(r.first_error());
+  return os.str();
+}
+
+}  // namespace
+
+TraceLintError::TraceLintError(LintResult result)
+    : ContractViolation(headline("trace lint failed", result)),
+      result_(std::move(result)) {}
+
+DiagramLintError::DiagramLintError(LintResult result)
+    : ContractViolation(headline("diagram lint failed", result)),
+      result_(std::move(result)) {}
+
+}  // namespace race2d

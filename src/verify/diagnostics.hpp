@@ -1,0 +1,127 @@
+// Typed diagnostics for the verification layer (src/verify/).
+//
+// Every static check in this subsystem — the trace linter, the diagram and
+// traversal linters — reports findings as LintDiagnostic values: a STABLE
+// code (the contract with tests, tools, and scripts that grep for them), the
+// offending event/vertex index, a severity, a human-readable message naming
+// the ids involved, and a fix-it hint. Detector entry points that gate on a
+// linter convert error-level findings into a structured exception
+// (TraceLintError / DiagramLintError) instead of asserting mid-replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+/// Stable diagnostic codes. The enumerator may move; the code STRING
+/// (lint_code_id) never changes once shipped — docs/API.md lists them all.
+enum class LintCode : std::uint8_t {
+  // L0xx — trace structure (errors; gated detectors reject these).
+  kUnknownActor,         ///< L001: event by a task never introduced
+  kActorHalted,          ///< L002: fork/join/read/write/retire by a halted task
+  kDoubleHalt,           ///< L003: halt of an already-halted task
+  kForkChildCollision,   ///< L004: forked child id already exists
+  kForkChildNotDense,    ///< L005: child id breaks dense fork-order numbering
+  kOutOfSerialOrder,     ///< L006: event out of serial fork-first (depth-first) order
+  kJoinTargetUnknown,    ///< L007: join of a task never introduced
+  kJoinTargetNotHalted,  ///< L008: join of a still-running task
+  kJoinNotLeftNeighbor,  ///< L009: join target is not the immediate left neighbor
+  kJoinTargetJoined,     ///< L010: join of an already-joined task
+  kEventAfterRootHalt,   ///< L011: trailing events after the root halted
+  kTruncatedTrace,       ///< L012: trace ends with tasks still running
+  kUnjoinedTask,         ///< L013: root halted with an unjoined task (multiple sinks)
+  kFinishEndUnbalanced,  ///< L014: finish_end without a matching finish_begin
+  kFinishUnclosed,       ///< L015: task halted inside an open finish region
+  kInvalidTaskId,        ///< L016: reserved sentinel used as a task id
+
+  // W1xx — trace hygiene (warnings; detectors still accept these).
+  kAccessAfterRetire,    ///< W101: access to a retired location (address reuse)
+  kDeadRetire,           ///< W102: retire of a location with no live accesses
+
+  // D0xx — diagram shape (errors; the offline driver rejects these).
+  kEmptyDiagram,         ///< D001: no vertices
+  kNotSingleSource,      ///< D002: zero or several in-degree-0 vertices
+  kUnreachableOrCyclic,  ///< D003: vertex not reachable from the source (or cycle)
+  kSelfArc,              ///< D004: arc (v, v)
+  kDuplicateArc,         ///< D005: the same arc appears twice in a fan
+  kOpsShapeMismatch,     ///< D006: ops size does not match the vertex count
+
+  // T0xx — traversal event streams (Definition 1 / Definition 3 order).
+  kVertexOutOfRange,     ///< T001: event names a vertex the diagram lacks
+  kMissingLoop,          ///< T002: a vertex is never visited
+  kDuplicateLoop,        ///< T003: a vertex is visited twice
+  kUnknownArc,           ///< T004: arc event not matching a diagram arc
+  kArcOutOfOrder,        ///< T005: arc before its source's loop / after its target's
+  kFanOrderViolation,    ///< T006: out-arcs not in left-to-right fan order
+  kLastArcMismatch,      ///< T007: last-arc flag disagrees with the rightmost arc
+  kStopArcViolation,     ///< T008: stop-arc discipline broken (Definition 3)
+  kMissingArc,           ///< T009: a diagram arc is never traversed
+};
+
+enum class LintSeverity : std::uint8_t { kWarning, kError };
+
+/// The stable code string, e.g. "L006" — never reuse or renumber.
+const char* lint_code_id(LintCode code);
+
+/// Short kebab-case slug, e.g. "out-of-serial-order".
+const char* lint_code_slug(LintCode code);
+
+LintSeverity lint_code_severity(LintCode code);
+
+struct LintDiagnostic {
+  LintCode code;
+  LintSeverity severity;
+  /// Offending event index (trace event, or traversal event position, or a
+  /// vertex id for diagram checks); the input's size for end-of-input
+  /// findings such as a truncated trace.
+  std::size_t index = 0;
+  std::string message;  ///< names the tasks / vertices / locations involved
+  std::string hint;     ///< fix-it suggestion, may be empty
+};
+
+/// "L006 out-of-serial-order at event 12: ... (hint: ...)"
+std::string to_string(const LintDiagnostic& d);
+
+struct LintResult {
+  std::vector<LintDiagnostic> diagnostics;
+  /// True when the diagnostic list was cut off at the configured cap.
+  bool truncated = false;
+
+  bool ok() const { return error_count() == 0; }
+  explicit operator bool() const { return ok(); }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  /// The first error-level diagnostic; requires !ok().
+  const LintDiagnostic& first_error() const;
+};
+
+/// Multi-line rendering of every diagnostic.
+std::string to_string(const LintResult& r);
+
+/// Thrown by gated detector entry points when a trace fails linting. Carries
+/// the full structured result so callers can inspect codes programmatically.
+class TraceLintError : public ContractViolation {
+ public:
+  explicit TraceLintError(LintResult result);
+  const LintResult& result() const { return result_; }
+
+ private:
+  LintResult result_;
+};
+
+/// Same, for diagram-shaped inputs to the offline / streaming drivers.
+class DiagramLintError : public ContractViolation {
+ public:
+  explicit DiagramLintError(LintResult result);
+  const LintResult& result() const { return result_; }
+
+ private:
+  LintResult result_;
+};
+
+}  // namespace race2d

@@ -1,0 +1,273 @@
+#include "verify/graph_lint.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace race2d {
+
+namespace {
+
+constexpr std::size_t kMaxDiagnostics = 64;
+
+class Sink {
+ public:
+  template <typename Fn>
+  void emit(LintCode code, std::size_t index, Fn&& compose,
+            const char* hint = "") {
+    if (result_.diagnostics.size() >= kMaxDiagnostics) {
+      result_.truncated = true;
+      return;
+    }
+    std::ostringstream os;
+    compose(os);
+    result_.diagnostics.push_back(
+        {code, lint_code_severity(code), index, os.str(), hint});
+  }
+
+  bool full() const { return result_.truncated; }
+  LintResult take() { return std::move(result_); }
+
+ private:
+  LintResult result_;
+};
+
+}  // namespace
+
+LintResult lint_diagram(const Diagram& d) {
+  Sink sink;
+  const std::size_t n = d.vertex_count();
+  if (n == 0) {
+    sink.emit(LintCode::kEmptyDiagram, 0,
+              [](std::ostream& os) { os << "diagram has no vertices"; });
+    return sink.take();
+  }
+
+  const std::vector<VertexId> sources = d.graph().sources();
+  if (sources.size() != 1) {
+    sink.emit(LintCode::kNotSingleSource, sources.empty() ? 0 : sources[0],
+              [&](std::ostream& os) {
+                os << "expected exactly one source, found " << sources.size();
+                if (!sources.empty()) {
+                  os << " (vertices";
+                  for (std::size_t i = 0; i < sources.size() && i < 8; ++i)
+                    os << ' ' << sources[i];
+                  if (sources.size() > 8) os << " ...";
+                  os << ')';
+                }
+              },
+              "a diagram walk starts at its unique source");
+  }
+
+  for (VertexId v = 0; v < n && !sink.full(); ++v) {
+    const auto& fan = d.out(v);
+    for (std::size_t i = 0; i < fan.size(); ++i) {
+      if (fan[i] == v) {
+        sink.emit(LintCode::kSelfArc, v, [&](std::ostream& os) {
+          os << "self-arc (" << v << ", " << v << ')';
+        });
+        continue;
+      }
+      if (fan[i] >= n) {
+        sink.emit(LintCode::kVertexOutOfRange, v, [&](std::ostream& os) {
+          os << "arc (" << v << ", " << fan[i] << ") targets a vertex the "
+             << "diagram lacks (" << n << " vertices)";
+        });
+        continue;
+      }
+      for (std::size_t j = i + 1; j < fan.size(); ++j) {
+        if (fan[j] == fan[i]) {
+          sink.emit(LintCode::kDuplicateArc, v, [&](std::ostream& os) {
+            os << "arc (" << v << ", " << fan[i]
+               << ") appears twice in the out-fan of vertex " << v;
+          });
+          break;
+        }
+      }
+    }
+  }
+  if (!sink.full() && sources.size() == 1) {
+    // Kahn relaxation from the source; anything left over is unreachable
+    // from it or sits on a cycle — either way the walk can never cover it.
+    std::vector<std::size_t> pending(n);
+    for (VertexId v = 0; v < n; ++v) pending[v] = d.in(v).size();
+    std::vector<VertexId> queue{sources[0]};
+    std::vector<char> done(n, 0);
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      if (done[v]) continue;
+      done[v] = 1;
+      for (const VertexId w : d.out(v)) {
+        if (w < n && --pending[w] == 0) queue.push_back(w);
+      }
+    }
+    for (VertexId v = 0; v < n && !sink.full(); ++v) {
+      if (!done[v]) {
+        sink.emit(LintCode::kUnreachableOrCyclic, v, [&](std::ostream& os) {
+          os << "vertex " << v
+             << " is unreachable from the source or lies on a cycle";
+        }, "every vertex must be covered by the source's walk");
+      }
+    }
+  }
+  return sink.take();
+}
+
+LintResult lint_traversal(const Diagram& d, const Traversal& t,
+                          TraversalKind kind) {
+  Sink sink;
+  const std::size_t n = d.vertex_count();
+
+  struct VertexState {
+    std::size_t in_seen = 0;
+    std::size_t out_seen = 0;
+    std::size_t stop_count = 0;
+    std::size_t last_slot = 0;  ///< highest fan slot emitted + 1 (fan order)
+    bool looped = false;
+  };
+  std::vector<VertexState> state(n);
+  // seen[v] marks which fan slots of v's out-fan were already emitted.
+  std::vector<std::vector<char>> seen(n);
+  for (VertexId v = 0; v < n; ++v) seen[v].assign(d.out(v).size(), 0);
+
+  for (std::size_t i = 0; i < t.size() && !sink.full(); ++i) {
+    const TraversalEvent& e = t[i];
+    if (e.src >= n || (e.kind != EventKind::kStopArc && e.dst >= n)) {
+      sink.emit(LintCode::kVertexOutOfRange, i, [&](std::ostream& os) {
+        os << "event names vertex " << (e.src >= n ? e.src : e.dst)
+           << " but the diagram has " << n << " vertices";
+      });
+      continue;
+    }
+    switch (e.kind) {
+      case EventKind::kLoop: {
+        VertexState& s = state[e.src];
+        if (s.looped) {
+          sink.emit(LintCode::kDuplicateLoop, i, [&](std::ostream& os) {
+            os << "vertex " << e.src << " is visited twice";
+          });
+          break;
+        }
+        if (s.in_seen != d.in(e.src).size()) {
+          sink.emit(LintCode::kArcOutOfOrder, i, [&](std::ostream& os) {
+            os << "loop of vertex " << e.src << " before all its in-arcs ("
+               << s.in_seen << " of " << d.in(e.src).size() << " seen)";
+          }, "a traversal is topological: in-arcs precede the loop");
+        }
+        s.looped = true;
+        break;
+      }
+      case EventKind::kArc:
+      case EventKind::kLastArc: {
+        VertexState& s = state[e.src];
+        const auto& fan = d.out(e.src);
+        std::size_t slot = fan.size();
+        for (std::size_t k = 0; k < fan.size(); ++k) {
+          if (!seen[e.src][k] && fan[k] == e.dst) {
+            slot = k;
+            break;
+          }
+        }
+        if (slot == fan.size()) {
+          sink.emit(LintCode::kUnknownArc, i, [&](std::ostream& os) {
+            os << "arc (" << e.src << ", " << e.dst
+               << ") is not an unvisited arc of the diagram";
+          }, "every diagram arc is traversed exactly once");
+          break;
+        }
+        seen[e.src][slot] = 1;
+        ++s.out_seen;
+        ++state[e.dst].in_seen;
+        if (!s.looped) {
+          sink.emit(LintCode::kArcOutOfOrder, i, [&](std::ostream& os) {
+            os << "arc (" << e.src << ", " << e.dst
+               << ") before the loop of its source " << e.src;
+          });
+        }
+        if (state[e.dst].looped) {
+          sink.emit(LintCode::kArcOutOfOrder, i, [&](std::ostream& os) {
+            os << "arc (" << e.src << ", " << e.dst
+               << ") after the loop of its target " << e.dst;
+          });
+        }
+        if (kind == TraversalKind::kNonSeparating && slot < s.last_slot) {
+          sink.emit(LintCode::kFanOrderViolation, i, [&](std::ostream& os) {
+            os << "arc (" << e.src << ", " << e.dst << ") uses fan slot "
+               << slot << " of vertex " << e.src
+               << " after a slot further right";
+          }, "out-arcs leave leftmost-first in a non-separating traversal");
+        }
+        if (slot + 1 > s.last_slot) s.last_slot = slot + 1;
+        const bool rightmost = slot + 1 == fan.size();
+        if ((e.kind == EventKind::kLastArc) != rightmost) {
+          sink.emit(LintCode::kLastArcMismatch, i, [&](std::ostream& os) {
+            os << "arc (" << e.src << ", " << e.dst << ") is "
+               << (rightmost ? "the rightmost arc of vertex "
+                             : "not the rightmost arc of vertex ")
+               << e.src << " but is "
+               << (e.kind == EventKind::kLastArc ? "" : "not ")
+               << "flagged as a last-arc";
+          }, "the last-arc is the rightmost out-arc (footnote 2)");
+        }
+        break;
+      }
+      case EventKind::kStopArc: {
+        VertexState& s = state[e.src];
+        if (kind == TraversalKind::kNonSeparating) {
+          sink.emit(LintCode::kStopArcViolation, i, [&](std::ostream& os) {
+            os << "stop-arc (" << e.src
+               << ", x) in a non-separating traversal";
+          }, "stop-arcs only appear in delayed traversals (Definition 3)");
+          break;
+        }
+        if (!s.looped) {
+          sink.emit(LintCode::kStopArcViolation, i, [&](std::ostream& os) {
+            os << "stop-arc (" << e.src << ", x) before vertex " << e.src
+               << " was visited";
+          });
+          break;
+        }
+        const std::size_t degree = d.out(e.src).size();
+        if (degree > 0 && s.out_seen == degree) {
+          sink.emit(LintCode::kStopArcViolation, i, [&](std::ostream& os) {
+            os << "stop-arc (" << e.src << ", x) with no pending out-arc of "
+               << "vertex " << e.src;
+          }, "a stop-arc stands in for a delayed arc emitted later");
+        }
+        ++s.stop_count;
+        break;
+      }
+    }
+  }
+
+  // End-of-stream: full coverage.
+  for (VertexId v = 0; v < n && !sink.full(); ++v) {
+    if (!state[v].looped) {
+      sink.emit(LintCode::kMissingLoop, t.size(), [&](std::ostream& os) {
+        os << "vertex " << v << " is never visited";
+      });
+    }
+    for (std::size_t k = 0; k < seen[v].size(); ++k) {
+      if (!seen[v][k]) {
+        sink.emit(LintCode::kMissingArc, t.size(), [&](std::ostream& os) {
+          os << "arc (" << v << ", " << d.out(v)[k] << ") is never traversed";
+        });
+      }
+    }
+    const std::size_t allowed = seen[v].empty() ? 1 : seen[v].size();
+    if (state[v].stop_count > allowed) {
+      sink.emit(LintCode::kStopArcViolation, t.size(), [&](std::ostream& os) {
+        os << "vertex " << v << " emits " << state[v].stop_count
+           << " stop-arcs for " << seen[v].size() << " out-arc(s)";
+      });
+    }
+  }
+  return sink.take();
+}
+
+void require_diagram_clean(const Diagram& d) {
+  LintResult result = lint_diagram(d);
+  if (!result.ok()) throw DiagramLintError(std::move(result));
+}
+
+}  // namespace race2d

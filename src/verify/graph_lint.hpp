@@ -1,0 +1,41 @@
+// Linting for the language-independent inputs: lattice diagrams fed to the
+// offline driver, and raw traversal event streams fed to the streaming
+// detector.
+//
+// lint_diagram is the cheap O(V + E) well-formedness gate the offline
+// driver runs before constructing a traversal (the full lattice property is
+// check_lattice's O(n^2) job, not a per-call gate): one source, acyclic,
+// everything reachable, no self- or duplicate arcs. lint_traversal checks
+// the Definition 1 / Definition 3 order invariants of an event stream
+// against its diagram — every loop and arc exactly once, in-arcs before the
+// loop before out-arcs (topological), left-to-right fan order for
+// non-separating traversals, last-arc flags on the rightmost arc only, and
+// the stop-arc discipline for delayed traversals (a stop-arc stands in for
+// a pending delayed out-arc of an already-visited vertex).
+#pragma once
+
+#include "lattice/diagram.hpp"
+#include "lattice/traversal.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace race2d {
+
+/// O(V + E) structural lint of a diagram. Diagnostic `index` fields hold
+/// the offending vertex id (or arc position for fan findings).
+LintResult lint_diagram(const Diagram& d);
+
+enum class TraversalKind : std::uint8_t {
+  kNonSeparating,  ///< Definition 1: no stop-arcs, strict fan order
+  kDelayed,        ///< Definition 3: stop-arcs allowed, fan order relaxed
+};
+
+/// O(events + E) lint of a traversal event stream against its diagram.
+/// Diagnostic `index` fields hold the traversal event position (or the
+/// traversal length for end-of-stream findings such as a missing loop).
+LintResult lint_traversal(const Diagram& d, const Traversal& t,
+                          TraversalKind kind = TraversalKind::kNonSeparating);
+
+/// Throws DiagramLintError when `d` has error-level findings.
+void require_diagram_clean(const Diagram& d);
+
+}  // namespace race2d

@@ -1,0 +1,66 @@
+// TraceLinter: single-pass O(n) static analysis of recorded traces.
+//
+// The paper's online detector is only sound on traces that satisfy the §5
+// structured fork-join line discipline (Theorem 6) and arrive in serial
+// fork-first (depth-first) order — the order under which the event stream IS
+// the collapsed delayed non-separating traversal T'' of eq. (8). A trace
+// violating either produces garbage verdicts or trips asserts mid-replay.
+// The linter checks the full contract BEFORE any detector state exists:
+//
+//  * line discipline (Figure 9): a forked child is placed immediately left
+//    of its parent; a join may only consume the immediate LEFT neighbor,
+//    and only after it halted (the delayed last-arc's stop-arc discipline);
+//  * actor liveness: no fork/join/read/write/retire by a halted or unknown
+//    task, no double halt;
+//  * traversal order: events arrive in the depth-first, left-to-right,
+//    topological serial order (the actor of every event is the currently
+//    running task; a forked child runs before its parent resumes; nothing
+//    follows the root's halt; the trace is not truncated);
+//  * dense task numbering in fork order (what TraceRecorder emits and the
+//    replay drivers assume when they renumber via on_fork);
+//  * balanced finish regions per task;
+//  * retire hygiene (warnings): accesses to retired storage, dead retires.
+//
+// Diagnostics carry stable codes (see diagnostics.hpp and docs/API.md); the
+// detector drivers gate on error-level findings via require_lint_clean().
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/trace.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace race2d {
+
+struct TraceLintOptions {
+  /// Stop collecting after this many diagnostics (the result is flagged
+  /// truncated). A corrupt trace can cascade; the cap keeps linting O(n).
+  std::size_t max_diagnostics = 64;
+  /// Collect warning-level findings (retire hygiene). Errors always are.
+  bool warnings = true;
+};
+
+class TraceLinter {
+ public:
+  explicit TraceLinter(TraceLintOptions options = {}) : options_(options) {}
+
+  /// Lints `trace` in one pass. Θ(events) time, Θ(tasks + locations) space.
+  LintResult run(const Trace& trace) const;
+
+ private:
+  TraceLintOptions options_;
+};
+
+/// One-call form with default options.
+LintResult lint_trace(const Trace& trace);
+
+/// Whether gated entry points enforce the linter. kSkip exists for callers
+/// that already linted the identical trace (or measure the detector alone);
+/// it does NOT relax the documented precondition — an unlinted malformed
+/// trace still yields garbage verdicts.
+enum class LintGate : std::uint8_t { kEnforce, kSkip };
+
+/// Throws TraceLintError when `trace` has error-level findings.
+void require_lint_clean(const Trace& trace);
+
+}  // namespace race2d

@@ -1,0 +1,507 @@
+// The trace linter (stable L/W codes), the diagram/traversal linters
+// (D/T codes), the lint gates on every detector entry point, and the
+// corruption harness: systematic mutations of recorded traces must either
+// be rejected with a typed diagnostic or replay identically on the serial
+// and sharded detectors — never crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/sharded_analyzer.hpp"
+#include "lattice/generate.hpp"
+#include "lattice/traversal.hpp"
+#include "lattice/validate.hpp"
+#include "runtime/serial_executor.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/trace_io.hpp"
+#include "verify/graph_lint.hpp"
+#include "verify/trace_lint.hpp"
+#include "workloads/generators.hpp"
+
+namespace race2d {
+namespace {
+
+Trace record(const TaskBody& body) {
+  TraceRecorder rec;
+  SerialExecutor exec(&rec);
+  exec.run(body);
+  return rec.take();
+}
+
+bool has_code(const LintResult& r, LintCode code) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [code](const LintDiagnostic& d) { return d.code == code; });
+}
+
+// Shorthand for handwritten traces.
+TraceEvent fork(TaskId p, TaskId c) { return {TraceOp::kFork, p, c, 0}; }
+TraceEvent join(TaskId p, TaskId c) { return {TraceOp::kJoin, p, c, 0}; }
+TraceEvent halt(TaskId t) { return {TraceOp::kHalt, t, kInvalidTask, 0}; }
+TraceEvent read(TaskId t, Loc l) { return {TraceOp::kRead, t, kInvalidTask, l}; }
+TraceEvent write(TaskId t, Loc l) { return {TraceOp::kWrite, t, kInvalidTask, l}; }
+TraceEvent retire(TaskId t, Loc l) { return {TraceOp::kRetire, t, kInvalidTask, l}; }
+TraceEvent fbegin(TaskId t) { return {TraceOp::kFinishBegin, t, kInvalidTask, 0}; }
+TraceEvent fend(TaskId t) { return {TraceOp::kFinishEnd, t, kInvalidTask, 0}; }
+
+TEST(TraceLint, CleanRecordedTracesLintClean) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ProgramParams params;
+    params.seed = seed;
+    const LintResult r = lint_trace(record(random_program(params)));
+    EXPECT_TRUE(r.ok()) << "seed " << seed << "\n" << to_string(r);
+    EXPECT_EQ(r.warning_count(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(TraceLint, EmptyTraceIsTruncated) {
+  const LintResult r = lint_trace({});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.first_error().code, LintCode::kTruncatedTrace);
+}
+
+TEST(TraceLint, UnknownActor) {
+  const LintResult r = lint_trace({read(5, 0x1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kUnknownActor));
+  EXPECT_EQ(r.diagnostics.front().index, 0u);
+  EXPECT_STREQ(lint_code_id(LintCode::kUnknownActor), "L001");
+}
+
+TEST(TraceLint, EventByHaltedTask) {
+  const LintResult r =
+      lint_trace({fork(0, 1), halt(1), read(1, 0x1), join(0, 1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kActorHalted));
+}
+
+TEST(TraceLint, DoubleHalt) {
+  const LintResult r =
+      lint_trace({fork(0, 1), halt(1), halt(1), join(0, 1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kDoubleHalt));
+}
+
+TEST(TraceLint, ForkChildCollision) {
+  const LintResult r = lint_trace(
+      {fork(0, 1), halt(1), join(0, 1), fork(0, 1), halt(1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kForkChildCollision));
+}
+
+TEST(TraceLint, ForkChildNotDense) {
+  const LintResult r = lint_trace({fork(0, 5), halt(5), join(0, 5), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kForkChildNotDense));
+}
+
+TEST(TraceLint, OutOfSerialOrder) {
+  // The parent accesses memory while its freshly forked child runs.
+  const LintResult r =
+      lint_trace({fork(0, 1), read(0, 0x1), halt(1), join(0, 1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kOutOfSerialOrder));
+  EXPECT_STREQ(lint_code_id(LintCode::kOutOfSerialOrder), "L006");
+}
+
+TEST(TraceLint, JoinTargetUnknown) {
+  const LintResult r = lint_trace({join(0, 7), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kJoinTargetUnknown));
+}
+
+TEST(TraceLint, JoinTargetNotHalted) {
+  const LintResult r = lint_trace({fork(0, 1), join(0, 1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kJoinTargetNotHalted));
+}
+
+TEST(TraceLint, JoinNotLeftNeighbor) {
+  // Line after the two forks: {2, 1, 0}; 0's left neighbor is 1, not 2.
+  const LintResult r = lint_trace({fork(0, 1), fork(1, 2), halt(2), halt(1),
+                                   join(0, 2), join(0, 1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kJoinNotLeftNeighbor));
+  const LintResult self = lint_trace({join(0, 0), halt(0)});
+  EXPECT_TRUE(has_code(self, LintCode::kJoinNotLeftNeighbor));
+}
+
+TEST(TraceLint, JoinTargetAlreadyJoined) {
+  const LintResult r = lint_trace(
+      {fork(0, 1), halt(1), join(0, 1), join(0, 1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kJoinTargetJoined));
+}
+
+TEST(TraceLint, EventAfterRootHalt) {
+  const LintResult r = lint_trace({halt(0), read(0, 0x1)});
+  EXPECT_TRUE(has_code(r, LintCode::kEventAfterRootHalt));
+}
+
+TEST(TraceLint, TruncatedTrace) {
+  const LintResult r = lint_trace({fork(0, 1), write(1, 0x1)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.first_error().code, LintCode::kTruncatedTrace);
+  EXPECT_EQ(r.first_error().index, 2u);  // end-of-input finding
+}
+
+TEST(TraceLint, UnjoinedTask) {
+  const LintResult r = lint_trace({fork(0, 1), halt(1), halt(0)});
+  EXPECT_TRUE(has_code(r, LintCode::kUnjoinedTask));
+}
+
+TEST(TraceLint, UnbalancedFinish) {
+  EXPECT_TRUE(has_code(lint_trace({fend(0), halt(0)}),
+                       LintCode::kFinishEndUnbalanced));
+  EXPECT_TRUE(
+      has_code(lint_trace({fbegin(0), halt(0)}), LintCode::kFinishUnclosed));
+  const LintResult balanced = lint_trace({fbegin(0), fork(0, 1), halt(1),
+                                          join(0, 1), fend(0), halt(0)});
+  EXPECT_TRUE(balanced.ok()) << to_string(balanced);
+}
+
+TEST(TraceLint, InvalidTaskIdSentinel) {
+  EXPECT_TRUE(has_code(lint_trace({halt(kInvalidTask), halt(0)}),
+                       LintCode::kInvalidTaskId));
+  EXPECT_TRUE(has_code(lint_trace({fork(0, kInvalidTask), halt(0)}),
+                       LintCode::kInvalidTaskId));
+}
+
+TEST(TraceLint, RetireHygieneWarnings) {
+  const LintResult reuse = lint_trace(
+      {write(0, 0x1), retire(0, 0x1), read(0, 0x1), halt(0)});
+  EXPECT_TRUE(reuse.ok());  // warnings don't fail the lint
+  EXPECT_TRUE(has_code(reuse, LintCode::kAccessAfterRetire));
+  EXPECT_EQ(lint_code_severity(LintCode::kAccessAfterRetire),
+            LintSeverity::kWarning);
+
+  const LintResult dead = lint_trace({retire(0, 0x1), halt(0)});
+  EXPECT_TRUE(dead.ok());
+  EXPECT_TRUE(has_code(dead, LintCode::kDeadRetire));
+
+  // A dead retire does NOT end a lifetime: the later access is not flagged.
+  const LintResult after_dead =
+      lint_trace({retire(0, 0x1), write(0, 0x1), halt(0)});
+  EXPECT_FALSE(has_code(after_dead, LintCode::kAccessAfterRetire));
+
+  TraceLintOptions quiet;
+  quiet.warnings = false;
+  const Trace reuse_trace = {write(0, 0x1), retire(0, 0x1), read(0, 0x1),
+                             halt(0)};
+  EXPECT_TRUE(TraceLinter(quiet).run(reuse_trace).diagnostics.empty());
+}
+
+TEST(TraceLint, DiagnosticCapTruncates) {
+  Trace t;
+  for (int i = 0; i < 100; ++i) t.push_back(read(99, 0x1));  // unknown actor
+  t.push_back(halt(0));
+  TraceLintOptions options;
+  options.max_diagnostics = 5;
+  const LintResult r = TraceLinter(options).run(t);
+  EXPECT_EQ(r.diagnostics.size(), 5u);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(TraceLint, DiagnosticsRenderCodeAndIndex) {
+  const LintResult r = lint_trace({fork(0, 5), halt(0)});
+  ASSERT_FALSE(r.ok());
+  const std::string s = to_string(r.first_error());
+  EXPECT_NE(s.find("L005"), std::string::npos) << s;
+  EXPECT_NE(s.find("fork-child-not-dense"), std::string::npos) << s;
+}
+
+// ---------------------------------------------------------------------------
+// Lint gates on the detector entry points.
+
+TEST(LintGate, SerialDriverRejectsMalformedTrace) {
+  const Trace bad = {fork(0, 1), join(0, 1), halt(0)};  // join of running task
+  try {
+    detect_races_trace(bad);
+    FAIL() << "expected TraceLintError";
+  } catch (const TraceLintError& e) {
+    EXPECT_FALSE(e.result().ok());
+    EXPECT_TRUE(has_code(e.result(), LintCode::kJoinTargetNotHalted));
+    // The headline carries the FIRST error: the join is out of serial
+    // order (the forked child is still running) before it is premature.
+    EXPECT_NE(std::string(e.what()).find("L006"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LintGate, ShardedDriverRejectsMalformedTrace) {
+  const Trace bad = {fork(0, 1), write(1, 0x1)};  // truncated
+  EXPECT_THROW(detect_races_parallel(bad, 4), TraceLintError);
+  ShardedTraceAnalyzer analyzer(bad, 2);
+  EXPECT_THROW(analyzer.run(), TraceLintError);
+}
+
+TEST(LintGate, SkipGateReplaysWarnedTraces) {
+  const Trace warned = {write(0, 0x1), retire(0, 0x1), read(0, 0x1), halt(0)};
+  // Warnings never gate; both gate modes accept this trace.
+  EXPECT_EQ(detect_races_trace(warned).size(),
+            detect_races_trace(warned, ReportPolicy::kAll, LintGate::kSkip)
+                .size());
+}
+
+TEST(LintGate, LoadTraceTextLintsButParseDoesNot) {
+  const std::string truncated = "fork 0 1\nwrite 1 ff\n";
+  EXPECT_EQ(parse_trace_text(truncated).size(), 2u);
+  try {
+    load_trace_text(truncated);
+    FAIL() << "expected TraceLintError";
+  } catch (const TraceLintError& e) {
+    EXPECT_TRUE(has_code(e.result(), LintCode::kTruncatedTrace));
+  }
+}
+
+TEST(TraceIoParse, TaskIdOutOfRangeRejected) {
+  // 2^32 used to truncate to task 0 silently; both the sentinel and
+  // anything wider must be a parse error naming the line.
+  try {
+    parse_trace_text("fork 0 1\nhalt 4294967296\n");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line_number(), 2u);
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+  EXPECT_THROW(parse_trace_text("halt 4294967295\n"), TraceParseError);
+  EXPECT_THROW(parse_trace_text("halt 99999999999999999999\n"),
+               TraceParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Diagram and traversal lints.
+
+TEST(DiagramLint, FlagsShapeDefects) {
+  EXPECT_TRUE(has_code(lint_diagram(Diagram{}), LintCode::kEmptyDiagram));
+
+  Diagram two_sources(2);  // no arcs: two in-degree-0 vertices
+  EXPECT_TRUE(has_code(lint_diagram(two_sources), LintCode::kNotSingleSource));
+
+  Diagram self_arc(2);
+  self_arc.add_arc(0, 1);
+  self_arc.add_arc(1, 1);
+  EXPECT_TRUE(has_code(lint_diagram(self_arc), LintCode::kSelfArc));
+
+  Diagram dup(2);
+  dup.add_arc(0, 1);
+  dup.add_arc(0, 1);
+  EXPECT_TRUE(has_code(lint_diagram(dup), LintCode::kDuplicateArc));
+
+  Diagram cyclic(3);
+  cyclic.add_arc(0, 1);
+  cyclic.add_arc(1, 2);
+  cyclic.add_arc(2, 1);
+  EXPECT_TRUE(has_code(lint_diagram(cyclic), LintCode::kUnreachableOrCyclic));
+
+  const Diagram grid = grid_diagram(3, 4);
+  EXPECT_TRUE(lint_diagram(grid).ok());
+}
+
+TEST(DiagramLint, OfflineDriverRejectsShapeMismatch) {
+  const Diagram grid = grid_diagram(2, 2);
+  const std::vector<std::vector<VertexAccess>> too_few(2);
+  try {
+    detect_races_offline(grid, too_few, WalkMode::kNonSeparating,
+                         ReportPolicy::kAll);
+    FAIL() << "expected DiagramLintError";
+  } catch (const DiagramLintError& e) {
+    EXPECT_TRUE(has_code(e.result(), LintCode::kOpsShapeMismatch));
+  }
+}
+
+TEST(DiagramLint, OfflineDriverRejectsMalformedDiagram) {
+  Diagram cyclic(3);
+  cyclic.add_arc(0, 1);
+  cyclic.add_arc(1, 2);
+  cyclic.add_arc(2, 1);
+  const std::vector<std::vector<VertexAccess>> ops(3);
+  EXPECT_THROW(detect_races_offline(cyclic, ops, WalkMode::kNonSeparating,
+                                    ReportPolicy::kAll),
+               DiagramLintError);
+}
+
+TEST(TraversalLint, CanonicalWalkIsClean) {
+  const Diagram d = grid_diagram(3, 3);
+  const Traversal t = non_separating_traversal(d);
+  const LintResult r = lint_traversal(d, t, TraversalKind::kNonSeparating);
+  EXPECT_TRUE(r.ok()) << to_string(r);
+}
+
+TEST(TraversalLint, FlagsTamperedWalks) {
+  const Diagram d = grid_diagram(3, 3);
+  const Traversal good = non_separating_traversal(d);
+
+  {  // Drop the final event: something is missing.
+    Traversal t(good.begin(), good.end() - 1);
+    EXPECT_FALSE(lint_traversal(d, t, TraversalKind::kNonSeparating).ok());
+  }
+  {  // Duplicate a loop.
+    Traversal t = good;
+    const auto loop = std::find_if(t.begin(), t.end(), [](const auto& e) {
+      return e.kind == EventKind::kLoop;
+    });
+    t.insert(loop, *loop);
+    EXPECT_TRUE(has_code(lint_traversal(d, t, TraversalKind::kNonSeparating),
+                         LintCode::kDuplicateLoop));
+  }
+  {  // Swap the first two events: the loop no longer precedes its out-arc.
+    Traversal t = good;
+    std::swap(t[0], t[1]);
+    EXPECT_FALSE(lint_traversal(d, t, TraversalKind::kNonSeparating).ok());
+  }
+  {  // Point an arc at a vertex the diagram lacks.
+    Traversal t = good;
+    for (auto& e : t)
+      if (e.kind == EventKind::kArc || e.kind == EventKind::kLastArc) {
+        e.dst = static_cast<VertexId>(d.vertex_count() + 3);
+        break;
+      }
+    EXPECT_TRUE(has_code(lint_traversal(d, t, TraversalKind::kNonSeparating),
+                         LintCode::kVertexOutOfRange));
+  }
+  {  // Stop-arcs are a delayed-traversal construct only.
+    Traversal t = good;
+    t.push_back({EventKind::kStopArc, 0, kInvalidVertex});
+    EXPECT_TRUE(has_code(lint_traversal(d, t, TraversalKind::kNonSeparating),
+                         LintCode::kStopArcViolation));
+  }
+}
+
+TEST(LatticeCheckReasons, NameOffendingVertices) {
+  Digraph cyclic(3);
+  cyclic.add_arc(0, 1);
+  cyclic.add_arc(1, 2);
+  cyclic.add_arc(2, 1);
+  const auto cycle = check_lattice(cyclic);
+  ASSERT_FALSE(cycle.ok);
+  EXPECT_NE(cycle.reason.find("cycle through vertex"), std::string::npos)
+      << cycle.reason;
+
+  Digraph two_sinks(3);  // diamond missing the bottom: 1 and 2 both sinks
+  two_sinks.add_arc(0, 1);
+  two_sinks.add_arc(0, 2);
+  const auto sinks = check_lattice(two_sinks);
+  ASSERT_FALSE(sinks.ok);
+  EXPECT_NE(sinks.reason.find("sink"), std::string::npos);
+  EXPECT_NE(sinks.reason.find("1"), std::string::npos) << sinks.reason;
+  EXPECT_NE(sinks.reason.find("2"), std::string::npos) << sinks.reason;
+}
+
+// ---------------------------------------------------------------------------
+// Corruption harness: mutate recorded traces event by event. Every mutant is
+// either rejected by the linter (and then every gated driver throws the
+// typed error, never crashes) or replays with serial == sharded reports.
+
+enum class Mutation { kDrop, kDuplicate, kSwap, kRetarget };
+
+bool structural(TraceOp op) {
+  return op == TraceOp::kFork || op == TraceOp::kJoin || op == TraceOp::kHalt;
+}
+
+Trace mutate(const Trace& base, Mutation m, std::size_t i) {
+  Trace t = base;
+  switch (m) {
+    case Mutation::kDrop:
+      t.erase(t.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    case Mutation::kDuplicate:
+      t.insert(t.begin() + static_cast<std::ptrdiff_t>(i), t[i]);
+      break;
+    case Mutation::kSwap:
+      if (i + 1 < t.size()) std::swap(t[i], t[i + 1]);
+      break;
+    case Mutation::kRetarget:
+      if (t[i].op == TraceOp::kFork || t[i].op == TraceOp::kJoin)
+        t[i].other = static_cast<TaskId>(t[i].other + 1);
+      else
+        t[i].actor = static_cast<TaskId>(t[i].actor + 1);
+      break;
+  }
+  return t;
+}
+
+void expect_gated_rejection(const Trace& mutant, const char* what) {
+  EXPECT_THROW(detect_races_trace(mutant), TraceLintError) << what;
+  EXPECT_THROW(detect_races_parallel(mutant, 3), TraceLintError) << what;
+}
+
+TEST(CorruptionHarness, EveryMutantRejectedOrVerdictConsistent) {
+  std::size_t rejected = 0, clean = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ProgramParams params;
+    params.seed = seed;
+    params.max_actions = 12;
+    params.max_tasks = 16;
+    const Trace base = record(random_program(params));
+    ASSERT_TRUE(lint_trace(base).ok()) << "seed " << seed;
+    const std::vector<RaceReport> base_reports = detect_races_trace(base);
+
+    for (const Mutation m : {Mutation::kDrop, Mutation::kDuplicate,
+                             Mutation::kSwap, Mutation::kRetarget}) {
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        const Trace mutant = mutate(base, m, i);
+        if (mutant == base) continue;
+        const LintResult lint = lint_trace(mutant);
+        if (!lint.ok()) {
+          ++rejected;
+          expect_gated_rejection(mutant, "seed/mutation/index mismatch");
+          continue;
+        }
+        ++clean;
+        // Lint-clean mutants must replay without tripping any internal
+        // assert, and the two independent replay paths must agree.
+        std::vector<RaceReport> serial, sharded;
+        ASSERT_NO_THROW(serial = detect_races_trace(mutant))
+            << "seed " << seed << " mutation " << static_cast<int>(m)
+            << " index " << i;
+        ASSERT_NO_THROW(sharded = detect_races_parallel(mutant, 3));
+        EXPECT_EQ(serial, sharded);
+        // Duplicating an access (or swapping two accesses of one task)
+        // cannot change whether the trace is racy.
+        const bool same_shape =
+            m == Mutation::kDuplicate && !structural(base[i].op);
+        if (same_shape) {
+          EXPECT_EQ(serial.empty(), base_reports.empty())
+              << "seed " << seed << " duplicate at " << i;
+        }
+      }
+    }
+  }
+  // The harness must exercise both branches to mean anything.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(clean, 0u);
+}
+
+TEST(CorruptionHarness, SpecificMutationsCarryStableCodes) {
+  const Trace base = record([](TaskContext& ctx) {
+    auto a = ctx.fork([](TaskContext& c) { c.write(0x10); });
+    ctx.read(0x10);
+    ctx.join(a);
+  });
+  ASSERT_TRUE(lint_trace(base).ok());
+
+  // Find the structural events.
+  const auto at = [&](TraceOp op) {
+    for (std::size_t i = 0; i < base.size(); ++i)
+      if (base[i].op == op) return i;
+    ADD_FAILURE() << "trace lacks op";
+    return std::size_t{0};
+  };
+
+  // Dropping the child's halt: the join consumes a running task.
+  EXPECT_TRUE(has_code(lint_trace(mutate(base, Mutation::kDrop,
+                                         at(TraceOp::kHalt))),
+                       LintCode::kJoinTargetNotHalted));
+  // Dropping the join: the root halts with an unjoined child.
+  EXPECT_TRUE(has_code(
+      lint_trace(mutate(base, Mutation::kDrop, at(TraceOp::kJoin))),
+      LintCode::kUnjoinedTask));
+  // Dropping the fork: the child's events come from an unknown task.
+  EXPECT_TRUE(has_code(
+      lint_trace(mutate(base, Mutation::kDrop, at(TraceOp::kFork))),
+      LintCode::kUnknownActor));
+  // Duplicating the join: second one targets an already-joined task.
+  EXPECT_TRUE(has_code(
+      lint_trace(mutate(base, Mutation::kDuplicate, at(TraceOp::kJoin))),
+      LintCode::kJoinTargetJoined));
+  // Retargeting the fork's child breaks dense numbering.
+  EXPECT_TRUE(has_code(
+      lint_trace(mutate(base, Mutation::kRetarget, at(TraceOp::kFork))),
+      LintCode::kForkChildNotDense));
+}
+
+}  // namespace
+}  // namespace race2d
