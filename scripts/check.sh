@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Correctness gate: the tier-1 build + test cycle, an ASan+UBSan build of
-# the FULL test suite (the verify layer intentionally feeds corrupt traces
-# to every detector; the sanitizers prove the rejection paths never read
-# past a buffer), then a ThreadSanitizer build of the concurrency-bearing
-# tests (the sharded trace analyzer spawns real threads; TSan checks the
+# Correctness gate: the tier-1 build + test cycle, a 30-second fixed-seed
+# differential fuzz smoke (race2d_fuzz cross-checks every detector on
+# seeded random programs; any mismatch fails the gate), an ASan+UBSan
+# build of the FULL test suite (the verify layer intentionally feeds
+# corrupt traces to every detector; the sanitizers prove the rejection
+# paths never read past a buffer), then a ThreadSanitizer build of the
+# concurrency-bearing tests (the sharded trace analyzer spawns real threads; TSan checks the
 # workers share nothing but the read-only trace and their private
 # reporters). clang-tidy runs last when installed (scripts/tidy.sh).
 #
@@ -17,6 +19,12 @@ echo "== tier-1: configure + build + ctest"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure)
+
+echo "== smoke fuzz: 30-second differential campaign (fixed seed)"
+# Every trace runs the full detector panel (serial, sharded, offline,
+# naive gold, baselines, certification); any verdict mismatch or
+# certificate rejection exits non-zero. Fixed seed => reproducible.
+./build/examples/race2d_fuzz --seed 20260806 --runs 100000 --time-budget 30
 
 if [[ "${RACE2D_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== ASan/UBSan skipped (RACE2D_SKIP_ASAN=1)"

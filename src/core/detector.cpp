@@ -44,6 +44,7 @@ void OnlineRaceDetector::on_halt(TaskId t) {
 }
 
 void OnlineRaceDetector::on_read(TaskId t, Loc loc) {
+  R2D_REQUIRE(t < engine_.vertex_count(), "unknown task in read");
   engine_.on_loop(t);
   ++access_count_;
   detail::shadow_read(engine_, history_.cell(loc), t, loc, access_count_,
@@ -51,6 +52,7 @@ void OnlineRaceDetector::on_read(TaskId t, Loc loc) {
 }
 
 void OnlineRaceDetector::on_write(TaskId t, Loc loc) {
+  R2D_REQUIRE(t < engine_.vertex_count(), "unknown task in write");
   engine_.on_loop(t);
   ++access_count_;
   detail::shadow_write(engine_, history_.cell(loc), t, loc, access_count_,
@@ -58,6 +60,7 @@ void OnlineRaceDetector::on_write(TaskId t, Loc loc) {
 }
 
 void OnlineRaceDetector::on_retire(TaskId t, Loc loc) {
+  R2D_REQUIRE(t < engine_.vertex_count(), "unknown task in retire");
   engine_.on_loop(t);
   if (detail::shadow_retire(engine_, history_, t, loc, access_count_ + 1,
                             reporter_)) {

@@ -30,6 +30,16 @@
 
 namespace race2d::detail {
 
+/// Fault injection for the fuzzer's self-test (race2d_fuzz --inject-bug and
+/// fuzz_selftest): when set, shadow_write skips the W[loc] ← Sup(W[loc], t)
+/// update — the classic "one missing sup() update" detector bug. Serial,
+/// sharded, and streaming replay all share this routine, so they all go
+/// wrong IDENTICALLY; only the independent oracles (naive gold, offline
+/// walks, vector clocks) can expose the lie, which is exactly what the
+/// differential driver must demonstrate. Plain bool by design: set once
+/// before any replay starts, never flipped concurrently.
+inline bool g_inject_skip_write_sup_update = false;
+
 inline bool epoch_hit(const ShadowCell& cell, const SupremaEngine& engine,
                       VertexId t) {
   return cell.epoch_task == t &&
@@ -78,8 +88,10 @@ inline void shadow_write(SupremaEngine& engine, ShadowCell& cell, VertexId t,
     reporter.report({loc, t, AccessKind::kWrite, AccessKind::kWrite, ordinal});
     clean = false;
   }
-  cell.write_sup =
-      cell.write_sup == kInvalidVertex ? t : engine.sup(cell.write_sup, t);
+  if (!g_inject_skip_write_sup_update) {
+    cell.write_sup =
+        cell.write_sup == kInvalidVertex ? t : engine.sup(cell.write_sup, t);
+  }
   if (clean && cell.write_sup == t) {
     cell.epoch_task = t;
     cell.epoch_version = engine.structural_version();

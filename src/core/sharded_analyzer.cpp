@@ -47,6 +47,10 @@ void ShardedTraceAnalyzer::scan() {
   std::vector<std::vector<std::size_t>> chunk_locs(
       K, std::vector<std::size_t>(K, 0));
   std::vector<std::uint8_t> chunk_retire(K, 0);
+  // Largest task id any event REFERENCES (actor, or a join's target) — used
+  // below to reject id-corrupt traces with a structured error even under
+  // LintGate::kSkip, instead of indexing the engine out of bounds.
+  std::vector<std::size_t> chunk_max_ref(K, 0);
   std::vector<std::exception_ptr> errors(K);
 
   auto scan_chunk = [&](std::size_t c) {
@@ -58,6 +62,11 @@ void ShardedTraceAnalyzer::scan() {
     std::vector<std::size_t>& locs = chunk_locs[c];
     for (std::size_t i = lo; i < hi; ++i) {
       const TraceEvent& e = trace[i];
+      chunk_max_ref[c] = std::max(chunk_max_ref[c],
+                                  static_cast<std::size_t>(e.actor));
+      if (e.op == TraceOp::kJoin)
+        chunk_max_ref[c] = std::max(chunk_max_ref[c],
+                                    static_cast<std::size_t>(e.other));
       switch (e.op) {
         case TraceOp::kFork:
           // Task ids are dense in fork order (class precondition), so
@@ -148,13 +157,21 @@ void ShardedTraceAnalyzer::scan() {
   task_count_ = 1;
   access_count_ = 0;
   bool any_retire = false;
+  std::size_t max_ref = 0;
   shard_locs_.assign(K, 0);
   for (std::size_t c = 0; c < K; ++c) {
     task_count_ = std::max(task_count_, chunk_tasks[c]);
     access_count_ += chunk_rw_[c];
     any_retire = any_retire || chunk_retire[c] != 0;
+    max_ref = std::max(max_ref, chunk_max_ref[c]);
     for (std::size_t k = 0; k < K; ++k) shard_locs_[k] += chunk_locs[c][k];
   }
+  // Even when the lint gate is skipped, an event naming a task outside the
+  // dense fork range must fail as a contract violation, not as an
+  // out-of-bounds engine access (empty traces have no references to check).
+  R2D_REQUIRE(n == 0 || max_ref < task_count_,
+              "trace references a task id outside the dense fork range; "
+              "run the linter (LintGate::kEnforce) for a diagnosis");
   // The per-shard access counts are only an upper bound on distinct
   // locations; cap the shadow-map reserve hint to bound speculation.
   for (std::size_t& locs : shard_locs_) locs = std::min(locs, kReserveCapLocs);

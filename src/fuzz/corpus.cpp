@@ -1,0 +1,114 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/trace_io.hpp"
+#include "support/assert.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+
+namespace {
+
+constexpr const char* kDirectivePrefix = "# fuzz-features:";
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  R2D_REQUIRE(is.good(), "cannot open corpus file: " + path.string());
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+TraceFeatures parse_corpus_features(const std::string& text) {
+  TraceFeatures features;  // all false: core detectors only
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(kDirectivePrefix, 0) != 0) continue;
+    std::istringstream tokens(line.substr(std::string(kDirectivePrefix).size()));
+    std::string token;
+    while (tokens >> token) {
+      if (token == "spawn-sync") features.spawn_sync = true;
+      else if (token == "async-finish") features.async_finish = true;
+      else if (token == "retire") features.has_retire = true;
+      else if (token == "futures") features.has_futures = true;
+      else if (token == "pipeline") features.has_pipeline = true;
+      // Unknown tokens: ignored (forward compatibility).
+    }
+    break;
+  }
+  return features;
+}
+
+std::string corpus_features_line(const TraceFeatures& features) {
+  std::string line = kDirectivePrefix;
+  if (features.spawn_sync) line += " spawn-sync";
+  if (features.async_finish) line += " async-finish";
+  if (features.has_retire) line += " retire";
+  if (features.has_futures) line += " futures";
+  if (features.has_pipeline) line += " pipeline";
+  return line;
+}
+
+CorpusReport run_corpus(const std::string& dir,
+                        const DifferentialConfig& config) {
+  CorpusReport report;
+  std::vector<std::filesystem::path> paths;
+  if (std::filesystem::is_directory(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".trace")
+        paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const auto& path : paths) {
+    CorpusFileResult file;
+    file.path = path.string();
+    try {
+      const std::string text = read_file(path);
+      const TraceFeatures features = parse_corpus_features(text);
+      const Trace trace = load_trace_text(text);  // parses AND lints
+      file.events = trace.size();
+      DifferentialConfig gated = config;
+      gated.gate = LintGate::kSkip;  // load_trace_text just linted it
+      const DifferentialResult diff = run_differential(trace, features, gated);
+      file.races = diff.serial_races;
+      file.ok = diff.ok;
+      file.detail = diff.failure;
+    } catch (const ContractViolation& err) {
+      file.ok = false;
+      file.detail = err.what();
+    }
+    if (!file.ok) ++report.failures;
+    report.files.push_back(std::move(file));
+  }
+  return report;
+}
+
+std::string write_corpus_entry(const std::string& dir, const std::string& stem,
+                               const Trace& trace,
+                               const TraceFeatures& features,
+                               const std::string& note) {
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (stem + ".trace");
+  std::ofstream os(path);
+  R2D_REQUIRE(os.good(), "cannot write corpus file: " + path.string());
+  if (!note.empty()) {
+    std::istringstream lines(note);
+    std::string line;
+    while (std::getline(lines, line)) os << "# " << line << "\n";
+  }
+  os << corpus_features_line(features) << "\n";
+  write_trace_text(os, trace);
+  return path.string();
+}
+
+}  // namespace race2d

@@ -1,0 +1,59 @@
+// Regression corpus: minimized traces stored in the trace-analyzer text
+// format (runtime/trace_io.*), one file per reproducer, replayed through the
+// full differential panel by run_corpus (and by corpus_replay_test in ctest).
+//
+// Corpus files are self-describing: '#' header comments carry a free-form
+// note plus a machine-readable feature directive,
+//   # fuzz-features: spawn-sync async-finish
+// naming the sugar disciplines the trace honors (so the replay knows which
+// bags baselines are lawful oracles). Absent directive = core detectors
+// only, which is always sound.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/fuzz_plan.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+/// Extracts the feature directive from a corpus file's text (comment lines
+/// are scanned; the first `# fuzz-features:` wins). Unknown tokens are
+/// ignored so future features do not break old readers.
+TraceFeatures parse_corpus_features(const std::string& text);
+
+/// The directive line for `features` (without trailing newline).
+std::string corpus_features_line(const TraceFeatures& features);
+
+struct CorpusFileResult {
+  std::string path;
+  bool ok = false;
+  std::string detail;  ///< lint/parse/differential failure, empty when ok
+  std::size_t events = 0;
+  std::size_t races = 0;
+};
+
+struct CorpusReport {
+  std::vector<CorpusFileResult> files;
+  std::size_t failures = 0;
+
+  bool ok() const { return failures == 0; }
+};
+
+/// Replays every *.trace file under `dir` (sorted by name, deterministic)
+/// through the differential panel. Files that fail to parse or lint are
+/// failures too: the corpus must stay loadable.
+CorpusReport run_corpus(const std::string& dir,
+                        const DifferentialConfig& config = {});
+
+/// Writes `<dir>/<stem>.trace` with a note + feature header. Creates `dir`
+/// if needed. Returns the written path.
+std::string write_corpus_entry(const std::string& dir, const std::string& stem,
+                               const Trace& trace,
+                               const TraceFeatures& features,
+                               const std::string& note);
+
+}  // namespace race2d

@@ -1,0 +1,217 @@
+#include "fuzz/differential.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "baselines/espbags.hpp"
+#include "baselines/fasttrack.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/spbags.hpp"
+#include "baselines/vector_clock.hpp"
+#include "core/report.hpp"
+#include "core/sharded_analyzer.hpp"
+#include "verify/certificate.hpp"
+
+namespace race2d {
+
+namespace {
+
+std::string first_of(const std::vector<RaceReport>& reports) {
+  return reports.empty() ? std::string("none") : to_string(reports.front());
+}
+
+std::string describe(const char* name, const std::vector<RaceReport>& r) {
+  std::ostringstream os;
+  os << name << "=[" << r.size() << " races, first " << first_of(r) << "]";
+  return os.str();
+}
+
+/// Drives any baseline detector from the trace (the event stream the online
+/// detector saw). Returns false if the baseline's fork numbering diverges
+/// from the trace's — impossible on a lint-clean trace, so a false return
+/// is itself evidence of a linter hole.
+template <typename Detector>
+bool drive(Detector& det, const Trace& trace) {
+  det.on_root();
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kFork:
+        if (det.on_fork(e.actor) != e.other) return false;
+        break;
+      case TraceOp::kJoin:
+        det.on_join(e.actor, e.other);
+        break;
+      case TraceOp::kHalt:
+        det.on_halt(e.actor);
+        break;
+      case TraceOp::kSync:
+        if constexpr (requires { det.on_sync(e.actor); }) det.on_sync(e.actor);
+        break;
+      case TraceOp::kRead:
+        det.on_read(e.actor, e.loc);
+        break;
+      case TraceOp::kWrite:
+        det.on_write(e.actor, e.loc);
+        break;
+      case TraceOp::kRetire:
+        if constexpr (requires { det.on_retire(e.actor, e.loc); })
+          det.on_retire(e.actor, e.loc);
+        break;
+      case TraceOp::kFinishBegin:
+        if constexpr (requires { det.on_finish_begin(e.actor); })
+          det.on_finish_begin(e.actor);
+        break;
+      case TraceOp::kFinishEnd:
+        if constexpr (requires { det.on_finish_end(e.actor); })
+          det.on_finish_end(e.actor);
+        break;
+    }
+  }
+  return true;
+}
+
+const char* to_string(WalkMode mode) {
+  switch (mode) {
+    case WalkMode::kNonSeparating: return "non-separating";
+    case WalkMode::kDelayed: return "delayed";
+    case WalkMode::kRuntimeDelayed: return "runtime-delayed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+DifferentialResult run_differential(const Trace& trace,
+                                    const TraceFeatures& features,
+                                    const DifferentialConfig& config) {
+  DifferentialResult result;
+  auto fail = [&result](std::string why) {
+    if (result.ok) {  // keep the FIRST disagreement; later ones are echoes
+      result.ok = false;
+      result.failure = std::move(why);
+    }
+  };
+
+  // Serial replay is the reference everything else is judged against.
+  const std::vector<RaceReport> serial =
+      detect_races_trace(trace, ReportPolicy::kAll, config.gate);
+  result.serial_races = serial.size();
+  result.detectors_run = 1;
+
+  // The first report is the one the paper proves precise; verdict-level
+  // detectors are compared against it.
+  auto agree_first = [&](const char* name, const std::vector<RaceReport>& got,
+                         bool compare_kind) {
+    if (serial.empty() != got.empty()) {
+      fail(std::string(name) + " verdict mismatch: " +
+           describe("serial", serial) + " vs " + describe(name, got));
+      return;
+    }
+    if (serial.empty()) return;
+    const RaceReport& a = serial.front();
+    const RaceReport& b = got.front();
+    if (a.access_index != b.access_index || a.loc != b.loc ||
+        (compare_kind && a.current_kind != b.current_kind)) {
+      fail(std::string(name) + " first-race mismatch: " +
+           describe("serial", serial) + " vs " + describe(name, got));
+    }
+  };
+
+  // 1. Sharded replay: bit-identical for every shard count (PR 1's claim).
+  //    The trace was linted by the serial run above (or by the caller under
+  //    kSkip), so the re-runs skip the gate — it is the identical trace.
+  for (const std::size_t shards : config.shard_counts) {
+    const std::vector<RaceReport> sharded =
+        detect_races_parallel(trace, shards, ReportPolicy::kAll,
+                              LintGate::kSkip);
+    ++result.detectors_run;
+    if (sharded != serial) {
+      std::ostringstream os;
+      os << "sharded[K=" << shards << "] diverges from serial replay: "
+         << describe("serial", serial) << " vs "
+         << describe("sharded", sharded);
+      fail(os.str());
+    }
+  }
+
+  // 2. The naive §2.3 gold reference and the offline walks share one task
+  //    graph (Theorem 6's construction).
+  const TaskGraph tg = build_task_graph(trace);
+  agree_first("naive-gold", detect_races_naive(tg).races, true);
+  ++result.detectors_run;
+  if (config.run_offline) {
+    for (const WalkMode mode : {WalkMode::kNonSeparating, WalkMode::kDelayed,
+                                WalkMode::kRuntimeDelayed}) {
+      const std::vector<RaceReport> offline =
+          detect_races_offline(tg.diagram, tg.ops, mode);
+      ++result.detectors_run;
+      agree_first((std::string("offline-") + to_string(mode)).c_str(), offline,
+                  true);
+    }
+  }
+
+  // 3. Epoch-world baselines understand fork/join/access only, so they are
+  //    lawful on any valid trace WITHOUT retires (address reuse makes their
+  //    location-keyed shadow words lie). Gate on the trace itself, not the
+  //    plan: mutations add and remove retires.
+  const bool has_retire =
+      std::any_of(trace.begin(), trace.end(), [](const TraceEvent& e) {
+        return e.op == TraceOp::kRetire;
+      });
+  if (!has_retire) {
+    VectorClockDetector vc;
+    FastTrackDetector ft;
+    if (!drive(vc, trace) || !drive(ft, trace)) {
+      fail("baseline fork numbering diverged on a lint-clean trace");
+    } else {
+      agree_first("vector-clock", vc.reporter().all(), false);
+      agree_first("fasttrack", ft.reporter().all(), false);
+      result.detectors_run += 2;
+    }
+  }
+
+  // 4. Bags baselines additionally need their sugar's discipline.
+  if (config.bags_baselines && !has_retire) {
+    if (features.spawn_sync) {
+      SPBagsDetector sp;
+      if (drive(sp, trace)) {
+        agree_first("spbags", sp.reporter().all(), false);
+        ++result.detectors_run;
+      }
+    }
+    if (features.async_finish) {
+      ESPBagsDetector esp;
+      if (drive(esp, trace)) {
+        agree_first("espbags", esp.reporter().all(), false);
+        ++result.detectors_run;
+      }
+    }
+  }
+
+  // 5. Certification: the first report must carry an oracle-proved witness,
+  //    and every certificate the checker is willing to build must survive
+  //    its own re-check. Capped: re-proving is quadratic-ish in reports.
+  if (config.certify && !serial.empty()) {
+    const CertificateChecker checker(trace);
+    const std::size_t cap = std::min<std::size_t>(serial.size(), 64);
+    for (std::size_t i = 0; i < cap; ++i) {
+      const CertifiedReport cr = checker.certify(serial[i]);
+      if (i == 0 && !cr.certified) {
+        fail("first race is uncertifiable: " + to_string(serial[0]));
+        break;
+      }
+      if (cr.certified) {
+        const CertificateCheck check = checker.check(cr.certificate);
+        if (!check.ok) {
+          fail("certificate for report " + std::to_string(i) +
+               " fails its own re-check: " + check.reason);
+          break;
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace race2d

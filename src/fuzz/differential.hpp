@@ -1,0 +1,62 @@
+// Differential execution of every detector and applicable baseline on one
+// trace, with verdict cross-checking.
+//
+// Agreement contract (what "agree" means differs by pair — it mirrors the
+// paper's guarantees, not wishful exactness):
+//   * detect_races_parallel / ShardedTraceAnalyzer (every shard count) must
+//     be BIT-IDENTICAL to serial replay — PR 1's determinism claim.
+//   * detect_races_offline (all three walk modes), the naive gold reference,
+//     vector-clock and FastTrack must agree on the VERDICT (some race vs
+//     race-free) and on the FIRST report's access ordinal and location —
+//     the paper only guarantees precision up to the first race.
+//   * SP-bags / ESP-bags join the panel only when the trace honors their
+//     discipline (TraceFeatures) and carries no retires.
+//   * When the serial detector reports races, the first report must carry a
+//     certificate the reachability oracle re-proves, and every certificate
+//     the checker builds must pass its own re-check.
+// Any violated clause is a FAILURE ARTIFACT: the fuzzer's entire purpose.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_plan.hpp"
+#include "runtime/trace.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+
+struct DifferentialConfig {
+  /// Shard counts to replay with (each compared bit-for-bit to serial).
+  std::vector<std::size_t> shard_counts = {2, 3, 8};
+  /// Run detect_races_offline over the materialized task graph (all modes).
+  bool run_offline = true;
+  /// Re-prove the first report's certificate against the oracle.
+  bool certify = true;
+  /// Consult SP-bags / ESP-bags when the trace's features allow it. The
+  /// shrinker turns this off: delta-debugging cuts do not preserve the
+  /// sugar disciplines, only Figure-9 validity.
+  bool bags_baselines = true;
+  /// kEnforce lints once up front (the per-detector gates then skip);
+  /// kSkip trusts the caller to have linted the identical trace.
+  LintGate gate = LintGate::kEnforce;
+};
+
+struct DifferentialResult {
+  bool ok = true;
+  /// Names the disagreeing pair and both sides' evidence; empty when ok.
+  std::string failure;
+  std::size_t serial_races = 0;
+  std::size_t detectors_run = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Runs the full panel on `trace`. The trace must lint clean (throws
+/// TraceLintError under kEnforce otherwise, like every gated detector).
+DifferentialResult run_differential(const Trace& trace,
+                                    const TraceFeatures& features,
+                                    const DifferentialConfig& config = {});
+
+}  // namespace race2d

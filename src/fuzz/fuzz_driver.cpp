@@ -1,0 +1,196 @@
+#include "fuzz/fuzz_driver.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/trace_gen.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string hex_seed(std::uint64_t seed) {
+  std::ostringstream os;
+  os << std::hex << seed;
+  return os.str();
+}
+
+std::string sanitize_stem(const std::string& s) {
+  std::string out;
+  for (const char c : s)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '-';
+  return out;
+}
+
+/// The shrink predicate: does the candidate still break the CORE panel?
+/// Bags baselines are deliberately absent — ddmin cuts do not preserve the
+/// sugar disciplines, and a predicate that "fails" for an unsound-oracle
+/// reason would shrink toward a bogus reproducer. An exception out of the
+/// panel on a lint-clean trace counts as failing too (crash-preserving).
+bool core_panel_fails(const Trace& trace, const DifferentialConfig& base) {
+  DifferentialConfig core = base;
+  core.bags_baselines = false;
+  core.gate = LintGate::kSkip;  // the shrinker linted the candidate already
+  try {
+    return !run_differential(trace, TraceFeatures{}, core).ok;
+  } catch (const ContractViolation&) {
+    return true;
+  }
+}
+
+}  // namespace
+
+std::uint64_t plan_seed_for_run(std::uint64_t campaign_seed, std::size_t run) {
+  return splitmix64(campaign_seed ^ splitmix64(static_cast<std::uint64_t>(run)));
+}
+
+FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config,
+                                     std::ostream* log) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  FuzzCampaignResult result;
+
+  auto record_failure = [&](const FuzzPlan& plan, std::string phase,
+                            std::string message, const Trace& trace,
+                            bool shrinkable) {
+    FuzzFailure failure;
+    failure.plan = plan;
+    failure.phase = std::move(phase);
+    failure.message = std::move(message);
+    failure.original_events = trace.size();
+    failure.reproducer = trace;
+    if (config.shrink && shrinkable) {
+      ShrinkStats stats;
+      failure.reproducer = shrink_trace(
+          trace,
+          [&](const Trace& t) {
+            return core_panel_fails(t, config.differential);
+          },
+          {}, &stats);
+      if (log != nullptr) {
+        *log << "race2d_fuzz: shrink " << trace.size() << " -> "
+             << failure.reproducer.size() << " events (" << stats.candidates
+             << " candidates)\n";
+      }
+    }
+    if (!config.corpus_dir.empty()) {
+      failure.artifact_path = write_corpus_entry(
+          config.corpus_dir,
+          "fail-" + sanitize_stem(failure.phase) + "-" + hex_seed(plan.seed),
+          failure.reproducer, TraceFeatures{},
+          failure.phase + ": " + failure.message + "\nplan: " +
+              to_string(plan));
+    }
+    if (log != nullptr) {
+      *log << "race2d_fuzz: FAILURE [" << failure.phase << "] plan seed 0x"
+           << hex_seed(plan.seed) << ": " << failure.message << "\n";
+    }
+    result.failures.push_back(std::move(failure));
+  };
+
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    if (result.failures.size() >= config.max_failures) break;
+    if (config.time_budget_seconds > 0 &&
+        elapsed() >= config.time_budget_seconds)
+      break;
+
+    const FuzzPlan plan = FuzzPlan::from_seed(
+        config.exact_plan_seed ? config.seed
+                               : plan_seed_for_run(config.seed, run));
+    const GeneratedTrace generated = generate_trace(plan);
+    ++result.runs;
+    ++result.traces;
+    result.events += generated.trace.size();
+
+    // Generated traces are valid by construction; a lint error here is a
+    // generator or linter bug, either way a finding.
+    const LintResult lint = lint_trace(generated.trace);
+    if (!lint.ok()) {
+      record_failure(plan, "generate",
+                     "generated trace fails lint: " +
+                         lint.first_error().message,
+                     generated.trace, /*shrinkable=*/false);
+      continue;
+    }
+
+    DifferentialConfig panel = config.differential;
+    panel.gate = LintGate::kSkip;  // linted just above
+    const DifferentialResult diff =
+        run_differential(generated.trace, generated.features, panel);
+    result.detector_runs += diff.detectors_run;
+    if (!diff.ok) {
+      record_failure(plan, "differential", diff.failure, generated.trace,
+                     /*shrinkable=*/true);
+      continue;
+    }
+
+    // Mutants: each checks the linter contract in one direction, and the
+    // valid ones go through the panel like any other trace.
+    Xoshiro256 mutation_rng(plan.seed ^ 0xA5A5A5A55A5A5A5AULL);
+    for (std::size_t m = 0; m < config.mutants_per_trace; ++m) {
+      if (result.failures.size() >= config.max_failures) break;
+      const Mutation mutant = mutate_trace(generated.trace, mutation_rng);
+      if (!mutant.applied) continue;
+      ++result.traces;
+      result.events += mutant.trace.size();
+      const std::string kind = to_string(mutant.kind);
+      const LintResult mutant_lint = lint_trace(mutant.trace);
+
+      if (!mutant.expect_lint_clean) {
+        if (mutant_lint.ok()) {
+          record_failure(plan, "lint-hole:" + kind,
+                         "structure-breaking mutant lints clean",
+                         mutant.trace, /*shrinkable=*/false);
+        }
+        continue;  // never feed known-corrupt traces to the panel
+      }
+      if (!mutant_lint.ok()) {
+        record_failure(plan, "lint-false-positive:" + kind,
+                       "validity-preserving mutant rejected: " +
+                           mutant_lint.first_error().message,
+                       mutant.trace, /*shrinkable=*/false);
+        continue;
+      }
+      const DifferentialResult mutant_diff = run_differential(
+          mutant.trace, mutated_features(generated.features, mutant.kind),
+          panel);
+      result.detector_runs += mutant_diff.detectors_run;
+      if (!mutant_diff.ok) {
+        record_failure(plan, "mutant-differential:" + kind,
+                       mutant_diff.failure, mutant.trace,
+                       /*shrinkable=*/true);
+      }
+    }
+  }
+
+  result.seconds = elapsed();
+  if (log != nullptr) {
+    *log << "race2d_fuzz: " << result.runs << " runs, " << result.traces
+         << " traces, " << result.events << " events, "
+         << result.detector_runs << " detector runs, "
+         << result.failures.size() << " failure(s), " << result.seconds
+         << "s\n";
+  }
+  return result;
+}
+
+}  // namespace race2d

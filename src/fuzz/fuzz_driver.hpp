@@ -1,0 +1,74 @@
+// The fuzz campaign loop: plan -> generate -> lint -> differential panel ->
+// type-aware mutants (checked against the linter contract in BOTH
+// directions) -> on failure, ddmin shrink + corpus artifact.
+//
+// Reproducibility contract: one uint64 seed determines the whole campaign.
+// Run r derives its plan seed by a splitmix64 hop from (seed, r), so any
+// failing run can be regenerated in isolation:
+//   race2d_fuzz --seed <campaign> --runs N     # full campaign
+//   race2d_fuzz --seed-exact <plan-seed>       # just the failing run
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/fuzz_plan.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t runs = 100;
+  /// Treat `seed` as the PLAN seed of every run instead of hopping through
+  /// splitmix64 — with runs=1 this replays exactly one failure artifact
+  /// (the CLI's --seed-exact).
+  bool exact_plan_seed = false;
+  /// Stop starting new runs after this many seconds (0 = no budget).
+  double time_budget_seconds = 0;
+  /// Mutants drawn per generated trace.
+  std::size_t mutants_per_trace = 4;
+  /// Shrink failing traces before recording them.
+  bool shrink = true;
+  /// When non-empty, write each failure's reproducer here as a corpus file.
+  std::string corpus_dir;
+  /// Stop the campaign after this many failures (they are usually echoes of
+  /// one bug).
+  std::size_t max_failures = 8;
+  DifferentialConfig differential;
+};
+
+struct FuzzFailure {
+  FuzzPlan plan;
+  /// "generate" | "differential" | "mutant-differential:<kind>" |
+  /// "lint-false-positive:<kind>" | "lint-hole:<kind>"
+  std::string phase;
+  std::string message;
+  Trace reproducer;  ///< shrunk when config.shrink and the failure survives
+  std::size_t original_events = 0;  ///< size before shrinking
+  std::string artifact_path;        ///< corpus file, when corpus_dir set
+};
+
+struct FuzzCampaignResult {
+  std::size_t runs = 0;             ///< plans actually executed
+  std::size_t traces = 0;           ///< generated + applied mutants
+  std::size_t events = 0;           ///< total events pushed through panels
+  std::size_t detector_runs = 0;    ///< individual detector executions
+  double seconds = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Derives run r's plan seed from the campaign seed (splitmix64 hop).
+std::uint64_t plan_seed_for_run(std::uint64_t campaign_seed, std::size_t run);
+
+/// Runs the campaign. `log` (optional) receives one progress line per
+/// failure and a summary — the CLI passes std::cerr, tests pass nullptr.
+FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config,
+                                     std::ostream* log = nullptr);
+
+}  // namespace race2d

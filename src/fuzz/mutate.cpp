@@ -1,0 +1,228 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace race2d {
+
+namespace {
+
+bool is_rw(const TraceEvent& e) {
+  return e.op == TraceOp::kRead || e.op == TraceOp::kWrite;
+}
+
+bool is_data(const TraceEvent& e) {
+  return is_rw(e) || e.op == TraceOp::kRetire;
+}
+
+/// Candidate collection: indices where the mutation applies.
+template <typename Pred>
+std::vector<std::size_t> sites(const Trace& t, Pred&& pred) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (pred(i)) out.push_back(i);
+  return out;
+}
+
+/// Locations appearing in the trace (retarget pool), deduplicated.
+std::vector<Loc> trace_locs(const Trace& t) {
+  std::vector<Loc> locs;
+  for (const TraceEvent& e : t)
+    if (is_data(e)) locs.push_back(e.loc);
+  std::sort(locs.begin(), locs.end());
+  locs.erase(std::unique(locs.begin(), locs.end()), locs.end());
+  return locs;
+}
+
+}  // namespace
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kSwapAdjacentAccesses: return "swap-adjacent-accesses";
+    case MutationKind::kRetargetAccess:       return "retarget-access";
+    case MutationKind::kFlipAccessKind:       return "flip-access-kind";
+    case MutationKind::kDuplicateAccess:      return "duplicate-access";
+    case MutationKind::kDropAccess:           return "drop-access";
+    case MutationKind::kSplitFinish:          return "split-finish";
+    case MutationKind::kMergeFinish:          return "merge-finish";
+    case MutationKind::kDropJoin:             return "drop-join";
+    case MutationKind::kDuplicateJoin:        return "duplicate-join";
+    case MutationKind::kDropHalt:             return "drop-halt";
+    case MutationKind::kDropFork:             return "drop-fork";
+    case MutationKind::kRetargetJoin:         return "retarget-join";
+  }
+  return "?";
+}
+
+Mutation mutate_trace(const Trace& base, MutationKind kind, Xoshiro256& rng) {
+  Mutation m;
+  m.kind = kind;
+  m.trace = base;
+  m.expect_lint_clean = kind <= MutationKind::kMergeFinish;
+
+  auto pick = [&](const std::vector<std::size_t>& candidates) -> bool {
+    if (candidates.empty()) return false;
+    m.index = candidates[rng.below(candidates.size())];
+    m.applied = true;
+    return true;
+  };
+
+  switch (kind) {
+    case MutationKind::kSwapAdjacentAccesses: {
+      // Adjacent data events of the SAME task commute structurally: the
+      // task is running across both positions either way. (Their ordinals
+      // swap, so verdicts may legitimately change — the mutant is simply a
+      // different valid trace.)
+      if (!pick(sites(base, [&](std::size_t i) {
+            return i + 1 < base.size() && is_data(base[i]) &&
+                   is_data(base[i + 1]) &&
+                   base[i].actor == base[i + 1].actor;
+          })))
+        return m;
+      std::swap(m.trace[m.index], m.trace[m.index + 1]);
+      return m;
+    }
+    case MutationKind::kRetargetAccess: {
+      if (!pick(sites(base, [&](std::size_t i) { return is_data(base[i]); })))
+        return m;
+      const std::vector<Loc> locs = trace_locs(base);
+      // Half the time an existing location (collision pressure), half the
+      // time a fresh one (shadow-map growth / dead-retire hygiene paths).
+      m.trace[m.index].loc = rng.chance(0.5) && !locs.empty()
+                                 ? locs[rng.below(locs.size())]
+                                 : Loc{0xF000} + rng.below(16);
+      return m;
+    }
+    case MutationKind::kFlipAccessKind: {
+      if (!pick(sites(base, [&](std::size_t i) { return is_rw(base[i]); })))
+        return m;
+      TraceEvent& e = m.trace[m.index];
+      e.op = e.op == TraceOp::kRead ? TraceOp::kWrite : TraceOp::kRead;
+      return m;
+    }
+    case MutationKind::kDuplicateAccess: {
+      if (!pick(sites(base, [&](std::size_t i) { return is_rw(base[i]); })))
+        return m;
+      m.trace.insert(m.trace.begin() + static_cast<std::ptrdiff_t>(m.index),
+                     base[m.index]);
+      return m;
+    }
+    case MutationKind::kDropAccess: {
+      if (!pick(sites(base, [&](std::size_t i) { return is_rw(base[i]); })))
+        return m;
+      m.trace.erase(m.trace.begin() + static_cast<std::ptrdiff_t>(m.index));
+      return m;
+    }
+    case MutationKind::kSplitFinish: {
+      // Insert finish_end + finish_begin in front of an event of a task
+      // with an open region: per-task balance is preserved event-for-event.
+      std::vector<std::size_t> depth_open;
+      {
+        std::vector<std::uint32_t> depth;
+        for (std::size_t i = 0; i < base.size(); ++i) {
+          const TraceEvent& e = base[i];
+          if (e.actor != kInvalidTask) {
+            if (e.actor >= depth.size()) depth.resize(e.actor + 1, 0);
+            if (depth[e.actor] > 0) depth_open.push_back(i);
+            if (e.op == TraceOp::kFinishBegin) ++depth[e.actor];
+            if (e.op == TraceOp::kFinishEnd && depth[e.actor] > 0)
+              --depth[e.actor];
+          }
+          if (e.op == TraceOp::kFork && e.other != kInvalidTask &&
+              e.other >= depth.size())
+            depth.resize(e.other + 1, 0);
+        }
+      }
+      if (!pick(depth_open)) return m;
+      const TaskId t = base[m.index].actor;
+      const auto at = m.trace.begin() + static_cast<std::ptrdiff_t>(m.index);
+      m.trace.insert(at, {TraceEvent{TraceOp::kFinishEnd, t, kInvalidTask, 0},
+                          TraceEvent{TraceOp::kFinishBegin, t, kInvalidTask, 0}});
+      return m;
+    }
+    case MutationKind::kMergeFinish: {
+      // Remove a finish_end and a LATER finish_begin of the same task: the
+      // task's running balance only ever gains, and its total is unchanged,
+      // so the linter's per-task balance checks still pass.
+      if (!pick(sites(base, [&](std::size_t i) {
+            return base[i].op == TraceOp::kFinishEnd;
+          })))
+        return m;
+      const TaskId t = base[m.index].actor;
+      std::size_t reopen = base.size();
+      for (std::size_t j = m.index + 1; j < base.size(); ++j) {
+        if (base[j].op == TraceOp::kFinishBegin && base[j].actor == t) {
+          reopen = j;
+          break;
+        }
+      }
+      if (reopen == base.size()) {
+        m.applied = false;
+        return m;
+      }
+      m.trace.erase(m.trace.begin() + static_cast<std::ptrdiff_t>(reopen));
+      m.trace.erase(m.trace.begin() + static_cast<std::ptrdiff_t>(m.index));
+      return m;
+    }
+    case MutationKind::kDropJoin: {
+      if (!pick(sites(base, [&](std::size_t i) {
+            return base[i].op == TraceOp::kJoin;
+          })))
+        return m;
+      m.trace.erase(m.trace.begin() + static_cast<std::ptrdiff_t>(m.index));
+      return m;
+    }
+    case MutationKind::kDuplicateJoin: {
+      if (!pick(sites(base, [&](std::size_t i) {
+            return base[i].op == TraceOp::kJoin;
+          })))
+        return m;
+      m.trace.insert(m.trace.begin() + static_cast<std::ptrdiff_t>(m.index),
+                     base[m.index]);
+      return m;
+    }
+    case MutationKind::kDropHalt: {
+      if (!pick(sites(base, [&](std::size_t i) {
+            return base[i].op == TraceOp::kHalt;
+          })))
+        return m;
+      m.trace.erase(m.trace.begin() + static_cast<std::ptrdiff_t>(m.index));
+      return m;
+    }
+    case MutationKind::kDropFork: {
+      if (!pick(sites(base, [&](std::size_t i) {
+            return base[i].op == TraceOp::kFork;
+          })))
+        return m;
+      m.trace.erase(m.trace.begin() + static_cast<std::ptrdiff_t>(m.index));
+      return m;
+    }
+    case MutationKind::kRetargetJoin: {
+      if (!pick(sites(base, [&](std::size_t i) {
+            return base[i].op == TraceOp::kJoin;
+          })))
+        return m;
+      // Any target other than the current (unique) left neighbor is a
+      // discipline violation; self-joins are the guaranteed-wrong choice.
+      TraceEvent& e = m.trace[m.index];
+      TaskId target = static_cast<TaskId>(rng.below(e.actor + 2));
+      if (target == e.other) target = e.actor;  // never re-pick the original
+      e.other = target;
+      return m;
+    }
+  }
+  return m;
+}
+
+Mutation mutate_trace(const Trace& base, Xoshiro256& rng) {
+  return mutate_trace(
+      base, static_cast<MutationKind>(rng.below(kMutationKindCount)), rng);
+}
+
+TraceFeatures mutated_features(TraceFeatures features, MutationKind kind) {
+  if (kind == MutationKind::kSplitFinish || kind == MutationKind::kMergeFinish)
+    features.async_finish = false;
+  return features;
+}
+
+}  // namespace race2d

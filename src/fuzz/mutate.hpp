@@ -1,0 +1,65 @@
+// Type-aware trace mutations.
+//
+// Every mutation carries a CONTRACT with the verify layer: it either
+// preserves Figure-9 validity (the mutant must lint clean, modulo hygiene
+// warnings, and every detector must still agree on it) or it breaks the
+// structured fork-join discipline in a way the TraceLinter MUST reject with
+// an error-level code. The fuzz driver checks both directions, which makes
+// the linter itself a fuzz target: a validity-preserving mutant that lints
+// dirty is a linter false positive; a structure-breaking mutant that lints
+// clean is a linter hole (and would have sent garbage into the detectors).
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/fuzz_plan.hpp"
+#include "runtime/trace.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+
+enum class MutationKind : std::uint8_t {
+  // Validity-preserving (mutant must lint clean).
+  kSwapAdjacentAccesses,  ///< swap two same-task adjacent data events
+  kRetargetAccess,        ///< point a read/write/retire at another location
+  kFlipAccessKind,        ///< read <-> write
+  kDuplicateAccess,       ///< repeat a read/write in place
+  kDropAccess,            ///< remove a read/write
+  kSplitFinish,           ///< end + immediately reopen an open finish region
+  kMergeFinish,           ///< remove a finish_end and a later finish_begin
+
+  // Structure-breaking (linter must reject with an error code).
+  kDropJoin,       ///< the joined task is never consumed -> L013 family
+  kDuplicateJoin,  ///< second join of the same task -> L010 family
+  kDropHalt,       ///< task never halts -> L006/L008/L012 family
+  kDropFork,       ///< task used but never introduced -> L001/L005 family
+  kRetargetJoin,   ///< join of a non-left-neighbor -> L007..L010 family
+};
+
+inline constexpr std::size_t kMutationKindCount = 12;
+
+const char* to_string(MutationKind kind);
+
+struct Mutation {
+  Trace trace;
+  MutationKind kind{};
+  std::size_t index = 0;          ///< primary mutated event position
+  bool expect_lint_clean = true;  ///< the contract side this mutant is on
+  bool applied = false;           ///< false: no applicable site in the base
+};
+
+/// Applies `kind` at a random applicable site. Unapplied mutations (no such
+/// site — e.g. kMergeFinish on a finish-free trace) return applied=false
+/// with the base trace untouched.
+Mutation mutate_trace(const Trace& base, MutationKind kind, Xoshiro256& rng);
+
+/// Draws a kind uniformly, then applies it.
+Mutation mutate_trace(const Trace& base, Xoshiro256& rng);
+
+/// Baseline applicability after a mutation: finish-scope surgery decouples
+/// the markers from the join structure, so the marker-driven ESP-bags oracle
+/// is no longer sound on the mutant (the core detectors all remain fair
+/// game — they read only the structure).
+TraceFeatures mutated_features(TraceFeatures features, MutationKind kind);
+
+}  // namespace race2d

@@ -1,0 +1,278 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/flat_hash_map.hpp"
+#include "support/ids.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+
+namespace {
+
+/// Line + stack simulation used by the repair pass. Tasks are NEW (dense)
+/// ids; `left`/`right` encode the Figure-9 line, `kInvalidTask` = edge.
+struct SimTask {
+  TaskId left = kInvalidTask;
+  TaskId right = kInvalidTask;
+  std::uint32_t finish_depth = 0;
+  bool halted = false;
+  bool joined = false;
+};
+
+}  // namespace
+
+Trace normalize_trace(const Trace& raw) {
+  Trace out;
+  out.reserve(raw.size() + 8);
+
+  std::vector<SimTask> tasks(1);  // new id 0 = root, alone on the line
+  std::vector<TaskId> stack{0};   // active chain; top = running task
+  FlatHashMap<TaskId, TaskId> renumber;
+  renumber[0] = 0;
+
+  auto mapped = [&](TaskId old_id) -> TaskId {
+    const TaskId* found = renumber.find(old_id);
+    return found ? *found : kInvalidTask;
+  };
+
+  for (const TraceEvent& e : raw) {
+    const TaskId actor = mapped(e.actor);
+    // Serial fork-first order: only the top of the active chain acts.
+    if (actor == kInvalidTask || actor != stack.back()) continue;
+    SimTask& a = tasks[actor];
+
+    switch (e.op) {
+      case TraceOp::kFork: {
+        if (e.other == kInvalidTask || renumber.contains(e.other)) break;
+        const TaskId child = static_cast<TaskId>(tasks.size());
+        renumber[e.other] = child;
+        tasks.push_back({});
+        // Insert the child immediately left of its parent on the line.
+        SimTask& c = tasks[child];
+        SimTask& p = tasks[actor];
+        c.left = p.left;
+        c.right = actor;
+        if (p.left != kInvalidTask) tasks[p.left].right = child;
+        p.left = child;
+        // Fork-first: the child runs before the parent resumes.
+        stack.push_back(child);
+        out.push_back({TraceOp::kFork, actor, child, 0});
+        break;
+      }
+      case TraceOp::kJoin: {
+        const TaskId target = mapped(e.other);
+        if (target == kInvalidTask || target != a.left) break;
+        SimTask& t = tasks[target];
+        if (!t.halted || t.joined) break;
+        t.joined = true;
+        a.left = t.left;
+        if (t.left != kInvalidTask) tasks[t.left].right = actor;
+        out.push_back({TraceOp::kJoin, actor, target, 0});
+        break;
+      }
+      case TraceOp::kHalt: {
+        if (actor == 0) break;  // the epilogue below halts the root last
+        // Repair: a halt closes whatever finish regions are still open.
+        for (; a.finish_depth > 0; --a.finish_depth)
+          out.push_back({TraceOp::kFinishEnd, actor, kInvalidTask, 0});
+        a.halted = true;
+        stack.pop_back();
+        out.push_back({TraceOp::kHalt, actor, kInvalidTask, 0});
+        break;
+      }
+      case TraceOp::kSync:
+        out.push_back({TraceOp::kSync, actor, kInvalidTask, 0});
+        break;
+      case TraceOp::kFinishBegin:
+        ++a.finish_depth;
+        out.push_back({TraceOp::kFinishBegin, actor, kInvalidTask, 0});
+        break;
+      case TraceOp::kFinishEnd:
+        if (a.finish_depth == 0) break;
+        --a.finish_depth;
+        out.push_back({TraceOp::kFinishEnd, actor, kInvalidTask, 0});
+        break;
+      case TraceOp::kRead:
+      case TraceOp::kWrite:
+      case TraceOp::kRetire:
+        out.push_back({e.op, actor, kInvalidTask, e.loc});
+        break;
+    }
+  }
+
+  // Close the execution. Halt the active chain top-down (every task not on
+  // the stack already halted), ...
+  while (stack.size() > 1) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    for (; tasks[t].finish_depth > 0; --tasks[t].finish_depth)
+      out.push_back({TraceOp::kFinishEnd, t, kInvalidTask, 0});
+    tasks[t].halted = true;
+    out.push_back({TraceOp::kHalt, t, kInvalidTask, 0});
+  }
+  // ... then the root drains the whole line (single sink: Theorem 6's
+  // precondition for build_task_graph), balances, and halts last.
+  while (tasks[0].left != kInvalidTask) {
+    const TaskId t = tasks[0].left;
+    tasks[t].joined = true;
+    tasks[0].left = tasks[t].left;
+    if (tasks[t].left != kInvalidTask) tasks[tasks[t].left].right = 0;
+    out.push_back({TraceOp::kJoin, 0, t, 0});
+  }
+  for (; tasks[0].finish_depth > 0; --tasks[0].finish_depth)
+    out.push_back({TraceOp::kFinishEnd, 0, kInvalidTask, 0});
+  out.push_back({TraceOp::kHalt, 0, kInvalidTask, 0});
+  return out;
+}
+
+namespace {
+
+/// normalize + re-lint + predicate, against the budget.
+bool candidate_fails(const Trace& candidate, const FailurePredicate& fails,
+                     const ShrinkOptions& options, ShrinkStats& stats,
+                     Trace* normalized_out) {
+  if (stats.candidates >= options.max_candidates) return false;
+  ++stats.candidates;
+  Trace normalized = normalize_trace(candidate);
+  if (!lint_trace(normalized).ok()) return false;  // normalize bug; skip
+  if (!fails(normalized)) return false;
+  ++stats.accepted;
+  *normalized_out = std::move(normalized);
+  return true;
+}
+
+Trace without_range(const Trace& t, std::size_t begin, std::size_t count) {
+  Trace cut;
+  cut.reserve(t.size() - count);
+  cut.insert(cut.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(begin));
+  cut.insert(cut.end(),
+             t.begin() + static_cast<std::ptrdiff_t>(begin + count), t.end());
+  return cut;
+}
+
+/// Merge the child forked at `fork_index` into its parent: delete the fork,
+/// re-attribute the child's events to the parent, and drop the child's halt
+/// and any join that targeted it (normalize re-closes the execution). In a
+/// normalized trace every task is forked exactly once, so the rewrite is
+/// unambiguous.
+Trace inline_fork(const Trace& t, std::size_t fork_index) {
+  const TaskId parent = t[fork_index].actor;
+  const TaskId child = t[fork_index].other;
+  Trace out;
+  out.reserve(t.size() - 1);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == fork_index) continue;
+    TraceEvent e = t[i];
+    if (e.op == TraceOp::kJoin && e.other == child) continue;
+    if (e.op == TraceOp::kHalt && e.actor == child) continue;
+    if (e.actor == child) e.actor = parent;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace shrink_trace(const Trace& failing, const FailurePredicate& fails,
+                   const ShrinkOptions& options, ShrinkStats* stats_out) {
+  ShrinkStats stats;
+  Trace best = normalize_trace(failing);
+  if (!lint_trace(best).ok() || !fails(best)) {
+    // The failure does not survive normalization (or the input was not a
+    // valid trace to begin with): nothing sound to shrink against.
+    if (stats_out) *stats_out = stats;
+    return failing;
+  }
+
+  // Phase 1: ddmin over event ranges, interleaved with fork inlining.
+  // Ranged cuts alone stall on "relevance chains" — a spine of forks where
+  // cutting any link orphans every deeper task (normalize drops their
+  // events) and the failure vanishes. Inlining shortens the chain one link
+  // at a time instead, then ddmin gets another go at the freed events.
+  bool progress = true;
+  while (progress && stats.candidates < options.max_candidates) {
+    progress = false;
+    // Ranged cuts: chunks from half the trace down to single events; on
+    // success stay at the same position (the trace shifted underneath).
+    for (std::size_t chunk = std::max<std::size_t>(best.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      std::size_t i = 0;
+      while (i < best.size() && stats.candidates < options.max_candidates) {
+        const std::size_t count = std::min(chunk, best.size() - i);
+        Trace normalized;
+        if (candidate_fails(without_range(best, i, count), fails, options,
+                            stats, &normalized) &&
+            normalized.size() < best.size()) {
+          best = std::move(normalized);
+          progress = true;  // do not advance: the window now holds new events
+        } else {
+          i += count;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    // Fork inlining: merge children into parents where the failure allows.
+    std::size_t i = 0;
+    while (i < best.size() && stats.candidates < options.max_candidates) {
+      if (best[i].op != TraceOp::kFork) {
+        ++i;
+        continue;
+      }
+      Trace normalized;
+      if (candidate_fails(inline_fork(best, i), fails, options, stats,
+                          &normalized) &&
+          normalized.size() < best.size()) {
+        best = std::move(normalized);
+        progress = true;  // stay: indexes shifted under the cut
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Phase 2: per-event simplification — demote writes/retires to reads
+  // (strictly simpler semantics: no write is "more minimal" than a read).
+  for (std::size_t i = 0;
+       i < best.size() && stats.candidates < options.max_candidates; ++i) {
+    if (best[i].op != TraceOp::kWrite && best[i].op != TraceOp::kRetire)
+      continue;
+    Trace candidate = best;
+    candidate[i].op = TraceOp::kRead;
+    Trace normalized;
+    if (candidate_fails(candidate, fails, options, stats, &normalized) &&
+        normalized.size() <= best.size()) {
+      best = std::move(normalized);
+    }
+  }
+
+  // Phase 3: location canonicalization (one candidate): 0, 1, 2, ... in
+  // order of first appearance.
+  if (options.canonicalize_locs) {
+    FlatHashMap<Loc, Loc> relabel;
+    Trace candidate = best;
+    for (TraceEvent& e : candidate) {
+      if (e.op != TraceOp::kRead && e.op != TraceOp::kWrite &&
+          e.op != TraceOp::kRetire)
+        continue;
+      if (const Loc* known = relabel.find(e.loc)) {
+        e.loc = *known;
+      } else {
+        const Loc fresh = static_cast<Loc>(relabel.size());
+        relabel[e.loc] = fresh;
+        e.loc = fresh;
+      }
+    }
+    Trace normalized;
+    if (candidate_fails(candidate, fails, options, stats, &normalized) &&
+        normalized.size() <= best.size()) {
+      best = std::move(normalized);
+    }
+  }
+
+  if (stats_out) *stats_out = stats;
+  return best;
+}
+
+}  // namespace race2d

@@ -1,0 +1,55 @@
+// Delta-debugging shrinker for failing traces.
+//
+// ddmin over event ranges, then a per-event simplification pass. A naive cut
+// almost never yields a valid trace (joins lose their target, halts vanish,
+// task ids go sparse), so every candidate passes through normalize_trace — a
+// repair pass that keeps the longest discipline-respecting subsequence of
+// the cut and then closes the execution (halts the active chain, drains the
+// root's joins, balances finish regions). Candidates are re-linted after
+// every cut — normalize guarantees validity by construction, but the lint is
+// cheap and turns a normalize bug into a loud self-check instead of a bogus
+// "minimal" reproducer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+/// Returns true when the candidate still exhibits the failure being chased.
+/// The shrinker only ever calls it with lint-clean traces.
+using FailurePredicate = std::function<bool(const Trace&)>;
+
+struct ShrinkOptions {
+  /// Global cap on predicate evaluations (each one replays every detector).
+  std::size_t max_candidates = 2000;
+  /// After structural minimization, relabel locations to 0,1,2,... in order
+  /// of first appearance and retry (cosmetic, helps corpus readability).
+  bool canonicalize_locs = true;
+};
+
+struct ShrinkStats {
+  std::size_t candidates = 0;  ///< predicate evaluations spent
+  std::size_t accepted = 0;    ///< candidates that kept the failure
+};
+
+/// Repairs an arbitrary event sequence into a valid Figure-9 trace: drops
+/// events that violate the serial fork-first line discipline (unknown or
+/// halted actors, out-of-order actors, non-left-neighbor joins, unbalanced
+/// finish ends), renumbers forked children densely in fork order, then
+/// closes the execution so the root joins every survivor and halts last.
+/// Idempotent on valid traces (modulo the closing epilogue it appends when
+/// one is missing).
+Trace normalize_trace(const Trace& raw);
+
+/// Minimizes `failing` while `fails` keeps returning true. `fails(failing)`
+/// must hold (checked; returns `failing` unchanged otherwise — after
+/// normalization, so callers must pass an already-normalized reproducer or
+/// accept the normalized form). Deterministic: no randomness anywhere.
+Trace shrink_trace(const Trace& failing, const FailurePredicate& fails,
+                   const ShrinkOptions& options = {},
+                   ShrinkStats* stats = nullptr);
+
+}  // namespace race2d

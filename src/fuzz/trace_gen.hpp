@@ -1,0 +1,29 @@
+// Structured trace generators: FuzzPlan -> recorded execution trace.
+//
+// Each TraceShape is a biased random program builder over the Figure-9 line
+// discipline; the program runs under the SerialExecutor with a TraceRecorder
+// attached, so every generated trace is valid BY CONSTRUCTION (the executor
+// enforces the discipline) and deterministic: all randomness comes from the
+// plan's seed through a private xoshiro stream. In particular the future
+// shape allocates its cell locations from a plan-owned range rather than
+// Future<T>'s process-global counter — byte-for-byte reproducibility across
+// processes is the whole point of a seeded fuzzer.
+#pragma once
+
+#include "fuzz/fuzz_plan.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+struct GeneratedTrace {
+  Trace trace;
+  TraceFeatures features;
+};
+
+/// Synthesizes the plan's program and records its serial execution. The
+/// result lints clean for every plan (checked by fuzz_selftest across
+/// shapes; a violation here is itself a reportable bug in the generator or
+/// the linter).
+GeneratedTrace generate_trace(const FuzzPlan& plan);
+
+}  // namespace race2d

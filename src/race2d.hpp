@@ -67,3 +67,10 @@
 #include "verify/trace_lint.hpp"      // §5 line-discipline trace linter
 #include "workloads/generators.hpp"   // random structured programs
 #include "workloads/kernels.hpp"      // fib / LCS wavefront / staged pipeline
+#include "fuzz/fuzz_plan.hpp"         // seeded fuzz plans (one uint64 = one run)
+#include "fuzz/trace_gen.hpp"         // structured trace generators
+#include "fuzz/mutate.hpp"            // type-aware trace mutations
+#include "fuzz/differential.hpp"      // cross-detector differential panel
+#include "fuzz/shrink.hpp"            // ddmin shrinker + trace repair
+#include "fuzz/corpus.hpp"            // regression corpus replay
+#include "fuzz/fuzz_driver.hpp"       // the campaign loop (race2d_fuzz CLI)

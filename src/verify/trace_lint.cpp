@@ -63,10 +63,17 @@ class LintPass {
             const char* hint = "") {
     const LintSeverity sev = lint_code_severity(code);
     if (sev == LintSeverity::kWarning && !options_.warnings) return;
-    if (result_.diagnostics.size() >= options_.max_diagnostics) {
+    // The cap applies PER SEVERITY: a retire-churning trace can emit
+    // thousands of hygiene warnings, and they must never crowd out a real
+    // error later in the trace (found by fuzzing: a corrupt trace lint-ed
+    // "clean" because W101s filled the cap first).
+    std::size_t& emitted = sev == LintSeverity::kWarning ? warnings_emitted_
+                                                         : errors_emitted_;
+    if (emitted >= options_.max_diagnostics) {
       result_.truncated = true;
       return;
     }
+    ++emitted;
     std::ostringstream os;
     compose(os);
     result_.diagnostics.push_back({code, sev, index, os.str(), hint});
@@ -300,6 +307,8 @@ class LintPass {
   const Trace& trace_;
   const TraceLintOptions& options_;
   LintResult result_;
+  std::size_t warnings_emitted_ = 0;
+  std::size_t errors_emitted_ = 0;
   std::vector<TaskState> tasks_;
   std::vector<TaskId> stack_;  ///< running tasks, innermost (current) last
   FlatHashMap<Loc, std::uint8_t> locs_;

@@ -33,8 +33,11 @@
 namespace race2d {
 
 struct TraceLintOptions {
-  /// Stop collecting after this many diagnostics (the result is flagged
-  /// truncated). A corrupt trace can cascade; the cap keeps linting O(n).
+  /// Stop collecting after this many diagnostics PER SEVERITY CLASS (the
+  /// result is flagged truncated). A corrupt trace can cascade; the cap
+  /// keeps linting O(n). Counting warnings and errors separately guarantees
+  /// a warning flood (retire hygiene on a churny trace) can never mask an
+  /// error-level finding further down the trace.
   std::size_t max_diagnostics = 64;
   /// Collect warning-level findings (retire hygiene). Errors always are.
   bool warnings = true;

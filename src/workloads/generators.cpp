@@ -21,6 +21,7 @@ struct GenState {
   AccessMode mode;
   std::size_t live_forks = 1;       // root counts as one
   std::size_t next_private = 0;     // per-task private block allocator
+  double race_prob = 0;             // near_miss_program only
 };
 
 TaskBody make_task_body(std::shared_ptr<GenState> st, std::size_t depth,
@@ -90,6 +91,48 @@ TaskBody random_program(const ProgramParams& params) {
 
 TaskBody race_free_program(const ProgramParams& params) {
   return make_program(params, AccessMode::kPrivateWrites);
+}
+
+TaskBody near_miss_program(const ProgramParams& params, double race_prob) {
+  auto st = std::make_shared<GenState>();
+  st->rng.reseed(params.seed);
+  st->params = params;
+  st->mode = AccessMode::kSharedPool;
+
+  // Recursive near-miss node: descend first (building a chain of pending
+  // children), then resolve each fork as ordered (join before the parent's
+  // write) or racing (write before the join).
+  struct Maker {
+    static TaskBody node(std::shared_ptr<GenState> st, std::size_t depth,
+                         bool is_root) {
+      return [st, depth, is_root](TaskContext& ctx) {
+        const ProgramParams& p = st->params;
+        for (std::size_t a = 0; a < p.max_actions; ++a) {
+          if (depth >= p.max_depth || st->live_forks >= p.max_tasks) break;
+          if (!st->rng.chance(p.fork_prob)) continue;
+          const Loc contested = st->rng.below(p.loc_pool);
+          ++st->live_forks;
+          ctx.fork([st, depth, contested](TaskContext& child) {
+            Maker::node(st, depth + 1, false)(child);
+            child.write(contested);
+          });
+          if (st->rng.chance(st->race_prob)) {
+            ctx.write(contested);  // before the join: a real race
+            ctx.join_left();
+          } else {
+            ctx.join_left();
+            ctx.write(contested);  // after the join: the near miss
+          }
+        }
+        if (is_root) {
+          while (ctx.join_left()) {
+          }
+        }
+      };
+    }
+  };
+  st->race_prob = race_prob;
+  return Maker::node(st, 0, /*is_root=*/true);
 }
 
 TaskBody racy_program(const ProgramParams& params, Loc race_loc) {

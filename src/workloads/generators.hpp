@@ -38,4 +38,12 @@ TaskBody race_free_program(const ProgramParams& params);
 /// parent before the join.
 TaskBody racy_program(const ProgramParams& params, Loc race_loc);
 
+/// Near-miss race densities: every fork's child and parent WRITE the same
+/// location, but the parent almost always joins the child first, sealing the
+/// pair with an ordering edge — except with probability `race_prob`, where
+/// the parent writes before the join and the pair is a genuine race. The
+/// resulting traces are maximally adversarial for suprema bookkeeping: every
+/// access is a conflict candidate, and verdicts hinge on single join edges.
+TaskBody near_miss_program(const ProgramParams& params, double race_prob);
+
 }  // namespace race2d

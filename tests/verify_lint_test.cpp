@@ -194,6 +194,32 @@ TEST(TraceLint, DiagnosticCapTruncates) {
   EXPECT_TRUE(r.truncated);
 }
 
+TEST(TraceLint, WarningFloodCannotMaskErrors) {
+  // Regression test for a bug found by the fuzzer: the diagnostic cap used
+  // to be shared across severities, so a retire-churny trace could fill the
+  // cap with W101 warnings and lint "clean" despite an error-level defect
+  // further down. The cap is now per severity class.
+  Trace t;
+  for (Loc l = 1; l <= 100; ++l) {
+    t.push_back(write(0, l));
+    t.push_back(retire(0, l));
+    t.push_back(read(0, l));  // access after retire: warning W101
+  }
+  t.push_back(read(42, 0x1));  // unknown actor: error L001, event 300
+  t.push_back(halt(0));
+
+  const LintResult capped = lint_trace(t);  // default cap 64 < 100 warnings
+  EXPECT_FALSE(capped.ok());
+  EXPECT_TRUE(has_code(capped, LintCode::kUnknownActor)) << to_string(capped);
+  EXPECT_TRUE(capped.truncated);
+
+  TraceLintOptions tight;
+  tight.max_diagnostics = 2;  // even a tiny cap cannot hide the error
+  const LintResult r = TraceLinter(tight).run(t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r, LintCode::kUnknownActor)) << to_string(r);
+}
+
 TEST(TraceLint, DiagnosticsRenderCodeAndIndex) {
   const LintResult r = lint_trace({fork(0, 5), halt(0)});
   ASSERT_FALSE(r.ok());
@@ -244,6 +270,34 @@ TEST(LintGate, LoadTraceTextLintsButParseDoesNot) {
   } catch (const TraceLintError& e) {
     EXPECT_TRUE(has_code(e.result(), LintCode::kTruncatedTrace));
   }
+}
+
+TEST(LintGate, SkipGateCorruptTraceFailsStructurally) {
+  // LintGate::kSkip waives the lint pass, not memory safety: replaying a
+  // corrupt trace with the gate open must surface a structured
+  // ContractViolation, never an assert or out-of-bounds access.
+  const Trace unknown_task = {read(5, 0x1), halt(0)};
+  EXPECT_THROW(detect_races_trace(unknown_task, ReportPolicy::kAll,
+                                  LintGate::kSkip),
+               ContractViolation);
+
+  const Trace unknown_writer = {write(7, 0x1), halt(0)};
+  EXPECT_THROW(detect_races_trace(unknown_writer, ReportPolicy::kAll,
+                                  LintGate::kSkip),
+               ContractViolation);
+}
+
+TEST(LintGate, SkipGateCorruptTraceShardedFailsStructurally) {
+  // The sharded analyzer prescans under kSkip and must likewise reject a
+  // trace whose task ids fall outside the dense fork range.
+  const Trace bad = {write(7, 0x1), halt(0)};
+  EXPECT_THROW(
+      detect_races_parallel(bad, 4, ReportPolicy::kAll, LintGate::kSkip),
+      ContractViolation);
+  const Trace bad_join = {fork(0, 1), halt(1), join(0, 9), halt(0)};
+  EXPECT_THROW(
+      detect_races_parallel(bad_join, 2, ReportPolicy::kAll, LintGate::kSkip),
+      ContractViolation);
 }
 
 TEST(TraceIoParse, TaskIdOutOfRangeRejected) {
