@@ -135,5 +135,3 @@ BENCHMARK(BM_Ablation_ShadowFlatMap)->Arg(256)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_Ablation_ShadowStdUnorderedMap)->Arg(256)->Arg(4096)->Arg(65536);
 
 }  // namespace
-
-BENCHMARK_MAIN();

@@ -61,5 +61,3 @@ BENCHMARK(BM_Access_VectorClock)->RangeMultiplier(4)->Range(16, 4096);
 BENCHMARK(BM_Access_FastTrack)->RangeMultiplier(4)->Range(16, 4096);
 
 }  // namespace
-
-BENCHMARK_MAIN();

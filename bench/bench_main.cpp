@@ -1,0 +1,37 @@
+// Shared entry point for every bench_* binary. Behaves exactly like
+// BENCHMARK_MAIN(), plus a `--json OUT` shorthand that expands to
+// `--benchmark_out=OUT --benchmark_out_format=json`, so scripts/bench.sh
+// can request machine-readable results with one uniform flag.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> expanded;
+  expanded.reserve(args.size() + 1);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      expanded.push_back("--benchmark_out=" + args[++i]);
+      expanded.push_back("--benchmark_out_format=json");
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      expanded.push_back("--benchmark_out=" + args[i].substr(7));
+      expanded.push_back("--benchmark_out_format=json");
+    } else {
+      expanded.push_back(args[i]);
+    }
+  }
+
+  std::vector<char*> cargv;
+  cargv.reserve(expanded.size());
+  for (std::string& a : expanded) cargv.push_back(a.data());
+  int cargc = static_cast<int>(cargv.size());
+
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -56,5 +56,3 @@ void BM_SupremaDetectorSameWorkload(benchmark::State& state) {
 BENCHMARK(BM_SupremaDetectorSameWorkload)->RangeMultiplier(4)->Range(4, 1024);
 
 }  // namespace
-
-BENCHMARK_MAIN();

@@ -64,5 +64,3 @@ BENCHMARK(BM_FibParallel)
     ->UseRealTime();
 
 }  // namespace
-
-BENCHMARK_MAIN();

@@ -64,5 +64,3 @@ void BM_LcsWavefrontDetected(benchmark::State& state) {
 BENCHMARK(BM_LcsWavefrontDetected)->Arg(128)->Arg(256)->Arg(512);
 
 }  // namespace
-
-BENCHMARK_MAIN();

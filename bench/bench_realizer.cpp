@@ -61,5 +61,3 @@ void BM_RealizerRandomForkJoin(benchmark::State& state) {
 BENCHMARK(BM_RealizerRandomForkJoin)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
-
-BENCHMARK_MAIN();

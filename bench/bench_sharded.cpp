@@ -108,5 +108,3 @@ BENCHMARK(BM_ShardedReplay)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
-
-BENCHMARK_MAIN();

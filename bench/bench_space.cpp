@@ -68,5 +68,3 @@ BENCHMARK(BM_Space_VectorClock)->RangeMultiplier(4)->Range(16, 16384);
 BENCHMARK(BM_Space_FastTrack)->RangeMultiplier(4)->Range(16, 16384);
 
 }  // namespace
-
-BENCHMARK_MAIN();

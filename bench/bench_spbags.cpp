@@ -50,5 +50,3 @@ BENCHMARK(BM_SpBagsOnFib)->DenseRange(14, 22, 2);
 BENCHMARK(BM_Suprema2DOnFib)->DenseRange(14, 22, 2);
 
 }  // namespace
-
-BENCHMARK_MAIN();

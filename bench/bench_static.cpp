@@ -1,0 +1,150 @@
+// E11 — static pass throughput. Three costs are measured separately:
+//
+// * the interval abstract interpretation that proves the Figure 9 line
+//   discipline for ALL concretizations without enumerating any (scales
+//   with skeleton size, not config count),
+// * symbolic MHP engine construction — config enumeration, marker-mode
+//   lowering, Theorem-6 task graph and reachability oracle per config
+//   (scales with the config space), and
+// * the full race scan including witness concretization and dynamic
+//   confirmation (OnlineRaceDetector replay + certify_races per finding).
+//
+// A fuzz-agreement benchmark drives check_static_dynamic_agreement on
+// seeded generator skeletons, the same cross-check the test suite gates
+// on, and reports skeletons/sec plus the witness-confirmation rate.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "static/discipline.hpp"
+#include "static/mhp.hpp"
+#include "static/race_scan.hpp"
+#include "static/skeleton.hpp"
+#include "static/skeleton_fuzz.hpp"
+
+namespace {
+
+using namespace race2d;
+
+// n concurrent readers over a shared block with one racing writer in the
+// parent between the forks and the joins: n static race pairs, all real.
+Skeleton make_wide(std::size_t n) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < n; ++i)
+    body.push_back(fork({read(0x100, 0x13f)}));
+  body.push_back(write(0x100, 0x13f));
+  for (std::size_t i = 0; i < n; ++i) body.push_back(join_left());
+  return Skeleton{seq(std::move(body))};
+}
+
+// n sequential fork/join pairs on task-private blocks: race-free, clean
+// under the discipline, and provable by the interval analysis alone.
+Skeleton make_clean_ladder(std::size_t n) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Loc base = 0x1000 + static_cast<Loc>(i) * 0x10;
+    body.push_back(fork({write(base, base + 7)}));
+    body.push_back(read(base + 8, base + 15));
+    body.push_back(join_left());
+  }
+  return Skeleton{seq(std::move(body))};
+}
+
+// k independent two-way branches around a fork/join core: 2^k configs, so
+// engine construction cost is config-enumeration bound.
+Skeleton make_branchy(std::size_t k) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Loc base = 0x2000 + static_cast<Loc>(i) * 0x20;
+    body.push_back(branch({read(base, base + 3), write(base, base + 3)}));
+  }
+  body.push_back(fork({write(0x2000, 0x2003)}));
+  body.push_back(join_left());
+  return Skeleton{seq(std::move(body))};
+}
+
+void BM_DisciplineIntervalProof(benchmark::State& state) {
+  const Skeleton s = make_clean_ladder(static_cast<std::size_t>(state.range(0)));
+  bool proved = false;
+  for (auto _ : state) {
+    const DisciplineReport rep = verify_discipline(s);
+    proved = rep.clean && rep.proved_by_intervals;
+    benchmark::DoNotOptimize(proved);
+  }
+  state.counters["nodes"] = static_cast<double>(s.root.children.size());
+  state.counters["interval_proof"] = proved ? 1.0 : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_MhpEngineBuild(benchmark::State& state) {
+  const Skeleton s = make_branchy(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t configs = 0;
+  for (auto _ : state) {
+    StaticMhpEngine engine(s);
+    configs = engine.configs_total();
+    benchmark::DoNotOptimize(engine.models().size());
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * configs));
+}
+
+void BM_RaceScanConfirmed(benchmark::State& state) {
+  const Skeleton s = make_wide(static_cast<std::size_t>(state.range(0)));
+  std::size_t findings = 0;
+  std::size_t confirmed = 0;
+  for (auto _ : state) {
+    const StaticRaceResult res = analyze_skeleton(s);
+    findings = res.findings.size();
+    confirmed = 0;
+    for (const StaticRaceFinding& f : res.findings)
+      if (f.confirmed) ++confirmed;
+    benchmark::DoNotOptimize(findings);
+  }
+  state.counters["findings"] = static_cast<double>(findings);
+  state.counters["confirm_rate"] =
+      findings == 0 ? 1.0
+                    : static_cast<double>(confirmed) /
+                          static_cast<double>(findings);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * findings));
+}
+
+void BM_FuzzAgreement(benchmark::State& state) {
+  // The per-seed cost of the static-vs-dynamic cross-check (without the
+  // differential panel; the test suite runs that flavor).
+  std::uint64_t seed = 1;
+  std::size_t checked = 0;
+  for (auto _ : state) {
+    const SkelFuzzPlan plan = SkelFuzzPlan::from_seed(seed++);
+    const Skeleton s = generate_skeleton(plan);
+    const AgreementResult agree = check_static_dynamic_agreement(s);
+    if (!agree.ok) state.SkipWithError("static/dynamic mismatch");
+    checked += agree.configs_checked;
+    benchmark::DoNotOptimize(agree.racy_configs);
+  }
+  state.counters["configs_checked"] = static_cast<double>(checked);
+  state.counters["skeletons_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_DisciplineIntervalProof)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MhpEngineBuild)->Arg(4)->Arg(8)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_RaceScanConfirmed)->Arg(4)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_FuzzAgreement)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -105,5 +105,3 @@ void BM_SupremaVsBfsReachability(benchmark::State& state) {
 BENCHMARK(BM_SupremaVsBfsReachability)->Arg(16)->Arg(32)->Arg(64);
 
 }  // namespace
-
-BENCHMARK_MAIN();

@@ -61,5 +61,3 @@ void BM_LabeledUnionFindMixed(benchmark::State& state) {
 BENCHMARK(BM_LabeledUnionFindMixed)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
 
 }  // namespace
-
-BENCHMARK_MAIN();

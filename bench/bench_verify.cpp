@@ -93,5 +93,3 @@ void BM_CertifyAndCheckFirstRace(benchmark::State& state) {
 BENCHMARK(BM_CertifyAndCheckFirstRace);
 
 }  // namespace
-
-BENCHMARK_MAIN();

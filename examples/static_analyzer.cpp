@@ -1,0 +1,257 @@
+// Static race analyzer: load a program skeleton (text format, see
+// static/skeleton_text.hpp), verify the Figure-9 line discipline over every
+// concretization, answer may-happen-in-parallel queries, and report
+// potential races — each with a concretized witness trace the dynamic
+// detector confirms.
+//
+//   $ example_static_analyzer --skeleton FILE        discipline + race summary
+//   $ example_static_analyzer --skeleton FILE --mhp  region-level MHP table
+//   $ example_static_analyzer --skeleton FILE --races --witness-out DIR
+//   $ example_static_analyzer --demo                 the Figure 2 program
+//   $ example_static_analyzer --emit                 print the demo skeleton
+//   $ example_static_analyzer --fuzz N               static-vs-dynamic sweep
+//
+// Add --max-configs=N to widen the concretization cap (default 4096).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "race2d.hpp"
+
+namespace {
+
+using namespace race2d;
+
+Skeleton demo_skeleton() {
+  // Figure 2 as a skeleton: A reads [0x10, 0x17] concurrently with the
+  // root's later write — C joins its SIBLING A, so the root's write is
+  // unordered with A's read. One loop makes the program a family.
+  using namespace race2d::skel;
+  return Skeleton{seq({
+      fork({read(0x10, 0x17)}),        // A
+      read(0x10, 0x10),                // B (root)
+      fork({join_left()}),             // C: joins A, its left neighbor
+      loop(1, 2, {write(0x10, 0x17)}), // D (root): races with A
+      join_left(),                     // root joins C
+  })};
+}
+
+int print_discipline(const Skeleton& s, std::size_t max_configs) {
+  DisciplineOptions opts;
+  opts.max_configs = max_configs;
+  const DisciplineReport report = verify_discipline(s, opts);
+  std::string lowered;
+  if (report.configs_checked != 0)
+    lowered = ", " + std::to_string(report.configs_checked) +
+              " concretization(s) lowered";
+  std::printf("discipline: %s (%s%s)\n",
+              report.clean ? "clean — every concretization obeys the line"
+                           : "NOT proven clean",
+              report.proved_by_intervals ? "interval proof"
+              : report.exact             ? "exhaustive enumeration"
+                                         : "verdict open",
+              lowered.c_str());
+  std::printf(
+      "root line effect: need in [%lld, %lld], delta in [%lld, %lld]\n",
+      static_cast<long long>(report.root_effect.need_lo),
+      static_cast<long long>(report.root_effect.need_hi),
+      static_cast<long long>(report.root_effect.delta_lo),
+      static_cast<long long>(report.root_effect.delta_hi));
+  for (const LintDiagnostic& d : report.lint.diagnostics)
+    std::printf("  %s\n", to_string(d).c_str());
+  if (report.has_counterexample) {
+    std::printf("counterexample: %s — schedule prefix (%zu events):\n",
+                to_string(s, report.counterexample_config).c_str(),
+                report.counterexample.trace.size());
+    write_trace_text(std::cout, report.counterexample.trace);
+  }
+  return report.lint.ok() ? 0 : 1;
+}
+
+void print_mhp(const Skeleton& s, std::size_t max_configs) {
+  StaticMhpOptions opts;
+  opts.max_configs = max_configs;
+  const StaticMhpEngine engine(s, opts);
+  std::printf("concretizations: %llu total, %zu modeled, %zu skipped%s\n",
+              static_cast<unsigned long long>(engine.configs_total()),
+              engine.models().size(), engine.skipped_configs(),
+              engine.truncated() ? " (capped)" : "");
+  const SkeletonIndex idx = index_skeleton(s);
+  std::vector<std::size_t> access_nodes;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const SkelKind k = idx.nodes[i]->kind;
+    if (k == SkelKind::kAccess || k == SkelKind::kFuture ||
+        k == SkelKind::kGet)
+      access_nodes.push_back(i);
+  }
+  std::printf("MHP over %zu access-bearing node(s):\n", access_nodes.size());
+  for (const std::size_t a : access_nodes) {
+    for (const std::size_t b : access_nodes) {
+      if (b < a) continue;
+      const MhpVerdict v = engine.may_happen_in_parallel(a, b);
+      if (!v.may) continue;
+      std::printf(
+          "  node %zu (%s %s) || node %zu (%s %s)  [witness regions #%zu, "
+          "#%zu]\n",
+          a, to_string(idx.nodes[a]->kind),
+          to_string(idx.nodes[a]->interval).c_str(), b,
+          to_string(idx.nodes[b]->kind),
+          to_string(idx.nodes[b]->interval).c_str(), v.ordinal_a,
+          v.ordinal_b);
+    }
+  }
+}
+
+int print_races(const Skeleton& s, std::size_t max_configs,
+                const char* witness_dir) {
+  StaticRaceOptions opts;
+  opts.max_configs = max_configs;
+  const StaticRaceResult result = analyze_skeleton(s, opts);
+  std::printf("races: %zu finding(s) over %zu concretization(s)%s\n",
+              result.findings.size(), result.configs_scanned,
+              result.truncated ? " (config space capped)" : "");
+  std::size_t unconfirmed = 0;
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const StaticRaceFinding& f = result.findings[i];
+    std::printf("  [%zu] %s\n      under %s\n", i, to_string(f).c_str(),
+                to_string(s, f.config).c_str());
+    if (!f.confirmed) ++unconfirmed;
+    if (witness_dir != nullptr) {
+      const std::string path = std::string(witness_dir) + "/witness-" +
+                               std::to_string(i) + ".trace";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 2;
+      }
+      out << "# " << to_string(f) << "\n# under "
+          << to_string(s, f.config) << '\n';
+      write_trace_text(out, f.witness);
+      std::printf("      witness -> %s\n", path.c_str());
+    }
+  }
+  if (unconfirmed != 0)
+    std::printf("%zu finding(s) FAILED dynamic confirmation (bug!)\n",
+                unconfirmed);
+  // Linter convention: findings exit 1 so scripts can gate on the verdict.
+  return result.any_race() ? 1 : 0;
+}
+
+int fuzz_sweep(std::size_t count, std::size_t max_configs) {
+  std::size_t racy_skeletons = 0, configs = 0, mismatches = 0;
+  for (std::uint64_t seed = 1; seed <= count; ++seed) {
+    const SkelFuzzPlan plan = SkelFuzzPlan::from_seed(seed);
+    const Skeleton s = generate_skeleton(plan);
+    StaticRaceOptions opts;
+    opts.max_configs = max_configs;
+    const AgreementResult agree =
+        check_static_dynamic_agreement(s, opts, /*differential=*/false);
+    if (!agree.ok) {
+      ++mismatches;
+      std::printf("MISMATCH at %s\n  %s\n", to_string(plan).c_str(),
+                  agree.failure.c_str());
+      continue;
+    }
+    configs += agree.configs_checked;
+    if (agree.racy_configs > 0) ++racy_skeletons;
+  }
+  std::printf(
+      "%zu skeleton(s), %zu concretization(s) cross-checked, %zu racy, "
+      "%zu mismatch(es)\n",
+      count, configs, racy_skeletons, mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* input = nullptr;
+  const char* witness_dir = nullptr;
+  std::size_t max_configs = 4096;
+  std::size_t fuzz_count = 0;
+  bool demo = false, emit = false, mhp = false, races = false;
+  bool discipline = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skeleton") == 0 && i + 1 < argc) {
+      input = argv[++i];
+    } else if (std::strcmp(argv[i], "--witness-out") == 0 && i + 1 < argc) {
+      witness_dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--max-configs=", 14) == 0) {
+      max_configs =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 14, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--fuzz=", 7) == 0) {
+      fuzz_count =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--fuzz") == 0 && i + 1 < argc) {
+      fuzz_count =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--emit") == 0) {
+      emit = true;
+    } else if (std::strcmp(argv[i], "--mhp") == 0) {
+      mhp = true;
+    } else if (std::strcmp(argv[i], "--races") == 0) {
+      races = true;
+    } else if (std::strcmp(argv[i], "--discipline") == 0) {
+      discipline = true;
+    } else {
+      input = nullptr;
+      demo = false;
+      break;
+    }
+  }
+  if (emit) {
+    write_skeleton_text(std::cout, demo_skeleton());
+    return 0;
+  }
+  if (fuzz_count > 0) return fuzz_sweep(fuzz_count, max_configs);
+  if (!demo && input == nullptr) {
+    std::fprintf(
+        stderr,
+        "usage: %s (--skeleton FILE | --demo) [--discipline] [--mhp] "
+        "[--races] [--witness-out DIR] [--max-configs=N]\n"
+        "       %s --emit | --fuzz N\n"
+        "skeleton format: seq/fork/join/spawn/sync/finish/async/future/get/"
+        "pipeline + read/write/retire lo [hi], loop min max, branch\n",
+        argv[0], argv[0]);
+    return 2;
+  }
+  try {
+    Skeleton s;
+    if (demo) {
+      s = demo_skeleton();
+    } else {
+      std::ifstream in(input);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", input);
+        return 2;
+      }
+      s = load_skeleton_text(in);
+    }
+    const SkeletonTraits traits = skeleton_traits(s);
+    std::printf(
+        "skeleton: %zu node(s), %zu region(s), %zu loop(s), %zu branch(es)\n",
+        index_skeleton(s).size(), traits.region_count, traits.loop_count,
+        traits.branch_count);
+    const bool all = !mhp && !races && !discipline;
+    int rc = 0;
+    if (all || discipline) rc = print_discipline(s, max_configs);
+    if (all || mhp) print_mhp(s, max_configs);
+    if (all || races) {
+      const int race_rc = print_races(s, max_configs, witness_dir);
+      rc = rc != 0 ? rc : race_rc;
+    }
+    return rc;
+  } catch (const race2d::TraceLintError& e) {
+    std::fprintf(stderr, "%s\n", to_string(e.result()).c_str());
+    return 1;
+  } catch (const race2d::ContractViolation& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark snapshots, tracked in-repo so the perf
+# trajectory is visible across PRs. Writes google-benchmark JSON via the
+# shared `--json OUT` flag (bench/bench_main.cpp):
+#
+#   BENCH_static.json   bench_static  — static pass throughput (E11)
+#   BENCH_sharded.json  bench_sharded — sharded replay scaling (E8b)
+#
+# Usage: scripts/bench.sh [--quick]
+#
+# --quick caps per-benchmark time (0.05s) for smoke runs; the committed
+# snapshots are produced without it. Numbers are machine-dependent — treat
+# cross-commit deltas as trends, not absolutes (reference machine:
+# EXPERIMENTS.md E7).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+extra=()
+if [[ "${1:-}" == "--quick" ]]; then
+  extra+=(--benchmark_min_time=0.05)
+fi
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_static bench_sharded
+
+echo "== bench_static -> BENCH_static.json"
+./build/bench/bench_static --json BENCH_static.json \
+  --benchmark_repetitions=1 "${extra[@]}"
+
+echo "== bench_sharded -> BENCH_sharded.json"
+./build/bench/bench_sharded --json BENCH_sharded.json \
+  --benchmark_repetitions=1 "${extra[@]}"
+
+echo "bench.sh: wrote BENCH_static.json BENCH_sharded.json"

@@ -56,6 +56,13 @@
 #include "runtime/spawn_sync.hpp"     // Cilk-style sugar (§2.1, eq. 11)
 #include "runtime/trace.hpp"          // traces & task graphs (Theorem 6)
 #include "runtime/trace_io.hpp"       // text (de)serialization of traces
+#include "static/skeleton.hpp"        // symbolic program skeletons (IR)
+#include "static/concretize.hpp"      // skeleton × config → concrete trace
+#include "static/discipline.hpp"      // static Figure-9 discipline verifier
+#include "static/mhp.hpp"             // symbolic may-happen-in-parallel
+#include "static/race_scan.hpp"       // static races w/ concretized witnesses
+#include "static/skeleton_text.hpp"   // text (de)serialization of skeletons
+#include "static/skeleton_fuzz.hpp"   // seeded random skeletons
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"

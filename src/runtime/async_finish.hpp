@@ -59,8 +59,16 @@ class FinishScope {
 
 class TransitiveFinishScope {
  public:
+  /// Requires a context with exact live-task accounting (the serial
+  /// executor); under the parallel executor live_tasks() is approximate and
+  /// the destructor's drain would consume the wrong number of tasks, so
+  /// construction throws ContractViolation instead.
   explicit TransitiveFinishScope(TaskContext& ctx)
       : ctx_(ctx), base_live_(ctx.live_tasks()) {
+    R2D_REQUIRE(ctx.exact_live_tasks(),
+                "TransitiveFinishScope needs exact live-task accounting: run "
+                "under the SerialExecutor (use FinishScope for parallel "
+                "execution)");
     ctx_.finish_begin_marker();
   }
 

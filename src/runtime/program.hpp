@@ -76,6 +76,12 @@ class TaskContext {
   /// finish scope uses its delta to drain escaped asyncs.
   virtual std::size_t live_tasks() const = 0;
 
+  /// True when live_tasks() is an exact line length rather than an
+  /// approximation. Constructs whose drain logic depends on exact counts
+  /// (TransitiveFinishScope) must check this and refuse approximate
+  /// contexts instead of silently over- or under-joining.
+  virtual bool exact_live_tasks() const { return false; }
+
   virtual TaskId id() const = 0;
 
   // -- typed convenience wrappers ------------------------------------------

@@ -72,6 +72,8 @@ class SerialContext final : public TaskContext {
 
   std::size_t live_tasks() const override { return state_.line.live_count(); }
 
+  bool exact_live_tasks() const override { return true; }
+
   TaskId id() const override { return self_; }
 
   void run_task(TaskId task, TaskBody body) {

@@ -1,0 +1,375 @@
+#include "static/concretize.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "runtime/pipeline.hpp"
+#include "runtime/serial_executor.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+namespace {
+
+/// Thrown mid-lowering to abandon the serial run; the recorder keeps the
+/// event prefix, which becomes the counterexample schedule.
+struct LoweringAbort {
+  LintCode code;
+  std::size_t node;
+  std::string detail;
+};
+
+struct TaskState {
+  std::size_t outstanding_spawns = 0;
+  std::vector<std::size_t> finish_asyncs;  ///< one counter per open finish
+};
+
+class Lowerer {
+ public:
+  Lowerer(const Skeleton& s, const SkelConfig& config,
+          const LowerOptions& opts)
+      : config_(config), opts_(opts), idx_(index_skeleton(s)) {
+    R2D_REQUIRE(config.choice.size() == idx_.size(),
+                "SkelConfig does not address this skeleton (node count "
+                "mismatch; use enumerate_configs)");
+    sizes_.assign(idx_.size(), 0);
+    compute_size(0);
+  }
+
+  LoweredTrace run() {
+    LoweredTrace out;
+    TraceRecorder rec;
+    rec_ = &rec;
+    SerialExecutor exec(&rec);
+    try {
+      exec.run([this](TaskContext& ctx) {
+        TaskState st;
+        exec_node(ctx, 0, st, 0);
+        drain_spawns(ctx, st, 0, /*explicit_sync=*/false);
+        if (ctx.live_tasks() > 1) unjoined_ = ctx.live_tasks() - 1;
+      });
+    } catch (const LoweringAbort& a) {
+      out.trace = rec.take();
+      out.regions = std::move(regions_);
+      out.ok = false;
+      out.violation = a.code;
+      out.violating_node = a.node;
+      out.detail = a.detail;
+      return out;
+    } catch (const ContractViolation& e) {
+      // Executor-side guards (fork depth). Same budget class as S010.
+      out.trace = rec.take();
+      out.regions = std::move(regions_);
+      out.ok = false;
+      out.violation = LintCode::kSkelBudgetExceeded;
+      out.violating_node = 0;
+      out.detail = e.what();
+      return out;
+    }
+    out.trace = rec.take();
+    out.regions = std::move(regions_);
+    if (unjoined_ > 0) {
+      out.ok = false;
+      out.violation = LintCode::kSkelUnjoinedAtHalt;
+      out.violating_node = 0;
+      std::ostringstream os;
+      os << "root halts with " << unjoined_ << " unjoined task(s)";
+      out.detail = os.str();
+    }
+    return out;
+  }
+
+ private:
+  std::size_t compute_size(std::size_t id) {
+    std::size_t total = 1;
+    std::size_t child = id + 1;
+    for (std::size_t k = 0; k < idx_.nodes[id]->children.size(); ++k) {
+      const std::size_t sz = compute_size(child);
+      total += sz;
+      child += sz;
+    }
+    sizes_[id] = total;
+    return total;
+  }
+
+  void check_budget(std::size_t node) const {
+    if (rec_->trace().size() >= opts_.max_events) {
+      std::ostringstream os;
+      os << "concretization exceeds the " << opts_.max_events
+         << "-event budget";
+      throw LoweringAbort{LintCode::kSkelBudgetExceeded, node, os.str()};
+    }
+  }
+
+  static LocInterval shift(LocInterval iv, Loc offset) {
+    return {iv.lo + offset, iv.hi + offset};
+  }
+
+  void exec_children(TaskContext& ctx, std::size_t id, TaskState& st,
+                     Loc offset) {
+    std::size_t child = id + 1;
+    for (std::size_t k = 0; k < idx_.nodes[id]->children.size(); ++k) {
+      exec_node(ctx, child, st, offset);
+      child += sizes_[child];
+    }
+  }
+
+  /// A forked task's body: fresh state, the node's children, the implicit
+  /// end-of-body spawn drain (SpawnScope destructor semantics), and — for
+  /// futures — the hand-off write as the task's last action.
+  void run_task_body(TaskContext& ctx, std::size_t id, Loc offset) {
+    const SkelNode& n = *idx_.nodes[id];
+    TaskState st;
+    exec_children(ctx, id, st, offset);
+    drain_spawns(ctx, st, id, /*explicit_sync=*/false);
+    if (n.kind == SkelKind::kFuture)
+      emit_region(ctx, id, shift(n.interval, offset), n.access);
+  }
+
+  void drain_spawns(TaskContext& ctx, TaskState& st, std::size_t node,
+                    bool explicit_sync) {
+    const std::size_t joined = st.outstanding_spawns;
+    for (; st.outstanding_spawns > 0; --st.outstanding_spawns) {
+      if (!ctx.join_left())
+        throw LoweringAbort{LintCode::kSkelJoinUnderflow, node,
+                            "sync drain finds no left neighbor (an inner "
+                            "join consumed a spawned task)"};
+    }
+    if (explicit_sync || joined > 0) ctx.sync_marker();
+  }
+
+  void exec_node(TaskContext& ctx, std::size_t id, TaskState& st, Loc offset) {
+    check_budget(id);
+    const SkelNode& n = *idx_.nodes[id];
+    switch (n.kind) {
+      case SkelKind::kSeq:
+        exec_children(ctx, id, st, offset);
+        break;
+      case SkelKind::kAccess:
+        emit_region(ctx, id, shift(n.interval, offset), n.access);
+        break;
+      case SkelKind::kFork:
+      case SkelKind::kFuture:
+        ctx.fork([this, id, offset](TaskContext& c) {
+          run_task_body(c, id, offset);
+        });
+        break;
+      case SkelKind::kJoinLeft:
+        if (!ctx.join_left())
+          throw LoweringAbort{LintCode::kSkelJoinUnderflow, id,
+                              "join with no left neighbor"};
+        break;
+      case SkelKind::kLoop: {
+        const std::uint32_t count = config_.choice[id];
+        for (std::uint32_t k = 0; k < count; ++k)
+          exec_children(ctx, id, st, offset);
+        break;
+      }
+      case SkelKind::kBranch: {
+        const std::uint32_t arm = config_.choice[id];
+        R2D_ASSERT(arm < n.children.size());
+        std::size_t child = id + 1;
+        for (std::uint32_t k = 0; k < arm; ++k) child += sizes_[child];
+        exec_node(ctx, child, st, offset);
+        break;
+      }
+      case SkelKind::kSpawn:
+        ctx.fork([this, id, offset](TaskContext& c) {
+          run_task_body(c, id, offset);
+        });
+        ++st.outstanding_spawns;
+        break;
+      case SkelKind::kSync:
+        drain_spawns(ctx, st, id, /*explicit_sync=*/true);
+        break;
+      case SkelKind::kFinish: {
+        ctx.finish_begin_marker();
+        st.finish_asyncs.push_back(0);
+        exec_children(ctx, id, st, offset);
+        std::size_t asyncs = st.finish_asyncs.back();
+        st.finish_asyncs.pop_back();
+        for (; asyncs > 0; --asyncs) {
+          if (!ctx.join_left())
+            throw LoweringAbort{LintCode::kSkelJoinUnderflow, id,
+                                "finish drain finds no left neighbor (an "
+                                "inner join consumed an async)"};
+        }
+        ctx.sync_marker();
+        ctx.finish_end_marker();
+        break;
+      }
+      case SkelKind::kAsync:
+        ctx.fork([this, id, offset](TaskContext& c) {
+          run_task_body(c, id, offset);
+        });
+        R2D_ASSERT(!st.finish_asyncs.empty());
+        ++st.finish_asyncs.back();
+        break;
+      case SkelKind::kGet:
+        if (!ctx.join_left())
+          throw LoweringAbort{LintCode::kSkelJoinUnderflow, id,
+                              "get with no producer to the left"};
+        emit_region(ctx, id, shift(n.interval, offset), n.access);
+        break;
+      case SkelKind::kPipeline:
+        run_pipeline_node(ctx, id, offset);
+        break;
+    }
+  }
+
+  void run_pipeline_node(TaskContext& ctx, std::size_t id, Loc offset) {
+    const SkelNode& n = *idx_.nodes[id];
+    std::vector<StageFn> stages;
+    std::vector<bool> serial;
+    stages.reserve(n.children.size());
+    serial.reserve(n.children.size());
+    std::size_t child = id + 1;
+    for (std::size_t s = 0; s < n.children.size(); ++s) {
+      const std::size_t body = child;
+      const Loc stride = n.item_stride;
+      stages.push_back([this, body, offset, stride](TaskContext& c,
+                                                    std::size_t item) {
+        // Stage bodies are straight-line (validated: S007 bans task
+        // constructs inside), so the task state is inert.
+        TaskState st;
+        exec_node(c, body, st, offset + stride * static_cast<Loc>(item));
+      });
+      serial.push_back(n.stage_serial[s] != 0);
+      child += sizes_[child];
+    }
+    run_pipeline(ctx, stages, n.item_count, serial);
+  }
+
+  void emit_region(TaskContext& ctx, std::size_t node, LocInterval iv,
+                   AccessKind kind) {
+    const std::size_t ordinal = regions_.size();
+    regions_.push_back({node, ordinal, ctx.id(), iv, kind});
+    switch (opts_.mode) {
+      case LowerMode::kMarkers:
+        emit_access(ctx, kind, kMarkerLocBase + ordinal, node);
+        break;
+      case LowerMode::kWitness:
+        if (ordinal == opts_.witness_prior || ordinal == opts_.witness_racing)
+          emit_access(ctx, kind, opts_.witness_loc, node);
+        break;
+      case LowerMode::kFull:
+        for (Loc l = iv.lo;; ++l) {
+          emit_access(ctx, kind, l, node);
+          if (l == iv.hi) break;
+        }
+        break;
+    }
+  }
+
+  void emit_access(TaskContext& ctx, AccessKind kind, Loc loc,
+                   std::size_t node) {
+    check_budget(node);
+    switch (kind) {
+      case AccessKind::kRead:   ctx.read(loc); break;
+      case AccessKind::kWrite:  ctx.write(loc); break;
+      case AccessKind::kRetire: ctx.retire(loc); break;
+    }
+  }
+
+  const SkelConfig& config_;
+  const LowerOptions& opts_;
+  SkeletonIndex idx_;
+  std::vector<std::size_t> sizes_;  ///< subtree size per preorder id
+  std::vector<RegionInstance> regions_;
+  TraceRecorder* rec_ = nullptr;
+  std::size_t unjoined_ = 0;
+};
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > ~std::uint64_t{0} / a) return ~std::uint64_t{0};
+  return a * b;
+}
+
+}  // namespace
+
+std::string to_string(const Skeleton& s, const SkelConfig& config) {
+  const SkeletonIndex idx = index_skeleton(s);
+  std::ostringstream os;
+  os << "cfg{";
+  bool first = true;
+  for (std::size_t i = 0; i < idx.size() && i < config.choice.size(); ++i) {
+    const SkelKind kind = idx.nodes[i]->kind;
+    if (kind != SkelKind::kLoop && kind != SkelKind::kBranch) continue;
+    if (!first) os << ' ';
+    first = false;
+    os << 'n' << i << '=';
+    if (kind == SkelKind::kBranch) os << "arm";
+    os << config.choice[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+ConfigSpace enumerate_configs(const Skeleton& s, std::size_t max_configs) {
+  const SkeletonIndex idx = index_skeleton(s);
+  struct Dial {
+    std::size_t node;
+    std::uint32_t base;
+    std::uint32_t count;
+  };
+  std::vector<Dial> dials;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const SkelNode& n = *idx.nodes[i];
+    if (n.kind == SkelKind::kLoop) {
+      const std::uint32_t lo = static_cast<std::uint32_t>(n.min_iters);
+      const std::uint32_t hi = static_cast<std::uint32_t>(n.max_iters);
+      dials.push_back({i, lo, hi >= lo ? hi - lo + 1 : 1});
+    } else if (n.kind == SkelKind::kBranch) {
+      dials.push_back(
+          {i, 0, static_cast<std::uint32_t>(
+                     n.children.empty() ? 1 : n.children.size())});
+    }
+  }
+  ConfigSpace out;
+  out.total = 1;
+  for (const Dial& d : dials) out.total = sat_mul(out.total, d.count);
+
+  std::vector<std::uint32_t> odometer(dials.size(), 0);
+  for (;;) {
+    if (out.configs.size() >= max_configs) {
+      out.truncated = true;
+      break;
+    }
+    SkelConfig config;
+    config.choice.assign(idx.size(), 0);
+    for (std::size_t d = 0; d < dials.size(); ++d)
+      config.choice[dials[d].node] = dials[d].base + odometer[d];
+    out.configs.push_back(std::move(config));
+    // Advance the odometer (least-significant dial last).
+    std::size_t d = dials.size();
+    while (d > 0) {
+      --d;
+      if (++odometer[d] < dials[d].count) break;
+      odometer[d] = 0;
+      if (d == 0) return out;  // wrapped: space exhausted
+    }
+    if (dials.empty()) break;  // single configuration
+  }
+  return out;
+}
+
+LoweredTrace lower_skeleton(const Skeleton& s, const SkelConfig& config,
+                            const LowerOptions& options) {
+  require_valid_skeleton(s);
+  LoweredTrace out = Lowerer(s, config, options).run();
+  out.features = skeleton_features(s);
+  return out;
+}
+
+TraceFeatures skeleton_features(const Skeleton& s) {
+  const SkeletonTraits t = skeleton_traits(s);
+  TraceFeatures f;
+  f.spawn_sync = t.spawn_sync;
+  f.async_finish = t.async_finish;
+  f.has_retire = t.has_retire;
+  f.has_futures = t.has_futures;
+  f.has_pipeline = t.has_pipeline;
+  return f;
+}
+
+}  // namespace race2d

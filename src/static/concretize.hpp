@@ -1,0 +1,108 @@
+// Concretization: skeleton × configuration → concrete execution trace.
+//
+// A SkelConfig picks one iteration count per loop node and one arm per
+// branch node (applied uniformly at every dynamic occurrence — the
+// configuration semantics every pass in src/static/ shares). Lowering runs
+// the chosen program under the real SerialExecutor, so a concretized trace
+// is valid by the same construction the fuzzer's generators rely on, and
+// its canonical serial fork-first order IS the collapsed delayed traversal
+// the online detector consumes.
+//
+// Three lowering modes, all emitting the IDENTICAL structural event stream
+// (forks, joins, halts, markers) so region instance ordinals, task ids and
+// the Theorem-6 task graph agree across modes:
+//
+//   kMarkers — each access region emits ONE access at a private marker
+//              location. The task graph then has exactly one vertex per
+//              region instance: the substrate of the static MHP engine.
+//              Cost is Θ(regions), independent of interval width.
+//   kWitness — only two chosen region instances emit, both at one sampled
+//              location. The minimal trace that replays a static race
+//              finding through the dynamic detector.
+//   kFull    — every region emits its whole interval, one access per
+//              location. The exhaustive dynamic semantics of the
+//              concretization (used by the differential cross-check).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_plan.hpp"
+#include "runtime/trace.hpp"
+#include "static/skeleton.hpp"
+
+namespace race2d {
+
+/// One concretization choice per node (preorder id): loops hold the
+/// iteration count, branches the arm index, every other kind 0.
+struct SkelConfig {
+  std::vector<std::uint32_t> choice;
+
+  bool operator==(const SkelConfig&) const = default;
+};
+
+/// "cfg{}" or "cfg{n3=2 n7=arm1}" — only choice-bearing nodes are printed.
+std::string to_string(const Skeleton& s, const SkelConfig& config);
+
+struct ConfigSpace {
+  std::vector<SkelConfig> configs;  ///< all-min first, odometer order
+  bool truncated = false;           ///< stopped at the cap
+  std::uint64_t total = 0;          ///< full space size (saturating)
+};
+
+/// Enumerates the configuration space of `s`, capped at `max_configs`.
+ConfigSpace enumerate_configs(const Skeleton& s, std::size_t max_configs);
+
+enum class LowerMode : std::uint8_t { kMarkers, kWitness, kFull };
+
+/// Marker locations live in a reserved range so they can never collide with
+/// user access intervals or the future-cell allocator.
+inline constexpr Loc kMarkerLocBase = Loc{0x53} << 56;  // 'S' for static
+
+/// One dynamic occurrence of an access-bearing node under a configuration.
+struct RegionInstance {
+  std::size_t node = 0;     ///< preorder id of the access-bearing node
+  std::size_t ordinal = 0;  ///< 0-based position in canonical serial order
+  TaskId task = kInvalidTask;
+  LocInterval interval{0, 0};  ///< effective (pipeline item stride applied)
+  AccessKind kind = AccessKind::kRead;
+};
+
+struct LowerOptions {
+  LowerMode mode = LowerMode::kMarkers;
+  /// kWitness: the two region ordinals that emit, and the sampled location.
+  std::size_t witness_prior = 0;
+  std::size_t witness_racing = 0;
+  Loc witness_loc = 0;
+  /// Event budget per concretization; exceeding it aborts with S010.
+  std::size_t max_events = std::size_t{1} << 20;
+};
+
+struct LoweredTrace {
+  Trace trace;  ///< complete when ok; the violating prefix otherwise
+  std::vector<RegionInstance> regions;  ///< canonical serial order
+  TraceFeatures features;
+  bool ok = true;
+  /// When !ok: the S-code class of the failure, the offending skeleton node
+  /// and a human-readable account. S001 join underflow, S002 root halting
+  /// over unjoined tasks, S010 budget exhaustion.
+  LintCode violation = LintCode::kSkelJoinUnderflow;
+  std::size_t violating_node = 0;
+  std::string detail;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Lowers one concretization. Requires validate_skeleton(s).ok() — shape
+/// errors throw TraceLintError; discipline violations (which are analysis
+/// RESULTS, not caller bugs) come back as ok == false instead.
+LoweredTrace lower_skeleton(const Skeleton& s, const SkelConfig& config,
+                            const LowerOptions& options = {});
+
+/// The TraceFeatures every concretization of `s` honors (skeleton_traits
+/// translated into the differential fuzzer's vocabulary).
+TraceFeatures skeleton_features(const Skeleton& s);
+
+}  // namespace race2d

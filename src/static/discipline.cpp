@@ -1,0 +1,318 @@
+#include "static/discipline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+namespace {
+
+using Effect = LineEffect;
+
+Effect identity_effect() { return {0, 0, 0, 0}; }
+
+/// Sequential composition: run `a`, then `b`, on the same line. The concrete
+/// law is need = max(need_a, need_b - delta_a), delta = delta_a + delta_b;
+/// the bounds pair the adversarial extremes so the interval covers every
+/// concretization of both bodies.
+Effect compose(const Effect& a, const Effect& b) {
+  Effect r;
+  r.need_lo = std::max({std::int64_t{0}, a.need_lo, b.need_lo - a.delta_hi});
+  r.need_hi = std::max({std::int64_t{0}, a.need_hi, b.need_hi - a.delta_lo});
+  r.delta_lo = a.delta_lo + b.delta_lo;
+  r.delta_hi = a.delta_hi + b.delta_hi;
+  return r;
+}
+
+Effect hull(const Effect& a, const Effect& b) {
+  return {std::min(a.need_lo, b.need_lo), std::max(a.need_hi, b.need_hi),
+          std::min(a.delta_lo, b.delta_lo), std::max(a.delta_hi, b.delta_hi)};
+}
+
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+Interval hull(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Abstract state of one task mid-body: the accumulated line effect, the
+/// outstanding-spawn interval, and one async-count interval per open finish.
+struct BodyState {
+  Effect eff = identity_effect();
+  Interval spawns;
+  std::vector<Interval> finish_asyncs;
+};
+
+BodyState hull(const BodyState& a, const BodyState& b) {
+  R2D_ASSERT(a.finish_asyncs.size() == b.finish_asyncs.size());
+  BodyState r;
+  r.eff = hull(a.eff, b.eff);
+  r.spawns = hull(a.spawns, b.spawns);
+  r.finish_asyncs.reserve(a.finish_asyncs.size());
+  for (std::size_t i = 0; i < a.finish_asyncs.size(); ++i)
+    r.finish_asyncs.push_back(hull(a.finish_asyncs[i], b.finish_asyncs[i]));
+  return r;
+}
+
+class IntervalAnalysis {
+ public:
+  explicit IntervalAnalysis(const SkeletonIndex& idx) : idx_(idx) {
+    sizes_.assign(idx.size(), 0);
+    compute_size(0);
+    body_memo_.assign(idx.size(), {false, identity_effect()});
+  }
+
+  /// The root body's line effect, implicit end-of-body spawn drain included.
+  /// The root node executes as a normal node (a kFork root forks), exactly
+  /// like concretize.cpp's exec_node(0).
+  Effect root_effect() {
+    BodyState st;
+    transfer(st, 0, /*as_body=*/false);
+    apply(st, drain_effect(st.spawns));
+    return st.eff;
+  }
+
+ private:
+  std::size_t compute_size(std::size_t id) {
+    std::size_t total = 1;
+    std::size_t child = id + 1;
+    for (std::size_t k = 0; k < idx_.nodes[id]->children.size(); ++k) {
+      const std::size_t sz = compute_size(child);
+      total += sz;
+      child += sz;
+    }
+    sizes_[id] = total;
+    return total;
+  }
+
+  /// Draining k ∈ [lo, hi] outstanding tasks: k joins.
+  static Effect drain_effect(const Interval& k) {
+    Effect e;
+    e.need_lo = std::max(std::int64_t{0}, k.lo);
+    e.need_hi = std::max(std::int64_t{0}, k.hi);
+    e.delta_lo = -k.hi;
+    e.delta_hi = -k.lo;
+    return e;
+  }
+
+  void apply(BodyState& st, const Effect& e) { st.eff = compose(st.eff, e); }
+
+  /// Effect of a forked task's whole body on the shared line, as seen by the
+  /// parent once the child halts (fork-first): the child's own need/delta
+  /// plus the +1 for the child itself. State-independent, hence memoized.
+  Effect task_body_effect(std::size_t id) {
+    auto& memo = body_memo_[id];
+    if (memo.first) return memo.second;
+    BodyState st;
+    transfer(st, id, /*as_body=*/true);
+    apply(st, drain_effect(st.spawns));
+    memo = {true, st.eff};
+    return st.eff;
+  }
+
+  void transfer_children(BodyState& st, std::size_t id) {
+    std::size_t child = id + 1;
+    for (std::size_t k = 0; k < idx_.nodes[id]->children.size(); ++k) {
+      transfer(st, child, /*as_body=*/false);
+      child += sizes_[child];
+    }
+  }
+
+  /// Abstractly executes node `id` on `st`. With as_body the node's children
+  /// run as a task body regardless of the node's own kind (mirrors
+  /// run_task_body / the root in concretize.cpp).
+  void transfer(BodyState& st, std::size_t id, bool as_body) {
+    const SkelNode& n = *idx_.nodes[id];
+    if (as_body) {
+      transfer_children(st, id);
+      return;
+    }
+    switch (n.kind) {
+      case SkelKind::kSeq:
+        transfer_children(st, id);
+        break;
+      case SkelKind::kAccess:
+      case SkelKind::kPipeline:
+        // run_pipeline is balanced: it never consumes pre-existing line
+        // entries and leaves the line as it found it. Exactly identity.
+        break;
+      case SkelKind::kFork:
+      case SkelKind::kFuture: {
+        Effect e = task_body_effect(id);
+        ++e.delta_lo;
+        ++e.delta_hi;
+        apply(st, e);
+        break;
+      }
+      case SkelKind::kSpawn: {
+        Effect e = task_body_effect(id);
+        ++e.delta_lo;
+        ++e.delta_hi;
+        apply(st, e);
+        ++st.spawns.lo;
+        ++st.spawns.hi;
+        break;
+      }
+      case SkelKind::kAsync: {
+        Effect e = task_body_effect(id);
+        ++e.delta_lo;
+        ++e.delta_hi;
+        apply(st, e);
+        if (!st.finish_asyncs.empty()) {
+          ++st.finish_asyncs.back().lo;
+          ++st.finish_asyncs.back().hi;
+        }
+        break;
+      }
+      case SkelKind::kJoinLeft:
+      case SkelKind::kGet:
+        apply(st, Effect{1, 1, -1, -1});
+        break;
+      case SkelKind::kSync:
+        apply(st, drain_effect(st.spawns));
+        st.spawns = {0, 0};
+        break;
+      case SkelKind::kFinish: {
+        st.finish_asyncs.push_back({0, 0});
+        transfer_children(st, id);
+        const Interval asyncs = st.finish_asyncs.back();
+        st.finish_asyncs.pop_back();
+        apply(st, drain_effect(asyncs));
+        break;
+      }
+      case SkelKind::kLoop: {
+        // Iterate the body to the bound, hulling every admissible count
+        // (including zero iterations when min_iters == 0).
+        BodyState acc = st;
+        bool have = n.min_iters == 0;
+        BodyState rolled = st;
+        for (std::size_t k = 1; k <= n.max_iters; ++k) {
+          transfer_children(rolled, id);
+          if (k >= n.min_iters) {
+            acc = have ? hull(acc, rolled) : rolled;
+            have = true;
+          }
+        }
+        if (have) st = acc;  // !have only for the degenerate [0, 0] loop
+        break;
+      }
+      case SkelKind::kBranch: {
+        BodyState acc;
+        bool have = false;
+        std::size_t child = id + 1;
+        for (std::size_t k = 0; k < n.children.size(); ++k) {
+          BodyState arm = st;
+          transfer(arm, child, /*as_body=*/false);
+          acc = have ? hull(acc, arm) : arm;
+          have = true;
+          child += sizes_[child];
+        }
+        if (have) st = acc;
+        break;
+      }
+    }
+  }
+
+  const SkeletonIndex& idx_;
+  std::vector<std::size_t> sizes_;
+  std::vector<std::pair<bool, Effect>> body_memo_;
+};
+
+const char* violation_hint(LintCode code) {
+  switch (code) {
+    case LintCode::kSkelJoinUnderflow:
+      return "some path joins more tasks than it placed to its left";
+    case LintCode::kSkelUnjoinedAtHalt:
+      return "add joins (or a sync/finish) so the root drains the line";
+    case LintCode::kSkelBudgetExceeded:
+      return "shrink loop bounds or intervals, or raise max_events";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+DisciplineReport verify_discipline(const Skeleton& s,
+                                   const DisciplineOptions& options) {
+  DisciplineReport out;
+  out.lint = validate_skeleton(s);
+  if (!out.lint.ok()) {
+    out.exact = true;  // shape errors are definitive
+    return out;
+  }
+
+  const SkeletonIndex idx = index_skeleton(s);
+  out.root_effect = IntervalAnalysis(idx).root_effect();
+  if (out.root_effect.need_hi == 0 && out.root_effect.delta_hi == 0) {
+    // The root body never digs below the empty line and nets nothing:
+    // every concretization obeys the discipline. delta_lo may be negative
+    // only as interval slack — a run that never underflows cannot end
+    // below its start.
+    out.clean = true;
+    out.exact = true;
+    out.proved_by_intervals = true;
+    return out;
+  }
+
+  // Flagged: confirm or refute by lowering concretizations.
+  ConfigSpace space = enumerate_configs(s, options.max_configs);
+  out.configs_total = space.total;
+  LowerOptions lopt;
+  lopt.mode = LowerMode::kMarkers;
+  lopt.max_events = options.max_events;
+  for (const SkelConfig& config : space.configs) {
+    ++out.configs_checked;
+    LoweredTrace lowered = lower_skeleton(s, config, lopt);
+    if (lowered.ok) continue;
+    std::ostringstream os;
+    os << lowered.detail << " under " << to_string(s, config);
+    out.lint.diagnostics.push_back(
+        {lowered.violation, lint_code_severity(lowered.violation),
+         lowered.violating_node, os.str(), violation_hint(lowered.violation)});
+    out.has_counterexample = true;
+    out.counterexample_config = config;
+    out.counterexample = std::move(lowered);
+    out.exact = true;  // a concrete violation is definitive
+    return out;
+  }
+  if (!space.truncated) {
+    // Exhaustive and violation-free: the interval flag was hull slack.
+    out.clean = true;
+    out.exact = true;
+    return out;
+  }
+  // Truncated without a confirmation: report the open verdict.
+  {
+    std::ostringstream os;
+    os << "configuration space has " << space.total
+       << " concretizations; checked the first " << out.configs_checked;
+    out.lint.diagnostics.push_back(
+        {LintCode::kSkelConfigTruncated,
+         lint_code_severity(LintCode::kSkelConfigTruncated), 0, os.str(),
+         "raise DisciplineOptions::max_configs for an exact verdict"});
+  }
+  {
+    std::ostringstream os;
+    os << "interval analysis cannot rule out a discipline violation "
+          "(need in ["
+       << out.root_effect.need_lo << ", " << out.root_effect.need_hi
+       << "], delta in [" << out.root_effect.delta_lo << ", "
+       << out.root_effect.delta_hi
+       << "]) and no explored concretization confirms one";
+    out.lint.diagnostics.push_back(
+        {LintCode::kSkelPossibleViolation,
+         lint_code_severity(LintCode::kSkelPossibleViolation), 0, os.str(),
+         "the flag may be interval hull slack; enumerate further to decide"});
+  }
+  return out;
+}
+
+}  // namespace race2d

@@ -1,0 +1,87 @@
+// Static verification of the Figure-9 line discipline over a skeleton.
+//
+// The question (Theorem 6's precondition): does EVERY concretization of the
+// skeleton run to completion under the restricted fork/join-left rules —
+// every join finds a left neighbor, and the root halts with the line empty?
+//
+// Two cooperating engines answer it:
+//
+//   1. Interval abstract interpretation. Each task body is summarized as an
+//      effect on the Figure-9 line: how far the body may dig BELOW its entry
+//      position (`need`, the classic Dyck-path prefix deficit) and its net
+//      contribution (`delta`), both as intervals covering every
+//      concretization. Loops are iterated to their bound and hulled;
+//      branches hull their arms; forked bodies compose into their parent
+//      through the shared line. If the root body provably needs nothing
+//      from an empty line and nets exactly zero, ALL concretizations obey
+//      the discipline — a proof, with no enumeration.
+//
+//   2. Bounded enumeration. When the intervals cannot prove cleanliness
+//      (hulls over-approximate), the configuration space is enumerated up
+//      to a cap and each concretization is lowered for real. A failing
+//      config yields a CONCRETE counterexample — the configuration plus the
+//      violating trace prefix (S001 join underflow / S002 unjoined tasks at
+//      root halt / S010 budget). If the full space passes, the flag was a
+//      false alarm and the verdict is exact; if the space was truncated the
+//      report carries S009 + S011 warnings instead of a verdict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "static/concretize.hpp"
+#include "static/skeleton.hpp"
+
+namespace race2d {
+
+struct DisciplineOptions {
+  /// Enumeration cap; beyond it the verdict degrades to S009/S011 warnings.
+  std::size_t max_configs = 4096;
+  /// Per-concretization event budget (S010).
+  std::size_t max_events = std::size_t{1} << 20;
+};
+
+/// The interval summary of a task body's effect on the line. All four
+/// bounds cover every concretization of the body.
+struct LineEffect {
+  std::int64_t need_lo = 0;   ///< prefix deficit (≥ 0): tasks consumed below entry
+  std::int64_t need_hi = 0;
+  std::int64_t delta_lo = 0;  ///< net tasks added left of the body's task
+  std::int64_t delta_hi = 0;
+};
+
+struct DisciplineReport {
+  /// Proven: every concretization obeys the discipline. When false, consult
+  /// `lint`: errors mean a confirmed violation (see the counterexample),
+  /// warnings-only means the verdict is open (truncated space).
+  bool clean = false;
+  /// The verdict is exact — an interval proof, an exhaustive enumeration,
+  /// or a concrete counterexample. False only when the space was truncated
+  /// without finding a violation.
+  bool exact = false;
+  /// True when the interval analysis alone proved cleanliness.
+  bool proved_by_intervals = false;
+  /// S-code diagnostics (shape errors, confirmed violations, S009/S011).
+  LintResult lint;
+  /// Root-body line effect from the interval pass (diagnostic value).
+  LineEffect root_effect;
+
+  /// Confirmed-violation witness: the configuration and the lowering that
+  /// failed on it (its trace is the violating prefix — the counterexample
+  /// schedule).
+  bool has_counterexample = false;
+  SkelConfig counterexample_config;
+  LoweredTrace counterexample;
+
+  std::uint64_t configs_total = 0;    ///< full space size (saturating)
+  std::size_t configs_checked = 0;    ///< concretizations actually lowered
+
+  explicit operator bool() const { return clean; }
+};
+
+/// Verifies the line discipline over every concretization of `s`. Shape
+/// errors (S003..S008) short-circuit into the report's lint result.
+DisciplineReport verify_discipline(const Skeleton& s,
+                                   const DisciplineOptions& options = {});
+
+}  // namespace race2d

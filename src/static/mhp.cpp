@@ -1,0 +1,86 @@
+#include "static/mhp.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+std::vector<VertexId> region_vertices(const Trace& trace,
+                                      std::size_t region_count) {
+  // Vertex ids replicate build_task_graph's construction: one vertex per
+  // fork/join/halt/read/write/retire event after the root's begin vertex;
+  // sync and finish markers are annotations without vertices. In kMarkers
+  // mode the k-th access event IS region ordinal k (emit_region emits
+  // exactly one access per region, in serial order).
+  std::vector<VertexId> out;
+  out.reserve(region_count);
+  VertexId next_vertex = 1;
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kFork:
+      case TraceOp::kJoin:
+      case TraceOp::kHalt:
+        ++next_vertex;
+        break;
+      case TraceOp::kRead:
+      case TraceOp::kWrite:
+      case TraceOp::kRetire:
+        out.push_back(next_vertex++);
+        break;
+      case TraceOp::kSync:
+      case TraceOp::kFinishBegin:
+      case TraceOp::kFinishEnd:
+        break;
+    }
+  }
+  R2D_REQUIRE(out.size() == region_count,
+              "trace is not a kMarkers lowering of this region set");
+  return out;
+}
+
+StaticMhpEngine::StaticMhpEngine(const Skeleton& s,
+                                 const StaticMhpOptions& options) {
+  require_valid_skeleton(s);
+  ConfigSpace space = enumerate_configs(s, options.max_configs);
+  truncated_ = space.truncated;
+  configs_total_ = space.total;
+  LowerOptions lopt;
+  lopt.mode = LowerMode::kMarkers;
+  lopt.max_events = options.max_events;
+  for (SkelConfig& config : space.configs) {
+    LoweredTrace lowered = lower_skeleton(s, config, lopt);
+    if (!lowered.ok) {
+      ++skipped_;  // verify_discipline owns reporting these
+      continue;
+    }
+    auto model = std::make_unique<ConfigModel>();
+    model->config = std::move(config);
+    model->lowered = std::move(lowered);
+    model->graph = build_task_graph(model->lowered.trace);
+    model->oracle = std::make_unique<HappensBeforeOracle>(model->graph);
+    model->region_vertex =
+        region_vertices(model->lowered.trace, model->lowered.regions.size());
+    models_.push_back(std::move(model));
+  }
+}
+
+MhpVerdict StaticMhpEngine::may_happen_in_parallel(std::size_t node_a,
+                                                   std::size_t node_b) const {
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const ConfigModel& model = *models_[m];
+    const std::vector<RegionInstance>& regions = model.lowered.regions;
+    for (const RegionInstance& a : regions) {
+      if (a.node != node_a) continue;
+      for (const RegionInstance& b : regions) {
+        if (b.node != node_b) continue;
+        if (a.ordinal == b.ordinal) continue;
+        if (model.mhp(a.ordinal, b.ordinal))
+          return {true, m, a.ordinal, b.ordinal};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace race2d

@@ -1,0 +1,263 @@
+#include "static/race_scan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/sharded_analyzer.hpp"
+#include "fuzz/differential.hpp"
+#include "support/assert.hpp"
+#include "support/flat_hash_map.hpp"
+#include "verify/certificate.hpp"
+
+namespace race2d {
+
+namespace {
+
+const char* kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::kRead:   return "read";
+    case AccessKind::kWrite:  return "write";
+    case AccessKind::kRetire: return "retire";
+  }
+  return "?";
+}
+
+bool conflicting(AccessKind prior, AccessKind racing) {
+  // Two reads commute; everything else (a write or a retire on either
+  // side) conflicts — the detector's rule exactly.
+  return !(prior == AccessKind::kRead && racing == AccessKind::kRead);
+}
+
+/// Replays the finding's witness trace through the dynamic detector and the
+/// certifier. The witness has exactly two counted accesses: ordinal 1 is
+/// the prior side, ordinal 2 the racing side, both at witness_loc.
+void confirm_finding(StaticRaceFinding& f) {
+  std::vector<RaceReport> reports = detect_races_trace(f.witness);
+  const RaceReport* hit = nullptr;
+  for (const RaceReport& r : reports) {
+    if (r.access_index == 2 && r.loc == f.witness_loc) {
+      hit = &r;
+      break;
+    }
+  }
+  if (hit == nullptr) {
+    std::ostringstream os;
+    os << "dynamic detector reported " << reports.size()
+       << " race(s) on the witness, none exposing access #2 at loc 0x"
+       << std::hex << f.witness_loc;
+    f.confirm_detail = os.str();
+    return;
+  }
+  for (const CertifiedReport& c : certify_races(f.witness, {*hit})) {
+    if (!c.certified) {
+      f.confirm_detail = "certifier found no independent witness pair";
+      return;
+    }
+    if (c.certificate.prior_ordinal != 1 || c.certificate.racing_ordinal != 2) {
+      std::ostringstream os;
+      os << "certificate pins ordinals (" << c.certificate.prior_ordinal
+         << ", " << c.certificate.racing_ordinal << "), expected (1, 2)";
+      f.confirm_detail = os.str();
+      return;
+    }
+    const CertificateCheck check = check_certificate(f.witness, c.certificate);
+    if (!check.ok) {
+      f.confirm_detail = "certificate re-check failed: " + check.reason;
+      return;
+    }
+  }
+  f.confirmed = true;
+}
+
+}  // namespace
+
+std::string to_string(const StaticRaceFinding& f) {
+  std::ostringstream os;
+  os << "node " << f.prior_node << ' ' << kind_name(f.prior_kind)
+     << " || node " << f.racing_node << ' ' << kind_name(f.racing_kind)
+     << " over " << to_string(f.overlap) << " at loc 0x" << std::hex
+     << f.witness_loc << std::dec << " (regions #" << f.prior_ordinal
+     << ", #" << f.racing_ordinal << ")";
+  if (f.confirmed) os << " [confirmed]";
+  else if (!f.confirm_detail.empty()) os << " [UNCONFIRMED: " << f.confirm_detail << ']';
+  return os.str();
+}
+
+std::vector<ConfigRacePair> scan_config_races(const ConfigModel& model) {
+  const std::vector<RegionInstance>& regions = model.lowered.regions;
+  // Segment the location line at every interval endpoint: within
+  // [b, next_b) each region covers either everything or nothing, so the
+  // per-location automaton runs once per segment.
+  std::vector<Loc> bounds;
+  bounds.reserve(regions.size() * 2);
+  for (const RegionInstance& r : regions) {
+    bounds.push_back(r.interval.lo);
+    if (r.interval.hi != ~Loc{0}) bounds.push_back(r.interval.hi + 1);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::vector<ConfigRacePair> out;
+  FlatHashMap<std::uint64_t, std::uint8_t> seen;  // prior * N + racing
+  const std::uint64_t n = regions.size();
+  std::vector<const RegionInstance*> live;
+  for (const Loc b : bounds) {
+    live.clear();
+    for (const RegionInstance& r : regions) {
+      if (!r.interval.contains(b)) continue;
+      if (r.kind == AccessKind::kRetire) {
+        if (live.empty()) continue;  // dead retire: the detector skips it
+        for (const RegionInstance* p : live) {
+          if (!model.mhp(p->ordinal, r.ordinal)) continue;
+          const std::uint64_t key = p->ordinal * n + r.ordinal;
+          if (std::uint8_t* hit = seen.find(key); hit != nullptr) continue;
+          seen[key] = 1;
+          out.push_back({p->ordinal, r.ordinal,
+                         p->interval.intersection(r.interval), b});
+        }
+        live.clear();  // a counted retire closes the storage lifetime
+        continue;
+      }
+      for (const RegionInstance* p : live) {
+        if (!conflicting(p->kind, r.kind)) continue;
+        if (!model.mhp(p->ordinal, r.ordinal)) continue;
+        const std::uint64_t key = p->ordinal * n + r.ordinal;
+        if (std::uint8_t* hit = seen.find(key); hit != nullptr) continue;
+        seen[key] = 1;
+        out.push_back({p->ordinal, r.ordinal,
+                       p->interval.intersection(r.interval), b});
+      }
+      live.push_back(&r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConfigRacePair& a, const ConfigRacePair& b) {
+              return a.racing_ordinal != b.racing_ordinal
+                         ? a.racing_ordinal < b.racing_ordinal
+                         : a.prior_ordinal < b.prior_ordinal;
+            });
+  return out;
+}
+
+StaticRaceResult analyze_skeleton(const Skeleton& s,
+                                  const StaticRaceOptions& options) {
+  StaticRaceResult out;
+  DisciplineOptions dopt;
+  dopt.max_configs = options.max_configs;
+  dopt.max_events = options.max_events;
+  out.discipline = verify_discipline(s, dopt);
+  if (!validate_skeleton(s).ok()) return out;  // shape errors: no findings
+
+  StaticMhpOptions mopt;
+  mopt.max_configs = options.max_configs;
+  mopt.max_events = options.max_events;
+  const StaticMhpEngine engine(s, mopt);
+  out.truncated = engine.truncated();
+  out.configs_total = engine.configs_total();
+  out.configs_scanned = engine.models().size();
+
+  LowerOptions wopt;
+  wopt.mode = LowerMode::kWitness;
+  wopt.max_events = options.max_events;
+  // Dedup across configs and segments: one finding (the first witness) per
+  // (prior node, racing node, kind, kind) quadruple.
+  FlatHashMap<std::uint64_t, std::uint8_t> reported;
+  const std::uint64_t node_count = index_skeleton(s).size();
+  for (const auto& model : engine.models()) {
+    for (const ConfigRacePair& pair : scan_config_races(*model)) {
+      const RegionInstance& prior = model->lowered.regions[pair.prior_ordinal];
+      const RegionInstance& racing =
+          model->lowered.regions[pair.racing_ordinal];
+      const std::uint64_t key =
+          ((prior.node * node_count + racing.node) * 4 +
+           static_cast<std::uint64_t>(prior.kind)) *
+              4 +
+          static_cast<std::uint64_t>(racing.kind);
+      if (std::uint8_t* hit = reported.find(key); hit != nullptr) continue;
+      reported[key] = 1;
+
+      StaticRaceFinding f;
+      f.prior_node = prior.node;
+      f.racing_node = racing.node;
+      f.prior_kind = prior.kind;
+      f.racing_kind = racing.kind;
+      f.overlap = pair.overlap;
+      f.config = model->config;
+      f.prior_ordinal = pair.prior_ordinal;
+      f.racing_ordinal = pair.racing_ordinal;
+      f.witness_loc = pair.segment_lo;
+      wopt.witness_prior = pair.prior_ordinal;
+      wopt.witness_racing = pair.racing_ordinal;
+      wopt.witness_loc = pair.segment_lo;
+      LoweredTrace witness = lower_skeleton(s, model->config, wopt);
+      R2D_ASSERT(witness.ok);  // same config lowered cleanly in kMarkers
+      f.witness = std::move(witness.trace);
+      if (options.confirm) confirm_finding(f);
+      out.findings.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+AgreementResult check_static_dynamic_agreement(const Skeleton& s,
+                                               const StaticRaceOptions& options,
+                                               bool differential) {
+  AgreementResult out;
+  if (!validate_skeleton(s).ok()) {
+    out.ok = false;
+    out.failure = "skeleton has shape errors; nothing to compare";
+    return out;
+  }
+  StaticMhpOptions mopt;
+  mopt.max_configs = options.max_configs;
+  mopt.max_events = options.max_events;
+  const StaticMhpEngine engine(s, mopt);
+  LowerOptions fopt;
+  fopt.mode = LowerMode::kFull;
+  fopt.max_events = options.max_events;
+  for (const auto& model : engine.models()) {
+    LoweredTrace full = lower_skeleton(s, model->config, fopt);
+    if (!full.ok) {
+      if (full.violation == LintCode::kSkelBudgetExceeded)
+        continue;  // too wide to replay exhaustively; not a disagreement
+      // Markers mode lowered cleanly, full mode cannot violate more: the
+      // modes share the structural stream.
+      out.ok = false;
+      out.failure = "kFull lowering violated where kMarkers passed under " +
+                    to_string(s, model->config) + ": " + full.detail;
+      return out;
+    }
+    const bool static_race = !scan_config_races(*model).empty();
+    const std::vector<RaceReport> reports = detect_races_trace(full.trace);
+    const bool dynamic_race = !reports.empty();
+    if (static_race != dynamic_race) {
+      std::ostringstream os;
+      os << "verdict mismatch under " << to_string(s, model->config)
+         << ": static=" << (static_race ? "race" : "clean")
+         << " dynamic=" << (dynamic_race ? "race" : "clean") << " ("
+         << reports.size() << " dynamic report(s), first: "
+         << (reports.empty() ? std::string("none")
+                             : to_string(reports.front()))
+         << ')';
+      out.ok = false;
+      out.failure = os.str();
+      return out;
+    }
+    if (differential) {
+      const DifferentialResult d =
+          run_differential(full.trace, full.features);
+      if (!d.ok) {
+        out.ok = false;
+        out.failure = "differential panel failed under " +
+                      to_string(s, model->config) + ": " + d.failure;
+        return out;
+      }
+    }
+    if (static_race) ++out.racy_configs;
+    ++out.configs_checked;
+  }
+  return out;
+}
+
+}  // namespace race2d

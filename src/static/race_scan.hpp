@@ -1,0 +1,119 @@
+// The static race pass: MHP ∩ interval overlap ∩ conflict, with concretized
+// witnesses.
+//
+// Race semantics are LIFTED from the online detector, not re-invented: for
+// a fixed location, the detector scans accesses in serial order keeping the
+// live (same-storage-lifetime) access set — a counted retire both races as
+// the LATER side and closes the lifetime; a dead retire is a no-op — and a
+// race is a conflicting pair (not both reads) whose vertices are
+// incomparable in the task graph. The static scan runs exactly that
+// automaton, but over interval SEGMENTS instead of single locations: split
+// the line at every region-interval endpoint, and within a segment every
+// region either covers all of it or none, so one symbolic scan decides the
+// whole segment. Per concretization the verdict is EXACT — the same pairs
+// a kFull lowering would expose to the dynamic detector.
+//
+// Every finding ships a witness: the concretization's config plus a
+// kWitness lowering in which ONLY the two racing region instances emit, at
+// one sampled location inside the overlap. Confirmation replays that trace
+// through the real OnlineRaceDetector and certify_races — the static claim
+// is accepted only if the dynamic detector reports the same pair and the
+// reachability oracle re-proves its certificate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "static/concretize.hpp"
+#include "static/discipline.hpp"
+#include "static/mhp.hpp"
+#include "static/skeleton.hpp"
+
+namespace race2d {
+
+/// One potential race between two access-bearing skeleton nodes.
+struct StaticRaceFinding {
+  std::size_t prior_node = 0;   ///< preorder id, earlier in serial order
+  std::size_t racing_node = 0;  ///< preorder id of the exposing side
+  AccessKind prior_kind = AccessKind::kRead;
+  AccessKind racing_kind = AccessKind::kRead;
+  LocInterval overlap{0, 0};  ///< intersection of the two region intervals
+
+  /// The witnessing concretization and region instances.
+  SkelConfig config;
+  std::size_t prior_ordinal = 0;
+  std::size_t racing_ordinal = 0;
+  Loc witness_loc = 0;  ///< sampled location (inside `overlap`)
+
+  /// kWitness lowering of `config`: the counterexample schedule. Exactly
+  /// two accesses — ordinal 1 is the prior side, ordinal 2 the racing side.
+  Trace witness;
+
+  /// Dynamic confirmation: OnlineRaceDetector reported the pair on
+  /// `witness` and certify_races re-proved it. `confirm_detail` carries the
+  /// failure reason when false (empty if confirmation was not requested).
+  bool confirmed = false;
+  std::string confirm_detail;
+};
+
+std::string to_string(const StaticRaceFinding& f);
+
+/// A racing ordinal pair inside one concretization (scan-level result).
+struct ConfigRacePair {
+  std::size_t prior_ordinal = 0;
+  std::size_t racing_ordinal = 0;
+  LocInterval overlap{0, 0};
+  Loc segment_lo = 0;  ///< segment where the automaton saw the pair live
+};
+
+/// Exact per-config race scan: every racing region-instance pair of the
+/// model's concretization, in (racing, prior) serial order.
+std::vector<ConfigRacePair> scan_config_races(const ConfigModel& model);
+
+struct StaticRaceOptions {
+  std::size_t max_configs = 4096;
+  std::size_t max_events = std::size_t{1} << 20;
+  /// Replay each witness through the dynamic detector + certifier.
+  bool confirm = true;
+};
+
+struct StaticRaceResult {
+  /// Deduplicated by (prior_node, racing_node, kinds); first witness kept.
+  std::vector<StaticRaceFinding> findings;
+  /// The discipline verdict (always computed first; the race scan only
+  /// covers concretizations that lower cleanly).
+  DisciplineReport discipline;
+  bool truncated = false;           ///< config space capped (S009)
+  std::uint64_t configs_total = 0;
+  std::size_t configs_scanned = 0;  ///< concretizations actually scanned
+
+  bool any_race() const { return !findings.empty(); }
+};
+
+/// The full static race analysis of `s`. Shape errors surface through the
+/// discipline report's lint result (no findings are produced then).
+StaticRaceResult analyze_skeleton(const Skeleton& s,
+                                  const StaticRaceOptions& options = {});
+
+/// Static-vs-dynamic cross-check over one skeleton.
+struct AgreementResult {
+  bool ok = true;
+  std::string failure;  ///< names the disagreeing config; empty when ok
+  std::size_t configs_checked = 0;
+  std::size_t racy_configs = 0;  ///< configs where both sides saw a race
+
+  explicit operator bool() const { return ok; }
+};
+
+/// For EVERY explored concretization: the static pair scan must agree with
+/// the dynamic detector's verdict on the kFull lowering (the paper's
+/// precision-up-to-the-first-report contract makes verdicts, not report
+/// multisets, the comparable unit). With `differential`, each kFull trace
+/// additionally runs the whole run_differential panel. Discipline-violating
+/// concretizations have no dynamic run and are skipped.
+AgreementResult check_static_dynamic_agreement(
+    const Skeleton& s, const StaticRaceOptions& options = {},
+    bool differential = false);
+
+}  // namespace race2d

@@ -1,0 +1,324 @@
+#include "static/skeleton.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+std::string to_string(const LocInterval& iv) {
+  std::ostringstream os;
+  os << "[0x" << std::hex << iv.lo;
+  if (iv.hi != iv.lo) os << ", 0x" << iv.hi;
+  os << ']' << std::dec;
+  return os.str();
+}
+
+const char* to_string(SkelKind kind) {
+  switch (kind) {
+    case SkelKind::kSeq:      return "seq";
+    case SkelKind::kFork:     return "fork";
+    case SkelKind::kJoinLeft: return "join";
+    case SkelKind::kAccess:   return "access";
+    case SkelKind::kLoop:     return "loop";
+    case SkelKind::kBranch:   return "branch";
+    case SkelKind::kSpawn:    return "spawn";
+    case SkelKind::kSync:     return "sync";
+    case SkelKind::kFinish:   return "finish";
+    case SkelKind::kAsync:    return "async";
+    case SkelKind::kFuture:   return "future";
+    case SkelKind::kGet:      return "get";
+    case SkelKind::kPipeline: return "pipeline";
+  }
+  return "?";
+}
+
+namespace skel {
+
+namespace {
+SkelNode node_of(SkelKind kind, std::vector<SkelNode> children) {
+  SkelNode n;
+  n.kind = kind;
+  n.children = std::move(children);
+  return n;
+}
+}  // namespace
+
+SkelNode seq(std::vector<SkelNode> children) {
+  return node_of(SkelKind::kSeq, std::move(children));
+}
+SkelNode fork(std::vector<SkelNode> body) {
+  return node_of(SkelKind::kFork, std::move(body));
+}
+SkelNode join_left() { return node_of(SkelKind::kJoinLeft, {}); }
+SkelNode access(AccessKind kind, Loc lo, Loc hi) {
+  SkelNode n = node_of(SkelKind::kAccess, {});
+  n.access = kind;
+  n.interval = {lo, hi};
+  return n;
+}
+SkelNode read(Loc lo, Loc hi) { return access(AccessKind::kRead, lo, hi); }
+SkelNode write(Loc lo, Loc hi) { return access(AccessKind::kWrite, lo, hi); }
+SkelNode retire(Loc lo, Loc hi) { return access(AccessKind::kRetire, lo, hi); }
+SkelNode loop(std::size_t min_iters, std::size_t max_iters,
+              std::vector<SkelNode> body) {
+  SkelNode n = node_of(SkelKind::kLoop, std::move(body));
+  n.min_iters = min_iters;
+  n.max_iters = max_iters;
+  return n;
+}
+SkelNode branch(std::vector<SkelNode> arms) {
+  return node_of(SkelKind::kBranch, std::move(arms));
+}
+SkelNode spawn(std::vector<SkelNode> body) {
+  return node_of(SkelKind::kSpawn, std::move(body));
+}
+SkelNode sync() { return node_of(SkelKind::kSync, {}); }
+SkelNode finish(std::vector<SkelNode> body) {
+  return node_of(SkelKind::kFinish, std::move(body));
+}
+SkelNode async(std::vector<SkelNode> body) {
+  return node_of(SkelKind::kAsync, std::move(body));
+}
+SkelNode future(Loc lo, Loc hi, std::vector<SkelNode> producer) {
+  SkelNode n = node_of(SkelKind::kFuture, std::move(producer));
+  n.interval = {lo, hi};
+  n.access = AccessKind::kWrite;
+  return n;
+}
+SkelNode get(Loc lo, Loc hi) {
+  SkelNode n = node_of(SkelKind::kGet, {});
+  n.interval = {lo, hi};
+  n.access = AccessKind::kRead;
+  return n;
+}
+SkelNode pipeline(std::size_t item_count, std::vector<SkelNode> stages,
+                  std::vector<std::uint8_t> stage_serial, Loc item_stride) {
+  SkelNode n = node_of(SkelKind::kPipeline, std::move(stages));
+  n.item_count = item_count;
+  n.item_stride = item_stride;
+  if (stage_serial.empty())
+    stage_serial.assign(n.children.size(), std::uint8_t{1});
+  n.stage_serial = std::move(stage_serial);
+  return n;
+}
+
+}  // namespace skel
+
+namespace {
+
+void index_rec(const SkelNode& n, std::size_t parent, SkeletonIndex& out) {
+  const std::size_t id = out.nodes.size();
+  out.nodes.push_back(&n);
+  out.parent.push_back(parent);
+  for (const SkelNode& c : n.children) index_rec(c, id, out);
+}
+
+class Validator {
+ public:
+  LintResult run(const SkeletonIndex& idx) {
+    walk(idx, 0, /*in_finish=*/false, /*in_pipeline=*/false);
+    return std::move(result_);
+  }
+
+ private:
+  void emit(LintCode code, std::size_t node, std::string message,
+            std::string hint = {}) {
+    result_.diagnostics.push_back({code, lint_code_severity(code), node,
+                                   std::move(message), std::move(hint)});
+  }
+
+  // `in_finish` is true only for DIRECT children of a kFinish body (reset on
+  // entering any task-creating node: an async's own body needs its own
+  // finish to host asyncs). `in_pipeline` bans task-creating constructs
+  // inside pipeline stage bodies.
+  void walk(const SkeletonIndex& idx, std::size_t id, bool in_finish,
+            bool in_pipeline) {
+    const SkelNode& n = *idx.nodes[id];
+    std::ostringstream os;
+    switch (n.kind) {
+      case SkelKind::kJoinLeft:
+      case SkelKind::kSync:
+      case SkelKind::kAccess:
+      case SkelKind::kGet:
+        if (!n.children.empty()) {
+          os << to_string(n.kind) << " node carries " << n.children.size()
+             << " child(ren)";
+          emit(LintCode::kSkelNodeShape, id, os.str(),
+               "this kind is a leaf; move the children to a sibling seq");
+        }
+        break;
+      default:
+        break;
+    }
+    switch (n.kind) {
+      case SkelKind::kAccess:
+      case SkelKind::kFuture:
+      case SkelKind::kGet:
+        if (!n.interval.valid()) {
+          os << "interval lo 0x" << std::hex << n.interval.lo
+             << " exceeds hi 0x" << n.interval.hi;
+          emit(LintCode::kSkelIntervalInvalid, id, os.str(),
+               "swap the bounds; intervals are inclusive [lo, hi]");
+        }
+        break;
+      case SkelKind::kLoop:
+        if (n.min_iters > n.max_iters || n.max_iters > kMaxLoopIterations) {
+          os << "loop bounds [" << n.min_iters << ", " << n.max_iters
+             << "] (cap " << kMaxLoopIterations << ')';
+          emit(LintCode::kSkelLoopBounds, id, os.str(),
+               "need min <= max <= the iteration cap");
+        }
+        break;
+      case SkelKind::kBranch:
+        if (n.children.empty())
+          emit(LintCode::kSkelBranchEmpty, id, "branch with no arms",
+               "a branch must offer at least one arm");
+        break;
+      case SkelKind::kAsync:
+        if (!in_finish)
+          emit(LintCode::kSkelAsyncOutsideFinish, id,
+               "async outside any finish region",
+               "wrap it in finish { ... } or use a raw fork");
+        break;
+      case SkelKind::kPipeline: {
+        if (n.children.empty() || n.item_count == 0) {
+          os << "pipeline with " << n.children.size() << " stage(s) and "
+             << n.item_count << " item(s)";
+          emit(LintCode::kSkelPipelineShape, id, os.str(),
+               "need at least one stage and one item");
+        }
+        if (n.stage_serial.size() != n.children.size()) {
+          os.str({});
+          os << "stage_serial has " << n.stage_serial.size()
+             << " flag(s) for " << n.children.size() << " stage(s)";
+          emit(LintCode::kSkelPipelineShape, id, os.str(),
+               "one serial/parallel flag per stage");
+        } else {
+          // Mirror run_pipeline's restriction: no serial stage after a
+          // parallel one (the left-neighbor hand-off cannot reach across
+          // unjoined parallel cells).
+          bool seen_parallel = false;
+          for (std::size_t s = 1; s < n.stage_serial.size(); ++s) {
+            if (n.stage_serial[s] == 0) seen_parallel = true;
+            else if (seen_parallel) {
+              os.str({});
+              os << "serial stage " << s << " follows a parallel stage";
+              emit(LintCode::kSkelPipelineShape, id, os.str(),
+                   "run_pipeline rejects serial-after-parallel (Lee et al.)");
+              break;
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (in_pipeline) {
+      switch (n.kind) {
+        case SkelKind::kFork:
+        case SkelKind::kJoinLeft:
+        case SkelKind::kSpawn:
+        case SkelKind::kSync:
+        case SkelKind::kFinish:
+        case SkelKind::kAsync:
+        case SkelKind::kFuture:
+        case SkelKind::kGet:
+        case SkelKind::kPipeline:
+          os.str({});
+          os << to_string(n.kind) << " inside a pipeline stage body";
+          emit(LintCode::kSkelPipelineShape, id, os.str(),
+               "stage bodies are straight-line: seq/access/loop/branch only");
+          break;
+        default:
+          break;
+      }
+    }
+    // Compute the child context. Task-creating nodes start a fresh body (an
+    // async's body is NOT "directly inside" the enclosing finish).
+    bool child_finish = in_finish;
+    bool child_pipeline = in_pipeline;
+    switch (n.kind) {
+      case SkelKind::kFinish:   child_finish = true; break;
+      case SkelKind::kFork:
+      case SkelKind::kSpawn:
+      case SkelKind::kAsync:
+      case SkelKind::kFuture:   child_finish = false; break;
+      case SkelKind::kPipeline: child_pipeline = true; child_finish = false; break;
+      default:                  break;
+    }
+    std::size_t child = id + 1;
+    for (const SkelNode& c : n.children) {
+      walk(idx, child, child_finish, child_pipeline);
+      child += subtree_size(c);
+    }
+  }
+
+  static std::size_t subtree_size(const SkelNode& n) {
+    std::size_t total = 1;
+    for (const SkelNode& c : n.children) total += subtree_size(c);
+    return total;
+  }
+
+  LintResult result_;
+};
+
+void traits_rec(const SkelNode& n, SkeletonTraits& t, bool& raw, bool& spawns,
+                bool& finishes) {
+  switch (n.kind) {
+    case SkelKind::kFork:
+    case SkelKind::kJoinLeft: raw = true; break;
+    case SkelKind::kSpawn:
+    case SkelKind::kSync:     spawns = true; break;
+    case SkelKind::kFinish:
+    case SkelKind::kAsync:    finishes = true; break;
+    case SkelKind::kFuture:
+    case SkelKind::kGet:
+      t.has_futures = true;
+      ++t.region_count;
+      break;
+    case SkelKind::kPipeline: t.has_pipeline = true; break;
+    case SkelKind::kAccess:
+      ++t.region_count;
+      if (n.access == AccessKind::kRetire) t.has_retire = true;
+      break;
+    case SkelKind::kLoop:   ++t.loop_count; break;
+    case SkelKind::kBranch: ++t.branch_count; break;
+    case SkelKind::kSeq:    break;
+  }
+  for (const SkelNode& c : n.children) traits_rec(c, t, raw, spawns, finishes);
+}
+
+}  // namespace
+
+SkeletonIndex index_skeleton(const Skeleton& s) {
+  SkeletonIndex out;
+  index_rec(s.root, 0, out);
+  return out;
+}
+
+LintResult validate_skeleton(const Skeleton& s) {
+  const SkeletonIndex idx = index_skeleton(s);
+  return Validator{}.run(idx);
+}
+
+SkeletonTraits skeleton_traits(const Skeleton& s) {
+  SkeletonTraits t;
+  bool raw = false, spawns = false, finishes = false;
+  traits_rec(s.root, t, raw, spawns, finishes);
+  // The pipeline region multiplier (stage × item instances) is not folded
+  // into region_count: it counts NODES, instances are per-config.
+  const bool futures_or_pipeline = t.has_futures || t.has_pipeline;
+  t.spawn_sync = spawns && !raw && !finishes && !futures_or_pipeline;
+  t.async_finish = finishes && !raw && !spawns && !futures_or_pipeline;
+  return t;
+}
+
+void require_valid_skeleton(const Skeleton& s) {
+  LintResult r = validate_skeleton(s);
+  if (!r.ok()) throw TraceLintError(std::move(r));
+}
+
+}  // namespace race2d

@@ -1,0 +1,181 @@
+// Program skeleton IR: structured fork-join programs described SYMBOLICALLY.
+//
+// A Skeleton is a tree of SkelNodes over the §5 constructs — raw Figure-9
+// fork / join-left, Cilk-style spawn/sync, X10-style async/finish, futures
+// (Figure 2's producer/consumer hand-off) and linear pipelines — plus two
+// symbolic connectives: bounded loops (the body repeats n ∈ [min, max]
+// times) and branches (exactly one arm runs). Memory effects are SYMBOLIC
+// ACCESS SETS: a location interval × an access kind, so one node stands for
+// an arbitrarily wide sweep of addresses.
+//
+// One skeleton therefore denotes a FAMILY of structured fork-join programs:
+// every assignment of a count to each loop and an arm to each branch (a
+// SkelConfig, applied uniformly at every dynamic occurrence of the node) is
+// a CONCRETIZATION, and Theorem 6 pins each concretization to one 2D-lattice
+// task graph regardless of schedule. The static passes in this directory
+// quantify over all of them:
+//
+//   verify_discipline  — proves every concretization obeys the Figure 9 line
+//                        discipline, or emits a counterexample (S0xx codes);
+//   StaticMhpEngine    — may-happen-in-parallel between access regions;
+//   analyze_skeleton   — the race pass: MHP ∩ interval overlap ∩ conflict,
+//                        each finding carrying a concretized witness trace.
+//
+// Node identity: nodes are addressed by their PREORDER index in the tree
+// (see index_skeleton); diagnostics, configs and findings all use it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "support/ids.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace race2d {
+
+/// An inclusive interval of abstract locations, the atom of symbolic access
+/// sets. A single location is {loc, loc}.
+struct LocInterval {
+  Loc lo = 0;
+  Loc hi = 0;
+
+  bool valid() const { return lo <= hi; }
+  bool contains(Loc l) const { return lo <= l && l <= hi; }
+  bool intersects(const LocInterval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  /// Requires intersects(o).
+  LocInterval intersection(const LocInterval& o) const {
+    return {lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+  }
+  /// Interval width as a count (hi - lo + 1); saturates instead of wrapping.
+  std::uint64_t size() const {
+    return hi >= lo ? (hi - lo + 1 == 0 ? ~std::uint64_t{0} : hi - lo + 1) : 0;
+  }
+
+  bool operator==(const LocInterval&) const = default;
+};
+
+std::string to_string(const LocInterval& iv);
+
+enum class SkelKind : std::uint8_t {
+  kSeq,       ///< run children in order
+  kFork,      ///< fork a child task running the children; continue (raw Figure 9)
+  kJoinLeft,  ///< join the immediate left neighbor (raw Figure 9)
+  kAccess,    ///< leaf region: `interval` × `access` kind
+  kLoop,      ///< children repeat n ∈ [min_iters, max_iters] times
+  kBranch,    ///< exactly one child (arm) runs
+  kSpawn,     ///< Cilk spawn: fork tracked for kSync / implicit body-end sync
+  kSync,      ///< Cilk sync: join every outstanding spawn (newest first)
+  kFinish,    ///< X10 finish { children }: joins its direct kAsync tasks at end
+  kAsync,     ///< X10 async inside a kFinish: forked, drained by the finish
+  kFuture,    ///< fork a producer (children) that writes `interval` last
+  kGet,       ///< future get: join-left, then read `interval`
+  kPipeline,  ///< m×n pipeline grid: children are stage bodies, run per item
+};
+
+inline constexpr std::size_t kSkelKindCount = 13;
+
+const char* to_string(SkelKind kind);
+
+/// Loop iteration counts above this are rejected (S003): the discipline
+/// verifier walks loop bodies up to max_iters times and the configuration
+/// space is enumerated, so unbounded loops are out of the model.
+inline constexpr std::size_t kMaxLoopIterations = 64;
+
+struct SkelNode {
+  SkelKind kind = SkelKind::kSeq;
+  std::vector<SkelNode> children;
+
+  /// kAccess: the symbolic access set. kFuture / kGet: the hand-off cell
+  /// interval (written by the producer, read by the getter).
+  LocInterval interval{0, 0};
+  AccessKind access = AccessKind::kRead;
+
+  /// kLoop bounds (inclusive; min_iters may be 0 for a skippable body).
+  std::size_t min_iters = 1;
+  std::size_t max_iters = 1;
+
+  /// kPipeline: item count, per-stage serial flags (size == children.size(),
+  /// stage 0 is inherently serial), and the per-item location stride added
+  /// to every access interval inside the stage bodies (item j shifts by
+  /// j * item_stride).
+  std::size_t item_count = 0;
+  std::vector<std::uint8_t> stage_serial;
+  Loc item_stride = 0;
+};
+
+/// A symbolic program: the root task's body.
+struct Skeleton {
+  SkelNode root;  ///< executed as the root task's body (usually a kSeq)
+};
+
+// -- programmatic builders (namespace skel) ---------------------------------
+//
+//   using namespace race2d::skel;
+//   Skeleton s{seq({fork({read(0x10, 0x10)}),
+//                   write(0x10, 0x1f),
+//                   join_left()})};
+namespace skel {
+
+SkelNode seq(std::vector<SkelNode> children);
+SkelNode fork(std::vector<SkelNode> body);
+SkelNode join_left();
+SkelNode access(AccessKind kind, Loc lo, Loc hi);
+SkelNode read(Loc lo, Loc hi);
+SkelNode write(Loc lo, Loc hi);
+SkelNode retire(Loc lo, Loc hi);
+SkelNode loop(std::size_t min_iters, std::size_t max_iters,
+              std::vector<SkelNode> body);
+SkelNode branch(std::vector<SkelNode> arms);
+SkelNode spawn(std::vector<SkelNode> body);
+SkelNode sync();
+SkelNode finish(std::vector<SkelNode> body);
+SkelNode async(std::vector<SkelNode> body);
+SkelNode future(Loc lo, Loc hi, std::vector<SkelNode> producer);
+SkelNode get(Loc lo, Loc hi);
+SkelNode pipeline(std::size_t item_count, std::vector<SkelNode> stages,
+                  std::vector<std::uint8_t> stage_serial = {},
+                  Loc item_stride = 0);
+
+}  // namespace skel
+
+/// Flat preorder view of a skeleton: node ids are indices into `nodes`.
+/// The root body is node 0.
+struct SkeletonIndex {
+  std::vector<const SkelNode*> nodes;
+  std::vector<std::size_t> parent;  ///< parent[0] == 0
+
+  std::size_t size() const { return nodes.size(); }
+};
+
+SkeletonIndex index_skeleton(const Skeleton& s);
+
+/// Structural validation — the S003..S008 shape checks that do not require
+/// any concretization reasoning: loop bounds, branch arity, interval sanity,
+/// async placement, pipeline shape, leaf child counts. Discipline reasoning
+/// (S001/S002/S011) lives in verify_discipline (discipline.hpp).
+LintResult validate_skeleton(const Skeleton& s);
+
+/// Which sugar disciplines every concretization of `s` honors, in the same
+/// vocabulary the differential fuzzer uses to pick lawful baselines.
+struct SkeletonTraits {
+  bool spawn_sync = false;    ///< pure spawn/sync structure (SP-bags lawful)
+  bool async_finish = false;  ///< pure async/finish structure (ESP-bags lawful)
+  bool has_retire = false;
+  bool has_futures = false;
+  bool has_pipeline = false;
+  std::size_t region_count = 0;  ///< access-bearing nodes (incl. future/get)
+  std::size_t loop_count = 0;
+  std::size_t branch_count = 0;
+};
+
+SkeletonTraits skeleton_traits(const Skeleton& s);
+
+/// Throws ContractViolation when validate_skeleton finds errors.
+void require_valid_skeleton(const Skeleton& s);
+
+}  // namespace race2d

@@ -1,0 +1,233 @@
+#include "static/skeleton_fuzz.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace race2d {
+
+SkelFuzzPlan SkelFuzzPlan::from_seed(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  SkelFuzzPlan p;
+  p.seed = seed;
+  p.max_regions = rng.range(3, 8);
+  p.max_depth = rng.range(2, 3);
+  p.max_loops = rng.below(3);
+  p.max_branches = rng.below(3);
+  p.loc_pool = rng.range(3, 6);
+  p.max_span = rng.range(0, 6);
+  p.write_frac = 0.3 + rng.uniform01() * 0.4;
+  p.retire_prob = rng.chance(0.5) ? 0.0 : rng.uniform01() * 0.25;
+  switch (rng.below(6)) {
+    case 0:  // raw Figure-9 only
+      break;
+    case 1:  // pure spawn/sync (SP-bags lawful downstream)
+      p.use_raw = false;
+      p.use_spawn = true;
+      break;
+    case 2:  // pure async/finish (ESP-bags lawful downstream)
+      p.use_raw = false;
+      p.use_finish = true;
+      break;
+    case 3:
+      p.use_futures = true;
+      break;
+    case 4:
+      p.use_pipeline = true;
+      break;
+    default:  // everything
+      p.use_spawn = true;
+      p.use_finish = true;
+      p.use_futures = true;
+      p.use_pipeline = true;
+      break;
+  }
+  return p;
+}
+
+std::string to_string(const SkelFuzzPlan& plan) {
+  std::ostringstream os;
+  os << "seed=" << plan.seed << " regions<=" << plan.max_regions
+     << " depth<=" << plan.max_depth << " loops<=" << plan.max_loops
+     << " branches<=" << plan.max_branches << " families=";
+  bool first = true;
+  const auto family = [&](bool on, const char* name) {
+    if (!on) return;
+    if (!first) os << '+';
+    os << name;
+    first = false;
+  };
+  family(plan.use_raw, "raw");
+  family(plan.use_spawn, "spawn");
+  family(plan.use_finish, "finish");
+  family(plan.use_futures, "futures");
+  family(plan.use_pipeline, "pipeline");
+  if (plan.allow_violations) os << " violations";
+  return os.str();
+}
+
+namespace {
+
+class Generator {
+ public:
+  // A distinct stream from from_seed's so plan knobs and tree draws do not
+  // alias (the xor constant spells "skel").
+  explicit Generator(const SkelFuzzPlan& plan)
+      : plan_(plan), rng_(plan.seed ^ 0x736b656cULL) {}
+
+  Skeleton build() {
+    std::vector<SkelNode> body = gen_body(0);
+    if (regions_ == 0) body.push_back(make_access());
+    return Skeleton{skel::seq(std::move(body))};
+  }
+
+ private:
+  SkelNode make_access() {
+    ++regions_;
+    const Loc lo = rng_.below(plan_.loc_pool) * (plan_.max_span / 2 + 1);
+    const Loc hi = lo + rng_.below(plan_.max_span + 1);
+    const double roll = rng_.uniform01();
+    if (roll < plan_.retire_prob) return skel::retire(lo, hi);
+    if (roll < plan_.retire_prob + plan_.write_frac) return skel::write(lo, hi);
+    return skel::read(lo, hi);
+  }
+
+  /// One body: a run of constructs, internally balanced — every raw fork
+  /// and future it creates is joined/got before the body ends (LIFO, so
+  /// join_left always meets the intended task), except for deliberate
+  /// violations.
+  std::vector<SkelNode> gen_body(std::size_t depth) {
+    std::vector<SkelNode> out;
+    // pending raw tasks, newest last; futures carry their cell interval.
+    struct Pending {
+      bool is_future = false;
+      LocInterval cell{0, 0};
+    };
+    std::vector<Pending> pending;
+    const auto pop_pending = [&] {
+      const Pending p = pending.back();
+      pending.pop_back();
+      out.push_back(p.is_future ? skel::get(p.cell.lo, p.cell.hi)
+                                : skel::join_left());
+    };
+    const std::size_t steps = rng_.range(2, 5);
+    for (std::size_t i = 0; i < steps && regions_ < plan_.max_regions; ++i) {
+      switch (rng_.below(8)) {
+        case 0:
+        case 1:
+        case 2:
+          out.push_back(make_access());
+          break;
+        case 3:
+          if (plan_.use_raw && depth < plan_.max_depth) {
+            out.push_back(skel::fork(gen_body(depth + 1)));
+            pending.push_back({});
+          } else {
+            out.push_back(make_access());
+          }
+          break;
+        case 4:
+          if (plan_.use_spawn && depth < plan_.max_depth) {
+            out.push_back(skel::spawn(gen_body(depth + 1)));
+            if (rng_.chance(0.4)) out.push_back(skel::sync());
+          } else if (plan_.use_finish && depth < plan_.max_depth) {
+            std::vector<SkelNode> fbody;
+            const std::size_t asyncs = rng_.range(1, 2);
+            for (std::size_t a = 0; a < asyncs; ++a)
+              fbody.push_back(skel::async(gen_body(depth + 1)));
+            if (rng_.chance(0.5)) fbody.push_back(make_access());
+            out.push_back(skel::finish(std::move(fbody)));
+          } else {
+            out.push_back(make_access());
+          }
+          break;
+        case 5:
+          if (plan_.use_futures && depth < plan_.max_depth) {
+            const Loc lo = 0x100 + rng_.below(plan_.loc_pool) * 4;
+            const Loc hi = lo + rng_.below(3);
+            ++regions_;  // the producer's hand-off write
+            out.push_back(skel::future(lo, hi, gen_body(depth + 1)));
+            pending.push_back({true, {lo, hi}});
+            ++regions_;  // the get's read (emitted when popped)
+          } else if (plan_.use_pipeline && depth < plan_.max_depth &&
+                     !in_pipeline_budget_used_) {
+            out.push_back(make_pipeline());
+          } else {
+            out.push_back(make_access());
+          }
+          break;
+        case 6:
+          if (loops_ < plan_.max_loops && depth < plan_.max_depth) {
+            ++loops_;
+            const std::size_t min = rng_.below(2);
+            const std::size_t max = min + rng_.range(1, 2);
+            out.push_back(skel::loop(min, max, gen_body(depth + 1)));
+          } else {
+            out.push_back(make_access());
+          }
+          break;
+        default:
+          if (branches_ < plan_.max_branches && depth < plan_.max_depth) {
+            ++branches_;
+            std::vector<SkelNode> arms;
+            const std::size_t n = rng_.range(2, 3);
+            for (std::size_t a = 0; a < n; ++a)
+              arms.push_back(skel::seq(gen_body(depth + 1)));
+            out.push_back(skel::branch(std::move(arms)));
+          } else {
+            out.push_back(make_access());
+          }
+          break;
+      }
+      // Occasionally join early (still LIFO, still balanced).
+      if (!pending.empty() && rng_.chance(0.35)) pop_pending();
+    }
+    if (plan_.allow_violations && rng_.chance(0.15)) {
+      if (!pending.empty() && rng_.chance(0.5)) {
+        pending.pop_back();  // leak a task: S002 (or an inner-join surprise)
+      } else {
+        out.push_back(skel::join_left());  // stray join: maybe-S001
+      }
+    }
+    while (!pending.empty()) pop_pending();
+    return out;
+  }
+
+  SkelNode make_pipeline() {
+    in_pipeline_budget_used_ = true;
+    const std::size_t stages = rng_.range(2, 3);
+    const std::size_t items = rng_.range(2, 3);
+    std::vector<SkelNode> bodies;
+    std::vector<std::uint8_t> serial;
+    bool parallel_seen = false;
+    for (std::size_t s = 0; s < stages; ++s) {
+      std::vector<SkelNode> body;
+      const std::size_t n = rng_.range(1, 2);
+      for (std::size_t k = 0; k < n; ++k) body.push_back(make_access());
+      bodies.push_back(skel::seq(std::move(body)));
+      // Serial prefix then parallel suffix keeps run_pipeline's restriction.
+      const bool parallel = s > 0 && (parallel_seen || rng_.chance(0.4));
+      parallel_seen = parallel_seen || parallel;
+      serial.push_back(parallel ? 0 : 1);
+    }
+    return skel::pipeline(items, std::move(bodies), std::move(serial),
+                          rng_.below(3) * 2);
+  }
+
+  const SkelFuzzPlan& plan_;
+  Xoshiro256 rng_;
+  std::size_t regions_ = 0;
+  std::size_t loops_ = 0;
+  std::size_t branches_ = 0;
+  bool in_pipeline_budget_used_ = false;
+};
+
+}  // namespace
+
+Skeleton generate_skeleton(const SkelFuzzPlan& plan) {
+  return Generator(plan).build();
+}
+
+}  // namespace race2d

@@ -1,0 +1,64 @@
+// Seeded random skeleton generation — the static analyzer's fuzzing front
+// end, mirroring src/fuzz/'s contract: every generated skeleton is a pure
+// function of one uint64_t seed.
+//
+// Generated skeletons are SHAPE-VALID by construction (validate_skeleton
+// passes) and, unless `allow_violations` is set, DISCIPLINE-CLEAN by
+// construction: every body drains its own raw forks, futures and spawns
+// before it ends, so every concretization obeys the Figure-9 line. That
+// makes the corpus ideal for the static-vs-dynamic agreement check: lower
+// every configuration in kFull mode, run the dynamic panel, and the static
+// race verdict must match — 0 mismatches expected.
+//
+// With `allow_violations`, the generator occasionally leaks a forked task
+// or emits a stray join, producing skeletons whose discipline verdict is
+// genuinely non-trivial (a stray join inside a forked body may be LEGAL —
+// it consumes a sibling, Figure 2's pattern — or an S001 underflow,
+// depending on the configuration): fodder for verify_discipline's
+// enumeration path and its counterexamples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "static/skeleton.hpp"
+
+namespace race2d {
+
+struct SkelFuzzPlan {
+  std::uint64_t seed = 1;
+
+  std::size_t max_regions = 8;   ///< access-bearing nodes
+  std::size_t max_depth = 3;     ///< construct nesting cap
+  std::size_t max_loops = 2;     ///< keeps the config space enumerable
+  std::size_t max_branches = 2;
+  Loc loc_pool = 6;     ///< distinct interval anchor slots
+  Loc max_span = 6;     ///< max interval width - 1
+  double write_frac = 0.5;
+  double retire_prob = 0.1;
+
+  /// Construct families the generator may use (from_seed picks a mix:
+  /// pure spawn/sync and pure async/finish families keep the bags
+  /// baselines applicable downstream).
+  bool use_raw = true;
+  bool use_spawn = false;
+  bool use_finish = false;
+  bool use_futures = false;
+  bool use_pipeline = false;
+
+  /// Occasionally leak a task or emit a stray join (see file comment).
+  bool allow_violations = false;
+
+  /// Derives every knob from `seed`. Pure: no globals, no time.
+  static SkelFuzzPlan from_seed(std::uint64_t seed);
+};
+
+/// One line, e.g. "seed=42 regions<=8 loops<=2 families=raw+futures".
+std::string to_string(const SkelFuzzPlan& plan);
+
+/// Generates the plan's skeleton: deterministic in the plan, shape-valid,
+/// with at least one access region.
+Skeleton generate_skeleton(const SkelFuzzPlan& plan);
+
+}  // namespace race2d

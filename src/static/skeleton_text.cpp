@@ -1,0 +1,347 @@
+#include "static/skeleton_text.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace race2d {
+
+namespace {
+
+std::string parse_message(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "skeleton parse error at line " << line << ": " << what;
+  return os.str();
+}
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::istream& is) {
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (const std::size_t hash = line.find('#'); hash != std::string::npos)
+        line.resize(hash);
+      std::string word;
+      const auto flush = [&] {
+        if (!word.empty()) {
+          tokens_.push_back({std::move(word), line_no});
+          word.clear();
+        }
+      };
+      for (const char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          flush();
+        } else if (c == '{' || c == '}') {
+          flush();
+          tokens_.push_back({std::string(1, c), line_no});
+        } else {
+          word.push_back(c);
+        }
+      }
+      flush();
+      last_line_ = line_no;
+    }
+  }
+
+  bool at_end() const { return pos_ >= tokens_.size(); }
+  const Token* peek() const { return at_end() ? nullptr : &tokens_[pos_]; }
+  Token next() {
+    if (at_end())
+      throw SkeletonParseError(last_line_, "unexpected end of input");
+    return tokens_[pos_++];
+  }
+  void expect(const char* text) {
+    const Token t = next();
+    if (t.text != text)
+      throw SkeletonParseError(t.line, "expected '" + std::string(text) +
+                                           "', found '" + t.text + "'");
+  }
+  std::size_t last_line() const { return last_line_; }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::size_t last_line_ = 1;
+};
+
+bool looks_numeric(const std::string& s) {
+  return !s.empty() && std::isdigit(static_cast<unsigned char>(s[0])) != 0;
+}
+
+std::uint64_t parse_number(const Token& t) {
+  if (!looks_numeric(t.text))
+    throw SkeletonParseError(t.line, "expected a number, found '" + t.text +
+                                         "'");
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(t.text, &consumed, 0);  // base 0: decimal or 0x-hex
+  } catch (const std::exception&) {
+    throw SkeletonParseError(t.line, "malformed number '" + t.text + "'");
+  }
+  if (consumed != t.text.size())
+    throw SkeletonParseError(t.line, "trailing characters in number '" +
+                                         t.text + "'");
+  return value;
+}
+
+class Parser {
+ public:
+  explicit Parser(Tokenizer& tok) : tok_(tok) {}
+
+  Skeleton parse_file() {
+    std::vector<SkelNode> nodes;
+    while (!tok_.at_end()) nodes.push_back(parse_node());
+    if (nodes.empty())
+      throw SkeletonParseError(tok_.last_line(), "empty skeleton");
+    Skeleton s;
+    s.root = nodes.size() == 1 ? std::move(nodes.front())
+                               : skel::seq(std::move(nodes));
+    return s;
+  }
+
+ private:
+  std::vector<SkelNode> parse_block() {
+    tok_.expect("{");
+    std::vector<SkelNode> nodes;
+    while (true) {
+      const Token* t = tok_.peek();
+      if (t == nullptr)
+        throw SkeletonParseError(tok_.last_line(), "unterminated block");
+      if (t->text == "}") {
+        tok_.next();
+        return nodes;
+      }
+      nodes.push_back(parse_node());
+    }
+  }
+
+  LocInterval parse_interval() {
+    const Loc lo = parse_number(tok_.next());
+    const Token* t = tok_.peek();
+    const Loc hi =
+        (t != nullptr && looks_numeric(t->text)) ? parse_number(tok_.next())
+                                                 : lo;
+    return {lo, hi};
+  }
+
+  SkelNode parse_node() {
+    const Token kw = tok_.next();
+    if (kw.text == "seq")    return skel::seq(parse_block());
+    if (kw.text == "fork")   return skel::fork(parse_block());
+    if (kw.text == "join")   return skel::join_left();
+    if (kw.text == "spawn")  return skel::spawn(parse_block());
+    if (kw.text == "sync")   return skel::sync();
+    if (kw.text == "finish") return skel::finish(parse_block());
+    if (kw.text == "async")  return skel::async(parse_block());
+    if (kw.text == "read" || kw.text == "write" || kw.text == "retire") {
+      const AccessKind kind = kw.text == "read"    ? AccessKind::kRead
+                              : kw.text == "write" ? AccessKind::kWrite
+                                                   : AccessKind::kRetire;
+      const LocInterval iv = parse_interval();
+      return skel::access(kind, iv.lo, iv.hi);
+    }
+    if (kw.text == "loop") {
+      const std::uint64_t lo = parse_number(tok_.next());
+      const std::uint64_t hi = parse_number(tok_.next());
+      return skel::loop(lo, hi, parse_block());
+    }
+    if (kw.text == "branch") return skel::branch(parse_block());
+    if (kw.text == "future") {
+      const LocInterval iv = parse_interval();
+      return skel::future(iv.lo, iv.hi, parse_block());
+    }
+    if (kw.text == "get") {
+      const LocInterval iv = parse_interval();
+      return skel::get(iv.lo, iv.hi);
+    }
+    if (kw.text == "pipeline") {
+      const std::uint64_t items = parse_number(tok_.next());
+      Loc stride = 0;
+      if (const Token* t = tok_.peek(); t != nullptr && t->text == "stride") {
+        tok_.next();
+        stride = parse_number(tok_.next());
+      }
+      tok_.expect("{");
+      std::vector<SkelNode> stages;
+      std::vector<std::uint8_t> serial;
+      while (true) {
+        const Token t = tok_.next();
+        if (t.text == "}") break;
+        if (t.text != "stage" && t.text != "pstage")
+          throw SkeletonParseError(
+              t.line, "expected 'stage', 'pstage' or '}', found '" + t.text +
+                          "'");
+        serial.push_back(t.text == "stage" ? 1 : 0);
+        // Stage bodies are always wrapped in a seq so writer and parser
+        // round-trip: write_skeleton_text unwraps exactly one seq level.
+        stages.push_back(skel::seq(parse_block()));
+      }
+      return skel::pipeline(items, std::move(stages), std::move(serial),
+                            stride);
+    }
+    throw SkeletonParseError(kw.line, "unknown construct '" + kw.text + "'");
+  }
+
+  Tokenizer& tok_;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  void write_file(const Skeleton& s) {
+    if (s.root.kind == SkelKind::kSeq) {
+      for (const SkelNode& c : s.root.children) write_node(c, 0);
+    } else {
+      write_node(s.root, 0);
+    }
+  }
+
+ private:
+  void indent(int depth) {
+    for (int i = 0; i < depth; ++i) os_ << "  ";
+  }
+
+  void number(Loc v) {
+    os_ << "0x" << std::hex << v << std::dec;
+  }
+
+  void interval(const LocInterval& iv) {
+    number(iv.lo);
+    if (iv.hi != iv.lo) {
+      os_ << ' ';
+      number(iv.hi);
+    }
+  }
+
+  void block(const SkelNode& n, int depth) {
+    os_ << " {\n";
+    for (const SkelNode& c : n.children) write_node(c, depth + 1);
+    indent(depth);
+    os_ << "}\n";
+  }
+
+  void write_node(const SkelNode& n, int depth) {
+    indent(depth);
+    switch (n.kind) {
+      case SkelKind::kSeq:
+      case SkelKind::kFork:
+      case SkelKind::kSpawn:
+      case SkelKind::kFinish:
+      case SkelKind::kAsync:
+        os_ << to_string(n.kind);
+        block(n, depth);
+        break;
+      case SkelKind::kJoinLeft:
+        os_ << "join\n";
+        break;
+      case SkelKind::kSync:
+        os_ << "sync\n";
+        break;
+      case SkelKind::kAccess:
+        os_ << (n.access == AccessKind::kRead    ? "read "
+                : n.access == AccessKind::kWrite ? "write "
+                                                 : "retire ");
+        interval(n.interval);
+        os_ << '\n';
+        break;
+      case SkelKind::kLoop:
+        os_ << "loop " << n.min_iters << ' ' << n.max_iters;
+        block(n, depth);
+        break;
+      case SkelKind::kBranch:
+        os_ << "branch";
+        block(n, depth);
+        break;
+      case SkelKind::kFuture:
+        os_ << "future ";
+        interval(n.interval);
+        block(n, depth);
+        break;
+      case SkelKind::kGet:
+        os_ << "get ";
+        interval(n.interval);
+        os_ << '\n';
+        break;
+      case SkelKind::kPipeline: {
+        os_ << "pipeline " << n.item_count;
+        if (n.item_stride != 0) {
+          os_ << " stride ";
+          number(n.item_stride);
+        }
+        os_ << " {\n";
+        for (std::size_t s = 0; s < n.children.size(); ++s) {
+          indent(depth + 1);
+          os_ << (s < n.stage_serial.size() && n.stage_serial[s] == 0
+                      ? "pstage"
+                      : "stage");
+          const SkelNode& body = n.children[s];
+          if (body.kind == SkelKind::kSeq) {
+            block(body, depth + 1);
+          } else {
+            os_ << " {\n";
+            write_node(body, depth + 2);
+            indent(depth + 1);
+            os_ << "}\n";
+          }
+        }
+        indent(depth);
+        os_ << "}\n";
+        break;
+      }
+    }
+  }
+
+  std::ostream& os_;
+};
+
+}  // namespace
+
+SkeletonParseError::SkeletonParseError(std::size_t line_number,
+                                       const std::string& what)
+    : ContractViolation(parse_message(line_number, what)),
+      line_number_(line_number) {}
+
+void write_skeleton_text(std::ostream& os, const Skeleton& s) {
+  Writer(os).write_file(s);
+}
+
+std::string skeleton_to_text(const Skeleton& s) {
+  std::ostringstream os;
+  write_skeleton_text(os, s);
+  return os.str();
+}
+
+Skeleton parse_skeleton_text(std::istream& is) {
+  Tokenizer tok(is);
+  return Parser(tok).parse_file();
+}
+
+Skeleton parse_skeleton_text(const std::string& text) {
+  std::istringstream is(text);
+  return parse_skeleton_text(is);
+}
+
+Skeleton load_skeleton_text(std::istream& is) {
+  Skeleton s = parse_skeleton_text(is);
+  require_valid_skeleton(s);
+  return s;
+}
+
+Skeleton load_skeleton_text(const std::string& text) {
+  std::istringstream is(text);
+  return load_skeleton_text(is);
+}
+
+}  // namespace race2d

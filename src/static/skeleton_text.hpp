@@ -1,0 +1,58 @@
+// Text serialization of program skeletons — the input format of
+// example_static_analyzer.
+//
+// A file is a sequence of nodes (an implicit `seq` root; a single node is
+// the root itself). '#' starts a comment. Numbers are decimal or 0x-hex;
+// access forms take an inclusive interval, with the upper bound defaulting
+// to the lower (a single location).
+//
+//   seq { <node>* }
+//   fork { <node>* }                    join
+//   read <lo> [<hi>]                    write <lo> [<hi>]
+//   retire <lo> [<hi>]
+//   loop <min> <max> { <node>* }
+//   branch { <arm-node>* }              # each child node is one arm
+//   spawn { <node>* }                   sync
+//   finish { <node>* }                  async { <node>* }
+//   future <lo> [<hi>] { <node>* }      get <lo> [<hi>]
+//   pipeline <items> [stride <n>] { <stage>* }
+//     stage { <node>* }                 # serial stage
+//     pstage { <node>* }                # parallel stage
+//
+// parse_skeleton_text is purely syntactic (SkeletonParseError with a line
+// number); load_skeleton_text additionally runs validate_skeleton and
+// throws TraceLintError with S-codes, mirroring trace_io's two load tiers.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "static/skeleton.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+/// Syntactic rejection of a skeleton file, with the 1-based offending line.
+class SkeletonParseError : public ContractViolation {
+ public:
+  SkeletonParseError(std::size_t line_number, const std::string& what);
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::size_t line_number_;
+};
+
+/// Writes `s` in the text format (parses back to an equal skeleton).
+void write_skeleton_text(std::ostream& os, const Skeleton& s);
+std::string skeleton_to_text(const Skeleton& s);
+
+/// Parses the text format. Throws SkeletonParseError on malformed input.
+Skeleton parse_skeleton_text(std::istream& is);
+Skeleton parse_skeleton_text(const std::string& text);
+
+/// Parses AND validates: shape errors (S003..S008) throw TraceLintError.
+Skeleton load_skeleton_text(std::istream& is);
+Skeleton load_skeleton_text(const std::string& text);
+
+}  // namespace race2d

@@ -39,6 +39,17 @@ const char* lint_code_id(LintCode code) {
     case LintCode::kLastArcMismatch:     return "T007";
     case LintCode::kStopArcViolation:    return "T008";
     case LintCode::kMissingArc:          return "T009";
+    case LintCode::kSkelJoinUnderflow:     return "S001";
+    case LintCode::kSkelUnjoinedAtHalt:    return "S002";
+    case LintCode::kSkelLoopBounds:        return "S003";
+    case LintCode::kSkelBranchEmpty:       return "S004";
+    case LintCode::kSkelIntervalInvalid:   return "S005";
+    case LintCode::kSkelAsyncOutsideFinish:return "S006";
+    case LintCode::kSkelPipelineShape:     return "S007";
+    case LintCode::kSkelNodeShape:         return "S008";
+    case LintCode::kSkelConfigTruncated:   return "S009";
+    case LintCode::kSkelBudgetExceeded:    return "S010";
+    case LintCode::kSkelPossibleViolation: return "S011";
   }
   return "????";
 }
@@ -78,6 +89,17 @@ const char* lint_code_slug(LintCode code) {
     case LintCode::kLastArcMismatch:     return "last-arc-mismatch";
     case LintCode::kStopArcViolation:    return "stop-arc-violation";
     case LintCode::kMissingArc:          return "missing-arc";
+    case LintCode::kSkelJoinUnderflow:     return "skel-join-underflow";
+    case LintCode::kSkelUnjoinedAtHalt:    return "skel-unjoined-at-halt";
+    case LintCode::kSkelLoopBounds:        return "skel-loop-bounds";
+    case LintCode::kSkelBranchEmpty:       return "skel-branch-empty";
+    case LintCode::kSkelIntervalInvalid:   return "skel-interval-invalid";
+    case LintCode::kSkelAsyncOutsideFinish:return "skel-async-outside-finish";
+    case LintCode::kSkelPipelineShape:     return "skel-pipeline-shape";
+    case LintCode::kSkelNodeShape:         return "skel-node-shape";
+    case LintCode::kSkelConfigTruncated:   return "skel-config-space-truncated";
+    case LintCode::kSkelBudgetExceeded:    return "skel-budget-exceeded";
+    case LintCode::kSkelPossibleViolation: return "skel-possible-violation";
   }
   return "unknown";
 }
@@ -86,6 +108,8 @@ LintSeverity lint_code_severity(LintCode code) {
   switch (code) {
     case LintCode::kAccessAfterRetire:
     case LintCode::kDeadRetire:
+    case LintCode::kSkelConfigTruncated:
+    case LintCode::kSkelPossibleViolation:
       return LintSeverity::kWarning;
     default:
       return LintSeverity::kError;
@@ -94,8 +118,10 @@ LintSeverity lint_code_severity(LintCode code) {
 
 std::string to_string(const LintDiagnostic& d) {
   std::ostringstream os;
-  os << lint_code_id(d.code) << ' ' << lint_code_slug(d.code) << " at event "
-     << d.index << ": " << d.message;
+  const char* id = lint_code_id(d.code);
+  os << id << ' ' << lint_code_slug(d.code)
+     << (id[0] == 'S' ? " at node " : " at event ") << d.index << ": "
+     << d.message;
   if (!d.hint.empty()) os << " (hint: " << d.hint << ')';
   return os.str();
 }

@@ -61,6 +61,21 @@ enum class LintCode : std::uint8_t {
   kLastArcMismatch,      ///< T007: last-arc flag disagrees with the rightmost arc
   kStopArcViolation,     ///< T008: stop-arc discipline broken (Definition 3)
   kMissingArc,           ///< T009: a diagram arc is never traversed
+
+  // S0xx — program skeletons (src/static/): static findings quantify over
+  // EVERY concretization, not one trace. `index` is the preorder node id.
+  kSkelJoinUnderflow,     ///< S001: some concretization joins with no left neighbor
+  kSkelUnjoinedAtHalt,    ///< S002: some concretization halts the root with unjoined tasks
+  kSkelLoopBounds,        ///< S003: loop bounds empty, inverted, or over the cap
+  kSkelBranchEmpty,       ///< S004: branch with no arms
+  kSkelIntervalInvalid,   ///< S005: access interval lo > hi
+  kSkelAsyncOutsideFinish,///< S006: async node not directly inside a finish region
+  kSkelPipelineShape,     ///< S007: pipeline stage/item shape or flags invalid
+  kSkelNodeShape,         ///< S008: node child count is invalid for its kind
+  kSkelConfigTruncated,   ///< S009: configuration space truncated at the cap
+  kSkelBudgetExceeded,    ///< S010: a concretization exceeds the event budget
+  kSkelPossibleViolation, ///< S011: interval analysis flags a discipline risk no
+                          ///<       explored concretization confirms
 };
 
 enum class LintSeverity : std::uint8_t { kWarning, kError };

@@ -3,12 +3,14 @@
 // detector and the naive gold reference on identical traces.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 
 #include "baselines/espbags.hpp"
 #include "baselines/naive.hpp"
 #include "core/detector.hpp"
 #include "runtime/async_finish.hpp"
+#include "runtime/parallel_executor.hpp"
 #include "runtime/serial_executor.hpp"
 #include "runtime/trace.hpp"
 #include "support/rng.hpp"
@@ -141,6 +143,29 @@ TEST(EspBags, EscapedWorkStillConcurrentInsideTheFinish) {
   drive_suprema(sup, t);
   EXPECT_TRUE(esp.race_found());
   EXPECT_TRUE(sup.race_found());
+}
+
+TEST(EspBags, TransitiveFinishRefusesParallelExecutor) {
+  // The transitive drain is computed from the exact Figure 9 line length,
+  // which only the serial executor tracks; under the parallel executor the
+  // count is approximate, so construction must fail loudly instead of
+  // silently draining the wrong number of tasks.
+  ParallelExecutor exec({2});
+  EXPECT_THROW(
+      exec.run([](TaskContext& ctx) { TransitiveFinishScope finish(ctx); }),
+      ContractViolation);
+}
+
+TEST(EspBags, DirectFinishStillRunsUnderParallelExecutor) {
+  // FinishScope joins its direct asyncs by handle — no live-task counting —
+  // and must keep working under real threads.
+  std::atomic<int> hits{0};
+  ParallelExecutor exec({2});
+  exec.run([&hits](TaskContext& ctx) {
+    FinishScope finish(ctx);
+    finish.async([&hits](TaskContext&) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 1);
 }
 
 TEST(EspBags, NestedFinishesScopeCorrectly) {

@@ -1,0 +1,286 @@
+// The skeleton IR layer: builders, preorder indexing, shape validation
+// (S003..S008), the text format round-trip, config enumeration, the three
+// lowering modes, and the static line-discipline verifier (S001/S002/S009/
+// S011 + interval proofs). MHP and the race pass live in static_mhp_test.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "static/concretize.hpp"
+#include "static/discipline.hpp"
+#include "static/skeleton.hpp"
+#include "static/skeleton_text.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+namespace {
+
+using namespace race2d::skel;
+
+// The static_analyzer demo: Figure 2 as a skeleton, with a loop making it
+// a two-member family. Preorder ids: 0 seq, 1 fork, 2 read[0x10,0x17],
+// 3 read 0x10, 4 fork, 5 join, 6 loop, 7 write[0x10,0x17], 8 join.
+Skeleton figure2_family() {
+  return Skeleton{seq({
+      fork({read(0x10, 0x17)}),
+      read(0x10, 0x10),
+      fork({join_left()}),
+      loop(1, 2, {write(0x10, 0x17)}),
+      join_left(),
+  })};
+}
+
+TEST(SkeletonIr, PreorderIndexing) {
+  const Skeleton s = figure2_family();
+  const SkeletonIndex idx = index_skeleton(s);
+  ASSERT_EQ(idx.size(), 9u);
+  EXPECT_EQ(idx.nodes[0]->kind, SkelKind::kSeq);
+  EXPECT_EQ(idx.nodes[1]->kind, SkelKind::kFork);
+  EXPECT_EQ(idx.nodes[2]->kind, SkelKind::kAccess);
+  EXPECT_EQ(idx.nodes[6]->kind, SkelKind::kLoop);
+  EXPECT_EQ(idx.nodes[7]->kind, SkelKind::kAccess);
+  EXPECT_EQ(idx.parent[2], 1u);
+  EXPECT_EQ(idx.parent[7], 6u);
+  EXPECT_EQ(idx.parent[0], 0u);
+}
+
+TEST(SkeletonIr, TraitsCoverTheSugarFamilies) {
+  const SkeletonTraits raw = skeleton_traits(figure2_family());
+  EXPECT_FALSE(raw.spawn_sync);
+  EXPECT_EQ(raw.region_count, 3u);
+  EXPECT_EQ(raw.loop_count, 1u);
+
+  const Skeleton cilk{seq({spawn({write(5, 5)}), write(5, 5), skel::sync()})};
+  EXPECT_TRUE(skeleton_traits(cilk).spawn_sync);
+
+  const Skeleton x10{seq({finish({async({write(7, 7)}), write(7, 7)})})};
+  EXPECT_TRUE(skeleton_traits(x10).async_finish);
+
+  const Skeleton fut{
+      seq({future(0x20, 0x23, {}), read(0x20, 0x23), get(0x20, 0x23)})};
+  EXPECT_TRUE(skeleton_traits(fut).has_futures);
+}
+
+TEST(SkeletonValidate, ShapeErrorsCarryStableCodes) {
+  // S003: loop bound over the enumeration cap.
+  const Skeleton huge_loop{
+      seq({loop(1, kMaxLoopIterations + 1, {read(1, 1)})})};
+  LintResult r = validate_skeleton(huge_loop);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.first_error().code, LintCode::kSkelLoopBounds);
+
+  // S005: inverted interval.
+  const Skeleton inverted{seq({read(9, 3)})};
+  r = validate_skeleton(inverted);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.first_error().code, LintCode::kSkelIntervalInvalid);
+
+  // S006: async must sit directly inside a finish.
+  const Skeleton stray_async{seq({async({write(1, 1)})})};
+  r = validate_skeleton(stray_async);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.first_error().code, LintCode::kSkelAsyncOutsideFinish);
+
+  EXPECT_THROW(require_valid_skeleton(stray_async), ContractViolation);
+  EXPECT_NO_THROW(require_valid_skeleton(figure2_family()));
+}
+
+TEST(SkeletonText, KitchenSinkRoundTripsExactly) {
+  const Skeleton s{seq({
+      fork({read(0x10, 0x17), retire(0x10, 0x17)}),
+      branch({write(0x20, 0x20), seq({})}),
+      loop(0, 3, {spawn({write(0x30, 0x33)}), skel::sync()}),
+      finish({async({write(0x40, 0x40)})}),
+      future(0x50, 0x51, {read(0x10, 0x10)}),
+      get(0x50, 0x51),
+      pipeline(3, {read(0x60, 0x60), write(0x60, 0x60)}, {1, 0}, 0x10),
+      join_left(),
+  })};
+  require_valid_skeleton(s);
+
+  // The text form is the canonical identity: write -> parse -> write is a
+  // fixed point. (Node counts may differ from the builder tree — the parser
+  // normalizes pipeline stage bodies into seq wrappers.)
+  std::ostringstream first;
+  write_skeleton_text(first, s);
+  const Skeleton reparsed = parse_skeleton_text(first.str());
+  std::ostringstream second;
+  write_skeleton_text(second, reparsed);
+  EXPECT_EQ(first.str(), second.str());
+
+  const SkeletonTraits a = skeleton_traits(s);
+  const SkeletonTraits b = skeleton_traits(reparsed);
+  EXPECT_EQ(a.region_count, b.region_count);
+  EXPECT_EQ(a.loop_count, b.loop_count);
+  EXPECT_EQ(a.branch_count, b.branch_count);
+  EXPECT_EQ(a.has_futures, b.has_futures);
+  EXPECT_EQ(a.has_pipeline, b.has_pipeline);
+  EXPECT_EQ(a.spawn_sync, b.spawn_sync);
+  EXPECT_EQ(a.async_finish, b.async_finish);
+}
+
+TEST(SkeletonText, ParseErrorsNameTheLine) {
+  try {
+    parse_skeleton_text("seq {\n  frok\n}\n");
+    FAIL() << "expected SkeletonParseError";
+  } catch (const SkeletonParseError& e) {
+    EXPECT_EQ(e.line_number(), 2u);
+    EXPECT_NE(std::string(e.what()).find("frok"), std::string::npos);
+  }
+}
+
+TEST(SkeletonConfigs, OdometerOrderAllMinFirst) {
+  const Skeleton s{seq({
+      loop(1, 3, {read(1, 1)}),
+      branch({write(2, 2), write(3, 3)}),
+  })};
+  const ConfigSpace space = enumerate_configs(s, 4096);
+  EXPECT_FALSE(space.truncated);
+  EXPECT_EQ(space.total, 6u);
+  ASSERT_EQ(space.configs.size(), 6u);
+  // Node 1 is the loop, node 3 the branch (preorder).
+  EXPECT_EQ(space.configs.front().choice[1], 1u);
+  EXPECT_EQ(space.configs.front().choice[3], 0u);
+  EXPECT_EQ(space.configs.back().choice[1], 3u);
+  EXPECT_EQ(space.configs.back().choice[3], 1u);
+
+  const ConfigSpace capped = enumerate_configs(s, 4);
+  EXPECT_TRUE(capped.truncated);
+  EXPECT_EQ(capped.configs.size(), 4u);
+  EXPECT_EQ(capped.total, 6u);
+}
+
+TEST(SkeletonLowering, ModesShareStructureAndScaleAccesses) {
+  const Skeleton s = figure2_family();
+  SkelConfig cfg = enumerate_configs(s, 16).configs.back();  // loop runs 2x
+
+  const LoweredTrace markers = lower_skeleton(s, cfg, {LowerMode::kMarkers});
+  ASSERT_TRUE(markers.ok);
+  ASSERT_EQ(markers.regions.size(), 4u);  // read A, read B, write, write
+  EXPECT_TRUE(lint_trace(markers.trace).ok());
+
+  LowerOptions full_opts;
+  full_opts.mode = LowerMode::kFull;
+  const LoweredTrace full = lower_skeleton(s, cfg, full_opts);
+  ASSERT_TRUE(full.ok);
+
+  auto accesses = [](const Trace& t) {
+    std::size_t n = 0;
+    for (const TraceEvent& e : t)
+      if (e.op == TraceOp::kRead || e.op == TraceOp::kWrite) ++n;
+    return n;
+  };
+  EXPECT_EQ(accesses(markers.trace), 4u);
+  EXPECT_EQ(accesses(full.trace), 8u + 1u + 8u + 8u);
+  // Identical structural skeleton: same non-access event stream.
+  const std::size_t structural_m = markers.trace.size() - 4u;
+  const std::size_t structural_f = full.trace.size() - 25u;
+  EXPECT_EQ(structural_m, structural_f);
+
+  // Marker locations live in the reserved range.
+  for (const TraceEvent& e : markers.trace) {
+    if (e.op == TraceOp::kRead || e.op == TraceOp::kWrite) {
+      EXPECT_GE(e.loc, kMarkerLocBase);
+    }
+  }
+
+  LowerOptions wit;
+  wit.mode = LowerMode::kWitness;
+  wit.witness_prior = 0;
+  wit.witness_racing = 2;
+  wit.witness_loc = 0x12;
+  const LoweredTrace witness = lower_skeleton(s, cfg, wit);
+  ASSERT_TRUE(witness.ok);
+  EXPECT_EQ(accesses(witness.trace), 2u);
+  EXPECT_TRUE(lint_trace(witness.trace).ok());
+}
+
+TEST(SkeletonLowering, DisciplineViolationsComeBackStructured) {
+  // Join with an empty line: S001, not an exception.
+  const Skeleton underflow{seq({join_left()})};
+  const SkelConfig cfg{{0u, 0u}};
+  const LoweredTrace l = lower_skeleton(underflow, cfg);
+  ASSERT_FALSE(l.ok);
+  EXPECT_EQ(l.violation, LintCode::kSkelJoinUnderflow);
+  EXPECT_EQ(l.violating_node, 1u);
+
+  // Unjoined fork at root end: S002.
+  const Skeleton leak{seq({fork({read(1, 1)})})};
+  const LoweredTrace l2 = lower_skeleton(leak, SkelConfig{{0u, 0u, 0u}});
+  ASSERT_FALSE(l2.ok);
+  EXPECT_EQ(l2.violation, LintCode::kSkelUnjoinedAtHalt);
+}
+
+TEST(Discipline, IntervalProofCoversEveryBalancedFamily) {
+  // Every sugar family is balanced by construction; the interval abstract
+  // interpretation alone must prove them clean — no enumeration.
+  const std::vector<Skeleton> clean = {
+      figure2_family(),
+      Skeleton{seq({spawn({write(5, 5)}), write(5, 5), skel::sync()})},
+      Skeleton{seq({finish({async({write(7, 7)}), write(7, 7)})})},
+      Skeleton{seq({future(0x20, 0x23, {}), read(0x20, 0x23),
+                    get(0x20, 0x23)})},
+      Skeleton{seq({pipeline(4, {read(0x60, 0x60), write(0x61, 0x61)},
+                             {1, 0}, 0x10)})},
+  };
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const DisciplineReport rep = verify_discipline(clean[i]);
+    EXPECT_TRUE(rep.clean) << "skeleton " << i << ": "
+                           << to_string(rep.lint);
+    EXPECT_TRUE(rep.proved_by_intervals) << "skeleton " << i;
+    EXPECT_EQ(rep.root_effect.need_hi, 0) << "skeleton " << i;
+    EXPECT_EQ(rep.root_effect.delta_hi, 0) << "skeleton " << i;
+  }
+}
+
+TEST(Discipline, ConfigDependentViolationYieldsCounterexample) {
+  // One fork, then a loop of joins running 0..2 times: n=0 leaks the task
+  // (S002), n=2 underflows (S001). Only n=1 is clean — so the skeleton is
+  // dirty and the report must name a concrete violating configuration.
+  const Skeleton s{seq({
+      fork({read(0x10, 0x10)}),
+      loop(0, 2, {join_left()}),
+  })};
+  const DisciplineReport rep = verify_discipline(s);
+  EXPECT_FALSE(rep.clean);
+  EXPECT_TRUE(rep.exact);
+  ASSERT_TRUE(rep.has_counterexample);
+  ASSERT_FALSE(rep.lint.ok());
+  const LintCode code = rep.lint.first_error().code;
+  EXPECT_TRUE(code == LintCode::kSkelJoinUnderflow ||
+              code == LintCode::kSkelUnjoinedAtHalt);
+  // The counterexample trace is the violating prefix of a real lowering.
+  EXPECT_FALSE(rep.counterexample.ok);
+  EXPECT_FALSE(rep.counterexample.trace.empty());
+}
+
+TEST(Discipline, TruncatedEnumerationDegradesToWarnings) {
+  // One branch whose second arm leaks a task, then 13 clean two-arm
+  // branches. The odometer varies the LAST dial fastest, so with a cap of
+  // 4 the explored prefix never reaches the violating arm: the verdict
+  // degrades to S009 (truncation) + S011 (possible violation), warnings.
+  std::vector<SkelNode> body;
+  body.push_back(branch({seq({}), fork({read(1, 1)})}));
+  for (int i = 0; i < 13; ++i)
+    body.push_back(branch({seq({}), read(1, 1)}));
+  const Skeleton s{seq(std::move(body))};
+
+  DisciplineOptions opts;
+  opts.max_configs = 4;
+  const DisciplineReport rep = verify_discipline(s, opts);
+  EXPECT_FALSE(rep.exact);
+  EXPECT_FALSE(rep.clean);
+  bool saw_truncated = false, saw_possible = false;
+  for (const LintDiagnostic& d : rep.lint.diagnostics) {
+    saw_truncated |= d.code == LintCode::kSkelConfigTruncated;
+    saw_possible |= d.code == LintCode::kSkelPossibleViolation;
+    EXPECT_EQ(d.severity, LintSeverity::kWarning) << to_string(d);
+  }
+  EXPECT_TRUE(saw_truncated);
+  EXPECT_TRUE(saw_possible);
+}
+
+}  // namespace
+}  // namespace race2d
