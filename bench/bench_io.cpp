@@ -1,0 +1,141 @@
+// E12 — trace I/O and service throughput: the binary wire format vs the
+// text format on the SAME event stream (parse/decode/encode events/s), plus
+// the DetectionService's end-to-end feed+drain path over chunked binary
+// frames. The binary decoder's inner loop is varint reads and delta adds
+// with one CRC pass per chunk, so it should clear the text parser (strtoull
+// + per-line tokenization) by well over 2x on events/s — scripts/bench.sh
+// snapshots this into BENCH_io.json and EXPERIMENTS.md E12 quotes it.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "bench_common.hpp"
+#include "io/binary_reader.hpp"
+#include "io/binary_writer.hpp"
+#include "runtime/trace_io.hpp"
+#include "service/service.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace race2d;
+
+const Trace& io_trace() {
+  static const Trace trace = [] {
+    ProgramParams params;
+    params.seed = 12;
+    params.max_tasks = 2048;
+    params.max_actions = 48;
+    params.fork_prob = 0.35;
+    return benchutil::record(random_program(params));
+  }();
+  return trace;
+}
+
+const std::string& text_bytes() {
+  static const std::string bytes = trace_to_text(io_trace());
+  return bytes;
+}
+
+const std::string& binary_bytes() {
+  static const std::string bytes = trace_to_binary(io_trace());
+  return bytes;
+}
+
+void BM_TextParse(benchmark::State& state) {
+  const std::string& bytes = text_bytes();
+  const std::int64_t events = static_cast<std::int64_t>(io_trace().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_trace_text(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_TextParse);
+
+void BM_BinaryDecode(benchmark::State& state) {
+  const std::string& bytes = binary_bytes();
+  const std::int64_t events = static_cast<std::int64_t>(io_trace().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_from_binary(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_BinaryDecode);
+
+void BM_TextEncode(benchmark::State& state) {
+  const Trace& trace = io_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_to_text(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TextEncode);
+
+void BM_BinaryEncode(benchmark::State& state) {
+  const Trace& trace = io_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_to_binary(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["bytes_per_event"] =
+      static_cast<double>(binary_bytes().size()) /
+      static_cast<double>(trace.size());
+}
+BENCHMARK(BM_BinaryEncode);
+
+// End-to-end service path: open a session, stream the binary trace in
+// 64 KiB feed requests (draining reports as they accumulate), close. This
+// is what one race2d_client invocation costs the daemon per trace.
+void BM_ServiceFeedDrain(benchmark::State& state) {
+  const std::string& bytes = binary_bytes();
+  const std::int64_t events = static_cast<std::int64_t>(io_trace().size());
+  constexpr std::size_t kChunk = 64u << 10;
+  for (auto _ : state) {
+    DetectionService service{ServiceLimits{}};
+    Request open;
+    open.verb = Verb::kOpen;
+    benchmark::DoNotOptimize(service.handle(open));
+    for (std::size_t off = 0; off < bytes.size(); off += kChunk) {
+      Request feed;
+      feed.verb = Verb::kFeed;
+      feed.session = 1;
+      feed.bytes = bytes.substr(off, kChunk);
+      const Response rsp = service.handle(feed);
+      if (rsp.feed.backpressure) {
+        Request drain;
+        drain.verb = Verb::kDrain;
+        drain.session = 1;
+        drain.max_reports = 0;  // everything
+        benchmark::DoNotOptimize(service.handle(drain));
+      }
+    }
+    Request drain;
+    drain.verb = Verb::kDrain;
+    drain.session = 1;
+    drain.max_reports = 0;
+    benchmark::DoNotOptimize(service.handle(drain));
+    Request close;
+    close.verb = Verb::kClose;
+    close.session = 1;
+    benchmark::DoNotOptimize(service.handle(close));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_ServiceFeedDrain);
+
+}  // namespace

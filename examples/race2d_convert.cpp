@@ -1,0 +1,134 @@
+// race2d_convert: translate traces between the text format (trace_io.hpp)
+// and the binary wire format (io/binary_format.hpp).
+//
+//   $ race2d_convert in.trace out.btrace        text -> binary (by sniffing)
+//   $ race2d_convert in.btrace out.trace        binary -> text
+//   $ race2d_convert --to-binary in out         force the direction
+//   $ race2d_convert --to-text in out
+//   $ race2d_convert --verify in                decode only; report stats
+//
+// Conversion is streaming end to end (TraceEventSource -> writer), so a
+// multi-gigabyte trace converts in O(chunk) memory. The converter is purely
+// syntactic: it does NOT lint — a malformed but parseable trace converts
+// faithfully, which is exactly what the corpus's invalid/ twins need.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "io/binary_reader.hpp"
+#include "io/binary_writer.hpp"
+#include "io/text_reader.hpp"
+#include "runtime/trace_io.hpp"
+
+namespace {
+
+using namespace race2d;
+
+enum class Direction { kSniff, kToBinary, kToText, kVerify };
+
+int run(std::istream& in, std::ostream* out, Direction dir) {
+  const bool in_binary = sniff_binary_trace(in);
+  if (dir == Direction::kSniff)
+    dir = in_binary ? Direction::kToText : Direction::kToBinary;
+
+  std::uint64_t events = 0;
+  if (dir == Direction::kVerify) {
+    TraceEvent e;
+    if (in_binary) {
+      BinaryTraceReader reader(in);
+      while (reader.next(e)) ++events;
+      std::fprintf(stderr, "binary: %llu event(s), %llu byte(s)\n",
+                   static_cast<unsigned long long>(reader.events_decoded()),
+                   static_cast<unsigned long long>(reader.bytes_consumed()));
+    } else {
+      TextTraceReader reader(in);
+      while (reader.next(e)) ++events;
+      std::fprintf(stderr, "text: %llu event(s), %zu line(s)\n",
+                   static_cast<unsigned long long>(events),
+                   reader.line_number());
+    }
+    return 0;
+  }
+
+  TraceEvent e;
+  if (dir == Direction::kToBinary) {
+    if (in_binary) {
+      std::fprintf(stderr, "input is already binary\n");
+      return 2;
+    }
+    TextTraceReader reader(in);
+    BinaryTraceWriter writer(*out);
+    while (reader.next(e)) writer.add(e);
+    writer.finish();
+    events = writer.events_written();
+  } else {
+    if (!in_binary) {
+      std::fprintf(stderr, "input is already text\n");
+      return 2;
+    }
+    BinaryTraceReader reader(in);
+    // One-event batches through the canonical formatter keep the output
+    // byte-identical to write_trace_text() on the whole trace.
+    while (reader.next(e)) {
+      Trace one{e};
+      write_trace_text(*out, one);
+      ++events;
+    }
+  }
+  std::fprintf(stderr, "converted %llu event(s)\n",
+               static_cast<unsigned long long>(events));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Direction dir = Direction::kSniff;
+  const char* paths[2] = {nullptr, nullptr};
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--to-binary") == 0) {
+      dir = Direction::kToBinary;
+    } else if (std::strcmp(argv[i], "--to-text") == 0) {
+      dir = Direction::kToText;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      dir = Direction::kVerify;
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      npaths = 3;
+      break;
+    }
+  }
+  const int want = dir == Direction::kVerify ? 1 : 2;
+  if (npaths != want) {
+    std::fprintf(stderr,
+                 "usage: %s [--to-binary | --to-text] <in> <out>\n"
+                 "       %s --verify <in>\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  std::ifstream in(paths[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", paths[0]);
+    return 2;
+  }
+  std::ofstream out;
+  if (want == 2) {
+    out.open(paths[1], std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot create %s\n", paths[1]);
+      return 2;
+    }
+  }
+  try {
+    return run(in, want == 2 ? &out : nullptr, dir);
+  } catch (const race2d::TraceDecodeError& e) {
+    std::fprintf(stderr, "decode error: %s\n", e.what());
+    return 1;
+  } catch (const race2d::ContractViolation& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}

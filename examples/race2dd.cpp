@@ -1,0 +1,71 @@
+// race2dd: the detection service daemon.
+//
+//   $ race2dd --pipe                 serve frames on stdin/stdout (the mode
+//                                    scripts and tests drive; stderr is free
+//                                    for logging)
+//   $ race2dd --socket /tmp/r2d.sock serve an AF_UNIX listener
+//
+// Limits (all optional):
+//   --max-sessions=N        live-session cap                 (default 64)
+//   --session-quota=BYTES   per-session footprint quota      (default 64Mi)
+//   --total-quota=BYTES     global footprint budget          (default 256Mi)
+//   --max-pending=N         report backlog before backpressure (default 65536)
+//   --metrics               print the metrics JSON to stderr on exit
+//
+// The daemon never crashes on client input: malformed frames, unknown
+// sessions, over-quota streams and corrupt binary traces are all answered
+// with structured error responses (see service/protocol.hpp).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "service/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace race2d;
+  bool pipe_mode = false;
+  bool metrics = false;
+  const char* socket_path = nullptr;
+  ServiceLimits limits;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pipe") == 0) {
+      pipe_mode = true;
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socket_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--max-sessions=", 15) == 0) {
+      limits.max_sessions = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--session-quota=", 16) == 0) {
+      limits.session_quota_bytes = std::strtoull(argv[i] + 16, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--total-quota=", 14) == 0) {
+      limits.total_quota_bytes = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
+      limits.max_pending_reports = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --pipe | --socket <path>\n"
+                   "       [--max-sessions=N] [--session-quota=BYTES]\n"
+                   "       [--total-quota=BYTES] [--max-pending=N] "
+                   "[--metrics]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (pipe_mode == (socket_path != nullptr)) {
+    std::fprintf(stderr, "pick exactly one of --pipe / --socket <path>\n");
+    return 2;
+  }
+  DetectionService service(limits);
+  int rc = 0;
+  if (pipe_mode) {
+    serve_pipe(std::cin, std::cout, service);
+  } else {
+    rc = serve_unix_socket(socket_path, service, std::cerr);
+  }
+  if (metrics) std::fprintf(stderr, "%s\n", service.metrics_json().c_str());
+  return rc;
+}

@@ -11,12 +11,17 @@
 // Add --lint to run only the trace linter and print every diagnostic
 // (exit 0 clean / 1 errors), or --certify to attach an independently
 // re-checkable witness certificate to every race report.
+// Add --reports to print ONE LINE PER RACE REPORT and nothing else — the
+// diffable form the service smoke test compares race2d_client against.
+//
+// Input files may be text or binary (format sniffed by magic).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "io/binary_reader.hpp"
 #include "race2d.hpp"
 #include "runtime/trace_io.hpp"
 
@@ -124,6 +129,12 @@ int certify(const Trace& trace) {
   return uncertified == 0 ? 0 : 1;
 }
 
+int reports_only(const Trace& trace) {
+  for (const RaceReport& r : detect_races_trace(trace))
+    std::printf("%s\n", to_string(r).c_str());
+  return 0;
+}
+
 int analyze(const Trace& trace, std::size_t shards) {
   std::printf("events: %zu\n", trace.size());
   report<OnlineRaceDetector>("suprema-2D", trace);
@@ -169,6 +180,7 @@ int main(int argc, char** argv) {
   bool emit = false;
   bool lint = false;
   bool want_certify = false;
+  bool want_reports = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = static_cast<std::size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
@@ -184,6 +196,8 @@ int main(int argc, char** argv) {
       lint = true;
     } else if (std::strcmp(argv[i], "--certify") == 0) {
       want_certify = true;
+    } else if (std::strcmp(argv[i], "--reports") == 0) {
+      want_reports = true;
     } else if (input == nullptr) {
       input = argv[i];
     } else {
@@ -198,19 +212,23 @@ int main(int argc, char** argv) {
   const auto dispatch = [&](const Trace& trace) {
     if (lint) return lint_only(trace);
     if (want_certify) return certify(trace);
+    if (want_reports) return reports_only(trace);
     return analyze(trace, shards);
   };
   if (demo) return dispatch(demo_trace());
   if (input != nullptr) {
-    std::ifstream in(input);
+    std::ifstream in(input, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", input);
       return 2;
     }
     try {
       // --lint wants the raw parse (it runs the linter itself, printing
-      // every diagnostic); the other modes use the lint-gated loader.
-      const Trace trace = lint ? parse_trace_text(in) : load_trace_text(in);
+      // every diagnostic); the other modes use the lint-gated loaders.
+      const bool binary = sniff_binary_trace(in);
+      const Trace trace =
+          binary ? (lint ? read_trace_binary(in) : load_trace_binary(in))
+                 : (lint ? parse_trace_text(in) : load_trace_text(in));
       return dispatch(trace);
     } catch (const race2d::TraceLintError& e) {
       std::fprintf(stderr, "%s\n", to_string(e.result()).c_str());
@@ -221,8 +239,8 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(stderr,
-               "usage: %s [--shards=N] [--lint | --certify] <trace-file> | "
-               "--demo | --emit\n"
+               "usage: %s [--shards=N] [--lint | --certify | --reports] "
+               "<trace-file> | --demo | --emit\n"
                "trace format: fork/join/halt/sync p [q], read/write/retire "
                "t loc-hex\n",
                argv[0]);

@@ -5,6 +5,11 @@
 #
 #   BENCH_static.json   bench_static  — static pass throughput (E11)
 #   BENCH_sharded.json  bench_sharded — sharded replay scaling (E8b)
+#   BENCH_io.json       bench_io      — trace codec + service throughput (E12)
+#
+# BENCH_io.json doubles as an acceptance gate: BM_BinaryDecode must clear
+# BM_TextParse by >= 2x on items_per_second (events/s); the script checks
+# the ratio and fails loudly if the binary decoder ever regresses past it.
 #
 # Usage: scripts/bench.sh [--quick]
 #
@@ -21,7 +26,7 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_static bench_sharded
+cmake --build build -j "$(nproc)" --target bench_static bench_sharded bench_io
 
 echo "== bench_static -> BENCH_static.json"
 ./build/bench/bench_static --json BENCH_static.json \
@@ -31,4 +36,20 @@ echo "== bench_sharded -> BENCH_sharded.json"
 ./build/bench/bench_sharded --json BENCH_sharded.json \
   --benchmark_repetitions=1 "${extra[@]}"
 
-echo "bench.sh: wrote BENCH_static.json BENCH_sharded.json"
+echo "== bench_io -> BENCH_io.json"
+./build/bench/bench_io --json BENCH_io.json \
+  --benchmark_repetitions=1 "${extra[@]}"
+
+python3 - <<'EOF'
+import json
+with open("BENCH_io.json") as f:
+    rows = {b["name"]: b for b in json.load(f)["benchmarks"]}
+text = rows["BM_TextParse"]["items_per_second"]
+binary = rows["BM_BinaryDecode"]["items_per_second"]
+ratio = binary / text
+print(f"bench.sh: binary decode {binary:.3g} events/s vs text parse "
+      f"{text:.3g} events/s ({ratio:.1f}x)")
+assert ratio >= 2.0, f"binary decode only {ratio:.2f}x text parse (< 2x gate)"
+EOF
+
+echo "bench.sh: wrote BENCH_static.json BENCH_sharded.json BENCH_io.json"

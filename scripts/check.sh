@@ -25,9 +25,29 @@ cmake --build build -j "$(nproc)"
 
 echo "== smoke fuzz: 30-second differential campaign (fixed seed)"
 # Every trace runs the full detector panel (serial, sharded, offline,
-# naive gold, baselines, certification); any verdict mismatch or
-# certificate rejection exits non-zero. Fixed seed => reproducible.
+# naive gold, baselines, certification) plus the codec round-trip and
+# byte-corruption invariants; any verdict mismatch, certificate rejection,
+# or codec hole exits non-zero. Fixed seed => reproducible.
 ./build/examples/race2d_fuzz --seed 20260806 --runs 100000 --time-budget 30
+
+echo "== service smoke: race2dd pipe mode vs offline detector"
+# Stream every corpus trace (text AND its binary twin) through a spawned
+# race2dd daemon with race2d_client; the incremental report stream the
+# service drains must be bit-identical to the offline serial detector's.
+service_smoke=0
+for trace in tests/corpus/*.trace tests/corpus/*.btrace; do
+  ./build/examples/example_trace_analyzer --reports "$trace" \
+    > /tmp/race2d_offline.txt
+  ./build/examples/race2d_client \
+    --spawn ./build/examples/race2dd detect "$trace" \
+    > /tmp/race2d_service.txt 2>/dev/null
+  if ! diff -u /tmp/race2d_offline.txt /tmp/race2d_service.txt; then
+    echo "check.sh: service reports diverge from offline detector: $trace"
+    service_smoke=1
+  fi
+done
+[[ "$service_smoke" == "0" ]] || exit 1
+echo "service smoke: reports bit-identical across $(ls tests/corpus/*.trace tests/corpus/*.btrace | wc -l) corpus streams"
 
 if [[ "${RACE2D_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== ASan/UBSan skipped (RACE2D_SKIP_ASAN=1)"

@@ -68,6 +68,9 @@ class OnlineRaceDetector {
   bool ordered_before(TaskId x, TaskId t) { return engine_.ordered_before(x, t); }
 
   const RaceReporter& reporter() const { return reporter_; }
+  /// Mutable access for incremental consumers (RaceReporter::take()): a
+  /// detection session drains pending reports without stopping the replay.
+  RaceReporter& mutable_reporter() { return reporter_; }
   bool race_found() const { return reporter_.any(); }
 
   std::size_t task_count() const { return engine_.vertex_count(); }

@@ -44,19 +44,37 @@ class RaceReporter {
       : policy_(policy) {}
 
   void report(const RaceReport& r) {
-    if (policy_ == ReportPolicy::kFirstOnly && !reports_.empty()) return;
+    if (policy_ == ReportPolicy::kFirstOnly && total_ > 0) return;
+    if (total_ == 0) first_ = r;
+    ++total_;
     reports_.push_back(r);
   }
 
-  bool any() const { return !reports_.empty(); }
-  std::size_t count() const { return reports_.size(); }
+  /// Totals survive take(): any()/count()/first() describe the whole run,
+  /// not just the undrained tail.
+  bool any() const { return total_ > 0; }
+  std::size_t count() const { return total_; }
+  /// Reports not yet drained by take() (every report, for batch users).
   const std::vector<RaceReport>& all() const { return reports_; }
-  const RaceReport& first() const { return reports_.front(); }
-  void clear() { reports_.clear(); }
+  const RaceReport& first() const { return first_; }
+  void clear() {
+    reports_.clear();
+    total_ = 0;
+  }
+
+  /// Drains the pending reports — the incremental consumers' primitive
+  /// (a detection session frees report memory at every client drain).
+  std::vector<RaceReport> take() {
+    std::vector<RaceReport> out = std::move(reports_);
+    reports_.clear();
+    return out;
+  }
 
  private:
   ReportPolicy policy_;
   std::vector<RaceReport> reports_;
+  RaceReport first_;       ///< earliest report, retained across take()
+  std::size_t total_ = 0;  ///< reports ever recorded, including drained
 };
 
 }  // namespace race2d

@@ -10,6 +10,8 @@
 #include "baselines/vector_clock.hpp"
 #include "core/report.hpp"
 #include "core/sharded_analyzer.hpp"
+#include "io/binary_reader.hpp"
+#include "io/binary_writer.hpp"
 #include "verify/certificate.hpp"
 
 namespace race2d {
@@ -116,6 +118,34 @@ DifferentialResult run_differential(const Trace& trace,
            describe("serial", serial) + " vs " + describe(name, got));
     }
   };
+
+  // 0. Codec round-trip: the binary wire format must carry this trace
+  //    exactly, and its canonical encoding means re-encoding the decoded
+  //    trace reproduces the identical bytes. A standing invariant over
+  //    every generated AND mutated trace the campaign replays.
+  if (config.codec_roundtrip) {
+    try {
+      const std::string bytes = trace_to_binary(trace);
+      const Trace decoded = trace_from_binary(bytes);
+      if (decoded != trace) {
+        std::ostringstream os;
+        os << "codec round-trip altered the trace: " << trace.size()
+           << " event(s) in, " << decoded.size() << " out";
+        for (std::size_t i = 0; i < trace.size() && i < decoded.size(); ++i) {
+          if (!(trace[i] == decoded[i])) {
+            os << "; first divergence at event " << i;
+            break;
+          }
+        }
+        fail(os.str());
+      } else if (trace_to_binary(decoded) != bytes) {
+        fail("codec re-encode is not byte-identical: the wire format lost "
+             "canonicity");
+      }
+    } catch (const TraceDecodeError& e) {
+      fail(std::string("codec rejected its own encoding: ") + e.what());
+    }
+  }
 
   // 1. Sharded replay: bit-identical for every shard count (PR 1's claim).
   //    The trace was linted by the serial run above (or by the caller under

@@ -14,6 +14,9 @@
 //   * When the serial detector reports races, the first report must carry a
 //     certificate the reachability oracle re-proves, and every certificate
 //     the checker builds must pass its own re-check.
+//   * The binary codec must round-trip every trace exactly: decode(encode(t))
+//     == t event-for-event, and re-encoding the decoded trace reproduces the
+//     IDENTICAL bytes (the wire format is canonical — PR 5's invariant).
 // Any violated clause is a FAILURE ARTIFACT: the fuzzer's entire purpose.
 #pragma once
 
@@ -41,6 +44,9 @@ struct DifferentialConfig {
   /// kEnforce lints once up front (the per-detector gates then skip);
   /// kSkip trusts the caller to have linted the identical trace.
   LintGate gate = LintGate::kEnforce;
+  /// Round-trip the trace through the binary codec (encode -> decode ->
+  /// re-encode) and require event equality plus byte-identical re-encoding.
+  bool codec_roundtrip = true;
 };
 
 struct DifferentialResult {

@@ -7,6 +7,8 @@
 
 #include "fuzz/corpus.hpp"
 #include "fuzz/mutate.hpp"
+#include "io/binary_reader.hpp"
+#include "io/binary_writer.hpp"
 #include "fuzz/shrink.hpp"
 #include "fuzz/trace_gen.hpp"
 #include "support/assert.hpp"
@@ -141,6 +143,49 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config,
       record_failure(plan, "differential", diff.failure, generated.trace,
                      /*shrinkable=*/true);
       continue;
+    }
+
+    // Codec mutants: corrupt the trace's binary encoding at the BYTE level.
+    // Truncations and single-bit flips are structure-breaking by
+    // construction (the format validates every fixed byte and CRC-frames
+    // everything else), so the decoder accepting one is a codec hole. The
+    // reproducer recorded is the intact source trace — the corrupt BYTES
+    // are regenerated from it plus the logged offset.
+    if (config.codec_mutants_per_trace > 0) {
+      const std::string bytes = trace_to_binary(generated.trace);
+      Xoshiro256 codec_rng(plan.seed ^ 0x5EED5EEDC0DEC0DEULL);
+      for (std::size_t m = 0; m < config.codec_mutants_per_trace; ++m) {
+        if (result.failures.size() >= config.max_failures) break;
+        const bool truncate = (codec_rng() & 1) == 0;
+        std::string corrupt = bytes;
+        std::ostringstream what;
+        if (truncate) {
+          const std::size_t cut = static_cast<std::size_t>(
+              codec_rng.below(static_cast<std::uint64_t>(bytes.size())));
+          corrupt.resize(cut);
+          what << "truncated to " << cut << " of " << bytes.size()
+               << " bytes";
+        } else {
+          const std::size_t byte = static_cast<std::size_t>(
+              codec_rng.below(static_cast<std::uint64_t>(bytes.size())));
+          const unsigned bit = static_cast<unsigned>(codec_rng.below(8));
+          corrupt[byte] = static_cast<char>(
+              static_cast<unsigned char>(corrupt[byte]) ^ (1u << bit));
+          what << "bit " << bit << " of byte " << byte << " flipped";
+        }
+        ++result.traces;
+        try {
+          const Trace decoded = trace_from_binary(corrupt);
+          record_failure(
+              plan, std::string("codec-hole:") + (truncate ? "truncate"
+                                                           : "bit-flip"),
+              what.str() + " decoded without error (" +
+                  std::to_string(decoded.size()) + " events)",
+              generated.trace, /*shrinkable=*/false);
+        } catch (const TraceDecodeError&) {
+          // Expected: every corruption maps to a stable B-code rejection.
+        }
+      }
     }
 
     // Mutants: each checks the linter contract in one direction, and the

@@ -31,6 +31,11 @@ struct FuzzConfig {
   double time_budget_seconds = 0;
   /// Mutants drawn per generated trace.
   std::size_t mutants_per_trace = 4;
+  /// BYTE-level mutants of each generated trace's binary encoding: random
+  /// truncations and single-bit flips, each of which the binary decoder
+  /// must reject with a TraceDecodeError (stable B-code). A corruption the
+  /// decoder accepts is a "codec-hole" failure.
+  std::size_t codec_mutants_per_trace = 4;
   /// Shrink failing traces before recording them.
   bool shrink = true;
   /// When non-empty, write each failure's reproducer here as a corpus file.
@@ -44,7 +49,8 @@ struct FuzzConfig {
 struct FuzzFailure {
   FuzzPlan plan;
   /// "generate" | "differential" | "mutant-differential:<kind>" |
-  /// "lint-false-positive:<kind>" | "lint-hole:<kind>"
+  /// "lint-false-positive:<kind>" | "lint-hole:<kind>" |
+  /// "codec-hole:<truncate|bit-flip>"
   std::string phase;
   std::string message;
   Trace reproducer;  ///< shrunk when config.shrink and the failure survives

@@ -1,0 +1,58 @@
+#include "io/binary_format.hpp"
+
+#include <sstream>
+
+namespace race2d {
+
+const char* decode_code_id(DecodeCode code) {
+  switch (code) {
+    case DecodeCode::kBadMagic:            return "B001";
+    case DecodeCode::kUnsupportedVersion:  return "B002";
+    case DecodeCode::kBadHeader:           return "B003";
+    case DecodeCode::kTruncatedInput:      return "B004";
+    case DecodeCode::kChunkCrcMismatch:    return "B005";
+    case DecodeCode::kMalformedVarint:     return "B006";
+    case DecodeCode::kUnknownOpcode:       return "B007";
+    case DecodeCode::kTaskIdOutOfRange:    return "B008";
+    case DecodeCode::kBadFrameMarker:      return "B009";
+    case DecodeCode::kEventCountMismatch:  return "B010";
+    case DecodeCode::kChunkTooLarge:       return "B011";
+    case DecodeCode::kTrailingBytes:       return "B012";
+    case DecodeCode::kMissingTrailer:      return "B013";
+    case DecodeCode::kTrailerCrcMismatch:  return "B014";
+  }
+  return "B???";
+}
+
+const char* decode_code_slug(DecodeCode code) {
+  switch (code) {
+    case DecodeCode::kBadMagic:            return "bad-magic";
+    case DecodeCode::kUnsupportedVersion:  return "unsupported-version";
+    case DecodeCode::kBadHeader:           return "bad-header";
+    case DecodeCode::kTruncatedInput:      return "truncated-input";
+    case DecodeCode::kChunkCrcMismatch:    return "chunk-crc-mismatch";
+    case DecodeCode::kMalformedVarint:     return "malformed-varint";
+    case DecodeCode::kUnknownOpcode:       return "unknown-opcode";
+    case DecodeCode::kTaskIdOutOfRange:    return "task-id-out-of-range";
+    case DecodeCode::kBadFrameMarker:      return "bad-frame-marker";
+    case DecodeCode::kEventCountMismatch:  return "event-count-mismatch";
+    case DecodeCode::kChunkTooLarge:       return "chunk-too-large";
+    case DecodeCode::kTrailingBytes:       return "trailing-bytes";
+    case DecodeCode::kMissingTrailer:      return "missing-trailer";
+    case DecodeCode::kTrailerCrcMismatch:  return "trailer-crc-mismatch";
+  }
+  return "unknown";
+}
+
+TraceDecodeError::TraceDecodeError(DecodeCode code, std::uint64_t byte_offset,
+                                   const std::string& what)
+    : ContractViolation([&] {
+        std::ostringstream os;
+        os << decode_code_id(code) << ' ' << decode_code_slug(code)
+           << " at byte " << byte_offset << ": " << what;
+        return os.str();
+      }()),
+      code_(code),
+      byte_offset_(byte_offset) {}
+
+}  // namespace race2d

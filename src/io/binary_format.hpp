@@ -1,0 +1,88 @@
+// The versioned binary trace wire format ("R2DT", version 1).
+//
+// Layout (all multi-byte integers little-endian):
+//
+//   file    := header frame* trailer
+//   header  := magic[4] = "R2DT"  version:u8 = 1  flags:u8 = 0  reserved:u16 = 0
+//   frame   := 'C'  payload_len:u32  crc:u32  payload[payload_len]
+//   trailer := 'E'  total_events:u64  crc:u32      (crc over the count bytes)
+//
+// A frame's payload is one CHUNK: a varint event count followed by that many
+// events. Events are delta-encoded — opcode byte, then zigzag varints of the
+// actor / other / location deltas against the previous event's fields — and
+// the delta state RESETS at every chunk boundary, so a corrupt chunk is
+// localized: its CRC32C rejects it without poisoning neighbours, and a
+// future salvage pass could resume at the next frame marker. The trailer's
+// total event count cross-checks reassembly end-to-end.
+//
+// Every way an input can be malformed has a STABLE DecodeCode (B001–B014,
+// same never-renumber contract as the lint codes in verify/diagnostics.hpp)
+// carried by TraceDecodeError together with the absolute byte offset of the
+// offending datum — the codec twin of TraceParseError's line number.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+inline constexpr char kBinaryTraceMagic[4] = {'R', '2', 'D', 'T'};
+inline constexpr std::uint8_t kBinaryTraceVersion = 1;
+inline constexpr std::size_t kBinaryHeaderBytes = 8;
+
+/// Frame markers. Distinct from the magic's first byte so a reader that lost
+/// sync fails fast with kBadFrameMarker instead of misparsing.
+inline constexpr std::uint8_t kChunkMarker = 'C';
+inline constexpr std::uint8_t kTrailerMarker = 'E';
+
+/// Upper bound on a chunk payload the reader will buffer. Guards the
+/// decoder's allocations against a corrupt or hostile length field; the
+/// writer's default chunks are three orders of magnitude smaller.
+inline constexpr std::uint32_t kMaxChunkPayload = 1u << 26;  // 64 MiB
+
+/// Stable decode error codes. The enumerator may move; the code STRING
+/// (decode_code_id) never changes once shipped — docs/API.md lists them all.
+enum class DecodeCode : std::uint8_t {
+  kBadMagic,             ///< B001: first four bytes are not "R2DT"
+  kUnsupportedVersion,   ///< B002: version byte this reader cannot decode
+  kBadHeader,            ///< B003: nonzero flags/reserved header bytes
+  kTruncatedInput,       ///< B004: input ends inside the header or a frame
+  kChunkCrcMismatch,     ///< B005: chunk payload fails its CRC32C
+  kMalformedVarint,      ///< B006: overlong varint, or one cut off by the
+                         ///<       end of its chunk payload
+  kUnknownOpcode,        ///< B007: event opcode outside the TraceOp range
+  kTaskIdOutOfRange,     ///< B008: decoded task id >= the invalid sentinel
+  kBadFrameMarker,       ///< B009: frame starts with neither 'C' nor 'E'
+  kEventCountMismatch,   ///< B010: chunk/trailer event count disagrees with
+                         ///<       the events actually present
+  kChunkTooLarge,        ///< B011: payload length exceeds kMaxChunkPayload
+  kTrailingBytes,        ///< B012: bytes after the trailer frame
+  kMissingTrailer,       ///< B013: input ends without a trailer frame
+  kTrailerCrcMismatch,   ///< B014: trailer count fails its CRC32C
+};
+
+/// The stable code string, e.g. "B005" — never reuse or renumber.
+const char* decode_code_id(DecodeCode code);
+
+/// Short kebab-case slug, e.g. "chunk-crc-mismatch".
+const char* decode_code_slug(DecodeCode code);
+
+/// Rejection of a binary trace input: stable code + absolute byte offset of
+/// the offending datum (for kTruncatedInput / kMissingTrailer, the input
+/// size — where the missing bytes should have started).
+class TraceDecodeError : public ContractViolation {
+ public:
+  TraceDecodeError(DecodeCode code, std::uint64_t byte_offset,
+                   const std::string& what);
+  DecodeCode code() const { return code_; }
+  std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  DecodeCode code_;
+  std::uint64_t byte_offset_;
+};
+
+}  // namespace race2d

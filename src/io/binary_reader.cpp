@@ -1,0 +1,330 @@
+#include "io/binary_reader.hpp"
+
+#include <cstring>
+#include <istream>
+#include <sstream>
+
+#include "io/crc32c.hpp"
+#include "io/varint.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+
+namespace {
+
+std::uint32_t read_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t read_u64le(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void BinaryTraceDecoder::fail(DecodeCode code, std::uint64_t offset,
+                              const std::string& what) {
+  state_ = State::kPoisoned;
+  poison_code_ = code;
+  poison_offset_ = offset;
+  poison_what_ = what;
+  throw TraceDecodeError(code, offset, what);
+}
+
+void BinaryTraceDecoder::decode_header(const unsigned char* p) {
+  if (std::memcmp(p, kBinaryTraceMagic, sizeof(kBinaryTraceMagic)) != 0)
+    fail(DecodeCode::kBadMagic, offset_,
+         "expected the R2DT binary trace magic");
+  if (p[4] != kBinaryTraceVersion) {
+    std::ostringstream os;
+    os << "format version " << static_cast<unsigned>(p[4])
+       << " (this reader decodes version "
+       << static_cast<unsigned>(kBinaryTraceVersion) << ')';
+    fail(DecodeCode::kUnsupportedVersion, offset_ + 4, os.str());
+  }
+  if (p[5] != 0 || p[6] != 0 || p[7] != 0)
+    fail(DecodeCode::kBadHeader, offset_ + 5,
+         "reserved header bytes must be zero in version 1");
+  state_ = State::kMarker;
+  need_ = 1;
+}
+
+void BinaryTraceDecoder::decode_marker(const unsigned char* p) {
+  if (*p == kChunkMarker) {
+    state_ = State::kChunkHeader;
+    need_ = 8;
+  } else if (*p == kTrailerMarker) {
+    state_ = State::kTrailer;
+    need_ = 12;
+  } else {
+    std::ostringstream os;
+    os << "frame marker byte " << static_cast<unsigned>(*p)
+       << " is neither 'C' nor 'E'";
+    fail(DecodeCode::kBadFrameMarker, offset_, os.str());
+  }
+}
+
+void BinaryTraceDecoder::decode_chunk_header(const unsigned char* p) {
+  payload_len_ = read_u32le(p);
+  payload_crc_ = read_u32le(p + 4);
+  if (payload_len_ > kMaxChunkPayload) {
+    std::ostringstream os;
+    os << "chunk payload of " << payload_len_ << " bytes exceeds the "
+       << kMaxChunkPayload << "-byte cap";
+    fail(DecodeCode::kChunkTooLarge, offset_, os.str());
+  }
+  if (payload_len_ == 0)
+    fail(DecodeCode::kEventCountMismatch, offset_,
+         "chunk payload is empty (the writer never emits empty chunks)");
+  state_ = State::kChunkPayload;
+  need_ = payload_len_;
+}
+
+void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
+                                      std::vector<TraceEvent>& out) {
+  if (crc32c(p, size) != payload_crc_)
+    fail(DecodeCode::kChunkCrcMismatch, offset_,
+         "chunk payload fails its CRC32C (corrupt or bit-flipped chunk)");
+
+  const auto varint_or_fail = [&](std::size_t& pos) -> std::uint64_t {
+    std::uint64_t v = 0;
+    const VarintStatus status = decode_varint(p, size, pos, v);
+    if (status == VarintStatus::kOk) return v;
+    fail(DecodeCode::kMalformedVarint, offset_ + pos,
+         status == VarintStatus::kTruncated
+             ? "varint cut off by the end of the chunk payload"
+             : "overlong (non-canonical) varint");
+  };
+
+  std::size_t pos = 0;
+  const std::uint64_t count = varint_or_fail(pos);
+
+  // Per-chunk delta state (the writer resets it at every chunk boundary so
+  // chunks decode independently).
+  TaskId prev_actor = 0;
+  TaskId prev_other = 0;
+  Loc prev_loc = 0;
+  const auto task_or_fail = [&](std::size_t& at, TaskId prev,
+                                const char* field) -> TaskId {
+    const std::size_t field_at = at;
+    const std::int64_t v =
+        static_cast<std::int64_t>(prev) + zigzag_decode(varint_or_fail(at));
+    if (v < 0 || v >= static_cast<std::int64_t>(kInvalidTask)) {
+      std::ostringstream os;
+      os << field << " delta decodes to " << v
+         << ", outside the task id range";
+      fail(DecodeCode::kTaskIdOutOfRange, offset_ + field_at, os.str());
+    }
+    return static_cast<TaskId>(v);
+  };
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (pos >= size) {
+      std::ostringstream os;
+      os << "chunk declares " << count
+         << " event(s) but its payload ends after " << i;
+      fail(DecodeCode::kEventCountMismatch, offset_ + pos, os.str());
+    }
+    const unsigned char opcode = p[pos++];
+    if (opcode > static_cast<unsigned char>(TraceOp::kFinishEnd)) {
+      std::ostringstream os;
+      os << "opcode " << static_cast<unsigned>(opcode)
+         << " is not a trace event";
+      fail(DecodeCode::kUnknownOpcode, offset_ + pos - 1, os.str());
+    }
+    TraceEvent e{};
+    e.op = static_cast<TraceOp>(opcode);
+    switch (e.op) {
+      case TraceOp::kFork:
+      case TraceOp::kJoin:
+        e.actor = task_or_fail(pos, prev_actor, "actor");
+        e.other = task_or_fail(pos, prev_other, "fork/join target");
+        prev_actor = e.actor;
+        prev_other = e.other;
+        break;
+      case TraceOp::kHalt:
+      case TraceOp::kSync:
+      case TraceOp::kFinishBegin:
+      case TraceOp::kFinishEnd:
+        e.actor = task_or_fail(pos, prev_actor, "actor");
+        e.other = kInvalidTask;
+        prev_actor = e.actor;
+        break;
+      case TraceOp::kRead:
+      case TraceOp::kWrite:
+      case TraceOp::kRetire:
+        e.actor = task_or_fail(pos, prev_actor, "actor");
+        e.other = kInvalidTask;
+        e.loc = prev_loc + static_cast<Loc>(zigzag_decode(varint_or_fail(pos)));
+        prev_actor = e.actor;
+        prev_loc = e.loc;
+        break;
+    }
+    out.push_back(e);
+  }
+  if (pos != size) {
+    std::ostringstream os;
+    os << "chunk declares " << count << " event(s) but " << (size - pos)
+       << " payload byte(s) remain";
+    fail(DecodeCode::kEventCountMismatch, offset_ + pos, os.str());
+  }
+  events_decoded_ += count;
+  state_ = State::kMarker;
+  need_ = 1;
+}
+
+void BinaryTraceDecoder::decode_trailer(const unsigned char* p) {
+  if (crc32c(p, 8) != read_u32le(p + 8))
+    fail(DecodeCode::kTrailerCrcMismatch, offset_,
+         "trailer event count fails its CRC32C");
+  const std::uint64_t total = read_u64le(p);
+  if (total != events_decoded_) {
+    std::ostringstream os;
+    os << "trailer declares " << total << " event(s) but the chunks carried "
+       << events_decoded_;
+    fail(DecodeCode::kEventCountMismatch, offset_, os.str());
+  }
+  state_ = State::kDone;
+  need_ = 0;
+}
+
+void BinaryTraceDecoder::process(const unsigned char* piece, std::size_t len,
+                                 std::vector<TraceEvent>& out) {
+  switch (state_) {
+    case State::kHeader:       decode_header(piece); break;
+    case State::kMarker:       decode_marker(piece); break;
+    case State::kChunkHeader:  decode_chunk_header(piece); break;
+    case State::kChunkPayload: decode_chunk(piece, len, out); break;
+    case State::kTrailer:      decode_trailer(piece); break;
+    case State::kDone:
+    case State::kPoisoned:
+      break;  // unreachable: feed() never dispatches these states
+  }
+  offset_ += len;
+}
+
+void BinaryTraceDecoder::feed(const void* data, std::size_t size,
+                              std::vector<TraceEvent>& out) {
+  if (state_ == State::kPoisoned)
+    throw TraceDecodeError(poison_code_, poison_offset_, poison_what_);
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t n = size;
+
+  while (true) {
+    if (state_ == State::kDone) {
+      if (n > 0)
+        fail(DecodeCode::kTrailingBytes, offset_,
+             "bytes after the trailer frame");
+      break;
+    }
+    if (buffer_.empty() && n >= need_) {
+      // Fast path: the whole piece is already in the caller's slice —
+      // decode in place, no accumulation copy.
+      const unsigned char* piece = p;
+      const std::size_t len = need_;
+      p += len;
+      n -= len;
+      process(piece, len, out);
+      continue;
+    }
+    if (n == 0) break;
+    const std::size_t take = std::min(n, need_ - buffer_.size());
+    buffer_.insert(buffer_.end(), p, p + take);
+    p += take;
+    n -= take;
+    if (buffer_.size() == need_) {
+      // Move out of buffer_ before processing: decode_* never re-enters.
+      std::vector<unsigned char> piece;
+      piece.swap(buffer_);
+      process(piece.data(), piece.size(), out);
+    }
+  }
+}
+
+void BinaryTraceDecoder::finish() {
+  if (state_ == State::kPoisoned)
+    throw TraceDecodeError(poison_code_, poison_offset_, poison_what_);
+  if (state_ == State::kDone) return;
+  const std::uint64_t at = offset_ + buffer_.size();
+  if (state_ == State::kMarker && buffer_.empty())
+    fail(DecodeCode::kMissingTrailer, at,
+         "input ends without a trailer frame");
+  const char* where = "input ends inside a frame";
+  switch (state_) {
+    case State::kHeader:
+      where = at == 0 ? "empty input (not even a header)"
+                      : "input ends inside the 8-byte header";
+      break;
+    case State::kChunkHeader:
+      where = "input ends inside a chunk frame header";
+      break;
+    case State::kChunkPayload:
+      where = "input ends inside a chunk payload";
+      break;
+    case State::kTrailer:
+      where = "input ends inside the trailer";
+      break;
+    case State::kMarker:
+    case State::kDone:
+    case State::kPoisoned:
+      break;
+  }
+  fail(DecodeCode::kTruncatedInput, at, where);
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& is) : is_(&is) {}
+
+bool BinaryTraceReader::next(TraceEvent& out) {
+  while (pending_pos_ >= pending_.size()) {
+    if (eof_) return false;
+    pending_.clear();
+    pending_pos_ = 0;
+    char block[64 * 1024];
+    is_->read(block, sizeof(block));
+    const std::streamsize got = is_->gcount();
+    if (got > 0)
+      decoder_.feed(block, static_cast<std::size_t>(got), pending_);
+    if (is_->eof()) {
+      decoder_.finish();
+      eof_ = true;
+    } else if (!is_->good()) {
+      throw TraceDecodeError(DecodeCode::kTruncatedInput,
+                             decoder_.bytes_consumed(),
+                             "I/O error while reading the trace stream");
+    }
+  }
+  out = pending_[pending_pos_++];
+  return true;
+}
+
+Trace read_trace_binary(std::istream& is) {
+  BinaryTraceReader reader(is);
+  return reader.drain();
+}
+
+Trace trace_from_binary(const std::string& bytes) {
+  BinaryTraceDecoder decoder;
+  Trace trace;
+  decoder.feed(bytes.data(), bytes.size(), trace);
+  decoder.finish();
+  return trace;
+}
+
+Trace load_trace_binary(std::istream& is) {
+  Trace trace = read_trace_binary(is);
+  require_lint_clean(trace);
+  return trace;
+}
+
+bool sniff_binary_trace(std::istream& is) {
+  // One peeked byte suffices: every text-format line starts with a
+  // lowercase op name, '#', or whitespace — never the magic's 'R'.
+  return is.peek() == kBinaryTraceMagic[0];
+}
+
+}  // namespace race2d

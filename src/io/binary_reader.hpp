@@ -1,0 +1,117 @@
+// Streaming decoders for the binary trace wire format.
+//
+// Two layers, matching the two ingest shapes the system has:
+//
+//  * BinaryTraceDecoder — PUSH: feed() arbitrary byte slices as they arrive
+//    (a socket read, a service FEED frame), decoded events are appended to a
+//    caller-owned vector. Only the current partial frame is buffered, so a
+//    session's resident decode state is O(chunk) no matter how long the
+//    stream runs. This is the DetectionService's ingest core.
+//
+//  * BinaryTraceReader — PULL: a TraceEventSource over an std::istream,
+//    built on the push decoder with a fixed block buffer. This is what the
+//    batch tools (read_trace_binary, race2d_convert) use.
+//
+// Both reject every malformed input with TraceDecodeError: a stable code
+// (B001–B014) plus the absolute byte offset. A chunk whose CRC32C fails is
+// rejected before any of its bytes are interpreted, so corruption cannot
+// leak half-decoded events into a detector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/binary_format.hpp"
+#include "io/trace_source.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+class BinaryTraceDecoder {
+ public:
+  BinaryTraceDecoder() = default;
+
+  /// Consumes `size` bytes, appending every event completed by them to
+  /// `out`. Throws TraceDecodeError on malformed input; the decoder is then
+  /// poisoned (further feeds rethrow a fresh error at the same offset).
+  void feed(const void* data, std::size_t size, std::vector<TraceEvent>& out);
+
+  /// Declares end-of-input. Throws kTruncatedInput / kMissingTrailer if the
+  /// stream did not end exactly after a valid trailer.
+  void finish();
+
+  /// True once the trailer frame has been decoded and verified.
+  bool done() const { return state_ == State::kDone; }
+
+  std::uint64_t events_decoded() const { return events_decoded_; }
+  std::uint64_t bytes_consumed() const { return offset_; }
+  /// Bytes of the current partial frame held resident (<= header + largest
+  /// frame; the quota accounting of a detection session charges these).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  enum class State : std::uint8_t {
+    kHeader,        ///< expecting the 8-byte file header
+    kMarker,        ///< expecting a frame marker byte
+    kChunkHeader,   ///< expecting payload_len + crc (8 bytes)
+    kChunkPayload,  ///< expecting payload_len_ payload bytes
+    kTrailer,       ///< expecting count + crc (12 bytes)
+    kDone,          ///< trailer seen; any further byte is trailing garbage
+    kPoisoned,      ///< a previous feed threw
+  };
+
+  [[noreturn]] void fail(DecodeCode code, std::uint64_t offset,
+                         const std::string& what);
+  void process(const unsigned char* piece, std::size_t len,
+               std::vector<TraceEvent>& out);
+  void decode_header(const unsigned char* p);
+  void decode_marker(const unsigned char* p);
+  void decode_chunk_header(const unsigned char* p);
+  void decode_chunk(const unsigned char* p, std::size_t size,
+                    std::vector<TraceEvent>& out);
+  void decode_trailer(const unsigned char* p);
+
+  State state_ = State::kHeader;
+  std::vector<unsigned char> buffer_;  ///< bytes of the current frame piece
+  std::size_t need_ = kBinaryHeaderBytes;
+  std::uint32_t payload_len_ = 0;
+  std::uint32_t payload_crc_ = 0;
+  std::uint64_t offset_ = 0;  ///< absolute offset of buffer_'s first byte
+  std::uint64_t events_decoded_ = 0;
+  DecodeCode poison_code_ = DecodeCode::kTruncatedInput;
+  std::uint64_t poison_offset_ = 0;
+  std::string poison_what_;
+};
+
+/// Pull-style binary reader over a stream; O(block + chunk) resident.
+class BinaryTraceReader : public TraceEventSource {
+ public:
+  explicit BinaryTraceReader(std::istream& is);
+  bool next(TraceEvent& out) override;
+
+  std::uint64_t events_decoded() const { return decoder_.events_decoded(); }
+  std::uint64_t bytes_consumed() const { return decoder_.bytes_consumed(); }
+
+ private:
+  std::istream* is_;
+  BinaryTraceDecoder decoder_;
+  std::vector<TraceEvent> pending_;
+  std::size_t pending_pos_ = 0;
+  bool eof_ = false;
+};
+
+/// Batch drivers. read/decode are purely syntactic (codes B001–B014);
+/// load_trace_binary additionally runs the trace linter, mirroring
+/// load_trace_text.
+Trace read_trace_binary(std::istream& is);
+Trace trace_from_binary(const std::string& bytes);
+Trace load_trace_binary(std::istream& is);
+
+/// Format sniffing for tools that accept either representation: peeks (and
+/// puts back) up to 4 bytes and reports whether they are the binary magic.
+bool sniff_binary_trace(std::istream& is);
+
+}  // namespace race2d

@@ -1,0 +1,132 @@
+#include "io/binary_writer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "io/binary_format.hpp"
+#include "io/crc32c.hpp"
+#include "io/varint.hpp"
+#include "support/assert.hpp"
+
+namespace race2d {
+
+namespace {
+
+void append_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void append_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t delta_u64(std::uint64_t now, std::uint64_t prev) {
+  // Wrap-around subtraction; zigzag keeps +/- deltas equally cheap.
+  return zigzag_encode(static_cast<std::int64_t>(now - prev));
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& os,
+                                     BinaryWriteOptions options)
+    : os_(&os), options_(options) {
+  R2D_REQUIRE(options_.chunk_payload_bytes > 0,
+              "chunk payload target must be positive");
+  std::string header(kBinaryTraceMagic, sizeof(kBinaryTraceMagic));
+  header.push_back(static_cast<char>(kBinaryTraceVersion));
+  header.push_back('\0');  // flags
+  header.push_back('\0');  // reserved
+  header.push_back('\0');  // reserved
+  os_->write(header.data(), static_cast<std::streamsize>(header.size()));
+  bytes_written_ += header.size();
+}
+
+void BinaryTraceWriter::add(const TraceEvent& e) {
+  R2D_REQUIRE(!finished_, "add() after finish()");
+  chunk_.push_back(static_cast<char>(e.op));
+  switch (e.op) {
+    case TraceOp::kFork:
+    case TraceOp::kJoin:
+      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
+      append_varint(chunk_, delta_u64(e.other, prev_other_));
+      prev_actor_ = e.actor;
+      prev_other_ = e.other;
+      break;
+    case TraceOp::kHalt:
+    case TraceOp::kSync:
+    case TraceOp::kFinishBegin:
+    case TraceOp::kFinishEnd:
+      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
+      prev_actor_ = e.actor;
+      break;
+    case TraceOp::kRead:
+    case TraceOp::kWrite:
+    case TraceOp::kRetire:
+      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
+      append_varint(chunk_, delta_u64(e.loc, prev_loc_));
+      prev_actor_ = e.actor;
+      prev_loc_ = e.loc;
+      break;
+  }
+  ++chunk_events_;
+  ++total_events_;
+  if (chunk_.size() >= options_.chunk_payload_bytes) flush_chunk();
+}
+
+void BinaryTraceWriter::flush_chunk() {
+  R2D_REQUIRE(!finished_, "flush_chunk() after finish()");
+  if (chunk_events_ == 0) return;
+  std::string payload;
+  payload.reserve(chunk_.size() + kMaxVarintBytes);
+  append_varint(payload, chunk_events_);
+  payload += chunk_;
+
+  std::string frame;
+  frame.reserve(payload.size() + 9);
+  frame.push_back(static_cast<char>(kChunkMarker));
+  append_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  append_u32le(frame, crc32c(payload.data(), payload.size()));
+  frame += payload;
+  os_->write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  bytes_written_ += frame.size();
+
+  chunk_.clear();
+  chunk_events_ = 0;
+  prev_actor_ = 0;
+  prev_other_ = 0;
+  prev_loc_ = 0;
+}
+
+void BinaryTraceWriter::finish() {
+  R2D_REQUIRE(!finished_, "finish() called twice");
+  flush_chunk();
+  std::string trailer;
+  trailer.push_back(static_cast<char>(kTrailerMarker));
+  std::string count;
+  append_u64le(count, total_events_);
+  trailer += count;
+  append_u32le(trailer, crc32c(count.data(), count.size()));
+  os_->write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  bytes_written_ += trailer.size();
+  os_->flush();
+  finished_ = true;
+}
+
+void write_trace_binary(std::ostream& os, const Trace& trace,
+                        BinaryWriteOptions options) {
+  BinaryTraceWriter writer(os, options);
+  for (const TraceEvent& e : trace) writer.add(e);
+  writer.finish();
+}
+
+std::string trace_to_binary(const Trace& trace, BinaryWriteOptions options) {
+  std::ostringstream os;
+  write_trace_binary(os, trace, options);
+  return os.str();
+}
+
+}  // namespace race2d

@@ -1,0 +1,78 @@
+// Streaming encoder for the binary trace wire format (io/binary_format.hpp).
+//
+// BinaryTraceWriter is incremental: add() events as they happen, chunks are
+// framed and flushed as they fill, finish() seals the stream with the
+// trailer. Nothing is ever materialized beyond one chunk buffer, so the
+// writer serves both batch conversion (write_trace_binary) and live capture
+// fronts that stream millions of events.
+//
+// Determinism: the same event sequence with the same options yields the same
+// bytes — the differential fuzzer's round-trip invariant (decode∘encode is
+// identity on bytes) depends on it, as does the canonical varint form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+struct BinaryWriteOptions {
+  /// Seal and emit the current chunk once its payload reaches this many
+  /// bytes. Smaller chunks localize corruption better and cap the reader's
+  /// resident buffer; larger chunks amortize the 9-byte frame + CRC better.
+  std::size_t chunk_payload_bytes = 64 * 1024;
+};
+
+class BinaryTraceWriter {
+ public:
+  /// Writes the format header immediately. The stream must outlive the
+  /// writer; the writer never seeks, so any append-only sink works.
+  explicit BinaryTraceWriter(std::ostream& os, BinaryWriteOptions options = {});
+
+  /// Dropping an unfinished writer leaves a trailer-less (detectably
+  /// truncated) stream — deliberate: a crash mid-capture must not look like
+  /// a complete trace.
+  ~BinaryTraceWriter() = default;
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  /// Appends one event (delta-encoded into the current chunk).
+  void add(const TraceEvent& e);
+
+  /// Seals the current chunk early (frame + CRC), e.g. before handing the
+  /// bytes written so far to a consumer. No-op on an empty chunk.
+  void flush_chunk();
+
+  /// Seals the last chunk and writes the trailer. Must be called exactly
+  /// once; add() afterwards is a contract violation.
+  void finish();
+
+  std::uint64_t events_written() const { return total_events_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  bool finished() const { return finished_; }
+
+ private:
+  std::ostream* os_;
+  BinaryWriteOptions options_;
+  std::string chunk_;             ///< current chunk payload (after the count)
+  std::uint64_t chunk_events_ = 0;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  bool finished_ = false;
+  // Delta state, reset at every chunk boundary.
+  TaskId prev_actor_ = 0;
+  TaskId prev_other_ = 0;
+  Loc prev_loc_ = 0;
+};
+
+/// Batch drivers over BinaryTraceWriter.
+void write_trace_binary(std::ostream& os, const Trace& trace,
+                        BinaryWriteOptions options = {});
+std::string trace_to_binary(const Trace& trace, BinaryWriteOptions options = {});
+
+}  // namespace race2d

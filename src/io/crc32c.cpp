@@ -1,0 +1,66 @@
+#include "io/crc32c.hpp"
+
+namespace race2d {
+
+namespace {
+
+/// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table,
+/// table[k] advances a byte through k additional zero bytes, which lets the
+/// hot loop fold 8 input bytes per iteration.
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+};
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+Crc32cTables build_tables() {
+  Crc32cTables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1) != 0 ? kPoly : 0);
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = tables.t[0][crc & 0xFF] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Crc32cTables& tables() {
+  static const Crc32cTables t = build_tables();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const Crc32cTables& tb = tables();
+  crc = ~crc;
+  while (size >= 8) {
+    // Little-endian-agnostic byte loads; the compiler fuses them.
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xFF] ^ tb.t[2][(hi >> 8) & 0xFF] ^
+          tb.t[1][(hi >> 16) & 0xFF] ^ tb.t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace race2d

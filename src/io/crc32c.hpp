@@ -1,0 +1,17 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// per-chunk checksum of the binary trace wire format. Software slice-by-8
+// implementation; no SSE4.2 dependency so the codec behaves identically on
+// every build the container produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace race2d {
+
+/// CRC32C of `size` bytes starting at `data`, seeded with `crc` (pass 0 for
+/// a fresh checksum; chain calls to checksum discontiguous pieces).
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t crc = 0);
+
+}  // namespace race2d

@@ -1,0 +1,35 @@
+// Streaming reader for the text trace format (runtime/trace_io.hpp).
+//
+// TextTraceReader is the line-at-a-time twin of BinaryTraceReader: it pulls
+// one line from the stream per event, so only the current line is resident —
+// parse_trace_text() is now a thin drain() over this source, and consumers
+// that never need the whole trace (the converters, a piped ingest front)
+// share the O(chunk) residency guarantee of the binary path.
+//
+// Syntax errors throw TraceParseError with the 1-based line number, exactly
+// as the batch parser always has.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "io/trace_source.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+class TextTraceReader : public TraceEventSource {
+ public:
+  explicit TextTraceReader(std::istream& is) : is_(&is) {}
+
+  bool next(TraceEvent& out) override;
+
+  /// Lines consumed so far (including comments and blanks).
+  std::size_t line_number() const { return line_no_; }
+
+ private:
+  std::istream* is_;
+  std::size_t line_no_ = 0;
+};
+
+}  // namespace race2d

@@ -1,0 +1,33 @@
+// TraceEventSource: the pull interface shared by every trace ingest
+// front-end (io/text_reader.hpp, io/binary_reader.hpp).
+//
+// Both readers yield one TraceEvent at a time while keeping only O(chunk)
+// bytes resident — a line for text, a CRC-framed chunk for binary — so a
+// consumer that does not need the whole trace in memory (the detection
+// service, the converters) never materializes it. parse_trace_text /
+// read_trace_binary are the batch drivers over the same sources.
+#pragma once
+
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+class TraceEventSource {
+ public:
+  virtual ~TraceEventSource() = default;
+
+  /// Produces the next event into `out`; false at clean end-of-stream.
+  /// Malformed input throws the front-end's structured error
+  /// (TraceParseError for text, TraceDecodeError for binary).
+  virtual bool next(TraceEvent& out) = 0;
+
+  /// Drains the source into a full Trace (convenience batch driver).
+  Trace drain() {
+    Trace trace;
+    TraceEvent e;
+    while (next(e)) trace.push_back(e);
+    return trace;
+  }
+};
+
+}  // namespace race2d

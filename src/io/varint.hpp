@@ -1,0 +1,72 @@
+// LEB128 varints and zigzag signed mapping — the scalar codec under the
+// binary trace wire format (io/binary_format.hpp).
+//
+// Encoding is canonical: the writer emits the minimal number of bytes, and
+// the reader rejects non-minimal ("overlong") encodings as malformed, so a
+// value has exactly one byte representation — a precondition for the codec
+// round-trip invariant (encode∘decode∘encode is byte-identity) that the
+// differential fuzzer enforces on every trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace race2d {
+
+/// Longest legal varint for a 64-bit value: ceil(64 / 7) bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends the varint encoding of `v` to `out` (any byte container with
+/// push_back, e.g. std::string or std::vector<char>).
+template <typename Bytes>
+inline void append_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Zigzag: maps small-magnitude signed deltas to small unsigned varints.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Outcome of one varint decode attempt over a bounded buffer.
+enum class VarintStatus : std::uint8_t {
+  kOk,
+  kTruncated,  ///< buffer ended mid-varint
+  kOverlong,   ///< more than 10 bytes, or a non-minimal encoding
+};
+
+/// Decodes one varint from [pos, size). On kOk advances `pos` past it and
+/// sets `value`; otherwise leaves `pos` at the varint's first byte.
+inline VarintStatus decode_varint(const unsigned char* data, std::size_t size,
+                                  std::size_t& pos, std::uint64_t& value) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (std::size_t i = pos; i < size; ++i) {
+    const unsigned char byte = data[i];
+    if (shift == 63 && byte > 1) return VarintStatus::kOverlong;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Canonical form: no zero continuation payload except for value 0
+      // itself (a lone 0x00 byte).
+      if (byte == 0 && shift != 0) return VarintStatus::kOverlong;
+      value = v;
+      pos = i + 1;
+      return VarintStatus::kOk;
+    }
+    shift += 7;
+    if (shift >= 70) return VarintStatus::kOverlong;
+  }
+  return VarintStatus::kTruncated;
+}
+
+}  // namespace race2d

@@ -56,6 +56,15 @@
 #include "runtime/spawn_sync.hpp"     // Cilk-style sugar (§2.1, eq. 11)
 #include "runtime/trace.hpp"          // traces & task graphs (Theorem 6)
 #include "runtime/trace_io.hpp"       // text (de)serialization of traces
+#include "io/binary_format.hpp"       // R2DT binary wire format constants
+#include "io/varint.hpp"              // canonical LEB128 + zigzag codecs
+#include "io/binary_writer.hpp"       // streaming binary trace encoder
+#include "io/binary_reader.hpp"       // streaming binary trace decoder
+#include "io/text_reader.hpp"         // line-streaming text trace reader
+#include "service/protocol.hpp"       // detection-service wire protocol
+#include "service/session.hpp"        // one streamed detection session
+#include "service/service.hpp"        // multi-session detection service
+#include "service/server.hpp"         // pipe / unix-socket frame loops
 #include "static/skeleton.hpp"        // symbolic program skeletons (IR)
 #include "static/concretize.hpp"      // skeleton × config → concrete trace
 #include "static/discipline.hpp"      // static Figure-9 discipline verifier

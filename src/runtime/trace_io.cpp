@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "io/text_reader.hpp"
 #include "verify/trace_lint.hpp"
 
 namespace race2d {
@@ -33,10 +34,6 @@ const char* op_name(TraceOp op) {
       return "finish_end";
   }
   return "?";
-}
-
-[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
-  throw TraceParseError(line_no, why);
 }
 
 }  // namespace
@@ -81,67 +78,10 @@ std::string trace_to_text(const Trace& trace) {
 }
 
 Trace parse_trace_text(std::istream& is) {
-  Trace trace;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream fields(line);
-    std::string op;
-    if (!(fields >> op)) continue;  // blank / comment-only line
-
-    auto read_task = [&]() -> TaskId {
-      std::uint64_t v;
-      if (!(fields >> v)) fail(line_no, "missing or malformed task id");
-      // TaskId is narrower than the parsed integer; a silent cast here once
-      // turned a corrupt 2^32-scale id into a plausible small one.
-      if (v >= kInvalidTask) {
-        std::ostringstream os;
-        os << "task id " << v << " out of range (max "
-           << (kInvalidTask - 1) << ')';
-        fail(line_no, os.str());
-      }
-      return static_cast<TaskId>(v);
-    };
-    auto read_loc = [&]() -> Loc {
-      Loc v;
-      if (!(fields >> std::hex >> v)) fail(line_no, "missing or malformed location");
-      return v;
-    };
-
-    TraceEvent e{};
-    if (op == "fork") {
-      e = {TraceOp::kFork, read_task(), read_task(), 0};
-    } else if (op == "join") {
-      e = {TraceOp::kJoin, read_task(), read_task(), 0};
-    } else if (op == "halt") {
-      e = {TraceOp::kHalt, read_task(), kInvalidTask, 0};
-    } else if (op == "sync") {
-      e = {TraceOp::kSync, read_task(), kInvalidTask, 0};
-    } else if (op == "read") {
-      const TaskId t = read_task();
-      e = {TraceOp::kRead, t, kInvalidTask, read_loc()};
-    } else if (op == "write") {
-      const TaskId t = read_task();
-      e = {TraceOp::kWrite, t, kInvalidTask, read_loc()};
-    } else if (op == "retire") {
-      const TaskId t = read_task();
-      e = {TraceOp::kRetire, t, kInvalidTask, read_loc()};
-    } else if (op == "finish_begin") {
-      e = {TraceOp::kFinishBegin, read_task(), kInvalidTask, 0};
-    } else if (op == "finish_end") {
-      e = {TraceOp::kFinishEnd, read_task(), kInvalidTask, 0};
-    } else {
-      fail(line_no, "unknown event '" + op + "'");
-    }
-    std::string excess;
-    if (fields >> excess) fail(line_no, "trailing tokens");
-    trace.push_back(e);
-  }
-  if (is.bad()) fail(line_no + 1, "I/O error while reading trace");
-  return trace;
+  // The line-level grammar lives in io/text_reader.cpp now, shared with the
+  // streaming ingest fronts; this batch driver just drains the source.
+  TextTraceReader reader(is);
+  return reader.drain();
 }
 
 Trace parse_trace_text(const std::string& text) {

@@ -1,0 +1,125 @@
+// The detection service's length-prefixed request/response protocol.
+//
+// Transport framing (pipe, unix socket — any reliable byte stream):
+//
+//   frame := len:u32le  payload[len]          (len <= kMaxFrameBytes)
+//
+// Request payload:
+//
+//   verb:u8  session:u32le  body
+//     OPEN  body := policy:u8 (0 all / 1 first-only)  quota:u64le (0 = default)
+//     FEED  body := raw binary-trace wire bytes (io/binary_format.hpp)
+//     DRAIN body := max_reports:u32le (0 = all pending)
+//     CLOSE body := empty
+//     STATS body := empty
+//
+// Response payload:
+//
+//   verb:u8 (echo)  status:u8  session:u32le  body
+//     status != OK  body := utf-8 error message (leads with the stable
+//                           lint/decode code when one caused the rejection)
+//     OK+OPEN   body := empty (the session id is the header field)
+//     OK+FEED   body := events:u64le  pending_reports:u32le  backpressure:u8
+//     OK+DRAIN  body := more:u8  count:u32le  count * report
+//               report := loc:u64le task:u32le curr_kind:u8 prior_kind:u8
+//                         ordinal:u64le
+//     OK+CLOSE  body := complete:u8  events:u64le  reports:u64le
+//     OK+STATS  body := utf-8 metrics JSON
+//
+// Both sides decode defensively: any malformed payload yields a structured
+// decode failure (the server answers kBadFrame, it never crashes), and
+// encode∘decode is identity — service_test round-trips every shape.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace race2d {
+
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+enum class Verb : std::uint8_t {
+  kOpen = 1,
+  kFeed = 2,
+  kDrain = 3,
+  kClose = 4,
+  kStats = 5,
+};
+
+enum class ServiceStatus : std::uint8_t {
+  kOk = 0,
+  kBadFrame = 1,        ///< request payload undecodable (shape, not content)
+  kUnknownVerb = 2,
+  kUnknownSession = 3,  ///< no live session with that id
+  kSessionLimit = 4,    ///< open refused: live-session cap reached
+  kQuotaEvicted = 5,    ///< session evicted for exceeding its memory quota
+  kBackpressure = 6,    ///< feed refused until the client drains reports
+  kLintReject = 7,      ///< session stream failed the trace linter
+  kDecodeReject = 8,    ///< session stream failed the binary decoder
+};
+
+/// Stable kebab-case id, e.g. "quota-evicted".
+const char* service_status_id(ServiceStatus status);
+
+struct OpenRequest {
+  ReportPolicy policy = ReportPolicy::kAll;
+  std::uint64_t quota_bytes = 0;  ///< 0 = the service's default quota
+};
+
+struct Request {
+  Verb verb = Verb::kStats;
+  std::uint32_t session = 0;
+  OpenRequest open;            ///< kOpen only
+  std::string bytes;           ///< kFeed only: binary-trace wire bytes
+  std::uint32_t max_reports = 0;  ///< kDrain only (0 = all pending)
+};
+
+struct FeedResult {
+  std::uint64_t events = 0;          ///< events decoded+checked this feed
+  std::uint32_t pending_reports = 0;  ///< reports awaiting drain
+  bool backpressure = false;          ///< drain soon: pending near the cap
+};
+
+struct DrainResult {
+  std::vector<RaceReport> reports;
+  bool more = false;  ///< pending reports remain beyond max_reports
+};
+
+struct CloseResult {
+  bool complete = false;  ///< trailer seen and end-of-trace lint clean
+  std::uint64_t events = 0;
+  std::uint64_t reports = 0;
+};
+
+struct Response {
+  Verb verb = Verb::kStats;  ///< echoes the request (selects the body shape)
+  ServiceStatus status = ServiceStatus::kOk;
+  std::uint32_t session = 0;
+  std::string message;  ///< error detail, or the stats JSON
+  FeedResult feed;
+  DrainResult drain;
+  CloseResult close;
+};
+
+/// Payload codecs. decode_* return false and set `error` on malformed input
+/// (undersized body, trailing bytes, out-of-range enum) — they never throw.
+std::string encode_request(const Request& request);
+bool decode_request(const std::string& payload, Request& out,
+                    std::string& error);
+std::string encode_response(const Response& response);
+bool decode_response(const std::string& payload, Response& out,
+                     std::string& error);
+
+/// Stream framing. write_frame rejects oversized payloads with a
+/// ContractViolation (the caller built an illegal frame). read_frame
+/// returns false on clean EOF before a frame starts; `error` is set (with
+/// false) on a truncated or oversized frame.
+void write_frame(std::ostream& os, const std::string& payload);
+bool read_frame(std::istream& is, std::string& payload, std::string& error);
+
+}  // namespace race2d

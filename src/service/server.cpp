@@ -1,0 +1,167 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace race2d {
+
+std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
+                         DetectionService& service) {
+  std::uint64_t answered = 0;
+  std::string payload;
+  std::string error;
+  for (;;) {
+    if (!read_frame(in, payload, error)) {
+      if (error.empty()) break;  // clean EOF between frames
+      Response r;
+      r.status = ServiceStatus::kBadFrame;
+      r.message = error;
+      write_frame(out, encode_response(r));
+      out.flush();
+      ++answered;
+      break;  // frame boundaries are lost; stop parsing the stream
+    }
+    write_frame(out, encode_response(service.handle_frame(payload)));
+    out.flush();  // pipe clients lockstep on responses
+    ++answered;
+  }
+  return answered;
+}
+
+namespace {
+
+bool read_exact(int fd, void* buf, std::size_t size, bool& clean_eof) {
+  unsigned char* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  clean_eof = false;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n == 0) {
+      clean_eof = got == 0;
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(buf);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, p + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_response(int fd, const Response& r) {
+  const std::string payload = encode_response(r);
+  unsigned char len[4];
+  for (int i = 0; i < 4; ++i)
+    len[i] = static_cast<unsigned char>((payload.size() >> (8 * i)) & 0xffu);
+  return write_all(fd, len, 4) && write_all(fd, payload.data(), payload.size());
+}
+
+/// One connection's frame loop; the shared service is mutex-guarded.
+void serve_connection(int fd, DetectionService& service, std::mutex& mu) {
+  std::string payload;
+  for (;;) {
+    unsigned char lenbuf[4];
+    bool clean_eof = false;
+    if (!read_exact(fd, lenbuf, 4, clean_eof)) {
+      if (!clean_eof) {
+        Response r;
+        r.status = ServiceStatus::kBadFrame;
+        r.message = "connection ended inside a frame length prefix";
+        send_response(fd, r);
+      }
+      break;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= static_cast<std::uint32_t>(lenbuf[i]) << (8 * i);
+    if (len > kMaxFrameBytes) {
+      Response r;
+      r.status = ServiceStatus::kBadFrame;
+      r.message = "frame length exceeds the cap";
+      send_response(fd, r);
+      break;
+    }
+    payload.resize(len);
+    if (len > 0 && !read_exact(fd, payload.data(), len, clean_eof)) {
+      Response r;
+      r.status = ServiceStatus::kBadFrame;
+      r.message = "connection ended inside a frame payload";
+      send_response(fd, r);
+      break;
+    }
+    Response response;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      response = service.handle_frame(payload);
+    }
+    if (!send_response(fd, response)) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int serve_unix_socket(const std::string& path, DetectionService& service,
+                      std::ostream& log) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    log << "socket path too long: " << path << "\n";
+    return -1;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    log << "socket(): " << std::strerror(errno) << "\n";
+    return -1;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    log << "bind/listen " << path << ": " << std::strerror(errno) << "\n";
+    ::close(listener);
+    return -1;
+  }
+  log << "race2dd listening on " << path << "\n";
+  std::mutex mu;
+  std::vector<std::thread> workers;
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener torn down (e.g. by a signal) — shut down
+    }
+    workers.emplace_back(
+        [fd, &service, &mu] { serve_connection(fd, service, mu); });
+  }
+  ::close(listener);
+  for (std::thread& t : workers) t.join();
+  return 0;
+}
+
+}  // namespace race2d

@@ -1,0 +1,36 @@
+// Frame transports for the DetectionService.
+//
+//  * serve_pipe — frames over an (istream, ostream) pair: race2dd's stdin
+//    pipe mode, and what tests and the check.sh smoke stage drive. Strictly
+//    sequential, so a fixed request script yields a byte-deterministic
+//    response stream.
+//
+//  * serve_unix_socket — an AF_UNIX listener; one thread per connection,
+//    the service guarded by a mutex (sessions are cheap to dispatch into;
+//    the coarse lock keeps the governance invariants trivially safe).
+//
+// Both transports answer a malformed frame (bad length prefix, truncated
+// payload, undecodable request) with a kBadFrame response and then drop the
+// byte stream — after a framing error the boundary of the next frame is
+// unknowable, so continuing would misparse everything after it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace race2d {
+
+/// Serves frames from `in` to `out` until EOF. Returns the number of frames
+/// answered.
+std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
+                         DetectionService& service);
+
+/// Binds `path` (unlinking any stale socket first), accepts until accept()
+/// fails. Returns 0 on a clean shutdown, -1 with a message on `log` if the
+/// socket could not be set up. Blocks the calling thread.
+int serve_unix_socket(const std::string& path, DetectionService& service,
+                      std::ostream& log);
+
+}  // namespace race2d

@@ -1,0 +1,247 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace race2d {
+
+namespace {
+
+constexpr std::size_t kMaxTombstones = 1024;
+
+Response make_error(Verb verb, std::uint32_t session, ServiceStatus status,
+                    std::string message) {
+  Response r;
+  r.verb = verb;
+  r.session = session;
+  r.status = status;
+  r.message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+DetectionService::DetectionService(ServiceLimits limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+Response DetectionService::handle_frame(const std::string& payload) {
+  ++frames_;
+  Request request;
+  std::string error;
+  if (!decode_request(payload, request, error)) {
+    ++bad_frames_;
+    return make_error(Verb::kStats, 0, ServiceStatus::kBadFrame, error);
+  }
+  return handle(request);
+}
+
+Response DetectionService::handle(const Request& request) {
+  switch (request.verb) {
+    case Verb::kOpen:  return do_open(request);
+    case Verb::kFeed:  return do_feed(request);
+    case Verb::kDrain: return do_drain(request);
+    case Verb::kClose: return do_close(request);
+    case Verb::kStats: return do_stats(request);
+  }
+  ++bad_frames_;
+  return make_error(Verb::kStats, request.session, ServiceStatus::kUnknownVerb,
+                    "request verb outside the protocol");
+}
+
+DetectionService::Slot* DetectionService::find(std::uint32_t id, Verb verb,
+                                               Response& failure) {
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) return &it->second;
+  auto tomb = evicted_.find(id);
+  if (tomb != evicted_.end()) {
+    failure = make_error(verb, id, ServiceStatus::kQuotaEvicted, tomb->second);
+    // CLOSE acknowledges the eviction and retires the tombstone.
+    if (verb == Verb::kClose) evicted_.erase(tomb);
+  } else {
+    std::ostringstream os;
+    os << "no session with id " << id;
+    failure = make_error(verb, id, ServiceStatus::kUnknownSession, os.str());
+  }
+  return nullptr;
+}
+
+void DetectionService::evict(std::uint32_t id, const std::string& reason) {
+  sessions_.erase(id);
+  ++sessions_evicted_;
+  while (evicted_.size() >= kMaxTombstones) evicted_.erase(evicted_.begin());
+  evicted_[id] = reason;
+}
+
+void DetectionService::enforce_global_quota() {
+  // Evict the heaviest session (lowest id on ties — std::map iteration
+  // order makes this deterministic) until the sum fits the budget.
+  while (!sessions_.empty()) {
+    std::size_t sum = 0;
+    auto heaviest = sessions_.end();
+    std::size_t heaviest_bytes = 0;
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      const std::size_t bytes = it->second.session->memory_bytes();
+      sum += bytes;
+      if (bytes > heaviest_bytes) {
+        heaviest_bytes = bytes;
+        heaviest = it;
+      }
+    }
+    if (sum <= limits_.total_quota_bytes) return;
+    std::ostringstream os;
+    os << "evicted: global budget exceeded (" << sum << " bytes across "
+       << sessions_.size() << " session(s), budget "
+       << limits_.total_quota_bytes << "); this session was largest at "
+       << heaviest_bytes << " bytes";
+    evict(heaviest->first, os.str());
+  }
+}
+
+void DetectionService::note_reject(ServiceStatus status) {
+  if (status == ServiceStatus::kLintReject) ++lint_rejects_;
+  if (status == ServiceStatus::kDecodeReject) ++decode_rejects_;
+  if (status == ServiceStatus::kBackpressure) ++backpressure_hits_;
+}
+
+Response DetectionService::do_open(const Request& request) {
+  if (sessions_.size() >= limits_.max_sessions) {
+    std::ostringstream os;
+    os << "live-session cap reached (" << limits_.max_sessions << ")";
+    return make_error(Verb::kOpen, 0, ServiceStatus::kSessionLimit, os.str());
+  }
+  const std::uint32_t id = next_session_++;
+  Slot slot;
+  slot.quota_bytes =
+      request.open.quota_bytes != 0
+          ? std::min<std::size_t>(request.open.quota_bytes,
+                                  limits_.session_quota_bytes)
+          : limits_.session_quota_bytes;
+  slot.session = std::make_unique<DetectionSession>(
+      request.open.policy, limits_.max_pending_reports);
+  sessions_.emplace(id, std::move(slot));
+  ++sessions_opened_;
+  Response r;
+  r.verb = Verb::kOpen;
+  r.session = id;
+  return r;
+}
+
+Response DetectionService::do_feed(const Request& request) {
+  Response failure;
+  Slot* slot = find(request.session, Verb::kFeed, failure);
+  if (slot == nullptr) return failure;
+  bytes_in_ += request.bytes.size();
+  DetectionSession::FeedOutcome outcome = slot->session->feed(request.bytes);
+  events_ += outcome.events;
+  if (outcome.status != ServiceStatus::kOk) {
+    note_reject(outcome.status);
+    return make_error(Verb::kFeed, request.session, outcome.status,
+                      std::move(outcome.message));
+  }
+  // Quota checks AFTER the feed: the session's footprint is only known once
+  // the bytes are ingested. Graceful, not preventive — one frame of
+  // overshoot, never unbounded growth.
+  const std::size_t bytes = slot->session->memory_bytes();
+  if (bytes > slot->quota_bytes) {
+    std::ostringstream os;
+    os << "evicted: session footprint " << bytes
+       << " bytes exceeds its quota of " << slot->quota_bytes << " bytes";
+    std::string reason = os.str();
+    evict(request.session, reason);
+    return make_error(Verb::kFeed, request.session,
+                      ServiceStatus::kQuotaEvicted, reason);
+  }
+  enforce_global_quota();
+  if (sessions_.find(request.session) == sessions_.end()) {
+    // The global sweep chose this session as the heaviest.
+    return make_error(Verb::kFeed, request.session,
+                      ServiceStatus::kQuotaEvicted,
+                      evicted_.count(request.session) != 0
+                          ? evicted_[request.session]
+                          : std::string("evicted: global budget exceeded"));
+  }
+  Response r;
+  r.verb = Verb::kFeed;
+  r.session = request.session;
+  r.feed.events = outcome.events;
+  r.feed.pending_reports = outcome.pending_reports;
+  r.feed.backpressure = outcome.backpressure;
+  return r;
+}
+
+Response DetectionService::do_drain(const Request& request) {
+  Response failure;
+  Slot* slot = find(request.session, Verb::kDrain, failure);
+  if (slot == nullptr) return failure;
+  Response r;
+  r.verb = Verb::kDrain;
+  r.session = request.session;
+  r.drain.reports = slot->session->drain(request.max_reports, r.drain.more);
+  reports_out_ += r.drain.reports.size();
+  return r;
+}
+
+Response DetectionService::do_close(const Request& request) {
+  Response failure;
+  Slot* slot = find(request.session, Verb::kClose, failure);
+  if (slot == nullptr) return failure;
+  DetectionSession::CloseOutcome outcome = slot->session->close();
+  sessions_.erase(request.session);
+  ++sessions_closed_;
+  if (outcome.status != ServiceStatus::kOk) {
+    note_reject(outcome.status);
+    return make_error(Verb::kClose, request.session, outcome.status,
+                      std::move(outcome.message));
+  }
+  Response r;
+  r.verb = Verb::kClose;
+  r.session = request.session;
+  r.close.complete = outcome.complete;
+  r.close.events = outcome.events;
+  r.close.reports = outcome.reports;
+  return r;
+}
+
+Response DetectionService::do_stats(const Request& request) {
+  Response r;
+  r.verb = Verb::kStats;
+  r.session = request.session;
+  r.message = metrics_json();
+  return r;
+}
+
+std::size_t DetectionService::resident_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& [id, slot] : sessions_) sum += slot.session->memory_bytes();
+  return sum;
+}
+
+std::string DetectionService::metrics_json() const {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double events_per_second =
+      uptime > 0.0 ? static_cast<double>(events_) / uptime : 0.0;
+  std::ostringstream os;
+  os << "{"
+     << "\"uptime_seconds\":" << uptime
+     << ",\"frames\":" << frames_
+     << ",\"bad_frames\":" << bad_frames_
+     << ",\"bytes_in\":" << bytes_in_
+     << ",\"events\":" << events_
+     << ",\"events_per_second\":" << events_per_second
+     << ",\"reports_out\":" << reports_out_
+     << ",\"live_sessions\":" << sessions_.size()
+     << ",\"resident_bytes\":" << resident_bytes()
+     << ",\"sessions_opened\":" << sessions_opened_
+     << ",\"sessions_closed\":" << sessions_closed_
+     << ",\"sessions_evicted\":" << sessions_evicted_
+     << ",\"lint_rejects\":" << lint_rejects_
+     << ",\"decode_rejects\":" << decode_rejects_
+     << ",\"backpressure_hits\":" << backpressure_hits_
+     << "}";
+  return os.str();
+}
+
+}  // namespace race2d

@@ -1,0 +1,104 @@
+// DetectionService: many concurrent detection sessions behind one verb
+// dispatcher.
+//
+// The service is transport-independent — handle() maps one Request to one
+// Response; the pipe and unix-socket servers (server.hpp) only move frames.
+// Its job beyond dispatch is RESOURCE GOVERNANCE:
+//
+//  * live-session cap: open() refuses (kSessionLimit) past max_sessions;
+//  * per-session quota: after every feed the session's byte-accounted
+//    footprint is checked; an over-quota session is evicted — destroyed,
+//    with a tombstone so the client's later verbs get kQuotaEvicted and the
+//    reason, not kUnknownSession;
+//  * global budget: if the sum of session footprints exceeds
+//    total_quota_bytes, the largest session is evicted (deterministically:
+//    greatest footprint, lowest id on ties) until the sum fits;
+//  * backpressure: sessions refuse feeds while their report backlog is at
+//    max_pending_reports (the frame is not consumed; drain and resend).
+//
+// Eviction and rejection are answers, never crashes: every failure mode has
+// a ServiceStatus and a message carrying the stable code that caused it.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+
+namespace race2d {
+
+struct ServiceLimits {
+  std::size_t max_sessions = 64;
+  /// Default per-session footprint quota; OPEN may lower (not raise) it.
+  std::size_t session_quota_bytes = 64u << 20;
+  /// Global budget across all live sessions.
+  std::size_t total_quota_bytes = 256u << 20;
+  /// Report backlog per session before feeds bounce with kBackpressure.
+  std::size_t max_pending_reports = 1u << 16;
+};
+
+class DetectionService {
+ public:
+  explicit DetectionService(ServiceLimits limits = {});
+
+  /// The verb dispatcher. Total: every request gets a response.
+  Response handle(const Request& request);
+
+  /// Frame-level entry: decodes the request payload first; an undecodable
+  /// payload is answered with kBadFrame (and counted), never thrown.
+  Response handle_frame(const std::string& payload);
+
+  /// Point-in-time metrics as a single-line JSON object.
+  std::string metrics_json() const;
+
+  std::size_t live_sessions() const { return sessions_.size(); }
+  std::size_t resident_bytes() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<DetectionSession> session;
+    std::size_t quota_bytes = 0;
+  };
+
+  Response do_open(const Request& request);
+  Response do_feed(const Request& request);
+  Response do_drain(const Request& request);
+  Response do_close(const Request& request);
+  Response do_stats(const Request& request);
+
+  /// kUnknownSession / kQuotaEvicted lookup failure for `id`, or nullptr
+  /// plus the live slot via `slot`.
+  Slot* find(std::uint32_t id, Verb verb, Response& failure);
+  void evict(std::uint32_t id, const std::string& reason);
+  void enforce_global_quota();
+  void note_reject(ServiceStatus status);
+
+  ServiceLimits limits_;
+  std::map<std::uint32_t, Slot> sessions_;  ///< ordered: eviction scans are
+                                            ///< deterministic across runs
+  /// Evicted-session tombstones: id → reason. Bounded (oldest dropped); a
+  /// client of a long-gone eviction falls back to kUnknownSession.
+  std::map<std::uint32_t, std::string> evicted_;
+  std::uint32_t next_session_ = 1;
+
+  // Monotonic counters; snapshot via metrics_json().
+  std::uint64_t frames_ = 0;
+  std::uint64_t bad_frames_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t reports_out_ = 0;
+  std::uint64_t sessions_opened_ = 0;
+  std::uint64_t sessions_closed_ = 0;
+  std::uint64_t sessions_evicted_ = 0;
+  std::uint64_t lint_rejects_ = 0;
+  std::uint64_t decode_rejects_ = 0;
+  std::uint64_t backpressure_hits_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace race2d

@@ -1,0 +1,159 @@
+#include "service/session.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace race2d {
+
+namespace {
+
+/// The session's lint gate mirrors require_lint_clean(): errors only (a
+/// hygiene warning must not kill a live stream), stop early — one finding
+/// poisons the session and is all the error message carries.
+TraceLintOptions gate_options() {
+  TraceLintOptions options;
+  options.warnings = false;
+  options.max_diagnostics = 8;
+  return options;
+}
+
+}  // namespace
+
+DetectionSession::DetectionSession(ReportPolicy policy,
+                                   std::size_t max_pending_reports)
+    : max_pending_reports_(max_pending_reports),
+      lint_(gate_options()),
+      detector_(policy) {
+  detector_.on_root();  // the initial line {root | program}
+}
+
+DetectionSession::FeedOutcome DetectionSession::poison(ServiceStatus status,
+                                                       std::string message) {
+  poison_status_ = status;
+  poison_message_ = std::move(message);
+  FeedOutcome out;
+  out.status = poison_status_;
+  out.message = poison_message_;
+  return out;
+}
+
+void DetectionSession::drive(const TraceEvent& e) {
+  switch (e.op) {
+    case TraceOp::kFork:
+      // Lint enforced dense fork-order numbering, so the detector's fresh
+      // id equals e.other by construction.
+      detector_.on_fork(e.actor);
+      break;
+    case TraceOp::kJoin:   detector_.on_join(e.actor, e.other); break;
+    case TraceOp::kHalt:   detector_.on_halt(e.actor); break;
+    case TraceOp::kRead:   detector_.on_read(e.actor, e.loc); break;
+    case TraceOp::kWrite:  detector_.on_write(e.actor, e.loc); break;
+    case TraceOp::kRetire: detector_.on_retire(e.actor, e.loc); break;
+    case TraceOp::kSync:
+    case TraceOp::kFinishBegin:
+    case TraceOp::kFinishEnd:
+      break;  // ordering no-ops for the §4 detector
+  }
+}
+
+DetectionSession::FeedOutcome DetectionSession::feed(const std::string& bytes) {
+  if (poisoned()) {
+    FeedOutcome out;
+    out.status = poison_status_;
+    out.message = poison_message_;
+    return out;
+  }
+  if (pending_reports() >= max_pending_reports_) {
+    // Hard backpressure: consuming more input could only grow the report
+    // backlog. The frame is NOT consumed — the client drains and resends.
+    FeedOutcome out;
+    out.status = ServiceStatus::kBackpressure;
+    out.pending_reports = static_cast<std::uint32_t>(pending_reports());
+    out.backpressure = true;
+    std::ostringstream os;
+    os << "pending reports at the cap (" << max_pending_reports_
+       << "); drain before feeding more";
+    out.message = os.str();
+    return out;
+  }
+
+  scratch_.clear();
+  try {
+    decoder_.feed(bytes.data(), bytes.size(), scratch_);
+  } catch (const TraceDecodeError& e) {
+    return poison(ServiceStatus::kDecodeReject, e.what());
+  }
+
+  FeedOutcome out;
+  for (const TraceEvent& e : scratch_) {
+    if (!lint_.feed(e)) {
+      // The offending event never reaches the detector; everything decoded
+      // before it was already checked and detected.
+      return poison(ServiceStatus::kLintReject,
+                    to_string(lint_.result().first_error()));
+    }
+    drive(e);
+    ++events_total_;
+    ++out.events;
+  }
+  // Move this feed's fresh reports into the drain queue; the reporter's
+  // totals (any/count/first) keep describing the whole session.
+  std::vector<RaceReport> fresh = detector_.mutable_reporter().take();
+  pending_.insert(pending_.end(), fresh.begin(), fresh.end());
+  out.pending_reports = static_cast<std::uint32_t>(pending_.size());
+  out.backpressure = pending_.size() * 2 >= max_pending_reports_;
+  return out;
+}
+
+std::vector<RaceReport> DetectionSession::drain(std::uint32_t max_reports,
+                                                bool& more) {
+  const std::size_t n = (max_reports == 0 || max_reports >= pending_.size())
+                            ? pending_.size()
+                            : max_reports;
+  std::vector<RaceReport> out(
+      pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  if (pending_.empty()) {
+    // Actually release the backlog's buffer: draining is how a session's
+    // footprint shrinks back under its quota.
+    pending_.shrink_to_fit();
+  }
+  more = !pending_.empty();
+  return out;
+}
+
+DetectionSession::CloseOutcome DetectionSession::close() {
+  CloseOutcome out;
+  out.events = events_total_;
+  out.reports = reports_total();
+  if (poisoned()) {
+    out.status = poison_status_;
+    out.message = poison_message_;
+    return out;
+  }
+  try {
+    decoder_.finish();
+  } catch (const TraceDecodeError& e) {
+    out.status = ServiceStatus::kDecodeReject;
+    out.message = e.what();
+    return out;
+  }
+  lint_.finish();
+  if (!lint_.ok_so_far()) {
+    out.status = ServiceStatus::kLintReject;
+    out.message = to_string(lint_.result().first_error());
+    return out;
+  }
+  out.complete = true;
+  return out;
+}
+
+std::size_t DetectionSession::memory_bytes() const {
+  return decoder_.buffered_bytes() + lint_.memory_bytes() +
+         detector_.footprint().total() +
+         pending_.capacity() * sizeof(RaceReport) +
+         scratch_.capacity() * sizeof(TraceEvent);
+}
+
+}  // namespace race2d

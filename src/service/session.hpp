@@ -1,0 +1,90 @@
+// One detection session: the ingest pipeline behind a service session id.
+//
+//   FEED bytes ──▶ BinaryTraceDecoder ──▶ TraceLintStream ──▶ OnlineRaceDetector
+//                  (O(chunk) resident)    (gate: an event      (paper detector;
+//                                          failing lint never   reports drained
+//                                          reaches the          incrementally)
+//                                          detector)
+//
+// The pipeline is fail-fast and sticky: the first decode or lint error
+// poisons the session (status + message are retained and every later
+// operation answers with them), because events past a malformed point would
+// produce garbage verdicts — the same contract require_lint_clean() gives
+// batch callers, enforced event-at-a-time so it holds mid-stream.
+//
+// All state is byte-accounted (memory_bytes) so the service can enforce
+// per-session quotas and evict gracefully instead of growing without bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "io/binary_reader.hpp"
+#include "service/protocol.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+
+class DetectionSession {
+ public:
+  DetectionSession(ReportPolicy policy, std::size_t max_pending_reports);
+
+  struct FeedOutcome {
+    ServiceStatus status = ServiceStatus::kOk;
+    std::uint64_t events = 0;  ///< events decoded and checked by this feed
+    std::uint32_t pending_reports = 0;
+    bool backpressure = false;  ///< pending reports at/over half the cap
+    std::string message;        ///< non-kOk: leads with the stable code
+  };
+  /// Ingests one FEED frame's bytes. Refuses (kBackpressure, nothing
+  /// consumed) when pending reports are at the cap; otherwise decodes, lints
+  /// and detects. A decode/lint failure consumes the frame and poisons the
+  /// session.
+  FeedOutcome feed(const std::string& bytes);
+
+  /// Hands over up to `max_reports` pending reports (0 = all); `more` tells
+  /// the client to drain again. Report memory is freed here — the session's
+  /// footprint shrinks at every drain.
+  std::vector<RaceReport> drain(std::uint32_t max_reports, bool& more);
+
+  struct CloseOutcome {
+    ServiceStatus status = ServiceStatus::kOk;
+    bool complete = false;  ///< trailer decoded and end-of-trace lint clean
+    std::uint64_t events = 0;
+    std::uint64_t reports = 0;
+    std::string message;
+  };
+  /// Declares end-of-stream: checks the binary trailer and the linter's
+  /// end-of-trace conditions (truncation, unjoined tasks). The caller frees
+  /// the session afterwards regardless of the outcome.
+  CloseOutcome close();
+
+  /// Resident bytes: decoder buffer + lint state + detector (DSU + shadow)
+  /// + undrained reports. The service's quota checks read this after every
+  /// feed.
+  std::size_t memory_bytes() const;
+
+  std::uint64_t events_total() const { return events_total_; }
+  std::uint64_t reports_total() const { return detector_.reporter().count(); }
+  std::size_t pending_reports() const { return pending_.size(); }
+  bool poisoned() const { return poison_status_ != ServiceStatus::kOk; }
+
+ private:
+  void drive(const TraceEvent& e);
+  [[nodiscard]] FeedOutcome poison(ServiceStatus status, std::string message);
+
+  std::size_t max_pending_reports_;
+  BinaryTraceDecoder decoder_;
+  TraceLintStream lint_;
+  OnlineRaceDetector detector_;
+  std::vector<TraceEvent> scratch_;  ///< decoded events of the current feed
+  std::vector<RaceReport> pending_;  ///< detected, not yet drained
+  std::uint64_t events_total_ = 0;
+  ServiceStatus poison_status_ = ServiceStatus::kOk;
+  std::string poison_message_;
+};
+
+}  // namespace race2d

@@ -3,8 +3,6 @@
 #include <sstream>
 #include <vector>
 
-#include "support/flat_hash_map.hpp"
-
 namespace race2d {
 
 namespace {
@@ -27,297 +25,274 @@ const char* op_name(TraceOp op) {
 /// Per-location lifetime state for the retire hygiene warnings.
 enum : std::uint8_t { kLocTracked = 1, kLocRetired = 2 };
 
-struct TaskState {
-  TaskId left = kInvalidTask;   ///< immediate left neighbor in the task line
-  TaskId right = kInvalidTask;
-  std::uint32_t finish_depth = 0;
-  bool halted = false;
-  bool joined = false;  ///< removed from the line by a join
-};
-
-class LintPass {
- public:
-  LintPass(const Trace& trace, const TraceLintOptions& options)
-      : trace_(trace), options_(options) {}
-
-  LintResult run() {
-    // The initial line {root | program}: task 0 running, alone.
-    tasks_.push_back({});
-    stack_.push_back(0);
-
-    // Always walk the full trace: line bookkeeping must stay consistent so
-    // emit() can decide truncation, and the pass is O(n) regardless.
-    for (std::size_t i = 0; i < trace_.size(); ++i) on_event(i);
-    on_end();
-
-    return std::move(result_);
-  }
-
- private:
-  bool full() const {
-    return result_.diagnostics.size() >= options_.max_diagnostics;
-  }
-
-  template <typename Fn>
-  void emit(LintCode code, std::size_t index, Fn&& compose,
-            const char* hint = "") {
-    const LintSeverity sev = lint_code_severity(code);
-    if (sev == LintSeverity::kWarning && !options_.warnings) return;
-    // The cap applies PER SEVERITY: a retire-churning trace can emit
-    // thousands of hygiene warnings, and they must never crowd out a real
-    // error later in the trace (found by fuzzing: a corrupt trace lint-ed
-    // "clean" because W101s filled the cap first).
-    std::size_t& emitted = sev == LintSeverity::kWarning ? warnings_emitted_
-                                                         : errors_emitted_;
-    if (emitted >= options_.max_diagnostics) {
-      result_.truncated = true;
-      return;
-    }
-    ++emitted;
-    std::ostringstream os;
-    compose(os);
-    result_.diagnostics.push_back({code, sev, index, os.str(), hint});
-  }
-
-  bool known(TaskId t) const { return t < tasks_.size(); }
-
-  void on_event(std::size_t i) {
-    const TraceEvent& e = trace_[i];
-    const char* op = op_name(e.op);
-
-    if (stack_.empty()) {
-      emit(LintCode::kEventAfterRootHalt, i, [&](std::ostream& os) {
-        os << op << " by task " << e.actor << " after the root halted";
-      }, "a well-formed trace ends at the root's halt");
-      return;
-    }
-    if (e.actor == kInvalidTask) {
-      emit(LintCode::kInvalidTaskId, i, [&](std::ostream& os) {
-        os << op << " uses the reserved invalid task id as its actor";
-      });
-      return;
-    }
-    if (!known(e.actor)) {
-      emit(LintCode::kUnknownActor, i, [&](std::ostream& os) {
-        os << op << " by unknown task " << e.actor << " (only "
-           << tasks_.size() << " task(s) introduced so far)";
-      }, "every task id must first appear as a fork's child");
-      return;
-    }
-    if (tasks_[e.actor].halted) {
-      if (e.op == TraceOp::kHalt) {
-        emit(LintCode::kDoubleHalt, i, [&](std::ostream& os) {
-          os << "task " << e.actor << " halts twice";
-        }, "drop the duplicate halt");
-      } else {
-        emit(LintCode::kActorHalted, i, [&](std::ostream& os) {
-          os << op << " by task " << e.actor << ", which already halted";
-        }, "no events may follow a task's halt");
-      }
-      return;
-    }
-    if (stack_.back() != e.actor) {
-      const TaskId expected = stack_.back();
-      emit(LintCode::kOutOfSerialOrder, i, [&](std::ostream& os) {
-        os << op << " by task " << e.actor
-           << " while the serial fork-first order has task " << expected
-           << " running";
-      }, "a forked child runs to its halt before the parent resumes");
-      // Keep going: line bookkeeping below stays consistent, so later
-      // findings are independent rather than cascades of this one.
-    }
-
-    switch (e.op) {
-      case TraceOp::kFork:   on_fork(i, e); break;
-      case TraceOp::kJoin:   on_join(i, e); break;
-      case TraceOp::kHalt:   on_halt(i, e); break;
-      case TraceOp::kSync:   break;
-      case TraceOp::kRead:
-      case TraceOp::kWrite:  on_access(i, e); break;
-      case TraceOp::kRetire: on_retire(i, e); break;
-      case TraceOp::kFinishBegin:
-        ++tasks_[e.actor].finish_depth;
-        break;
-      case TraceOp::kFinishEnd:
-        if (tasks_[e.actor].finish_depth == 0) {
-          emit(LintCode::kFinishEndUnbalanced, i, [&](std::ostream& os) {
-            os << "finish_end by task " << e.actor
-               << " without an open finish region";
-          }, "balance finish_begin/finish_end per task");
-        } else {
-          --tasks_[e.actor].finish_depth;
-        }
-        break;
-    }
-  }
-
-  void on_fork(std::size_t i, const TraceEvent& e) {
-    if (e.other == kInvalidTask) {
-      emit(LintCode::kInvalidTaskId, i, [&](std::ostream& os) {
-        os << "fork by task " << e.actor
-           << " names the reserved invalid task id as its child";
-      });
-      return;
-    }
-    if (known(e.other)) {
-      emit(LintCode::kForkChildCollision, i, [&](std::ostream& os) {
-        os << "fork by task " << e.actor << " re-introduces task " << e.other;
-      }, "each task id may be forked exactly once");
-      return;
-    }
-    if (e.other != tasks_.size()) {
-      emit(LintCode::kForkChildNotDense, i, [&](std::ostream& os) {
-        os << "fork by task " << e.actor << " introduces child " << e.other
-           << " but the next dense id is " << tasks_.size();
-      }, "task ids are dense in fork order (root is 0)");
-      return;
-    }
-    // Insert the child immediately LEFT of its parent (Figure 9).
-    const TaskId child = static_cast<TaskId>(tasks_.size());
-    TaskState child_state;
-    child_state.left = tasks_[e.actor].left;
-    child_state.right = e.actor;
-    if (child_state.left != kInvalidTask) tasks_[child_state.left].right = child;
-    tasks_[e.actor].left = child;
-    tasks_.push_back(child_state);
-    stack_.push_back(child);  // fork-first: the child runs next
-  }
-
-  void on_join(std::size_t i, const TraceEvent& e) {
-    if (e.other == kInvalidTask) {
-      emit(LintCode::kInvalidTaskId, i, [&](std::ostream& os) {
-        os << "join by task " << e.actor
-           << " names the reserved invalid task id as its target";
-      });
-      return;
-    }
-    if (!known(e.other)) {
-      emit(LintCode::kJoinTargetUnknown, i, [&](std::ostream& os) {
-        os << "task " << e.actor << " joins unknown task " << e.other;
-      });
-      return;
-    }
-    if (e.other == e.actor) {
-      emit(LintCode::kJoinNotLeftNeighbor, i, [&](std::ostream& os) {
-        os << "task " << e.actor << " joins itself";
-      }, "only the immediate left neighbor is joinable");
-      return;
-    }
-    if (tasks_[e.other].joined) {
-      emit(LintCode::kJoinTargetJoined, i, [&](std::ostream& os) {
-        os << "task " << e.actor << " joins task " << e.other
-           << ", which was already joined";
-      }, "each task is joined exactly once");
-      return;
-    }
-    if (!tasks_[e.other].halted) {
-      emit(LintCode::kJoinTargetNotHalted, i, [&](std::ostream& os) {
-        os << "task " << e.actor << " joins task " << e.other
-           << ", which has not halted";
-      }, "a join consumes a halted task (the delayed last-arc)");
-      return;
-    }
-    if (tasks_[e.actor].left != e.other) {
-      emit(LintCode::kJoinNotLeftNeighbor, i, [&](std::ostream& os) {
-        os << "task " << e.actor << " joins task " << e.other
-           << " but its immediate left neighbor is ";
-        if (tasks_[e.actor].left == kInvalidTask)
-          os << "nothing";
-        else
-          os << "task " << tasks_[e.actor].left;
-      }, "Figure 9 allows joining only the immediate left neighbor");
-      return;
-    }
-    // Remove the joined task from the line.
-    TaskState& joined = tasks_[e.other];
-    joined.joined = true;
-    tasks_[e.actor].left = joined.left;
-    if (joined.left != kInvalidTask) tasks_[joined.left].right = e.actor;
-  }
-
-  void on_halt(std::size_t i, const TraceEvent& e) {
-    if (tasks_[e.actor].finish_depth > 0) {
-      emit(LintCode::kFinishUnclosed, i, [&](std::ostream& os) {
-        os << "task " << e.actor << " halts with "
-           << tasks_[e.actor].finish_depth << " open finish region(s)";
-      }, "emit finish_end before the task halts");
-    }
-    tasks_[e.actor].halted = true;
-    if (stack_.back() == e.actor) {
-      stack_.pop_back();
-    } else {
-      // Out-of-order halt (already reported): drop it from the run stack so
-      // later events by its ancestors are judged on their own merits.
-      for (std::size_t s = stack_.size(); s-- > 0;) {
-        if (stack_[s] == e.actor) {
-          stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(s));
-          break;
-        }
-      }
-    }
-  }
-
-  void on_access(std::size_t i, const TraceEvent& e) {
-    std::uint8_t& state = locs_[e.loc];
-    if (state == kLocRetired) {
-      emit(LintCode::kAccessAfterRetire, i, [&](std::ostream& os) {
-        os << op_name(e.op) << " of location 0x" << std::hex << e.loc
-           << std::dec << " by task " << e.actor << " after its retirement";
-      }, "legal address reuse, but a fresh logical location avoids ambiguity");
-    }
-    state = kLocTracked;
-  }
-
-  void on_retire(std::size_t i, const TraceEvent& e) {
-    std::uint8_t& state = locs_[e.loc];
-    if (state != kLocTracked) {
-      emit(LintCode::kDeadRetire, i, [&](std::ostream& os) {
-        os << "retire of location 0x" << std::hex << e.loc << std::dec
-           << " by task " << e.actor << " with no live accesses to retire";
-      }, "dead retires are ignored by the detectors");
-      return;  // the detectors ignore it too: no lifetime ends here
-    }
-    state = kLocRetired;
-  }
-
-  void on_end() {
-    const std::size_t end = trace_.size();
-    if (!stack_.empty()) {
-      emit(LintCode::kTruncatedTrace, end, [&](std::ostream& os) {
-        if (trace_.empty()) {
-          os << "trace is empty; the root task never ran";
-          return;
-        }
-        os << "trace ends with " << stack_.size()
-           << " task(s) still running (innermost: task " << stack_.back()
-           << "); the root never halted";
-      }, "a complete trace ends with the root's halt");
-      return;  // unjoined-task findings would only restate the truncation
-    }
-    for (TaskId t = 1; t < tasks_.size(); ++t) {
-      if (!tasks_[t].joined) {
-        emit(LintCode::kUnjoinedTask, end, [&](std::ostream& os) {
-          os << "task " << t << " was never joined; the task graph has "
-             << "multiple sinks (Theorem 6 needs the root to join all)";
-        }, "join every forked task before the root halts");
-      }
-    }
-  }
-
-  const Trace& trace_;
-  const TraceLintOptions& options_;
-  LintResult result_;
-  std::size_t warnings_emitted_ = 0;
-  std::size_t errors_emitted_ = 0;
-  std::vector<TaskState> tasks_;
-  std::vector<TaskId> stack_;  ///< running tasks, innermost (current) last
-  FlatHashMap<Loc, std::uint8_t> locs_;
-};
-
 }  // namespace
 
+TraceLintStream::TraceLintStream(TraceLintOptions options)
+    : options_(options) {
+  // The initial line {root | program}: task 0 running, alone.
+  tasks_.push_back({});
+  stack_.push_back(0);
+}
+
+template <typename Fn>
+void TraceLintStream::emit(LintCode code, std::size_t index, Fn&& compose,
+                           const char* hint) {
+  const LintSeverity sev = lint_code_severity(code);
+  if (sev == LintSeverity::kWarning && !options_.warnings) return;
+  // The cap applies PER SEVERITY: a retire-churning trace can emit
+  // thousands of hygiene warnings, and they must never crowd out a real
+  // error later in the trace (found by fuzzing: a corrupt trace lint-ed
+  // "clean" because W101s filled the cap first).
+  std::size_t& emitted = sev == LintSeverity::kWarning ? warnings_emitted_
+                                                       : errors_emitted_;
+  if (emitted >= options_.max_diagnostics) {
+    result_.truncated = true;
+    return;
+  }
+  ++emitted;
+  std::ostringstream os;
+  compose(os);
+  result_.diagnostics.push_back({code, sev, index, os.str(), hint});
+}
+
+bool TraceLintStream::feed(const TraceEvent& e) {
+  R2D_REQUIRE(!finished_, "TraceLintStream::feed() after finish()");
+  const std::size_t i = index_++;
+  const char* op = op_name(e.op);
+
+  if (stack_.empty()) {
+    emit(LintCode::kEventAfterRootHalt, i, [&](std::ostream& os) {
+      os << op << " by task " << e.actor << " after the root halted";
+    }, "a well-formed trace ends at the root's halt");
+    return ok_so_far();
+  }
+  if (e.actor == kInvalidTask) {
+    emit(LintCode::kInvalidTaskId, i, [&](std::ostream& os) {
+      os << op << " uses the reserved invalid task id as its actor";
+    });
+    return ok_so_far();
+  }
+  if (!known(e.actor)) {
+    emit(LintCode::kUnknownActor, i, [&](std::ostream& os) {
+      os << op << " by unknown task " << e.actor << " (only "
+         << tasks_.size() << " task(s) introduced so far)";
+    }, "every task id must first appear as a fork's child");
+    return ok_so_far();
+  }
+  if (tasks_[e.actor].halted) {
+    if (e.op == TraceOp::kHalt) {
+      emit(LintCode::kDoubleHalt, i, [&](std::ostream& os) {
+        os << "task " << e.actor << " halts twice";
+      }, "drop the duplicate halt");
+    } else {
+      emit(LintCode::kActorHalted, i, [&](std::ostream& os) {
+        os << op << " by task " << e.actor << ", which already halted";
+      }, "no events may follow a task's halt");
+    }
+    return ok_so_far();
+  }
+  if (stack_.back() != e.actor) {
+    const TaskId expected = stack_.back();
+    emit(LintCode::kOutOfSerialOrder, i, [&](std::ostream& os) {
+      os << op << " by task " << e.actor
+         << " while the serial fork-first order has task " << expected
+         << " running";
+    }, "a forked child runs to its halt before the parent resumes");
+    // Keep going: line bookkeeping below stays consistent, so later
+    // findings are independent rather than cascades of this one.
+  }
+
+  switch (e.op) {
+    case TraceOp::kFork:   on_fork(i, e); break;
+    case TraceOp::kJoin:   on_join(i, e); break;
+    case TraceOp::kHalt:   on_halt(i, e); break;
+    case TraceOp::kSync:   break;
+    case TraceOp::kRead:
+    case TraceOp::kWrite:  on_access(i, e); break;
+    case TraceOp::kRetire: on_retire(i, e); break;
+    case TraceOp::kFinishBegin:
+      ++tasks_[e.actor].finish_depth;
+      break;
+    case TraceOp::kFinishEnd:
+      if (tasks_[e.actor].finish_depth == 0) {
+        emit(LintCode::kFinishEndUnbalanced, i, [&](std::ostream& os) {
+          os << "finish_end by task " << e.actor
+             << " without an open finish region";
+        }, "balance finish_begin/finish_end per task");
+      } else {
+        --tasks_[e.actor].finish_depth;
+      }
+      break;
+  }
+  return ok_so_far();
+}
+
+void TraceLintStream::on_fork(std::size_t i, const TraceEvent& e) {
+  if (e.other == kInvalidTask) {
+    emit(LintCode::kInvalidTaskId, i, [&](std::ostream& os) {
+      os << "fork by task " << e.actor
+         << " names the reserved invalid task id as its child";
+    });
+    return;
+  }
+  if (known(e.other)) {
+    emit(LintCode::kForkChildCollision, i, [&](std::ostream& os) {
+      os << "fork by task " << e.actor << " re-introduces task " << e.other;
+    }, "each task id may be forked exactly once");
+    return;
+  }
+  if (e.other != tasks_.size()) {
+    emit(LintCode::kForkChildNotDense, i, [&](std::ostream& os) {
+      os << "fork by task " << e.actor << " introduces child " << e.other
+         << " but the next dense id is " << tasks_.size();
+    }, "task ids are dense in fork order (root is 0)");
+    return;
+  }
+  // Insert the child immediately LEFT of its parent (Figure 9).
+  const TaskId child = static_cast<TaskId>(tasks_.size());
+  TaskState child_state;
+  child_state.left = tasks_[e.actor].left;
+  child_state.right = e.actor;
+  if (child_state.left != kInvalidTask) tasks_[child_state.left].right = child;
+  tasks_[e.actor].left = child;
+  tasks_.push_back(child_state);
+  stack_.push_back(child);  // fork-first: the child runs next
+}
+
+void TraceLintStream::on_join(std::size_t i, const TraceEvent& e) {
+  if (e.other == kInvalidTask) {
+    emit(LintCode::kInvalidTaskId, i, [&](std::ostream& os) {
+      os << "join by task " << e.actor
+         << " names the reserved invalid task id as its target";
+    });
+    return;
+  }
+  if (!known(e.other)) {
+    emit(LintCode::kJoinTargetUnknown, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " joins unknown task " << e.other;
+    });
+    return;
+  }
+  if (e.other == e.actor) {
+    emit(LintCode::kJoinNotLeftNeighbor, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " joins itself";
+    }, "only the immediate left neighbor is joinable");
+    return;
+  }
+  if (tasks_[e.other].joined) {
+    emit(LintCode::kJoinTargetJoined, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " joins task " << e.other
+         << ", which was already joined";
+    }, "each task is joined exactly once");
+    return;
+  }
+  if (!tasks_[e.other].halted) {
+    emit(LintCode::kJoinTargetNotHalted, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " joins task " << e.other
+         << ", which has not halted";
+    }, "a join consumes a halted task (the delayed last-arc)");
+    return;
+  }
+  if (tasks_[e.actor].left != e.other) {
+    emit(LintCode::kJoinNotLeftNeighbor, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " joins task " << e.other
+         << " but its immediate left neighbor is ";
+      if (tasks_[e.actor].left == kInvalidTask)
+        os << "nothing";
+      else
+        os << "task " << tasks_[e.actor].left;
+    }, "Figure 9 allows joining only the immediate left neighbor");
+    return;
+  }
+  // Remove the joined task from the line.
+  TaskState& joined = tasks_[e.other];
+  joined.joined = true;
+  tasks_[e.actor].left = joined.left;
+  if (joined.left != kInvalidTask) tasks_[joined.left].right = e.actor;
+}
+
+void TraceLintStream::on_halt(std::size_t i, const TraceEvent& e) {
+  if (tasks_[e.actor].finish_depth > 0) {
+    emit(LintCode::kFinishUnclosed, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " halts with "
+         << tasks_[e.actor].finish_depth << " open finish region(s)";
+    }, "emit finish_end before the task halts");
+  }
+  tasks_[e.actor].halted = true;
+  if (stack_.back() == e.actor) {
+    stack_.pop_back();
+  } else {
+    // Out-of-order halt (already reported): drop it from the run stack so
+    // later events by its ancestors are judged on their own merits.
+    for (std::size_t s = stack_.size(); s-- > 0;) {
+      if (stack_[s] == e.actor) {
+        stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(s));
+        break;
+      }
+    }
+  }
+}
+
+void TraceLintStream::on_access(std::size_t i, const TraceEvent& e) {
+  std::uint8_t& state = locs_[e.loc];
+  if (state == kLocRetired) {
+    emit(LintCode::kAccessAfterRetire, i, [&](std::ostream& os) {
+      os << op_name(e.op) << " of location 0x" << std::hex << e.loc
+         << std::dec << " by task " << e.actor << " after its retirement";
+    }, "legal address reuse, but a fresh logical location avoids ambiguity");
+  }
+  state = kLocTracked;
+}
+
+void TraceLintStream::on_retire(std::size_t i, const TraceEvent& e) {
+  std::uint8_t& state = locs_[e.loc];
+  if (state != kLocTracked) {
+    emit(LintCode::kDeadRetire, i, [&](std::ostream& os) {
+      os << "retire of location 0x" << std::hex << e.loc << std::dec
+         << " by task " << e.actor << " with no live accesses to retire";
+    }, "dead retires are ignored by the detectors");
+    return;  // the detectors ignore it too: no lifetime ends here
+  }
+  state = kLocRetired;
+}
+
+void TraceLintStream::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const std::size_t end = index_;
+  if (!stack_.empty()) {
+    emit(LintCode::kTruncatedTrace, end, [&](std::ostream& os) {
+      if (end == 0) {
+        os << "trace is empty; the root task never ran";
+        return;
+      }
+      os << "trace ends with " << stack_.size()
+         << " task(s) still running (innermost: task " << stack_.back()
+         << "); the root never halted";
+    }, "a complete trace ends with the root's halt");
+    return;  // unjoined-task findings would only restate the truncation
+  }
+  for (TaskId t = 1; t < tasks_.size(); ++t) {
+    if (!tasks_[t].joined) {
+      emit(LintCode::kUnjoinedTask, end, [&](std::ostream& os) {
+        os << "task " << t << " was never joined; the task graph has "
+           << "multiple sinks (Theorem 6 needs the root to join all)";
+      }, "join every forked task before the root halts");
+    }
+  }
+}
+
+std::size_t TraceLintStream::memory_bytes() const {
+  return tasks_.capacity() * sizeof(TaskState) +
+         stack_.capacity() * sizeof(TaskId) +
+         locs_.size() * 2 * (sizeof(Loc) + sizeof(std::uint8_t));
+}
+
 LintResult TraceLinter::run(const Trace& trace) const {
-  return LintPass(trace, options_).run();
+  TraceLintStream stream(options_);
+  for (const TraceEvent& e : trace) stream.feed(e);
+  stream.finish();
+  return stream.take();
 }
 
 LintResult lint_trace(const Trace& trace) { return TraceLinter().run(trace); }

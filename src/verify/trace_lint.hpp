@@ -26,8 +26,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "runtime/trace.hpp"
+#include "support/flat_hash_map.hpp"
 #include "verify/diagnostics.hpp"
 
 namespace race2d {
@@ -41,6 +44,64 @@ struct TraceLintOptions {
   std::size_t max_diagnostics = 64;
   /// Collect warning-level findings (retire hygiene). Errors always are.
   bool warnings = true;
+};
+
+/// The linter's single pass, exposed as a PUSH stream: feed() events as
+/// they arrive, finish() when the stream ends. This is the form a
+/// long-running ingest front (the DetectionService) gates on — an
+/// error-level finding is known at the offending event, BEFORE that event
+/// ever reaches a detector, with Θ(tasks + locations) state and no trace
+/// materialization. TraceLinter::run() is the batch driver over it.
+class TraceLintStream {
+ public:
+  explicit TraceLintStream(TraceLintOptions options = {});
+
+  /// Lints the next event (indices auto-increment from 0). Returns
+  /// ok_so_far() as a convenience. Feeding after finish() is a contract
+  /// violation.
+  bool feed(const TraceEvent& e);
+
+  /// Declares end-of-trace: emits the end-of-input findings (truncation,
+  /// unjoined tasks). Idempotent.
+  void finish();
+
+  /// True while no error-level diagnostic has been emitted.
+  bool ok_so_far() const { return errors_emitted_ == 0; }
+  std::size_t events_seen() const { return index_; }
+  const LintResult& result() const { return result_; }
+  LintResult take() { return std::move(result_); }
+
+  /// Rough resident footprint of the lint state (service quota accounting).
+  std::size_t memory_bytes() const;
+
+ private:
+  struct TaskState {
+    TaskId left = kInvalidTask;  ///< immediate left neighbor in the task line
+    TaskId right = kInvalidTask;
+    std::uint32_t finish_depth = 0;
+    bool halted = false;
+    bool joined = false;  ///< removed from the line by a join
+  };
+
+  template <typename Fn>
+  void emit(LintCode code, std::size_t index, Fn&& compose,
+            const char* hint = "");
+  bool known(TaskId t) const { return t < tasks_.size(); }
+  void on_fork(std::size_t i, const TraceEvent& e);
+  void on_join(std::size_t i, const TraceEvent& e);
+  void on_halt(std::size_t i, const TraceEvent& e);
+  void on_access(std::size_t i, const TraceEvent& e);
+  void on_retire(std::size_t i, const TraceEvent& e);
+
+  TraceLintOptions options_;
+  LintResult result_;
+  std::size_t index_ = 0;
+  bool finished_ = false;
+  std::size_t warnings_emitted_ = 0;
+  std::size_t errors_emitted_ = 0;
+  std::vector<TaskState> tasks_;
+  std::vector<TaskId> stack_;  ///< running tasks, innermost (current) last
+  FlatHashMap<Loc, std::uint8_t> locs_;
 };
 
 class TraceLinter {

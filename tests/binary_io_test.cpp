@@ -1,0 +1,318 @@
+// The binary trace wire format: round-trip exactness, canonical encoding,
+// streaming (push) decode equivalence under every byte-split, and the full
+// rejection taxonomy — every stable DecodeCode B001–B014 triggered on
+// purpose, every truncation prefix and every single-bit flip of a valid
+// stream rejected.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_plan.hpp"
+#include "fuzz/trace_gen.hpp"
+#include "io/binary_reader.hpp"
+#include "io/binary_writer.hpp"
+#include "io/crc32c.hpp"
+#include "io/text_reader.hpp"
+#include "io/varint.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/trace_io.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace race2d {
+namespace {
+
+Trace sample_trace() {
+  // All nine opcodes, loc jumps both directions, a task-id delta that goes
+  // negative (join names an older task), hex-significant locations.
+  return Trace{
+      {TraceOp::kRead, 0, kInvalidTask, 0x10},
+      {TraceOp::kFinishBegin, 0, kInvalidTask, 0},
+      {TraceOp::kFork, 0, 1, 0},
+      {TraceOp::kWrite, 1, kInvalidTask, 0xffffffffffffffffull},
+      {TraceOp::kSync, 1, kInvalidTask, 0},
+      {TraceOp::kRead, 1, kInvalidTask, 0x1},
+      {TraceOp::kHalt, 1, kInvalidTask, 0},
+      {TraceOp::kJoin, 0, 1, 0},
+      {TraceOp::kRetire, 0, kInvalidTask, 0x10},
+      {TraceOp::kFinishEnd, 0, kInvalidTask, 0},
+      {TraceOp::kHalt, 0, kInvalidTask, 0},
+  };
+}
+
+Trace generated_trace(std::uint64_t seed) {
+  return generate_trace(FuzzPlan::from_seed(seed)).trace;
+}
+
+DecodeCode decode_code_of(const std::string& bytes) {
+  try {
+    (void)trace_from_binary(bytes);
+  } catch (const TraceDecodeError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "input decoded without error";
+  return DecodeCode::kBadMagic;
+}
+
+TEST(Varint, CanonicalAndSignedMappings) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+        0x0123456789abcdefull, ~0ull}) {
+    std::string buf;
+    append_varint(buf, v);
+    std::size_t pos = 0;
+    std::uint64_t back = 0;
+    ASSERT_EQ(decode_varint(
+                  reinterpret_cast<const unsigned char*>(buf.data()),
+                  buf.size(), pos, back),
+              VarintStatus::kOk);
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+  // Non-minimal encoding of 0 (two bytes) must be rejected, not normalized.
+  const unsigned char overlong[] = {0x80, 0x00};
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  EXPECT_EQ(decode_varint(overlong, 2, pos, v), VarintStatus::kOverlong);
+  for (const std::int64_t s : {0ll, -1ll, 1ll, -2ll, 1234567ll, -7654321ll}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(s)), s);
+  }
+}
+
+TEST(BinaryRoundTrip, EmptyAllOpcodesAndGenerated) {
+  for (const Trace& trace :
+       {Trace{}, sample_trace(), generated_trace(11), generated_trace(42),
+        generated_trace(99)}) {
+    const std::string bytes = trace_to_binary(trace);
+    EXPECT_EQ(trace_from_binary(bytes), trace);
+    // Canonicity: re-encoding the decoded trace is byte-identical.
+    EXPECT_EQ(trace_to_binary(trace_from_binary(bytes)), bytes);
+  }
+}
+
+TEST(BinaryRoundTrip, ChunkBoundariesResetDeltaState) {
+  const Trace trace = generated_trace(7);
+  ASSERT_GT(trace.size(), 16u);
+  // Tiny chunks force many frames; the per-chunk delta reset must not leak
+  // state across boundaries in either direction.
+  for (const std::size_t chunk : {1u, 7u, 16u, 64u, 1024u}) {
+    BinaryWriteOptions options;
+    options.chunk_payload_bytes = chunk;
+    const std::string bytes = trace_to_binary(trace, options);
+    EXPECT_EQ(trace_from_binary(bytes), trace) << "chunk=" << chunk;
+  }
+}
+
+TEST(BinaryRoundTrip, TextAndBinaryReadersAgree) {
+  const Trace trace = generated_trace(23);
+  std::istringstream text(trace_to_text(trace));
+  std::istringstream binary(trace_to_binary(trace));
+  EXPECT_FALSE(sniff_binary_trace(text));
+  EXPECT_TRUE(sniff_binary_trace(binary));
+  TextTraceReader text_reader(text);
+  BinaryTraceReader binary_reader(binary);
+  EXPECT_EQ(text_reader.drain(), trace);
+  EXPECT_EQ(binary_reader.drain(), trace);
+}
+
+TEST(PushDecoder, EveryByteSplitDecodesIdentically) {
+  const Trace trace = generated_trace(5);
+  BinaryWriteOptions options;
+  options.chunk_payload_bytes = 48;  // several chunks in a small stream
+  const std::string bytes = trace_to_binary(trace, options);
+  // One byte at a time: the pathological split of every frame.
+  {
+    BinaryTraceDecoder decoder;
+    std::vector<TraceEvent> out;
+    for (const char byte : bytes) decoder.feed(&byte, 1, out);
+    decoder.finish();
+    EXPECT_TRUE(decoder.done());
+    EXPECT_EQ(Trace(out.begin(), out.end()), trace);
+    EXPECT_EQ(decoder.bytes_consumed(), bytes.size());
+  }
+  // Every two-part split.
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    BinaryTraceDecoder decoder;
+    std::vector<TraceEvent> out;
+    decoder.feed(bytes.data(), cut, out);
+    decoder.feed(bytes.data() + cut, bytes.size() - cut, out);
+    decoder.finish();
+    ASSERT_EQ(Trace(out.begin(), out.end()), trace) << "cut=" << cut;
+  }
+}
+
+TEST(PushDecoder, PoisonedDecoderKeepsRethrowing) {
+  std::string bytes = trace_to_binary(sample_trace());
+  bytes[12] = static_cast<char>(bytes[12] ^ 0x40);  // corrupt chunk interior
+  BinaryTraceDecoder decoder;
+  std::vector<TraceEvent> out;
+  EXPECT_THROW(decoder.feed(bytes.data(), bytes.size(), out),
+               TraceDecodeError);
+  EXPECT_THROW(decoder.feed("x", 1, out), TraceDecodeError);
+  EXPECT_THROW(decoder.finish(), TraceDecodeError);
+}
+
+TEST(DecodeRejection, EveryTruncationPrefixThrows) {
+  const std::string bytes = trace_to_binary(sample_trace());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)trace_from_binary(bytes.substr(0, len)),
+                 TraceDecodeError)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(DecodeRejection, EverySingleBitFlipThrows) {
+  BinaryWriteOptions options;
+  options.chunk_payload_bytes = 32;
+  const std::string bytes = trace_to_binary(generated_trace(3), options);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[i] = static_cast<char>(static_cast<unsigned char>(corrupt[i]) ^
+                                     (1u << bit));
+      EXPECT_THROW((void)trace_from_binary(corrupt), TraceDecodeError)
+          << "byte " << i << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(DecodeRejection, StableCodesAndByteOffsets) {
+  const std::string good = trace_to_binary(sample_trace());
+
+  // B001 bad magic.
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    try {
+      (void)trace_from_binary(bad);
+      FAIL() << "bad magic accepted";
+    } catch (const TraceDecodeError& e) {
+      EXPECT_EQ(e.code(), DecodeCode::kBadMagic);
+      EXPECT_STREQ(decode_code_id(e.code()), "B001");
+      EXPECT_EQ(e.byte_offset(), 0u);
+      EXPECT_NE(std::string(e.what()).find("B001"), std::string::npos);
+    }
+  }
+  // B002 unsupported version.
+  {
+    std::string bad = good;
+    bad[4] = 9;
+    EXPECT_EQ(decode_code_of(bad), DecodeCode::kUnsupportedVersion);
+  }
+  // B003 nonzero reserved header bytes.
+  {
+    std::string bad = good;
+    bad[6] = 1;
+    EXPECT_EQ(decode_code_of(bad), DecodeCode::kBadHeader);
+  }
+  // B004 truncated input (inside the header).
+  EXPECT_EQ(decode_code_of(good.substr(0, 3)), DecodeCode::kTruncatedInput);
+  // B005 chunk CRC mismatch (flip one payload byte).
+  {
+    std::string bad = good;
+    bad[kBinaryHeaderBytes + 9 + 2] ^= 0x01;
+    EXPECT_EQ(decode_code_of(bad), DecodeCode::kChunkCrcMismatch);
+  }
+  // B009 bad frame marker.
+  {
+    std::string bad = good;
+    bad[kBinaryHeaderBytes] = 'Z';
+    EXPECT_EQ(decode_code_of(bad), DecodeCode::kBadFrameMarker);
+  }
+  // B011 chunk payload over the cap. Hand-build the frame: marker + a
+  // length beyond kMaxChunkPayload.
+  {
+    std::string bad = good.substr(0, kBinaryHeaderBytes);
+    bad += static_cast<char>(kChunkMarker);
+    const std::uint32_t len = kMaxChunkPayload + 1;
+    for (int i = 0; i < 4; ++i)
+      bad += static_cast<char>((len >> (8 * i)) & 0xffu);
+    bad += std::string(4, '\0');  // crc
+    EXPECT_EQ(decode_code_of(bad), DecodeCode::kChunkTooLarge);
+  }
+  // B012 trailing bytes after the trailer.
+  EXPECT_EQ(decode_code_of(good + "x"), DecodeCode::kTrailingBytes);
+  // B013 missing trailer: a header-only stream ends between frames.
+  EXPECT_EQ(decode_code_of(good.substr(0, kBinaryHeaderBytes)),
+            DecodeCode::kMissingTrailer);
+  // B014 trailer CRC mismatch: flip a byte of the trailer's count field.
+  {
+    std::string bad = good;
+    bad[bad.size() - 5] ^= 0x01;  // inside the u64 count (crc is last 4)
+    EXPECT_EQ(decode_code_of(bad), DecodeCode::kTrailerCrcMismatch);
+  }
+}
+
+TEST(DecodeRejection, PayloadLevelCodes) {
+  // Build chunks with crafted payloads and CORRECT CRCs so the payload
+  // decoders themselves are reached: B006/B007/B008/B010.
+  const std::string header = trace_to_binary(Trace{}).substr(
+      0, kBinaryHeaderBytes);
+  const auto frame = [&](const std::string& payload) {
+    std::string out = header;
+    out += static_cast<char>(kChunkMarker);
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+      out += static_cast<char>((len >> (8 * i)) & 0xffu);
+    const std::uint32_t crc = crc32c(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i)
+      out += static_cast<char>((crc >> (8 * i)) & 0xffu);
+    out += payload;
+    return out;  // deliberately no trailer: the code fires before it
+  };
+
+  // B006 malformed varint: count byte with its continuation bit set, then
+  // nothing.
+  EXPECT_EQ(decode_code_of(frame(std::string(1, '\x81'))),
+            DecodeCode::kMalformedVarint);
+  // B007 unknown opcode: count=1, opcode 0x7f.
+  EXPECT_EQ(decode_code_of(frame("\x01\x7f")), DecodeCode::kUnknownOpcode);
+  // B008 task id out of range: count=1, halt whose actor delta decodes to
+  // kInvalidTask (zigzag(2*kInvalidTask) from prev=0).
+  {
+    std::string payload(1, '\x01');
+    payload += static_cast<char>(static_cast<unsigned char>(TraceOp::kHalt));
+    append_varint(payload,
+                  zigzag_encode(static_cast<std::int64_t>(kInvalidTask)));
+    EXPECT_EQ(decode_code_of(frame(payload)), DecodeCode::kTaskIdOutOfRange);
+  }
+  // B010 count/payload mismatch: count=2 but only one event present.
+  {
+    std::string payload(1, '\x02');
+    payload += static_cast<char>(static_cast<unsigned char>(TraceOp::kSync));
+    append_varint(payload, zigzag_encode(0));
+    EXPECT_EQ(decode_code_of(frame(payload)),
+              DecodeCode::kEventCountMismatch);
+  }
+  // B010 also fires on an empty chunk (the writer never emits one).
+  EXPECT_EQ(decode_code_of(frame(std::string())),
+            DecodeCode::kEventCountMismatch);
+}
+
+TEST(BinaryReader, StreamedLoadRunsTheLinter) {
+  // load_trace_binary mirrors load_trace_text: syntactically fine but
+  // structurally truncated input throws TraceLintError, not DecodeError.
+  const Trace unfinished{{TraceOp::kFork, 0, 1, 0}};
+  std::istringstream is(trace_to_binary(unfinished));
+  EXPECT_THROW((void)load_trace_binary(is), TraceLintError);
+}
+
+TEST(BinaryWriter, StreamingChunksAndCounters) {
+  const Trace trace = generated_trace(77);
+  std::ostringstream os;
+  BinaryWriteOptions options;
+  options.chunk_payload_bytes = 128;
+  BinaryTraceWriter writer(os, options);
+  for (const TraceEvent& e : trace) writer.add(e);
+  writer.finish();
+  EXPECT_EQ(writer.events_written(), trace.size());
+  const std::string bytes = os.str();
+  EXPECT_EQ(writer.bytes_written(), bytes.size());
+  EXPECT_EQ(trace_from_binary(bytes), trace);
+  // Incremental emission equals the batch encoding under equal options.
+  EXPECT_EQ(bytes, trace_to_binary(trace, options));
+}
+
+}  // namespace
+}  // namespace race2d
