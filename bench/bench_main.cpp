@@ -2,6 +2,10 @@
 // BENCHMARK_MAIN(), plus a `--json OUT` shorthand that expands to
 // `--benchmark_out=OUT --benchmark_out_format=json`, so scripts/bench.sh
 // can request machine-readable results with one uniform flag.
+//
+// Every run stamps `race2d_build_type` into the benchmark context so
+// scripts/bench.sh can refuse to snapshot debug numbers (a debug BENCH_*
+// json silently poisons every cross-commit comparison).
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -9,6 +13,11 @@
 #include <vector>
 
 int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("race2d_build_type", "release");
+#else
+  benchmark::AddCustomContext("race2d_build_type", "debug");
+#endif
   const std::vector<std::string> args(argv, argv + argc);
   std::vector<std::string> expanded;
   expanded.reserve(args.size() + 1);

@@ -12,8 +12,9 @@
 // `example_trace_analyzer --reports` on the same trace; scripts/check.sh
 // holds the two bit-identical.
 //
-// Options: --policy=first|all (default all), --frame=BYTES (feed frame
-// size, default 64Ki).
+// Options: --policy=first|all (default all), --engine=dsu|depa (per-session
+// detector backend, default dsu), --frame=BYTES (feed frame size, default
+// 64Ki).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -194,7 +195,7 @@ bool drain_all(Channel& ch, std::uint32_t session) {
 }
 
 int detect_file(Channel& ch, const char* path, ReportPolicy policy,
-                std::size_t frame_bytes) {
+                DetectorEngine engine, std::size_t frame_bytes) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -225,6 +226,7 @@ int detect_file(Channel& ch, const char* path, ReportPolicy policy,
   Request open;
   open.verb = Verb::kOpen;
   open.open.policy = policy;
+  open.open.engine = engine;
   Response rsp;
   if (!ch.call(open, rsp)) return 2;
   if (rsp.status != ServiceStatus::kOk) {
@@ -278,6 +280,7 @@ int main(int argc, char** argv) {
   const char* spawn_binary = nullptr;
   const char* socket_path = nullptr;
   ReportPolicy policy = ReportPolicy::kAll;
+  DetectorEngine engine = DetectorEngine::kDsu;
   std::size_t frame_bytes = 64 * 1024;
   std::vector<const char*> files;
   bool want_stats = false;
@@ -295,6 +298,16 @@ int main(int argc, char** argv) {
         policy = ReportPolicy::kAll;
       } else {
         std::fprintf(stderr, "--policy takes first|all\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      const char* e = argv[i] + 9;
+      if (std::strcmp(e, "dsu") == 0) {
+        engine = DetectorEngine::kDsu;
+      } else if (std::strcmp(e, "depa") == 0) {
+        engine = DetectorEngine::kDepa;
+      } else {
+        std::fprintf(stderr, "--engine takes dsu|depa\n");
         return 2;
       }
     } else if (std::strncmp(argv[i], "--frame=", 8) == 0) {
@@ -319,7 +332,7 @@ int main(int argc, char** argv) {
       (detect && files.empty())) {
     std::fprintf(stderr,
                  "usage: %s (--spawn <race2dd> | --socket <path>) "
-                 "[--policy=first|all] [--frame=BYTES]\n"
+                 "[--policy=first|all] [--engine=dsu|depa] [--frame=BYTES]\n"
                  "          detect <trace-file>... | stats\n",
                  argv[0]);
     return 2;
@@ -342,7 +355,8 @@ int main(int argc, char** argv) {
     }
   } else {
     for (const char* path : files) {
-      const int file_rc = detect_file(ch, path, policy, frame_bytes);
+      const int file_rc =
+          detect_file(ch, path, policy, engine, frame_bytes);
       if (file_rc != 0 && rc == 0) rc = file_rc;
     }
   }

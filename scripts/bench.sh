@@ -3,13 +3,25 @@
 # trajectory is visible across PRs. Writes google-benchmark JSON via the
 # shared `--json OUT` flag (bench/bench_main.cpp):
 #
-#   BENCH_static.json   bench_static  — static pass throughput (E11)
-#   BENCH_sharded.json  bench_sharded — sharded replay scaling (E8b)
-#   BENCH_io.json       bench_io      — trace codec + service throughput (E12)
+#   BENCH_static.json   bench_static          — static pass throughput (E11)
+#   BENCH_sharded.json  bench_sharded         — sharded replay scaling (E8b)
+#   BENCH_io.json       bench_io              — trace codec + service (E12)
+#   BENCH_parallel.json bench_parallel_detect — parallel online detection (E13)
 #
-# BENCH_io.json doubles as an acceptance gate: BM_BinaryDecode must clear
-# BM_TextParse by >= 2x on items_per_second (events/s); the script checks
-# the ratio and fails loudly if the binary decoder ever regresses past it.
+# Snapshots are produced from a dedicated Release tree (build-bench/): the
+# dev tree's build type is whatever the developer last configured, and a
+# debug snapshot silently poisons every cross-commit comparison. Belt and
+# suspenders, each JSON's `race2d_build_type` context (bench/bench_main.cpp)
+# is checked and non-release results are refused.
+#
+# Acceptance gates (all fail the script loudly):
+#   * BM_BinaryDecode >= 2x BM_TextParse on items_per_second (E12).
+#   * BM_ParallelOnlineDetect/4 >= 2x BM_SerialOnlineDetect — enforced only
+#     when the machine has >= 4 CPUs; on smaller hosts the parallel rows
+#     bound overhead, not speedup (same caveat as E7).
+#   * No key benchmark regresses >20% on items_per_second vs the checked-in
+#     baseline JSON (RACE2D_BENCH_ACCEPT=1 skips this to accept a new
+#     baseline after an understood change or a machine switch).
 #
 # Usage: scripts/bench.sh [--quick]
 #
@@ -25,31 +37,112 @@ if [[ "${1:-}" == "--quick" ]]; then
   extra+=(--benchmark_min_time=0.05)
 fi
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_static bench_sharded bench_io
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j "$(nproc)" \
+  --target bench_static bench_sharded bench_io bench_parallel_detect
 
-echo "== bench_static -> BENCH_static.json"
-./build/bench/bench_static --json BENCH_static.json \
-  --benchmark_repetitions=1 "${extra[@]}"
+run_bench() {
+  local bin="$1" out="$2"
+  echo "== ${bin} -> ${out}"
+  # Write to a staging file so the gates below can compare against the
+  # checked-in baseline before it is overwritten.
+  "./build-bench/bench/${bin}" --json "${out}.new" \
+    --benchmark_repetitions=1 "${extra[@]}"
+}
 
-echo "== bench_sharded -> BENCH_sharded.json"
-./build/bench/bench_sharded --json BENCH_sharded.json \
-  --benchmark_repetitions=1 "${extra[@]}"
-
-echo "== bench_io -> BENCH_io.json"
-./build/bench/bench_io --json BENCH_io.json \
-  --benchmark_repetitions=1 "${extra[@]}"
+run_bench bench_static BENCH_static.json
+run_bench bench_sharded BENCH_sharded.json
+run_bench bench_io BENCH_io.json
+run_bench bench_parallel_detect BENCH_parallel.json
 
 python3 - <<'EOF'
 import json
-with open("BENCH_io.json") as f:
-    rows = {b["name"]: b for b in json.load(f)["benchmarks"]}
-text = rows["BM_TextParse"]["items_per_second"]
-binary = rows["BM_BinaryDecode"]["items_per_second"]
+import multiprocessing
+import os
+import sys
+
+SNAPSHOTS = ["BENCH_static.json", "BENCH_sharded.json", "BENCH_io.json",
+             "BENCH_parallel.json"]
+# Key throughput rows held to the <=20% regression gate. Names must match
+# the google-benchmark `name` field exactly.
+GATED = {
+    "BENCH_io.json": ["BM_TextParse", "BM_BinaryDecode"],
+    "BENCH_parallel.json": ["BM_SerialOnlineDetect/real_time",
+                            "BM_DepaSerialReplay"],
+}
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, {b["name"]: b for b in doc["benchmarks"]}
+
+failed = False
+
+# Gate 0: refuse debug snapshots.
+for snap in SNAPSHOTS:
+    doc, _ = rows(snap + ".new")
+    build = doc["context"].get("race2d_build_type", "unknown")
+    if build != "release":
+        print(f"bench.sh: REFUSED {snap}: race2d_build_type={build!r} "
+              f"(snapshots must come from a Release build)")
+        failed = True
+
+# Gate 1: binary decode >= 2x text parse (E12).
+_, io_rows = rows("BENCH_io.json.new")
+text = io_rows["BM_TextParse"]["items_per_second"]
+binary = io_rows["BM_BinaryDecode"]["items_per_second"]
 ratio = binary / text
 print(f"bench.sh: binary decode {binary:.3g} events/s vs text parse "
       f"{text:.3g} events/s ({ratio:.1f}x)")
-assert ratio >= 2.0, f"binary decode only {ratio:.2f}x text parse (< 2x gate)"
-EOF
+if ratio < 2.0:
+    print(f"bench.sh: FAILED: binary decode only {ratio:.2f}x text parse "
+          f"(< 2x gate)")
+    failed = True
 
-echo "bench.sh: wrote BENCH_static.json BENCH_sharded.json BENCH_io.json"
+# Gate 2: parallel online detection >= 2x serial at 4 workers (E13),
+# hardware-permitting.
+_, par_rows = rows("BENCH_parallel.json.new")
+serial = par_rows["BM_SerialOnlineDetect/real_time"]["items_per_second"]
+par4 = par_rows["BM_ParallelOnlineDetect/4/real_time"]["items_per_second"]
+speedup = par4 / serial
+cpus = multiprocessing.cpu_count()
+print(f"bench.sh: parallel detect at 4 workers {par4:.3g} accesses/s vs "
+      f"serial {serial:.3g} accesses/s ({speedup:.2f}x on {cpus} CPU(s))")
+if cpus >= 4 and speedup < 2.0:
+    print(f"bench.sh: FAILED: parallel online detection only {speedup:.2f}x "
+          f"serial at 4 workers (< 2x gate, machine has {cpus} CPUs)")
+    failed = True
+elif cpus < 4:
+    print(f"bench.sh: 2x-at-4-workers gate skipped: only {cpus} CPU(s)")
+
+# Gate 3: no >20% items_per_second regression vs the checked-in baselines.
+if os.environ.get("RACE2D_BENCH_ACCEPT") == "1":
+    print("bench.sh: RACE2D_BENCH_ACCEPT=1, regression gate skipped")
+else:
+    for snap, names in GATED.items():
+        if not os.path.exists(snap):
+            continue  # no baseline yet — first snapshot on this machine
+        _, old = rows(snap)
+        _, new = rows(snap + ".new")
+        for name in names:
+            if name not in old or name not in new:
+                continue
+            before = old[name].get("items_per_second")
+            after = new[name].get("items_per_second")
+            if not before or not after:
+                continue
+            if after < 0.8 * before:
+                print(f"bench.sh: FAILED: {snap}:{name} regressed "
+                      f"{(1 - after / before) * 100:.0f}% "
+                      f"({before:.3g} -> {after:.3g} items/s; >20% gate). "
+                      f"If intentional or a machine change, rerun with "
+                      f"RACE2D_BENCH_ACCEPT=1.")
+                failed = True
+
+if failed:
+    sys.exit(1)
+
+for snap in SNAPSHOTS:
+    os.replace(snap + ".new", snap)
+print("bench.sh: wrote " + " ".join(SNAPSHOTS))
+EOF

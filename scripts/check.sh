@@ -7,7 +7,9 @@
 # paths never read past a buffer), then a ThreadSanitizer build of the
 # concurrency-bearing tests (the sharded trace analyzer spawns real threads; TSan checks the
 # workers share nothing but the read-only trace and their private
-# reporters). clang-tidy is a gated stage when installed: findings in the
+# reporters, and the parallel ONLINE detector does detection inside the
+# pool itself — immutable labels, per-worker buffers, striped cells).
+# clang-tidy is a gated stage when installed: findings in the
 # WarningsAsErrors families of .clang-tidy fail the gate (scripts/tidy.sh
 # still exits 0 when the tool is absent, as in the reference container).
 #
@@ -24,10 +26,12 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure)
 
 echo "== smoke fuzz: 30-second differential campaign (fixed seed)"
-# Every trace runs the full detector panel (serial, sharded, offline,
-# naive gold, baselines, certification) plus the codec round-trip and
-# byte-corruption invariants; any verdict mismatch, certificate rejection,
-# or codec hole exits non-zero. Fixed seed => reproducible.
+# Every trace runs the full detector panel (serial, DePa label backend,
+# sharded, offline, naive gold, baselines, certification) plus the codec
+# round-trip and byte-corruption invariants; any verdict mismatch,
+# certificate rejection, or codec hole exits non-zero. The DePa stage
+# demands BIT-IDENTICAL reports to serial replay, not just the same
+# verdict. Fixed seed => reproducible.
 ./build/examples/race2d_fuzz --seed 20260806 --runs 100000 --time-budget 30
 
 echo "== service smoke: race2dd pipe mode vs offline detector"
@@ -63,14 +67,19 @@ fi
 if [[ "${RACE2D_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan skipped (RACE2D_SKIP_TSAN=1)"
 else
-  echo "== ThreadSanitizer build (sharded analyzer + parallel executor)"
+  echo "== ThreadSanitizer build (sharded analyzer + parallel executor + parallel online detector)"
+  # parallel_online_test is the detection-INSIDE-the-pool stress: workers
+  # publish immutable labels, buffer accesses, and resolve against striped
+  # shadow cells while hammering overlapping locations; any missing fence
+  # on that path is a TSan report here.
   cmake -B build-tsan -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1 -g" \
     >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target \
-    sharded_analyzer_test parallel_executor_test
+    sharded_analyzer_test parallel_executor_test parallel_online_test
   ./build-tsan/tests/sharded_analyzer_test
   ./build-tsan/tests/parallel_executor_test
+  ./build-tsan/tests/parallel_online_test
 fi
 
 if [[ "${RACE2D_SKIP_TIDY:-0}" == "1" ]]; then

@@ -1,0 +1,77 @@
+#include "core/om_timestamps.hpp"
+
+#include "support/assert.hpp"
+
+namespace race2d {
+
+OmLabel OmLabel::extended(std::uint32_t k) const {
+  R2D_ASSERT(k >= 1);
+  OmLabel out;
+  const std::uint32_t new_bits = bits + k;
+  const std::size_t new_words = (new_bits + 63u) / 64u;
+  out.words.reserve(new_words);
+  for (std::size_t i = 0; i < words.size(); ++i) out.words.push_back(words[i]);
+  while (out.words.size() < new_words) out.words.push_back(0);
+  out.bits = new_bits;
+  // Appended bits are 0^{k-1}1: only the last one is set. Unused tail bits
+  // in `words` are zero by invariant, so no masking is needed.
+  const std::uint32_t last = new_bits - 1;
+  out.words[last >> 6] |= std::uint64_t{1} << (63u - (last & 63u));
+  return out;
+}
+
+OmInterval* OmClock::alloc(TaskId task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arena_.emplace_back();
+  arena_.back().task = task;
+  return &arena_.back();
+}
+
+OmInterval* OmClock::make_root(TaskId root) {
+  OmInterval* r = alloc(root);
+  // The empty label: first in both lists, before every extension.
+  return r;
+}
+
+OmClock::ForkResult OmClock::on_fork(OmInterval* parent_cur, TaskId child) {
+  OmInterval* c = alloc(child);
+  OmInterval* k = alloc(parent_cur->task);
+  // E (fork-first): parent, child, continuation — insert the child right
+  // after the parent, then the continuation right after the child.
+  c->e = parent_cur->e.extended(++parent_cur->e_children);
+  k->e = c->e.extended(++c->e_children);
+  // H (fork-last): parent, continuation, child — the mirror image.
+  k->h = parent_cur->h.extended(++parent_cur->h_children);
+  c->h = k->h.extended(++k->h_children);
+  return {c, k};
+}
+
+OmInterval* OmClock::on_join(OmInterval* joiner_cur, OmInterval* joined_last) {
+  OmInterval* k = alloc(joiner_cur->task);
+  // E: everything the joined task ever did is already before the joiner's
+  // current interval (children sort before continuations in E), so the
+  // continuation extends the joiner's own position.
+  k->e = joiner_cur->e.extended(++joiner_cur->e_children);
+  // H: the joined task's intervals sit AFTER the joiner's (continuations
+  // sort before children in H), so the continuation must extend whichever
+  // of the two join-edge sources is later — that places it after the
+  // joined subtree while staying before everything previously after it.
+  OmInterval* anchor =
+      OmLabel::compare(joiner_cur->h, joined_last->h) < 0 ? joined_last
+                                                          : joiner_cur;
+  k->h = anchor->h.extended(++anchor->h_children);
+  return k;
+}
+
+std::size_t OmClock::heap_bytes() const {
+  // Quiescent accounting (footprint reporting): callers must not race this
+  // with structural events — labels of freshly allocated intervals are
+  // written outside mu_.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = arena_.size() * sizeof(OmInterval);
+  for (const OmInterval& iv : arena_)
+    bytes += iv.e.heap_bytes() + iv.h.heap_bytes();
+  return bytes;
+}
+
+}  // namespace race2d

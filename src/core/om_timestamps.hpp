@@ -1,0 +1,157 @@
+// DePa-style order-maintenance timestamps for structured fork-join tasks.
+//
+// The paper's central structural fact is that the task graphs of §5
+// programs are 2D lattices: the happens-before order is exactly the
+// intersection of TWO linear orders (Theorem 6; lattice/realizer.cpp
+// certifies this offline via a Dushnik–Miller 2-realizer). This module
+// maintains those two linear orders ONLINE, in the style of DePa
+// (arXiv 2204.14168) and SP-order: every task *interval* — a maximal run
+// of operations between structural events — carries two immutable
+// fork-path labels giving its position in
+//
+//   E, the fork-first ("English") linear extension: a forked child's
+//      intervals come before the parent's continuation, and
+//   H, the fork-last ("Hebrew") linear extension: the parent's
+//      continuation comes before the forked child's intervals,
+//
+// and u happens-before v  ⟺  u <_E v  AND  u <_H v. Concurrency is
+// exactly E/H disagreement — the two traversal directions of the planar
+// diagram pull incomparable intervals apart.
+//
+// Labels are DePa-style fork paths: bit strings extended at each
+// structural event, never mutated afterwards. Inserting the k-th element
+// immediately after anchor A yields label A·0^{k-1}1, which sorts after A
+// (prefix-first) and before every earlier insertion after A — the classic
+// trie embedding of an order-maintenance list that needs NO relabeling.
+// Label length grows with the dag depth (DePa's bound), i.e. one or two
+// bits per structural event along a task's history; balanced fork trees
+// stay within the two inline words.
+//
+// Concurrency contract (what makes queries wait-free): a label is written
+// once, before the interval is published to any other thread, and read-only
+// forever after. ordered_before() therefore touches only immutable memory —
+// no locks, no CAS, no retries — and may be issued from any number of
+// threads at once. The *insertion* counters (e_children/h_children) are
+// mutated only by the interval's owning task, or by its unique joiner after
+// the join synchronization, so they need no atomics either. Only arena
+// growth takes a mutex, and only at structural events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "support/ids.hpp"
+#include "support/small_vector.hpp"
+
+namespace race2d {
+
+/// An immutable position in one of the two order-maintenance lists,
+/// encoded as a bit string (MSB-first within each word; unused tail bits
+/// are zero). Comparison is lexicographic with prefix-first tiebreak.
+struct OmLabel {
+  SmallVector<std::uint64_t, 2> words;
+  std::uint32_t bits = 0;
+
+  /// Lexicographic three-way comparison: negative when a precedes b in the
+  /// list, zero only for the identical label (labels are unique per list).
+  static int compare(const OmLabel& a, const OmLabel& b) {
+    const std::size_t wa = a.words.size();
+    const std::size_t wb = b.words.size();
+    const std::size_t common = wa < wb ? wa : wb;
+    for (std::size_t i = 0; i < common; ++i) {
+      if (a.words[i] != b.words[i]) return a.words[i] < b.words[i] ? -1 : 1;
+    }
+    // Equal on every common word: with zeroed tail bits the shorter label
+    // is a prefix of the longer one, and a prefix precedes its extensions.
+    if (a.bits == b.bits) return 0;
+    return a.bits < b.bits ? -1 : 1;
+  }
+
+  /// This label extended by 0^{k-1}1 (k >= 1): the k-th insertion
+  /// immediately after this anchor.
+  OmLabel extended(std::uint32_t k) const;
+
+  std::size_t heap_bytes() const {
+    return words.size() <= 2 ? 0 : words.size() * sizeof(std::uint64_t);
+  }
+};
+
+/// One task interval: the timestamp unit. `e`/`h` are the two list
+/// positions; the children counters record how many elements were inserted
+/// immediately after this interval in each list (see the trie embedding
+/// note above).
+struct OmInterval {
+  OmLabel e;
+  OmLabel h;
+  TaskId task = kInvalidTask;
+  std::uint32_t e_children = 0;
+  std::uint32_t h_children = 0;
+};
+
+/// The two-list clock: allocates intervals and applies the structural
+/// rules. Fork and join are O(label length); queries are wait-free.
+class OmClock {
+ public:
+  OmClock() = default;
+  OmClock(const OmClock&) = delete;
+  OmClock& operator=(const OmClock&) = delete;
+
+  /// The root task's first interval (both lists start with it).
+  OmInterval* make_root(TaskId root);
+
+  struct ForkResult {
+    OmInterval* child;         ///< the forked child's first interval
+    OmInterval* continuation;  ///< the parent's post-fork interval
+  };
+  /// fork: in E insert child then continuation after the parent's current
+  /// interval (child-first); in H insert continuation then child
+  /// (continuation-first). Caller must own `parent_cur` (be its task, or
+  /// hold the program-order right to advance it).
+  ForkResult on_fork(OmInterval* parent_cur, TaskId child);
+
+  /// join: the joiner's post-join interval goes right after its current
+  /// interval in E, and right after max_H(joiner, joined's last interval)
+  /// in H — after the join edge's source, which is what orders the joined
+  /// task's whole subtree before the continuation in both lists.
+  /// `joined_last` must be the halted task's final interval, read after
+  /// the join synchronization.
+  OmInterval* on_join(OmInterval* joiner_cur, OmInterval* joined_last);
+
+  /// u happens-before-or-equals v: label agreement in both dimensions.
+  /// Wait-free; touches only immutable label words.
+  static bool ordered_before(const OmInterval* u, const OmInterval* v) {
+    if (u == v) return true;
+    return OmLabel::compare(u->e, v->e) < 0 && OmLabel::compare(u->h, v->h) < 0;
+  }
+
+  /// Componentwise maxima — the shadow-cell fold. Exact because "every
+  /// prior ≺ t" distributes over the two dimensions (see depa_detector).
+  static const OmInterval* max_e(const OmInterval* a, const OmInterval* b) {
+    if (a == nullptr) return b;
+    return OmLabel::compare(a->e, b->e) < 0 ? b : a;
+  }
+  static const OmInterval* max_h(const OmInterval* a, const OmInterval* b) {
+    if (a == nullptr) return b;
+    return OmLabel::compare(a->h, b->h) < 0 ? b : a;
+  }
+
+  std::size_t interval_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arena_.size();
+  }
+
+  /// Heap bytes of the clock: arena nodes plus spilled label words. The
+  /// per-task cost is Θ(depth) label bits — the DePa trade against the
+  /// DSU's Θ(1) mutable state.
+  std::size_t heap_bytes() const;
+
+ private:
+  OmInterval* alloc(TaskId task);
+
+  mutable std::mutex mu_;  ///< guards arena_ growth only (structural events)
+  std::deque<OmInterval> arena_;  ///< stable addresses; labels immutable
+};
+
+}  // namespace race2d

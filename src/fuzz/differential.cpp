@@ -8,6 +8,7 @@
 #include "baselines/naive.hpp"
 #include "baselines/spbags.hpp"
 #include "baselines/vector_clock.hpp"
+#include "core/depa_detector.hpp"
 #include "core/report.hpp"
 #include "core/sharded_analyzer.hpp"
 #include "io/binary_reader.hpp"
@@ -161,6 +162,18 @@ DifferentialResult run_differential(const Trace& trace,
          << describe("serial", serial) << " vs "
          << describe("sharded", sharded);
       fail(os.str());
+    }
+  }
+
+  // 1b. DePa label backend: same event stream, timestamps instead of DSU
+  //     suprema — must reproduce the serial report stream exactly.
+  if (config.depa_backend) {
+    const std::vector<RaceReport> depa =
+        detect_races_trace_depa(trace, ReportPolicy::kAll, LintGate::kSkip);
+    ++result.detectors_run;
+    if (depa != serial) {
+      fail("depa backend diverges from serial replay: " +
+           describe("serial", serial) + " vs " + describe("depa", depa));
     }
   }
 

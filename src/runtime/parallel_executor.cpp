@@ -35,6 +35,7 @@ struct PoolState {
   std::exception_ptr first_error;
   std::atomic<std::size_t> unfinished{0};
   bool shutdown = false;
+  ParallelExecutionMonitor* monitor = nullptr;
 
   ParTask* get(TaskId id) {
     std::lock_guard<std::mutex> lock(mu);
@@ -42,7 +43,10 @@ struct PoolState {
     return tasks[id].get();
   }
 
-  ParTask* make_task(TaskBody body, TaskId left_neighbor) {
+  /// Registers a task (dense id assignment) WITHOUT publishing it to the
+  /// ready queue — the creator runs the monitor's fork hook in between, so
+  /// no worker can start the child before its timestamp exists.
+  ParTask* create_task(TaskBody body, TaskId left_neighbor) {
     std::lock_guard<std::mutex> lock(mu);
     auto task = std::make_unique<ParTask>();
     task->body = std::move(body);
@@ -50,10 +54,16 @@ struct PoolState {
     task->left = left_neighbor;
     ParTask* raw = task.get();
     tasks.push_back(std::move(task));
-    ready.push_back(raw);
     unfinished.fetch_add(1, std::memory_order_relaxed);
-    cv.notify_one();
     return raw;
+  }
+
+  void enqueue(ParTask* task) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ready.push_back(task);
+    }
+    cv.notify_one();
   }
 
   ParTask* try_pop() {
@@ -93,8 +103,12 @@ class ParallelContext final : public TaskContext {
   ParallelContext(PoolState& state, ParTask* self) : state_(state), self_(self) {}
 
   TaskHandle fork(TaskBody body) override {
-    ParTask* child = state_.make_task(std::move(body), self_->left);
+    ParTask* child = state_.create_task(std::move(body), self_->left);
     self_->left = child->id;  // child sits immediately left of the parent
+    // Fork hook before publication: the child cannot run (and so cannot
+    // issue monitored accesses) until enqueue() makes it visible.
+    if (state_.monitor) state_.monitor->on_fork(self_->id, child->id);
+    state_.enqueue(child);
     return TaskHandle{child->id};
   }
 
@@ -120,6 +134,9 @@ class ParallelContext final : public TaskContext {
       }
     }
     self_->left = target->left;  // safe: published by the done store
+    // Join hook after the acquire: the joined task's whole history —
+    // including its on_halt hook — happens-before this call.
+    if (state_.monitor) state_.monitor->on_join(self_->id, target->id);
   }
 
   bool join_left() override {
@@ -130,10 +147,16 @@ class ParallelContext final : public TaskContext {
 
   bool has_left() const override { return self_->left != kInvalidTask; }
 
-  // No detection in parallel mode; accesses are uninstrumented.
-  void read(Loc) override {}
-  void write(Loc) override {}
-  void retire(Loc) override {}
+  // Accesses are uninstrumented unless a monitor is attached.
+  void read(Loc loc) override {
+    if (state_.monitor) state_.monitor->on_read(self_->id, loc);
+  }
+  void write(Loc loc) override {
+    if (state_.monitor) state_.monitor->on_write(self_->id, loc);
+  }
+  void retire(Loc loc) override {
+    if (state_.monitor) state_.monitor->on_retire(self_->id, loc);
+  }
   void sync_marker() override {}
   void finish_begin_marker() override {}
   void finish_end_marker() override {}
@@ -159,6 +182,16 @@ void execute_task(PoolState& state, ParTask* task) {
     state.record_error(std::current_exception());
   }
   task->body = nullptr;  // release captures eagerly
+  // Halt hook before the done release store (on the exception path too):
+  // whatever the monitor publishes here — buffered accesses, the task's
+  // final timestamp — is visible to the joiner's acquire.
+  if (state.monitor) {
+    try {
+      state.monitor->on_halt(task->id);
+    } catch (...) {
+      state.record_error(std::current_exception());
+    }
+  }
   task->done.store(true, std::memory_order_release);
   state.unfinished.fetch_sub(1, std::memory_order_acq_rel);
   state.cv.notify_all();
@@ -182,6 +215,7 @@ void worker_loop(PoolState& state) {
 
 std::size_t ParallelExecutor::run(TaskBody root_body) {
   PoolState state;
+  state.monitor = options_.monitor;
   unsigned threads = options_.num_threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 2;
@@ -191,7 +225,9 @@ std::size_t ParallelExecutor::run(TaskBody root_body) {
   for (unsigned i = 0; i < threads; ++i)
     pool.emplace_back([&state] { worker_loop(state); });
 
-  state.make_task(std::move(root_body), kInvalidTask);
+  ParTask* root = state.create_task(std::move(root_body), kInvalidTask);
+  if (state.monitor) state.monitor->on_root(root->id);
+  state.enqueue(root);
 
   // The calling thread helps until every task (root included) has finished.
   while (state.unfinished.load(std::memory_order_acquire) != 0) {

@@ -97,6 +97,9 @@ std::string encode_request(const Request& request) {
     case Verb::kOpen:
       put_u8(out, static_cast<std::uint8_t>(request.open.policy));
       put_u64(out, request.open.quota_bytes);
+      // Trailing engine byte (decoders accept its absence as kDsu, so old
+      // servers reject a kDepa open loudly instead of silently downgrading).
+      put_u8(out, static_cast<std::uint8_t>(request.open.engine));
       break;
     case Verb::kFeed:
       out.append(request.bytes);
@@ -130,6 +133,13 @@ bool decode_request(const std::string& payload, Request& out,
       if (policy > static_cast<std::uint8_t>(ReportPolicy::kFirstOnly))
         return fail(error, "open names an unknown report policy");
       out.open.policy = static_cast<ReportPolicy>(policy);
+      if (c.remaining() != 0) {  // optional engine byte (legacy: absent)
+        std::uint8_t engine = 0;
+        if (!c.get_u8(engine) ||
+            engine > static_cast<std::uint8_t>(DetectorEngine::kDepa))
+          return fail(error, "open names an unknown detector engine");
+        out.open.engine = static_cast<DetectorEngine>(engine);
+      }
       break;
     }
     case Verb::kFeed:

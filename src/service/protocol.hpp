@@ -8,6 +8,8 @@
 //
 //   verb:u8  session:u32le  body
 //     OPEN  body := policy:u8 (0 all / 1 first-only)  quota:u64le (0 = default)
+//                   [engine:u8 (0 dsu / 1 depa)] — optional trailing byte;
+//                   legacy 9-byte bodies mean the DSU engine
 //     FEED  body := raw binary-trace wire bytes (io/binary_format.hpp)
 //     DRAIN body := max_reports:u32le (0 = all pending)
 //     CLOSE body := empty
@@ -66,9 +68,16 @@ enum class ServiceStatus : std::uint8_t {
 /// Stable kebab-case id, e.g. "quota-evicted".
 const char* service_status_id(ServiceStatus status);
 
+/// Which precedence backend a session's detector runs on.
+enum class DetectorEngine : std::uint8_t {
+  kDsu = 0,   ///< labeled DSU suprema (Figure 6; the default)
+  kDepa = 1,  ///< order-maintenance labels (core/depa_detector.hpp)
+};
+
 struct OpenRequest {
   ReportPolicy policy = ReportPolicy::kAll;
   std::uint64_t quota_bytes = 0;  ///< 0 = the service's default quota
+  DetectorEngine engine = DetectorEngine::kDsu;
 };
 
 struct Request {

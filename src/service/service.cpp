@@ -118,7 +118,7 @@ Response DetectionService::do_open(const Request& request) {
                                   limits_.session_quota_bytes)
           : limits_.session_quota_bytes;
   slot.session = std::make_unique<DetectionSession>(
-      request.open.policy, limits_.max_pending_reports);
+      request.open.policy, limits_.max_pending_reports, request.open.engine);
   sessions_.emplace(id, std::move(slot));
   ++sessions_opened_;
   Response r;

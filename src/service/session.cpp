@@ -20,11 +20,17 @@ TraceLintOptions gate_options() {
 }  // namespace
 
 DetectionSession::DetectionSession(ReportPolicy policy,
-                                   std::size_t max_pending_reports)
+                                   std::size_t max_pending_reports,
+                                   DetectorEngine engine)
     : max_pending_reports_(max_pending_reports),
       lint_(gate_options()),
-      detector_(policy) {
-  detector_.on_root();  // the initial line {root | program}
+      detector_(engine == DetectorEngine::kDepa
+                    ? std::variant<OnlineRaceDetector, DePaDetector>(
+                          std::in_place_type<DePaDetector>, policy)
+                    : std::variant<OnlineRaceDetector, DePaDetector>(
+                          std::in_place_type<OnlineRaceDetector>, policy)) {
+  // The initial line {root | program} — both engines number it task 0.
+  std::visit([](auto& d) { d.on_root(); }, detector_);
 }
 
 DetectionSession::FeedOutcome DetectionSession::poison(ServiceStatus status,
@@ -38,22 +44,26 @@ DetectionSession::FeedOutcome DetectionSession::poison(ServiceStatus status,
 }
 
 void DetectionSession::drive(const TraceEvent& e) {
-  switch (e.op) {
-    case TraceOp::kFork:
-      // Lint enforced dense fork-order numbering, so the detector's fresh
-      // id equals e.other by construction.
-      detector_.on_fork(e.actor);
-      break;
-    case TraceOp::kJoin:   detector_.on_join(e.actor, e.other); break;
-    case TraceOp::kHalt:   detector_.on_halt(e.actor); break;
-    case TraceOp::kRead:   detector_.on_read(e.actor, e.loc); break;
-    case TraceOp::kWrite:  detector_.on_write(e.actor, e.loc); break;
-    case TraceOp::kRetire: detector_.on_retire(e.actor, e.loc); break;
-    case TraceOp::kSync:
-    case TraceOp::kFinishBegin:
-    case TraceOp::kFinishEnd:
-      break;  // ordering no-ops for the §4 detector
-  }
+  std::visit(
+      [&e](auto& d) {
+        switch (e.op) {
+          case TraceOp::kFork:
+            // Lint enforced dense fork-order numbering, so the detector's
+            // fresh id equals e.other by construction.
+            d.on_fork(e.actor);
+            break;
+          case TraceOp::kJoin:   d.on_join(e.actor, e.other); break;
+          case TraceOp::kHalt:   d.on_halt(e.actor); break;
+          case TraceOp::kRead:   d.on_read(e.actor, e.loc); break;
+          case TraceOp::kWrite:  d.on_write(e.actor, e.loc); break;
+          case TraceOp::kRetire: d.on_retire(e.actor, e.loc); break;
+          case TraceOp::kSync:
+          case TraceOp::kFinishBegin:
+          case TraceOp::kFinishEnd:
+            break;  // ordering no-ops for the §4 detector
+        }
+      },
+      detector_);
 }
 
 DetectionSession::FeedOutcome DetectionSession::feed(const std::string& bytes) {
@@ -98,7 +108,8 @@ DetectionSession::FeedOutcome DetectionSession::feed(const std::string& bytes) {
   }
   // Move this feed's fresh reports into the drain queue; the reporter's
   // totals (any/count/first) keep describing the whole session.
-  std::vector<RaceReport> fresh = detector_.mutable_reporter().take();
+  std::vector<RaceReport> fresh = std::visit(
+      [](auto& d) { return d.mutable_reporter().take(); }, detector_);
   pending_.insert(pending_.end(), fresh.begin(), fresh.end());
   out.pending_reports = static_cast<std::uint32_t>(pending_.size());
   out.backpressure = pending_.size() * 2 >= max_pending_reports_;
@@ -151,7 +162,8 @@ DetectionSession::CloseOutcome DetectionSession::close() {
 
 std::size_t DetectionSession::memory_bytes() const {
   return decoder_.buffered_bytes() + lint_.memory_bytes() +
-         detector_.footprint().total() +
+         std::visit([](const auto& d) { return d.footprint().total(); },
+                    detector_) +
          pending_.capacity() * sizeof(RaceReport) +
          scratch_.capacity() * sizeof(TraceEvent);
 }

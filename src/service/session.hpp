@@ -1,10 +1,10 @@
 // One detection session: the ingest pipeline behind a service session id.
 //
-//   FEED bytes ──▶ BinaryTraceDecoder ──▶ TraceLintStream ──▶ OnlineRaceDetector
-//                  (O(chunk) resident)    (gate: an event      (paper detector;
-//                                          failing lint never   reports drained
-//                                          reaches the          incrementally)
-//                                          detector)
+//   FEED bytes ──▶ BinaryTraceDecoder ──▶ TraceLintStream ──▶ detector
+//                  (O(chunk) resident)    (gate: an event      (DSU or DePa
+//                                          failing lint never   engine; reports
+//                                          reaches the          drained
+//                                          detector)            incrementally)
 //
 // The pipeline is fail-fast and sticky: the first decode or lint error
 // poisons the session (status + message are retained and every later
@@ -19,8 +19,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "core/depa_detector.hpp"
 #include "core/detector.hpp"
 #include "io/binary_reader.hpp"
 #include "service/protocol.hpp"
@@ -30,7 +32,12 @@ namespace race2d {
 
 class DetectionSession {
  public:
-  DetectionSession(ReportPolicy policy, std::size_t max_pending_reports);
+  /// `engine` picks the precedence backend: the labeled DSU (default) or
+  /// the DePa order-maintenance labels. Both consume the identical event
+  /// stream and produce the identical report stream (the differential panel
+  /// enforces this), so the choice is a pure performance/footprint knob.
+  DetectionSession(ReportPolicy policy, std::size_t max_pending_reports,
+                   DetectorEngine engine = DetectorEngine::kDsu);
 
   struct FeedOutcome {
     ServiceStatus status = ServiceStatus::kOk;
@@ -68,7 +75,10 @@ class DetectionSession {
   std::size_t memory_bytes() const;
 
   std::uint64_t events_total() const { return events_total_; }
-  std::uint64_t reports_total() const { return detector_.reporter().count(); }
+  std::uint64_t reports_total() const {
+    return std::visit([](const auto& d) { return d.reporter().count(); },
+                      detector_);
+  }
   std::size_t pending_reports() const { return pending_.size(); }
   bool poisoned() const { return poison_status_ != ServiceStatus::kOk; }
 
@@ -79,7 +89,7 @@ class DetectionSession {
   std::size_t max_pending_reports_;
   BinaryTraceDecoder decoder_;
   TraceLintStream lint_;
-  OnlineRaceDetector detector_;
+  std::variant<OnlineRaceDetector, DePaDetector> detector_;
   std::vector<TraceEvent> scratch_;  ///< decoded events of the current feed
   std::vector<RaceReport> pending_;  ///< detected, not yet drained
   std::uint64_t events_total_ = 0;
