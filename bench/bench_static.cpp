@@ -69,6 +69,37 @@ Skeleton make_branchy(std::size_t k) {
   return Skeleton{seq(std::move(body))};
 }
 
+// E14 shapes — future-heavy skeletons for the relaxed-futures mode.
+//
+// n sequential future/get hand-offs on private cells: straight-line, so
+// the cell lint's serial simulation is definite and the relaxed interval
+// proof stands — verification cost scales with skeleton size only.
+Skeleton make_future_ladder(std::size_t n) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Loc cell = 0x4000 + static_cast<Loc>(i) * 0x10;
+    body.push_back(future(cell, cell + 3, {read(cell + 8, cell + 11)}));
+    body.push_back(get(cell, cell + 3));
+  }
+  return Skeleton{seq(std::move(body))};
+}
+
+// k independent loops each minting-and-getting a future 1..2 times: 2^k
+// concretizations, and futures under loops defeat the definiteness check,
+// so the verifier must fall off the interval fast path into enumeration —
+// the E14 comparison point against make_future_ladder.
+Skeleton make_future_loops(std::size_t k) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Loc cell = 0x5000 + static_cast<Loc>(i) * 0x10;
+    body.push_back(loop(1, 2, {future(cell, cell + 3, {}),
+                               get(cell, cell + 3)}));
+  }
+  return Skeleton{seq(std::move(body))};
+}
+
 void BM_DisciplineIntervalProof(benchmark::State& state) {
   const Skeleton s = make_clean_ladder(static_cast<std::size_t>(state.range(0)));
   bool proved = false;
@@ -116,6 +147,72 @@ void BM_RaceScanConfirmed(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * findings));
 }
 
+// E14a: the relaxed interval proof on straight-line future ladders. The
+// counter pins that the fast path actually fired (interval_proof == 1).
+void BM_RelaxedIntervalProof(benchmark::State& state) {
+  const Skeleton s =
+      make_future_ladder(static_cast<std::size_t>(state.range(0)));
+  DisciplineOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  bool proved = false;
+  for (auto _ : state) {
+    const DisciplineReport rep = verify_discipline(s, opts);
+    proved = rep.clean && rep.proved_by_intervals;
+    benchmark::DoNotOptimize(proved);
+  }
+  state.counters["interval_proof"] = proved ? 1.0 : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// E14b: the same verdict when loop-nested futures force enumeration —
+// 2^k concretizations lowered per verify_discipline call. The ratio of
+// this latency to E14a's is the price the proof avoids.
+void BM_RelaxedEnumeration(benchmark::State& state) {
+  const Skeleton s =
+      make_future_loops(static_cast<std::size_t>(state.range(0)));
+  DisciplineOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  std::size_t lowered = 0;
+  bool enumerated = false;
+  for (auto _ : state) {
+    const DisciplineReport rep = verify_discipline(s, opts);
+    enumerated = rep.clean && !rep.proved_by_intervals && rep.exact;
+    lowered = rep.configs_checked;
+    benchmark::DoNotOptimize(enumerated);
+  }
+  state.counters["configs_lowered"] = static_cast<double>(lowered);
+  state.counters["enumerated"] = enumerated ? 1.0 : 0.0;
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * lowered));
+}
+
+// E14c: end-to-end relaxed race scan on the non-SP cross-task hand-off
+// family — future arcs grafted per config, witnesses concretized through
+// the future/get chains and dynamically confirmed.
+void BM_RelaxedRaceScan(benchmark::State& state) {
+  using namespace race2d::skel;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Loc cell = 0x6000 + static_cast<Loc>(i) * 0x10;
+    body.push_back(future(cell, cell + 3, {write(cell + 8, cell + 11)}));
+    body.push_back(fork({get(cell, cell + 3), read(cell + 8, cell + 11)}));
+  }
+  body.push_back(write(0x6008, 0x600b));  // races with hand-off 0's payload
+  for (std::size_t i = 0; i < n; ++i) body.push_back(join_left());
+  const Skeleton s{seq(std::move(body))};
+  StaticRaceOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    const StaticRaceResult res = analyze_skeleton(s, opts);
+    findings = res.findings.size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.counters["findings"] = static_cast<double>(findings);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void BM_FuzzAgreement(benchmark::State& state) {
   // The per-seed cost of the static-vs-dynamic cross-check (without the
   // differential panel; the test suite runs that flavor).
@@ -144,6 +241,15 @@ BENCHMARK(BM_DisciplineIntervalProof)
 BENCHMARK(BM_MhpEngineBuild)->Arg(4)->Arg(8)->Arg(10)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_RaceScanConfirmed)->Arg(4)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_RelaxedIntervalProof)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RelaxedEnumeration)->Arg(4)->Arg(8)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_RelaxedRaceScan)->Arg(4)->Arg(16)->Arg(32)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_FuzzAgreement)->Unit(benchmark::kMillisecond);
 

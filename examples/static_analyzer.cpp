@@ -40,8 +40,10 @@ Skeleton demo_skeleton() {
   })};
 }
 
-int print_discipline(const Skeleton& s, std::size_t max_configs) {
+int print_discipline(const Skeleton& s, DisciplineMode mode,
+                     std::size_t max_configs) {
   DisciplineOptions opts;
+  opts.mode = mode;
   opts.max_configs = max_configs;
   const DisciplineReport report = verify_discipline(s, opts);
   std::string lowered;
@@ -72,8 +74,16 @@ int print_discipline(const Skeleton& s, std::size_t max_configs) {
   return report.lint.ok() ? 0 : 1;
 }
 
-void print_mhp(const Skeleton& s, std::size_t max_configs) {
+void print_mhp(const Skeleton& s, DisciplineMode mode,
+               std::size_t max_configs) {
+  if (mode == DisciplineMode::kStrict && skeleton_traits(s).has_futures) {
+    std::printf(
+        "MHP: skeleton uses future/get hand-offs; strict mode rejects them "
+        "(S018) — rerun with --mode=relaxed-futures\n");
+    return;
+  }
   StaticMhpOptions opts;
+  opts.mode = mode;
   opts.max_configs = max_configs;
   const StaticMhpEngine engine(s, opts);
   std::printf("concretizations: %llu total, %zu modeled, %zu skipped%s\n",
@@ -106,11 +116,16 @@ void print_mhp(const Skeleton& s, std::size_t max_configs) {
   }
 }
 
-int print_races(const Skeleton& s, std::size_t max_configs,
-                const char* witness_dir) {
+int print_races(const Skeleton& s, DisciplineMode mode,
+                std::size_t max_configs, const char* witness_dir) {
   StaticRaceOptions opts;
+  opts.mode = mode;
   opts.max_configs = max_configs;
   const StaticRaceResult result = analyze_skeleton(s, opts);
+  std::printf("discipline: %s\n",
+              result.discipline.clean ? "clean" : "NOT proven clean");
+  for (const LintDiagnostic& d : result.discipline.lint.diagnostics)
+    std::printf("  %s\n", to_string(d).c_str());
   std::printf("races: %zu finding(s) over %zu concretization(s)%s\n",
               result.findings.size(), result.configs_scanned,
               result.truncated ? " (config space capped)" : "");
@@ -137,8 +152,9 @@ int print_races(const Skeleton& s, std::size_t max_configs,
   if (unconfirmed != 0)
     std::printf("%zu finding(s) FAILED dynamic confirmation (bug!)\n",
                 unconfirmed);
-  // Linter convention: findings exit 1 so scripts can gate on the verdict.
-  return result.any_race() ? 1 : 0;
+  // Linter convention: findings (or a dirty discipline) exit 1 so scripts
+  // can gate on the verdict.
+  return result.any_race() || !result.discipline.lint.ok() ? 1 : 0;
 }
 
 int fuzz_sweep(std::size_t count, std::size_t max_configs) {
@@ -175,11 +191,22 @@ int main(int argc, char** argv) {
   std::size_t fuzz_count = 0;
   bool demo = false, emit = false, mhp = false, races = false;
   bool discipline = false;
+  DisciplineMode mode = DisciplineMode::kStrict;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--skeleton") == 0 && i + 1 < argc) {
       input = argv[++i];
     } else if (std::strcmp(argv[i], "--witness-out") == 0 && i + 1 < argc) {
       witness_dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      if (std::strcmp(argv[i] + 7, "strict") == 0) {
+        mode = DisciplineMode::kStrict;
+      } else if (std::strcmp(argv[i] + 7, "relaxed-futures") == 0) {
+        mode = DisciplineMode::kRelaxedFutures;
+      } else {
+        std::fprintf(stderr, "unknown --mode '%s' (strict|relaxed-futures)\n",
+                     argv[i] + 7);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--max-configs=", 14) == 0) {
       max_configs =
           static_cast<std::size_t>(std::strtoull(argv[i] + 14, nullptr, 10));
@@ -214,10 +241,13 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s (--skeleton FILE | --demo) [--discipline] [--mhp] "
-        "[--races] [--witness-out DIR] [--max-configs=N]\n"
+        "[--races] [--mode=strict|relaxed-futures] [--witness-out DIR] "
+        "[--max-configs=N]\n"
         "       %s --emit | --fuzz N\n"
         "skeleton format: seq/fork/join/spawn/sync/finish/async/future/get/"
-        "pipeline + read/write/retire lo [hi], loop min max, branch\n",
+        "pipeline + read/write/retire lo [hi], loop min max, branch\n"
+        "future/get skeletons need --mode=relaxed-futures (strict mode "
+        "rejects them with S018)\n",
         argv[0], argv[0]);
     return 2;
   }
@@ -235,15 +265,16 @@ int main(int argc, char** argv) {
     }
     const SkeletonTraits traits = skeleton_traits(s);
     std::printf(
-        "skeleton: %zu node(s), %zu region(s), %zu loop(s), %zu branch(es)\n",
+        "skeleton: %zu node(s), %zu region(s), %zu loop(s), %zu branch(es), "
+        "mode %s\n",
         index_skeleton(s).size(), traits.region_count, traits.loop_count,
-        traits.branch_count);
+        traits.branch_count, to_string(mode));
     const bool all = !mhp && !races && !discipline;
     int rc = 0;
-    if (all || discipline) rc = print_discipline(s, max_configs);
-    if (all || mhp) print_mhp(s, max_configs);
+    if (all || discipline) rc = print_discipline(s, mode, max_configs);
+    if (all || mhp) print_mhp(s, mode, max_configs);
     if (all || races) {
-      const int race_rc = print_races(s, max_configs, witness_dir);
+      const int race_rc = print_races(s, mode, max_configs, witness_dir);
       rc = rc != 0 ? rc : race_rc;
     }
     return rc;

@@ -53,6 +53,34 @@ done
 [[ "$service_smoke" == "0" ]] || exit 1
 echo "service smoke: reports bit-identical across $(ls tests/corpus/*.trace tests/corpus/*.btrace | wc -l) corpus streams"
 
+echo "== skeleton corpus gate: static analyzer verdicts vs .expect"
+# Run the static analyzer over every checked-in skeleton (strict-* files in
+# strict mode, the rest under relaxed futures) and diff the full stdout —
+# discipline verdict, S-codes, findings, witnesses — against the pinned
+# .expect sidecar. Any verdict drift fails the gate. The analyzer exits 1
+# when it finds races or lint errors; only exit 2 (usage/crash) is fatal.
+skeleton_gate=0
+for skel in tests/skeletons/*.skel; do
+  expect="${skel%.skel}.expect"
+  mode=relaxed-futures
+  case "$(basename "$skel")" in strict-*) mode=strict ;; esac
+  rc=0
+  ./build/examples/example_static_analyzer \
+    --skeleton "$skel" --mode="$mode" --races \
+    > /tmp/race2d_skel_out.txt 2>&1 || rc=$?
+  if [[ "$rc" -ge 2 ]]; then
+    echo "check.sh: static analyzer crashed (rc=$rc) on $skel"
+    skeleton_gate=1
+    continue
+  fi
+  if ! diff -u "$expect" /tmp/race2d_skel_out.txt; then
+    echo "check.sh: static analyzer verdict drifted from $expect"
+    skeleton_gate=1
+  fi
+done
+[[ "$skeleton_gate" == "0" ]] || exit 1
+echo "skeleton corpus gate: verdicts pinned across $(ls tests/skeletons/*.skel | wc -l) skeletons"
+
 if [[ "${RACE2D_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== ASan/UBSan skipped (RACE2D_SKIP_ASAN=1)"
 else

@@ -1,6 +1,10 @@
 #include "graph/topo.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <queue>
+
+#include "support/assert.hpp"
 
 namespace race2d {
 
@@ -28,6 +32,53 @@ std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
 }
 
 bool is_acyclic(const Digraph& g) { return topological_order(g).has_value(); }
+
+std::vector<VertexId> find_cycle(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(n, kWhite);
+  // Iterative DFS keeping the gray path explicit so the cycle can be cut
+  // out of it when a back arc appears.
+  struct Frame {
+    VertexId v;
+    std::size_t next_out;
+  };
+  std::vector<Frame> stack;
+  std::vector<VertexId> path;
+  for (VertexId root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    stack.push_back({root, 0});
+    color[root] = kGray;
+    path.push_back(root);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& out = g.out(f.v);
+      if (f.next_out < out.size()) {
+        const VertexId w = out[f.next_out++];
+        if (color[w] == kGray) {
+          // Back arc f.v → w: the gray path from w to f.v closes a cycle.
+          std::vector<VertexId> cycle;
+          std::size_t start = path.size();
+          while (start > 0 && path[start - 1] != w) --start;
+          R2D_ASSERT(start > 0 && "gray vertex missing from the DFS path");
+          cycle.assign(path.begin() + static_cast<std::ptrdiff_t>(start - 1),
+                       path.end());
+          return cycle;
+        }
+        if (color[w] == kWhite) {
+          color[w] = kGray;
+          stack.push_back({w, 0});
+          path.push_back(w);
+        }
+      } else {
+        color[f.v] = kBlack;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
 
 bool is_topological(const Digraph& g, const std::vector<VertexId>& order) {
   if (order.size() != g.vertex_count()) return false;

@@ -16,6 +16,15 @@ std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
 /// True iff g has no directed cycle.
 bool is_acyclic(const Digraph& g);
 
+/// One directed cycle of g as a vertex sequence v0 → v1 → … → v0 (the
+/// closing arc back to v0 is implicit; the first vertex is not repeated),
+/// or an empty vector when g is acyclic. Deterministic: DFS from the
+/// smallest vertex id, exploring out-arcs in fan order. Used as the
+/// diagnostic half of the relaxed-futures arc augmentation — get edges
+/// could in principle close a cycle, and a cycle here means the producer
+/// precedence is unsatisfiable, not merely racy.
+std::vector<VertexId> find_cycle(const Digraph& g);
+
 /// True iff `order` is a permutation of g's vertices that respects all arcs.
 bool is_topological(const Digraph& g, const std::vector<VertexId>& order);
 

@@ -22,6 +22,23 @@ struct LoweringAbort {
 struct TaskState {
   std::size_t outstanding_spawns = 0;
   std::vector<std::size_t> finish_asyncs;  ///< one counter per open finish
+
+  /// Relaxed mode only: the line entries THIS body created and has not yet
+  /// consumed, newest last (mirrors the Figure-9 line's top segment). Lets
+  /// joins and drains reach past attached producers by reclaiming them
+  /// first — the line itself only ever joins the immediate left neighbor.
+  enum class Entry : std::uint8_t { kRaw, kSpawn, kAsync, kProducer };
+  std::vector<Entry> line;
+};
+
+/// One producer instance observed by a relaxed lowering: which cell it
+/// fulfilled, who ran it, and whether any get consumed the value.
+struct FutureInst {
+  std::size_t node = 0;        ///< kFuture preorder id
+  LocInterval cell{0, 0};      ///< shifted hand-off interval
+  TaskId task = kInvalidTask;  ///< producer task
+  std::size_t region = 0;      ///< hand-off write's region ordinal
+  std::size_t gets = 0;        ///< times a get matched this instance
 };
 
 class Lowerer {
@@ -45,12 +62,13 @@ class Lowerer {
       exec.run([this](TaskContext& ctx) {
         TaskState st;
         exec_node(ctx, 0, st, 0);
-        drain_spawns(ctx, st, 0, /*explicit_sync=*/false);
+        end_of_body(ctx, st, 0);
         if (ctx.live_tasks() > 1) unjoined_ = ctx.live_tasks() - 1;
       });
     } catch (const LoweringAbort& a) {
       out.trace = rec.take();
       out.regions = std::move(regions_);
+      out.future_arcs = std::move(future_arcs_);
       out.ok = false;
       out.violation = a.code;
       out.violating_node = a.node;
@@ -60,6 +78,7 @@ class Lowerer {
       // Executor-side guards (fork depth). Same budget class as S010.
       out.trace = rec.take();
       out.regions = std::move(regions_);
+      out.future_arcs = std::move(future_arcs_);
       out.ok = false;
       out.violation = LintCode::kSkelBudgetExceeded;
       out.violating_node = 0;
@@ -68,6 +87,7 @@ class Lowerer {
     }
     out.trace = rec.take();
     out.regions = std::move(regions_);
+    out.future_arcs = std::move(future_arcs_);
     if (unjoined_ > 0) {
       out.ok = false;
       out.violation = LintCode::kSkelUnjoinedAtHalt;
@@ -75,6 +95,21 @@ class Lowerer {
       std::ostringstream os;
       os << "root halts with " << unjoined_ << " unjoined task(s)";
       out.detail = os.str();
+    } else if (relaxed()) {
+      // The hand-off contract at root halt: every fulfilled value was
+      // consumed by some get. The complete trace is the counterexample.
+      for (const FutureInst& f : futures_) {
+        if (f.gets > 0) continue;
+        out.ok = false;
+        out.violation = LintCode::kSkelFutureNeverGot;
+        out.violating_node = f.node;
+        std::ostringstream os;
+        os << "producer task " << f.task << " fulfills cell [0x" << std::hex
+           << f.cell.lo << ", 0x" << f.cell.hi
+           << "] but no get ever consumes it";
+        out.detail = os.str();
+        break;
+      }
     }
     return out;
   }
@@ -114,6 +149,10 @@ class Lowerer {
     }
   }
 
+  bool relaxed() const {
+    return opts_.discipline == DisciplineMode::kRelaxedFutures;
+  }
+
   /// A forked task's body: fresh state, the node's children, the implicit
   /// end-of-body spawn drain (SpawnScope destructor semantics), and — for
   /// futures — the hand-off write as the task's last action.
@@ -121,21 +160,54 @@ class Lowerer {
     const SkelNode& n = *idx_.nodes[id];
     TaskState st;
     exec_children(ctx, id, st, offset);
-    drain_spawns(ctx, st, id, /*explicit_sync=*/false);
-    if (n.kind == SkelKind::kFuture)
+    end_of_body(ctx, st, id);
+    if (n.kind == SkelKind::kFuture) {
       emit_region(ctx, id, shift(n.interval, offset), n.access);
+      if (relaxed())
+        futures_.push_back({id, shift(n.interval, offset), ctx.id(),
+                            regions_.size() - 1, 0});
+    }
+  }
+
+  /// Relaxed mode: attached producers sitting on top of this body's line
+  /// segment join back before whatever the caller needs to reach — the
+  /// early-reclamation rule that keeps every emitted join a left-neighbor
+  /// join of a halted task (the lowered trace stays strict-valid).
+  void reclaim_producers(TaskContext& ctx, TaskState& st, std::size_t node) {
+    while (!st.line.empty() &&
+           st.line.back() == TaskState::Entry::kProducer) {
+      st.line.pop_back();
+      if (!ctx.join_left())
+        throw LoweringAbort{LintCode::kSkelJoinUnderflow, node,
+                            "reclaiming an attached producer finds no left "
+                            "neighbor"};
+    }
   }
 
   void drain_spawns(TaskContext& ctx, TaskState& st, std::size_t node,
                     bool explicit_sync) {
     const std::size_t joined = st.outstanding_spawns;
     for (; st.outstanding_spawns > 0; --st.outstanding_spawns) {
+      if (relaxed()) {
+        reclaim_producers(ctx, st, node);
+        if (!st.line.empty()) st.line.pop_back();
+      }
       if (!ctx.join_left())
         throw LoweringAbort{LintCode::kSkelJoinUnderflow, node,
                             "sync drain finds no left neighbor (an inner "
                             "join consumed a spawned task)"};
     }
     if (explicit_sync || joined > 0) ctx.sync_marker();
+  }
+
+  /// The implicit drain every body runs before halting: spawned tasks join
+  /// (SpawnScope semantics) and, in relaxed mode, attached producers this
+  /// body created reclaim — producers interleaved with the spawns join for
+  /// free inside the spawn drain, and a final sweep collects the rest.
+  void end_of_body(TaskContext& ctx, TaskState& st, std::size_t node) {
+    if (relaxed()) reclaim_producers(ctx, st, node);
+    drain_spawns(ctx, st, node, /*explicit_sync=*/false);
+    if (relaxed()) reclaim_producers(ctx, st, node);
   }
 
   void exec_node(TaskContext& ctx, std::size_t id, TaskState& st, Loc offset) {
@@ -149,12 +221,28 @@ class Lowerer {
         emit_region(ctx, id, shift(n.interval, offset), n.access);
         break;
       case SkelKind::kFork:
-      case SkelKind::kFuture:
         ctx.fork([this, id, offset](TaskContext& c) {
           run_task_body(c, id, offset);
         });
+        if (relaxed()) st.line.push_back(TaskState::Entry::kRaw);
+        break;
+      case SkelKind::kFuture:
+        if (relaxed() && futures_.size() >= opts_.max_future_instances) {
+          std::ostringstream os;
+          os << "concretization exceeds the " << opts_.max_future_instances
+             << "-future-instance budget";
+          throw LoweringAbort{LintCode::kSkelFutureBudget, id, os.str()};
+        }
+        ctx.fork([this, id, offset](TaskContext& c) {
+          run_task_body(c, id, offset);
+        });
+        if (relaxed()) st.line.push_back(TaskState::Entry::kProducer);
         break;
       case SkelKind::kJoinLeft:
+        if (relaxed()) {
+          reclaim_producers(ctx, st, id);
+          if (!st.line.empty()) st.line.pop_back();
+        }
         if (!ctx.join_left())
           throw LoweringAbort{LintCode::kSkelJoinUnderflow, id,
                               "join with no left neighbor"};
@@ -178,6 +266,7 @@ class Lowerer {
           run_task_body(c, id, offset);
         });
         ++st.outstanding_spawns;
+        if (relaxed()) st.line.push_back(TaskState::Entry::kSpawn);
         break;
       case SkelKind::kSync:
         drain_spawns(ctx, st, id, /*explicit_sync=*/true);
@@ -189,6 +278,10 @@ class Lowerer {
         std::size_t asyncs = st.finish_asyncs.back();
         st.finish_asyncs.pop_back();
         for (; asyncs > 0; --asyncs) {
+          if (relaxed()) {
+            reclaim_producers(ctx, st, id);
+            if (!st.line.empty()) st.line.pop_back();
+          }
           if (!ctx.join_left())
             throw LoweringAbort{LintCode::kSkelJoinUnderflow, id,
                                 "finish drain finds no left neighbor (an "
@@ -204,17 +297,56 @@ class Lowerer {
         });
         R2D_ASSERT(!st.finish_asyncs.empty());
         ++st.finish_asyncs.back();
+        if (relaxed()) st.line.push_back(TaskState::Entry::kAsync);
         break;
       case SkelKind::kGet:
-        if (!ctx.join_left())
-          throw LoweringAbort{LintCode::kSkelJoinUnderflow, id,
-                              "get with no producer to the left"};
-        emit_region(ctx, id, shift(n.interval, offset), n.access);
+        if (relaxed()) {
+          exec_get(ctx, id, shift(n.interval, offset), n.access);
+        } else {
+          // Strict Figure-9 reading: a get is sugar for join-left, so it
+          // only works when the producer is the immediate left neighbor.
+          if (!ctx.join_left())
+            throw LoweringAbort{LintCode::kSkelJoinUnderflow, id,
+                                "get with no producer to the left"};
+          emit_region(ctx, id, shift(n.interval, offset), n.access);
+        }
         break;
       case SkelKind::kPipeline:
         run_pipeline_node(ctx, id, offset);
         break;
     }
+  }
+
+  /// Relaxed get: match the read interval against fulfilled hand-off cells
+  /// and record the join-from-anywhere precedence edge. The match picks the
+  /// most recent fulfilled producer whose cell intersects, preferring one
+  /// whose value is still unconsumed (so aliased cells pair gets with
+  /// distinct producers instead of double-consuming one and starving the
+  /// rest into spurious S013s).
+  void exec_get(TaskContext& ctx, std::size_t id, LocInterval iv,
+                AccessKind kind) {
+    std::size_t match = futures_.size();
+    std::size_t fallback = futures_.size();
+    for (std::size_t i = futures_.size(); i-- > 0;) {
+      const FutureInst& f = futures_[i];
+      if (iv.lo > f.cell.hi || f.cell.lo > iv.hi) continue;
+      if (fallback == futures_.size()) fallback = i;
+      if (f.gets == 0) {
+        match = i;
+        break;
+      }
+    }
+    if (match == futures_.size()) match = fallback;
+    if (match == futures_.size()) {
+      std::ostringstream os;
+      os << "get over cell [0x" << std::hex << iv.lo << ", 0x" << iv.hi
+         << "] runs before any future fulfilled it";
+      throw LoweringAbort{LintCode::kSkelGetUnfulfilled, id, os.str()};
+    }
+    FutureInst& f = futures_[match];
+    ++f.gets;
+    future_arcs_.push_back({f.task, f.node, f.region, id, regions_.size()});
+    emit_region(ctx, id, iv, kind);
   }
 
   void run_pipeline_node(TaskContext& ctx, std::size_t id, Loc offset) {
@@ -276,6 +408,8 @@ class Lowerer {
   SkeletonIndex idx_;
   std::vector<std::size_t> sizes_;  ///< subtree size per preorder id
   std::vector<RegionInstance> regions_;
+  std::vector<FutureInst> futures_;   ///< relaxed mode: fulfilled producers
+  std::vector<FutureArc> future_arcs_;
   TraceRecorder* rec_ = nullptr;
   std::size_t unjoined_ = 0;
 };
@@ -286,6 +420,14 @@ std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
 }
 
 }  // namespace
+
+const char* to_string(DisciplineMode mode) {
+  switch (mode) {
+    case DisciplineMode::kStrict:         return "strict";
+    case DisciplineMode::kRelaxedFutures: return "relaxed-futures";
+  }
+  return "?";
+}
 
 std::string to_string(const Skeleton& s, const SkelConfig& config) {
   const SkeletonIndex idx = index_skeleton(s);

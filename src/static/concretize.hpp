@@ -57,6 +57,26 @@ ConfigSpace enumerate_configs(const Skeleton& s, std::size_t max_configs);
 
 enum class LowerMode : std::uint8_t { kMarkers, kWitness, kFull };
 
+/// How future/get nodes are interpreted by every static pass.
+///
+///   kStrict — the paper's Figure-9 line: a future is sugar for a fork and a
+///     get for a join-left, so gets only work when the producer is the
+///     immediate left neighbor. Passes that see futures reject them upfront
+///     with S018 (the line-discipline results do not cover them).
+///   kRelaxedFutures — attached-futures semantics (arXiv 1901.00622): the
+///     producer escapes the line discipline (it is reclaimed by an implicit
+///     join at the end of its creating body, or earlier when an explicit
+///     join/sync must reach past it), and a get is a join-from-anywhere
+///     PRECEDENCE EDGE from the fulfilling producer to the getter — it
+///     consumes no line entry, so the resulting happens-before is genuinely
+///     non-series-parallel. The lowered trace stays strict-valid (the edges
+///     live in `LoweredTrace::future_arcs`, not in the event stream), which
+///     is what lets relaxed witnesses replay through the unmodified online
+///     detector and certifier.
+enum class DisciplineMode : std::uint8_t { kStrict, kRelaxedFutures };
+
+const char* to_string(DisciplineMode mode);
+
 /// Marker locations live in a reserved range so they can never collide with
 /// user access intervals or the future-cell allocator.
 inline constexpr Loc kMarkerLocBase = Loc{0x53} << 56;  // 'S' for static
@@ -72,22 +92,41 @@ struct RegionInstance {
 
 struct LowerOptions {
   LowerMode mode = LowerMode::kMarkers;
+  DisciplineMode discipline = DisciplineMode::kStrict;
   /// kWitness: the two region ordinals that emit, and the sampled location.
   std::size_t witness_prior = 0;
   std::size_t witness_racing = 0;
   Loc witness_loc = 0;
   /// Event budget per concretization; exceeding it aborts with S010.
   std::size_t max_events = std::size_t{1} << 20;
+  /// kRelaxedFutures: future instances per concretization; exceeding it
+  /// aborts with S017 (loops can multiply producers without bound).
+  std::size_t max_future_instances = 1024;
+};
+
+/// One future→get precedence edge recorded by a relaxed lowering: the get
+/// region's value was fulfilled by `producer_task`'s hand-off write, so the
+/// producer's halt must precede the get's read in the task graph.
+struct FutureArc {
+  TaskId producer_task = kInvalidTask;
+  std::size_t producer_node = 0;    ///< kFuture preorder id
+  std::size_t producer_region = 0;  ///< the hand-off write's region ordinal
+  std::size_t get_node = 0;         ///< kGet preorder id
+  std::size_t get_region = 0;       ///< the get's read region ordinal
 };
 
 struct LoweredTrace {
   Trace trace;  ///< complete when ok; the violating prefix otherwise
   std::vector<RegionInstance> regions;  ///< canonical serial order
+  /// kRelaxedFutures only: the join-from-anywhere edges to graft onto the
+  /// Theorem-6 task graph (empty in strict mode).
+  std::vector<FutureArc> future_arcs;
   TraceFeatures features;
   bool ok = true;
   /// When !ok: the S-code class of the failure, the offending skeleton node
   /// and a human-readable account. S001 join underflow, S002 root halting
-  /// over unjoined tasks, S010 budget exhaustion.
+  /// over unjoined tasks, S010 budget exhaustion; in relaxed mode also S012
+  /// unfulfilled get, S013 dangling producer, S017 future budget.
   LintCode violation = LintCode::kSkelJoinUnderflow;
   std::size_t violating_node = 0;
   std::string detail;

@@ -43,10 +43,12 @@ Interval hull(const Interval& a, const Interval& b) {
 }
 
 /// Abstract state of one task mid-body: the accumulated line effect, the
-/// outstanding-spawn interval, and one async-count interval per open finish.
+/// outstanding-spawn interval, the attached-producer interval (relaxed
+/// mode), and one async-count interval per open finish.
 struct BodyState {
   Effect eff = identity_effect();
   Interval spawns;
+  Interval futures;  ///< relaxed mode: attached producers this body holds
   std::vector<Interval> finish_asyncs;
 };
 
@@ -55,6 +57,7 @@ BodyState hull(const BodyState& a, const BodyState& b) {
   BodyState r;
   r.eff = hull(a.eff, b.eff);
   r.spawns = hull(a.spawns, b.spawns);
+  r.futures = hull(a.futures, b.futures);
   r.finish_asyncs.reserve(a.finish_asyncs.size());
   for (std::size_t i = 0; i < a.finish_asyncs.size(); ++i)
     r.finish_asyncs.push_back(hull(a.finish_asyncs[i], b.finish_asyncs[i]));
@@ -63,19 +66,20 @@ BodyState hull(const BodyState& a, const BodyState& b) {
 
 class IntervalAnalysis {
  public:
-  explicit IntervalAnalysis(const SkeletonIndex& idx) : idx_(idx) {
+  IntervalAnalysis(const SkeletonIndex& idx, DisciplineMode mode)
+      : idx_(idx), relaxed_(mode == DisciplineMode::kRelaxedFutures) {
     sizes_.assign(idx.size(), 0);
     compute_size(0);
     body_memo_.assign(idx.size(), {false, identity_effect()});
   }
 
-  /// The root body's line effect, implicit end-of-body spawn drain included.
+  /// The root body's line effect, implicit end-of-body drain included.
   /// The root node executes as a normal node (a kFork root forks), exactly
   /// like concretize.cpp's exec_node(0).
   Effect root_effect() {
     BodyState st;
     transfer(st, 0, /*as_body=*/false);
-    apply(st, drain_effect(st.spawns));
+    apply(st, end_of_body_effect(st));
     return st.eff;
   }
 
@@ -102,6 +106,20 @@ class IntervalAnalysis {
     return e;
   }
 
+  /// The implicit drain every body runs before halting: spawned tasks join
+  /// and — relaxed mode — attached producers reclaim. If a producer is
+  /// concretely blocked by a raw fork still on the line, that raw entry's
+  /// own +1 stays uncancelled here, so the delta_hi == 0 proof condition
+  /// still rejects such shapes (see end_of_body in concretize.cpp).
+  Effect end_of_body_effect(const BodyState& st) const {
+    Interval joins = st.spawns;
+    if (relaxed_) {
+      joins.lo += st.futures.lo;
+      joins.hi += st.futures.hi;
+    }
+    return drain_effect(joins);
+  }
+
   void apply(BodyState& st, const Effect& e) { st.eff = compose(st.eff, e); }
 
   /// Effect of a forked task's whole body on the shared line, as seen by the
@@ -112,7 +130,7 @@ class IntervalAnalysis {
     if (memo.first) return memo.second;
     BodyState st;
     transfer(st, id, /*as_body=*/true);
-    apply(st, drain_effect(st.spawns));
+    apply(st, end_of_body_effect(st));
     memo = {true, st.eff};
     return st.eff;
   }
@@ -143,12 +161,22 @@ class IntervalAnalysis {
         // run_pipeline is balanced: it never consumes pre-existing line
         // entries and leaves the line as it found it. Exactly identity.
         break;
-      case SkelKind::kFork:
+      case SkelKind::kFork: {
+        Effect e = task_body_effect(id);
+        ++e.delta_lo;
+        ++e.delta_hi;
+        apply(st, e);
+        break;
+      }
       case SkelKind::kFuture: {
         Effect e = task_body_effect(id);
         ++e.delta_lo;
         ++e.delta_hi;
         apply(st, e);
+        if (relaxed_) {
+          ++st.futures.lo;
+          ++st.futures.hi;
+        }
         break;
       }
       case SkelKind::kSpawn: {
@@ -172,18 +200,42 @@ class IntervalAnalysis {
         break;
       }
       case SkelKind::kJoinLeft:
-      case SkelKind::kGet:
-        apply(st, Effect{1, 1, -1, -1});
+        if (relaxed_) {
+          // The join first reclaims any attached producers on top of the
+          // body's line segment (somewhere in [0, futures.hi] of them),
+          // then consumes one entry.
+          apply(st, Effect{1, 1 + st.futures.hi, -(1 + st.futures.hi), -1});
+          st.futures.lo = 0;
+        } else {
+          apply(st, Effect{1, 1, -1, -1});
+        }
         break;
-      case SkelKind::kSync:
-        apply(st, drain_effect(st.spawns));
+      case SkelKind::kGet:
+        if (!relaxed_) apply(st, Effect{1, 1, -1, -1});
+        // Relaxed: a get consumes no line entry — it is a precedence edge
+        // in the task graph, invisible to the line.
+        break;
+      case SkelKind::kSync: {
+        Interval joins = st.spawns;
+        if (relaxed_ && st.spawns.hi > 0) {
+          // Producers interleaved with the spawned tasks reclaim for free
+          // inside the drain.
+          joins.hi += st.futures.hi;
+          st.futures.lo = 0;
+        }
+        apply(st, drain_effect(joins));
         st.spawns = {0, 0};
         break;
+      }
       case SkelKind::kFinish: {
         st.finish_asyncs.push_back({0, 0});
         transfer_children(st, id);
-        const Interval asyncs = st.finish_asyncs.back();
+        Interval asyncs = st.finish_asyncs.back();
         st.finish_asyncs.pop_back();
+        if (relaxed_ && asyncs.hi > 0) {
+          asyncs.hi += st.futures.hi;
+          st.futures.lo = 0;
+        }
         apply(st, drain_effect(asyncs));
         break;
       }
@@ -221,6 +273,7 @@ class IntervalAnalysis {
   }
 
   const SkeletonIndex& idx_;
+  const bool relaxed_;
   std::vector<std::size_t> sizes_;
   std::vector<std::pair<bool, Effect>> body_memo_;
 };
@@ -233,9 +286,191 @@ const char* violation_hint(LintCode code) {
       return "add joins (or a sync/finish) so the root drains the line";
     case LintCode::kSkelBudgetExceeded:
       return "shrink loop bounds or intervals, or raise max_events";
+    case LintCode::kSkelGetUnfulfilled:
+      return "move the get after the future that fulfills its cell";
+    case LintCode::kSkelFutureNeverGot:
+      return "add a get for the cell, or drop the producer";
+    case LintCode::kSkelFutureCycle:
+      return "break the cycle: some producer must not get a cell that "
+             "(transitively) waits on its own";
+    case LintCode::kSkelFutureBudget:
+      return "shrink loop bounds, or raise max_future_instances";
     default:
       return "";
   }
+}
+
+/// Syntactic facts about the future/get cell plumbing, computed once per
+/// relaxed verification.
+struct FutureCellLint {
+  std::vector<LintDiagnostic> warnings;  ///< S015 / S016
+  /// Per preorder id: this kFuture sits on a cyclic get chain (its body
+  /// transitively gets a cell whose fulfillment waits on this very cell).
+  /// Used to classify a concrete S012 abort as S014.
+  std::vector<bool> future_on_cycle;
+  /// Every future and get pairs up identically in EVERY configuration (no
+  /// future/get under a loop or branch, and the one serial-order matching
+  /// leaves no get unfulfilled and no value unconsumed). Only then can the
+  /// interval proof stand without enumeration in relaxed mode.
+  bool definite = true;
+};
+
+bool intersects(const LocInterval& a, const LocInterval& b) {
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+FutureCellLint lint_future_cells(const SkeletonIndex& idx,
+                                 const std::vector<std::size_t>& sizes) {
+  const std::size_t n = idx.size();
+  FutureCellLint out;
+  out.future_on_cycle.assign(n, false);
+
+  std::vector<std::size_t> futures, gets, accesses;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (idx.nodes[i]->kind) {
+      case SkelKind::kFuture: futures.push_back(i); break;
+      case SkelKind::kGet:    gets.push_back(i);    break;
+      case SkelKind::kAccess: accesses.push_back(i); break;
+      default: break;
+    }
+  }
+  if (futures.empty() && gets.empty()) return out;
+
+  // S015: a get whose interval spans several distinct hand-off cells reads
+  // from whichever producer happens to match — almost always an aliasing
+  // accident worth flagging even when the matching works out.
+  for (const std::size_t g : gets) {
+    std::size_t spanned = 0;
+    for (const std::size_t f : futures)
+      if (intersects(idx.nodes[g]->interval, idx.nodes[f]->interval))
+        ++spanned;
+    if (spanned < 2) continue;
+    std::ostringstream os;
+    os << "get interval spans " << spanned << " distinct hand-off cells";
+    out.warnings.push_back(
+        {LintCode::kSkelGetAliasesCells,
+         lint_code_severity(LintCode::kSkelGetAliasesCells), g, os.str(),
+         "narrow the get (or the cells) so exactly one producer matches"});
+  }
+
+  // S016: a hand-off cell that also carries plain accesses escapes the
+  // future/get protocol — those accesses race with the hand-off write
+  // unless something else orders them.
+  for (const std::size_t f : futures) {
+    for (const std::size_t a : accesses) {
+      if (!intersects(idx.nodes[f]->interval, idx.nodes[a]->interval))
+        continue;
+      std::ostringstream os;
+      os << "hand-off cell overlaps the plain access at node " << a;
+      out.warnings.push_back(
+          {LintCode::kSkelCellEscapes,
+           lint_code_severity(LintCode::kSkelCellEscapes), f, os.str(),
+           "route every access to the cell through a get, or move the "
+           "access off the cell"});
+      break;  // one escape report per future is enough
+    }
+  }
+
+  // Cell-dependency graph: F → G when F's producer body contains a get over
+  // G's cell (F's completion waits on G's). A future on a cycle can strand
+  // its own gets — the substrate for classifying S012 aborts as S014.
+  const std::size_t fcount = futures.size();
+  std::vector<std::vector<std::size_t>> dep(fcount);
+  for (std::size_t fi = 0; fi < fcount; ++fi) {
+    const std::size_t f = futures[fi];
+    for (const std::size_t g : gets) {
+      if (g <= f || g >= f + sizes[f]) continue;  // not in F's subtree
+      for (std::size_t ti = 0; ti < fcount; ++ti)
+        if (ti != fi &&
+            intersects(idx.nodes[g]->interval, idx.nodes[futures[ti]]->interval))
+          dep[fi].push_back(ti);
+    }
+  }
+  for (std::size_t start = 0; start < fcount; ++start) {
+    std::vector<bool> seen(fcount, false);
+    std::vector<std::size_t> stack(dep[start]);
+    bool cyclic = false;
+    while (!stack.empty() && !cyclic) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      if (v == start) { cyclic = true; break; }
+      if (seen[v]) continue;
+      seen[v] = true;
+      for (const std::size_t w : dep[v]) stack.push_back(w);
+    }
+    if (cyclic) out.future_on_cycle[futures[start]] = true;
+  }
+
+  // Definiteness: matching is config-independent only when no future/get is
+  // gated by a loop or branch; then one serial-order simulation (preorder =
+  // serial execution order) decides whether every pair resolves.
+  for (const std::size_t id : futures)
+    for (std::size_t p = id; p != 0; p = idx.parent[p]) {
+      const SkelKind k = idx.nodes[idx.parent[p]]->kind;
+      if (k == SkelKind::kLoop || k == SkelKind::kBranch) {
+        out.definite = false;
+        break;
+      }
+    }
+  for (const std::size_t id : gets) {
+    if (!out.definite) break;
+    for (std::size_t p = id; p != 0; p = idx.parent[p]) {
+      const SkelKind k = idx.nodes[idx.parent[p]]->kind;
+      if (k == SkelKind::kLoop || k == SkelKind::kBranch) {
+        out.definite = false;
+        break;
+      }
+    }
+  }
+  if (out.definite) {
+    // A future is fulfilled once its subtree completes: at preorder
+    // position f + sizes[f]. Replay the runtime matching rule (most recent
+    // fulfilled, preferring an unconsumed value) over serial order.
+    struct Sim {
+      std::size_t node;
+      std::size_t fulfilled_at;
+      std::size_t gets = 0;
+    };
+    std::vector<Sim> sims;
+    sims.reserve(fcount);
+    for (const std::size_t f : futures) sims.push_back({f, f + sizes[f], 0});
+    std::sort(sims.begin(), sims.end(),
+              [](const Sim& a, const Sim& b) {
+                return a.fulfilled_at < b.fulfilled_at;
+              });
+    for (const std::size_t g : gets) {
+      std::size_t match = sims.size();
+      std::size_t fallback = sims.size();
+      for (std::size_t i = sims.size(); i-- > 0;) {
+        if (sims[i].fulfilled_at > g) continue;  // not yet fulfilled
+        if (!intersects(idx.nodes[g]->interval,
+                        idx.nodes[sims[i].node]->interval))
+          continue;
+        if (fallback == sims.size()) fallback = i;
+        if (sims[i].gets == 0) { match = i; break; }
+      }
+      if (match == sims.size()) match = fallback;
+      if (match == sims.size()) {
+        out.definite = false;  // a guaranteed S012 — enumeration reports it
+        break;
+      }
+      ++sims[match].gets;
+    }
+    if (out.definite)
+      for (const Sim& sim : sims)
+        if (sim.gets == 0) {
+          out.definite = false;  // a guaranteed S013 — enumeration reports it
+          break;
+        }
+  }
+  return out;
+}
+
+/// Subtree size per preorder id (the addressing scheme every walk uses).
+std::vector<std::size_t> subtree_sizes(const SkeletonIndex& idx) {
+  std::vector<std::size_t> sizes(idx.size(), 1);
+  for (std::size_t i = idx.size(); i-- > 1;) sizes[idx.parent[i]] += sizes[i];
+  return sizes;
 }
 
 }  // namespace
@@ -250,12 +485,45 @@ DisciplineReport verify_discipline(const Skeleton& s,
   }
 
   const SkeletonIndex idx = index_skeleton(s);
-  out.root_effect = IntervalAnalysis(idx).root_effect();
-  if (out.root_effect.need_hi == 0 && out.root_effect.delta_hi == 0) {
+  const bool relaxed = options.mode == DisciplineMode::kRelaxedFutures;
+  const SkeletonTraits traits = skeleton_traits(s);
+  if (!relaxed && traits.has_futures) {
+    // The strict Figure-9 results do not cover futures: reject upfront with
+    // one clear code instead of a mid-analysis join error.
+    std::size_t first = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      if (idx.nodes[i]->kind == SkelKind::kFuture ||
+          idx.nodes[i]->kind == SkelKind::kGet) {
+        first = i;
+        break;
+      }
+    out.lint.diagnostics.push_back(
+        {LintCode::kSkelFuturesNeedRelaxed,
+         lint_code_severity(LintCode::kSkelFuturesNeedRelaxed), first,
+         "skeleton uses future/get hand-offs, which escape the strict "
+         "Figure-9 line discipline",
+         "analyze with DisciplineMode::kRelaxedFutures"});
+    out.exact = true;
+    return out;
+  }
+
+  const std::vector<std::size_t> sizes = subtree_sizes(idx);
+  FutureCellLint cells;
+  if (relaxed && traits.has_futures) {
+    cells = lint_future_cells(idx, sizes);
+    for (LintDiagnostic& d : cells.warnings)
+      out.lint.diagnostics.push_back(std::move(d));
+  }
+
+  out.root_effect = IntervalAnalysis(idx, options.mode).root_effect();
+  if (out.root_effect.need_hi == 0 && out.root_effect.delta_hi == 0 &&
+      cells.definite) {
     // The root body never digs below the empty line and nets nothing:
     // every concretization obeys the discipline. delta_lo may be negative
     // only as interval slack — a run that never underflows cannot end
-    // below its start.
+    // below its start. In relaxed mode the proof additionally requires the
+    // cell matching to be config-independent and total (no S012/S013
+    // possible); otherwise enumeration decides.
     out.clean = true;
     out.exact = true;
     out.proved_by_intervals = true;
@@ -267,16 +535,33 @@ DisciplineReport verify_discipline(const Skeleton& s,
   out.configs_total = space.total;
   LowerOptions lopt;
   lopt.mode = LowerMode::kMarkers;
+  lopt.discipline = options.mode;
   lopt.max_events = options.max_events;
+  lopt.max_future_instances = options.max_future_instances;
   for (const SkelConfig& config : space.configs) {
     ++out.configs_checked;
     LoweredTrace lowered = lower_skeleton(s, config, lopt);
     if (lowered.ok) continue;
+    LintCode code = lowered.violation;
     std::ostringstream os;
+    if (code == LintCode::kSkelGetUnfulfilled) {
+      // Classify: a get stranded INSIDE a producer whose cell sits on a
+      // cyclic get chain is the deadlock shape, not a mere ordering slip.
+      for (std::size_t p = lowered.violating_node;;) {
+        if (idx.nodes[p]->kind == SkelKind::kFuture &&
+            cells.future_on_cycle[p]) {
+          code = LintCode::kSkelFutureCycle;
+          os << "cyclic get chain: ";
+          break;
+        }
+        if (p == 0) break;
+        p = idx.parent[p];
+      }
+    }
     os << lowered.detail << " under " << to_string(s, config);
     out.lint.diagnostics.push_back(
-        {lowered.violation, lint_code_severity(lowered.violation),
-         lowered.violating_node, os.str(), violation_hint(lowered.violation)});
+        {code, lint_code_severity(code), lowered.violating_node, os.str(),
+         violation_hint(code)});
     out.has_counterexample = true;
     out.counterexample_config = config;
     out.counterexample = std::move(lowered);

@@ -35,10 +35,19 @@
 namespace race2d {
 
 struct DisciplineOptions {
+  /// How future/get nodes are read. Strict rejects them upfront (S018);
+  /// relaxed verifies the attached-futures discipline instead: producers
+  /// escape the line (reclaimed at end of their creating body), gets are
+  /// join-from-anywhere edges, and the hand-off contract adds S012 (get
+  /// before any fulfilling future), S013 (fulfilled value never got), S014
+  /// (cyclic get chain), S017 (future-instance budget) to the verdict.
+  DisciplineMode mode = DisciplineMode::kStrict;
   /// Enumeration cap; beyond it the verdict degrades to S009/S011 warnings.
   std::size_t max_configs = 4096;
   /// Per-concretization event budget (S010).
   std::size_t max_events = std::size_t{1} << 20;
+  /// Per-concretization future-instance budget (S017, relaxed mode only).
+  std::size_t max_future_instances = 1024;
 };
 
 /// The interval summary of a task body's effect on the line. All four

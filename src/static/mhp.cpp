@@ -1,7 +1,9 @@
 #include "static/mhp.hpp"
 
+#include <sstream>
 #include <utility>
 
+#include "graph/topo.hpp"
 #include "support/assert.hpp"
 
 namespace race2d {
@@ -39,15 +41,116 @@ std::vector<VertexId> region_vertices(const Trace& trace,
   return out;
 }
 
+std::vector<VertexId> region_first_vertices_full(
+    const Trace& trace, const std::vector<RegionInstance>& regions) {
+  // Collect every access vertex in serial order, then carve it into the
+  // per-region runs a kFull lowering emits (interval width accesses each).
+  std::vector<VertexId> access_vertices;
+  VertexId next_vertex = 1;
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kFork:
+      case TraceOp::kJoin:
+      case TraceOp::kHalt:
+        ++next_vertex;
+        break;
+      case TraceOp::kRead:
+      case TraceOp::kWrite:
+      case TraceOp::kRetire:
+        access_vertices.push_back(next_vertex++);
+        break;
+      case TraceOp::kSync:
+      case TraceOp::kFinishBegin:
+      case TraceOp::kFinishEnd:
+        break;
+    }
+  }
+  std::vector<VertexId> out;
+  out.reserve(regions.size());
+  std::size_t at = 0;
+  for (const RegionInstance& r : regions) {
+    R2D_REQUIRE(at < access_vertices.size(),
+                "trace is not a kFull lowering of this region set");
+    out.push_back(access_vertices[at]);
+    at += static_cast<std::size_t>(r.interval.hi - r.interval.lo) + 1;
+  }
+  R2D_REQUIRE(at == access_vertices.size(),
+              "trace is not a kFull lowering of this region set");
+  return out;
+}
+
+void augment_task_graph_with_futures(
+    TaskGraph& graph, const Trace& trace, const std::vector<FutureArc>& arcs,
+    const std::vector<VertexId>& region_first_vertex) {
+  if (arcs.empty()) return;
+  // Halt vertex per task, from the same numbering walk as region_vertices.
+  std::vector<VertexId> halt_of(graph.task_count, kInvalidVertex);
+  VertexId next_vertex = 1;
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kFork:
+      case TraceOp::kJoin:
+        ++next_vertex;
+        break;
+      case TraceOp::kHalt:
+        R2D_ASSERT(e.actor < graph.task_count);
+        halt_of[e.actor] = next_vertex++;
+        break;
+      case TraceOp::kRead:
+      case TraceOp::kWrite:
+      case TraceOp::kRetire:
+        ++next_vertex;
+        break;
+      case TraceOp::kSync:
+      case TraceOp::kFinishBegin:
+      case TraceOp::kFinishEnd:
+        break;
+    }
+  }
+  for (const FutureArc& a : arcs) {
+    R2D_REQUIRE(a.producer_task < halt_of.size() &&
+                    halt_of[a.producer_task] != kInvalidVertex,
+                "future arc names a task with no halt vertex");
+    R2D_REQUIRE(a.get_region < region_first_vertex.size(),
+                "future arc names a region outside the lowering");
+    graph.diagram.add_arc(halt_of[a.producer_task],
+                          region_first_vertex[a.get_region]);
+  }
+  // Every arc — base and grafted — points forward in trace-event order
+  // (the producer halts before the get's read in the serial lowering), so
+  // a cycle is impossible by construction; keep the check as a defensive
+  // invariant since a cycle would silently corrupt every MHP verdict.
+  const std::vector<VertexId> cycle = find_cycle(graph.diagram.graph());
+  if (!cycle.empty()) {
+    std::ostringstream os;
+    os << "future/get augmentation closed a cycle through vertex "
+       << cycle.front() << " (" << cycle.size() << " vertices)";
+    R2D_REQUIRE(false, os.str().c_str());
+  }
+}
+
 StaticMhpEngine::StaticMhpEngine(const Skeleton& s,
                                  const StaticMhpOptions& options) {
   require_valid_skeleton(s);
+  if (options.mode == DisciplineMode::kStrict &&
+      skeleton_traits(s).has_futures) {
+    LintResult lint;
+    lint.diagnostics.push_back(
+        {LintCode::kSkelFuturesNeedRelaxed,
+         lint_code_severity(LintCode::kSkelFuturesNeedRelaxed), 0,
+         "skeleton uses future/get hand-offs, which escape the strict "
+         "Figure-9 line discipline",
+         "build the engine with DisciplineMode::kRelaxedFutures"});
+    throw TraceLintError(std::move(lint));
+  }
   ConfigSpace space = enumerate_configs(s, options.max_configs);
   truncated_ = space.truncated;
   configs_total_ = space.total;
   LowerOptions lopt;
   lopt.mode = LowerMode::kMarkers;
+  lopt.discipline = options.mode;
   lopt.max_events = options.max_events;
+  lopt.max_future_instances = options.max_future_instances;
   for (SkelConfig& config : space.configs) {
     LoweredTrace lowered = lower_skeleton(s, config, lopt);
     if (!lowered.ok) {
@@ -58,9 +161,14 @@ StaticMhpEngine::StaticMhpEngine(const Skeleton& s,
     model->config = std::move(config);
     model->lowered = std::move(lowered);
     model->graph = build_task_graph(model->lowered.trace);
-    model->oracle = std::make_unique<HappensBeforeOracle>(model->graph);
     model->region_vertex =
         region_vertices(model->lowered.trace, model->lowered.regions.size());
+    // Relaxed mode: graft the future→get precedence arcs BEFORE building
+    // the reachability oracle, so every MHP answer sees the non-SP order.
+    augment_task_graph_with_futures(model->graph, model->lowered.trace,
+                                    model->lowered.future_arcs,
+                                    model->region_vertex);
+    model->oracle = std::make_unique<HappensBeforeOracle>(model->graph);
     models_.push_back(std::move(model));
   }
 }

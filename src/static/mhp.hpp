@@ -56,8 +56,14 @@ struct MhpVerdict {
 };
 
 struct StaticMhpOptions {
+  /// Strict rejects future-bearing skeletons upfront (TraceLintError with
+  /// S018); relaxed lowers them under attached-futures semantics and grafts
+  /// the future→get precedence arcs onto each config's task graph, making
+  /// the MHP structure genuinely non-series-parallel.
+  DisciplineMode mode = DisciplineMode::kStrict;
   std::size_t max_configs = 4096;
   std::size_t max_events = std::size_t{1} << 20;
+  std::size_t max_future_instances = 1024;
 };
 
 class StaticMhpEngine {
@@ -94,5 +100,23 @@ class StaticMhpEngine {
 /// (the certificate checker's walk). Exposed for the race scan and tests.
 std::vector<VertexId> region_vertices(const Trace& trace,
                                       std::size_t region_count);
+
+/// Same walk for a kFull lowering: region ordinal → the vertex of the
+/// region's FIRST emitted access (kFull emits each region's whole interval
+/// contiguously; kMarkers is the width-1 special case where this equals
+/// region_vertices).
+std::vector<VertexId> region_first_vertices_full(
+    const Trace& trace, const std::vector<RegionInstance>& regions);
+
+/// Grafts the relaxed-futures precedence edges onto a Theorem-6 task graph
+/// built from `trace`: one arc per FutureArc, from the producer task's halt
+/// vertex to the get region's first access vertex. Because the producer
+/// halts before the get event in the serial trace and every base arc also
+/// points forward in trace order, the augmented diagram stays acyclic —
+/// enforced here with find_cycle as a defensive invariant. Rebuild any
+/// reachability oracle AFTER augmenting.
+void augment_task_graph_with_futures(
+    TaskGraph& graph, const Trace& trace, const std::vector<FutureArc>& arcs,
+    const std::vector<VertexId>& region_first_vertex);
 
 }  // namespace race2d

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "baselines/naive.hpp"
 #include "core/sharded_analyzer.hpp"
 #include "fuzz/differential.hpp"
 #include "support/assert.hpp"
@@ -144,14 +145,20 @@ StaticRaceResult analyze_skeleton(const Skeleton& s,
                                   const StaticRaceOptions& options) {
   StaticRaceResult out;
   DisciplineOptions dopt;
+  dopt.mode = options.mode;
   dopt.max_configs = options.max_configs;
   dopt.max_events = options.max_events;
+  dopt.max_future_instances = options.max_future_instances;
   out.discipline = verify_discipline(s, dopt);
   if (!validate_skeleton(s).ok()) return out;  // shape errors: no findings
+  if (options.mode == DisciplineMode::kStrict && skeleton_traits(s).has_futures)
+    return out;  // the discipline report carries S018; nothing to scan
 
   StaticMhpOptions mopt;
+  mopt.mode = options.mode;
   mopt.max_configs = options.max_configs;
   mopt.max_events = options.max_events;
+  mopt.max_future_instances = options.max_future_instances;
   const StaticMhpEngine engine(s, mopt);
   out.truncated = engine.truncated();
   out.configs_total = engine.configs_total();
@@ -159,7 +166,9 @@ StaticRaceResult analyze_skeleton(const Skeleton& s,
 
   LowerOptions wopt;
   wopt.mode = LowerMode::kWitness;
+  wopt.discipline = options.mode;
   wopt.max_events = options.max_events;
+  wopt.max_future_instances = options.max_future_instances;
   // Dedup across configs and segments: one finding (the first witness) per
   // (prior node, racing node, kind, kind) quadruple.
   FlatHashMap<std::uint64_t, std::uint8_t> reported;
@@ -209,13 +218,22 @@ AgreementResult check_static_dynamic_agreement(const Skeleton& s,
     out.failure = "skeleton has shape errors; nothing to compare";
     return out;
   }
+  // Auto-upgrade: a future-bearing skeleton is only analyzable relaxed, so
+  // the sweep switches modes instead of skipping the whole family.
+  const DisciplineMode mode = skeleton_traits(s).has_futures
+                                  ? DisciplineMode::kRelaxedFutures
+                                  : options.mode;
   StaticMhpOptions mopt;
+  mopt.mode = mode;
   mopt.max_configs = options.max_configs;
   mopt.max_events = options.max_events;
+  mopt.max_future_instances = options.max_future_instances;
   const StaticMhpEngine engine(s, mopt);
   LowerOptions fopt;
   fopt.mode = LowerMode::kFull;
+  fopt.discipline = mode;
   fopt.max_events = options.max_events;
+  fopt.max_future_instances = options.max_future_instances;
   for (const auto& model : engine.models()) {
     LoweredTrace full = lower_skeleton(s, model->config, fopt);
     if (!full.ok) {
@@ -229,16 +247,35 @@ AgreementResult check_static_dynamic_agreement(const Skeleton& s,
       return out;
     }
     const bool static_race = !scan_config_races(*model).empty();
-    const std::vector<RaceReport> reports = detect_races_trace(full.trace);
-    const bool dynamic_race = !reports.empty();
+    bool dynamic_race = false;
+    std::size_t dynamic_count = 0;
+    std::string dynamic_first = "none";
+    if (full.future_arcs.empty()) {
+      const std::vector<RaceReport> reports = detect_races_trace(full.trace);
+      dynamic_race = !reports.empty();
+      dynamic_count = reports.size();
+      if (!reports.empty()) dynamic_first = to_string(reports.front());
+    } else {
+      // The online detector sees only the trace's fork-join order; the
+      // future→get edges live beside it. Judge the dynamic side with the
+      // naive §2.3 detector over the AUGMENTED kFull task graph — the same
+      // happens-before the static scan used, decided per location instead
+      // of per segment.
+      TaskGraph graph = build_task_graph(full.trace);
+      augment_task_graph_with_futures(
+          graph, full.trace, full.future_arcs,
+          region_first_vertices_full(full.trace, full.regions));
+      const NaiveResult naive = detect_races_naive(graph);
+      dynamic_race = !naive.races.empty();
+      dynamic_count = naive.races.size();
+      if (!naive.races.empty()) dynamic_first = to_string(naive.races.front());
+    }
     if (static_race != dynamic_race) {
       std::ostringstream os;
       os << "verdict mismatch under " << to_string(s, model->config)
          << ": static=" << (static_race ? "race" : "clean")
          << " dynamic=" << (dynamic_race ? "race" : "clean") << " ("
-         << reports.size() << " dynamic report(s), first: "
-         << (reports.empty() ? std::string("none")
-                             : to_string(reports.front()))
+         << dynamic_count << " dynamic report(s), first: " << dynamic_first
          << ')';
       out.ok = false;
       out.failure = os.str();

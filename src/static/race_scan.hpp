@@ -72,8 +72,16 @@ struct ConfigRacePair {
 std::vector<ConfigRacePair> scan_config_races(const ConfigModel& model);
 
 struct StaticRaceOptions {
+  /// Strict analysis of a future-bearing skeleton reports S018 in the
+  /// discipline verdict and produces no findings; relaxed analyzes it under
+  /// attached-futures semantics (non-SP MHP, witnesses concretized through
+  /// the future/get chains). check_static_dynamic_agreement upgrades to
+  /// relaxed automatically when the skeleton has futures, so sweeps cover
+  /// every family without per-skeleton plumbing.
+  DisciplineMode mode = DisciplineMode::kStrict;
   std::size_t max_configs = 4096;
   std::size_t max_events = std::size_t{1} << 20;
+  std::size_t max_future_instances = 1024;
   /// Replay each witness through the dynamic detector + certifier.
   bool confirm = true;
 };

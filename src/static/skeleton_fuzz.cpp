@@ -20,7 +20,7 @@ SkelFuzzPlan SkelFuzzPlan::from_seed(std::uint64_t seed) {
   p.max_span = rng.range(0, 6);
   p.write_frac = 0.3 + rng.uniform01() * 0.4;
   p.retire_prob = rng.chance(0.5) ? 0.0 : rng.uniform01() * 0.25;
-  switch (rng.below(6)) {
+  switch (rng.below(7)) {
     case 0:  // raw Figure-9 only
       break;
     case 1:  // pure spawn/sync (SP-bags lawful downstream)
@@ -37,10 +37,15 @@ SkelFuzzPlan SkelFuzzPlan::from_seed(std::uint64_t seed) {
     case 4:
       p.use_pipeline = true;
       break;
+    case 5:  // cross-task hand-offs: the relaxed-futures (non-SP) family
+      p.use_futures = true;
+      p.use_future_handoff = true;
+      break;
     default:  // everything
       p.use_spawn = true;
       p.use_finish = true;
       p.use_futures = true;
+      p.use_future_handoff = true;
       p.use_pipeline = true;
       break;
   }
@@ -63,6 +68,7 @@ std::string to_string(const SkelFuzzPlan& plan) {
   family(plan.use_spawn, "spawn");
   family(plan.use_finish, "finish");
   family(plan.use_futures, "futures");
+  family(plan.use_future_handoff, "handoff");
   family(plan.use_pipeline, "pipeline");
   if (plan.allow_violations) os << " violations";
   return os.str();
@@ -144,7 +150,23 @@ class Generator {
           }
           break;
         case 5:
-          if (plan_.use_futures && depth < plan_.max_depth) {
+          if (plan_.use_future_handoff && depth < plan_.max_depth &&
+              (!plan_.use_futures || rng_.chance(0.5))) {
+            // Cross-task hand-off: the consumer is a forked SIBLING whose
+            // body leads with the get, so producer and getter live in
+            // different tasks — the non-SP shape only relaxed mode covers.
+            const Loc lo = 0x100 + rng_.below(plan_.loc_pool) * 4;
+            const Loc hi = lo + rng_.below(3);
+            ++regions_;  // the producer's hand-off write
+            out.push_back(skel::future(lo, hi, gen_body(depth + 1)));
+            std::vector<SkelNode> consumer;
+            ++regions_;  // the get's read
+            consumer.push_back(skel::get(lo, hi));
+            for (SkelNode& rest : gen_body(depth + 1))
+              consumer.push_back(std::move(rest));
+            out.push_back(skel::fork(std::move(consumer)));
+            pending.push_back({});  // the consumer joins like a raw fork
+          } else if (plan_.use_futures && depth < plan_.max_depth) {
             const Loc lo = 0x100 + rng_.below(plan_.loc_pool) * 4;
             const Loc hi = lo + rng_.below(3);
             ++regions_;  // the producer's hand-off write

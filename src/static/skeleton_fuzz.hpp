@@ -45,6 +45,11 @@ struct SkelFuzzPlan {
   bool use_spawn = false;
   bool use_finish = false;
   bool use_futures = false;
+  /// Cross-task hand-offs: `future P; fork { get P; … }` — the get lives in
+  /// a DIFFERENT task than the producer's creator, so the resulting MHP
+  /// structure is genuinely non-series-parallel. Only analyzable under
+  /// DisciplineMode::kRelaxedFutures (the agreement check auto-upgrades).
+  bool use_future_handoff = false;
   bool use_pipeline = false;
 
   /// Occasionally leak a task or emit a stray join (see file comment).

@@ -50,6 +50,13 @@ const char* lint_code_id(LintCode code) {
     case LintCode::kSkelConfigTruncated:   return "S009";
     case LintCode::kSkelBudgetExceeded:    return "S010";
     case LintCode::kSkelPossibleViolation: return "S011";
+    case LintCode::kSkelGetUnfulfilled:    return "S012";
+    case LintCode::kSkelFutureNeverGot:    return "S013";
+    case LintCode::kSkelFutureCycle:       return "S014";
+    case LintCode::kSkelGetAliasesCells:   return "S015";
+    case LintCode::kSkelCellEscapes:       return "S016";
+    case LintCode::kSkelFutureBudget:      return "S017";
+    case LintCode::kSkelFuturesNeedRelaxed:return "S018";
   }
   return "????";
 }
@@ -100,6 +107,13 @@ const char* lint_code_slug(LintCode code) {
     case LintCode::kSkelConfigTruncated:   return "skel-config-space-truncated";
     case LintCode::kSkelBudgetExceeded:    return "skel-budget-exceeded";
     case LintCode::kSkelPossibleViolation: return "skel-possible-violation";
+    case LintCode::kSkelGetUnfulfilled:    return "skel-get-before-future";
+    case LintCode::kSkelFutureNeverGot:    return "skel-future-never-got";
+    case LintCode::kSkelFutureCycle:       return "skel-future-get-cycle";
+    case LintCode::kSkelGetAliasesCells:   return "skel-get-aliases-cells";
+    case LintCode::kSkelCellEscapes:       return "skel-handoff-cell-escapes";
+    case LintCode::kSkelFutureBudget:      return "skel-future-budget-exceeded";
+    case LintCode::kSkelFuturesNeedRelaxed:return "skel-futures-need-relaxed-mode";
   }
   return "unknown";
 }
@@ -110,6 +124,8 @@ LintSeverity lint_code_severity(LintCode code) {
     case LintCode::kDeadRetire:
     case LintCode::kSkelConfigTruncated:
     case LintCode::kSkelPossibleViolation:
+    case LintCode::kSkelGetAliasesCells:
+    case LintCode::kSkelCellEscapes:
       return LintSeverity::kWarning;
     default:
       return LintSeverity::kError;

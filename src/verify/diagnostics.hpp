@@ -76,6 +76,18 @@ enum class LintCode : std::uint8_t {
   kSkelBudgetExceeded,    ///< S010: a concretization exceeds the event budget
   kSkelPossibleViolation, ///< S011: interval analysis flags a discipline risk no
                           ///<       explored concretization confirms
+
+  // S012..S018 — the relaxed futures discipline (DisciplineMode::
+  // kRelaxedFutures): futures escape the Figure-9 line and gets become
+  // join-from-anywhere edges, so a dedicated code family covers the cell
+  // hand-off contract.
+  kSkelGetUnfulfilled,    ///< S012: a get runs before any future fulfilled its cell
+  kSkelFutureNeverGot,    ///< S013: a producer's value is never got (dangling at root halt)
+  kSkelFutureCycle,       ///< S014: cyclic get chain among future cells (deadlock)
+  kSkelGetAliasesCells,   ///< S015: a get's interval spans several distinct cells
+  kSkelCellEscapes,       ///< S016: a hand-off cell interval overlaps a plain access
+  kSkelFutureBudget,      ///< S017: a concretization exceeds the future-instance budget
+  kSkelFuturesNeedRelaxed,///< S018: strict mode rejects future/get nodes upfront
 };
 
 enum class LintSeverity : std::uint8_t { kWarning, kError };

@@ -83,6 +83,35 @@ TEST(Topo, IsTopologicalRejectsBadOrders) {
   EXPECT_FALSE(is_topological(g, {0, 1, 1, 3}));   // duplicate
 }
 
+TEST(Topo, FindCycleReturnsTheArcSequence) {
+  // Acyclic: empty cycle on the diamond.
+  EXPECT_TRUE(find_cycle(diamond()).empty());
+
+  // A 3-cycle reachable only through a tail vertex: the cycle comes back
+  // cut at its entry point, tail excluded.
+  Digraph g(4);
+  g.add_arc(0, 1);  // tail
+  g.add_arc(1, 2);
+  g.add_arc(2, 3);
+  g.add_arc(3, 1);
+  const std::vector<VertexId> cycle = find_cycle(g);
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_EQ(cycle, (std::vector<VertexId>{1, 2, 3}));
+  // Every consecutive pair (and the closing step) is a real arc.
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const VertexId from = cycle[i];
+    const VertexId to = cycle[(i + 1) % cycle.size()];
+    bool found = false;
+    for (const VertexId w : g.out(from)) found |= w == to;
+    EXPECT_TRUE(found) << from << "->" << to;
+  }
+
+  // A self-loop is a 1-cycle.
+  Digraph s(2);
+  s.add_arc(0, 0);
+  EXPECT_EQ(find_cycle(s), (std::vector<VertexId>{0}));
+}
+
 TEST(Topo, DeterministicTieBreak) {
   Digraph g(3);  // no arcs: pure tie-break by id
   auto order = topological_order(g);

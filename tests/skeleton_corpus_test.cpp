@@ -1,0 +1,130 @@
+// The checked-in skeleton corpus gate: every .skel under tests/skeletons/
+// has its discipline verdict, S-codes, and race count pinned here, so a
+// behavior change in the static pass shows up as a corpus diff instead of
+// slipping through. Files named strict-* analyze in strict mode; everything
+// else under DisciplineMode::kRelaxedFutures. scripts/check.sh additionally
+// diffs the analyzer's full stdout against the .expect sidecars.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "static/race_scan.hpp"
+#include "static/skeleton_text.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace race2d {
+namespace {
+
+Skeleton load(const std::string& name) {
+  const std::string path = std::string(RACE2D_SKELETON_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  return load_skeleton_text(in);
+}
+
+struct Pinned {
+  const char* file;
+  DisciplineMode mode = DisciplineMode::kRelaxedFutures;
+  bool clean = false;               ///< discipline verdict
+  std::size_t races = 0;            ///< deduplicated finding count
+  std::vector<const char*> codes;   ///< every expected S-code, order-free
+};
+
+const std::vector<Pinned>& pinned_corpus() {
+  static const std::vector<Pinned> corpus = {
+      {"futures-pipeline-clean.skel", DisciplineMode::kRelaxedFutures,
+       true, 0, {}},
+      {"future-race.skel", DisciplineMode::kRelaxedFutures,
+       true, 1, {"S016"}},
+      {"get-before-future.skel", DisciplineMode::kRelaxedFutures,
+       false, 0, {"S012"}},
+      {"future-never-got.skel", DisciplineMode::kRelaxedFutures,
+       false, 0, {"S013"}},
+      {"future-cycle.skel", DisciplineMode::kRelaxedFutures,
+       false, 0, {"S014"}},
+      {"future-aliased-gets.skel", DisciplineMode::kRelaxedFutures,
+       true, 1, {"S015"}},
+      {"future-escaping-cell.skel", DisciplineMode::kRelaxedFutures,
+       true, 0, {"S016"}},
+      {"nested-finish-future.skel", DisciplineMode::kRelaxedFutures,
+       true, 1, {}},
+      {"future-in-loop.skel", DisciplineMode::kRelaxedFutures,
+       true, 0, {}},
+      {"future-cross-task-get.skel", DisciplineMode::kRelaxedFutures,
+       true, 0, {}},
+      {"strict-figure9-raw.skel", DisciplineMode::kStrict, true, 1, {}},
+      {"strict-spawn-sync.skel", DisciplineMode::kStrict, true, 1, {}},
+      {"strict-finish-async.skel", DisciplineMode::kStrict, true, 1, {}},
+  };
+  return corpus;
+}
+
+TEST(SkeletonCorpus, VerdictsAndSCodesArePinned) {
+  for (const Pinned& p : pinned_corpus()) {
+    const Skeleton s = load(p.file);
+    StaticRaceOptions opts;
+    opts.mode = p.mode;
+    const StaticRaceResult res = analyze_skeleton(s, opts);
+    EXPECT_EQ(res.discipline.clean, p.clean)
+        << p.file << ": " << to_string(res.discipline.lint);
+    EXPECT_EQ(res.findings.size(), p.races) << p.file;
+    std::set<std::string> got;
+    for (const LintDiagnostic& d : res.discipline.lint.diagnostics)
+      got.insert(lint_code_id(d.code));
+    std::set<std::string> want(p.codes.begin(), p.codes.end());
+    EXPECT_EQ(got, want) << p.file << ": " << to_string(res.discipline.lint);
+    // Every reported race must carry a dynamically confirmed witness.
+    for (const StaticRaceFinding& f : res.findings)
+      EXPECT_TRUE(f.confirmed) << p.file << ": " << to_string(f);
+  }
+}
+
+TEST(SkeletonCorpus, StrictModeOnNonFuturesFilesIsBitIdenticalToDefault) {
+  // The relaxed machinery must not perturb strict analysis: for every
+  // strict-* file, default options and an explicit strict mode produce the
+  // same findings, verdicts, and diagnostics, finding by finding.
+  for (const Pinned& p : pinned_corpus()) {
+    if (p.mode != DisciplineMode::kStrict) continue;
+    const Skeleton s = load(p.file);
+    const StaticRaceResult base = analyze_skeleton(s);  // defaults
+    StaticRaceOptions opts;
+    opts.mode = DisciplineMode::kStrict;
+    const StaticRaceResult strict = analyze_skeleton(s, opts);
+    EXPECT_EQ(base.discipline.clean, strict.discipline.clean) << p.file;
+    EXPECT_EQ(base.discipline.proved_by_intervals,
+              strict.discipline.proved_by_intervals)
+        << p.file;
+    ASSERT_EQ(base.findings.size(), strict.findings.size()) << p.file;
+    for (std::size_t i = 0; i < base.findings.size(); ++i)
+      EXPECT_EQ(to_string(base.findings[i]), to_string(strict.findings[i]))
+          << p.file;
+    ASSERT_EQ(base.discipline.lint.diagnostics.size(),
+              strict.discipline.lint.diagnostics.size())
+        << p.file;
+    for (std::size_t i = 0; i < base.discipline.lint.diagnostics.size(); ++i)
+      EXPECT_EQ(to_string(base.discipline.lint.diagnostics[i]),
+                to_string(strict.discipline.lint.diagnostics[i]))
+          << p.file;
+  }
+}
+
+TEST(SkeletonCorpus, EveryCorpusFileAgreesWithTheDynamicPanel) {
+  // The corpus doubles as agreement fodder: for each file that has at
+  // least one clean concretization, the static verdict must match the
+  // dynamic detector's on every explored configuration (auto-upgrade
+  // handles the future-bearing ones).
+  for (const Pinned& p : pinned_corpus()) {
+    const Skeleton s = load(p.file);
+    if (!p.clean) continue;  // nothing lowers; nothing to compare
+    const AgreementResult agree =
+        check_static_dynamic_agreement(s, {}, /*differential=*/true);
+    EXPECT_TRUE(agree.ok) << p.file << ": " << agree.failure;
+    EXPECT_GT(agree.configs_checked, 0u) << p.file;
+  }
+}
+
+}  // namespace
+}  // namespace race2d

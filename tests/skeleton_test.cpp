@@ -121,6 +121,51 @@ TEST(SkeletonText, KitchenSinkRoundTripsExactly) {
   EXPECT_EQ(a.async_finish, b.async_finish);
 }
 
+TEST(SkeletonText, FutureGetRoundTripsIntervalEdgeCases) {
+  // Degenerate one-cell intervals (hi == lo elides in the text form), wide
+  // intervals, and a future with an empty body all survive the write ->
+  // parse -> write fixed point with kinds and intervals intact.
+  const Skeleton s{seq({
+      future(0x0, 0x0, {}),                       // cell 0, empty producer
+      future(0x40, 0xFFFF, {read(0x40, 0x40)}),   // wide hand-off cell
+      get(0x40, 0xFFFF),
+      get(0x0, 0x0),
+  })};
+  require_valid_skeleton(s);
+  std::ostringstream first;
+  write_skeleton_text(first, s);
+  const Skeleton reparsed = parse_skeleton_text(first.str());
+  std::ostringstream second;
+  write_skeleton_text(second, reparsed);
+  EXPECT_EQ(first.str(), second.str());
+
+  const SkeletonIndex a = index_skeleton(s);
+  const SkeletonIndex b = index_skeleton(reparsed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.nodes[i]->kind, b.nodes[i]->kind) << "node " << i;
+    EXPECT_EQ(a.nodes[i]->interval.lo, b.nodes[i]->interval.lo);
+    EXPECT_EQ(a.nodes[i]->interval.hi, b.nodes[i]->interval.hi);
+  }
+}
+
+TEST(SkeletonText, FutureParseErrorsNameTheLine) {
+  // A future whose block never closes: the error points at the last line.
+  try {
+    parse_skeleton_text("seq {\n  future 0x20 0x23 {\n    read 0x20\n");
+    FAIL() << "expected SkeletonParseError";
+  } catch (const SkeletonParseError& e) {
+    EXPECT_EQ(e.line_number(), 3u);
+  }
+  // A get with a non-numeric interval: the error names line 2.
+  try {
+    parse_skeleton_text("seq {\n  get bogus\n}\n");
+    FAIL() << "expected SkeletonParseError";
+  } catch (const SkeletonParseError& e) {
+    EXPECT_EQ(e.line_number(), 2u);
+  }
+}
+
 TEST(SkeletonText, ParseErrorsNameTheLine) {
   try {
     parse_skeleton_text("seq {\n  frok\n}\n");
@@ -215,24 +260,136 @@ TEST(SkeletonLowering, DisciplineViolationsComeBackStructured) {
 
 TEST(Discipline, IntervalProofCoversEveryBalancedFamily) {
   // Every sugar family is balanced by construction; the interval abstract
-  // interpretation alone must prove them clean — no enumeration.
-  const std::vector<Skeleton> clean = {
-      figure2_family(),
-      Skeleton{seq({spawn({write(5, 5)}), write(5, 5), skel::sync()})},
-      Skeleton{seq({finish({async({write(7, 7)}), write(7, 7)})})},
-      Skeleton{seq({future(0x20, 0x23, {}), read(0x20, 0x23),
-                    get(0x20, 0x23)})},
-      Skeleton{seq({pipeline(4, {read(0x60, 0x60), write(0x61, 0x61)},
-                             {1, 0}, 0x10)})},
+  // interpretation alone must prove them clean — no enumeration. Futures
+  // need relaxed mode (strict rejects them upfront with S018).
+  struct Case {
+    Skeleton s;
+    DisciplineMode mode = DisciplineMode::kStrict;
   };
+  std::vector<Case> clean;
+  clean.push_back({figure2_family()});
+  clean.push_back(
+      {Skeleton{seq({spawn({write(5, 5)}), write(5, 5), skel::sync()})}});
+  clean.push_back(
+      {Skeleton{seq({finish({async({write(7, 7)}), write(7, 7)})})}});
+  clean.push_back({Skeleton{seq({future(0x20, 0x23, {}), read(0x20, 0x23),
+                                 get(0x20, 0x23)})},
+                   DisciplineMode::kRelaxedFutures});
+  clean.push_back({Skeleton{seq({pipeline(
+      4, {read(0x60, 0x60), write(0x61, 0x61)}, {1, 0}, 0x10)})}});
   for (std::size_t i = 0; i < clean.size(); ++i) {
-    const DisciplineReport rep = verify_discipline(clean[i]);
+    DisciplineOptions opts;
+    opts.mode = clean[i].mode;
+    const DisciplineReport rep = verify_discipline(clean[i].s, opts);
     EXPECT_TRUE(rep.clean) << "skeleton " << i << ": "
                            << to_string(rep.lint);
     EXPECT_TRUE(rep.proved_by_intervals) << "skeleton " << i;
     EXPECT_EQ(rep.root_effect.need_hi, 0) << "skeleton " << i;
     EXPECT_EQ(rep.root_effect.delta_hi, 0) << "skeleton " << i;
   }
+}
+
+TEST(Discipline, StrictModeRejectsFuturesUpfrontWithS018) {
+  const Skeleton s{
+      seq({future(0x20, 0x23, {}), read(0x20, 0x23), get(0x20, 0x23)})};
+  const DisciplineReport rep = verify_discipline(s);  // default strict
+  EXPECT_FALSE(rep.clean);
+  EXPECT_TRUE(rep.exact);  // the rejection is definitive, not a maybe
+  ASSERT_FALSE(rep.lint.ok());
+  const LintDiagnostic& d = rep.lint.first_error();
+  EXPECT_EQ(d.code, LintCode::kSkelFuturesNeedRelaxed);
+  EXPECT_EQ(d.index, 1u);  // the first future/get node, in preorder
+  EXPECT_EQ(std::string(lint_code_id(d.code)), "S018");
+}
+
+TEST(Discipline, GetBeforeFutureIsS012WithCounterexample) {
+  // The get runs before any future fulfilled its cell: S012, and the
+  // report carries the violating schedule prefix.
+  const Skeleton s{seq({get(0x20, 0x23), future(0x20, 0x23, {})})};
+  DisciplineOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  const DisciplineReport rep = verify_discipline(s, opts);
+  EXPECT_FALSE(rep.clean);
+  EXPECT_TRUE(rep.exact);
+  ASSERT_FALSE(rep.lint.ok());
+  EXPECT_EQ(rep.lint.first_error().code, LintCode::kSkelGetUnfulfilled);
+  ASSERT_TRUE(rep.has_counterexample);
+  EXPECT_FALSE(rep.counterexample.ok);
+}
+
+TEST(Discipline, DanglingProducerIsS013) {
+  // A future nobody ever gets: the producer still reclaims at body end
+  // (the trace itself is balanced), but the hand-off is dead — S013.
+  const Skeleton s{seq({future(0x20, 0x23, {}), read(0x30, 0x30)})};
+  DisciplineOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  const DisciplineReport rep = verify_discipline(s, opts);
+  EXPECT_FALSE(rep.clean);
+  ASSERT_FALSE(rep.lint.ok());
+  EXPECT_EQ(rep.lint.first_error().code, LintCode::kSkelFutureNeverGot);
+  // The counterexample is the FULL trace: the violation is only visible
+  // once the root halts with the hand-off unconsumed.
+  EXPECT_TRUE(rep.has_counterexample);
+}
+
+TEST(Discipline, CyclicGetChainReclassifiesToS014) {
+  // Producer A's body gets cell B; producer B's body gets cell A. Whatever
+  // order the roots' gets run in, one get executes before its cell is
+  // fulfilled — a syntactic cell-dependency cycle, reported as S014.
+  const Skeleton s{seq({
+      future(0x20, 0x23, {get(0x30, 0x33)}),
+      future(0x30, 0x33, {get(0x20, 0x23)}),
+      get(0x20, 0x23),
+      get(0x30, 0x33),
+  })};
+  DisciplineOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  const DisciplineReport rep = verify_discipline(s, opts);
+  EXPECT_FALSE(rep.clean);
+  ASSERT_FALSE(rep.lint.ok());
+  EXPECT_EQ(rep.lint.first_error().code, LintCode::kSkelFutureCycle);
+  EXPECT_EQ(std::string(lint_code_id(LintCode::kSkelFutureCycle)), "S014");
+}
+
+TEST(Discipline, AliasedGetAndEscapingCellAreWarnings) {
+  // One get interval spanning two distinct hand-off cells (S015) and a
+  // plain access overlapping a hand-off cell (S016): both WARNINGS — the
+  // skeleton still verifies clean.
+  const Skeleton s{seq({
+      future(0x20, 0x21, {}),
+      future(0x22, 0x23, {}),
+      read(0x20, 0x20),  // plain access into the first hand-off cell
+      get(0x20, 0x23),   // spans both cells; matches B (newest ungot)
+      get(0x20, 0x21),   // matches A
+  })};
+  DisciplineOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  const DisciplineReport rep = verify_discipline(s, opts);
+  EXPECT_TRUE(rep.clean) << to_string(rep.lint);
+  EXPECT_TRUE(rep.lint.ok());  // warnings only
+  bool saw_alias = false, saw_escape = false;
+  for (const LintDiagnostic& d : rep.lint.diagnostics) {
+    EXPECT_EQ(d.severity, LintSeverity::kWarning) << to_string(d);
+    saw_alias |= d.code == LintCode::kSkelGetAliasesCells;
+    saw_escape |= d.code == LintCode::kSkelCellEscapes;
+  }
+  EXPECT_TRUE(saw_alias);
+  EXPECT_TRUE(saw_escape);
+}
+
+TEST(Discipline, FutureBudgetExceededIsS017) {
+  // A loop minting up to 8 producers against a budget of 4: the wide
+  // configurations abort with S017.
+  std::vector<SkelNode> body;
+  body.push_back(loop(8, 8, {future(0x20, 0x23, {}), get(0x20, 0x23)}));
+  const Skeleton s{seq(std::move(body))};
+  DisciplineOptions opts;
+  opts.mode = DisciplineMode::kRelaxedFutures;
+  opts.max_future_instances = 4;
+  const DisciplineReport rep = verify_discipline(s, opts);
+  EXPECT_FALSE(rep.clean);
+  ASSERT_FALSE(rep.lint.ok());
+  EXPECT_EQ(rep.lint.first_error().code, LintCode::kSkelFutureBudget);
 }
 
 TEST(Discipline, ConfigDependentViolationYieldsCounterexample) {

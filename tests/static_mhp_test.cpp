@@ -61,10 +61,27 @@ Skeleton figure9() {
   })};
 }
 
+// Options for a future-bearing skeleton: strict mode rejects those with
+// S018, so the figure-2 family analyzes under relaxed-futures.
+StaticMhpOptions relaxed_mhp() {
+  StaticMhpOptions o;
+  o.mode = DisciplineMode::kRelaxedFutures;
+  return o;
+}
+
+StaticRaceOptions relaxed_races() {
+  StaticRaceOptions o;
+  o.mode = DisciplineMode::kRelaxedFutures;
+  return o;
+}
+
 // Exhaustive per-model check: the engine's closure-backed MHP must equal
 // per-query BFS reachability on the same task graph, for every region pair.
-void expect_mhp_matches_bfs(const Skeleton& s) {
-  StaticMhpEngine engine(s);
+// The graph is the AUGMENTED one (future→get arcs included), so BFS sees
+// the same happens-before the closure answered from.
+void expect_mhp_matches_bfs(const Skeleton& s,
+                            const StaticMhpOptions& options = {}) {
+  StaticMhpEngine engine(s, options);
   ASSERT_FALSE(engine.models().empty());
   for (const auto& model : engine.models()) {
     const Digraph& g = model->graph.diagram.graph();
@@ -88,7 +105,65 @@ TEST(StaticMhp, MatchesBfsReachabilityOnFigure1) {
 }
 
 TEST(StaticMhp, MatchesBfsReachabilityOnFigure2) {
-  expect_mhp_matches_bfs(figure2());
+  expect_mhp_matches_bfs(figure2(), relaxed_mhp());
+}
+
+TEST(StaticMhp, StrictEngineRejectsFuturesWithS018) {
+  try {
+    StaticMhpEngine engine(figure2());  // default strict
+    FAIL() << "expected TraceLintError";
+  } catch (const TraceLintError& e) {
+    ASSERT_FALSE(e.result().ok());
+    EXPECT_EQ(e.result().first_error().code,
+              LintCode::kSkelFuturesNeedRelaxed);
+  }
+}
+
+TEST(StaticMhp, FutureGetArcOrdersFigure2Consumer) {
+  // Figure 2 under relaxed futures: the early read (node 2) runs BEFORE
+  // the get, so it is concurrent with the producer's fulfilling write; the
+  // get itself consumes the hand-off, so accesses AFTER the get are
+  // ordered with the producer — that ordering exists ONLY through the
+  // grafted future→get arc (the trace's fork-join order alone leaves the
+  // producer's halt unobserved until the body-end reclamation).
+  const Skeleton s{seq({
+      future(0x20, 0x23, {}),  // node 1: producer's fulfilling write
+      read(0x20, 0x23),        // node 2: races with the write
+      get(0x20, 0x23),         // node 3: the hand-off edge lands here
+      write(0x20, 0x23),       // node 4: ordered AFTER the producer
+  })};
+  StaticMhpEngine engine(s, relaxed_mhp());
+  EXPECT_TRUE(engine.may_happen_in_parallel(1, 2));   // write || early read
+  EXPECT_FALSE(engine.may_happen_in_parallel(1, 4));  // arc orders the tail
+  EXPECT_FALSE(engine.may_happen_in_parallel(1, 3));  // get is the join
+}
+
+TEST(StaticMhp, CrossTaskHandOffIsNonSeriesParallel) {
+  // `future P; fork { get P; write }` — the consumer is a SIBLING task, so
+  // the producer→consumer edge crosses the fork-join tree: a genuinely
+  // non-SP diagram. The consumer's post-get write is ordered with the
+  // producer's fulfilling write (via the arc), yet both are concurrent
+  // with the root's own read between fork and join.
+  const Skeleton s{seq({
+      future(0x20, 0x23, {write(0x40, 0x40)}),  // 1 future, 2 body write
+      fork({
+          get(0x20, 0x23),    // 4: consumer's get
+          write(0x20, 0x23),  // 5: ordered after the producer
+      }),                     // 3 fork
+      read(0x30, 0x30),       // 6: root, concurrent with everything forked
+      join_left(),            // 7: joins the consumer
+  })};
+  StaticMhpEngine engine(s, relaxed_mhp());
+  // The hand-off arc orders producer before the consumer's tail...
+  EXPECT_FALSE(engine.may_happen_in_parallel(1, 5));
+  EXPECT_FALSE(engine.may_happen_in_parallel(2, 5));
+  // ...while both stay concurrent with the root's unrelated read.
+  EXPECT_TRUE(engine.may_happen_in_parallel(2, 6));
+  EXPECT_TRUE(engine.may_happen_in_parallel(5, 6));
+  // And the static race pass agrees with the dynamic panel on the family.
+  const AgreementResult agree = check_static_dynamic_agreement(
+      s, relaxed_races(), /*differential=*/true);
+  EXPECT_TRUE(agree.ok) << agree.failure;
 }
 
 TEST(StaticMhp, MatchesBfsReachabilityOnFigure9) {
@@ -128,7 +203,9 @@ TEST(StaticMhp, SyncOrdersFigure1Tail) {
 
 TEST(StaticRaces, EveryFindingCarriesAConfirmedWitness) {
   for (const Skeleton& s : {figure1(), figure2(), figure9()}) {
-    const StaticRaceResult res = analyze_skeleton(s);
+    const StaticRaceOptions opts =
+        skeleton_traits(s).has_futures ? relaxed_races() : StaticRaceOptions{};
+    const StaticRaceResult res = analyze_skeleton(s, opts);
     EXPECT_TRUE(res.discipline.clean);
     ASSERT_TRUE(res.any_race());
     for (const StaticRaceFinding& f : res.findings) {
