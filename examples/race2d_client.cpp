@@ -3,6 +3,8 @@
 //   $ race2d_client --spawn ./race2dd detect prog.trace [more...]
 //   $ race2d_client --socket /tmp/r2d.sock detect prog.btrace
 //   $ race2d_client --socket /tmp/r2d.sock stats
+//   $ race2d_client --socket /tmp/r2d.sock snapshot 7 session.snap
+//   $ race2d_client --socket /tmp/r2d.sock restore session.snap prog.btrace
 //
 // detect opens one session per file, streams it (text traces are encoded to
 // the binary wire format on the fly; binary traces are streamed as-is),
@@ -12,10 +14,17 @@
 // `example_trace_analyzer --reports` on the same trace; scripts/check.sh
 // holds the two bit-identical.
 //
+// snapshot serializes a live session to a blob file; restore rebuilds it
+// under a FRESH session id (possibly on a different worker or a different
+// daemon) and, when the trace file is given, resumes the stream exactly
+// where the snapshot left off (the blob records how many wire bytes it
+// covers), drains and closes — stdout then carries the remaining reports.
+//
 // Options: --policy=first|all (default all), --engine=dsu|depa (per-session
 // detector backend, default dsu), --frame=BYTES (feed frame size, default
 // 64Ki).
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +42,7 @@
 #include "io/binary_writer.hpp"
 #include "io/text_reader.hpp"
 #include "service/protocol.hpp"
+#include "service/snapshot.hpp"
 
 namespace {
 
@@ -194,16 +204,16 @@ bool drain_all(Channel& ch, std::uint32_t session) {
   }
 }
 
-int detect_file(Channel& ch, const char* path, ReportPolicy policy,
-                DetectorEngine engine, std::size_t frame_bytes) {
+/// Normalizes `path` to the binary wire format: binary files load as-is,
+/// text files are encoded through the streaming reader+writer pair. The
+/// encoding is deterministic, so the byte offsets a snapshot records are
+/// stable across client runs.
+int load_wire(const char* path, std::string& wire) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return 2;
   }
-  // Normalize to the binary wire format: binary files stream as-is, text
-  // files are encoded through the streaming reader+writer pair.
-  std::string wire;
   try {
     if (sniff_binary_trace(in)) {
       std::ostringstream buf;
@@ -222,21 +232,16 @@ int detect_file(Channel& ch, const char* path, ReportPolicy policy,
     std::fprintf(stderr, "%s: %s\n", path, e.what());
     return 1;
   }
+  return 0;
+}
 
-  Request open;
-  open.verb = Verb::kOpen;
-  open.open.policy = policy;
-  open.open.engine = engine;
+/// Feeds wire[offset..] in frames, draining on backpressure, then drains
+/// the rest and closes the session. Shared by detect and restore.
+int stream_and_close(Channel& ch, std::uint32_t session,
+                     const std::string& wire, std::size_t offset,
+                     const char* path, std::size_t frame_bytes) {
   Response rsp;
-  if (!ch.call(open, rsp)) return 2;
-  if (rsp.status != ServiceStatus::kOk) {
-    std::fprintf(stderr, "open: %s: %s\n", service_status_id(rsp.status),
-                 rsp.message.c_str());
-    return 1;
-  }
-  const std::uint32_t session = rsp.session;
-
-  for (std::size_t off = 0; off < wire.size();) {
+  for (std::size_t off = offset; off < wire.size();) {
     const std::size_t n = std::min(frame_bytes, wire.size() - off);
     Request feed;
     feed.verb = Verb::kFeed;
@@ -274,9 +279,106 @@ int detect_file(Channel& ch, const char* path, ReportPolicy policy,
   return 0;
 }
 
+int detect_file(Channel& ch, const char* path, ReportPolicy policy,
+                DetectorEngine engine, std::size_t frame_bytes) {
+  std::string wire;
+  const int load_rc = load_wire(path, wire);
+  if (load_rc != 0) return load_rc;
+
+  Request open;
+  open.verb = Verb::kOpen;
+  open.open.policy = policy;
+  open.open.engine = engine;
+  Response rsp;
+  if (!ch.call(open, rsp)) return 2;
+  if (rsp.status != ServiceStatus::kOk) {
+    std::fprintf(stderr, "open: %s: %s\n", service_status_id(rsp.status),
+                 rsp.message.c_str());
+    return 1;
+  }
+  return stream_and_close(ch, rsp.session, wire, 0, path, frame_bytes);
+}
+
+/// snapshot <session-id> <blob-file>: serialize a live session to disk.
+int snapshot_cmd(Channel& ch, std::uint32_t session, const char* out_path) {
+  Request req;
+  req.verb = Verb::kSnapshot;
+  req.session = session;
+  Response rsp;
+  if (!ch.call(req, rsp)) return 2;
+  if (rsp.status != ServiceStatus::kOk) {
+    std::fprintf(stderr, "snapshot: %s: %s\n", service_status_id(rsp.status),
+                 rsp.message.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out || !out.write(rsp.blob.data(),
+                         static_cast<std::streamsize>(rsp.blob.size()))) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 2;
+  }
+  std::uint64_t fed = 0;
+  std::string error;
+  snapshot_fed_bytes(rsp.blob, fed, error);
+  std::fprintf(stderr, "%s: %zu blob byte(s), %llu wire byte(s) covered\n",
+               out_path, rsp.blob.size(), static_cast<unsigned long long>(fed));
+  return 0;
+}
+
+/// restore <blob-file> [trace-file]: rebuild a session under a fresh id;
+/// with a trace file, resume the stream at the blob's recorded offset.
+int restore_cmd(Channel& ch, const char* blob_path, const char* trace_path,
+                std::size_t frame_bytes) {
+  std::ifstream in(blob_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", blob_path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string blob = buf.str();
+
+  Request req;
+  req.verb = Verb::kRestore;
+  req.bytes = blob;
+  Response rsp;
+  if (!ch.call(req, rsp)) return 2;
+  if (rsp.status != ServiceStatus::kOk) {
+    std::fprintf(stderr, "restore: %s: %s\n", service_status_id(rsp.status),
+                 rsp.message.c_str());
+    return 1;
+  }
+  const std::uint32_t session = rsp.session;
+  std::fprintf(stderr, "%s: restored as session %u\n", blob_path, session);
+  if (trace_path == nullptr) return 0;
+
+  std::string wire;
+  const int load_rc = load_wire(trace_path, wire);
+  if (load_rc != 0) return load_rc;
+  std::uint64_t fed = 0;
+  std::string error;
+  if (!snapshot_fed_bytes(blob, fed, error)) {
+    std::fprintf(stderr, "%s: %s\n", blob_path, error.c_str());
+    return 1;
+  }
+  if (fed > wire.size()) {
+    std::fprintf(stderr,
+                 "%s: snapshot covers %llu wire byte(s) but %s encodes only "
+                 "%zu — wrong trace file?\n",
+                 blob_path, static_cast<unsigned long long>(fed), trace_path,
+                 wire.size());
+    return 1;
+  }
+  return stream_and_close(ch, session, wire, static_cast<std::size_t>(fed),
+                          trace_path, frame_bytes);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A daemon that hangs up mid-exchange must surface as a failed write (the
+  // channel reports it), not a SIGPIPE killing the client.
+  std::signal(SIGPIPE, SIG_IGN);
   const char* spawn_binary = nullptr;
   const char* socket_path = nullptr;
   ReportPolicy policy = ReportPolicy::kAll;
@@ -285,6 +387,9 @@ int main(int argc, char** argv) {
   std::vector<const char*> files;
   bool want_stats = false;
   bool detect = false;
+  bool want_snapshot = false;
+  bool want_restore = false;
+  std::vector<const char*> sub_args;  // snapshot/restore operands
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--spawn") == 0 && i + 1 < argc) {
       spawn_binary = argv[++i];
@@ -320,22 +425,45 @@ int main(int argc, char** argv) {
       detect = true;
     } else if (std::strcmp(argv[i], "stats") == 0) {
       want_stats = true;
+    } else if (std::strcmp(argv[i], "snapshot") == 0) {
+      want_snapshot = true;
+    } else if (std::strcmp(argv[i], "restore") == 0) {
+      want_restore = true;
     } else if (detect) {
       files.push_back(argv[i]);
+    } else if (want_snapshot || want_restore) {
+      sub_args.push_back(argv[i]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
+  const int subcommands = static_cast<int>(detect) +
+                          static_cast<int>(want_stats) +
+                          static_cast<int>(want_snapshot) +
+                          static_cast<int>(want_restore);
   if ((spawn_binary == nullptr) == (socket_path == nullptr) ||
-      (static_cast<int>(detect) + static_cast<int>(want_stats)) != 1 ||
-      (detect && files.empty())) {
+      subcommands != 1 || (detect && files.empty()) ||
+      (want_snapshot && sub_args.size() != 2) ||
+      (want_restore && (sub_args.empty() || sub_args.size() > 2))) {
     std::fprintf(stderr,
                  "usage: %s (--spawn <race2dd> | --socket <path>) "
                  "[--policy=first|all] [--engine=dsu|depa] [--frame=BYTES]\n"
-                 "          detect <trace-file>... | stats\n",
+                 "          detect <trace-file>... | stats\n"
+                 "        | snapshot <session-id> <blob-file>\n"
+                 "        | restore <blob-file> [trace-file]\n",
                  argv[0]);
     return 2;
+  }
+  std::uint32_t snapshot_session = 0;
+  if (want_snapshot) {
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(sub_args[0], &end, 10);
+    if (end == sub_args[0] || *end != '\0' || id == 0 || id > 0xffffffffull) {
+      std::fprintf(stderr, "snapshot: bad session id: %s\n", sub_args[0]);
+      return 2;
+    }
+    snapshot_session = static_cast<std::uint32_t>(id);
   }
 
   Channel ch;
@@ -353,6 +481,12 @@ int main(int argc, char** argv) {
     } else {
       rc = 2;
     }
+  } else if (want_snapshot) {
+    rc = snapshot_cmd(ch, snapshot_session, sub_args[1]);
+  } else if (want_restore) {
+    rc = restore_cmd(ch, sub_args[0],
+                     sub_args.size() == 2 ? sub_args[1] : nullptr,
+                     frame_bytes);
   } else {
     for (const char* path : files) {
       const int file_rc =

@@ -3,14 +3,20 @@
 //   $ race2dd --pipe                 serve frames on stdin/stdout (the mode
 //                                    scripts and tests drive; stderr is free
 //                                    for logging)
-//   $ race2dd --socket /tmp/r2d.sock serve an AF_UNIX listener
+//   $ race2dd --socket /tmp/r2d.sock serve an AF_UNIX listener: one epoll
+//                                    thread multiplexes every connection
+//                                    over the worker pool
 //
 // Limits (all optional):
+//   --workers=N             detector worker threads            (default 1)
 //   --max-sessions=N        live-session cap                 (default 64)
 //   --session-quota=BYTES   per-session footprint quota      (default 64Mi)
 //   --total-quota=BYTES     global footprint budget          (default 256Mi)
 //   --max-pending=N         report backlog before backpressure (default 65536)
 //   --metrics               print the metrics JSON to stderr on exit
+//
+// Sessions are pinned to workers by id (session % workers); the SNAPSHOT /
+// RESTORE verbs move a live session between workers or processes.
 //
 // The daemon never crashes on client input: malformed frames, unknown
 // sessions, over-quota streams and corrupt binary traces are all answered
@@ -27,6 +33,7 @@ int main(int argc, char** argv) {
   bool pipe_mode = false;
   bool metrics = false;
   const char* socket_path = nullptr;
+  std::size_t workers = 1;
   ServiceLimits limits;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pipe") == 0) {
@@ -35,6 +42,8 @@ int main(int argc, char** argv) {
       socket_path = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::strtoull(argv[i] + 10, nullptr, 10);
     } else if (std::strncmp(argv[i], "--max-sessions=", 15) == 0) {
       limits.max_sessions = std::strtoull(argv[i] + 15, nullptr, 10);
     } else if (std::strncmp(argv[i], "--session-quota=", 16) == 0) {
@@ -48,7 +57,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --pipe | --socket <path>\n"
-                   "       [--max-sessions=N] [--session-quota=BYTES]\n"
+                   "       [--workers=N] [--max-sessions=N] "
+                   "[--session-quota=BYTES]\n"
                    "       [--total-quota=BYTES] [--max-pending=N] "
                    "[--metrics]\n",
                    argv[0]);
@@ -59,13 +69,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pick exactly one of --pipe / --socket <path>\n");
     return 2;
   }
-  DetectionService service(limits);
+  if (workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return 2;
+  }
+  WorkerPool pool(workers, limits);
   int rc = 0;
   if (pipe_mode) {
-    serve_pipe(std::cin, std::cout, service);
+    serve_pipe(std::cin, std::cout, pool);
   } else {
-    rc = serve_unix_socket(socket_path, service, std::cerr);
+    rc = serve_unix_socket(socket_path, pool, std::cerr);
   }
-  if (metrics) std::fprintf(stderr, "%s\n", service.metrics_json().c_str());
+  if (metrics) std::fprintf(stderr, "%s\n", pool.metrics_json().c_str());
   return rc;
 }

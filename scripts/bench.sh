@@ -7,6 +7,7 @@
 #   BENCH_sharded.json  bench_sharded         — sharded replay scaling (E8b)
 #   BENCH_io.json       bench_io              — trace codec + service (E12)
 #   BENCH_parallel.json bench_parallel_detect — parallel online detection (E13)
+#   BENCH_service.json  bench_service         — worker-pool saturation (E15)
 #
 # Snapshots are produced from a dedicated Release tree (build-bench/): the
 # dev tree's build type is whatever the developer last configured, and a
@@ -19,6 +20,8 @@
 #   * BM_ParallelOnlineDetect/4 >= 2x BM_SerialOnlineDetect — enforced only
 #     when the machine has >= 4 CPUs; on smaller hosts the parallel rows
 #     bound overhead, not speedup (same caveat as E7).
+#   * BM_ServicePoolSaturation/4 >= 2.5x the 1-worker row (E15) — same
+#     >= 4-CPU condition.
 #   * No key benchmark regresses >20% on items_per_second vs the checked-in
 #     baseline JSON (RACE2D_BENCH_ACCEPT=1 skips this to accept a new
 #     baseline after an understood change or a machine switch).
@@ -39,7 +42,8 @@ fi
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j "$(nproc)" \
-  --target bench_static bench_sharded bench_io bench_parallel_detect
+  --target bench_static bench_sharded bench_io bench_parallel_detect \
+  bench_service
 
 run_bench() {
   local bin="$1" out="$2"
@@ -54,6 +58,7 @@ run_bench bench_static BENCH_static.json
 run_bench bench_sharded BENCH_sharded.json
 run_bench bench_io BENCH_io.json
 run_bench bench_parallel_detect BENCH_parallel.json
+run_bench bench_service BENCH_service.json
 
 python3 - <<'EOF'
 import json
@@ -62,13 +67,15 @@ import os
 import sys
 
 SNAPSHOTS = ["BENCH_static.json", "BENCH_sharded.json", "BENCH_io.json",
-             "BENCH_parallel.json"]
+             "BENCH_parallel.json", "BENCH_service.json"]
 # Key throughput rows held to the <=20% regression gate. Names must match
 # the google-benchmark `name` field exactly.
 GATED = {
     "BENCH_io.json": ["BM_TextParse", "BM_BinaryDecode"],
     "BENCH_parallel.json": ["BM_SerialOnlineDetect/real_time",
                             "BM_DepaSerialReplay"],
+    "BENCH_service.json": ["BM_ServicePoolSaturation/1/real_time",
+                           "BM_SnapshotRoundTrip"],
 }
 
 def rows(path):
@@ -114,6 +121,21 @@ if cpus >= 4 and speedup < 2.0:
     failed = True
 elif cpus < 4:
     print(f"bench.sh: 2x-at-4-workers gate skipped: only {cpus} CPU(s)")
+
+# Gate 2b: service pool >= 2.5x at 4 workers vs 1 (E15), hardware-permitting.
+_, svc_rows = rows("BENCH_service.json.new")
+svc1 = svc_rows["BM_ServicePoolSaturation/1/real_time"]["items_per_second"]
+svc4 = svc_rows["BM_ServicePoolSaturation/4/real_time"]["items_per_second"]
+svc_speedup = svc4 / svc1
+print(f"bench.sh: service pool at 4 workers {svc4:.3g} events/s vs 1 worker "
+      f"{svc1:.3g} events/s ({svc_speedup:.2f}x on {cpus} CPU(s))")
+if cpus >= 4 and svc_speedup < 2.5:
+    print(f"bench.sh: FAILED: service pool only {svc_speedup:.2f}x the "
+          f"1-worker row at 4 workers (< 2.5x gate, machine has {cpus} CPUs)")
+    failed = True
+elif cpus < 4:
+    print(f"bench.sh: 2.5x-at-4-workers service gate skipped: only {cpus} "
+          f"CPU(s)")
 
 # Gate 3: no >20% items_per_second regression vs the checked-in baselines.
 if os.environ.get("RACE2D_BENCH_ACCEPT") == "1":

@@ -53,6 +53,37 @@ done
 [[ "$service_smoke" == "0" ]] || exit 1
 echo "service smoke: reports bit-identical across $(ls tests/corpus/*.trace tests/corpus/*.btrace | wc -l) corpus streams"
 
+echo "== service smoke: race2dd epoll socket mode, 4 workers"
+# The same corpus through the OTHER transport and the sharded pool: an
+# AF_UNIX daemon with 4 detector workers, driven over the socket. The epoll
+# loop, worker pinning and per-connection response ordering all sit on this
+# path; reports must stay bit-identical to the offline detector.
+socket_path="/tmp/race2dd-check-$$.sock"
+./build/examples/race2dd --socket="$socket_path" --workers=4 \
+  2>/tmp/race2dd_check.log &
+race2dd_pid=$!
+for _ in $(seq 50); do
+  [[ -S "$socket_path" ]] && break
+  sleep 0.1
+done
+socket_smoke=0
+for trace in tests/corpus/*.trace tests/corpus/*.btrace; do
+  ./build/examples/example_trace_analyzer --reports "$trace" \
+    > /tmp/race2d_offline.txt
+  ./build/examples/race2d_client \
+    --socket "$socket_path" detect "$trace" \
+    > /tmp/race2d_service.txt 2>/dev/null
+  if ! diff -u /tmp/race2d_offline.txt /tmp/race2d_service.txt; then
+    echo "check.sh: socket service reports diverge from offline: $trace"
+    socket_smoke=1
+  fi
+done
+kill "$race2dd_pid" 2>/dev/null || true
+wait "$race2dd_pid" 2>/dev/null || true
+rm -f "$socket_path"
+[[ "$socket_smoke" == "0" ]] || exit 1
+echo "socket smoke: reports bit-identical across the corpus via 4 workers"
+
 echo "== skeleton corpus gate: static analyzer verdicts vs .expect"
 # Run the static analyzer over every checked-in skeleton (strict-* files in
 # strict mode, the rest under relaxed futures) and diff the full stdout —
@@ -95,19 +126,25 @@ fi
 if [[ "${RACE2D_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan skipped (RACE2D_SKIP_TSAN=1)"
 else
-  echo "== ThreadSanitizer build (sharded analyzer + parallel executor + parallel online detector)"
+  echo "== ThreadSanitizer build (sharded analyzer + parallel executor + parallel online detector + service pool)"
   # parallel_online_test is the detection-INSIDE-the-pool stress: workers
   # publish immutable labels, buffer accesses, and resolve against striped
   # shadow cells while hammering overlapping locations; any missing fence
-  # on that path is a TSan report here.
+  # on that path is a TSan report here. service_pool_test hammers STATS
+  # against concurrent feeds (the metrics counters must be atomics), and
+  # service_fuzz_test runs adversarial clients against the live epoll
+  # thread + worker shards.
   cmake -B build-tsan -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1 -g" \
     >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target \
-    sharded_analyzer_test parallel_executor_test parallel_online_test
+    sharded_analyzer_test parallel_executor_test parallel_online_test \
+    service_pool_test service_fuzz_test
   ./build-tsan/tests/sharded_analyzer_test
   ./build-tsan/tests/parallel_executor_test
   ./build-tsan/tests/parallel_online_test
+  ./build-tsan/tests/service_pool_test
+  ./build-tsan/tests/service_fuzz_test
 fi
 
 if [[ "${RACE2D_SKIP_TIDY:-0}" == "1" ]]; then

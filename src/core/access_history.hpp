@@ -53,6 +53,13 @@ class AccessHistory {
 
   std::size_t location_count() const { return cells_.size(); }
 
+  /// Calls fn(loc, cell) for every tracked location (unspecified order) —
+  /// the snapshot codec's export walk.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    cells_.for_each(fn);
+  }
+
   void clear() { cells_.clear(); }
 
   /// Bytes of shadow state — the numerator of E2's bytes-per-location.

@@ -170,6 +170,33 @@ class DePaDetector {
   /// Shadow = per-location cells; per-task = clock arena + label words.
   MemoryFootprint footprint() const;
 
+  /// Snapshot image. Interval pointers are replaced by arena allocation
+  /// indices (kNullInterval = "no prior access of that kind"), which are
+  /// deterministic across processes — see OmClock::for_each_interval.
+  static constexpr std::uint64_t kNullInterval = ~std::uint64_t{0};
+  struct CellState {
+    Loc loc = 0;
+    std::uint64_t read_emax = kNullInterval;
+    std::uint64_t read_hmax = kNullInterval;
+    std::uint64_t write_emax = kNullInterval;
+    std::uint64_t write_hmax = kNullInterval;
+    TaskId owner = kInvalidTask;
+  };
+  struct State {
+    OmClock::State clock;
+    std::vector<std::uint64_t> cur;  ///< task id -> arena index
+    std::vector<CellState> cells;
+    std::vector<RaceReport> undrained;
+    RaceReport first;
+    std::uint64_t reports_total = 0;
+    std::uint64_t access_count = 0;
+  };
+  State export_state() const;
+  /// Rebuilds the detector (fresh construction required). Indices must be
+  /// in range — the snapshot codec bound-checks against clock.intervals
+  /// before calling.
+  void import_state(const State& s);
+
  private:
   OmClock clock_;
   std::vector<OmInterval*> cur_;  ///< task id -> current interval

@@ -75,6 +75,37 @@ MemoryFootprint OnlineRaceDetector::footprint() const {
   return f;
 }
 
+OnlineRaceDetector::State OnlineRaceDetector::export_state() const {
+  State s;
+  s.engine = engine_.export_state();
+  s.cells.reserve(history_.location_count());
+  history_.for_each([&s](Loc loc, const ShadowCell& cell) {
+    s.cells.emplace_back(loc, cell);
+  });
+  s.undrained = reporter_.all();
+  if (reporter_.any()) s.first = reporter_.first();
+  s.reports_total = reporter_.count();
+  s.access_count = access_count_;
+  return s;
+}
+
+void OnlineRaceDetector::import_state(State&& s) {
+  const std::size_t vertices = s.engine.dsu.parent.size();
+  engine_.import_state(std::move(s.engine));
+  history_.clear();
+  history_.reserve(s.cells.size());
+  for (const auto& [loc, cell] : s.cells) {
+    R2D_REQUIRE((cell.read_sup == kInvalidVertex || cell.read_sup < vertices) &&
+                    (cell.write_sup == kInvalidVertex ||
+                     cell.write_sup < vertices),
+                "shadow cell supremum out of range");
+    history_.cell(loc) = cell;
+  }
+  reporter_.import_state(std::move(s.undrained), s.first,
+                         static_cast<std::size_t>(s.reports_total));
+  access_count_ = static_cast<std::size_t>(s.access_count);
+}
+
 std::vector<RaceReport> detect_races_offline(
     const Diagram& d, const std::vector<std::vector<VertexAccess>>& ops,
     WalkMode mode, ReportPolicy policy) {

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/access_history.hpp"
@@ -79,6 +81,21 @@ class OnlineRaceDetector {
 
   /// Exact byte accounting for E2: shadow = per-location, per-task = DSU.
   MemoryFootprint footprint() const;
+
+  /// Snapshot image of the whole detector: DSU engine, shadow cells,
+  /// reporter totals, and the access ordinal counter. Policy is NOT part of
+  /// the state — the restoring side constructs the detector with the
+  /// session's recorded policy first.
+  struct State {
+    SupremaEngine::State engine;
+    std::vector<std::pair<Loc, ShadowCell>> cells;
+    std::vector<RaceReport> undrained;
+    RaceReport first;
+    std::uint64_t reports_total = 0;
+    std::uint64_t access_count = 0;
+  };
+  State export_state() const;
+  void import_state(State&& s);
 
  private:
   SupremaEngine engine_;

@@ -63,6 +63,29 @@ OmInterval* OmClock::on_join(OmInterval* joiner_cur, OmInterval* joined_last) {
   return k;
 }
 
+OmClock::State OmClock::export_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  State s;
+  s.intervals.reserve(arena_.size());
+  for (const OmInterval& iv : arena_)
+    s.intervals.push_back({iv.e, iv.h, iv.task, iv.e_children, iv.h_children});
+  return s;
+}
+
+void OmClock::import_state(const State& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  R2D_REQUIRE(arena_.empty(), "import_state needs a fresh clock");
+  for (const IntervalState& iv : s.intervals) {
+    arena_.emplace_back();
+    OmInterval& out = arena_.back();
+    out.e = iv.e;
+    out.h = iv.h;
+    out.task = iv.task;
+    out.e_children = iv.e_children;
+    out.h_children = iv.h_children;
+  }
+}
+
 std::size_t OmClock::heap_bytes() const {
   // Quiescent accounting (footprint reporting): callers must not race this
   // with structural events — labels of freshly allocated intervals are

@@ -41,7 +41,9 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <vector>
 
+#include "support/assert.hpp"
 #include "support/ids.hpp"
 #include "support/small_vector.hpp"
 
@@ -141,6 +143,41 @@ class OmClock {
     std::lock_guard<std::mutex> lock(mu_);
     return arena_.size();
   }
+
+  /// Calls fn(index, interval_ptr) over the arena in allocation order.
+  /// Allocation order is deterministic (one interval per structural event),
+  /// so the index is a stable cross-process name for an interval — what the
+  /// session snapshot stores instead of the pointer. Quiescent only: must
+  /// not race structural events.
+  template <typename Fn>
+  void for_each_interval(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t i = 0;
+    for (const OmInterval& iv : arena_) fn(i++, &iv);
+  }
+
+  /// The interval at allocation index `i` (restore-time pointer recovery).
+  OmInterval* interval_at(std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    R2D_ASSERT(i < arena_.size());
+    return &arena_[i];
+  }
+
+  /// Plain-data image of the arena in allocation order.
+  struct IntervalState {
+    OmLabel e;
+    OmLabel h;
+    TaskId task = kInvalidTask;
+    std::uint32_t e_children = 0;
+    std::uint32_t h_children = 0;
+  };
+  struct State {
+    std::vector<IntervalState> intervals;
+  };
+  State export_state() const;
+  /// Rebuilds the arena from `s` in order. Requires an empty clock (the
+  /// restoring side constructs a fresh one).
+  void import_state(const State& s);
 
   /// Heap bytes of the clock: arena nodes plus spilled label words. The
   /// per-task cost is Θ(depth) label bits — the DePa trade against the

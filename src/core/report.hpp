@@ -70,6 +70,19 @@ class RaceReporter {
     return out;
   }
 
+  ReportPolicy policy() const { return policy_; }
+
+  /// Rebuilds the reporter from snapshot fields: the undrained tail, the
+  /// retained first report, and the all-time total. The policy stays
+  /// whatever the constructor set (the snapshot codec re-creates the
+  /// reporter with the session's recorded policy first).
+  void import_state(std::vector<RaceReport> undrained, const RaceReport& first,
+                    std::size_t total) {
+    reports_ = std::move(undrained);
+    first_ = first;
+    total_ = total;
+  }
+
  private:
   ReportPolicy policy_;
   std::vector<RaceReport> reports_;

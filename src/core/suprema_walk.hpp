@@ -87,6 +87,18 @@ class SupremaEngine {
   /// Heap bytes — the detector's Θ(1)-per-thread state (Theorem 5).
   std::size_t heap_bytes() const { return dsu_.heap_bytes(); }
 
+  /// Snapshot image: the labeled DSU plus the structural version (the
+  /// version must travel so restored shadow epoch caches stay valid).
+  struct State {
+    LabeledUnionFind::State dsu;
+    std::uint64_t version = 0;
+  };
+  State export_state() const { return {dsu_.export_state(), version_}; }
+  void import_state(State&& s) {
+    dsu_.import_state(std::move(s.dsu));
+    version_ = s.version;
+  }
+
  private:
   LabeledUnionFind dsu_;
   std::uint64_t version_ = 0;

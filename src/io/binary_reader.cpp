@@ -6,6 +6,7 @@
 
 #include "io/crc32c.hpp"
 #include "io/varint.hpp"
+#include "support/assert.hpp"
 #include "verify/trace_lint.hpp"
 
 namespace race2d {
@@ -244,6 +245,34 @@ void BinaryTraceDecoder::feed(const void* data, std::size_t size,
       process(piece.data(), piece.size(), out);
     }
   }
+}
+
+BinaryTraceDecoder::Snapshot BinaryTraceDecoder::export_state() const {
+  R2D_REQUIRE(state_ != State::kPoisoned,
+              "a poisoned decoder has no snapshottable state");
+  Snapshot s;
+  s.state = static_cast<std::uint8_t>(state_);
+  s.buffer = buffer_;
+  s.need = need_;
+  s.payload_len = payload_len_;
+  s.payload_crc = payload_crc_;
+  s.offset = offset_;
+  s.events_decoded = events_decoded_;
+  return s;
+}
+
+void BinaryTraceDecoder::import_state(Snapshot&& s) {
+  R2D_REQUIRE(s.state < static_cast<std::uint8_t>(State::kPoisoned),
+              "snapshot names an invalid decoder state");
+  R2D_REQUIRE(s.buffer.size() <= s.need || s.need == 0,
+              "snapshot buffer exceeds the frame it is accumulating");
+  state_ = static_cast<State>(s.state);
+  buffer_ = std::move(s.buffer);
+  need_ = static_cast<std::size_t>(s.need);
+  payload_len_ = s.payload_len;
+  payload_crc_ = s.payload_crc;
+  offset_ = s.offset;
+  events_decoded_ = s.events_decoded;
 }
 
 void BinaryTraceDecoder::finish() {

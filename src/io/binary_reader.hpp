@@ -52,6 +52,22 @@ class BinaryTraceDecoder {
   /// frame; the quota accounting of a detection session charges these).
   std::size_t buffered_bytes() const { return buffer_.size(); }
 
+  /// Snapshot image of the push state machine: the phase, the partial
+  /// frame's bytes, and the running totals. Poisoned decoders are not
+  /// snapshottable (the owning session was poisoned first and a snapshot
+  /// of it is refused).
+  struct Snapshot {
+    std::uint8_t state = 0;  ///< State enumerator value; kPoisoned rejected
+    std::vector<unsigned char> buffer;
+    std::uint64_t need = 0;
+    std::uint32_t payload_len = 0;
+    std::uint32_t payload_crc = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t events_decoded = 0;
+  };
+  Snapshot export_state() const;
+  void import_state(Snapshot&& s);
+
  private:
   enum class State : std::uint8_t {
     kHeader,        ///< expecting the 8-byte file header

@@ -64,7 +64,9 @@
 #include "service/protocol.hpp"       // detection-service wire protocol
 #include "service/session.hpp"        // one streamed detection session
 #include "service/service.hpp"        // multi-session detection service
-#include "service/server.hpp"         // pipe / unix-socket frame loops
+#include "service/snapshot.hpp"       // session snapshot/restore blobs
+#include "service/worker_pool.hpp"    // sharded multi-core worker pool
+#include "service/server.hpp"         // pipe / epoll-socket frame loops
 #include "static/skeleton.hpp"        // symbolic program skeletons (IR)
 #include "static/concretize.hpp"      // skeleton × config → concrete trace
 #include "static/discipline.hpp"      // static Figure-9 discipline verifier

@@ -84,13 +84,16 @@ const char* service_status_id(ServiceStatus status) {
     case ServiceStatus::kBackpressure:   return "backpressure";
     case ServiceStatus::kLintReject:     return "lint-reject";
     case ServiceStatus::kDecodeReject:   return "decode-reject";
+    case ServiceStatus::kSnapshotReject: return "snapshot-reject";
   }
   return "?";
 }
 
 std::string encode_request(const Request& request) {
   std::string out;
-  out.reserve(16 + (request.verb == Verb::kFeed ? request.bytes.size() : 0));
+  const bool carries_bytes =
+      request.verb == Verb::kFeed || request.verb == Verb::kRestore;
+  out.reserve(16 + (carries_bytes ? request.bytes.size() : 0));
   put_u8(out, static_cast<std::uint8_t>(request.verb));
   put_u32(out, request.session);
   switch (request.verb) {
@@ -102,6 +105,7 @@ std::string encode_request(const Request& request) {
       put_u8(out, static_cast<std::uint8_t>(request.open.engine));
       break;
     case Verb::kFeed:
+    case Verb::kRestore:
       out.append(request.bytes);
       break;
     case Verb::kDrain:
@@ -109,6 +113,7 @@ std::string encode_request(const Request& request) {
       break;
     case Verb::kClose:
     case Verb::kStats:
+    case Verb::kSnapshot:
       break;
   }
   return out;
@@ -122,7 +127,7 @@ bool decode_request(const std::string& payload, Request& out,
   if (!c.get_u8(verb) || !c.get_u32(out.session))
     return fail(error, "request shorter than the verb+session header");
   if (verb < static_cast<std::uint8_t>(Verb::kOpen) ||
-      verb > static_cast<std::uint8_t>(Verb::kStats))
+      verb > static_cast<std::uint8_t>(Verb::kRestore))
     return fail(error, "unknown request verb");
   out.verb = static_cast<Verb>(verb);
   switch (out.verb) {
@@ -143,6 +148,7 @@ bool decode_request(const std::string& payload, Request& out,
       break;
     }
     case Verb::kFeed:
+    case Verb::kRestore:
       out.bytes.assign(payload, c.pos, payload.size() - c.pos);
       c.pos = c.size;
       break;
@@ -152,6 +158,7 @@ bool decode_request(const std::string& payload, Request& out,
       break;
     case Verb::kClose:
     case Verb::kStats:
+    case Verb::kSnapshot:
       break;
   }
   if (c.remaining() != 0)
@@ -196,6 +203,11 @@ std::string encode_response(const Response& response) {
     case Verb::kStats:
       out.append(response.message);
       break;
+    case Verb::kSnapshot:
+      out.append(response.blob);
+      break;
+    case Verb::kRestore:
+      break;
   }
   return out;
 }
@@ -209,9 +221,9 @@ bool decode_response(const std::string& payload, Response& out,
   if (!c.get_u8(verb) || !c.get_u8(status) || !c.get_u32(out.session))
     return fail(error, "response shorter than the verb+status+session header");
   if (verb < static_cast<std::uint8_t>(Verb::kOpen) ||
-      verb > static_cast<std::uint8_t>(Verb::kStats))
+      verb > static_cast<std::uint8_t>(Verb::kRestore))
     return fail(error, "response echoes an unknown verb");
-  if (status > static_cast<std::uint8_t>(ServiceStatus::kDecodeReject))
+  if (status > static_cast<std::uint8_t>(ServiceStatus::kSnapshotReject))
     return fail(error, "unknown response status");
   out.verb = static_cast<Verb>(verb);
   out.status = static_cast<ServiceStatus>(status);
@@ -272,6 +284,11 @@ bool decode_response(const std::string& payload, Response& out,
     case Verb::kStats:
       out.message.assign(payload, c.pos, payload.size() - c.pos);
       return true;
+    case Verb::kSnapshot:
+      out.blob.assign(payload, c.pos, payload.size() - c.pos);
+      return true;
+    case Verb::kRestore:
+      break;
   }
   if (c.remaining() != 0)
     return fail(error, "trailing bytes after the response body");

@@ -14,6 +14,11 @@
 //     DRAIN body := max_reports:u32le (0 = all pending)
 //     CLOSE body := empty
 //     STATS body := empty
+//     SNAPSHOT body := empty (serialize session `session` to a blob)
+//     RESTORE  body := snapshot blob bytes (service/snapshot.hpp); the
+//                      session field is ignored — the restored session gets
+//                      a FRESH id (the response header carries it), which is
+//                      how a snapshot migrates between workers
 //
 // Response payload:
 //
@@ -27,6 +32,9 @@
 //                         ordinal:u64le
 //     OK+CLOSE  body := complete:u8  events:u64le  reports:u64le
 //     OK+STATS  body := utf-8 metrics JSON
+//     OK+SNAPSHOT body := the snapshot blob (self-framing: magic + length +
+//                         CRC32C, see service/snapshot.hpp)
+//     OK+RESTORE  body := empty (the fresh session id is the header field)
 //
 // Both sides decode defensively: any malformed payload yields a structured
 // decode failure (the server answers kBadFrame, it never crashes), and
@@ -51,6 +59,8 @@ enum class Verb : std::uint8_t {
   kDrain = 3,
   kClose = 4,
   kStats = 5,
+  kSnapshot = 6,  ///< serialize a live session to a portable blob
+  kRestore = 7,   ///< recreate a session (fresh id) from a snapshot blob
 };
 
 enum class ServiceStatus : std::uint8_t {
@@ -63,6 +73,8 @@ enum class ServiceStatus : std::uint8_t {
   kBackpressure = 6,    ///< feed refused until the client drains reports
   kLintReject = 7,      ///< session stream failed the trace linter
   kDecodeReject = 8,    ///< session stream failed the binary decoder
+  kSnapshotReject = 9,  ///< snapshot/restore failed (message leads with the
+                        ///< stable K-code, see service/snapshot.hpp)
 };
 
 /// Stable kebab-case id, e.g. "quota-evicted".
@@ -84,7 +96,8 @@ struct Request {
   Verb verb = Verb::kStats;
   std::uint32_t session = 0;
   OpenRequest open;            ///< kOpen only
-  std::string bytes;           ///< kFeed only: binary-trace wire bytes
+  std::string bytes;           ///< kFeed: binary-trace wire bytes;
+                               ///< kRestore: a snapshot blob
   std::uint32_t max_reports = 0;  ///< kDrain only (0 = all pending)
 };
 
@@ -110,6 +123,7 @@ struct Response {
   ServiceStatus status = ServiceStatus::kOk;
   std::uint32_t session = 0;
   std::string message;  ///< error detail, or the stats JSON
+  std::string blob;     ///< kSnapshot only: the session snapshot bytes
   FeedResult feed;
   DrainResult drain;
   CloseResult close;

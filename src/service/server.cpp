@@ -3,19 +3,28 @@
 #include <cerrno>
 #include <cstring>
 #include <istream>
+#include <map>
 #include <mutex>
 #include <ostream>
-#include <thread>
+#include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 namespace race2d {
 
-std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
-                         DetectionService& service) {
+namespace {
+
+template <typename Handler>
+std::uint64_t serve_pipe_impl(std::istream& in, std::ostream& out,
+                              Handler&& handle_frame) {
   std::uint64_t answered = 0;
   std::string payload;
   std::string error;
@@ -30,137 +39,397 @@ std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
       ++answered;
       break;  // frame boundaries are lost; stop parsing the stream
     }
-    write_frame(out, encode_response(service.handle_frame(payload)));
+    write_frame(out, encode_response(handle_frame(payload)));
     out.flush();  // pipe clients lockstep on responses
     ++answered;
   }
   return answered;
 }
 
+}  // namespace
+
+std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
+                         DetectionService& service) {
+  return serve_pipe_impl(
+      in, out, [&service](const std::string& p) { return service.handle_frame(p); });
+}
+
+std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
+                         WorkerPool& pool) {
+  return serve_pipe_impl(
+      in, out, [&pool](const std::string& p) { return pool.handle_frame(p); });
+}
+
 namespace {
 
-bool read_exact(int fd, void* buf, std::size_t size, bool& clean_eof) {
-  unsigned char* p = static_cast<unsigned char*>(buf);
-  std::size_t got = 0;
-  clean_eof = false;
-  while (got < size) {
-    const ssize_t n = ::read(fd, p + got, size - got);
-    if (n == 0) {
-      clean_eof = got == 0;
-      return false;
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    got += static_cast<std::size_t>(n);
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Response bad_frame(std::string message) {
+  Response r;
+  r.status = ServiceStatus::kBadFrame;
+  r.message = std::move(message);
+  return r;
+}
+
+/// One multiplexed connection. Owned entirely by the epoll thread; worker
+/// threads only ever touch the completion queue.
+struct Conn {
+  int fd = -1;
+  std::string in;  ///< reassembly buffer: bytes not yet framed
+  std::uint64_t next_request_seq = 0;  ///< seq of the next parsed request
+  std::uint64_t next_flush_seq = 0;    ///< next response due on the wire
+  std::map<std::uint64_t, std::string> ready;  ///< encoded, awaiting order
+  std::string out;  ///< wire bytes the socket has not accepted yet
+  std::size_t out_pos = 0;
+  bool want_write = false;  ///< EPOLLOUT interest currently registered
+  bool peer_eof = false;
+  bool broken = false;  ///< framing failed: answer, flush, then drop
+  std::uint64_t inflight = 0;  ///< submitted to the pool, not yet completed
+  std::set<std::uint32_t> sessions;  ///< opened/restored via this connection
+};
+
+struct Completion {
+  std::uint64_t conn = 0;
+  std::uint64_t seq = 0;
+  Response response;
+};
+
+/// The epoll loop's whole state. Single-threaded except `completions`.
+struct EpollServer {
+  WorkerPool& pool;
+  int epfd = -1;
+  int listener = -1;
+  int wake_fd = -1;  ///< eventfd: worker completions ring the epoll thread
+  std::unordered_map<std::uint64_t, Conn> conns;  ///< by connection id
+  std::unordered_map<int, std::uint64_t> by_fd;
+  std::uint64_t next_conn_id = 1;
+
+  std::mutex completions_mu;
+  std::vector<Completion> completions;
+
+  explicit EpollServer(WorkerPool& p) : pool(p) {}
+
+  void update_interest(Conn& c) {
+    const bool want = !c.out.empty() || !c.ready.empty();
+    if (want == c.want_write) return;
+    c.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev);
   }
-  return true;
-}
 
-bool write_all(int fd, const void* buf, std::size_t size) {
-  const unsigned char* p = static_cast<const unsigned char*>(buf);
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::write(fd, p + sent, size - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+  /// Appends every in-order completed response to the wire buffer and
+  /// pushes bytes into the socket until it would block.
+  void flush(Conn& c) {
+    for (auto it = c.ready.begin();
+         it != c.ready.end() && it->first == c.next_flush_seq;) {
+      c.out.append(it->second);
+      ++c.next_flush_seq;
+      it = c.ready.erase(it);
     }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-bool send_response(int fd, const Response& r) {
-  const std::string payload = encode_response(r);
-  unsigned char len[4];
-  for (int i = 0; i < 4; ++i)
-    len[i] = static_cast<unsigned char>((payload.size() >> (8 * i)) & 0xffu);
-  return write_all(fd, len, 4) && write_all(fd, payload.data(), payload.size());
-}
-
-/// One connection's frame loop; the shared service is mutex-guarded.
-void serve_connection(int fd, DetectionService& service, std::mutex& mu) {
-  std::string payload;
-  for (;;) {
-    unsigned char lenbuf[4];
-    bool clean_eof = false;
-    if (!read_exact(fd, lenbuf, 4, clean_eof)) {
-      if (!clean_eof) {
-        Response r;
-        r.status = ServiceStatus::kBadFrame;
-        r.message = "connection ended inside a frame length prefix";
-        send_response(fd, r);
+    while (c.out_pos < c.out.size()) {
+      // MSG_NOSIGNAL: a peer that disconnects before reading its responses
+      // must surface as EPIPE here, not as a SIGPIPE that kills the daemon.
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_pos,
+                               c.out.size() - c.out_pos, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        c.broken = true;  // peer vanished mid-write
+        c.out.clear();
+        c.out_pos = 0;
+        break;
       }
-      break;
+      c.out_pos += static_cast<std::size_t>(n);
     }
-    std::uint32_t len = 0;
-    for (int i = 0; i < 4; ++i)
-      len |= static_cast<std::uint32_t>(lenbuf[i]) << (8 * i);
-    if (len > kMaxFrameBytes) {
-      Response r;
-      r.status = ServiceStatus::kBadFrame;
-      r.message = "frame length exceeds the cap";
-      send_response(fd, r);
-      break;
+    if (c.out_pos == c.out.size()) {
+      c.out.clear();
+      c.out_pos = 0;
     }
-    payload.resize(len);
-    if (len > 0 && !read_exact(fd, payload.data(), len, clean_eof)) {
-      Response r;
-      r.status = ServiceStatus::kBadFrame;
-      r.message = "connection ended inside a frame payload";
-      send_response(fd, r);
-      break;
-    }
-    Response response;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      response = service.handle_frame(payload);
-    }
-    if (!send_response(fd, response)) break;
+    update_interest(c);
   }
-  ::close(fd);
-}
+
+  /// Queues `response` as the answer to request `seq` of connection `id`.
+  /// Never destroys the connection — callers re-find it and maybe_close()
+  /// once they are done holding references into it.
+  void complete(std::uint64_t id, std::uint64_t seq, Response&& response) {
+    auto it = conns.find(id);
+    if (it == conns.end()) {
+      // Connection died while the request was in flight. If the response
+      // created a session (OPEN/RESTORE raced a disconnect), close it so a
+      // vanished client cannot leak sessions.
+      if (response.status == ServiceStatus::kOk &&
+          (response.verb == Verb::kOpen || response.verb == Verb::kRestore)) {
+        Request close;
+        close.verb = Verb::kClose;
+        close.session = response.session;
+        pool.submit(std::move(close), nullptr);
+      }
+      return;
+    }
+    Conn& c = it->second;
+    c.inflight--;
+    track_sessions(c, response);
+    std::string payload = encode_response(response);
+    std::string framed;
+    framed.reserve(4 + payload.size());
+    for (int i = 0; i < 4; ++i)
+      framed.push_back(
+          static_cast<char>((payload.size() >> (8 * i)) & 0xffu));
+    framed.append(payload);
+    c.ready.emplace(seq, std::move(framed));
+    flush(c);
+  }
+
+  /// Session ownership bookkeeping from the response stream.
+  static void track_sessions(Conn& c, const Response& r) {
+    if (r.status == ServiceStatus::kOk &&
+        (r.verb == Verb::kOpen || r.verb == Verb::kRestore))
+      c.sessions.insert(r.session);
+    if (r.verb == Verb::kClose) c.sessions.erase(r.session);
+    // An evicted session is already gone server-side; stop tracking so the
+    // disconnect cleanup does not re-close it.
+    if (r.status == ServiceStatus::kQuotaEvicted) c.sessions.erase(r.session);
+  }
+
+  /// Parses complete frames out of the reassembly buffer and submits them.
+  void ingest(std::uint64_t id, Conn& c) {
+    std::size_t pos = 0;
+    while (!c.broken) {
+      if (c.in.size() - pos < 4) break;
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(c.in[pos + static_cast<std::size_t>(i)]))
+               << (8 * i);
+      if (len > kMaxFrameBytes) {
+        pool.count_frame(true);
+        const std::uint64_t seq = c.next_request_seq++;
+        c.inflight++;  // balanced by the local completion below
+        c.broken = true;
+        complete(id, seq, bad_frame("frame length exceeds the cap"));
+        break;
+      }
+      if (c.in.size() - pos - 4 < len) break;  // partial frame: wait
+      const std::string payload = c.in.substr(pos + 4, len);
+      pos += 4 + len;
+      const std::uint64_t seq = c.next_request_seq++;
+      c.inflight++;
+      Request request;
+      std::string error;
+      if (!decode_request(payload, request, error)) {
+        pool.count_frame(true);
+        // Framing is intact — answer and keep the stream alive.
+        complete(id, seq, bad_frame(std::move(error)));
+        continue;
+      }
+      pool.count_frame(false);
+      pool.submit(std::move(request), [this, id, seq](Response r) {
+        {
+          std::lock_guard<std::mutex> lock(completions_mu);
+          Completion done;
+          done.conn = id;
+          done.seq = seq;
+          done.response = std::move(r);
+          completions.push_back(std::move(done));
+        }
+        const std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+      });
+    }
+    c.in.erase(0, pos);
+  }
+
+  void on_readable(std::uint64_t id) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Conn& c = it->second;
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        if (!c.broken) c.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        c.peer_eof = true;
+        if (!c.in.empty() && !c.broken) {
+          // Bytes left that can never complete a frame: truncated frame.
+          ingest(id, c);
+          if (!c.in.empty() && !c.broken) {
+            pool.count_frame(true);
+            const std::uint64_t seq = c.next_request_seq++;
+            c.inflight++;
+            c.broken = true;
+            complete(id, seq, bad_frame("connection ended inside a frame"));
+          }
+        }
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      c.peer_eof = true;  // hard error: treat as disconnect
+      break;
+    }
+    if (!c.peer_eof) ingest(id, c);
+    it = conns.find(id);  // complete() never erases, but stay paranoid
+    if (it != conns.end()) maybe_close(it);
+  }
+
+  /// Destroys the connection once nothing is pending: closes its sessions
+  /// (fire-and-forget), closes the fd, forgets the state.
+  void maybe_close(std::unordered_map<std::uint64_t, Conn>::iterator it) {
+    Conn& c = it->second;
+    const bool done_sending = c.ready.empty() && c.out.empty();
+    if (!(c.peer_eof || c.broken) || c.inflight != 0 || !done_sending) return;
+    for (const std::uint32_t session : c.sessions) {
+      Request close;
+      close.verb = Verb::kClose;
+      close.session = session;
+      pool.submit(std::move(close), nullptr);
+    }
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+    by_fd.erase(c.fd);
+    ::close(c.fd);
+    conns.erase(it);
+  }
+
+  void accept_all() {
+    for (;;) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or listener trouble — back to the loop
+      }
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      const std::uint64_t id = next_conn_id++;
+      Conn c;
+      c.fd = fd;
+      conns.emplace(id, std::move(c));
+      by_fd.emplace(fd, id);
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+    }
+  }
+
+  void drain_completions() {
+    std::uint64_t drainer = 0;
+    [[maybe_unused]] ssize_t n = ::read(wake_fd, &drainer, sizeof(drainer));
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu);
+      batch.swap(completions);
+    }
+    for (Completion& done : batch) {
+      complete(done.conn, done.seq, std::move(done.response));
+      auto it = conns.find(done.conn);
+      if (it != conns.end()) maybe_close(it);
+    }
+  }
+};
 
 }  // namespace
 
-int serve_unix_socket(const std::string& path, DetectionService& service,
-                      std::ostream& log) {
+int serve_unix_socket(const std::string& path, WorkerPool& pool,
+                      std::ostream& log, const std::atomic<bool>* stop) {
   sockaddr_un addr{};
   if (path.size() >= sizeof(addr.sun_path)) {
     log << "socket path too long: " << path << "\n";
     return -1;
   }
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
+  EpollServer server(pool);
+  server.listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (server.listener < 0) {
     log << "socket(): " << std::strerror(errno) << "\n";
     return -1;
   }
   ::unlink(path.c_str());
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+  if (::bind(server.listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listener, 16) != 0) {
+      ::listen(server.listener, 64) != 0 ||
+      !set_nonblocking(server.listener)) {
     log << "bind/listen " << path << ": " << std::strerror(errno) << "\n";
-    ::close(listener);
+    ::close(server.listener);
     return -1;
   }
-  log << "race2dd listening on " << path << "\n";
-  std::mutex mu;
-  std::vector<std::thread> workers;
-  for (;;) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener torn down (e.g. by a signal) — shut down
-    }
-    workers.emplace_back(
-        [fd, &service, &mu] { serve_connection(fd, service, mu); });
+  server.epfd = ::epoll_create1(0);
+  server.wake_fd = ::eventfd(0, EFD_NONBLOCK);
+  if (server.epfd < 0 || server.wake_fd < 0) {
+    log << "epoll/eventfd: " << std::strerror(errno) << "\n";
+    if (server.epfd >= 0) ::close(server.epfd);
+    if (server.wake_fd >= 0) ::close(server.wake_fd);
+    ::close(server.listener);
+    return -1;
   }
-  ::close(listener);
-  for (std::thread& t : workers) t.join();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = server.listener;
+  ::epoll_ctl(server.epfd, EPOLL_CTL_ADD, server.listener, &ev);
+  ev.events = EPOLLIN;
+  ev.data.fd = server.wake_fd;
+  ::epoll_ctl(server.epfd, EPOLL_CTL_ADD, server.wake_fd, &ev);
+
+  log << "race2dd listening on " << path << " (" << pool.worker_count()
+      << " worker(s))\n";
+
+  epoll_event events[64];
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+    const int n = ::epoll_wait(server.epfd, events, 64, 50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == server.listener) {
+        server.accept_all();
+        continue;
+      }
+      if (fd == server.wake_fd) {
+        server.drain_completions();
+        continue;
+      }
+      auto idit = server.by_fd.find(fd);
+      if (idit == server.by_fd.end()) continue;
+      const std::uint64_t id = idit->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        auto it = server.conns.find(id);
+        if (it != server.conns.end()) {
+          it->second.peer_eof = true;
+          server.on_readable(id);  // drain whatever is still buffered
+          it = server.conns.find(id);
+          if (it != server.conns.end()) server.maybe_close(it);
+        }
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) server.on_readable(id);
+      if ((events[i].events & EPOLLOUT) != 0) {
+        auto it = server.conns.find(id);
+        if (it != server.conns.end()) {
+          server.flush(it->second);
+          server.maybe_close(it);
+        }
+      }
+    }
+  }
+
+  for (auto& [id, c] : server.conns) ::close(c.fd);
+  ::close(server.wake_fd);
+  ::close(server.epfd);
+  ::close(server.listener);
+  ::unlink(path.c_str());
   return 0;
 }
 

@@ -1,24 +1,35 @@
-// Frame transports for the DetectionService.
+// Frame transports for the DetectionService / WorkerPool.
 //
 //  * serve_pipe — frames over an (istream, ostream) pair: race2dd's stdin
 //    pipe mode, and what tests and the check.sh smoke stage drive. Strictly
 //    sequential, so a fixed request script yields a byte-deterministic
-//    response stream.
+//    response stream. Two forms: over one DetectionService (single-core),
+//    or over a WorkerPool (requests still lockstep — the pipe client waits
+//    for each response).
 //
-//  * serve_unix_socket — an AF_UNIX listener; one thread per connection,
-//    the service guarded by a mutex (sessions are cheap to dispatch into;
-//    the coarse lock keeps the governance invariants trivially safe).
+//  * serve_unix_socket — an AF_UNIX listener multiplexed by ONE epoll
+//    thread over a WorkerPool. The epoll thread owns every connection:
+//    non-blocking reads, frame reassembly (partial frames across arbitrary
+//    byte splits), request decode and pool submission; worker completions
+//    come back over an eventfd and are flushed IN REQUEST ORDER per
+//    connection (a per-connection sequence number reorders responses that
+//    finished on different shards). A disconnect closes the connection's
+//    own sessions — no leak — and never touches other connections'.
 //
 // Both transports answer a malformed frame (bad length prefix, truncated
-// payload, undecodable request) with a kBadFrame response and then drop the
-// byte stream — after a framing error the boundary of the next frame is
-// unknowable, so continuing would misparse everything after it.
+// payload at EOF, oversized length) with a kBadFrame response and then drop
+// the byte stream — after a framing error the boundary of the next frame is
+// unknowable, so continuing would misparse everything after it. A payload
+// that frames correctly but fails request decode answers kBadFrame and the
+// stream continues (the framing layer is intact).
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 
 #include "service/service.hpp"
+#include "service/worker_pool.hpp"
 
 namespace race2d {
 
@@ -26,11 +37,16 @@ namespace race2d {
 /// answered.
 std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
                          DetectionService& service);
+std::uint64_t serve_pipe(std::istream& in, std::ostream& out,
+                         WorkerPool& pool);
 
-/// Binds `path` (unlinking any stale socket first), accepts until accept()
-/// fails. Returns 0 on a clean shutdown, -1 with a message on `log` if the
-/// socket could not be set up. Blocks the calling thread.
-int serve_unix_socket(const std::string& path, DetectionService& service,
-                      std::ostream& log);
+/// Binds `path` (unlinking any stale socket first) and serves connections
+/// over epoll until `*stop` becomes true (checked every poll tick; pass
+/// nullptr to serve forever). Returns 0 on a clean shutdown, -1 with a
+/// message on `log` if the socket could not be set up. Blocks the calling
+/// thread.
+int serve_unix_socket(const std::string& path, WorkerPool& pool,
+                      std::ostream& log,
+                      const std::atomic<bool>* stop = nullptr);
 
 }  // namespace race2d

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "service/snapshot.hpp"
+#include "support/assert.hpp"
+
 namespace race2d {
 
 namespace {
@@ -20,17 +23,30 @@ Response make_error(Verb verb, std::uint32_t session, ServiceStatus status,
   return r;
 }
 
+void bump(std::atomic<std::uint64_t>& counter, std::uint64_t by = 1) {
+  counter.fetch_add(by, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 DetectionService::DetectionService(ServiceLimits limits)
     : limits_(limits), start_(std::chrono::steady_clock::now()) {}
 
+void DetectionService::configure_session_ids(std::uint32_t first,
+                                             std::uint32_t stride) {
+  R2D_REQUIRE(stride >= 1, "configure_session_ids: stride must be >= 1");
+  R2D_REQUIRE(sessions_.empty() && next_session_ == 1,
+              "configure_session_ids: call before any session exists");
+  next_session_ = first;
+  session_stride_ = stride;
+}
+
 Response DetectionService::handle_frame(const std::string& payload) {
-  ++frames_;
+  bump(frames_);
   Request request;
   std::string error;
   if (!decode_request(payload, request, error)) {
-    ++bad_frames_;
+    bump(bad_frames_);
     return make_error(Verb::kStats, 0, ServiceStatus::kBadFrame, error);
   }
   return handle(request);
@@ -38,13 +54,15 @@ Response DetectionService::handle_frame(const std::string& payload) {
 
 Response DetectionService::handle(const Request& request) {
   switch (request.verb) {
-    case Verb::kOpen:  return do_open(request);
-    case Verb::kFeed:  return do_feed(request);
-    case Verb::kDrain: return do_drain(request);
-    case Verb::kClose: return do_close(request);
-    case Verb::kStats: return do_stats(request);
+    case Verb::kOpen:     return do_open(request);
+    case Verb::kFeed:     return do_feed(request);
+    case Verb::kDrain:    return do_drain(request);
+    case Verb::kClose:    return do_close(request);
+    case Verb::kStats:    return do_stats(request);
+    case Verb::kSnapshot: return do_snapshot(request);
+    case Verb::kRestore:  return do_restore(request);
   }
-  ++bad_frames_;
+  bump(bad_frames_);
   return make_error(Verb::kStats, request.session, ServiceStatus::kUnknownVerb,
                     "request verb outside the protocol");
 }
@@ -66,42 +84,74 @@ DetectionService::Slot* DetectionService::find(std::uint32_t id, Verb verb,
   return nullptr;
 }
 
+void DetectionService::remeasure(Slot& slot) {
+  const std::size_t now = slot.session->memory_bytes();
+  if (now >= slot.last_bytes)
+    resident_bytes_.fetch_add(now - slot.last_bytes,
+                              std::memory_order_relaxed);
+  else
+    resident_bytes_.fetch_sub(slot.last_bytes - now,
+                              std::memory_order_relaxed);
+  slot.last_bytes = now;
+}
+
+void DetectionService::drop(std::map<std::uint32_t, Slot>::iterator it) {
+  resident_bytes_.fetch_sub(it->second.last_bytes, std::memory_order_relaxed);
+  sessions_.erase(it);
+  live_sessions_.store(sessions_.size(), std::memory_order_relaxed);
+}
+
+std::uint32_t DetectionService::install(
+    std::unique_ptr<DetectionSession> session, std::size_t quota_bytes) {
+  const std::uint32_t id = next_session_;
+  next_session_ += session_stride_;
+  Slot slot;
+  slot.quota_bytes = quota_bytes;
+  slot.session = std::move(session);
+  auto [it, inserted] = sessions_.emplace(id, std::move(slot));
+  R2D_ASSERT(inserted);
+  live_sessions_.store(sessions_.size(), std::memory_order_relaxed);
+  remeasure(it->second);
+  return id;
+}
+
 void DetectionService::evict(std::uint32_t id, const std::string& reason) {
-  sessions_.erase(id);
-  ++sessions_evicted_;
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) drop(it);
+  bump(sessions_evicted_);
   while (evicted_.size() >= kMaxTombstones) evicted_.erase(evicted_.begin());
   evicted_[id] = reason;
 }
 
+std::size_t DetectionService::evict_heaviest() {
+  if (sessions_.empty()) return 0;
+  auto heaviest = sessions_.begin();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second.last_bytes > heaviest->second.last_bytes) heaviest = it;
+  }
+  const std::size_t bytes = heaviest->second.last_bytes;
+  std::ostringstream os;
+  os << "evicted: global budget exceeded; this session was largest at "
+     << bytes << " bytes";
+  evict(heaviest->first, os.str());
+  return bytes;
+}
+
 void DetectionService::enforce_global_quota() {
   // Evict the heaviest session (lowest id on ties — std::map iteration
-  // order makes this deterministic) until the sum fits the budget.
-  while (!sessions_.empty()) {
-    std::size_t sum = 0;
-    auto heaviest = sessions_.end();
-    std::size_t heaviest_bytes = 0;
-    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-      const std::size_t bytes = it->second.session->memory_bytes();
-      sum += bytes;
-      if (bytes > heaviest_bytes) {
-        heaviest_bytes = bytes;
-        heaviest = it;
-      }
-    }
-    if (sum <= limits_.total_quota_bytes) return;
-    std::ostringstream os;
-    os << "evicted: global budget exceeded (" << sum << " bytes across "
-       << sessions_.size() << " session(s), budget "
-       << limits_.total_quota_bytes << "); this session was largest at "
-       << heaviest_bytes << " bytes";
-    evict(heaviest->first, os.str());
+  // order makes this deterministic) until the sum fits the budget. The sum
+  // is the incrementally-maintained resident counter, so the sweep is
+  // O(sessions) per eviction, not per feed.
+  while (!sessions_.empty() &&
+         resident_bytes() > limits_.total_quota_bytes) {
+    if (evict_heaviest() == 0) break;
   }
 }
 
 void DetectionService::note_reject(ServiceStatus status) {
-  if (status == ServiceStatus::kLintReject) ++lint_rejects_;
-  if (status == ServiceStatus::kDecodeReject) ++decode_rejects_;
-  if (status == ServiceStatus::kBackpressure) ++backpressure_hits_;
+  if (status == ServiceStatus::kLintReject) bump(lint_rejects_);
+  if (status == ServiceStatus::kDecodeReject) bump(decode_rejects_);
+  if (status == ServiceStatus::kBackpressure) bump(backpressure_hits_);
 }
 
 Response DetectionService::do_open(const Request& request) {
@@ -110,17 +160,17 @@ Response DetectionService::do_open(const Request& request) {
     os << "live-session cap reached (" << limits_.max_sessions << ")";
     return make_error(Verb::kOpen, 0, ServiceStatus::kSessionLimit, os.str());
   }
-  const std::uint32_t id = next_session_++;
-  Slot slot;
-  slot.quota_bytes =
+  const std::size_t quota =
       request.open.quota_bytes != 0
           ? std::min<std::size_t>(request.open.quota_bytes,
                                   limits_.session_quota_bytes)
           : limits_.session_quota_bytes;
-  slot.session = std::make_unique<DetectionSession>(
-      request.open.policy, limits_.max_pending_reports, request.open.engine);
-  sessions_.emplace(id, std::move(slot));
-  ++sessions_opened_;
+  const std::uint32_t id =
+      install(std::make_unique<DetectionSession>(request.open.policy,
+                                                 limits_.max_pending_reports,
+                                                 request.open.engine),
+              quota);
+  bump(sessions_opened_);
   Response r;
   r.verb = Verb::kOpen;
   r.session = id;
@@ -131,9 +181,10 @@ Response DetectionService::do_feed(const Request& request) {
   Response failure;
   Slot* slot = find(request.session, Verb::kFeed, failure);
   if (slot == nullptr) return failure;
-  bytes_in_ += request.bytes.size();
+  bump(bytes_in_, request.bytes.size());
   DetectionSession::FeedOutcome outcome = slot->session->feed(request.bytes);
-  events_ += outcome.events;
+  bump(events_, outcome.events);
+  remeasure(*slot);
   if (outcome.status != ServiceStatus::kOk) {
     note_reject(outcome.status);
     return make_error(Verb::kFeed, request.session, outcome.status,
@@ -142,7 +193,7 @@ Response DetectionService::do_feed(const Request& request) {
   // Quota checks AFTER the feed: the session's footprint is only known once
   // the bytes are ingested. Graceful, not preventive — one frame of
   // overshoot, never unbounded growth.
-  const std::size_t bytes = slot->session->memory_bytes();
+  const std::size_t bytes = slot->last_bytes;
   if (bytes > slot->quota_bytes) {
     std::ostringstream os;
     os << "evicted: session footprint " << bytes
@@ -178,7 +229,8 @@ Response DetectionService::do_drain(const Request& request) {
   r.verb = Verb::kDrain;
   r.session = request.session;
   r.drain.reports = slot->session->drain(request.max_reports, r.drain.more);
-  reports_out_ += r.drain.reports.size();
+  remeasure(*slot);
+  bump(reports_out_, r.drain.reports.size());
   return r;
 }
 
@@ -187,8 +239,8 @@ Response DetectionService::do_close(const Request& request) {
   Slot* slot = find(request.session, Verb::kClose, failure);
   if (slot == nullptr) return failure;
   DetectionSession::CloseOutcome outcome = slot->session->close();
-  sessions_.erase(request.session);
-  ++sessions_closed_;
+  drop(sessions_.find(request.session));
+  bump(sessions_closed_);
   if (outcome.status != ServiceStatus::kOk) {
     note_reject(outcome.status);
     return make_error(Verb::kClose, request.session, outcome.status,
@@ -211,35 +263,87 @@ Response DetectionService::do_stats(const Request& request) {
   return r;
 }
 
-std::size_t DetectionService::resident_bytes() const {
-  std::size_t sum = 0;
-  for (const auto& [id, slot] : sessions_) sum += slot.session->memory_bytes();
-  return sum;
+Response DetectionService::do_snapshot(const Request& request) {
+  Response failure;
+  Slot* slot = find(request.session, Verb::kSnapshot, failure);
+  if (slot == nullptr) return failure;
+  if (slot->session->poisoned()) {
+    note_reject(ServiceStatus::kSnapshotReject);
+    return make_error(Verb::kSnapshot, request.session,
+                      ServiceStatus::kSnapshotReject,
+                      "K008: session not snapshotable (poisoned)");
+  }
+  std::string blob = snapshot_session(*slot->session);
+  if (blob.size() > kMaxFrameBytes - 16) {
+    std::ostringstream os;
+    os << "K008: session not snapshotable (" << blob.size()
+       << "-byte snapshot exceeds the frame cap)";
+    return make_error(Verb::kSnapshot, request.session,
+                      ServiceStatus::kSnapshotReject, os.str());
+  }
+  bump(snapshots_);
+  Response r;
+  r.verb = Verb::kSnapshot;
+  r.session = request.session;
+  r.blob = std::move(blob);
+  return r;
+}
+
+Response DetectionService::do_restore(const Request& request) {
+  if (sessions_.size() >= limits_.max_sessions) {
+    std::ostringstream os;
+    os << "live-session cap reached (" << limits_.max_sessions << ")";
+    return make_error(Verb::kRestore, 0, ServiceStatus::kSessionLimit,
+                      os.str());
+  }
+  RestoreOutcome outcome = restore_session(request.bytes);
+  if (!outcome.session) {
+    note_reject(ServiceStatus::kSnapshotReject);
+    return make_error(Verb::kRestore, 0, ServiceStatus::kSnapshotReject,
+                      std::move(outcome.error));
+  }
+  const std::uint32_t id =
+      install(std::move(outcome.session), limits_.session_quota_bytes);
+  bump(restores_);
+  Response r;
+  r.verb = Verb::kRestore;
+  r.session = id;
+  return r;
 }
 
 std::string DetectionService::metrics_json() const {
   const double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  const std::uint64_t events = events_.load(std::memory_order_relaxed);
   const double events_per_second =
-      uptime > 0.0 ? static_cast<double>(events_) / uptime : 0.0;
+      uptime > 0.0 ? static_cast<double>(events) / uptime : 0.0;
+  // Atomics only: this runs concurrently with feeds on the owning thread
+  // (the pool's stats aggregator), so it must not touch the session map.
   std::ostringstream os;
   os << "{"
      << "\"uptime_seconds\":" << uptime
-     << ",\"frames\":" << frames_
-     << ",\"bad_frames\":" << bad_frames_
-     << ",\"bytes_in\":" << bytes_in_
-     << ",\"events\":" << events_
+     << ",\"frames\":" << frames_.load(std::memory_order_relaxed)
+     << ",\"bad_frames\":" << bad_frames_.load(std::memory_order_relaxed)
+     << ",\"bytes_in\":" << bytes_in_.load(std::memory_order_relaxed)
+     << ",\"events\":" << events
      << ",\"events_per_second\":" << events_per_second
-     << ",\"reports_out\":" << reports_out_
-     << ",\"live_sessions\":" << sessions_.size()
+     << ",\"reports_out\":" << reports_out_.load(std::memory_order_relaxed)
+     << ",\"live_sessions\":" << live_sessions()
      << ",\"resident_bytes\":" << resident_bytes()
-     << ",\"sessions_opened\":" << sessions_opened_
-     << ",\"sessions_closed\":" << sessions_closed_
-     << ",\"sessions_evicted\":" << sessions_evicted_
-     << ",\"lint_rejects\":" << lint_rejects_
-     << ",\"decode_rejects\":" << decode_rejects_
-     << ",\"backpressure_hits\":" << backpressure_hits_
+     << ",\"sessions_opened\":"
+     << sessions_opened_.load(std::memory_order_relaxed)
+     << ",\"sessions_closed\":"
+     << sessions_closed_.load(std::memory_order_relaxed)
+     << ",\"sessions_evicted\":"
+     << sessions_evicted_.load(std::memory_order_relaxed)
+     << ",\"lint_rejects\":" << lint_rejects_.load(std::memory_order_relaxed)
+     << ",\"decode_rejects\":"
+     << decode_rejects_.load(std::memory_order_relaxed)
+     << ",\"backpressure_hits\":"
+     << backpressure_hits_.load(std::memory_order_relaxed)
+     << ",\"snapshots\":" << snapshots_.load(std::memory_order_relaxed)
+     << ",\"restores\":" << restores_.load(std::memory_order_relaxed)
      << "}";
   return os.str();
 }

@@ -2,7 +2,7 @@
 // dispatcher.
 //
 // The service is transport-independent — handle() maps one Request to one
-// Response; the pipe and unix-socket servers (server.hpp) only move frames.
+// Response; the pipe and epoll socket servers (server.hpp) only move frames.
 // Its job beyond dispatch is RESOURCE GOVERNANCE:
 //
 //  * live-session cap: open() refuses (kSessionLimit) past max_sessions;
@@ -18,8 +18,18 @@
 //
 // Eviction and rejection are answers, never crashes: every failure mode has
 // a ServiceStatus and a message carrying the stable code that caused it.
+//
+// THREADING. Session state (the map, the slots, the tombstones) is owned by
+// ONE thread — whoever calls handle(); the worker pool pins each service
+// instance to its worker so the hot feed path takes no locks. The observers
+// (metrics_json, live_sessions, resident_bytes) are safe from ANY thread:
+// every counter they read is a relaxed atomic, and the resident-byte sum is
+// maintained incrementally at each state change instead of walking the
+// session map. This is what lets the pool's stats aggregator and global
+// quota monitor read shard metrics concurrently with feeds.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -36,7 +46,9 @@ struct ServiceLimits {
   std::size_t max_sessions = 64;
   /// Default per-session footprint quota; OPEN may lower (not raise) it.
   std::size_t session_quota_bytes = 64u << 20;
-  /// Global budget across all live sessions.
+  /// Global budget across all live sessions. The worker pool disables this
+  /// per-shard check (sets it unlimited) and enforces the budget across
+  /// shards itself, through EvictHeaviest commands.
   std::size_t total_quota_bytes = 256u << 20;
   /// Report backlog per session before feeds bounce with kBackpressure.
   std::size_t max_pending_reports = 1u << 16;
@@ -46,23 +58,43 @@ class DetectionService {
  public:
   explicit DetectionService(ServiceLimits limits = {});
 
-  /// The verb dispatcher. Total: every request gets a response.
+  /// The verb dispatcher. Total: every request gets a response. Must be
+  /// called from the owning thread only (see the threading note above).
   Response handle(const Request& request);
 
   /// Frame-level entry: decodes the request payload first; an undecodable
   /// payload is answered with kBadFrame (and counted), never thrown.
   Response handle_frame(const std::string& payload);
 
-  /// Point-in-time metrics as a single-line JSON object.
+  /// Session ids this instance hands out: first, first+stride, … — how the
+  /// pool makes shard w's ids satisfy id % workers == w (sessions route to
+  /// their shard by id alone). Call before any OPEN; stride >= 1.
+  void configure_session_ids(std::uint32_t first, std::uint32_t stride);
+
+  /// Evicts the single heaviest live session (lowest id on ties); returns
+  /// the bytes freed, 0 when no session is live. The pool's global-budget
+  /// command; owning thread only.
+  std::size_t evict_heaviest();
+
+  /// Point-in-time metrics as a single-line JSON object. Thread-safe.
   std::string metrics_json() const;
 
-  std::size_t live_sessions() const { return sessions_.size(); }
-  std::size_t resident_bytes() const;
+  /// Thread-safe observers (relaxed atomics; see the threading note).
+  std::size_t live_sessions() const {
+    return live_sessions_.load(std::memory_order_relaxed);
+  }
+  std::size_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t events_total() const {
+    return events_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Slot {
     std::unique_ptr<DetectionSession> session;
     std::size_t quota_bytes = 0;
+    std::size_t last_bytes = 0;  ///< footprint folded into resident_bytes_
   };
 
   Response do_open(const Request& request);
@@ -70,6 +102,8 @@ class DetectionService {
   Response do_drain(const Request& request);
   Response do_close(const Request& request);
   Response do_stats(const Request& request);
+  Response do_snapshot(const Request& request);
+  Response do_restore(const Request& request);
 
   /// kUnknownSession / kQuotaEvicted lookup failure for `id`, or nullptr
   /// plus the live slot via `slot`.
@@ -77,6 +111,13 @@ class DetectionService {
   void evict(std::uint32_t id, const std::string& reason);
   void enforce_global_quota();
   void note_reject(ServiceStatus status);
+  /// Re-measures the slot's session and folds the delta into the resident
+  /// sum — the incremental accounting every mutation ends with.
+  void remeasure(Slot& slot);
+  /// Installs a session under a fresh id (OPEN and RESTORE share this).
+  std::uint32_t install(std::unique_ptr<DetectionSession> session,
+                        std::size_t quota_bytes);
+  void drop(std::map<std::uint32_t, Slot>::iterator it);
 
   ServiceLimits limits_;
   std::map<std::uint32_t, Slot> sessions_;  ///< ordered: eviction scans are
@@ -85,19 +126,26 @@ class DetectionService {
   /// client of a long-gone eviction falls back to kUnknownSession.
   std::map<std::uint32_t, std::string> evicted_;
   std::uint32_t next_session_ = 1;
+  std::uint32_t session_stride_ = 1;
 
-  // Monotonic counters; snapshot via metrics_json().
-  std::uint64_t frames_ = 0;
-  std::uint64_t bad_frames_ = 0;
-  std::uint64_t bytes_in_ = 0;
-  std::uint64_t events_ = 0;
-  std::uint64_t reports_out_ = 0;
-  std::uint64_t sessions_opened_ = 0;
-  std::uint64_t sessions_closed_ = 0;
-  std::uint64_t sessions_evicted_ = 0;
-  std::uint64_t lint_rejects_ = 0;
-  std::uint64_t decode_rejects_ = 0;
-  std::uint64_t backpressure_hits_ = 0;
+  // Monotonic counters; any thread may read them (metrics_json), only the
+  // owning thread writes. Relaxed suffices: each is an independent
+  // statistic, no cross-counter invariant is promised to readers.
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> bad_frames_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> reports_out_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+  std::atomic<std::uint64_t> sessions_evicted_{0};
+  std::atomic<std::uint64_t> lint_rejects_{0};
+  std::atomic<std::uint64_t> decode_rejects_{0};
+  std::atomic<std::uint64_t> backpressure_hits_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<std::uint64_t> restores_{0};
+  std::atomic<std::size_t> live_sessions_{0};
+  std::atomic<std::size_t> resident_bytes_{0};
   std::chrono::steady_clock::time_point start_;
 };
 

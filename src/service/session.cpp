@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "support/assert.hpp"
+
 namespace race2d {
 
 namespace {
@@ -93,6 +95,7 @@ DetectionSession::FeedOutcome DetectionSession::feed(const std::string& bytes) {
   } catch (const TraceDecodeError& e) {
     return poison(ServiceStatus::kDecodeReject, e.what());
   }
+  fed_bytes_ += bytes.size();
 
   FeedOutcome out;
   for (const TraceEvent& e : scratch_) {
@@ -158,6 +161,54 @@ DetectionSession::CloseOutcome DetectionSession::close() {
   }
   out.complete = true;
   return out;
+}
+
+DetectionSession::DetectionSession(RestoreTag, ReportPolicy policy,
+                                   std::size_t max_pending_reports,
+                                   DetectorEngine engine)
+    : max_pending_reports_(max_pending_reports),
+      lint_(gate_options()),
+      detector_(engine == DetectorEngine::kDepa
+                    ? std::variant<OnlineRaceDetector, DePaDetector>(
+                          std::in_place_type<DePaDetector>, policy)
+                    : std::variant<OnlineRaceDetector, DePaDetector>(
+                          std::in_place_type<OnlineRaceDetector>, policy)) {
+  // No on_root(): import installs the detector image (root included).
+}
+
+DetectionSession::State DetectionSession::export_state() const {
+  R2D_REQUIRE(!poisoned(), "export_state: poisoned sessions do not snapshot");
+  State s;
+  s.policy = policy();
+  s.engine = engine();
+  s.max_pending_reports = max_pending_reports_;
+  s.events_total = events_total_;
+  s.fed_bytes = fed_bytes_;
+  s.decoder = decoder_.export_state();
+  s.lint = lint_.export_state();
+  if (s.engine == DetectorEngine::kDsu)
+    s.dsu = std::get<OnlineRaceDetector>(detector_).export_state();
+  else
+    s.depa = std::get<DePaDetector>(detector_).export_state();
+  s.pending = pending_;
+  return s;
+}
+
+std::unique_ptr<DetectionSession> DetectionSession::restore(State&& s) {
+  std::unique_ptr<DetectionSession> session(new DetectionSession(
+      RestoreTag{}, s.policy,
+      static_cast<std::size_t>(s.max_pending_reports), s.engine));
+  session->decoder_.import_state(std::move(s.decoder));
+  session->lint_.import_state(std::move(s.lint));
+  if (s.engine == DetectorEngine::kDsu)
+    std::get<OnlineRaceDetector>(session->detector_)
+        .import_state(std::move(s.dsu));
+  else
+    std::get<DePaDetector>(session->detector_).import_state(s.depa);
+  session->pending_ = std::move(s.pending);
+  session->events_total_ = s.events_total;
+  session->fed_bytes_ = s.fed_bytes;
+  return session;
 }
 
 std::size_t DetectionSession::memory_bytes() const {

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -82,7 +83,43 @@ class DetectionSession {
   std::size_t pending_reports() const { return pending_.size(); }
   bool poisoned() const { return poison_status_ != ServiceStatus::kOk; }
 
+  DetectorEngine engine() const {
+    return detector_.index() == 0 ? DetectorEngine::kDsu
+                                  : DetectorEngine::kDepa;
+  }
+  ReportPolicy policy() const {
+    return std::visit([](const auto& d) { return d.reporter().policy(); },
+                      detector_);
+  }
+  /// Wire bytes successfully decoded so far (what a snapshot covers — the
+  /// restoring client resumes its stream at this offset).
+  std::uint64_t fed_bytes() const { return fed_bytes_; }
+
+  /// Plain-data image of the whole session pipeline. Only live, unpoisoned
+  /// sessions are snapshotable — export_state on a poisoned session is a
+  /// contract violation (the service refuses with K008 first).
+  struct State {
+    ReportPolicy policy = ReportPolicy::kAll;
+    DetectorEngine engine = DetectorEngine::kDsu;
+    std::uint64_t max_pending_reports = 0;
+    std::uint64_t events_total = 0;
+    std::uint64_t fed_bytes = 0;
+    BinaryTraceDecoder::Snapshot decoder;
+    TraceLintStream::Snapshot lint;
+    OnlineRaceDetector::State dsu;  ///< engine == kDsu
+    DePaDetector::State depa;       ///< engine == kDepa
+    std::vector<RaceReport> pending;
+  };
+  State export_state() const;
+  /// Builds a session that continues exactly where `s` left off. `s` must
+  /// be validated (the snapshot codec bound-checks every index first).
+  static std::unique_ptr<DetectionSession> restore(State&& s);
+
  private:
+  struct RestoreTag {};
+  DetectionSession(RestoreTag, ReportPolicy policy,
+                   std::size_t max_pending_reports, DetectorEngine engine);
+
   void drive(const TraceEvent& e);
   [[nodiscard]] FeedOutcome poison(ServiceStatus status, std::string message);
 
@@ -93,6 +130,7 @@ class DetectionSession {
   std::vector<TraceEvent> scratch_;  ///< decoded events of the current feed
   std::vector<RaceReport> pending_;  ///< detected, not yet drained
   std::uint64_t events_total_ = 0;
+  std::uint64_t fed_bytes_ = 0;  ///< wire bytes successfully decoded
   ServiceStatus poison_status_ = ServiceStatus::kOk;
   std::string poison_message_;
 };

@@ -1,0 +1,126 @@
+// WorkerPool: the multi-core detection service.
+//
+// N detector worker threads, each owning one DetectionService shard
+// OUTRIGHT — sessions are pinned to shard `session_id % N`, and shard w
+// only ever hands out ids ≡ w (mod N) (configure_session_ids), so a
+// session's entire lifetime happens on one thread and the hot FEED path
+// takes no locks at all. Cross-shard coordination goes through small
+// per-shard MPSC command queues:
+//
+//   * OPEN / RESTORE route round-robin to any shard (RESTORE is how a
+//     snapshot MIGRATES between workers: the restored session gets a fresh
+//     id from whichever shard it lands on);
+//   * FEED / DRAIN / CLOSE / SNAPSHOT route to the owning shard by id;
+//   * STATS aggregates every shard's thread-safe atomic counters on the
+//     calling thread — no queueing, no locks against feeds;
+//   * the pool-wide memory budget is enforced by watching the shards'
+//     atomic resident-byte sums after feeds and posting an EvictHeaviest
+//     command to the heaviest shard's queue (the shard evicts on its own
+//     thread — governance never touches another thread's sessions).
+//
+// submit() is safe from any thread; the completion callback runs on the
+// worker thread that handled the request (or inline on the submitting
+// thread for requests answered without queueing: STATS, pool-wide session
+// cap, undecodable frames). handle()/handle_frame() are the synchronous
+// wrappers the pipe transport and tests use.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+
+namespace race2d {
+
+class WorkerPool {
+ public:
+  /// Spawns `workers` detector threads (>= 1). `limits.max_sessions` and
+  /// `limits.total_quota_bytes` are POOL-WIDE; per-shard enforcement of the
+  /// global budget is disabled and replaced by the command-queue scheme.
+  WorkerPool(std::size_t workers, ServiceLimits limits = {});
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  using Callback = std::function<void(Response)>;
+
+  /// Routes `request` to its shard (see the pinning rules above) and calls
+  /// `done` exactly once with the response. Safe from any thread.
+  void submit(Request request, Callback done);
+
+  /// Like submit, but forces OPEN/RESTORE onto shard `shard` (tests that
+  /// pin a restore to a specific worker). Session-addressed verbs still
+  /// route by id — the pin would break the ownership invariant.
+  void submit_to(std::size_t shard, Request request, Callback done);
+
+  /// Synchronous submit: blocks until the response is ready.
+  Response handle(const Request& request);
+  /// Decodes the payload first; undecodable payloads answer kBadFrame.
+  Response handle_frame(const std::string& payload);
+
+  /// Pool-wide metrics JSON: aggregate counters plus one nested object per
+  /// shard. Thread-safe (atomics only).
+  std::string metrics_json() const;
+
+  std::size_t worker_count() const { return shards_.size(); }
+  std::size_t shard_of(std::uint32_t session) const {
+    return session % shards_.size();
+  }
+  std::size_t live_sessions() const;
+  std::size_t resident_bytes() const;
+
+  /// Transport-level frame accounting (the epoll server counts frames it
+  /// reassembles itself; handle_frame counts its own). Thread-safe.
+  void count_frame(bool bad) {
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    if (bad) bad_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drains every queue and joins the workers. Idempotent; the destructor
+  /// calls it. No submit() may race or follow shutdown().
+  void shutdown();
+
+ private:
+  struct Job {
+    enum class Kind : std::uint8_t { kRequest, kEvictHeaviest };
+    Kind kind = Kind::kRequest;
+    Request request;
+    Callback done;
+  };
+
+  struct Shard {
+    std::unique_ptr<DetectionService> service;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> queue;  ///< MPSC: any thread posts, the worker drains
+    std::thread thread;
+    bool stop = false;
+  };
+
+  void worker_main(std::size_t index);
+  void post(std::size_t shard, Job job);
+  /// Posts EvictHeaviest to the heaviest shard while the pool-wide resident
+  /// sum exceeds the budget (one command in flight at a time).
+  void maybe_enforce_global();
+
+  ServiceLimits limits_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> next_shard_{0};  ///< OPEN/RESTORE round-robin
+  std::atomic<bool> evict_inflight_{false};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> bad_frames_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace race2d

@@ -26,6 +26,20 @@ std::uint32_t LabeledUnionFind::add() {
   return id;
 }
 
+void LabeledUnionFind::import_state(State&& s) {
+  const std::size_t n = s.parent.size();
+  R2D_REQUIRE(s.rank.size() == n && s.label.size() == n &&
+                  s.visited.size() == n,
+              "union-find state vectors must be index-parallel");
+  for (std::size_t i = 0; i < n; ++i)
+    R2D_REQUIRE(s.parent[i] < n && s.label[i] < n,
+                "union-find state parent/label out of range");
+  parent_ = std::move(s.parent);
+  rank_ = std::move(s.rank);
+  label_ = std::move(s.label);
+  visited_ = std::move(s.visited);
+}
+
 std::size_t LabeledUnionFind::heap_bytes() const {
   return vector_heap_bytes(parent_) + vector_heap_bytes(rank_) +
          vector_heap_bytes(label_) + vector_heap_bytes(visited_);

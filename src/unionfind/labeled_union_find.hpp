@@ -67,6 +67,20 @@ class LabeledUnionFind {
 
   std::size_t element_count() const { return parent_.size(); }
 
+  /// Plain-data image of the whole structure — what a session snapshot
+  /// serializes. The four vectors are index-parallel.
+  struct State {
+    std::vector<std::uint32_t> parent;
+    std::vector<std::uint8_t> rank;
+    std::vector<std::uint32_t> label;
+    std::vector<std::uint8_t> visited;
+  };
+  State export_state() const { return {parent_, rank_, label_, visited_}; }
+  /// Replaces the structure wholesale. The snapshot codec validates shape
+  /// (equal lengths, parents/labels in range) before calling; this only
+  /// re-checks the cheap invariants.
+  void import_state(State&& s);
+
   /// Heap bytes (for E2 accounting: this is the detector's per-thread state).
   std::size_t heap_bytes() const;
 

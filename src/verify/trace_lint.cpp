@@ -282,6 +282,33 @@ void TraceLintStream::finish() {
   }
 }
 
+TraceLintStream::Snapshot TraceLintStream::export_state() const {
+  Snapshot s;
+  s.index = index_;
+  s.finished = finished_;
+  s.warnings_emitted = warnings_emitted_;
+  s.errors_emitted = errors_emitted_;
+  s.tasks = tasks_;
+  s.stack = stack_;
+  s.locs.reserve(locs_.size());
+  locs_.for_each([&s](Loc loc, std::uint8_t state) {
+    s.locs.emplace_back(loc, state);
+  });
+  return s;
+}
+
+void TraceLintStream::import_state(Snapshot&& s) {
+  index_ = static_cast<std::size_t>(s.index);
+  finished_ = s.finished;
+  warnings_emitted_ = static_cast<std::size_t>(s.warnings_emitted);
+  errors_emitted_ = static_cast<std::size_t>(s.errors_emitted);
+  tasks_ = std::move(s.tasks);
+  stack_ = std::move(s.stack);
+  locs_.clear();
+  locs_.reserve(s.locs.size());
+  for (const auto& [loc, state] : s.locs) locs_[loc] = state;
+}
+
 std::size_t TraceLintStream::memory_bytes() const {
   return tasks_.capacity() * sizeof(TaskState) +
          stack_.capacity() * sizeof(TaskId) +

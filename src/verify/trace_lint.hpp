@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "runtime/trace.hpp"
@@ -74,7 +75,6 @@ class TraceLintStream {
   /// Rough resident footprint of the lint state (service quota accounting).
   std::size_t memory_bytes() const;
 
- private:
   struct TaskState {
     TaskId left = kInvalidTask;  ///< immediate left neighbor in the task line
     TaskId right = kInvalidTask;
@@ -82,6 +82,23 @@ class TraceLintStream {
     bool halted = false;
     bool joined = false;  ///< removed from the line by a join
   };
+
+  /// Snapshot image of a CLEAN mid-stream linter (the service only
+  /// snapshots unpoisoned sessions, whose gate carries no diagnostics —
+  /// the diagnostic list is deliberately not part of the state).
+  struct Snapshot {
+    std::uint64_t index = 0;
+    bool finished = false;
+    std::uint64_t warnings_emitted = 0;
+    std::uint64_t errors_emitted = 0;
+    std::vector<TaskState> tasks;
+    std::vector<TaskId> stack;
+    std::vector<std::pair<Loc, std::uint8_t>> locs;
+  };
+  Snapshot export_state() const;
+  void import_state(Snapshot&& s);
+
+ private:
 
   template <typename Fn>
   void emit(LintCode code, std::size_t index, Fn&& compose,

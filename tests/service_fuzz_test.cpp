@@ -1,0 +1,400 @@
+// Adversarial client battery for the epoll socket server: seeded random
+// malformed frames, valid frames split at arbitrary byte boundaries,
+// oversized length prefixes, and mid-session disconnects — all while a
+// well-behaved control session streams on another connection. The server
+// must never crash, never leak sessions, and never corrupt the control
+// session's report stream. scripts/check.sh runs this under TSan too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/sharded_analyzer.hpp"
+#include "fuzz/fuzz_plan.hpp"
+#include "fuzz/trace_gen.hpp"
+#include "io/binary_writer.hpp"
+#include "runtime/trace_io.hpp"
+#include "service/server.hpp"
+#include "support/rng.hpp"
+
+namespace race2d {
+namespace {
+
+Trace generated(std::uint64_t seed) {
+  return generate_trace(FuzzPlan::from_seed(seed)).trace;
+}
+
+std::string socket_path() {
+  std::ostringstream os;
+  os << "/tmp/race2d-fuzz-" << ::getpid() << ".sock";
+  return os.str();
+}
+
+/// The server under test: a 4-worker pool behind the epoll loop, running on
+/// its own thread until stop() — exactly the production topology.
+struct ServerFixture {
+  WorkerPool pool{4};
+  std::atomic<bool> stop_flag{false};
+  std::ostringstream log;
+  std::string path = socket_path();
+  std::thread thread;
+  int rc = -2;
+
+  ServerFixture() {
+    thread = std::thread(
+        [this] { rc = serve_unix_socket(path, pool, log, &stop_flag); });
+    // The listener is up once connect succeeds.
+    for (int i = 0; i < 200; ++i) {
+      const int fd = try_connect();
+      if (fd >= 0) {
+        ::close(fd);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "server never came up: " << log.str();
+  }
+
+  ~ServerFixture() {
+    stop_flag.store(true, std::memory_order_release);
+    thread.join();
+    EXPECT_EQ(rc, 0) << log.str();
+  }
+
+  int try_connect() const {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+};
+
+bool write_all(int fd, const void* buf, std::size_t size) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: the server legitimately hangs up on framing abuse; that
+    // must read as a failed send, not a SIGPIPE killing the test binary.
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // server hung up on us (e.g. after a framing error)
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* buf, std::size_t size) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Writes a frame in randomly-sized slices (possibly 1 byte at a time),
+/// exercising the server's reassembly across arbitrary splits.
+bool write_frame_split(int fd, const std::string& payload, Xoshiro256& rng) {
+  std::string framed(4, '\0');
+  for (int i = 0; i < 4; ++i)
+    framed[static_cast<std::size_t>(i)] =
+        static_cast<char>((payload.size() >> (8 * i)) & 0xffu);
+  framed += payload;
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const std::size_t n = static_cast<std::size_t>(
+        rng.range(1, std::min<std::uint64_t>(framed.size() - off, 37)));
+    if (!write_all(fd, framed.data() + off, n)) return false;
+    off += n;
+    if (rng.chance(0.2))
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+bool read_response(int fd, Response& rsp) {
+  unsigned char len[4];
+  if (!read_exact(fd, len, 4)) return false;
+  std::uint32_t rlen = 0;
+  for (int i = 0; i < 4; ++i)
+    rlen |= static_cast<std::uint32_t>(len[i]) << (8 * i);
+  if (rlen > kMaxFrameBytes) return false;
+  std::string body(rlen, '\0');
+  if (rlen > 0 && !read_exact(fd, body.data(), rlen)) return false;
+  std::string error;
+  return decode_response(body, rsp, error);
+}
+
+/// One adversarial connection driven by `seed`: a random mix of garbage,
+/// oversized frames, byte-split valid requests, and abrupt disconnects.
+/// Returns the number of responses read (sanity only — the real assertions
+/// are "server stays up" and the control-session checks).
+std::size_t adversarial_connection(const ServerFixture& server,
+                                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const int fd = server.try_connect();
+  if (fd < 0) return 0;
+  std::size_t responses = 0;
+  std::uint32_t open_session_id = 0;
+  const int actions = static_cast<int>(rng.range(3, 12));
+  for (int a = 0; a < actions; ++a) {
+    switch (rng.below(6)) {
+      case 0: {  // plain garbage bytes, not even a plausible frame
+        std::string junk(rng.range(1, 64), '\0');
+        for (char& c : junk) c = static_cast<char>(rng.below(256));
+        if (!write_all(fd, junk.data(), junk.size())) goto done;
+        break;
+      }
+      case 1: {  // oversized length prefix: instant framing error
+        const std::uint32_t huge =
+            kMaxFrameBytes + static_cast<std::uint32_t>(rng.range(1, 1 << 20));
+        unsigned char len[4];
+        for (int i = 0; i < 4; ++i)
+          len[i] = static_cast<unsigned char>((huge >> (8 * i)) & 0xffu);
+        if (!write_all(fd, len, 4)) goto done;
+        Response rsp;  // server answers kBadFrame, then drops the stream
+        if (read_response(fd, rsp)) ++responses;
+        goto done;
+      }
+      case 2: {  // well-formed OPEN, split at random byte boundaries
+        Request req;
+        req.verb = Verb::kOpen;
+        if (!write_frame_split(fd, encode_request(req), rng)) goto done;
+        Response rsp;
+        if (!read_response(fd, rsp)) goto done;
+        ++responses;
+        if (rsp.status == ServiceStatus::kOk) open_session_id = rsp.session;
+        break;
+      }
+      case 3: {  // feed (maybe to a bogus session), split arbitrarily
+        Request req;
+        req.verb = Verb::kFeed;
+        req.session = rng.chance(0.5) && open_session_id != 0
+                          ? open_session_id
+                          : static_cast<std::uint32_t>(rng.below(1 << 16));
+        std::string junk(rng.range(0, 512), '\0');
+        for (char& c : junk) c = static_cast<char>(rng.below(256));
+        req.bytes = junk;
+        if (!write_frame_split(fd, encode_request(req), rng)) goto done;
+        Response rsp;
+        if (!read_response(fd, rsp)) goto done;
+        ++responses;
+        break;
+      }
+      case 4: {  // a frame whose payload fails request decode (bad verb)
+        std::string payload(rng.range(1, 16), '\0');
+        payload[0] = static_cast<char>(rng.range(8, 255));
+        if (!write_frame_split(fd, payload, rng)) goto done;
+        Response rsp;
+        if (!read_response(fd, rsp)) goto done;
+        ++responses;
+        break;
+      }
+      default: {  // start a frame, then vanish mid-payload
+        Request req;
+        req.verb = Verb::kFeed;
+        req.session = open_session_id;
+        req.bytes = std::string(64, 'x');
+        const std::string payload = encode_request(req);
+        unsigned char len[4];
+        for (int i = 0; i < 4; ++i)
+          len[i] = static_cast<unsigned char>((payload.size() >> (8 * i)) &
+                                              0xffu);
+        (void)write_all(fd, len, 4);
+        (void)write_all(fd, payload.data(), payload.size() / 2);
+        goto done;  // disconnect with the frame (and maybe a session) open
+      }
+    }
+  }
+done:
+  ::close(fd);
+  return responses;
+}
+
+TEST(ServiceFuzz, AdversarialClientsNeverCrashLeakOrCorrupt) {
+  ServerFixture server;
+
+  // The control stream: a correct client on its own connection, running
+  // concurrently with the attackers; its reports must come out exact.
+  const Trace trace = generated(4242);
+  const std::string wire = trace_to_binary(trace);
+  const std::vector<RaceReport> expected = detect_races_trace(trace);
+  std::atomic<bool> control_ok{true};
+  std::thread control([&] {
+    const int fd = server.try_connect();
+    if (fd < 0) {
+      control_ok = false;
+      return;
+    }
+    Xoshiro256 rng(1);
+    Request open;
+    open.verb = Verb::kOpen;
+    Response rsp;
+    if (!write_frame_split(fd, encode_request(open), rng) ||
+        !read_response(fd, rsp) || rsp.status != ServiceStatus::kOk) {
+      control_ok = false;
+      ::close(fd);
+      return;
+    }
+    const std::uint32_t id = rsp.session;
+    for (std::size_t off = 0; off < wire.size(); off += 128) {
+      Request feed;
+      feed.verb = Verb::kFeed;
+      feed.session = id;
+      feed.bytes = wire.substr(off, std::min<std::size_t>(128, wire.size() - off));
+      if (!write_frame_split(fd, encode_request(feed), rng) ||
+          !read_response(fd, rsp) || rsp.status != ServiceStatus::kOk) {
+        control_ok = false;
+        ::close(fd);
+        return;
+      }
+      // Let the attackers interleave with us on the epoll thread.
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    std::vector<RaceReport> got;
+    for (;;) {
+      Request drain;
+      drain.verb = Verb::kDrain;
+      drain.session = id;
+      if (!write_frame_split(fd, encode_request(drain), rng) ||
+          !read_response(fd, rsp) || rsp.status != ServiceStatus::kOk) {
+        control_ok = false;
+        ::close(fd);
+        return;
+      }
+      got.insert(got.end(), rsp.drain.reports.begin(),
+                 rsp.drain.reports.end());
+      if (!rsp.drain.more) break;
+    }
+    Request close_req;
+    close_req.verb = Verb::kClose;
+    close_req.session = id;
+    if (!write_frame_split(fd, encode_request(close_req), rng) ||
+        !read_response(fd, rsp) || rsp.status != ServiceStatus::kOk ||
+        !rsp.close.complete || got != expected)
+      control_ok = false;
+    ::close(fd);
+  });
+
+  // Attackers: several threads, many short adversarial connections each.
+  std::vector<std::thread> attackers;
+  for (int t = 0; t < 3; ++t) {
+    attackers.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i)
+        adversarial_connection(server,
+                               0x9e3779b9u * static_cast<std::uint64_t>(t) +
+                                   static_cast<std::uint64_t>(i) + 7);
+    });
+  }
+  for (std::thread& t : attackers) t.join();
+  control.join();
+  EXPECT_TRUE(control_ok.load()) << server.log.str();
+
+  // No leaks: every connection is gone, so the server must have closed all
+  // orphaned sessions. Disconnect cleanup is asynchronous — poll briefly.
+  bool drained = false;
+  for (int i = 0; i < 300 && !drained; ++i) {
+    drained = server.pool.live_sessions() == 0;
+    if (!drained) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(drained) << server.pool.live_sessions()
+                       << " session(s) leaked; log: " << server.log.str();
+
+  // The server still answers fresh, honest traffic after the abuse.
+  const int fd = server.try_connect();
+  ASSERT_GE(fd, 0);
+  Xoshiro256 rng(99);
+  Request stats;
+  stats.verb = Verb::kStats;
+  Response rsp;
+  ASSERT_TRUE(write_frame_split(fd, encode_request(stats), rng));
+  ASSERT_TRUE(read_response(fd, rsp));
+  EXPECT_EQ(rsp.status, ServiceStatus::kOk);
+  EXPECT_NE(rsp.message.find("\"workers\":4"), std::string::npos)
+      << rsp.message;
+  ::close(fd);
+}
+
+TEST(ServiceFuzz, MidSessionDisconnectFreesTheSessionsExactly) {
+  ServerFixture server;
+  // Open three sessions on one connection, feed a bit, then vanish.
+  const int fd = server.try_connect();
+  ASSERT_GE(fd, 0);
+  Xoshiro256 rng(5);
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    Request open;
+    open.verb = Verb::kOpen;
+    Response rsp;
+    ASSERT_TRUE(write_frame_split(fd, encode_request(open), rng));
+    ASSERT_TRUE(read_response(fd, rsp));
+    ASSERT_EQ(rsp.status, ServiceStatus::kOk);
+    ids.push_back(rsp.session);
+  }
+  EXPECT_EQ(server.pool.live_sessions(), 3u);
+
+  // A session on a DIFFERENT connection must survive the other's death.
+  const int fd2 = server.try_connect();
+  ASSERT_GE(fd2, 0);
+  Request open;
+  open.verb = Verb::kOpen;
+  Response rsp;
+  ASSERT_TRUE(write_frame_split(fd2, encode_request(open), rng));
+  ASSERT_TRUE(read_response(fd2, rsp));
+  ASSERT_EQ(rsp.status, ServiceStatus::kOk);
+  const std::uint32_t survivor = rsp.session;
+
+  ::close(fd);  // abrupt: no CLOSE for the three sessions
+  bool down_to_one = false;
+  for (int i = 0; i < 300 && !down_to_one; ++i) {
+    down_to_one = server.pool.live_sessions() == 1;
+    if (!down_to_one) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(down_to_one) << server.pool.live_sessions() << " live";
+
+  // The survivor still works end to end.
+  const Trace trace = generated(17);
+  Request feed;
+  feed.verb = Verb::kFeed;
+  feed.session = survivor;
+  feed.bytes = trace_to_binary(trace);
+  ASSERT_TRUE(write_frame_split(fd2, encode_request(feed), rng));
+  ASSERT_TRUE(read_response(fd2, rsp));
+  EXPECT_EQ(rsp.status, ServiceStatus::kOk);
+  Request close_req;
+  close_req.verb = Verb::kClose;
+  close_req.session = survivor;
+  ASSERT_TRUE(write_frame_split(fd2, encode_request(close_req), rng));
+  ASSERT_TRUE(read_response(fd2, rsp));
+  EXPECT_EQ(rsp.status, ServiceStatus::kOk);
+  EXPECT_TRUE(rsp.close.complete);
+  ::close(fd2);
+}
+
+}  // namespace
+}  // namespace race2d

@@ -135,7 +135,7 @@ TEST(Protocol, MalformedPayloadsAreRejectedNotCrashes) {
   Request req;
   std::string error;
   EXPECT_FALSE(decode_request("", req, error));
-  EXPECT_FALSE(decode_request("\x07xxxx", req, error));       // unknown verb
+  EXPECT_FALSE(decode_request("\x08xxxx", req, error));       // unknown verb
   EXPECT_FALSE(decode_request(std::string(3, '\0'), req, error));
   // drain with a short body
   EXPECT_FALSE(decode_request(std::string("\x03\0\0\0\0\x01", 6), req, error));
