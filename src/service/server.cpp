@@ -1,12 +1,15 @@
 #include "service/server.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -97,23 +100,64 @@ struct Completion {
   Response response;
 };
 
-/// The epoll loop's whole state. Single-threaded except `completions`.
+/// The channel worker completion callbacks post through. Heap-allocated and
+/// shared with every outstanding callback, so a callback that fires late can
+/// never touch freed server state: the epoll thread retire()s the bus (under
+/// the same mutex the callbacks hold while ringing the eventfd) before it
+/// closes wake_fd, and a retired bus drops completions instead of ringing.
+struct CompletionBus {
+  std::mutex mu;
+  std::vector<Completion> completions;
+  int wake_fd = -1;
+  bool dead = false;
+
+  void push(Completion done) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (dead) return;
+    completions.push_back(std::move(done));
+    // Ring while holding the lock: retire() serializes after any push in
+    // progress, so wake_fd is never written once the server has closed it
+    // (a closed-and-reused fd number would otherwise get a stray write).
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+
+  std::vector<Completion> drain() {
+    std::vector<Completion> batch;
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t drainer = 0;
+    [[maybe_unused]] ssize_t n = ::read(wake_fd, &drainer, sizeof(drainer));
+    batch.swap(completions);
+    return batch;
+  }
+
+  void retire() {
+    std::lock_guard<std::mutex> lock(mu);
+    dead = true;
+  }
+};
+
+/// The epoll loop's whole state. Single-threaded except the bus.
 struct EpollServer {
   WorkerPool& pool;
   int epfd = -1;
   int listener = -1;
-  int wake_fd = -1;  ///< eventfd: worker completions ring the epoll thread
+  std::shared_ptr<CompletionBus> bus = std::make_shared<CompletionBus>();
   std::unordered_map<std::uint64_t, Conn> conns;  ///< by connection id
   std::unordered_map<int, std::uint64_t> by_fd;
   std::uint64_t next_conn_id = 1;
-
-  std::mutex completions_mu;
-  std::vector<Completion> completions;
+  bool accept_paused = false;  ///< listener EPOLLIN dropped (fd exhaustion)
+  std::chrono::steady_clock::time_point resume_accept{};
 
   explicit EpollServer(WorkerPool& p) : pool(p) {}
 
   void update_interest(Conn& c) {
-    const bool want = !c.out.empty() || !c.ready.empty();
+    // Write interest tracks only unsent wire bytes. Out-of-order entries in
+    // `ready` need no EPOLLOUT: nothing can go on the wire until the gap
+    // seq completes, and that completion rings wake_fd and flushes — a
+    // level-triggered EPOLLOUT would just fire every wait with nothing to
+    // write, spinning this thread until the gap fills.
+    const bool want = !c.out.empty();
     if (want == c.want_write) return;
     c.want_write = want;
     epoll_event ev{};
@@ -228,18 +272,16 @@ struct EpollServer {
         continue;
       }
       pool.count_frame(false);
-      pool.submit(std::move(request), [this, id, seq](Response r) {
-        {
-          std::lock_guard<std::mutex> lock(completions_mu);
-          Completion done;
-          done.conn = id;
-          done.seq = seq;
-          done.response = std::move(r);
-          completions.push_back(std::move(done));
-        }
-        const std::uint64_t one = 1;
-        [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
-      });
+      // The callback captures the bus, never `this`: it may run on a worker
+      // thread after the server's stack frame is gone.
+      pool.submit(std::move(request),
+                  [bus = bus, id, seq](Response r) {
+                    Completion done;
+                    done.conn = id;
+                    done.seq = seq;
+                    done.response = std::move(r);
+                    bus->push(std::move(done));
+                  });
     }
     c.in.erase(0, pos);
   }
@@ -303,7 +345,20 @@ struct EpollServer {
       const int fd = ::accept(listener, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
-        break;  // EAGAIN or listener trouble — back to the loop
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Out of fds/buffers. The level-triggered listener stays readable
+          // while the backlog is pending, so keeping EPOLLIN armed would
+          // make every epoll_wait return instantly and spin this thread at
+          // full CPU until an fd frees. Pause accept interest and re-arm
+          // after a grace period (the main loop checks each tick).
+          ::epoll_ctl(epfd, EPOLL_CTL_DEL, listener, nullptr);
+          accept_paused = true;
+          resume_accept = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(100);
+          break;
+        }
+        break;  // EAGAIN or a transient per-connection accept error
       }
       if (!set_nonblocking(fd)) {
         ::close(fd);
@@ -322,18 +377,17 @@ struct EpollServer {
   }
 
   void drain_completions() {
-    std::uint64_t drainer = 0;
-    [[maybe_unused]] ssize_t n = ::read(wake_fd, &drainer, sizeof(drainer));
-    std::vector<Completion> batch;
-    {
-      std::lock_guard<std::mutex> lock(completions_mu);
-      batch.swap(completions);
-    }
-    for (Completion& done : batch) {
+    for (Completion& done : bus->drain()) {
       complete(done.conn, done.seq, std::move(done.response));
       auto it = conns.find(done.conn);
       if (it != conns.end()) maybe_close(it);
     }
+  }
+
+  std::uint64_t inflight_total() const {
+    std::uint64_t total = 0;
+    for (const auto& [id, c] : conns) total += c.inflight;
+    return total;
   }
 };
 
@@ -364,11 +418,11 @@ int serve_unix_socket(const std::string& path, WorkerPool& pool,
     return -1;
   }
   server.epfd = ::epoll_create1(0);
-  server.wake_fd = ::eventfd(0, EFD_NONBLOCK);
-  if (server.epfd < 0 || server.wake_fd < 0) {
+  server.bus->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+  if (server.epfd < 0 || server.bus->wake_fd < 0) {
     log << "epoll/eventfd: " << std::strerror(errno) << "\n";
     if (server.epfd >= 0) ::close(server.epfd);
-    if (server.wake_fd >= 0) ::close(server.wake_fd);
+    if (server.bus->wake_fd >= 0) ::close(server.bus->wake_fd);
     ::close(server.listener);
     return -1;
   }
@@ -377,8 +431,8 @@ int serve_unix_socket(const std::string& path, WorkerPool& pool,
   ev.data.fd = server.listener;
   ::epoll_ctl(server.epfd, EPOLL_CTL_ADD, server.listener, &ev);
   ev.events = EPOLLIN;
-  ev.data.fd = server.wake_fd;
-  ::epoll_ctl(server.epfd, EPOLL_CTL_ADD, server.wake_fd, &ev);
+  ev.data.fd = server.bus->wake_fd;
+  ::epoll_ctl(server.epfd, EPOLL_CTL_ADD, server.bus->wake_fd, &ev);
 
   log << "race2dd listening on " << path << " (" << pool.worker_count()
       << " worker(s))\n";
@@ -386,6 +440,14 @@ int serve_unix_socket(const std::string& path, WorkerPool& pool,
   epoll_event events[64];
   for (;;) {
     if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+    if (server.accept_paused &&
+        std::chrono::steady_clock::now() >= server.resume_accept) {
+      epoll_event aev{};
+      aev.events = EPOLLIN;
+      aev.data.fd = server.listener;
+      ::epoll_ctl(server.epfd, EPOLL_CTL_ADD, server.listener, &aev);
+      server.accept_paused = false;
+    }
     const int n = ::epoll_wait(server.epfd, events, 64, 50);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -397,7 +459,7 @@ int serve_unix_socket(const std::string& path, WorkerPool& pool,
         server.accept_all();
         continue;
       }
-      if (fd == server.wake_fd) {
+      if (fd == server.bus->wake_fd) {
         server.drain_completions();
         continue;
       }
@@ -425,8 +487,30 @@ int serve_unix_socket(const std::string& path, WorkerPool& pool,
     }
   }
 
+  // The stop flag only breaks the poll loop; worker threads may still hold
+  // submitted requests. Stop accepting, then drain until every connection's
+  // in-flight count hits zero — returning earlier would let the caller shut
+  // the pool down while its queue drain still runs completion callbacks
+  // (responses land on the bus either way, but in-flight OPENs must finish
+  // so their sessions get the disconnect cleanup, not leaked).
+  if (!server.accept_paused)
+    ::epoll_ctl(server.epfd, EPOLL_CTL_DEL, server.listener, nullptr);
+  while (server.inflight_total() != 0) {
+    const int n = ::epoll_wait(server.epfd, events, 64, 50);
+    if (n < 0 && errno != EINTR && errno != EAGAIN) {
+      // Even without a working epoll the completions still land on the bus;
+      // keep draining until the workers hand everything back.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    server.drain_completions();
+  }
+  // No callback can be outstanding now, but retire the bus anyway so any
+  // future code path that leaves one behind drops it instead of writing a
+  // closed (and possibly reused) eventfd.
+  server.bus->retire();
+
   for (auto& [id, c] : server.conns) ::close(c.fd);
-  ::close(server.wake_fd);
+  ::close(server.bus->wake_fd);
   ::close(server.epfd);
   ::close(server.listener);
   ::unlink(path.c_str());

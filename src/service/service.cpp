@@ -273,7 +273,7 @@ Response DetectionService::do_snapshot(const Request& request) {
                       ServiceStatus::kSnapshotReject,
                       "K008: session not snapshotable (poisoned)");
   }
-  std::string blob = snapshot_session(*slot->session);
+  std::string blob = snapshot_session(*slot->session, slot->quota_bytes);
   if (blob.size() > kMaxFrameBytes - 16) {
     std::ostringstream os;
     os << "K008: session not snapshotable (" << blob.size()
@@ -302,8 +302,13 @@ Response DetectionService::do_restore(const Request& request) {
     return make_error(Verb::kRestore, 0, ServiceStatus::kSnapshotReject,
                       std::move(outcome.error));
   }
-  const std::uint32_t id =
-      install(std::move(outcome.session), limits_.session_quota_bytes);
+  // The blob records the session's effective quota so migration never
+  // loosens a cap the original OPEN tightened; clamp to this service's own
+  // per-session limit (OPEN may lower, never raise — same rule here).
+  const std::size_t quota = static_cast<std::size_t>(
+      std::min<std::uint64_t>(outcome.quota_bytes,
+                              limits_.session_quota_bytes));
+  const std::uint32_t id = install(std::move(outcome.session), quota);
   bump(restores_);
   Response r;
   r.verb = Verb::kRestore;

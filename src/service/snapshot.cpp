@@ -418,7 +418,7 @@ Reader open_payload(const std::string& blob) {
   return Reader(payload, len);
 }
 
-DetectionSession::State decode_payload(Reader& r) {
+DetectionSession::State decode_payload(Reader& r, std::uint64_t& quota_bytes) {
   DetectionSession::State s;
   s.fed_bytes = r.u64();
   const std::uint8_t policy = r.u8();
@@ -429,6 +429,8 @@ DetectionSession::State decode_payload(Reader& r) {
     reject("K006", "unknown detector engine");
   s.policy = static_cast<ReportPolicy>(policy);
   s.engine = static_cast<DetectorEngine>(engine);
+  quota_bytes = r.u64();
+  if (quota_bytes == 0) reject("K006", "session quota out of range");
   s.max_pending_reports = r.u64();
   s.events_total = r.u64();
   s.decoder = get_decoder(r);
@@ -445,12 +447,14 @@ DetectionSession::State decode_payload(Reader& r) {
 
 }  // namespace
 
-std::string snapshot_session(const DetectionSession& session) {
+std::string snapshot_session(const DetectionSession& session,
+                             std::size_t quota_bytes) {
   DetectionSession::State s = session.export_state();
   Writer w;
   w.u64(s.fed_bytes);
   w.u8(static_cast<std::uint8_t>(s.policy));
   w.u8(static_cast<std::uint8_t>(s.engine));
+  w.u64(static_cast<std::uint64_t>(quota_bytes));
   w.u64(s.max_pending_reports);
   w.u64(s.events_total);
   put_decoder(w, s.decoder);
@@ -476,9 +480,10 @@ RestoreOutcome restore_session(const std::string& blob) {
   RestoreOutcome out;
   try {
     Reader r = open_payload(blob);
-    DetectionSession::State s = decode_payload(r);
+    DetectionSession::State s = decode_payload(r, out.quota_bytes);
     out.session = DetectionSession::restore(std::move(s));
   } catch (const SnapshotReject& e) {
+    out.quota_bytes = 0;
     out.error = e.message;
   }
   return out;

@@ -11,11 +11,15 @@
 //
 //   blob    := magic[8] ("R2DSNAP\x01")  payload_len:u32le
 //              payload_crc:u32le (CRC32C)  payload[payload_len]
-//   payload := fed_bytes:u64le  <session state, see snapshot.cpp>
+//   payload := fed_bytes:u64le  policy:u8  engine:u8  quota_bytes:u64le
+//              <session state, see snapshot.cpp>
 //
 // fed_bytes leads the payload so clients can cheaply ask "how much of my
 // stream does this snapshot cover?" (snapshot_fed_bytes) and resume the
-// feed at that offset after a restore.
+// feed at that offset after a restore. quota_bytes is the session's
+// EFFECTIVE per-session memory quota at snapshot time, so a migration
+// cannot silently loosen a cap the original OPEN tightened; the restoring
+// service re-clamps it to its own session_quota_bytes limit.
 //
 // Every malformed blob is rejected with a STABLE error code (the
 // kSnapshotReject message leads with it):
@@ -35,6 +39,7 @@
 // defend against well-checksummed but semantically inconsistent blobs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -43,13 +48,18 @@
 
 namespace race2d {
 
-/// Serializes a live, unpoisoned session. The caller (the service) checks
-/// poisoned() first and answers K008; calling this on a poisoned session is
-/// a contract violation.
-std::string snapshot_session(const DetectionSession& session);
+/// Serializes a live, unpoisoned session together with its effective
+/// per-session memory quota. The caller (the service) checks poisoned()
+/// first and answers K008; calling this on a poisoned session is a
+/// contract violation.
+std::string snapshot_session(const DetectionSession& session,
+                             std::size_t quota_bytes);
 
 struct RestoreOutcome {
   std::unique_ptr<DetectionSession> session;  ///< null on rejection
+  /// The quota recorded in the blob; the installing service clamps it to
+  /// its own session_quota_bytes before applying it.
+  std::uint64_t quota_bytes = 0;
   std::string error;  ///< rejection detail, leads with the K-code
 };
 

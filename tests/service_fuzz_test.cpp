@@ -396,5 +396,55 @@ TEST(ServiceFuzz, MidSessionDisconnectFreesTheSessionsExactly) {
   ::close(fd2);
 }
 
+// Regression: stopping the server while worker requests are still in flight
+// must drain them before serve_unix_socket returns. Fire a burst of FEEDs
+// without reading a single response, then tear the fixture down immediately —
+// completion callbacks that outlive the serve loop used to write a destroyed
+// stack frame and a closed eventfd (caught here under ASan/TSan).
+TEST(ServiceFuzz, StopUnderLoadDrainsInFlightRequests) {
+  const std::string wire = trace_to_binary(generated(31));
+  for (int round = 0; round < 5; ++round) {
+    std::vector<int> fds;
+    {
+      ServerFixture server;
+      for (int c = 0; c < 4; ++c) {
+        const int fd = server.try_connect();
+        ASSERT_GE(fd, 0);
+        fds.push_back(fd);
+        Xoshiro256 rng(static_cast<std::uint64_t>(round * 4 + c) + 1);
+        Request open;
+        open.verb = Verb::kOpen;
+        Response rsp;
+        ASSERT_TRUE(write_frame_split(fd, encode_request(open), rng));
+        ASSERT_TRUE(read_response(fd, rsp));
+        ASSERT_EQ(rsp.status, ServiceStatus::kOk);
+        // A volley of feeds the workers will still be chewing on when the
+        // stop flag lands; nobody ever reads these responses.
+        for (int i = 0; i < 16; ++i) {
+          Request feed;
+          feed.verb = Verb::kFeed;
+          feed.session = rsp.session;
+          feed.bytes = wire.substr(
+              static_cast<std::size_t>(i) * 64 %
+                  std::max<std::size_t>(1, wire.size() - 64),
+              64);
+          const std::string payload = encode_request(feed);
+          std::string framed(4, '\0');
+          for (int b = 0; b < 4; ++b)
+            framed[static_cast<std::size_t>(b)] =
+                static_cast<char>((payload.size() >> (8 * b)) & 0xffu);
+          framed += payload;
+          if (!write_all(fd, framed.data(), framed.size())) break;
+        }
+      }
+      // Teardown races the in-flight work with the connections still open:
+      // the fixture destructor sets the stop flag, joins the serve thread
+      // (which must drain every in-flight request first), then shuts the
+      // pool down. Its rc == 0 check doubles as the clean-drain assertion.
+    }
+    for (const int fd : fds) ::close(fd);
+  }
+}
+
 }  // namespace
 }  // namespace race2d

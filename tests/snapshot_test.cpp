@@ -292,6 +292,61 @@ TEST(Snapshot, ServiceRejectsGarbageRestoreBlobs) {
   EXPECT_EQ(service.live_sessions(), 0u);
 }
 
+// A tightened per-session quota travels with the snapshot: the restored
+// session keeps the original OPEN's cap instead of silently widening to the
+// target service's default — and a target with a SMALLER per-session limit
+// clamps the recorded quota down to it.
+TEST(Snapshot, PerSessionQuotaSurvivesRestore) {
+  // One task touching thousands of locations: the snapshotted prefix is
+  // tiny, but feeding the remainder inflates shadow memory far past the
+  // tightened quota.
+  std::string text = "fork 0 1\n";
+  for (int loc = 0; loc < 4000; ++loc)
+    text += "write 1 " + std::to_string(loc) + "\n";
+  text += "halt 1\njoin 0 1\nhalt 0\n";
+  const std::string wire = trace_to_binary(parse_trace_text(text));
+
+  DetectionService a;
+  Request open;
+  open.verb = Verb::kOpen;
+  open.open.engine = DetectorEngine::kDsu;
+  open.open.quota_bytes = 16384;  // far below the 64 MiB service default
+  const Response opened = a.handle(open);
+  ASSERT_EQ(opened.status, ServiceStatus::kOk);
+  constexpr std::size_t kCut = 64;
+  ASSERT_EQ(feed_bytes(a, opened.session, wire.substr(0, kCut)).status,
+            ServiceStatus::kOk);
+  const std::string blob = snapshot_via_service(a, opened.session);
+
+  const auto feed_rest_until_reject = [&wire](DetectionService& service,
+                                              std::uint32_t id) {
+    Response last;
+    for (std::size_t off = kCut;
+         off < wire.size() && last.status == ServiceStatus::kOk; off += 4096)
+      last = feed_bytes(service, id, wire.substr(off, 4096));
+    return last;
+  };
+
+  DetectionService b;  // default limits: quota must NOT widen to them
+  Request restore;
+  restore.verb = Verb::kRestore;
+  restore.bytes = blob;
+  Response restored = b.handle(restore);
+  ASSERT_EQ(restored.status, ServiceStatus::kOk) << restored.message;
+  Response last = feed_rest_until_reject(b, restored.session);
+  EXPECT_EQ(last.status, ServiceStatus::kQuotaEvicted) << last.message;
+  EXPECT_NE(last.message.find("16384"), std::string::npos) << last.message;
+
+  ServiceLimits tight;
+  tight.session_quota_bytes = 8192;  // below the blob's recorded quota
+  DetectionService c(tight);
+  restored = c.handle(restore);
+  ASSERT_EQ(restored.status, ServiceStatus::kOk) << restored.message;
+  last = feed_rest_until_reject(c, restored.session);
+  EXPECT_EQ(last.status, ServiceStatus::kQuotaEvicted) << last.message;
+  EXPECT_NE(last.message.find("8192"), std::string::npos) << last.message;
+}
+
 TEST(Snapshot, FedBytesPeekMatchesWithoutFullRestore) {
   DetectionService service;
   const std::uint32_t id = open_session(service, DetectorEngine::kDsu);
