@@ -59,6 +59,9 @@ std::size_t drive(Detector& det, const Trace& trace) {
         if constexpr (requires { det.on_finish_end(e.actor); })
           det.on_finish_end(e.actor);
         break;
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
+        break;  // lockset semantics live outside the raw detector drivers
     }
   }
   return accesses;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "static/discipline.hpp"
+#include "static/locks.hpp"
 #include "static/mhp.hpp"
 #include "static/race_scan.hpp"
 #include "static/skeleton.hpp"
@@ -213,6 +214,105 @@ void BM_RelaxedRaceScan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+// E16 shapes — lock/semaphore discipline (static/locks.hpp).
+//
+// n straight-line critical sections: no lock op under a loop or branch, so
+// the definiteness gate holds and ONE symbolic simulation proves the whole
+// space — Θ(nodes) regardless of how many configs the loop tail mints.
+Skeleton make_lock_ladder(std::size_t n) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Loc base = 0x100 + static_cast<Loc>(i) * 0x10;
+    body.push_back(lock(0x1000 + static_cast<Loc>(i % 4) * 0x10,
+                        {write(base, base + 7)}));
+  }
+  body.push_back(loop(1, 2, {read(0x10, 0x17)}));  // configs without lock ops
+  return Skeleton{seq(std::move(body))};
+}
+
+// k branches whose arms balance a critical section against a bare read:
+// lock ops under branches defeat the gate, so verify_locks must lower all
+// 2^k concretizations — the enumeration comparison point for E16.
+Skeleton make_lock_branchy(std::size_t k) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Loc base = 0x300 + static_cast<Loc>(i) * 0x10;
+    body.push_back(branch({seq({lock(0x1000, {write(base, base + 7)})}),
+                           seq({read(base, base + 7)})}));
+  }
+  return Skeleton{seq(std::move(body))};
+}
+
+// n forked writers and the parent all hitting one shared block inside the
+// SAME critical section: every conflicting MHP pair shares the guard, so
+// the scan reports n guarded findings and zero races — and confirmation
+// must watch the lockset filter SUPPRESS each detector report.
+Skeleton make_guarded_wide(std::size_t n) {
+  using namespace race2d::skel;
+  std::vector<SkelNode> body;
+  for (std::size_t i = 0; i < n; ++i)
+    body.push_back(fork({lock(0x1000, {write(0x100, 0x13f)})}));
+  body.push_back(lock(0x1000, {write(0x100, 0x13f)}));
+  for (std::size_t i = 0; i < n; ++i) body.push_back(join_left());
+  return Skeleton{seq(std::move(body))};
+}
+
+// E16a: the definite-order proof (the counter pins that no config lowered).
+void BM_LocksetProof(benchmark::State& state) {
+  const Skeleton s = make_lock_ladder(static_cast<std::size_t>(state.range(0)));
+  bool proved = false;
+  for (auto _ : state) {
+    const LockReport rep = verify_locks(s);
+    proved = rep.clean && rep.proved_definite && rep.configs_checked == 0;
+    benchmark::DoNotOptimize(proved);
+  }
+  state.counters["definite_proof"] = proved ? 1.0 : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// E16b: the bounded-enumeration fallback — 2^k lock-bearing lowerings per
+// verify_locks call. The latency ratio to E16a is the price the gate saves.
+void BM_LocksetEnumeration(benchmark::State& state) {
+  const Skeleton s =
+      make_lock_branchy(static_cast<std::size_t>(state.range(0)));
+  std::size_t lowered = 0;
+  bool enumerated = false;
+  for (auto _ : state) {
+    const LockReport rep = verify_locks(s);
+    enumerated = rep.clean && rep.exact && !rep.proved_definite;
+    lowered = rep.configs_checked;
+    benchmark::DoNotOptimize(enumerated);
+  }
+  state.counters["configs_lowered"] = static_cast<double>(lowered);
+  state.counters["enumerated"] = enumerated ? 1.0 : 0.0;
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * lowered));
+}
+
+// E16c: the lockset-refined race scan end to end — MHP pairs classified
+// guarded, witnesses replayed through the lock-agnostic detector, and each
+// suppression re-proved by the pairwise-exact lockset filter.
+void BM_LocksetRaceScan(benchmark::State& state) {
+  const Skeleton s =
+      make_guarded_wide(static_cast<std::size_t>(state.range(0)));
+  std::size_t guarded = 0;
+  bool all_suppressed = false;
+  for (auto _ : state) {
+    const StaticRaceResult res = analyze_skeleton(s);
+    guarded = res.guarded_count();
+    all_suppressed = !res.any_race() && guarded == res.findings.size();
+    for (const StaticRaceFinding& f : res.findings)
+      all_suppressed = all_suppressed && f.confirmed;
+    benchmark::DoNotOptimize(all_suppressed);
+  }
+  state.counters["guarded"] = static_cast<double>(guarded);
+  state.counters["all_suppressed"] = all_suppressed ? 1.0 : 0.0;
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * guarded));
+}
+
 void BM_FuzzAgreement(benchmark::State& state) {
   // The per-seed cost of the static-vs-dynamic cross-check (without the
   // differential panel; the test suite runs that flavor).
@@ -250,6 +350,15 @@ BENCHMARK(BM_RelaxedIntervalProof)
 BENCHMARK(BM_RelaxedEnumeration)->Arg(4)->Arg(8)->Arg(10)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_RelaxedRaceScan)->Arg(4)->Arg(16)->Arg(32)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_LocksetProof)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LocksetEnumeration)->Arg(4)->Arg(8)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_LocksetRaceScan)->Arg(4)->Arg(16)->Arg(64)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_FuzzAgreement)->Unit(benchmark::kMillisecond);
 

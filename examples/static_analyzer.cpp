@@ -126,14 +126,47 @@ int print_races(const Skeleton& s, DisciplineMode mode,
               result.discipline.clean ? "clean" : "NOT proven clean");
   for (const LintDiagnostic& d : result.discipline.lint.diagnostics)
     std::printf("  %s\n", to_string(d).c_str());
-  std::printf("races: %zu finding(s) over %zu concretization(s)%s\n",
-              result.findings.size(), result.configs_scanned,
-              result.truncated ? " (config space capped)" : "");
+  if (skeleton_traits(s).has_locks) {
+    std::printf("locks: %s (%s)\n",
+                result.locks.clean
+                    ? "clean — every concretization obeys the lock discipline"
+                    : "NOT proven clean",
+                result.locks.proved_definite ? "definite-order proof"
+                : result.locks.exact         ? "exhaustive enumeration"
+                                             : "verdict open");
+    for (const LintDiagnostic& d : result.locks.lint.diagnostics)
+      std::printf("  %s\n", to_string(d).c_str());
+    if (result.locks.has_counterexample) {
+      std::printf("lock counterexample: %s — schedule prefix (%zu events):\n",
+                  to_string(s, result.locks.counterexample_config).c_str(),
+                  result.locks.counterexample.trace.size());
+      write_trace_text(std::cout, result.locks.counterexample.trace);
+    }
+  }
+  std::printf(
+      "races: %zu finding(s) (%zu guarded) over %zu concretization(s)%s\n",
+      result.findings.size(), result.guarded_count(), result.configs_scanned,
+      result.truncated ? " (config space capped)" : "");
   std::size_t unconfirmed = 0;
   for (std::size_t i = 0; i < result.findings.size(); ++i) {
     const StaticRaceFinding& f = result.findings[i];
     std::printf("  [%zu] %s\n      under %s\n", i, to_string(f).c_str(),
                 to_string(s, f.config).c_str());
+    if (!f.prior_lockset.empty() || !f.racing_lockset.empty()) {
+      const auto set_str = [](const std::vector<Loc>& ls) {
+        std::string out = "{";
+        for (std::size_t k = 0; k < ls.size(); ++k) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%s0x%llx", k != 0 ? " " : "",
+                        static_cast<unsigned long long>(ls[k]));
+          out += buf;
+        }
+        return out + "}";
+      };
+      std::printf("      locksets %s vs %s\n",
+                  set_str(f.prior_lockset).c_str(),
+                  set_str(f.racing_lockset).c_str());
+    }
     if (!f.confirmed) ++unconfirmed;
     if (witness_dir != nullptr) {
       const std::string path = std::string(witness_dir) + "/witness-" +
@@ -152,9 +185,13 @@ int print_races(const Skeleton& s, DisciplineMode mode,
   if (unconfirmed != 0)
     std::printf("%zu finding(s) FAILED dynamic confirmation (bug!)\n",
                 unconfirmed);
-  // Linter convention: findings (or a dirty discipline) exit 1 so scripts
-  // can gate on the verdict.
-  return result.any_race() || !result.discipline.lint.ok() ? 1 : 0;
+  // Linter convention: findings (or a dirty discipline / lock verdict)
+  // exit 1 so scripts can gate on the verdict. Guarded pairs alone do not
+  // trip the gate — they are proof of protection, not races.
+  return result.any_race() || !result.discipline.lint.ok() ||
+                 !result.locks.lint.ok()
+             ? 1
+             : 0;
 }
 
 int fuzz_sweep(std::size_t count, std::size_t max_configs) {
@@ -245,7 +282,8 @@ int main(int argc, char** argv) {
         "[--max-configs=N]\n"
         "       %s --emit | --fuzz N\n"
         "skeleton format: seq/fork/join/spawn/sync/finish/async/future/get/"
-        "pipeline + read/write/retire lo [hi], loop min max, branch\n"
+        "pipeline + read/write/retire lo [hi], loop min max, branch,\n"
+        "                 lock ID { ... }, acquire/release [sem] ID\n"
         "future/get skeletons need --mode=relaxed-futures (strict mode "
         "rejects them with S018)\n",
         argv[0], argv[0]);

@@ -73,6 +73,8 @@ void drive(Detector& det, const Trace& trace) {
         break;
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;    }
   }
 }

@@ -112,6 +112,14 @@ done
 [[ "$skeleton_gate" == "0" ]] || exit 1
 echo "skeleton corpus gate: verdicts pinned across $(ls tests/skeletons/*.skel | wc -l) skeletons"
 
+echo "== static smoke: 500-seed static-vs-dynamic agreement sweep"
+# Seeded skeleton fuzz across every construct family — raw/spawn/finish,
+# futures and hand-offs, pipelines, and the lock families (guarded
+# counters, lock-order pairs, semaphore hand-offs). For every explored
+# concretization the lockset-refined static verdict must match the dynamic
+# detector's lockset-filtered one; a single mismatch fails the gate.
+./build/examples/example_static_analyzer --fuzz 500
+
 if [[ "${RACE2D_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== ASan/UBSan skipped (RACE2D_SKIP_ASAN=1)"
 else

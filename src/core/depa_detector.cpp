@@ -153,6 +153,8 @@ std::vector<RaceReport> detect_races_trace_depa(const Trace& trace,
       case TraceOp::kSync:
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;
     }
   }

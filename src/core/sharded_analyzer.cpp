@@ -278,6 +278,8 @@ void ShardedTraceAnalyzer::run_shard(std::size_t shard, RaceReporter& reporter,
       case TraceOp::kSync:
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;  // annotations: no engine action (cf. OnlineRaceDetector)
     }
   }
@@ -477,6 +479,8 @@ std::vector<RaceReport> detect_races_trace(const Trace& trace,
       case TraceOp::kSync:
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;
     }
   }

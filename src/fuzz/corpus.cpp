@@ -39,6 +39,7 @@ TraceFeatures parse_corpus_features(const std::string& text) {
       else if (token == "retire") features.has_retire = true;
       else if (token == "futures") features.has_futures = true;
       else if (token == "pipeline") features.has_pipeline = true;
+      else if (token == "locks") features.has_locks = true;
       // Unknown tokens: ignored (forward compatibility).
     }
     break;
@@ -53,6 +54,7 @@ std::string corpus_features_line(const TraceFeatures& features) {
   if (features.has_retire) line += " retire";
   if (features.has_futures) line += " futures";
   if (features.has_pipeline) line += " pipeline";
+  if (features.has_locks) line += " locks";
   return line;
 }
 

@@ -46,6 +46,7 @@ struct TraceFeatures {
   bool has_retire = false;    ///< vector-clock/FastTrack lack retire semantics
   bool has_futures = false;
   bool has_pipeline = false;
+  bool has_locks = false;     ///< trace carries acquire/release annotations
 };
 
 struct FuzzPlan {

@@ -27,7 +27,29 @@ Trace normalize_trace(const Trace& raw) {
   Trace out;
   out.reserve(raw.size() + 8);
 
+  // Sync-object repair state: a mutex maps to its holder (or kInvalidTask),
+  // a semaphore to its available count. Forwarding an acquire/release only
+  // when the serial semantics allow it keeps the output lint-clean
+  // (L017-L020) just like the line/finish repairs below.
+  FlatHashMap<Loc, TaskId> mutex_holder;
+  FlatHashMap<Loc, std::uint64_t> sem_count;
+  std::vector<std::vector<Loc>> held;  // held[t]: mutexes task t holds
+  auto drop_held = [&](std::vector<Loc>& v, Loc id) {
+    v.erase(std::find(v.begin(), v.end(), id));
+  };
+  // A halting task must not keep mutexes locked forever (L019): emit the
+  // balancing releases first, innermost last-acquired first.
+  auto release_all = [&](TaskId t) {
+    if (t >= held.size()) return;
+    for (auto it = held[t].rbegin(); it != held[t].rend(); ++it) {
+      mutex_holder[*it] = kInvalidTask;
+      out.push_back({TraceOp::kRelease, t, kInvalidTask, *it});
+    }
+    held[t].clear();
+  };
+
   std::vector<SimTask> tasks(1);  // new id 0 = root, alone on the line
+  held.resize(1);
   std::vector<TaskId> stack{0};   // active chain; top = running task
   FlatHashMap<TaskId, TaskId> renumber;
   renumber[0] = 0;
@@ -49,6 +71,7 @@ Trace normalize_trace(const Trace& raw) {
         const TaskId child = static_cast<TaskId>(tasks.size());
         renumber[e.other] = child;
         tasks.push_back({});
+        held.emplace_back();
         // Insert the child immediately left of its parent on the line.
         SimTask& c = tasks[child];
         SimTask& p = tasks[actor];
@@ -74,7 +97,9 @@ Trace normalize_trace(const Trace& raw) {
       }
       case TraceOp::kHalt: {
         if (actor == 0) break;  // the epilogue below halts the root last
-        // Repair: a halt closes whatever finish regions are still open.
+        // Repair: a halt closes whatever finish regions are still open and
+        // releases whatever mutexes are still held.
+        release_all(actor);
         for (; a.finish_depth > 0; --a.finish_depth)
           out.push_back({TraceOp::kFinishEnd, actor, kInvalidTask, 0});
         a.halted = true;
@@ -99,6 +124,30 @@ Trace normalize_trace(const Trace& raw) {
       case TraceOp::kRetire:
         out.push_back({e.op, actor, kInvalidTask, e.loc});
         break;
+      case TraceOp::kAcquire:
+        if (is_semaphore_id(e.loc)) {
+          std::uint64_t& count = sem_count[e.loc];
+          if (count == 0) break;  // would block the serial order: drop
+          --count;
+        } else {
+          TaskId& holder = mutex_holder[e.loc];
+          if (holder != kInvalidTask) break;  // held: drop (L020 repair)
+          holder = actor;
+          held[actor].push_back(e.loc);
+        }
+        out.push_back({TraceOp::kAcquire, actor, kInvalidTask, e.loc});
+        break;
+      case TraceOp::kRelease:
+        if (is_semaphore_id(e.loc)) {
+          ++sem_count[e.loc];  // V is always legal, any task may post
+        } else {
+          TaskId* holder = mutex_holder.find(e.loc);
+          if (holder == nullptr || *holder != actor) break;  // L017/L018
+          *holder = kInvalidTask;
+          drop_held(held[actor], e.loc);
+        }
+        out.push_back({TraceOp::kRelease, actor, kInvalidTask, e.loc});
+        break;
     }
   }
 
@@ -107,6 +156,7 @@ Trace normalize_trace(const Trace& raw) {
   while (stack.size() > 1) {
     const TaskId t = stack.back();
     stack.pop_back();
+    release_all(t);
     for (; tasks[t].finish_depth > 0; --tasks[t].finish_depth)
       out.push_back({TraceOp::kFinishEnd, t, kInvalidTask, 0});
     tasks[t].halted = true;
@@ -121,6 +171,7 @@ Trace normalize_trace(const Trace& raw) {
     if (tasks[t].left != kInvalidTask) tasks[tasks[t].left].right = 0;
     out.push_back({TraceOp::kJoin, 0, t, 0});
   }
+  release_all(0);
   for (; tasks[0].finish_depth > 0; --tasks[0].finish_depth)
     out.push_back({TraceOp::kFinishEnd, 0, kInvalidTask, 0});
   out.push_back({TraceOp::kHalt, 0, kInvalidTask, 0});

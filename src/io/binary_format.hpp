@@ -9,7 +9,9 @@
 //
 // A frame's payload is one CHUNK: a varint event count followed by that many
 // events. Events are delta-encoded — opcode byte, then zigzag varints of the
-// actor / other / location deltas against the previous event's fields — and
+// actor / other / location deltas against the previous event's fields
+// (acquire/release sync-object ids delta against their OWN register, so
+// interleaved data accesses keep their encoding) — and
 // the delta state RESETS at every chunk boundary, so a corrupt chunk is
 // localized: its CRC32C rejects it without poisoning neighbours, and a
 // future salvage pass could resume at the next frame marker. The trailer's

@@ -110,6 +110,7 @@ void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
   TaskId prev_actor = 0;
   TaskId prev_other = 0;
   Loc prev_loc = 0;
+  Loc prev_sync = 0;
   const auto task_or_fail = [&](std::size_t& at, TaskId prev,
                                 const char* field) -> TaskId {
     const std::size_t field_at = at;
@@ -132,7 +133,7 @@ void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
       fail(DecodeCode::kEventCountMismatch, offset_ + pos, os.str());
     }
     const unsigned char opcode = p[pos++];
-    if (opcode > static_cast<unsigned char>(TraceOp::kFinishEnd)) {
+    if (opcode > static_cast<unsigned char>(TraceOp::kRelease)) {
       std::ostringstream os;
       os << "opcode " << static_cast<unsigned>(opcode)
          << " is not a trace event";
@@ -164,6 +165,16 @@ void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
         e.loc = prev_loc + static_cast<Loc>(zigzag_decode(varint_or_fail(pos)));
         prev_actor = e.actor;
         prev_loc = e.loc;
+        break;
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
+        // Sync-object ids keep their own delta register, mirroring the
+        // writer; lock-free chunks therefore decode byte-for-byte as before.
+        e.actor = task_or_fail(pos, prev_actor, "actor");
+        e.other = kInvalidTask;
+        e.loc = prev_sync + static_cast<Loc>(zigzag_decode(varint_or_fail(pos)));
+        prev_actor = e.actor;
+        prev_sync = e.loc;
         break;
     }
     out.push_back(e);

@@ -71,6 +71,16 @@ void BinaryTraceWriter::add(const TraceEvent& e) {
       prev_actor_ = e.actor;
       prev_loc_ = e.loc;
       break;
+    case TraceOp::kAcquire:
+    case TraceOp::kRelease:
+      // Sync-object ids delta against their own register (not prev_loc_):
+      // lock ids and data locations live in disjoint ranges, and mixing
+      // them would also perturb the encoded bytes of interleaved accesses.
+      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
+      append_varint(chunk_, delta_u64(e.loc, prev_sync_));
+      prev_actor_ = e.actor;
+      prev_sync_ = e.loc;
+      break;
   }
   ++chunk_events_;
   ++total_events_;
@@ -99,6 +109,7 @@ void BinaryTraceWriter::flush_chunk() {
   prev_actor_ = 0;
   prev_other_ = 0;
   prev_loc_ = 0;
+  prev_sync_ = 0;
 }
 
 void BinaryTraceWriter::finish() {

@@ -68,6 +68,7 @@ class BinaryTraceWriter {
   TaskId prev_actor_ = 0;
   TaskId prev_other_ = 0;
   Loc prev_loc_ = 0;
+  Loc prev_sync_ = 0;  ///< acquire/release sync-object ids (own register)
 };
 
 /// Batch drivers over BinaryTraceWriter.

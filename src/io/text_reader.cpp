@@ -63,6 +63,12 @@ bool TextTraceReader::next(TraceEvent& out) {
     } else if (op == "retire") {
       const TaskId t = read_task();
       e = {TraceOp::kRetire, t, kInvalidTask, read_loc()};
+    } else if (op == "acquire") {
+      const TaskId t = read_task();
+      e = {TraceOp::kAcquire, t, kInvalidTask, read_loc()};
+    } else if (op == "release") {
+      const TaskId t = read_task();
+      e = {TraceOp::kRelease, t, kInvalidTask, read_loc()};
     } else if (op == "finish_begin") {
       e = {TraceOp::kFinishBegin, read_task(), kInvalidTask, 0};
     } else if (op == "finish_end") {

@@ -40,6 +40,16 @@ class ExecutionListener {
   /// baseline). Structural joins still appear as on_join events.
   virtual void on_finish_begin(TaskId task) { (void)task; }
   virtual void on_finish_end(TaskId task) { (void)task; }
+  /// Sync-object annotations (mutex / counting-semaphore acquire and
+  /// release). Vertex-less like on_sync; only lockset-aware consumers care.
+  virtual void on_acquire(TaskId task, Loc sync_id) {
+    (void)task;
+    (void)sync_id;
+  }
+  virtual void on_release(TaskId task, Loc sync_id) {
+    (void)task;
+    (void)sync_id;
+  }
 };
 
 /// Fans events out to several listeners (e.g. record a trace while detecting).
@@ -73,6 +83,12 @@ class MultiListener : public ExecutionListener {
   }
   void on_finish_end(TaskId t) override {
     for (auto* l : listeners_) l->on_finish_end(t);
+  }
+  void on_acquire(TaskId t, Loc sync_id) override {
+    for (auto* l : listeners_) l->on_acquire(t, sync_id);
+  }
+  void on_release(TaskId t, Loc sync_id) override {
+    for (auto* l : listeners_) l->on_release(t, sync_id);
   }
 
  private:

@@ -71,6 +71,16 @@ class TaskContext {
   virtual void finish_begin_marker() = 0;
   virtual void finish_end_marker() = 0;
 
+  /// Sync-object annotations: mutex / counting-semaphore acquire and
+  /// release on `sync_id` (semaphores carry kSemaphoreBit). Like
+  /// sync_marker these have no structural effect — the serial executor is
+  /// single-threaded so no actual blocking happens; they exist so recorded
+  /// traces carry the lock shape for lockset-based refinement. Default
+  /// no-ops keep non-recording contexts (parallel executor, sugar scopes)
+  /// unchanged.
+  virtual void acquire_marker(Loc sync_id) { (void)sync_id; }
+  virtual void release_marker(Loc sync_id) { (void)sync_id; }
+
   /// Number of live (unjoined) tasks, this task included. Under the serial
   /// executor this is the exact length of the Figure 9 line; the transitive
   /// finish scope uses its delta to drain escaped asyncs.

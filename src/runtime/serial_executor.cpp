@@ -70,6 +70,14 @@ class SerialContext final : public TaskContext {
     if (state_.listener) state_.listener->on_finish_end(self_);
   }
 
+  void acquire_marker(Loc sync_id) override {
+    if (state_.listener) state_.listener->on_acquire(self_, sync_id);
+  }
+
+  void release_marker(Loc sync_id) override {
+    if (state_.listener) state_.listener->on_release(self_, sync_id);
+  }
+
   std::size_t live_tasks() const override { return state_.line.live_count(); }
 
   bool exact_live_tasks() const override { return true; }

@@ -34,6 +34,12 @@ void replay_trace(const Trace& trace, ExecutionListener& listener) {
       case TraceOp::kFinishEnd:
         listener.on_finish_end(e.actor);
         break;
+      case TraceOp::kAcquire:
+        listener.on_acquire(e.actor, e.loc);
+        break;
+      case TraceOp::kRelease:
+        listener.on_release(e.actor, e.loc);
+        break;
     }
   }
 }
@@ -122,6 +128,8 @@ TaskGraph build_task_graph(const Trace& trace) {
       }
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;  // annotations only; no vertex
     }
   }

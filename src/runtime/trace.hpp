@@ -27,7 +27,17 @@ enum class TraceOp : std::uint8_t {
   kRetire,
   kFinishBegin,
   kFinishEnd,
+  // Sync-object annotations (mutexes and counting semaphores). Appended
+  // after kFinishEnd so the binary opcodes of every pre-existing op — and
+  // therefore the encoded bytes of lock-free traces — are unchanged. Like
+  // kSync they are vertex-less: no task-graph vertex, no HB arc; lock
+  // semantics enter detection only through lockset refinement.
+  kAcquire,
+  kRelease,
 };
+
+// Sync-object ids share the Loc space; kSemaphoreBit / is_semaphore_id in
+// support/ids.hpp distinguish counting semaphores from mutexes.
 
 struct TraceEvent {
   TraceOp op;
@@ -69,6 +79,12 @@ class TraceRecorder : public ExecutionListener {
   }
   void on_finish_end(TaskId t) override {
     events_.push_back({TraceOp::kFinishEnd, t, kInvalidTask, 0});
+  }
+  void on_acquire(TaskId t, Loc sync_id) override {
+    events_.push_back({TraceOp::kAcquire, t, kInvalidTask, sync_id});
+  }
+  void on_release(TaskId t, Loc sync_id) override {
+    events_.push_back({TraceOp::kRelease, t, kInvalidTask, sync_id});
   }
 
   const Trace& trace() const { return events_; }

@@ -32,6 +32,10 @@ const char* op_name(TraceOp op) {
       return "finish_begin";
     case TraceOp::kFinishEnd:
       return "finish_end";
+    case TraceOp::kAcquire:
+      return "acquire";
+    case TraceOp::kRelease:
+      return "release";
   }
   return "?";
 }
@@ -64,6 +68,8 @@ void write_trace_text(std::ostream& os, const Trace& trace) {
       case TraceOp::kRead:
       case TraceOp::kWrite:
       case TraceOp::kRetire:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         os << ' ' << e.actor << ' ' << std::hex << e.loc << std::dec;
         break;
     }

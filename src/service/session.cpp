@@ -62,6 +62,8 @@ void DetectionSession::drive(const TraceEvent& e) {
           case TraceOp::kSync:
           case TraceOp::kFinishBegin:
           case TraceOp::kFinishEnd:
+          case TraceOp::kAcquire:
+          case TraceOp::kRelease:
             break;  // ordering no-ops for the §4 detector
         }
       },

@@ -183,6 +183,16 @@ void put_lint(Writer& w, const TraceLintStream::Snapshot& l) {
     w.u64(loc);
     w.u8(mask);
   }
+  w.u64(l.mutexes.size());
+  for (const auto& [id, holder] : l.mutexes) {
+    w.u64(id);
+    w.u32(holder);
+  }
+  w.u64(l.semaphores.size());
+  for (const auto& [id, count] : l.semaphores) {
+    w.u64(id);
+    w.u64(count);
+  }
 }
 
 TraceLintStream::Snapshot get_lint(Reader& r) {
@@ -217,6 +227,21 @@ TraceLintStream::Snapshot get_lint(Reader& r) {
   for (std::size_t i = 0; i < locs; ++i) {
     const Loc loc = r.u64();
     l.locs.emplace_back(loc, r.u8());
+  }
+  const std::size_t mutexes = r.count(12);
+  l.mutexes.reserve(mutexes);
+  for (std::size_t i = 0; i < mutexes; ++i) {
+    const Loc id = r.u64();
+    const TaskId holder = r.u32();
+    if (holder != kInvalidTask && holder >= tasks)
+      reject("K007", "lint mutex holder names a missing task");
+    l.mutexes.emplace_back(id, holder);
+  }
+  const std::size_t semaphores = r.count(16);
+  l.semaphores.reserve(semaphores);
+  for (std::size_t i = 0; i < semaphores; ++i) {
+    const Loc id = r.u64();
+    l.semaphores.emplace_back(id, r.u64());
   }
   return l;
 }

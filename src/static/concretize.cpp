@@ -1,11 +1,13 @@
 #include "static/concretize.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
 #include "runtime/pipeline.hpp"
 #include "runtime/serial_executor.hpp"
 #include "support/assert.hpp"
+#include "support/flat_hash_map.hpp"
 
 namespace race2d {
 
@@ -63,6 +65,7 @@ class Lowerer {
         TaskState st;
         exec_node(ctx, 0, st, 0);
         end_of_body(ctx, st, 0);
+        require_released(ctx, 0);
         if (ctx.live_tasks() > 1) unjoined_ = ctx.live_tasks() - 1;
       });
     } catch (const LoweringAbort& a) {
@@ -153,6 +156,73 @@ class Lowerer {
     return opts_.discipline == DisciplineMode::kRelaxedFutures;
   }
 
+  std::vector<Loc>& held_of(TaskId t) {
+    if (t >= held_.size()) held_.resize(static_cast<std::size_t>(t) + 1);
+    return held_[t];
+  }
+
+  /// Serial lock semantics, shared with the trace linter (L017–L020): a
+  /// mutex acquire blocks while ANY task holds it — in the serial
+  /// fork-first order that is a deadlock, so it aborts (S020); same for a
+  /// semaphore acquire at count zero. A mutex release must come from the
+  /// holder (S019); semaphore release is legal from any task
+  /// (Klein–Lu–Netzer hand-off).
+  void do_acquire(TaskContext& ctx, std::size_t node, Loc sync_id) {
+    check_budget(node);
+    if (is_semaphore_id(sync_id)) {
+      std::uint64_t* count = sem_count_.find(sync_id);
+      if (count == nullptr || *count == 0) {
+        std::ostringstream os;
+        os << "semaphore 0x" << std::hex << (sync_id & ~kSemaphoreBit)
+           << " acquired at count zero (the serial order would block)";
+        throw LoweringAbort{LintCode::kSkelDoubleAcquire, node, os.str()};
+      }
+      --*count;
+    } else {
+      TaskId* holder = mutex_holder_.find(sync_id);
+      if (holder != nullptr && *holder != kInvalidTask) {
+        std::ostringstream os;
+        os << "mutex 0x" << std::hex << sync_id << std::dec
+           << " acquired while task " << *holder << " holds it";
+        throw LoweringAbort{LintCode::kSkelDoubleAcquire, node, os.str()};
+      }
+      mutex_holder_[sync_id] = ctx.id();
+      held_of(ctx.id()).push_back(sync_id);
+    }
+    ctx.acquire_marker(sync_id);
+  }
+
+  void do_release(TaskContext& ctx, std::size_t node, Loc sync_id) {
+    check_budget(node);
+    if (is_semaphore_id(sync_id)) {
+      ++sem_count_[sync_id];
+    } else {
+      TaskId* holder = mutex_holder_.find(sync_id);
+      if (holder == nullptr || *holder == kInvalidTask ||
+          *holder != ctx.id()) {
+        std::ostringstream os;
+        os << "mutex 0x" << std::hex << sync_id << std::dec << " released by task "
+           << ctx.id() << " which does not hold it";
+        throw LoweringAbort{LintCode::kSkelReleaseUnheld, node, os.str()};
+      }
+      *holder = kInvalidTask;
+      std::vector<Loc>& held = held_of(ctx.id());
+      const auto it = std::find(held.rbegin(), held.rend(), sync_id);
+      R2D_ASSERT(it != held.rend());
+      held.erase(std::next(it).base());
+    }
+    ctx.release_marker(sync_id);
+  }
+
+  void require_released(TaskContext& ctx, std::size_t node) {
+    const std::vector<Loc>& held = held_of(ctx.id());
+    if (held.empty()) return;
+    std::ostringstream os;
+    os << "task " << ctx.id() << " halts still holding mutex 0x" << std::hex
+       << held.front();
+    throw LoweringAbort{LintCode::kSkelUnreleasedAtHalt, node, os.str()};
+  }
+
   /// A forked task's body: fresh state, the node's children, the implicit
   /// end-of-body spawn drain (SpawnScope destructor semantics), and — for
   /// futures — the hand-off write as the task's last action.
@@ -161,6 +231,7 @@ class Lowerer {
     TaskState st;
     exec_children(ctx, id, st, offset);
     end_of_body(ctx, st, id);
+    require_released(ctx, id);
     if (n.kind == SkelKind::kFuture) {
       emit_region(ctx, id, shift(n.interval, offset), n.access);
       if (relaxed())
@@ -314,6 +385,20 @@ class Lowerer {
       case SkelKind::kPipeline:
         run_pipeline_node(ctx, id, offset);
         break;
+      // Sync-object annotations lower in EVERY mode: like sync/finish
+      // markers they carry no access, so marker/witness/full traces differ
+      // only in their data events — the lock structure is invariant.
+      case SkelKind::kLock:
+        do_acquire(ctx, id, n.sync_id);
+        exec_children(ctx, id, st, offset);
+        do_release(ctx, id, n.sync_id);
+        break;
+      case SkelKind::kAcquire:
+        do_acquire(ctx, id, n.sync_id);
+        break;
+      case SkelKind::kRelease:
+        do_release(ctx, id, n.sync_id);
+        break;
     }
   }
 
@@ -375,7 +460,10 @@ class Lowerer {
   void emit_region(TaskContext& ctx, std::size_t node, LocInterval iv,
                    AccessKind kind) {
     const std::size_t ordinal = regions_.size();
-    regions_.push_back({node, ordinal, ctx.id(), iv, kind});
+    std::vector<Loc> lockset = held_of(ctx.id());
+    std::sort(lockset.begin(), lockset.end());
+    regions_.push_back({node, ordinal, ctx.id(), iv, kind,
+                        std::move(lockset)});
     switch (opts_.mode) {
       case LowerMode::kMarkers:
         emit_access(ctx, kind, kMarkerLocBase + ordinal, node);
@@ -412,6 +500,11 @@ class Lowerer {
   std::vector<FutureArc> future_arcs_;
   TraceRecorder* rec_ = nullptr;
   std::size_t unjoined_ = 0;
+  /// Lock state of the serial run: mutex holders (kInvalidTask = released),
+  /// semaphore counts, and the per-task held-mutex list (lockset source).
+  FlatHashMap<Loc, TaskId> mutex_holder_;
+  FlatHashMap<Loc, std::uint64_t> sem_count_;
+  std::vector<std::vector<Loc>> held_;
 };
 
 std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
@@ -511,6 +604,7 @@ TraceFeatures skeleton_features(const Skeleton& s) {
   f.has_retire = t.has_retire;
   f.has_futures = t.has_futures;
   f.has_pipeline = t.has_pipeline;
+  f.has_locks = t.has_locks;
   return f;
 }
 

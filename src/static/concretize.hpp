@@ -88,6 +88,10 @@ struct RegionInstance {
   TaskId task = kInvalidTask;
   LocInterval interval{0, 0};  ///< effective (pipeline item stride applied)
   AccessKind kind = AccessKind::kRead;
+  /// Mutexes the emitting task holds at this instance (enclosing lock
+  /// bodies plus raw acquires), sorted. Semaphores never appear — they are
+  /// not mutual exclusion. The substrate of the lockset race refinement.
+  std::vector<Loc> lockset;
 };
 
 struct LowerOptions {
@@ -126,7 +130,11 @@ struct LoweredTrace {
   /// When !ok: the S-code class of the failure, the offending skeleton node
   /// and a human-readable account. S001 join underflow, S002 root halting
   /// over unjoined tasks, S010 budget exhaustion; in relaxed mode also S012
-  /// unfulfilled get, S013 dangling producer, S017 future budget.
+  /// unfulfilled get, S013 dangling producer, S017 future budget. Lock
+  /// discipline violations abort the same way (the serial order would block
+  /// or the trace would fail linting): S019 release of an unheld mutex,
+  /// S020 acquire of a held mutex / zero-count semaphore, S021 a task
+  /// halting while holding a mutex.
   LintCode violation = LintCode::kSkelJoinUnderflow;
   std::size_t violating_node = 0;
   std::string detail;

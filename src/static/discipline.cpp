@@ -269,6 +269,13 @@ class IntervalAnalysis {
         if (have) st = acc;
         break;
       }
+      case SkelKind::kLock:
+        // Acquire/release markers are line-inert; the body runs in place.
+        transfer_children(st, id);
+        break;
+      case SkelKind::kAcquire:
+      case SkelKind::kRelease:
+        break;
     }
   }
 
@@ -295,6 +302,15 @@ const char* violation_hint(LintCode code) {
              "(transitively) waits on its own";
     case LintCode::kSkelFutureBudget:
       return "shrink loop bounds, or raise max_future_instances";
+    case LintCode::kSkelReleaseUnheld:
+      return "acquire the mutex first (in the same task), or use a "
+             "semaphore for cross-task hand-off";
+    case LintCode::kSkelDoubleAcquire:
+      return "release before re-acquiring, or release the semaphore "
+             "earlier in serial order";
+    case LintCode::kSkelUnreleasedAtHalt:
+      return "release every acquired mutex before the task body ends "
+             "(scoped lock { } blocks cannot leak)";
     default:
       return "";
   }

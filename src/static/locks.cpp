@@ -1,0 +1,455 @@
+#include "static/locks.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/flat_hash_map.hpp"
+
+namespace race2d {
+
+namespace {
+
+bool is_lock_op(SkelKind k) {
+  return k == SkelKind::kLock || k == SkelKind::kAcquire ||
+         k == SkelKind::kRelease;
+}
+
+bool task_boundary(SkelKind k) {
+  return k == SkelKind::kFork || k == SkelKind::kSpawn ||
+         k == SkelKind::kAsync || k == SkelKind::kFuture ||
+         k == SkelKind::kPipeline;
+}
+
+std::vector<std::size_t> subtree_sizes(const SkeletonIndex& idx) {
+  std::vector<std::size_t> sizes(idx.size(), 1);
+  for (std::size_t i = idx.size(); i-- > 1;) sizes[idx.parent[i]] += sizes[i];
+  return sizes;
+}
+
+void emit(LintResult& r, LintCode code, std::size_t node, std::string message,
+          std::string hint = {}) {
+  r.diagnostics.push_back(
+      {code, lint_code_severity(code), node, std::move(message),
+       std::move(hint)});
+}
+
+/// Structural pass: lock-order edges (outer mutex → inner mutex, same task)
+/// and blocking syncs inside critical sections. Operates on the tree alone,
+/// so its findings are warnings — shapes that still lower to valid traces
+/// but invite deadlock under a parallel schedule.
+class StructureScan {
+ public:
+  StructureScan(const SkeletonIndex& idx,
+                const std::vector<std::size_t>& sizes)
+      : idx_(idx), sizes_(sizes) {}
+
+  void run(LintResult& out) {
+    walk(0);
+    report_cycles(out);
+    std::sort(s023_.begin(), s023_.end());
+    s023_.erase(std::unique(s023_.begin(), s023_.end()), s023_.end());
+    for (const std::size_t node : s023_) {
+      std::ostringstream os;
+      os << to_string(idx_.nodes[node]->kind)
+         << " runs while the task holds mutex 0x" << std::hex << held_at_[node];
+      emit(out, LintCode::kSkelAcquireAcrossSync, node, os.str(),
+           "a blocking sync inside a critical section serializes unrelated "
+           "tasks and risks deadlock; release first");
+    }
+  }
+
+ private:
+  static std::uint64_t edge_key(std::size_t from, std::size_t to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  void order_edge(Loc outer, Loc inner, std::size_t node) {
+    if (outer == inner) return;
+    const std::size_t a = mutex_index(outer);  // intern in declared order
+    const std::size_t b = mutex_index(inner);
+    const std::uint64_t key = edge_key(a, b);
+    if (edge_node_.find(key) == nullptr) edge_node_[key] = node;
+  }
+
+  std::size_t mutex_index(Loc id) {
+    for (std::size_t i = 0; i < mutexes_.size(); ++i)
+      if (mutexes_[i] == id) return i;
+    mutexes_.push_back(id);
+    return mutexes_.size() - 1;
+  }
+
+  void walk(std::size_t id) {
+    const SkelNode& n = *idx_.nodes[id];
+    if (task_boundary(n.kind)) {
+      // The body runs in another task and inherits no critical section.
+      std::vector<Loc> saved;
+      saved.swap(held_);
+      walk_children(id);
+      saved.swap(held_);
+      return;
+    }
+    switch (n.kind) {
+      case SkelKind::kLock:
+        for (const Loc outer : held_) order_edge(outer, n.sync_id, id);
+        held_.push_back(n.sync_id);
+        walk_children(id);
+        held_.pop_back();
+        return;
+      case SkelKind::kAcquire:
+        if (!is_semaphore_id(n.sync_id)) {
+          for (const Loc outer : held_) order_edge(outer, n.sync_id, id);
+          held_.push_back(n.sync_id);
+        }
+        break;
+      case SkelKind::kRelease:
+        if (!is_semaphore_id(n.sync_id)) {
+          const auto it = std::find(held_.rbegin(), held_.rend(), n.sync_id);
+          if (it != held_.rend()) held_.erase(std::next(it).base());
+        }
+        break;
+      case SkelKind::kJoinLeft:
+      case SkelKind::kGet:
+      case SkelKind::kSync:
+      case SkelKind::kFinish:
+        if (!held_.empty()) {
+          held_at_[id] = held_.back();
+          s023_.push_back(id);
+        }
+        break;
+      default:
+        break;
+    }
+    walk_children(id);
+  }
+
+  void walk_children(std::size_t id) {
+    std::size_t child = id + 1;
+    for (std::size_t k = 0; k < idx_.nodes[id]->children.size(); ++k) {
+      walk(child);
+      child += sizes_[child];
+    }
+  }
+
+  void report_cycles(LintResult& out) {
+    const std::size_t m = mutexes_.size();
+    if (m < 2) return;
+    std::vector<std::vector<bool>> reach(m, std::vector<bool>(m, false));
+    edge_node_.for_each([&](std::uint64_t key, std::size_t) {
+      reach[key >> 32][key & 0xffffffffu] = true;
+    });
+    for (std::size_t k = 0; k < m; ++k)
+      for (std::size_t i = 0; i < m; ++i)
+        if (reach[i][k])
+          for (std::size_t j = 0; j < m; ++j)
+            if (reach[k][j]) reach[i][j] = true;
+    for (std::size_t a = 0; a < m; ++a)
+      for (std::size_t b = a + 1; b < m; ++b) {
+        if (!reach[a][b] || !reach[b][a]) continue;
+        std::size_t node = 0;
+        if (const std::size_t* hit = edge_node_.find(edge_key(a, b)))
+          node = *hit;
+        else if (const std::size_t* rev = edge_node_.find(edge_key(b, a)))
+          node = *rev;
+        std::ostringstream os;
+        os << "mutexes 0x" << std::hex << mutexes_[a] << " and 0x"
+           << mutexes_[b] << " nest in both orders";
+        emit(out, LintCode::kSkelLockOrderCycle, node, os.str(),
+             "pick one global acquisition order for the pair");
+      }
+  }
+
+ private:
+  const SkeletonIndex& idx_;
+  const std::vector<std::size_t>& sizes_;
+  std::vector<Loc> held_;      ///< same-task critical-section stack
+  std::vector<Loc> mutexes_;   ///< dense mutex numbering for the edge graph
+  FlatHashMap<std::uint64_t, std::size_t> edge_node_;  ///< edge → lock node
+  std::vector<std::size_t> s023_;
+  FlatHashMap<std::size_t, Loc> held_at_;
+};
+
+/// One symbolic simulation of the lock automaton over the (definite) serial
+/// order: preorder IS fork-first serial order, and without lock ops under
+/// loops or branches every concretization replays the identical lock-event
+/// sequence — so this single walk is exhaustive.
+class DefiniteSimulation {
+ public:
+  DefiniteSimulation(const SkeletonIndex& idx,
+                     const std::vector<std::size_t>& sizes)
+      : idx_(idx), sizes_(sizes) {}
+
+  /// Returns true when clean; otherwise `code` / `node` / `message` carry
+  /// the violation (which every concretization exhibits).
+  bool run() {
+    body(0, new_task());
+    return !violated_;
+  }
+
+  LintCode code() const { return code_; }
+  std::size_t node() const { return node_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  std::uint32_t new_task() { return next_task_++; }
+
+  std::vector<Loc>& held_of(std::uint32_t t) {
+    if (t >= held_.size()) held_.resize(t + 1);
+    return held_[t];
+  }
+
+  void violate(LintCode code, std::size_t node, std::string message) {
+    if (violated_) return;
+    violated_ = true;
+    code_ = code;
+    node_ = node;
+    message_ = std::move(message);
+  }
+
+  void body(std::size_t id, std::uint32_t task) {
+    walk_children(id, task);
+    if (violated_) return;
+    const std::vector<Loc>& held = held_of(task);
+    if (!held.empty()) {
+      std::ostringstream os;
+      os << "the task halts still holding mutex 0x" << std::hex
+         << held.front();
+      violate(LintCode::kSkelUnreleasedAtHalt, id, os.str());
+    }
+  }
+
+  void acquire(std::size_t id, std::uint32_t task, Loc sync_id) {
+    if (is_semaphore_id(sync_id)) {
+      std::uint64_t* count = sem_.find(sync_id);
+      if (count == nullptr || *count == 0) {
+        std::ostringstream os;
+        os << "semaphore 0x" << std::hex << (sync_id & ~kSemaphoreBit)
+           << " acquired at count zero (the serial order would block)";
+        violate(LintCode::kSkelDoubleAcquire, id, os.str());
+        return;
+      }
+      --*count;
+      return;
+    }
+    std::uint32_t* holder = holder_.find(sync_id);
+    if (holder != nullptr && *holder != kNoHolder) {
+      std::ostringstream os;
+      os << "mutex 0x" << std::hex << sync_id << " acquired while "
+         << (*holder == task ? "this task" : "another task") << " holds it";
+      violate(LintCode::kSkelDoubleAcquire, id, os.str());
+      return;
+    }
+    holder_[sync_id] = task;
+    held_of(task).push_back(sync_id);
+  }
+
+  void release(std::size_t id, std::uint32_t task, Loc sync_id) {
+    if (is_semaphore_id(sync_id)) {
+      ++sem_[sync_id];
+      return;
+    }
+    std::uint32_t* holder = holder_.find(sync_id);
+    if (holder == nullptr || *holder != task) {
+      std::ostringstream os;
+      os << "mutex 0x" << std::hex << sync_id
+         << " released by a task that does not hold it";
+      violate(LintCode::kSkelReleaseUnheld, id, os.str());
+      return;
+    }
+    *holder = kNoHolder;
+    std::vector<Loc>& held = held_of(task);
+    const auto it = std::find(held.rbegin(), held.rend(), sync_id);
+    R2D_ASSERT(it != held.rend());
+    held.erase(std::next(it).base());
+  }
+
+  void walk(std::size_t id, std::uint32_t task) {
+    if (violated_) return;
+    const SkelNode& n = *idx_.nodes[id];
+    switch (n.kind) {
+      case SkelKind::kFork:
+      case SkelKind::kSpawn:
+      case SkelKind::kAsync:
+      case SkelKind::kFuture:
+        // Fork-first: the child body runs to completion here.
+        body(id, new_task());
+        return;
+      case SkelKind::kPipeline: {
+        // Stage bodies hold only balanced scoped locks (S007 bans raw
+        // acquire/release), so one walk per stage decides them.
+        std::size_t child = id + 1;
+        for (std::size_t k = 0; k < n.children.size(); ++k) {
+          body(child, new_task());
+          child += sizes_[child];
+        }
+        return;
+      }
+      case SkelKind::kLock:
+        acquire(id, task, n.sync_id);
+        if (violated_) return;
+        walk_children(id, task);
+        if (violated_) return;
+        release(id, task, n.sync_id);
+        return;
+      case SkelKind::kAcquire:
+        acquire(id, task, n.sync_id);
+        return;
+      case SkelKind::kRelease:
+        release(id, task, n.sync_id);
+        return;
+      default:
+        // Definiteness guarantees loops/branches contain no lock ops, so
+        // their iteration counts / arm choices cannot change lock state;
+        // walking each child once covers every concretization.
+        walk_children(id, task);
+        return;
+    }
+  }
+
+  void walk_children(std::size_t id, std::uint32_t task) {
+    std::size_t child = id + 1;
+    for (std::size_t k = 0; k < idx_.nodes[id]->children.size(); ++k) {
+      walk(child, task);
+      child += sizes_[child];
+    }
+  }
+
+  static constexpr std::uint32_t kNoHolder = 0xffffffffu;
+
+  const SkeletonIndex& idx_;
+  const std::vector<std::size_t>& sizes_;
+  std::uint32_t next_task_ = 0;
+  FlatHashMap<Loc, std::uint32_t> holder_;
+  FlatHashMap<Loc, std::uint64_t> sem_;
+  std::vector<std::vector<Loc>> held_;
+  bool violated_ = false;
+  LintCode code_ = LintCode::kSkelReleaseUnheld;
+  std::size_t node_ = 0;
+  std::string message_;
+};
+
+bool is_lock_violation(LintCode code) {
+  return code == LintCode::kSkelReleaseUnheld ||
+         code == LintCode::kSkelDoubleAcquire ||
+         code == LintCode::kSkelUnreleasedAtHalt;
+}
+
+}  // namespace
+
+LockReport verify_locks(const Skeleton& s, const LockAnalysisOptions& options) {
+  LockReport out;
+  out.lint = validate_skeleton(s);
+  if (!out.lint.ok()) {
+    out.exact = true;  // shape errors are definitive
+    return out;
+  }
+  const SkeletonTraits traits = skeleton_traits(s);
+  if (!traits.has_locks) {
+    out.clean = true;
+    out.exact = true;
+    out.proved_definite = true;
+    return out;
+  }
+
+  const SkeletonIndex idx = index_skeleton(s);
+  const std::vector<std::size_t> sizes = subtree_sizes(idx);
+
+  StructureScan(idx, sizes).run(out.lint);
+
+  // Definiteness gate: a lock op under a loop or branch makes the lock
+  // event sequence configuration-dependent.
+  bool definite = true;
+  for (std::size_t i = 0; i < idx.size() && definite; ++i) {
+    if (!is_lock_op(idx.nodes[i]->kind)) continue;
+    for (std::size_t p = i; p != 0;) {
+      p = idx.parent[p];
+      const SkelKind k = idx.nodes[p]->kind;
+      if (k == SkelKind::kLoop || k == SkelKind::kBranch) {
+        definite = false;
+        break;
+      }
+    }
+  }
+
+  if (definite) {
+    DefiniteSimulation sim(idx, sizes);
+    if (sim.run()) {
+      out.clean = out.lint.ok();
+      out.exact = true;
+      out.proved_definite = true;
+      return out;
+    }
+    std::ostringstream os;
+    os << sim.message() << " (definite: every concretization violates)";
+    emit(out.lint, sim.code(), sim.node(), os.str());
+    out.exact = true;
+    out.proved_definite = true;  // the refutation needed no enumeration
+    return out;
+  }
+
+  // Enumeration fallback: the lowering aborts on lock violations, and its
+  // trace prefix is the counterexample schedule.
+  ConfigSpace space = enumerate_configs(s, options.max_configs);
+  out.configs_total = space.total;
+  LowerOptions lopt;
+  lopt.mode = LowerMode::kMarkers;
+  lopt.discipline = options.mode;
+  lopt.max_events = options.max_events;
+  lopt.max_future_instances = options.max_future_instances;
+  for (const SkelConfig& config : space.configs) {
+    ++out.configs_checked;
+    LoweredTrace lowered = lower_skeleton(s, config, lopt);
+    if (lowered.ok || !is_lock_violation(lowered.violation))
+      continue;  // line-discipline violations are verify_discipline's domain
+    const LintCode code = lowered.violation;
+    std::ostringstream os;
+    os << lowered.detail << " under " << to_string(s, config);
+    emit(out.lint, code, lowered.violating_node, os.str());
+    out.has_counterexample = true;
+    out.counterexample_config = config;
+    out.counterexample = std::move(lowered);
+    out.exact = true;  // a concrete violation is definitive
+    return out;
+  }
+  if (!space.truncated) {
+    out.clean = out.lint.ok();
+    out.exact = true;
+    return out;
+  }
+  {
+    std::ostringstream os;
+    os << "configuration space has " << space.total
+       << " concretizations; checked the first " << out.configs_checked;
+    emit(out.lint, LintCode::kSkelConfigTruncated, 0, os.str(),
+         "raise LockAnalysisOptions::max_configs for an exact verdict");
+  }
+  {
+    std::ostringstream os;
+    os << "lock ops sit under loops/branches and the truncated enumeration "
+          "confirms no violation";
+    emit(out.lint, LintCode::kSkelLockPossible, 0, os.str(),
+         "the risk may be unreachable; enumerate further to decide");
+  }
+  return out;
+}
+
+std::vector<std::vector<Loc>> node_locksets(const Skeleton& s) {
+  const SkeletonIndex idx = index_skeleton(s);
+  std::vector<std::vector<Loc>> out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    std::vector<Loc> held;
+    for (std::size_t p = i; p != 0;) {
+      const std::size_t parent = idx.parent[p];
+      const SkelNode& a = *idx.nodes[parent];
+      if (task_boundary(a.kind)) break;  // forked bodies inherit nothing
+      if (a.kind == SkelKind::kLock) held.push_back(a.sync_id);
+      p = parent;
+    }
+    std::sort(held.begin(), held.end());
+    out[i] = std::move(held);
+  }
+  return out;
+}
+
+}  // namespace race2d

@@ -1,0 +1,83 @@
+// Static lock/semaphore discipline verification over skeletons.
+//
+// The lockset pass answers, for EVERY concretization of a skeleton, whether
+// its serial lowering obeys the sync-object contract the trace linter
+// enforces dynamically (L017–L020): mutexes are non-reentrant and released
+// by their holder before the task halts; a counting semaphore may be
+// released from any task (Klein–Lu–Netzer hand-off) but an acquire needs a
+// positive count or the serial fork-first order would block.
+//
+// Mirroring discipline.cpp's architecture:
+//
+//   * a DEFINITENESS gate — when no lock/acquire/release node sits under a
+//     loop or branch, the serial order of lock events is identical in every
+//     concretization, so ONE symbolic simulation of the lock automaton
+//     (mutex holders, semaphore counts, per-task held stacks) decides the
+//     whole space: the proof fast path, Θ(nodes) regardless of how many
+//     configurations exist;
+//   * a BOUNDED ENUMERATION fallback — indefinite skeletons lower config by
+//     config; the lowering itself aborts on lock violations (S019–S021)
+//     and the violating trace prefix becomes the counterexample schedule;
+//   * STRUCTURAL warnings that lower cleanly but flag deadlock-prone shape:
+//     S022 lock-order cycles (two tasks nest the same mutex pair in
+//     opposite orders) and S023 mutex held across a blocking sync
+//     (join/get/sync/finish inside a critical section).
+//
+// Error codes (S019 release-unheld, S020 double-acquire, S021
+// unreleased-at-halt) are the static counterparts of L017/L018, L020, L019;
+// S024 mirrors S011 when the enumeration is truncated without a verdict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "static/concretize.hpp"
+#include "static/skeleton.hpp"
+
+namespace race2d {
+
+struct LockAnalysisOptions {
+  DisciplineMode mode = DisciplineMode::kStrict;
+  std::size_t max_configs = 4096;
+  std::size_t max_events = std::size_t{1} << 20;
+  std::size_t max_future_instances = 1024;
+};
+
+struct LockReport {
+  /// S019–S024 findings (plus shape errors when the skeleton is invalid).
+  LintResult lint;
+  /// Every concretization's lock discipline holds (no error-level finding).
+  bool clean = false;
+  /// The verdict is definitive: proved symbolically, refuted by a concrete
+  /// counterexample, or the configuration space was exhausted.
+  bool exact = false;
+  /// The definiteness gate held and one symbolic simulation decided the
+  /// whole space (proof or refutation) — no enumeration ran.
+  bool proved_definite = false;
+
+  bool has_counterexample = false;
+  SkelConfig counterexample_config;
+  /// The violating lowering (its trace prefix is the counterexample
+  /// schedule, ending just before the illegal lock event).
+  LoweredTrace counterexample;
+
+  std::uint64_t configs_total = 0;
+  std::size_t configs_checked = 0;  ///< 0 on the proof fast path
+
+  explicit operator bool() const { return clean; }
+};
+
+/// Verifies the lock/semaphore discipline of `s`. Skeletons without lock
+/// nodes are trivially clean (and exact).
+LockReport verify_locks(const Skeleton& s,
+                        const LockAnalysisOptions& options = {});
+
+/// The config-independent MUST-HOLD lockset of every node (preorder ids):
+/// the mutexes of enclosing lock { } scopes with no task-creating node in
+/// between (a forked body does not inherit its parent's critical section).
+/// A subset of every RegionInstance::lockset the lowering computes; useful
+/// for reporting locksets without picking a concretization.
+std::vector<std::vector<Loc>> node_locksets(const Skeleton& s);
+
+}  // namespace race2d

@@ -33,6 +33,8 @@ std::vector<VertexId> region_vertices(const Trace& trace,
       case TraceOp::kSync:
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;
     }
   }
@@ -62,6 +64,8 @@ std::vector<VertexId> region_first_vertices_full(
       case TraceOp::kSync:
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;
     }
   }
@@ -104,6 +108,8 @@ void augment_task_graph_with_futures(
       case TraceOp::kSync:
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;
     }
   }

@@ -10,6 +10,7 @@
 #include "support/assert.hpp"
 #include "support/flat_hash_map.hpp"
 #include "verify/certificate.hpp"
+#include "verify/lockset_filter.hpp"
 
 namespace race2d {
 
@@ -30,9 +31,28 @@ bool conflicting(AccessKind prior, AccessKind racing) {
   return !(prior == AccessKind::kRead && racing == AccessKind::kRead);
 }
 
+/// First mutex the two sorted locksets share, or 0 when disjoint.
+Loc common_mutex(const std::vector<Loc>& a, const std::vector<Loc>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return a[i];
+    if (a[i] < b[j]) ++i;
+    else ++j;
+  }
+  return 0;
+}
+
+bool has_lock_events(const Trace& trace) {
+  return std::any_of(trace.begin(), trace.end(), [](const TraceEvent& e) {
+    return e.op == TraceOp::kAcquire || e.op == TraceOp::kRelease;
+  });
+}
+
 /// Replays the finding's witness trace through the dynamic detector and the
 /// certifier. The witness has exactly two counted accesses: ordinal 1 is
-/// the prior side, ordinal 2 the racing side, both at witness_loc.
+/// the prior side, ordinal 2 the racing side, both at witness_loc. A race
+/// must survive the lockset filter and certify; a guarded finding must be
+/// reported by the lock-agnostic detector, then suppressed by the filter.
 void confirm_finding(StaticRaceFinding& f) {
   std::vector<RaceReport> reports = detect_races_trace(f.witness);
   const RaceReport* hit = nullptr;
@@ -49,6 +69,26 @@ void confirm_finding(StaticRaceFinding& f) {
        << std::hex << f.witness_loc;
     f.confirm_detail = os.str();
     return;
+  }
+  if (f.guarded || has_lock_events(f.witness)) {
+    const TaskGraph graph = build_task_graph(f.witness);
+    const HappensBeforeOracle oracle(graph);
+    const GuardedFilterResult filtered =
+        filter_guarded_races(f.witness, {*hit}, oracle);
+    if (f.guarded) {
+      if (filtered.suppressed != 1) {
+        f.confirm_detail =
+            "lockset filter kept a pair the static scan called guarded";
+        return;
+      }
+      f.confirmed = true;  // guardedness is the claim; nothing to certify
+      return;
+    }
+    if (filtered.reports.empty()) {
+      f.confirm_detail =
+          "lockset filter suppressed a pair the static scan called racy";
+      return;
+    }
   }
   for (const CertifiedReport& c : certify_races(f.witness, {*hit})) {
     if (!c.certified) {
@@ -80,6 +120,8 @@ std::string to_string(const StaticRaceFinding& f) {
      << " over " << to_string(f.overlap) << " at loc 0x" << std::hex
      << f.witness_loc << std::dec << " (regions #" << f.prior_ordinal
      << ", #" << f.racing_ordinal << ")";
+  if (f.guarded)
+    os << " [guarded by mutex 0x" << std::hex << f.guard << std::dec << ']';
   if (f.confirmed) os << " [confirmed]";
   else if (!f.confirm_detail.empty()) os << " [UNCONFIRMED: " << f.confirm_detail << ']';
   return os.str();
@@ -114,8 +156,10 @@ std::vector<ConfigRacePair> scan_config_races(const ConfigModel& model) {
           const std::uint64_t key = p->ordinal * n + r.ordinal;
           if (std::uint8_t* hit = seen.find(key); hit != nullptr) continue;
           seen[key] = 1;
+          const Loc guard = common_mutex(p->lockset, r.lockset);
           out.push_back({p->ordinal, r.ordinal,
-                         p->interval.intersection(r.interval), b});
+                         p->interval.intersection(r.interval), b, guard != 0,
+                         guard});
         }
         live.clear();  // a counted retire closes the storage lifetime
         continue;
@@ -126,8 +170,10 @@ std::vector<ConfigRacePair> scan_config_races(const ConfigModel& model) {
         const std::uint64_t key = p->ordinal * n + r.ordinal;
         if (std::uint8_t* hit = seen.find(key); hit != nullptr) continue;
         seen[key] = 1;
+        const Loc guard = common_mutex(p->lockset, r.lockset);
         out.push_back({p->ordinal, r.ordinal,
-                       p->interval.intersection(r.interval), b});
+                       p->interval.intersection(r.interval), b, guard != 0,
+                       guard});
       }
       live.push_back(&r);
     }
@@ -150,6 +196,12 @@ StaticRaceResult analyze_skeleton(const Skeleton& s,
   dopt.max_events = options.max_events;
   dopt.max_future_instances = options.max_future_instances;
   out.discipline = verify_discipline(s, dopt);
+  LockAnalysisOptions lockopt;
+  lockopt.mode = options.mode;
+  lockopt.max_configs = options.max_configs;
+  lockopt.max_events = options.max_events;
+  lockopt.max_future_instances = options.max_future_instances;
+  out.locks = verify_locks(s, lockopt);
   if (!validate_skeleton(s).ok()) return out;  // shape errors: no findings
   if (options.mode == DisciplineMode::kStrict && skeleton_traits(s).has_futures)
     return out;  // the discipline report carries S018; nothing to scan
@@ -170,7 +222,9 @@ StaticRaceResult analyze_skeleton(const Skeleton& s,
   wopt.max_events = options.max_events;
   wopt.max_future_instances = options.max_future_instances;
   // Dedup across configs and segments: one finding (the first witness) per
-  // (prior node, racing node, kind, kind) quadruple.
+  // (prior node, racing node, kind, kind, guarded) tuple — the guarded bit
+  // is part of the identity, so a pair that is guarded in one config and
+  // exposed in another yields both verdicts.
   FlatHashMap<std::uint64_t, std::uint8_t> reported;
   const std::uint64_t node_count = index_skeleton(s).size();
   for (const auto& model : engine.models()) {
@@ -179,10 +233,12 @@ StaticRaceResult analyze_skeleton(const Skeleton& s,
       const RegionInstance& racing =
           model->lowered.regions[pair.racing_ordinal];
       const std::uint64_t key =
-          ((prior.node * node_count + racing.node) * 4 +
-           static_cast<std::uint64_t>(prior.kind)) *
-              4 +
-          static_cast<std::uint64_t>(racing.kind);
+          (((prior.node * node_count + racing.node) * 4 +
+            static_cast<std::uint64_t>(prior.kind)) *
+               4 +
+           static_cast<std::uint64_t>(racing.kind)) *
+              2 +
+          (pair.guarded ? 1 : 0);
       if (std::uint8_t* hit = reported.find(key); hit != nullptr) continue;
       reported[key] = 1;
 
@@ -196,6 +252,10 @@ StaticRaceResult analyze_skeleton(const Skeleton& s,
       f.prior_ordinal = pair.prior_ordinal;
       f.racing_ordinal = pair.racing_ordinal;
       f.witness_loc = pair.segment_lo;
+      f.guarded = pair.guarded;
+      f.guard = pair.guard;
+      f.prior_lockset = prior.lockset;
+      f.racing_lockset = racing.lockset;
       wopt.witness_prior = pair.prior_ordinal;
       wopt.witness_racing = pair.racing_ordinal;
       wopt.witness_loc = pair.segment_lo;
@@ -246,29 +306,44 @@ AgreementResult check_static_dynamic_agreement(const Skeleton& s,
                     to_string(s, model->config) + ": " + full.detail;
       return out;
     }
-    const bool static_race = !scan_config_races(*model).empty();
+    const std::vector<ConfigRacePair> pairs = scan_config_races(*model);
+    const bool static_race =
+        std::any_of(pairs.begin(), pairs.end(),
+                    [](const ConfigRacePair& p) { return !p.guarded; });
     bool dynamic_race = false;
     std::size_t dynamic_count = 0;
     std::string dynamic_first = "none";
     if (full.future_arcs.empty()) {
-      const std::vector<RaceReport> reports = detect_races_trace(full.trace);
-      dynamic_race = !reports.empty();
-      dynamic_count = reports.size();
-      if (!reports.empty()) dynamic_first = to_string(reports.front());
+      // Lock-aware twin of detect_races_trace: guarded pairs are
+      // suppressed by the same disjoint-lockset condition the static side
+      // applied, so the verdicts stay comparable on lock families.
+      const GuardedFilterResult filtered =
+          detect_races_trace_guarded(full.trace);
+      dynamic_race = !filtered.reports.empty();
+      dynamic_count = filtered.reports.size();
+      if (!filtered.reports.empty())
+        dynamic_first = to_string(filtered.reports.front());
     } else {
       // The online detector sees only the trace's fork-join order; the
       // future→get edges live beside it. Judge the dynamic side with the
       // naive §2.3 detector over the AUGMENTED kFull task graph — the same
       // happens-before the static scan used, decided per location instead
-      // of per segment.
+      // of per segment — then lockset-filter with the augmented oracle.
       TaskGraph graph = build_task_graph(full.trace);
       augment_task_graph_with_futures(
           graph, full.trace, full.future_arcs,
           region_first_vertices_full(full.trace, full.regions));
-      const NaiveResult naive = detect_races_naive(graph);
-      dynamic_race = !naive.races.empty();
-      dynamic_count = naive.races.size();
-      if (!naive.races.empty()) dynamic_first = to_string(naive.races.front());
+      NaiveResult naive = detect_races_naive(graph);
+      std::vector<RaceReport> reports = std::move(naive.races);
+      if (!reports.empty() && has_lock_events(full.trace)) {
+        const HappensBeforeOracle oracle(graph);
+        GuardedFilterResult filtered =
+            filter_guarded_races(full.trace, reports, oracle);
+        reports = std::move(filtered.reports);
+      }
+      dynamic_race = !reports.empty();
+      dynamic_count = reports.size();
+      if (!reports.empty()) dynamic_first = to_string(reports.front());
     }
     if (static_race != dynamic_race) {
       std::ostringstream os;

@@ -27,6 +27,7 @@
 
 #include "static/concretize.hpp"
 #include "static/discipline.hpp"
+#include "static/locks.hpp"
 #include "static/mhp.hpp"
 #include "static/skeleton.hpp"
 
@@ -46,29 +47,46 @@ struct StaticRaceFinding {
   std::size_t racing_ordinal = 0;
   Loc witness_loc = 0;  ///< sampled location (inside `overlap`)
 
+  /// GUARDED verdict: the two sides are MHP and conflict, but both hold
+  /// mutex `guard` — mutual exclusion forbids the overlap, so the pair is
+  /// reported as guarded, never as a race (any_race ignores it).
+  bool guarded = false;
+  Loc guard = 0;  ///< a common mutex id (meaningful when guarded)
+  std::vector<Loc> prior_lockset;   ///< sorted mutexes the prior side held
+  std::vector<Loc> racing_lockset;  ///< sorted mutexes the racing side held
+
   /// kWitness lowering of `config`: the counterexample schedule. Exactly
-  /// two accesses — ordinal 1 is the prior side, ordinal 2 the racing side.
+  /// two accesses — ordinal 1 is the prior side, ordinal 2 the racing side
+  /// (acquire/release markers are emitted too, so the lockset filter sees
+  /// the guards).
   Trace witness;
 
-  /// Dynamic confirmation: OnlineRaceDetector reported the pair on
-  /// `witness` and certify_races re-proved it. `confirm_detail` carries the
-  /// failure reason when false (empty if confirmation was not requested).
+  /// Dynamic confirmation. For a race: the OnlineRaceDetector reported the
+  /// pair on `witness`, the lockset filter KEPT it, and certify_races
+  /// re-proved it. For a guarded finding: the lock-agnostic detector
+  /// reported the pair but the lockset filter SUPPRESSED it. The
+  /// `confirm_detail` carries the failure reason when false (empty if
+  /// confirmation was not requested).
   bool confirmed = false;
   std::string confirm_detail;
 };
 
 std::string to_string(const StaticRaceFinding& f);
 
-/// A racing ordinal pair inside one concretization (scan-level result).
+/// A conflicting MHP ordinal pair inside one concretization (scan-level
+/// result): a race when the locksets are disjoint, guarded otherwise.
 struct ConfigRacePair {
   std::size_t prior_ordinal = 0;
   std::size_t racing_ordinal = 0;
   LocInterval overlap{0, 0};
   Loc segment_lo = 0;  ///< segment where the automaton saw the pair live
+  bool guarded = false;  ///< both sides hold `guard`; not a race
+  Loc guard = 0;         ///< a common mutex id (meaningful when guarded)
 };
 
-/// Exact per-config race scan: every racing region-instance pair of the
-/// model's concretization, in (racing, prior) serial order.
+/// Exact per-config race scan: every conflicting MHP region-instance pair
+/// of the model's concretization — racy AND guarded, distinguished by the
+/// `guarded` flag — in (racing, prior) serial order.
 std::vector<ConfigRacePair> scan_config_races(const ConfigModel& model);
 
 struct StaticRaceOptions {
@@ -87,16 +105,31 @@ struct StaticRaceOptions {
 };
 
 struct StaticRaceResult {
-  /// Deduplicated by (prior_node, racing_node, kinds); first witness kept.
+  /// Deduplicated by (prior_node, racing_node, kinds, guarded); first
+  /// witness kept.
   std::vector<StaticRaceFinding> findings;
   /// The discipline verdict (always computed first; the race scan only
   /// covers concretizations that lower cleanly).
   DisciplineReport discipline;
+  /// The lock/semaphore discipline verdict (S019–S024). Lock-violating
+  /// concretizations abort their lowering and are skipped by the scan, the
+  /// same way line-discipline violations are.
+  LockReport locks;
   bool truncated = false;           ///< config space capped (S009)
   std::uint64_t configs_total = 0;
   std::size_t configs_scanned = 0;  ///< concretizations actually scanned
 
-  bool any_race() const { return !findings.empty(); }
+  /// True when any finding is an actual race; guarded pairs don't count.
+  bool any_race() const {
+    for (const StaticRaceFinding& f : findings)
+      if (!f.guarded) return true;
+    return false;
+  }
+  std::size_t guarded_count() const {
+    std::size_t n = 0;
+    for (const StaticRaceFinding& f : findings) n += f.guarded ? 1 : 0;
+    return n;
+  }
 };
 
 /// The full static race analysis of `s`. Shape errors surface through the
@@ -117,9 +150,13 @@ struct AgreementResult {
 /// For EVERY explored concretization: the static pair scan must agree with
 /// the dynamic detector's verdict on the kFull lowering (the paper's
 /// precision-up-to-the-first-report contract makes verdicts, not report
-/// multisets, the comparable unit). With `differential`, each kFull trace
-/// additionally runs the whole run_differential panel. Discipline-violating
-/// concretizations have no dynamic run and are skipped.
+/// multisets, the comparable unit). Both sides are lockset-aware: the
+/// static side counts only non-guarded pairs, the dynamic side filters the
+/// detector's reports through the pairwise-exact lockset filter — the two
+/// refinements apply the same disjointness condition, so agreement stays
+/// exact on lock-bearing families. With `differential`, each kFull trace
+/// additionally runs the whole run_differential panel. Discipline- or
+/// lock-violating concretizations have no dynamic run and are skipped.
 AgreementResult check_static_dynamic_agreement(
     const Skeleton& s, const StaticRaceOptions& options = {},
     bool differential = false);

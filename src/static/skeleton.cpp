@@ -30,6 +30,9 @@ const char* to_string(SkelKind kind) {
     case SkelKind::kFuture:   return "future";
     case SkelKind::kGet:      return "get";
     case SkelKind::kPipeline: return "pipeline";
+    case SkelKind::kLock:     return "lock";
+    case SkelKind::kAcquire:  return "acquire";
+    case SkelKind::kRelease:  return "release";
   }
   return "?";
 }
@@ -104,6 +107,24 @@ SkelNode pipeline(std::size_t item_count, std::vector<SkelNode> stages,
   return n;
 }
 
+SkelNode lock(Loc sync_id, std::vector<SkelNode> body) {
+  SkelNode n = node_of(SkelKind::kLock, std::move(body));
+  n.sync_id = sync_id;
+  return n;
+}
+SkelNode acquire(Loc sync_id) {
+  SkelNode n = node_of(SkelKind::kAcquire, {});
+  n.sync_id = sync_id;
+  return n;
+}
+SkelNode release(Loc sync_id) {
+  SkelNode n = node_of(SkelKind::kRelease, {});
+  n.sync_id = sync_id;
+  return n;
+}
+SkelNode sem_acquire(Loc sync_id) { return acquire(sync_id | kSemaphoreBit); }
+SkelNode sem_release(Loc sync_id) { return release(sync_id | kSemaphoreBit); }
+
 }  // namespace skel
 
 namespace {
@@ -142,6 +163,8 @@ class Validator {
       case SkelKind::kSync:
       case SkelKind::kAccess:
       case SkelKind::kGet:
+      case SkelKind::kAcquire:
+      case SkelKind::kRelease:
         if (!n.children.empty()) {
           os << to_string(n.kind) << " node carries " << n.children.size()
              << " child(ren)";
@@ -181,6 +204,17 @@ class Validator {
           emit(LintCode::kSkelAsyncOutsideFinish, id,
                "async outside any finish region",
                "wrap it in finish { ... } or use a raw fork");
+        break;
+      case SkelKind::kLock:
+        // A scoped lock is mutual exclusion; semaphore ids make no sense
+        // here (use raw sem acquire/release for hand-offs).
+        if (is_semaphore_id(n.sync_id)) {
+          os << "lock names semaphore id 0x" << std::hex
+             << (n.sync_id & ~kSemaphoreBit);
+          emit(LintCode::kSkelNodeShape, id, os.str(),
+               "lock { } takes a mutex id; semaphores use raw "
+               "acquire/release sem");
+        }
         break;
       case SkelKind::kPipeline: {
         if (n.children.empty() || n.item_count == 0) {
@@ -227,10 +261,13 @@ class Validator {
         case SkelKind::kFuture:
         case SkelKind::kGet:
         case SkelKind::kPipeline:
+        case SkelKind::kAcquire:
+        case SkelKind::kRelease:
           os.str({});
           os << to_string(n.kind) << " inside a pipeline stage body";
           emit(LintCode::kSkelPipelineShape, id, os.str(),
-               "stage bodies are straight-line: seq/access/loop/branch only");
+               "stage bodies are straight-line: seq/access/loop/branch only"
+               " (scoped lock { } is allowed, raw acquire/release are not)");
           break;
         default:
           break;
@@ -286,6 +323,12 @@ void traits_rec(const SkelNode& n, SkeletonTraits& t, bool& raw, bool& spawns,
       break;
     case SkelKind::kLoop:   ++t.loop_count; break;
     case SkelKind::kBranch: ++t.branch_count; break;
+    case SkelKind::kLock:
+    case SkelKind::kAcquire:
+    case SkelKind::kRelease:
+      t.has_locks = true;
+      ++t.lock_count;
+      break;
     case SkelKind::kSeq:    break;
   }
   for (const SkelNode& c : n.children) traits_rec(c, t, raw, spawns, finishes);

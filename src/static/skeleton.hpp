@@ -75,9 +75,13 @@ enum class SkelKind : std::uint8_t {
   kFuture,    ///< fork a producer (children) that writes `interval` last
   kGet,       ///< future get: join-left, then read `interval`
   kPipeline,  ///< m×n pipeline grid: children are stage bodies, run per item
+  kLock,      ///< lock sync_id { children }: scoped critical section (the
+              ///< acquire/release pair brackets the children, same task)
+  kAcquire,   ///< leaf: acquire sync_id (mutex or counting semaphore)
+  kRelease,   ///< leaf: release sync_id
 };
 
-inline constexpr std::size_t kSkelKindCount = 13;
+inline constexpr std::size_t kSkelKindCount = 16;
 
 const char* to_string(SkelKind kind);
 
@@ -106,6 +110,11 @@ struct SkelNode {
   std::size_t item_count = 0;
   std::vector<std::uint8_t> stage_serial;
   Loc item_stride = 0;
+
+  /// kLock / kAcquire / kRelease: the sync-object id. Ids with kSemaphoreBit
+  /// set denote counting semaphores; bare ids denote mutexes (only mutexes
+  /// enter locksets — see static/locks.hpp).
+  Loc sync_id = 0;
 };
 
 /// A symbolic program: the root task's body.
@@ -140,6 +149,12 @@ SkelNode get(Loc lo, Loc hi);
 SkelNode pipeline(std::size_t item_count, std::vector<SkelNode> stages,
                   std::vector<std::uint8_t> stage_serial = {},
                   Loc item_stride = 0);
+SkelNode lock(Loc sync_id, std::vector<SkelNode> body);
+SkelNode acquire(Loc sync_id);
+SkelNode release(Loc sync_id);
+/// Semaphore-flavoured conveniences: OR kSemaphoreBit into the id.
+SkelNode sem_acquire(Loc sync_id);
+SkelNode sem_release(Loc sync_id);
 
 }  // namespace skel
 
@@ -168,9 +183,11 @@ struct SkeletonTraits {
   bool has_retire = false;
   bool has_futures = false;
   bool has_pipeline = false;
+  bool has_locks = false;     ///< any kLock/kAcquire/kRelease node
   std::size_t region_count = 0;  ///< access-bearing nodes (incl. future/get)
   std::size_t loop_count = 0;
   std::size_t branch_count = 0;
+  std::size_t lock_count = 0;    ///< kLock/kAcquire/kRelease nodes
 };
 
 SkeletonTraits skeleton_traits(const Skeleton& s);

@@ -20,7 +20,7 @@ SkelFuzzPlan SkelFuzzPlan::from_seed(std::uint64_t seed) {
   p.max_span = rng.range(0, 6);
   p.write_frac = 0.3 + rng.uniform01() * 0.4;
   p.retire_prob = rng.chance(0.5) ? 0.0 : rng.uniform01() * 0.25;
-  switch (rng.below(7)) {
+  switch (rng.below(9)) {
     case 0:  // raw Figure-9 only
       break;
     case 1:  // pure spawn/sync (SP-bags lawful downstream)
@@ -41,12 +41,21 @@ SkelFuzzPlan SkelFuzzPlan::from_seed(std::uint64_t seed) {
       p.use_futures = true;
       p.use_future_handoff = true;
       break;
+    case 6:  // guarded counters + lock-order pairs over raw forks
+      p.use_locks = true;
+      break;
+    case 7:  // semaphore hand-offs (+ guards, so both annotations mix)
+      p.use_locks = true;
+      p.use_semaphores = true;
+      break;
     default:  // everything
       p.use_spawn = true;
       p.use_finish = true;
       p.use_futures = true;
       p.use_future_handoff = true;
       p.use_pipeline = true;
+      p.use_locks = true;
+      p.use_semaphores = true;
       break;
   }
   return p;
@@ -70,6 +79,8 @@ std::string to_string(const SkelFuzzPlan& plan) {
   family(plan.use_futures, "futures");
   family(plan.use_future_handoff, "handoff");
   family(plan.use_pipeline, "pipeline");
+  family(plan.use_locks, "locks");
+  family(plan.use_semaphores, "semaphores");
   if (plan.allow_violations) os << " violations";
   return os.str();
 }
@@ -100,6 +111,17 @@ class Generator {
     return skel::read(lo, hi);
   }
 
+  /// Two-mutex pool: small enough that independent draws collide often, so
+  /// the corpus actually produces common-guard (suppressed) pairs.
+  Loc pick_mutex() { return 0x1000 + rng_.below(2) * 0x10; }
+
+  /// Guarded counter: the access runs inside a critical section.
+  SkelNode make_guarded_access() {
+    std::vector<SkelNode> body;
+    body.push_back(make_access());
+    return skel::lock(pick_mutex(), std::move(body));
+  }
+
   /// One body: a run of constructs, internally balanced — every raw fork
   /// and future it creates is joined/got before the body ends (LIFO, so
   /// join_left always meets the intended task), except for deliberate
@@ -124,7 +146,26 @@ class Generator {
         case 0:
         case 1:
         case 2:
-          out.push_back(make_access());
+          if (plan_.use_locks && rng_.chance(0.5)) {
+            if (rng_.chance(0.3)) {
+              // Lock-order pair: the pool's two mutexes nested in a random
+              // order — two sites drawing opposite orders produce the S022
+              // shape (a warning; race verdicts are unaffected). Critical
+              // sections never span a fork, so the serial order never
+              // deadlocks on them.
+              Loc outer = 0x1000, inner = 0x1010;
+              if (rng_.chance(0.5)) std::swap(outer, inner);
+              std::vector<SkelNode> innermost;
+              innermost.push_back(make_access());
+              std::vector<SkelNode> mid;
+              mid.push_back(skel::lock(inner, std::move(innermost)));
+              out.push_back(skel::lock(outer, std::move(mid)));
+            } else {
+              out.push_back(make_guarded_access());
+            }
+          } else {
+            out.push_back(make_access());
+          }
           break;
         case 3:
           if (plan_.use_raw && depth < plan_.max_depth) {
@@ -135,7 +176,20 @@ class Generator {
           }
           break;
         case 4:
-          if (plan_.use_spawn && depth < plan_.max_depth) {
+          if (plan_.use_semaphores && plan_.use_raw &&
+              depth < plan_.max_depth && rng_.chance(0.5)) {
+            // Klein–Lu–Netzer hand-off: post the token first (the serial
+            // fork-first order runs the child at the fork point, so the
+            // release must precede it), then the child consumes it.
+            const Loc sem = 0x2000 + rng_.below(2) * 0x10;
+            out.push_back(skel::sem_release(sem));
+            std::vector<SkelNode> child;
+            child.push_back(skel::sem_acquire(sem));
+            for (SkelNode& rest : gen_body(depth + 1))
+              child.push_back(std::move(rest));
+            out.push_back(skel::fork(std::move(child)));
+            pending.push_back({});
+          } else if (plan_.use_spawn && depth < plan_.max_depth) {
             out.push_back(skel::spawn(gen_body(depth + 1)));
             if (rng_.chance(0.4)) out.push_back(skel::sync());
           } else if (plan_.use_finish && depth < plan_.max_depth) {

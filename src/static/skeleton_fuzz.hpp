@@ -51,6 +51,15 @@ struct SkelFuzzPlan {
   /// DisciplineMode::kRelaxedFutures (the agreement check auto-upgrades).
   bool use_future_handoff = false;
   bool use_pipeline = false;
+  /// Guarded counters (lock L { access } around a shared pool of mutexes —
+  /// conflicting MHP pairs that share the guard must be reported guarded,
+  /// not racy) and lock-order pairs (forked bodies nesting the same two
+  /// mutexes in both orders — S022 fodder, still race-equivalent).
+  bool use_locks = false;
+  /// Klein–Lu–Netzer semaphore hand-offs: the parent posts a token, the
+  /// forked child consumes it. Semaphores never guard, so verdicts are
+  /// unchanged — the family stresses the annotation plumbing end to end.
+  bool use_semaphores = false;
 
   /// Occasionally leak a task or emit a stray join (see file comment).
   bool allow_violations = false;

@@ -165,6 +165,25 @@ class Parser {
       const LocInterval iv = parse_interval();
       return skel::get(iv.lo, iv.hi);
     }
+    if (kw.text == "lock") {
+      const Loc id = parse_number(tok_.next());
+      return skel::lock(id, parse_block());
+    }
+    if (kw.text == "acquire" || kw.text == "release") {
+      // `acquire sem <id>` / `release sem <id>` name a counting semaphore;
+      // the bare form names a mutex. The writer mirrors this instead of
+      // printing the raw kSemaphoreBit-tagged id.
+      const bool acquire = kw.text == "acquire";
+      bool semaphore = false;
+      if (const Token* t = tok_.peek(); t != nullptr && t->text == "sem") {
+        tok_.next();
+        semaphore = true;
+      }
+      const Loc id = parse_number(tok_.next());
+      if (semaphore)
+        return acquire ? skel::sem_acquire(id) : skel::sem_release(id);
+      return acquire ? skel::acquire(id) : skel::release(id);
+    }
     if (kw.text == "pipeline") {
       const std::uint64_t items = parse_number(tok_.next());
       Loc stride = 0;
@@ -272,6 +291,22 @@ class Writer {
       case SkelKind::kGet:
         os_ << "get ";
         interval(n.interval);
+        os_ << '\n';
+        break;
+      case SkelKind::kLock:
+        os_ << "lock ";
+        number(n.sync_id);
+        block(n, depth);
+        break;
+      case SkelKind::kAcquire:
+      case SkelKind::kRelease:
+        os_ << (n.kind == SkelKind::kAcquire ? "acquire " : "release ");
+        if (is_semaphore_id(n.sync_id)) {
+          os_ << "sem ";
+          number(n.sync_id & ~kSemaphoreBit);
+        } else {
+          number(n.sync_id);
+        }
         os_ << '\n';
         break;
       case SkelKind::kPipeline: {

@@ -24,4 +24,14 @@ using Loc = std::uint64_t;
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
 
+/// Sync-object ids (mutexes / counting semaphores) share the Loc space. Ids
+/// with this bit set denote counting semaphores: cross-task release is legal
+/// (Klein–Lu–Netzer hand-off) and they never enter locksets — a semaphore is
+/// not mutual exclusion. Bare ids denote mutexes.
+inline constexpr Loc kSemaphoreBit = Loc{1} << 63;
+
+inline constexpr bool is_semaphore_id(Loc sync_id) {
+  return (sync_id & kSemaphoreBit) != 0;
+}
+
 }  // namespace race2d

@@ -56,6 +56,8 @@ CertificateChecker::CertificateChecker(const Trace& trace)
       case TraceOp::kSync:
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
+      case TraceOp::kAcquire:
+      case TraceOp::kRelease:
         break;
       case TraceOp::kRead:
       case TraceOp::kWrite: {

@@ -22,6 +22,10 @@ const char* lint_code_id(LintCode code) {
     case LintCode::kFinishEndUnbalanced: return "L014";
     case LintCode::kFinishUnclosed:      return "L015";
     case LintCode::kInvalidTaskId:       return "L016";
+    case LintCode::kReleaseWithoutAcquire:return "L017";
+    case LintCode::kCrossTaskRelease:    return "L018";
+    case LintCode::kUnreleasedAtHalt:    return "L019";
+    case LintCode::kDoubleAcquire:       return "L020";
     case LintCode::kAccessAfterRetire:   return "W101";
     case LintCode::kDeadRetire:          return "W102";
     case LintCode::kEmptyDiagram:        return "D001";
@@ -57,6 +61,12 @@ const char* lint_code_id(LintCode code) {
     case LintCode::kSkelCellEscapes:       return "S016";
     case LintCode::kSkelFutureBudget:      return "S017";
     case LintCode::kSkelFuturesNeedRelaxed:return "S018";
+    case LintCode::kSkelReleaseUnheld:     return "S019";
+    case LintCode::kSkelDoubleAcquire:     return "S020";
+    case LintCode::kSkelUnreleasedAtHalt:  return "S021";
+    case LintCode::kSkelLockOrderCycle:    return "S022";
+    case LintCode::kSkelAcquireAcrossSync: return "S023";
+    case LintCode::kSkelLockPossible:      return "S024";
   }
   return "????";
 }
@@ -79,6 +89,10 @@ const char* lint_code_slug(LintCode code) {
     case LintCode::kFinishEndUnbalanced: return "finish-end-unbalanced";
     case LintCode::kFinishUnclosed:      return "finish-unclosed";
     case LintCode::kInvalidTaskId:       return "invalid-task-id";
+    case LintCode::kReleaseWithoutAcquire:return "release-without-acquire";
+    case LintCode::kCrossTaskRelease:    return "cross-task-mutex-release";
+    case LintCode::kUnreleasedAtHalt:    return "mutex-unreleased-at-halt";
+    case LintCode::kDoubleAcquire:       return "double-acquire";
     case LintCode::kAccessAfterRetire:   return "access-after-retire";
     case LintCode::kDeadRetire:          return "dead-retire";
     case LintCode::kEmptyDiagram:        return "empty-diagram";
@@ -114,6 +128,12 @@ const char* lint_code_slug(LintCode code) {
     case LintCode::kSkelCellEscapes:       return "skel-handoff-cell-escapes";
     case LintCode::kSkelFutureBudget:      return "skel-future-budget-exceeded";
     case LintCode::kSkelFuturesNeedRelaxed:return "skel-futures-need-relaxed-mode";
+    case LintCode::kSkelReleaseUnheld:     return "skel-release-unheld-mutex";
+    case LintCode::kSkelDoubleAcquire:     return "skel-double-acquire";
+    case LintCode::kSkelUnreleasedAtHalt:  return "skel-mutex-unreleased-at-halt";
+    case LintCode::kSkelLockOrderCycle:    return "skel-lock-order-cycle";
+    case LintCode::kSkelAcquireAcrossSync: return "skel-acquire-across-sync";
+    case LintCode::kSkelLockPossible:      return "skel-possible-lock-violation";
   }
   return "unknown";
 }
@@ -126,6 +146,9 @@ LintSeverity lint_code_severity(LintCode code) {
     case LintCode::kSkelPossibleViolation:
     case LintCode::kSkelGetAliasesCells:
     case LintCode::kSkelCellEscapes:
+    case LintCode::kSkelLockOrderCycle:
+    case LintCode::kSkelAcquireAcrossSync:
+    case LintCode::kSkelLockPossible:
       return LintSeverity::kWarning;
     default:
       return LintSeverity::kError;

@@ -39,6 +39,16 @@ enum class LintCode : std::uint8_t {
   kFinishUnclosed,       ///< L015: task halted inside an open finish region
   kInvalidTaskId,        ///< L016: reserved sentinel used as a task id
 
+  // L017..L020 — sync-object (mutex / counting-semaphore) discipline. A
+  // mutex release must come from the holding task; a semaphore release may
+  // come from any task (Klein–Lu–Netzer hand-off), but an acquire needs a
+  // positive count or the serial execution would have blocked.
+  kReleaseWithoutAcquire,///< L017: release of a mutex no task holds
+  kCrossTaskRelease,     ///< L018: release of a mutex held by another task
+  kUnreleasedAtHalt,     ///< L019: task halted still holding a mutex
+  kDoubleAcquire,        ///< L020: acquire of a held mutex, or of a
+                         ///<       zero-count semaphore (serial order blocks)
+
   // W1xx — trace hygiene (warnings; detectors still accept these).
   kAccessAfterRetire,    ///< W101: access to a retired location (address reuse)
   kDeadRetire,           ///< W102: retire of a location with no live accesses
@@ -88,6 +98,23 @@ enum class LintCode : std::uint8_t {
   kSkelCellEscapes,       ///< S016: a hand-off cell interval overlaps a plain access
   kSkelFutureBudget,      ///< S017: a concretization exceeds the future-instance budget
   kSkelFuturesNeedRelaxed,///< S018: strict mode rejects future/get nodes upfront
+
+  // S019..S024 — lock/semaphore discipline (the static lockset pass in
+  // static/locks.cpp). Error-level codes are the static counterparts of the
+  // trace linter's L017–L020; warning-level codes flag deadlock-shaped
+  // structure that still lowers to valid serial traces.
+  kSkelReleaseUnheld,     ///< S019: some concretization releases a mutex it
+                          ///<       does not hold (unheld or cross-task)
+  kSkelDoubleAcquire,     ///< S020: some concretization acquires a held
+                          ///<       mutex or a zero-count semaphore
+  kSkelUnreleasedAtHalt,  ///< S021: some concretization halts a task still
+                          ///<       holding a mutex
+  kSkelLockOrderCycle,    ///< S022: MHP regions nest the same mutex pair in
+                          ///<       opposite orders (deadlock-prone)
+  kSkelAcquireAcrossSync, ///< S023: a mutex is held across a join/get
+                          ///<       (blocking sync inside a critical section)
+  kSkelLockPossible,      ///< S024: interval analysis flags a lock risk no
+                          ///<       explored concretization confirms
 };
 
 enum class LintSeverity : std::uint8_t { kWarning, kError };

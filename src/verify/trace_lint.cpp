@@ -1,5 +1,6 @@
 #include "verify/trace_lint.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +19,8 @@ const char* op_name(TraceOp op) {
     case TraceOp::kRetire:      return "retire";
     case TraceOp::kFinishBegin: return "finish_begin";
     case TraceOp::kFinishEnd:   return "finish_end";
+    case TraceOp::kAcquire:     return "acquire";
+    case TraceOp::kRelease:     return "release";
   }
   return "?";
 }
@@ -107,6 +110,8 @@ bool TraceLintStream::feed(const TraceEvent& e) {
     case TraceOp::kJoin:   on_join(i, e); break;
     case TraceOp::kHalt:   on_halt(i, e); break;
     case TraceOp::kSync:   break;
+    case TraceOp::kAcquire: on_acquire(i, e); break;
+    case TraceOp::kRelease: on_release(i, e); break;
     case TraceOp::kRead:
     case TraceOp::kWrite:  on_access(i, e); break;
     case TraceOp::kRetire: on_retire(i, e); break;
@@ -211,7 +216,73 @@ void TraceLintStream::on_join(std::size_t i, const TraceEvent& e) {
   if (joined.left != kInvalidTask) tasks_[joined.left].right = e.actor;
 }
 
+void TraceLintStream::on_acquire(std::size_t i, const TraceEvent& e) {
+  if (is_semaphore_id(e.loc)) {
+    std::uint64_t* count = semaphores_.find(e.loc);
+    if (count == nullptr || *count == 0) {
+      emit(LintCode::kDoubleAcquire, i, [&](std::ostream& os) {
+        os << "task " << e.actor << " acquires semaphore 0x" << std::hex
+           << e.loc << std::dec << " whose count is zero";
+      }, "in serial order this acquire would block forever");
+      return;  // repair: the failed acquire changes no state
+    }
+    --*count;
+    return;
+  }
+  TaskId* existing = mutexes_.find(e.loc);
+  if (existing == nullptr) {
+    // First time this mutex appears: seed its entry as released. operator[]
+    // would default-construct the holder as task 0, which is a real id.
+    mutexes_[e.loc] = kInvalidTask;
+    existing = mutexes_.find(e.loc);
+  }
+  TaskId& holder = *existing;
+  if (holder != kInvalidTask) {
+    emit(LintCode::kDoubleAcquire, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " acquires mutex 0x" << std::hex << e.loc
+         << std::dec << " already held by task " << holder;
+    }, "mutexes are not reentrant; in serial order this blocks forever");
+    return;
+  }
+  holder = e.actor;
+}
+
+void TraceLintStream::on_release(std::size_t i, const TraceEvent& e) {
+  if (is_semaphore_id(e.loc)) {
+    ++semaphores_[e.loc];  // V from any task is legal (semaphore hand-off)
+    return;
+  }
+  TaskId* holder = mutexes_.find(e.loc);
+  if (holder == nullptr || *holder == kInvalidTask) {
+    emit(LintCode::kReleaseWithoutAcquire, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " releases mutex 0x" << std::hex << e.loc
+         << std::dec << " which no task holds";
+    }, "acquire a mutex before releasing it");
+    return;
+  }
+  if (*holder != e.actor) {
+    emit(LintCode::kCrossTaskRelease, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " releases mutex 0x" << std::hex << e.loc
+         << std::dec << " held by task " << *holder;
+    }, "only the holding task may release a mutex (semaphores may)");
+    return;  // repair: the illegal release leaves the holder in place
+  }
+  *holder = kInvalidTask;
+}
+
 void TraceLintStream::on_halt(std::size_t i, const TraceEvent& e) {
+  std::vector<Loc> held;
+  mutexes_.for_each([&](Loc id, TaskId holder) {
+    if (holder == e.actor) held.push_back(id);
+  });
+  std::sort(held.begin(), held.end());  // stable diagnostic order
+  for (Loc id : held) {
+    emit(LintCode::kUnreleasedAtHalt, i, [&](std::ostream& os) {
+      os << "task " << e.actor << " halts still holding mutex 0x" << std::hex
+         << id << std::dec;
+    }, "release every mutex before the task halts");
+    mutexes_[id] = kInvalidTask;  // repair: avoid cascading L017 downstream
+  }
   if (tasks_[e.actor].finish_depth > 0) {
     emit(LintCode::kFinishUnclosed, i, [&](std::ostream& os) {
       os << "task " << e.actor << " halts with "
@@ -294,6 +365,14 @@ TraceLintStream::Snapshot TraceLintStream::export_state() const {
   locs_.for_each([&s](Loc loc, std::uint8_t state) {
     s.locs.emplace_back(loc, state);
   });
+  s.mutexes.reserve(mutexes_.size());
+  mutexes_.for_each([&s](Loc id, TaskId holder) {
+    s.mutexes.emplace_back(id, holder);
+  });
+  s.semaphores.reserve(semaphores_.size());
+  semaphores_.for_each([&s](Loc id, std::uint64_t count) {
+    s.semaphores.emplace_back(id, count);
+  });
   return s;
 }
 
@@ -307,12 +386,20 @@ void TraceLintStream::import_state(Snapshot&& s) {
   locs_.clear();
   locs_.reserve(s.locs.size());
   for (const auto& [loc, state] : s.locs) locs_[loc] = state;
+  mutexes_.clear();
+  mutexes_.reserve(s.mutexes.size());
+  for (const auto& [id, holder] : s.mutexes) mutexes_[id] = holder;
+  semaphores_.clear();
+  semaphores_.reserve(s.semaphores.size());
+  for (const auto& [id, count] : s.semaphores) semaphores_[id] = count;
 }
 
 std::size_t TraceLintStream::memory_bytes() const {
   return tasks_.capacity() * sizeof(TaskState) +
          stack_.capacity() * sizeof(TaskId) +
-         locs_.size() * 2 * (sizeof(Loc) + sizeof(std::uint8_t));
+         locs_.size() * 2 * (sizeof(Loc) + sizeof(std::uint8_t)) +
+         mutexes_.size() * 2 * (sizeof(Loc) + sizeof(TaskId)) +
+         semaphores_.size() * 2 * (sizeof(Loc) + sizeof(std::uint64_t));
 }
 
 LintResult TraceLinter::run(const Trace& trace) const {

@@ -19,7 +19,11 @@
 //  * dense task numbering in fork order (what TraceRecorder emits and the
 //    replay drivers assume when they renumber via on_fork);
 //  * balanced finish regions per task;
-//  * retire hygiene (warnings): accesses to retired storage, dead retires.
+//  * retire hygiene (warnings): accesses to retired storage, dead retires;
+//  * sync-object discipline (L017–L020): a mutex release must come from the
+//    holding task, a held mutex cannot be re-acquired, tasks release before
+//    halting; counting semaphores allow cross-task release (Klein–Lu–Netzer)
+//    but an acquire needs a positive count or serial order would block.
 //
 // Diagnostics carry stable codes (see diagnostics.hpp and docs/API.md); the
 // detector drivers gate on error-level findings via require_lint_clean().
@@ -94,6 +98,9 @@ class TraceLintStream {
     std::vector<TaskState> tasks;
     std::vector<TaskId> stack;
     std::vector<std::pair<Loc, std::uint8_t>> locs;
+    /// Held mutexes (sync id → holding task) and semaphore counts.
+    std::vector<std::pair<Loc, TaskId>> mutexes;
+    std::vector<std::pair<Loc, std::uint64_t>> semaphores;
   };
   Snapshot export_state() const;
   void import_state(Snapshot&& s);
@@ -109,6 +116,8 @@ class TraceLintStream {
   void on_halt(std::size_t i, const TraceEvent& e);
   void on_access(std::size_t i, const TraceEvent& e);
   void on_retire(std::size_t i, const TraceEvent& e);
+  void on_acquire(std::size_t i, const TraceEvent& e);
+  void on_release(std::size_t i, const TraceEvent& e);
 
   TraceLintOptions options_;
   LintResult result_;
@@ -119,6 +128,10 @@ class TraceLintStream {
   std::vector<TaskState> tasks_;
   std::vector<TaskId> stack_;  ///< running tasks, innermost (current) last
   FlatHashMap<Loc, std::uint8_t> locs_;
+  /// Mutex holders (kInvalidTask = released) and semaphore counts. Lock-free
+  /// traces never touch either map.
+  FlatHashMap<Loc, TaskId> mutexes_;
+  FlatHashMap<Loc, std::uint64_t> semaphores_;
 };
 
 class TraceLinter {

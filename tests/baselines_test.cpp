@@ -126,7 +126,10 @@ void drive(Detector& det, const Trace& trace) {
         break;
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
-        break;    }
+      case TraceOp::kAcquire:  // baselines are lock-agnostic
+      case TraceOp::kRelease:
+        break;
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include "io/varint.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/trace_io.hpp"
+#include "support/ids.hpp"
 #include "verify/trace_lint.hpp"
 
 namespace race2d {
@@ -43,6 +44,25 @@ Trace sample_trace() {
 
 Trace generated_trace(std::uint64_t seed) {
   return generate_trace(FuzzPlan::from_seed(seed)).trace;
+}
+
+Trace lock_trace() {
+  // Acquire/release interleaved with data accesses: the sync-object ids
+  // (including a high-bit semaphore id) delta against their own register,
+  // so this shape exercises both registers crossing each other.
+  const Loc sem = kSemaphoreBit | 0x2000;
+  return Trace{
+      {TraceOp::kAcquire, 0, kInvalidTask, 0x1000},
+      {TraceOp::kWrite, 0, kInvalidTask, 0x10},
+      {TraceOp::kRelease, 0, kInvalidTask, 0x1000},
+      {TraceOp::kRelease, 0, kInvalidTask, sem},
+      {TraceOp::kFork, 0, 1, 0},
+      {TraceOp::kAcquire, 1, kInvalidTask, sem},
+      {TraceOp::kRead, 1, kInvalidTask, 0x10},
+      {TraceOp::kHalt, 1, kInvalidTask, 0},
+      {TraceOp::kJoin, 0, 1, 0},
+      {TraceOp::kHalt, 0, kInvalidTask, 0},
+  };
 }
 
 DecodeCode decode_code_of(const std::string& bytes) {
@@ -174,6 +194,61 @@ TEST(DecodeRejection, EverySingleBitFlipThrows) {
       EXPECT_THROW((void)trace_from_binary(corrupt), TraceDecodeError)
           << "byte " << i << " bit " << bit << " accepted";
     }
+  }
+}
+
+TEST(BinaryRoundTrip, LockMarkersRoundTripCanonically) {
+  const Trace trace = lock_trace();
+  const std::string bytes = trace_to_binary(trace);
+  EXPECT_EQ(trace_from_binary(bytes), trace);
+  EXPECT_EQ(trace_to_binary(trace_from_binary(bytes)), bytes);
+  // Tiny chunks: the per-chunk reset must cover the sync-id register too.
+  for (const std::size_t chunk : {1u, 4u, 16u}) {
+    BinaryWriteOptions options;
+    options.chunk_payload_bytes = chunk;
+    EXPECT_EQ(trace_from_binary(trace_to_binary(trace, options)), trace)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(DecodeRejection, LockChunkTruncationAndBitFlipsThrow) {
+  // The generic sweeps above run on lock-free traces; repeat both on a
+  // stream whose chunks carry acquire/release so a corrupt sync-id varint
+  // or opcode surfaces as a structured decode error, never a crash or a
+  // silent mis-decode.
+  BinaryWriteOptions options;
+  options.chunk_payload_bytes = 8;  // several lock-bearing chunks
+  const std::string bytes = trace_to_binary(lock_trace(), options);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)trace_from_binary(bytes.substr(0, len)),
+                 TraceDecodeError)
+        << "prefix of " << len << " bytes decoded";
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[i] = static_cast<char>(static_cast<unsigned char>(corrupt[i]) ^
+                                     (1u << bit));
+      EXPECT_THROW((void)trace_from_binary(corrupt), TraceDecodeError)
+          << "byte " << i << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(BinaryReader, StreamedLoadLintsLockDiscipline) {
+  // A decodable stream whose lock discipline is broken fails the LINT
+  // layer (L017), not the decode layer — mirroring the text reader.
+  const Trace bad = {{TraceOp::kRelease, 0, kInvalidTask, 0x1000},
+                     {TraceOp::kHalt, 0, kInvalidTask, 0}};
+  std::istringstream is(trace_to_binary(bad));
+  try {
+    (void)load_trace_binary(is);
+    FAIL() << "expected TraceLintError";
+  } catch (const TraceLintError& e) {
+    bool found = false;
+    for (const LintDiagnostic& d : e.result().diagnostics)
+      found = found || d.code == LintCode::kReleaseWithoutAcquire;
+    EXPECT_TRUE(found) << to_string(e.result());
   }
 }
 

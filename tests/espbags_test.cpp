@@ -47,6 +47,8 @@ void drive_espbags(ESPBagsDetector& det, const Trace& trace) {
         det.on_write(e.actor, e.loc);
         break;
       case TraceOp::kRetire:
+      case TraceOp::kAcquire:  // ESP-bags is lock-agnostic
+      case TraceOp::kRelease:
         break;
     }
   }

@@ -43,7 +43,10 @@ void drive_spbags(SPBagsDetector& det, const Trace& trace) {
         break;  // SP-bags keeps last-accessor state only; nothing to drop
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
-        break;    }
+      case TraceOp::kAcquire:  // SP-bags is lock-agnostic
+      case TraceOp::kRelease:
+        break;
+    }
   }
 }
 
@@ -73,7 +76,10 @@ void drive_suprema(OnlineRaceDetector& det, const Trace& trace) {
         break;
       case TraceOp::kFinishBegin:
       case TraceOp::kFinishEnd:
-        break;    }
+      case TraceOp::kAcquire:  // the online detector ignores lock markers
+      case TraceOp::kRelease:
+        break;
+    }
   }
 }
 

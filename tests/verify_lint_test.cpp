@@ -16,6 +16,7 @@
 #include "lattice/validate.hpp"
 #include "runtime/serial_executor.hpp"
 #include "runtime/trace.hpp"
+#include "support/ids.hpp"
 #include "runtime/trace_io.hpp"
 #include "verify/graph_lint.hpp"
 #include "verify/trace_lint.hpp"
@@ -45,6 +46,8 @@ TraceEvent write(TaskId t, Loc l) { return {TraceOp::kWrite, t, kInvalidTask, l}
 TraceEvent retire(TaskId t, Loc l) { return {TraceOp::kRetire, t, kInvalidTask, l}; }
 TraceEvent fbegin(TaskId t) { return {TraceOp::kFinishBegin, t, kInvalidTask, 0}; }
 TraceEvent fend(TaskId t) { return {TraceOp::kFinishEnd, t, kInvalidTask, 0}; }
+TraceEvent acq(TaskId t, Loc id) { return {TraceOp::kAcquire, t, kInvalidTask, id}; }
+TraceEvent rel(TaskId t, Loc id) { return {TraceOp::kRelease, t, kInvalidTask, id}; }
 
 TEST(TraceLint, CleanRecordedTracesLintClean) {
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
@@ -159,6 +162,64 @@ TEST(TraceLint, InvalidTaskIdSentinel) {
                        LintCode::kInvalidTaskId));
 }
 
+TEST(TraceLint, LockDisciplineCodes) {
+  // L017: releasing a mutex NO task holds — including one the trace never
+  // mentioned (an unknown lock id must produce a diagnostic, not a crash).
+  const LintResult unheld = lint_trace({rel(0, 0xbeef), halt(0)});
+  EXPECT_TRUE(has_code(unheld, LintCode::kReleaseWithoutAcquire));
+  EXPECT_STREQ(lint_code_id(LintCode::kReleaseWithoutAcquire), "L017");
+
+  // L018: only the holding task may release a mutex.
+  const LintResult cross = lint_trace({acq(0, 0x10), fork(0, 1), rel(1, 0x10),
+                                       halt(1), join(0, 1), rel(0, 0x10),
+                                       halt(0)});
+  EXPECT_TRUE(has_code(cross, LintCode::kCrossTaskRelease));
+  EXPECT_STREQ(lint_code_id(LintCode::kCrossTaskRelease), "L018");
+
+  // L019: halting while holding.
+  const LintResult leak = lint_trace({acq(0, 0x10), halt(0)});
+  EXPECT_TRUE(has_code(leak, LintCode::kUnreleasedAtHalt));
+  EXPECT_STREQ(lint_code_id(LintCode::kUnreleasedAtHalt), "L019");
+
+  // L020: mutexes are not reentrant; in serial order this blocks forever.
+  const LintResult twice =
+      lint_trace({acq(0, 0x10), acq(0, 0x10), rel(0, 0x10), halt(0)});
+  EXPECT_TRUE(has_code(twice, LintCode::kDoubleAcquire));
+  EXPECT_STREQ(lint_code_id(LintCode::kDoubleAcquire), "L020");
+
+  // A balanced critical section (and a reacquire after release) is clean.
+  const LintResult clean = lint_trace({acq(0, 0x10), write(0, 0x1),
+                                       rel(0, 0x10), acq(0, 0x10),
+                                       rel(0, 0x10), halt(0)});
+  EXPECT_TRUE(clean.ok()) << to_string(clean);
+}
+
+TEST(TraceLint, SemaphoreHandOffSemantics) {
+  const Loc sem = kSemaphoreBit | 0x2000;
+  // Klein–Lu–Netzer hand-off: V in the parent, P in the child — legal even
+  // though acquirer and releaser are different tasks.
+  const LintResult handoff = lint_trace(
+      {rel(0, sem), fork(0, 1), acq(1, sem), halt(1), join(0, 1), halt(0)});
+  EXPECT_TRUE(handoff.ok()) << to_string(handoff);
+
+  // P on a zero-count (or never-mentioned) semaphore blocks forever: L020.
+  const LintResult blocked = lint_trace({acq(0, sem), halt(0)});
+  EXPECT_TRUE(has_code(blocked, LintCode::kDoubleAcquire));
+
+  // Counting: two V's fund two P's; a third P trips.
+  const LintResult counted = lint_trace(
+      {rel(0, sem), rel(0, sem), acq(0, sem), acq(0, sem), halt(0)});
+  EXPECT_TRUE(counted.ok()) << to_string(counted);
+  const LintResult overdrawn = lint_trace(
+      {rel(0, sem), acq(0, sem), acq(0, sem), halt(0)});
+  EXPECT_TRUE(has_code(overdrawn, LintCode::kDoubleAcquire));
+
+  // Semaphores are never "held": halting after a P is not L019.
+  const LintResult halt_after_p =
+      lint_trace({rel(0, sem), acq(0, sem), halt(0)});
+  EXPECT_FALSE(has_code(halt_after_p, LintCode::kUnreleasedAtHalt));
+}
+
 TEST(TraceLint, RetireHygieneWarnings) {
   const LintResult reuse = lint_trace(
       {write(0, 0x1), retire(0, 0x1), read(0, 0x1), halt(0)});
@@ -270,6 +331,43 @@ TEST(LintGate, LoadTraceTextLintsButParseDoesNot) {
   } catch (const TraceLintError& e) {
     EXPECT_TRUE(has_code(e.result(), LintCode::kTruncatedTrace));
   }
+}
+
+TEST(LintGate, LockViolationsGateButSkipReplaysThem) {
+  // L017-L020 are error-level: the gated drivers reject the trace. Under
+  // LintGate::kSkip the detectors — which are lock-agnostic — must replay
+  // the same trace without crashing and report exactly what the lock-free
+  // projection reports.
+  const Trace bad_release = {fork(0, 1), write(1, 0x5), halt(1), join(0, 1),
+                             rel(0, 0xbeef), read(0, 0x5), halt(0)};
+  try {
+    detect_races_trace(bad_release);
+    FAIL() << "expected TraceLintError";
+  } catch (const TraceLintError& e) {
+    EXPECT_TRUE(has_code(e.result(), LintCode::kReleaseWithoutAcquire));
+  }
+  EXPECT_THROW(detect_races_parallel(bad_release, 2), TraceLintError);
+
+  Trace lock_free = bad_release;
+  lock_free.erase(lock_free.begin() + 4);  // drop the stray release
+  std::vector<RaceReport> skipped, baseline;
+  ASSERT_NO_THROW(skipped = detect_races_trace(bad_release,
+                                               ReportPolicy::kAll,
+                                               LintGate::kSkip));
+  ASSERT_NO_THROW(baseline = detect_races_trace(lock_free,
+                                                ReportPolicy::kAll));
+  EXPECT_EQ(skipped, baseline);
+  ASSERT_NO_THROW(detect_races_parallel(bad_release, 2, ReportPolicy::kAll,
+                                        LintGate::kSkip));
+
+  // An acquire naming a lock id nothing ever released (and a double
+  // acquire) must likewise never crash an ungated replay.
+  const Trace bad_acquire = {acq(0, 0x10), acq(0, 0x10),
+                             acq(0, kSemaphoreBit | 0x7), write(0, 0x1),
+                             halt(0)};
+  EXPECT_THROW(detect_races_trace(bad_acquire), TraceLintError);
+  ASSERT_NO_THROW(detect_races_trace(bad_acquire, ReportPolicy::kAll,
+                                     LintGate::kSkip));
 }
 
 TEST(LintGate, SkipGateCorruptTraceFailsStructurally) {
