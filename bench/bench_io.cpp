@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 
 #include "bench_common.hpp"
@@ -137,5 +138,133 @@ void BM_ServiceFeedDrain(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes.size()));
 }
 BENCHMARK(BM_ServiceFeedDrain);
+
+// ---- E17: run compression on a repetitive workload ------------------------
+//
+// The shape the version-2 codec targets: long same-task, same-location
+// access runs (a tight loop hammering its accumulator). Each repetition
+// delta-encodes to the identical bytes, so the whole run folds into one
+// (template, count) item — and replay applies it in O(1) per repetition.
+
+const Trace& repetitive_trace() {
+  static const Trace trace = [] {
+    Trace t;
+    constexpr TaskId kTasks = 8;
+    constexpr std::size_t kReps = 20000;
+    for (TaskId child = 1; child <= kTasks; ++child) {
+      // Each child is forked, hammers its own accumulator, halts, and is
+      // joined before the next fork — a valid Figure-9 serial order.
+      t.push_back({TraceOp::kFork, 0, child});
+      const Loc acc = 0x1000 + static_cast<Loc>(child);
+      t.push_back({TraceOp::kWrite, child, kInvalidTask, acc});
+      for (std::size_t i = 0; i < kReps; ++i) {
+        t.push_back({TraceOp::kRead, child, kInvalidTask, acc});
+        t.push_back({TraceOp::kWrite, child, kInvalidTask, acc});
+      }
+      t.push_back({TraceOp::kHalt, child});
+      t.push_back({TraceOp::kJoin, 0, child});
+    }
+    t.push_back({TraceOp::kHalt, 0});
+    return t;
+  }();
+  return trace;
+}
+
+const std::string& repetitive_v1_bytes() {
+  static const std::string bytes = trace_to_binary(repetitive_trace());
+  return bytes;
+}
+
+const std::string& repetitive_v2_bytes() {
+  static const std::string bytes = [] {
+    BinaryWriteOptions options;
+    options.compression = CompressionMode::kRuns;
+    return trace_to_binary(repetitive_trace(), options);
+  }();
+  return bytes;
+}
+
+/// Full expansion of the version-2 stream. The `ratio` counter (v1 bytes /
+/// v2 bytes) is what scripts/bench.sh gates at >= 2x on this workload.
+void BM_CompressedDecode(benchmark::State& state) {
+  const std::string& bytes = repetitive_v2_bytes();
+  const std::int64_t events =
+      static_cast<std::int64_t>(repetitive_trace().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_from_binary(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["v1_bytes"] = static_cast<double>(repetitive_v1_bytes().size());
+  state.counters["v2_bytes"] = static_cast<double>(bytes.size());
+  state.counters["ratio"] = static_cast<double>(repetitive_v1_bytes().size()) /
+                            static_cast<double>(bytes.size());
+}
+BENCHMARK(BM_CompressedDecode);
+
+/// The ingest pipeline (decode -> lint -> detector) on the SAME repetitive
+/// stream, plain vs run-compressed. Arg 0 = version-1 bytes (per-event
+/// replay), arg 1 = version-2 bytes (run fast path). scripts/bench.sh gates
+/// the compressed side's events/s above the plain side's.
+void BM_RunReplay(benchmark::State& state) {
+  const bool compressed = state.range(0) != 0;
+  const std::string& bytes =
+      compressed ? repetitive_v2_bytes() : repetitive_v1_bytes();
+  const std::int64_t events =
+      static_cast<std::int64_t>(repetitive_trace().size());
+  for (auto _ : state) {
+    DetectionSession session(ReportPolicy::kAll, 1u << 16);
+    benchmark::DoNotOptimize(session.feed(bytes));
+    bool more = false;
+    benchmark::DoNotOptimize(session.drain(0, more));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_RunReplay)->Arg(0)->Arg(1);
+
+/// One spill + rehydrate round trip through the cold tier: snapshot, blob
+/// compression, the file write, and the read + restore back. Uses a real
+/// mid-stream session over the repetitive trace so the blob is non-trivial.
+void BM_SpillRehydrate(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "race2d-bench-spill";
+  fs::create_directories(dir);
+  const std::string& bytes = repetitive_v2_bytes();
+  ServiceLimits limits;
+  limits.spill_dir = dir.string();
+  for (auto _ : state) {
+    DetectionService service{limits};
+    Request open;
+    open.verb = Verb::kOpen;
+    benchmark::DoNotOptimize(service.handle(open));
+    Request feed;
+    feed.verb = Verb::kFeed;
+    feed.session = 1;
+    feed.bytes = bytes;
+    benchmark::DoNotOptimize(service.handle(feed));
+    // Force the spill (the global sweep would need a sibling session; the
+    // eviction command spills directly when the tier is configured) and
+    // rehydrate through the blobless RESTORE path.
+    benchmark::DoNotOptimize(service.evict_heaviest());
+    Request restore;
+    restore.verb = Verb::kRestore;
+    restore.session = 1;
+    const Response back = service.handle(restore);
+    if (back.status != ServiceStatus::kOk) {
+      state.SkipWithError("rehydrate failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+BENCHMARK(BM_SpillRehydrate);
 
 }  // namespace

@@ -5,16 +5,24 @@
 //   $ race2d_convert in.btrace out.trace        binary -> text
 //   $ race2d_convert --to-binary in out         force the direction
 //   $ race2d_convert --to-text in out
-//   $ race2d_convert --verify in                decode only; report stats
+//   $ race2d_convert --compress in out          any input -> version-2
+//                                               run-compressed binary
+//   $ race2d_convert --verify in                decode; cross-check the
+//                                               version-2 codec against the
+//                                               version-1 bytes; report the
+//                                               compression ratio
 //
 // Conversion is streaming end to end (TraceEventSource -> writer), so a
-// multi-gigabyte trace converts in O(chunk) memory. The converter is purely
-// syntactic: it does NOT lint — a malformed but parseable trace converts
-// faithfully, which is exactly what the corpus's invalid/ twins need.
+// multi-gigabyte trace converts in O(chunk) memory — except --verify, which
+// materializes the event list to re-encode it both ways. The converter is
+// purely syntactic: it does NOT lint — a malformed but parseable trace
+// converts faithfully, which is exactly what the corpus's invalid/ twins
+// need.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "io/binary_reader.hpp"
 #include "io/binary_writer.hpp"
@@ -27,39 +35,85 @@ using namespace race2d;
 
 enum class Direction { kSniff, kToBinary, kToText, kVerify };
 
-int run(std::istream& in, std::ostream* out, Direction dir) {
+/// --verify cross-check: the version-2 codec must expand to the identical
+/// event list, and re-encoding that expansion as version 1 must reproduce
+/// the version-1 bytes exactly (so v2 is a pure re-framing, never lossy).
+int verify_codecs(const Trace& trace) {
+  BinaryWriteOptions plain;
+  BinaryWriteOptions runs;
+  runs.compression = CompressionMode::kRuns;
+  const std::string v1 = trace_to_binary(trace, plain);
+  const std::string v2 = trace_to_binary(trace, runs);
+
+  std::vector<TraceEvent> expanded;
+  BinaryTraceDecoder decoder;
+  decoder.feed(v2.data(), v2.size(), expanded);
+  decoder.finish();
+  if (expanded != trace) {
+    std::fprintf(stderr,
+                 "FAIL: version-2 stream expanded to %zu event(s), "
+                 "expected %zu identical event(s)\n",
+                 expanded.size(), trace.size());
+    return 1;
+  }
+  const std::string v1_again = trace_to_binary(expanded, plain);
+  if (v1_again != v1) {
+    std::fprintf(stderr,
+                 "FAIL: re-encoding the expanded version-2 stream did not "
+                 "reproduce the version-1 bytes\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "codec ok: v1 %zu byte(s), v2 %zu byte(s), ratio %.2fx\n",
+               v1.size(), v2.size(),
+               v2.empty() ? 0.0
+                          : static_cast<double>(v1.size()) /
+                                static_cast<double>(v2.size()));
+  return 0;
+}
+
+int run(std::istream& in, std::ostream* out, Direction dir, bool compress) {
   const bool in_binary = sniff_binary_trace(in);
   if (dir == Direction::kSniff)
-    dir = in_binary ? Direction::kToText : Direction::kToBinary;
+    dir = (in_binary && !compress) ? Direction::kToText : Direction::kToBinary;
 
   std::uint64_t events = 0;
   if (dir == Direction::kVerify) {
     TraceEvent e;
+    std::vector<TraceEvent> trace;
     if (in_binary) {
       BinaryTraceReader reader(in);
-      while (reader.next(e)) ++events;
+      while (reader.next(e)) trace.push_back(e);
       std::fprintf(stderr, "binary: %llu event(s), %llu byte(s)\n",
                    static_cast<unsigned long long>(reader.events_decoded()),
                    static_cast<unsigned long long>(reader.bytes_consumed()));
     } else {
       TextTraceReader reader(in);
-      while (reader.next(e)) ++events;
-      std::fprintf(stderr, "text: %llu event(s), %zu line(s)\n",
-                   static_cast<unsigned long long>(events),
+      while (reader.next(e)) trace.push_back(e);
+      std::fprintf(stderr, "text: %zu event(s), %zu line(s)\n", trace.size(),
                    reader.line_number());
     }
-    return 0;
+    return verify_codecs(trace);
   }
 
+  BinaryWriteOptions write_options;
+  if (compress) write_options.compression = CompressionMode::kRuns;
   TraceEvent e;
   if (dir == Direction::kToBinary) {
-    if (in_binary) {
+    if (in_binary && !compress) {
       std::fprintf(stderr, "input is already binary\n");
       return 2;
     }
-    TextTraceReader reader(in);
-    BinaryTraceWriter writer(*out);
-    while (reader.next(e)) writer.add(e);
+    BinaryTraceWriter writer(*out, write_options);
+    if (in_binary) {
+      // --compress on a binary input: a pure re-encode (version 1 or 2 in,
+      // version 2 out) — the event stream itself is untouched.
+      BinaryTraceReader reader(in);
+      while (reader.next(e)) writer.add(e);
+    } else {
+      TextTraceReader reader(in);
+      while (reader.next(e)) writer.add(e);
+    }
     writer.finish();
     events = writer.events_written();
   } else {
@@ -85,6 +139,7 @@ int run(std::istream& in, std::ostream* out, Direction dir) {
 
 int main(int argc, char** argv) {
   Direction dir = Direction::kSniff;
+  bool compress = false;
   const char* paths[2] = {nullptr, nullptr};
   int npaths = 0;
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +147,8 @@ int main(int argc, char** argv) {
       dir = Direction::kToBinary;
     } else if (std::strcmp(argv[i], "--to-text") == 0) {
       dir = Direction::kToText;
+    } else if (std::strcmp(argv[i], "--compress") == 0) {
+      compress = true;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       dir = Direction::kVerify;
     } else if (npaths < 2) {
@@ -102,9 +159,9 @@ int main(int argc, char** argv) {
     }
   }
   const int want = dir == Direction::kVerify ? 1 : 2;
-  if (npaths != want) {
+  if (npaths != want || (compress && dir == Direction::kToText)) {
     std::fprintf(stderr,
-                 "usage: %s [--to-binary | --to-text] <in> <out>\n"
+                 "usage: %s [--to-binary | --to-text] [--compress] <in> <out>\n"
                  "       %s --verify <in>\n",
                  argv[0], argv[0]);
     return 2;
@@ -123,7 +180,7 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    return run(in, want == 2 ? &out : nullptr, dir);
+    return run(in, want == 2 ? &out : nullptr, dir, compress);
   } catch (const race2d::TraceDecodeError& e) {
     std::fprintf(stderr, "decode error: %s\n", e.what());
     return 1;

@@ -13,6 +13,10 @@
 //   --session-quota=BYTES   per-session footprint quota      (default 64Mi)
 //   --total-quota=BYTES     global footprint budget          (default 256Mi)
 //   --max-pending=N         report backlog before backpressure (default 65536)
+//   --spill-dir=PATH        cold tier: global-budget evictions spill the
+//                           session snapshot to PATH (must exist) and a
+//                           later FEED / blobless RESTORE rehydrates it
+//   --spill-budget=BYTES    cold-tier byte budget                (default 1Gi)
 //   --metrics               print the metrics JSON to stderr on exit
 //
 // Sessions are pinned to workers by id (session % workers); the SNAPSHOT /
@@ -52,6 +56,10 @@ int main(int argc, char** argv) {
       limits.total_quota_bytes = std::strtoull(argv[i] + 14, nullptr, 10);
     } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
       limits.max_pending_reports = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--spill-dir=", 12) == 0) {
+      limits.spill_dir = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--spill-budget=", 15) == 0) {
+      limits.spill_budget_bytes = std::strtoull(argv[i] + 15, nullptr, 10);
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
     } else {
@@ -60,7 +68,8 @@ int main(int argc, char** argv) {
                    "       [--workers=N] [--max-sessions=N] "
                    "[--session-quota=BYTES]\n"
                    "       [--total-quota=BYTES] [--max-pending=N] "
-                   "[--metrics]\n",
+                   "[--metrics]\n"
+                   "       [--spill-dir=PATH] [--spill-budget=BYTES]\n",
                    argv[0]);
       return 2;
     }

@@ -17,6 +17,9 @@
 #
 # Acceptance gates (all fail the script loudly):
 #   * BM_BinaryDecode >= 2x BM_TextParse on items_per_second (E12).
+#   * BM_CompressedDecode's v1/v2 size ratio >= 2x on the repetitive
+#     workload, and BM_RunReplay/1 (compressed ingest with the run fast
+#     path) >= 1.5x BM_RunReplay/0 (plain ingest) on events/s (E17).
 #   * BM_ParallelOnlineDetect/4 >= 2x BM_SerialOnlineDetect — enforced only
 #     when the machine has >= 4 CPUs; on smaller hosts the parallel rows
 #     bound overhead, not speedup (same caveat as E7).
@@ -71,7 +74,8 @@ SNAPSHOTS = ["BENCH_static.json", "BENCH_sharded.json", "BENCH_io.json",
 # Key throughput rows held to the <=20% regression gate. Names must match
 # the google-benchmark `name` field exactly.
 GATED = {
-    "BENCH_io.json": ["BM_TextParse", "BM_BinaryDecode"],
+    "BENCH_io.json": ["BM_TextParse", "BM_BinaryDecode", "BM_CompressedDecode",
+                      "BM_RunReplay/1", "BM_SpillRehydrate"],
     "BENCH_parallel.json": ["BM_SerialOnlineDetect/real_time",
                             "BM_DepaSerialReplay"],
     "BENCH_service.json": ["BM_ServicePoolSaturation/1/real_time",
@@ -104,6 +108,27 @@ print(f"bench.sh: binary decode {binary:.3g} events/s vs text parse "
 if ratio < 2.0:
     print(f"bench.sh: FAILED: binary decode only {ratio:.2f}x text parse "
           f"(< 2x gate)")
+    failed = True
+
+# Gate 1b: run compression halves the repetitive workload on disk, and the
+# run-aware replay fast path beats plain ingest on events/s (E17).
+zrow = io_rows["BM_CompressedDecode"]
+zratio = zrow["ratio"]
+print(f"bench.sh: v2 compression {zrow['v1_bytes']:.0f} -> "
+      f"{zrow['v2_bytes']:.0f} bytes ({zratio:.1f}x) on the repetitive "
+      f"workload")
+if zratio < 2.0:
+    print(f"bench.sh: FAILED: run compression only {zratio:.2f}x on the "
+          f"repetitive workload (< 2x gate)")
+    failed = True
+plain = io_rows["BM_RunReplay/0"]["items_per_second"]
+zfast = io_rows["BM_RunReplay/1"]["items_per_second"]
+zspeed = zfast / plain
+print(f"bench.sh: run replay {zfast:.3g} events/s compressed vs "
+      f"{plain:.3g} events/s plain ({zspeed:.2f}x)")
+if zspeed < 1.5:
+    print(f"bench.sh: FAILED: run-aware replay only {zspeed:.2f}x plain "
+          f"ingest on the repetitive workload (< 1.5x gate)")
     failed = True
 
 # Gate 2: parallel online detection >= 2x serial at 4 workers (E13),

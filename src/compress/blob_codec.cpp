@@ -1,0 +1,122 @@
+#include "compress/blob_codec.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "io/varint.hpp"
+
+namespace race2d {
+
+namespace {
+
+constexpr char kBlobMagic[4] = {'R', '2', 'D', 'Z'};
+constexpr std::uint8_t kBlobVersion = 1;
+constexpr std::uint8_t kTokLiteral = 0x00;
+constexpr std::uint8_t kTokCopy = 0x01;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxWindow = 64 * 1024;
+constexpr std::size_t kHashBits = 15;
+
+std::uint32_t hash4(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string blob_compress(const std::string& raw) {
+  std::string out(kBlobMagic, sizeof(kBlobMagic));
+  out.push_back(static_cast<char>(kBlobVersion));
+  append_varint(out, raw.size());
+
+  const auto* p = reinterpret_cast<const unsigned char*>(raw.data());
+  const std::size_t n = raw.size();
+  // One candidate per hash bucket: greedy and cheap. Good matches in
+  // snapshot blobs are overwhelmingly exact structural repeats, so a single
+  // most-recent candidate captures nearly all of the win.
+  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, UINT32_MAX);
+
+  std::size_t lit_start = 0;
+  const auto flush_literals = [&](std::size_t end) {
+    if (end == lit_start) return;
+    out.push_back(static_cast<char>(kTokLiteral));
+    append_varint(out, end - lit_start);
+    out.append(raw, lit_start, end - lit_start);
+  };
+
+  std::size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const std::uint32_t h = hash4(p + i);
+    const std::uint32_t cand = head[h];
+    head[h] = static_cast<std::uint32_t>(i);
+    if (cand != UINT32_MAX && i - cand <= kMaxWindow &&
+        std::memcmp(p + cand, p + i, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      while (i + len < n && p[cand + len] == p[i + len]) ++len;
+      flush_literals(i);
+      out.push_back(static_cast<char>(kTokCopy));
+      append_varint(out, i - cand);
+      append_varint(out, len);
+      // Index a few positions inside the match so back-to-back repeats
+      // still find candidates, without paying a per-byte insert.
+      const std::size_t step = len > 64 ? 16 : 4;
+      for (std::size_t j = i + step; j + kMinMatch <= i + len; j += step)
+        head[hash4(p + j)] = static_cast<std::uint32_t>(j);
+      i += len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return out;
+}
+
+std::optional<std::string> blob_decompress(const std::string& blob) {
+  const auto* p = reinterpret_cast<const unsigned char*>(blob.data());
+  const std::size_t n = blob.size();
+  if (n < sizeof(kBlobMagic) + 1) return std::nullopt;
+  if (std::memcmp(p, kBlobMagic, sizeof(kBlobMagic)) != 0) return std::nullopt;
+  if (p[4] != kBlobVersion) return std::nullopt;
+  std::size_t pos = 5;
+
+  std::uint64_t raw_size = 0;
+  if (decode_varint(p, n, pos, raw_size) != VarintStatus::kOk)
+    return std::nullopt;
+  if (raw_size > kMaxBlobBytes) return std::nullopt;
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(raw_size));
+  while (pos < n) {
+    const std::uint8_t tok = p[pos++];
+    if (tok == kTokLiteral) {
+      std::uint64_t len = 0;
+      if (decode_varint(p, n, pos, len) != VarintStatus::kOk)
+        return std::nullopt;
+      if (len == 0 || len > n - pos) return std::nullopt;
+      if (len > raw_size - out.size()) return std::nullopt;
+      out.append(blob, pos, static_cast<std::size_t>(len));
+      pos += static_cast<std::size_t>(len);
+    } else if (tok == kTokCopy) {
+      std::uint64_t dist = 0;
+      std::uint64_t len = 0;
+      if (decode_varint(p, n, pos, dist) != VarintStatus::kOk)
+        return std::nullopt;
+      if (decode_varint(p, n, pos, len) != VarintStatus::kOk)
+        return std::nullopt;
+      if (dist == 0 || dist > out.size()) return std::nullopt;
+      if (len < kMinMatch || len > raw_size - out.size()) return std::nullopt;
+      // Byte-at-a-time: overlapping copies (dist < len) are legal and mean
+      // "repeat the last `dist` bytes", exactly like LZ77.
+      std::size_t from = out.size() - static_cast<std::size_t>(dist);
+      for (std::uint64_t k = 0; k < len; ++k) out.push_back(out[from++]);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (out.size() != raw_size) return std::nullopt;
+  return out;
+}
+
+}  // namespace race2d

@@ -1,0 +1,37 @@
+// The v2 'Z' chunk compressor: run/grammar compression over the per-event
+// delta byte strings of io/delta_codec.hpp.
+//
+// Fork-join traffic is full of repeated event patterns — a task reading the
+// same location in a loop, stride-1 access sweeps, `fork;write;join` bodies
+// whose DELTAS repeat even though the absolute ids march forward. The
+// compressor detects maximal periodic runs of identical delta byte strings
+// (periods up to kMaxRunPeriod) with a greedy left-to-right scan, emits them
+// as define-run (0x01) items, re-uses earlier templates through the
+// per-chunk dictionary (0x02), and carries everything else as literal (0x00)
+// items. Item layouts are documented in io/binary_format.hpp; decoding lives
+// in BinaryTraceDecoder so the service's push state machine handles 'Z'
+// frames natively.
+//
+// Determinism: compress_chunk_payload is a pure function of the event
+// sequence — the differential fuzzer's byte-identity invariants (and the
+// writer's emit-smaller-frame choice) depend on it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+/// Longest template (in events) the run detector tries. Longer periods buy
+/// little: the dictionary already catches recurring long motifs, and the
+/// detection scan is O(n * period).
+inline constexpr std::size_t kMaxRunPeriod = 8;
+
+/// Compresses one chunk's events into a v2 'Z' payload (varint expanded
+/// event count + items). The caller frames and CRCs it; BinaryTraceWriter
+/// emits the result only when it is smaller than the v1 payload.
+std::string compress_chunk_payload(const TraceEvent* events, std::size_t n);
+
+}  // namespace race2d

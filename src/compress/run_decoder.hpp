@@ -1,0 +1,59 @@
+// Run-aware replay front: BinaryTraceDecoder with the DecodedRun sink wired
+// permanently on.
+//
+// RunDecoder is the ingest shape the detectors' run fast paths want: feed()
+// materializes each stationary compressed run ONCE and reports the
+// unmaterialized repetitions as (first, len, extra) records, so a consumer
+// can apply a whole run in O(1) amortized instead of replaying it event by
+// event. Uncompressed streams (and non-stationary runs) pass through fully
+// expanded with an empty run list — callers need no version switch.
+//
+// This is a thin delegating wrapper: the decode state machine (and its
+// snapshot image) lives in io/binary_reader.hpp so the service's push
+// pipeline and the batch tools share one implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "io/binary_format.hpp"
+#include "io/binary_reader.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+class RunDecoder {
+ public:
+  RunDecoder() = default;
+
+  /// Consumes `size` bytes. Events completed by them are appended to `out`;
+  /// every stationary run among them appends one DecodedRun to `runs`
+  /// (indices into `out`). Throws TraceDecodeError exactly as the underlying
+  /// decoder does.
+  void feed(const void* data, std::size_t size, std::vector<TraceEvent>& out,
+            std::vector<DecodedRun>& runs) {
+    decoder_.feed(data, size, out, &runs);
+  }
+
+  /// Declares end-of-input; throws if the stream is not exactly complete.
+  void finish() { decoder_.finish(); }
+
+  bool done() const { return decoder_.done(); }
+  /// Counts LOGICAL events, including unmaterialized run repetitions.
+  std::uint64_t events_decoded() const { return decoder_.events_decoded(); }
+  std::uint64_t bytes_consumed() const { return decoder_.bytes_consumed(); }
+  std::size_t buffered_bytes() const { return decoder_.buffered_bytes(); }
+
+  BinaryTraceDecoder::Snapshot export_state() const {
+    return decoder_.export_state();
+  }
+  void import_state(BinaryTraceDecoder::Snapshot&& s) {
+    decoder_.import_state(std::move(s));
+  }
+
+ private:
+  BinaryTraceDecoder decoder_;
+};
+
+}  // namespace race2d

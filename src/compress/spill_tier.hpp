@@ -1,0 +1,81 @@
+// Bounded on-disk cold tier for evicted detection sessions.
+//
+// When the service's global byte budget forces an eviction, the session's
+// snapshot blob (service/snapshot.hpp) is compressed (blob_codec) and
+// spilled to `<dir>/sess-<id>.spill` instead of being tombstoned. A later
+// FEED or explicit RESTORE rehydrates it transparently. The tier is LRU
+// over COMPRESSED file bytes: storing past the budget drops the
+// least-recently-spilled sessions (the caller tombstones them — they are
+// gone for real).
+//
+//   file := "R2DSPILL" version:u8=1 session_id:u32 payload_len:u32
+//           crc:u32(payload, CRC32C) payload = blob_compress(snapshot blob)
+//
+// Files are written tmp-then-rename so a crash mid-spill leaves no torn
+// entry. The tier trusts only its in-memory index — it never scans the
+// directory (shards share one directory; session ids are disjoint across
+// shards, so files never collide). Leftover files from a previous process
+// are inert and get overwritten.
+//
+// Corrupt spill files are K-coded like snapshot blobs: K009 for structural
+// damage (missing file, bad magic/version/id, truncation), K010 for payload
+// damage (CRC mismatch, decompression failure). load() always removes the
+// entry — a corrupt spill must not be retried forever.
+//
+// Not thread-safe: each tier instance is owned by one shard thread; the
+// service mirrors the counters into atomics for metrics_json().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace race2d {
+
+class SpillTier {
+ public:
+  /// `dir` must exist (the server creates it at startup); `budget_bytes`
+  /// bounds the total COMPRESSED bytes resident on disk.
+  SpillTier(std::string dir, std::uint64_t budget_bytes);
+
+  struct StoreResult {
+    bool stored = false;  ///< false: blob exceeds the whole budget, or I/O
+                          ///< failed — the caller falls back to tombstoning
+    std::vector<std::uint32_t> dropped;  ///< LRU victims deleted to make room
+  };
+  /// Compresses and writes `blob` for session `id`, evicting LRU entries
+  /// until the tier fits its budget.
+  StoreResult store(std::uint32_t id, const std::string& blob);
+
+  /// Reads back (and ALWAYS removes) session `id`'s blob. On failure
+  /// returns nullopt with a K-coded message in *error (K009 structural,
+  /// K010 payload).
+  std::optional<std::string> load(std::uint32_t id, std::string* error);
+
+  bool contains(std::uint32_t id) const {
+    return index_.find(id) != index_.end();
+  }
+  std::size_t sessions() const { return index_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t budget_bytes() const { return budget_; }
+
+ private:
+  struct Entry {
+    std::list<std::uint32_t>::iterator lru;
+    std::uint64_t bytes = 0;  ///< whole file, header included
+  };
+  std::string path_for(std::uint32_t id) const;
+  void drop_entry(std::uint32_t id);
+
+  std::string dir_;
+  std::uint64_t budget_;
+  std::uint64_t bytes_ = 0;
+  std::list<std::uint32_t> lru_;  ///< front = least recently spilled
+  std::unordered_map<std::uint32_t, Entry> index_;
+};
+
+}  // namespace race2d

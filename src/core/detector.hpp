@@ -35,6 +35,10 @@
 
 namespace race2d {
 
+// runtime/trace.hpp includes this header (for the replay drivers below), so
+// the run fast path only forward-declares the event type it points at.
+struct TraceEvent;
+
 class OnlineRaceDetector {
  public:
   explicit OnlineRaceDetector(ReportPolicy policy = ReportPolicy::kAll)
@@ -68,6 +72,16 @@ class OnlineRaceDetector {
   /// True iff task x's lattice position is ordered before task t's current
   /// operation (eq. 6). Exposed for tests.
   bool ordered_before(TaskId x, TaskId t) { return engine_.ordered_before(x, t); }
+
+  /// Run replay fast path (compressed traces): the template `events[0..len)`
+  /// was just fed once per-event; applies `extra_reps` further repetitions
+  /// in O(len) TOTAL iff every template event is a read/write whose shadow
+  /// cell holds a cached owner-epoch verdict for its actor AND whose
+  /// relevant supremum already folded to that actor — then each repetition
+  /// is a full no-op except the access ordinal. Returns false untouched
+  /// otherwise (caller replays per-event).
+  bool try_apply_clean_run(const TraceEvent* events, std::size_t len,
+                           std::uint64_t extra_reps);
 
   const RaceReporter& reporter() const { return reporter_; }
   /// Mutable access for incremental consumers (RaceReporter::take()): a

@@ -13,6 +13,7 @@
 #include "core/sharded_analyzer.hpp"
 #include "io/binary_reader.hpp"
 #include "io/binary_writer.hpp"
+#include "service/session.hpp"
 #include "verify/certificate.hpp"
 
 namespace race2d {
@@ -148,6 +149,53 @@ DifferentialResult run_differential(const Trace& trace,
       }
     } catch (const TraceDecodeError& e) {
       fail(std::string("codec rejected its own encoding: ") + e.what());
+    }
+  }
+
+  // 0b. Compressed codec: the version-2 run-compressed stream must expand
+  //     to the identical event list, and feeding those bytes through the
+  //     full ingest session (decode → lint gate → detector with the O(1)
+  //     run fast path) must produce the BIT-IDENTICAL report stream on both
+  //     engines — the fast path is an optimization, never an oracle change.
+  if (config.codec_roundtrip &&
+      config.codec_compression == CompressionMode::kRuns) {
+    BinaryWriteOptions zopt;
+    zopt.compression = CompressionMode::kRuns;
+    try {
+      const std::string zbytes = trace_to_binary(trace, zopt);
+      const Trace expanded = trace_from_binary(zbytes);
+      if (expanded != trace) {
+        std::ostringstream os;
+        os << "compressed codec round-trip altered the trace: " << trace.size()
+           << " event(s) in, " << expanded.size() << " out";
+        fail(os.str());
+      } else {
+        for (const DetectorEngine engine :
+             {DetectorEngine::kDsu, DetectorEngine::kDepa}) {
+          const char* name =
+              engine == DetectorEngine::kDsu ? "dsu" : "depa";
+          DetectionSession session(ReportPolicy::kAll,
+                                   /*max_pending_reports=*/1u << 30, engine);
+          const DetectionSession::FeedOutcome outcome = session.feed(zbytes);
+          ++result.detectors_run;
+          if (outcome.status != ServiceStatus::kOk) {
+            fail(std::string("compressed session replay (") + name +
+                 ") rejected a clean trace: " + outcome.message);
+            continue;
+          }
+          bool more = false;
+          const std::vector<RaceReport> got = session.drain(0, more);
+          if (got != serial) {
+            fail(std::string("compressed replay (") + name +
+                 ") diverges from serial replay: " +
+                 describe("serial", serial) + " vs " +
+                 describe("compressed", got));
+          }
+        }
+      }
+    } catch (const TraceDecodeError& e) {
+      fail(std::string("compressed codec rejected its own encoding: ") +
+           e.what());
     }
   }
 

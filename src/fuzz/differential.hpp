@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fuzz/fuzz_plan.hpp"
+#include "io/binary_format.hpp"
 #include "runtime/trace.hpp"
 #include "verify/trace_lint.hpp"
 
@@ -55,6 +56,13 @@ struct DifferentialConfig {
   /// Round-trip the trace through the binary codec (encode -> decode ->
   /// re-encode) and require event equality plus byte-identical re-encoding.
   bool codec_roundtrip = true;
+  /// kRuns additionally encodes the trace as a version-2 run-compressed
+  /// stream, requires it to expand to the identical event list, and replays
+  /// those bytes through the full ingest session (decode → lint gate →
+  /// detector with the run fast path) on BOTH engines, requiring the
+  /// bit-identical report stream — the fast path is an optimization, never
+  /// an oracle change. kNone skips the compressed stages.
+  CompressionMode codec_compression = CompressionMode::kRuns;
 };
 
 struct DifferentialResult {

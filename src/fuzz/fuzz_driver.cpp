@@ -4,6 +4,7 @@
 #include <chrono>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "fuzz/corpus.hpp"
 #include "fuzz/mutate.hpp"
@@ -136,6 +137,12 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config,
 
     DifferentialConfig panel = config.differential;
     panel.gate = LintGate::kSkip;  // linted just above
+    // Seeded mode choice: most plans exercise the version-2 compressed
+    // stages; one in four keeps the plain-v1-only panel so both panel
+    // shapes stay covered across a campaign.
+    if (panel.codec_compression == CompressionMode::kRuns &&
+        (splitmix64(plan.seed ^ 0xC0DEC0DEULL) & 3) == 0)
+      panel.codec_compression = CompressionMode::kNone;
     const DifferentialResult diff =
         run_differential(generated.trace, generated.features, panel);
     result.detector_runs += diff.detectors_run;
@@ -152,38 +159,49 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config,
     // reproducer recorded is the intact source trace — the corrupt BYTES
     // are regenerated from it plus the logged offset.
     if (config.codec_mutants_per_trace > 0) {
-      const std::string bytes = trace_to_binary(generated.trace);
+      BinaryWriteOptions zopt;
+      zopt.compression = CompressionMode::kRuns;
+      // Both framings get the same mutant budget: the version-2 'Z' chunks
+      // (run items, template dictionary, expansion counts) are exactly the
+      // bytes the new B015–B018 rejections guard.
+      const std::pair<const char*, std::string> encodings[] = {
+          {"v1", trace_to_binary(generated.trace)},
+          {"v2", trace_to_binary(generated.trace, zopt)},
+      };
       Xoshiro256 codec_rng(plan.seed ^ 0x5EED5EEDC0DEC0DEULL);
-      for (std::size_t m = 0; m < config.codec_mutants_per_trace; ++m) {
-        if (result.failures.size() >= config.max_failures) break;
-        const bool truncate = (codec_rng() & 1) == 0;
-        std::string corrupt = bytes;
-        std::ostringstream what;
-        if (truncate) {
-          const std::size_t cut = static_cast<std::size_t>(
-              codec_rng.below(static_cast<std::uint64_t>(bytes.size())));
-          corrupt.resize(cut);
-          what << "truncated to " << cut << " of " << bytes.size()
-               << " bytes";
-        } else {
-          const std::size_t byte = static_cast<std::size_t>(
-              codec_rng.below(static_cast<std::uint64_t>(bytes.size())));
-          const unsigned bit = static_cast<unsigned>(codec_rng.below(8));
-          corrupt[byte] = static_cast<char>(
-              static_cast<unsigned char>(corrupt[byte]) ^ (1u << bit));
-          what << "bit " << bit << " of byte " << byte << " flipped";
-        }
-        ++result.traces;
-        try {
-          const Trace decoded = trace_from_binary(corrupt);
-          record_failure(
-              plan, std::string("codec-hole:") + (truncate ? "truncate"
-                                                           : "bit-flip"),
-              what.str() + " decoded without error (" +
-                  std::to_string(decoded.size()) + " events)",
-              generated.trace, /*shrinkable=*/false);
-        } catch (const TraceDecodeError&) {
-          // Expected: every corruption maps to a stable B-code rejection.
+      for (const auto& [label, bytes] : encodings) {
+        for (std::size_t m = 0; m < config.codec_mutants_per_trace; ++m) {
+          if (result.failures.size() >= config.max_failures) break;
+          const bool truncate = (codec_rng() & 1) == 0;
+          std::string corrupt = bytes;
+          std::ostringstream what;
+          if (truncate) {
+            const std::size_t cut = static_cast<std::size_t>(
+                codec_rng.below(static_cast<std::uint64_t>(bytes.size())));
+            corrupt.resize(cut);
+            what << label << " truncated to " << cut << " of " << bytes.size()
+                 << " bytes";
+          } else {
+            const std::size_t byte = static_cast<std::size_t>(
+                codec_rng.below(static_cast<std::uint64_t>(bytes.size())));
+            const unsigned bit = static_cast<unsigned>(codec_rng.below(8));
+            corrupt[byte] = static_cast<char>(
+                static_cast<unsigned char>(corrupt[byte]) ^ (1u << bit));
+            what << label << " bit " << bit << " of byte " << byte
+                 << " flipped";
+          }
+          ++result.traces;
+          try {
+            const Trace decoded = trace_from_binary(corrupt);
+            record_failure(
+                plan, std::string("codec-hole:") + (truncate ? "truncate"
+                                                             : "bit-flip"),
+                what.str() + " decoded without error (" +
+                    std::to_string(decoded.size()) + " events)",
+                generated.trace, /*shrinkable=*/false);
+          } catch (const TraceDecodeError&) {
+            // Expected: every corruption maps to a stable B-code rejection.
+          }
         }
       }
     }

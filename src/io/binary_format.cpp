@@ -20,6 +20,10 @@ const char* decode_code_id(DecodeCode code) {
     case DecodeCode::kTrailingBytes:       return "B012";
     case DecodeCode::kMissingTrailer:      return "B013";
     case DecodeCode::kTrailerCrcMismatch:  return "B014";
+    case DecodeCode::kBadCompressedItem:   return "B015";
+    case DecodeCode::kBadRunCount:         return "B016";
+    case DecodeCode::kBadTemplateRef:      return "B017";
+    case DecodeCode::kChunkTooManyEvents:  return "B018";
   }
   return "B???";
 }
@@ -40,6 +44,10 @@ const char* decode_code_slug(DecodeCode code) {
     case DecodeCode::kTrailingBytes:       return "trailing-bytes";
     case DecodeCode::kMissingTrailer:      return "missing-trailer";
     case DecodeCode::kTrailerCrcMismatch:  return "trailer-crc-mismatch";
+    case DecodeCode::kBadCompressedItem:   return "bad-compressed-item";
+    case DecodeCode::kBadRunCount:         return "bad-run-count";
+    case DecodeCode::kBadTemplateRef:      return "bad-template-ref";
+    case DecodeCode::kChunkTooManyEvents:  return "chunk-too-many-events";
   }
   return "unknown";
 }

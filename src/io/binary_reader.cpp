@@ -41,22 +41,30 @@ void BinaryTraceDecoder::decode_header(const unsigned char* p) {
   if (std::memcmp(p, kBinaryTraceMagic, sizeof(kBinaryTraceMagic)) != 0)
     fail(DecodeCode::kBadMagic, offset_,
          "expected the R2DT binary trace magic");
-  if (p[4] != kBinaryTraceVersion) {
+  if (p[4] != kBinaryTraceVersion && p[4] != kBinaryTraceVersionCompressed) {
     std::ostringstream os;
     os << "format version " << static_cast<unsigned>(p[4])
-       << " (this reader decodes version "
-       << static_cast<unsigned>(kBinaryTraceVersion) << ')';
+       << " (this reader decodes versions "
+       << static_cast<unsigned>(kBinaryTraceVersion) << " and "
+       << static_cast<unsigned>(kBinaryTraceVersionCompressed) << ')';
     fail(DecodeCode::kUnsupportedVersion, offset_ + 4, os.str());
   }
   if (p[5] != 0 || p[6] != 0 || p[7] != 0)
     fail(DecodeCode::kBadHeader, offset_ + 5,
-         "reserved header bytes must be zero in version 1");
+         "reserved header bytes must be zero");
+  version_ = p[4];
   state_ = State::kMarker;
   need_ = 1;
 }
 
 void BinaryTraceDecoder::decode_marker(const unsigned char* p) {
   if (*p == kChunkMarker) {
+    compressed_chunk_ = false;
+    state_ = State::kChunkHeader;
+    need_ = 8;
+  } else if (*p == kCompressedChunkMarker &&
+             version_ == kBinaryTraceVersionCompressed) {
+    compressed_chunk_ = true;
     state_ = State::kChunkHeader;
     need_ = 8;
   } else if (*p == kTrailerMarker) {
@@ -64,8 +72,12 @@ void BinaryTraceDecoder::decode_marker(const unsigned char* p) {
     need_ = 12;
   } else {
     std::ostringstream os;
-    os << "frame marker byte " << static_cast<unsigned>(*p)
-       << " is neither 'C' nor 'E'";
+    if (*p == kCompressedChunkMarker)
+      os << "compressed chunk marker 'Z' is not legal in a version-1 stream";
+    else
+      os << "frame marker byte " << static_cast<unsigned>(*p)
+         << " is neither 'C' nor 'E'"
+         << (version_ == kBinaryTraceVersionCompressed ? " nor 'Z'" : "");
     fail(DecodeCode::kBadFrameMarker, offset_, os.str());
   }
 }
@@ -86,31 +98,19 @@ void BinaryTraceDecoder::decode_chunk_header(const unsigned char* p) {
   need_ = payload_len_;
 }
 
-void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
-                                      std::vector<TraceEvent>& out) {
-  if (crc32c(p, size) != payload_crc_)
-    fail(DecodeCode::kChunkCrcMismatch, offset_,
-         "chunk payload fails its CRC32C (corrupt or bit-flipped chunk)");
-
-  const auto varint_or_fail = [&](std::size_t& pos) -> std::uint64_t {
+TraceEvent BinaryTraceDecoder::decode_event(const unsigned char* p,
+                                            std::size_t size, std::size_t& pos,
+                                            EventDeltaState& regs,
+                                            std::uint64_t err_base) {
+  const auto varint_or_fail = [&](std::size_t& at) -> std::uint64_t {
     std::uint64_t v = 0;
-    const VarintStatus status = decode_varint(p, size, pos, v);
+    const VarintStatus status = decode_varint(p, size, at, v);
     if (status == VarintStatus::kOk) return v;
-    fail(DecodeCode::kMalformedVarint, offset_ + pos,
+    fail(DecodeCode::kMalformedVarint, err_base + at,
          status == VarintStatus::kTruncated
              ? "varint cut off by the end of the chunk payload"
              : "overlong (non-canonical) varint");
   };
-
-  std::size_t pos = 0;
-  const std::uint64_t count = varint_or_fail(pos);
-
-  // Per-chunk delta state (the writer resets it at every chunk boundary so
-  // chunks decode independently).
-  TaskId prev_actor = 0;
-  TaskId prev_other = 0;
-  Loc prev_loc = 0;
-  Loc prev_sync = 0;
   const auto task_or_fail = [&](std::size_t& at, TaskId prev,
                                 const char* field) -> TaskId {
     const std::size_t field_at = at;
@@ -120,11 +120,81 @@ void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
       std::ostringstream os;
       os << field << " delta decodes to " << v
          << ", outside the task id range";
-      fail(DecodeCode::kTaskIdOutOfRange, offset_ + field_at, os.str());
+      fail(DecodeCode::kTaskIdOutOfRange, err_base + field_at, os.str());
     }
     return static_cast<TaskId>(v);
   };
 
+  const unsigned char opcode = p[pos++];
+  if (opcode > static_cast<unsigned char>(TraceOp::kRelease)) {
+    std::ostringstream os;
+    os << "opcode " << static_cast<unsigned>(opcode)
+       << " is not a trace event";
+    fail(DecodeCode::kUnknownOpcode, err_base + pos - 1, os.str());
+  }
+  TraceEvent e{};
+  e.op = static_cast<TraceOp>(opcode);
+  switch (e.op) {
+    case TraceOp::kFork:
+    case TraceOp::kJoin:
+      e.actor = task_or_fail(pos, regs.prev_actor, "actor");
+      e.other = task_or_fail(pos, regs.prev_other, "fork/join target");
+      regs.prev_actor = e.actor;
+      regs.prev_other = e.other;
+      break;
+    case TraceOp::kHalt:
+    case TraceOp::kSync:
+    case TraceOp::kFinishBegin:
+    case TraceOp::kFinishEnd:
+      e.actor = task_or_fail(pos, regs.prev_actor, "actor");
+      e.other = kInvalidTask;
+      regs.prev_actor = e.actor;
+      break;
+    case TraceOp::kRead:
+    case TraceOp::kWrite:
+    case TraceOp::kRetire:
+      e.actor = task_or_fail(pos, regs.prev_actor, "actor");
+      e.other = kInvalidTask;
+      e.loc = regs.prev_loc +
+              static_cast<Loc>(zigzag_decode(varint_or_fail(pos)));
+      regs.prev_actor = e.actor;
+      regs.prev_loc = e.loc;
+      break;
+    case TraceOp::kAcquire:
+    case TraceOp::kRelease:
+      // Sync-object ids keep their own delta register, mirroring the
+      // writer; lock-free chunks therefore decode byte-for-byte as before.
+      e.actor = task_or_fail(pos, regs.prev_actor, "actor");
+      e.other = kInvalidTask;
+      e.loc = regs.prev_sync +
+              static_cast<Loc>(zigzag_decode(varint_or_fail(pos)));
+      regs.prev_actor = e.actor;
+      regs.prev_sync = e.loc;
+      break;
+  }
+  return e;
+}
+
+void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
+                                      std::vector<TraceEvent>& out) {
+  if (crc32c(p, size) != payload_crc_)
+    fail(DecodeCode::kChunkCrcMismatch, offset_,
+         "chunk payload fails its CRC32C (corrupt or bit-flipped chunk)");
+
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  {
+    const VarintStatus status = decode_varint(p, size, pos, count);
+    if (status != VarintStatus::kOk)
+      fail(DecodeCode::kMalformedVarint, offset_ + pos,
+           status == VarintStatus::kTruncated
+               ? "varint cut off by the end of the chunk payload"
+               : "overlong (non-canonical) varint");
+  }
+
+  // Per-chunk delta state (the writer resets it at every chunk boundary so
+  // chunks decode independently).
+  EventDeltaState regs;
   for (std::uint64_t i = 0; i < count; ++i) {
     if (pos >= size) {
       std::ostringstream os;
@@ -132,52 +202,7 @@ void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
          << " event(s) but its payload ends after " << i;
       fail(DecodeCode::kEventCountMismatch, offset_ + pos, os.str());
     }
-    const unsigned char opcode = p[pos++];
-    if (opcode > static_cast<unsigned char>(TraceOp::kRelease)) {
-      std::ostringstream os;
-      os << "opcode " << static_cast<unsigned>(opcode)
-         << " is not a trace event";
-      fail(DecodeCode::kUnknownOpcode, offset_ + pos - 1, os.str());
-    }
-    TraceEvent e{};
-    e.op = static_cast<TraceOp>(opcode);
-    switch (e.op) {
-      case TraceOp::kFork:
-      case TraceOp::kJoin:
-        e.actor = task_or_fail(pos, prev_actor, "actor");
-        e.other = task_or_fail(pos, prev_other, "fork/join target");
-        prev_actor = e.actor;
-        prev_other = e.other;
-        break;
-      case TraceOp::kHalt:
-      case TraceOp::kSync:
-      case TraceOp::kFinishBegin:
-      case TraceOp::kFinishEnd:
-        e.actor = task_or_fail(pos, prev_actor, "actor");
-        e.other = kInvalidTask;
-        prev_actor = e.actor;
-        break;
-      case TraceOp::kRead:
-      case TraceOp::kWrite:
-      case TraceOp::kRetire:
-        e.actor = task_or_fail(pos, prev_actor, "actor");
-        e.other = kInvalidTask;
-        e.loc = prev_loc + static_cast<Loc>(zigzag_decode(varint_or_fail(pos)));
-        prev_actor = e.actor;
-        prev_loc = e.loc;
-        break;
-      case TraceOp::kAcquire:
-      case TraceOp::kRelease:
-        // Sync-object ids keep their own delta register, mirroring the
-        // writer; lock-free chunks therefore decode byte-for-byte as before.
-        e.actor = task_or_fail(pos, prev_actor, "actor");
-        e.other = kInvalidTask;
-        e.loc = prev_sync + static_cast<Loc>(zigzag_decode(varint_or_fail(pos)));
-        prev_actor = e.actor;
-        prev_sync = e.loc;
-        break;
-    }
-    out.push_back(e);
+    out.push_back(decode_event(p, size, pos, regs, offset_));
   }
   if (pos != size) {
     std::ostringstream os;
@@ -186,6 +211,177 @@ void BinaryTraceDecoder::decode_chunk(const unsigned char* p, std::size_t size,
     fail(DecodeCode::kEventCountMismatch, offset_ + pos, os.str());
   }
   events_decoded_ += count;
+  state_ = State::kMarker;
+  need_ = 1;
+}
+
+void BinaryTraceDecoder::decode_compressed_chunk(const unsigned char* p,
+                                                 std::size_t size,
+                                                 std::vector<TraceEvent>& out,
+                                                 std::vector<DecodedRun>* runs) {
+  if (crc32c(p, size) != payload_crc_)
+    fail(DecodeCode::kChunkCrcMismatch, offset_,
+         "chunk payload fails its CRC32C (corrupt or bit-flipped chunk)");
+
+  const auto varint_or_fail = [&](std::size_t& at) -> std::uint64_t {
+    std::uint64_t v = 0;
+    const VarintStatus status = decode_varint(p, size, at, v);
+    if (status == VarintStatus::kOk) return v;
+    fail(DecodeCode::kMalformedVarint, offset_ + at,
+         status == VarintStatus::kTruncated
+             ? "varint cut off by the end of the chunk payload"
+             : "overlong (non-canonical) varint");
+  };
+
+  std::size_t pos = 0;
+  const std::uint64_t count = varint_or_fail(pos);
+  if (count == 0)
+    fail(DecodeCode::kEventCountMismatch, offset_,
+         "compressed chunk declares zero events");
+  if (count > kMaxCompressedChunkEvents) {
+    std::ostringstream os;
+    os << "compressed chunk declares " << count << " event(s), above the "
+       << kMaxCompressedChunkEvents << "-event expansion cap";
+    fail(DecodeCode::kChunkTooManyEvents, offset_, os.str());
+  }
+
+  // The per-chunk template dictionary: byte spans into this payload, in
+  // definition order. `stationary` caches whether one replay leaves the
+  // delta registers unchanged — register evolution is linear in the replay
+  // count, so the flag is start-state independent and safe to reuse.
+  struct DictEntry {
+    std::size_t start = 0;
+    std::size_t bytes = 0;
+    std::uint32_t events = 0;
+    bool stationary = false;
+  };
+  std::vector<DictEntry> dict;
+
+  EventDeltaState regs;  // persists across items; resets at chunk boundary
+  std::uint64_t expanded = 0;
+  while (pos < size) {
+    const std::uint64_t item_at = offset_ + pos;
+    const unsigned char tag = p[pos++];
+    if (tag == kItemLiteral) {
+      const std::uint64_t n = varint_or_fail(pos);
+      if (n == 0)
+        fail(DecodeCode::kBadCompressedItem, item_at,
+             "literal item carries zero events");
+      if (n > count - expanded) {
+        std::ostringstream os;
+        os << "literal item of " << n << " event(s) expands past the "
+           << "chunk's declared count of " << count;
+        fail(DecodeCode::kBadRunCount, item_at, os.str());
+      }
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (pos >= size)
+          fail(DecodeCode::kEventCountMismatch, offset_ + pos,
+               "compressed chunk payload ends inside a literal item");
+        out.push_back(decode_event(p, size, pos, regs, offset_));
+      }
+      expanded += n;
+      continue;
+    }
+    if (tag != kItemDefineRun && tag != kItemDictRun) {
+      std::ostringstream os;
+      os << "unknown compressed item tag " << static_cast<unsigned>(tag);
+      fail(DecodeCode::kBadCompressedItem, item_at, os.str());
+    }
+
+    std::uint64_t reps = 0;
+    std::size_t tstart = 0;
+    std::size_t tbytes = 0;
+    std::uint64_t m = 0;
+    bool stationary = false;
+    if (tag == kItemDefineRun) {
+      reps = varint_or_fail(pos);
+      if (reps < 2)
+        fail(DecodeCode::kBadRunCount, item_at,
+             "define-run repeats its template fewer than twice");
+      m = varint_or_fail(pos);
+      if (m == 0)
+        fail(DecodeCode::kBadCompressedItem, item_at,
+             "define-run template carries zero events");
+      if (dict.size() >= kMaxChunkTemplates)
+        fail(DecodeCode::kBadCompressedItem, item_at,
+             "template defined past the per-chunk dictionary cap");
+      if (reps > (count - expanded) / m) {
+        std::ostringstream os;
+        os << "run of " << reps << " x " << m << " event(s) expands past "
+           << "the chunk's declared count of " << count;
+        fail(DecodeCode::kBadRunCount, item_at, os.str());
+      }
+      // First repetition decodes straight out of the payload, measuring the
+      // template's byte span and whether it is stationary.
+      tstart = pos;
+      const EventDeltaState before = regs;
+      for (std::uint64_t i = 0; i < m; ++i) {
+        if (pos >= size)
+          fail(DecodeCode::kEventCountMismatch, offset_ + pos,
+               "compressed chunk payload ends inside a run template");
+        out.push_back(decode_event(p, size, pos, regs, offset_));
+      }
+      tbytes = pos - tstart;
+      stationary = regs.prev_actor == before.prev_actor &&
+                   regs.prev_other == before.prev_other &&
+                   regs.prev_loc == before.prev_loc &&
+                   regs.prev_sync == before.prev_sync;
+      dict.push_back({tstart, tbytes, static_cast<std::uint32_t>(m),
+                      stationary});
+    } else {
+      const std::uint64_t id = varint_or_fail(pos);
+      reps = varint_or_fail(pos);
+      if (reps == 0)
+        fail(DecodeCode::kBadRunCount, item_at,
+             "dictionary run repeats its template zero times");
+      if (id >= dict.size()) {
+        std::ostringstream os;
+        os << "run names template " << id << " but only " << dict.size()
+           << " are defined";
+        fail(DecodeCode::kBadTemplateRef, item_at, os.str());
+      }
+      const DictEntry& entry = dict[id];
+      tstart = entry.start;
+      tbytes = entry.bytes;
+      m = entry.events;
+      stationary = entry.stationary;
+      if (reps > (count - expanded) / m) {
+        std::ostringstream os;
+        os << "run of " << reps << " x " << m << " event(s) expands past "
+           << "the chunk's declared count of " << count;
+        fail(DecodeCode::kBadRunCount, item_at, os.str());
+      }
+      // First repetition replays the template span against the live
+      // registers. Varint lengths are structural, so the replay consumes
+      // exactly the validated span; only B008 range checks can still fire.
+      std::size_t tp = tstart;
+      for (std::uint64_t i = 0; i < m; ++i)
+        out.push_back(decode_event(p, tstart + tbytes, tp, regs, offset_));
+    }
+
+    const std::uint64_t extra = reps - 1;
+    if (extra > 0) {
+      if (stationary && runs != nullptr) {
+        runs->push_back(DecodedRun{out.size() - static_cast<std::size_t>(m),
+                                   static_cast<std::uint32_t>(m), extra});
+      } else {
+        for (std::uint64_t r = 0; r < extra; ++r) {
+          std::size_t tp = tstart;
+          for (std::uint64_t i = 0; i < m; ++i)
+            out.push_back(decode_event(p, tstart + tbytes, tp, regs, offset_));
+        }
+      }
+    }
+    expanded += reps * m;
+  }
+  if (expanded != count) {
+    std::ostringstream os;
+    os << "compressed chunk declares " << count
+       << " event(s) but its items expand to " << expanded;
+    fail(DecodeCode::kEventCountMismatch, offset_ + pos, os.str());
+  }
+  events_decoded_ += count;
+  compressed_chunk_ = false;
   state_ = State::kMarker;
   need_ = 1;
 }
@@ -206,12 +402,18 @@ void BinaryTraceDecoder::decode_trailer(const unsigned char* p) {
 }
 
 void BinaryTraceDecoder::process(const unsigned char* piece, std::size_t len,
-                                 std::vector<TraceEvent>& out) {
+                                 std::vector<TraceEvent>& out,
+                                 std::vector<DecodedRun>* runs) {
   switch (state_) {
     case State::kHeader:       decode_header(piece); break;
     case State::kMarker:       decode_marker(piece); break;
     case State::kChunkHeader:  decode_chunk_header(piece); break;
-    case State::kChunkPayload: decode_chunk(piece, len, out); break;
+    case State::kChunkPayload:
+      if (compressed_chunk_)
+        decode_compressed_chunk(piece, len, out, runs);
+      else
+        decode_chunk(piece, len, out);
+      break;
     case State::kTrailer:      decode_trailer(piece); break;
     case State::kDone:
     case State::kPoisoned:
@@ -221,7 +423,8 @@ void BinaryTraceDecoder::process(const unsigned char* piece, std::size_t len,
 }
 
 void BinaryTraceDecoder::feed(const void* data, std::size_t size,
-                              std::vector<TraceEvent>& out) {
+                              std::vector<TraceEvent>& out,
+                              std::vector<DecodedRun>* runs) {
   if (state_ == State::kPoisoned)
     throw TraceDecodeError(poison_code_, poison_offset_, poison_what_);
   const auto* p = static_cast<const unsigned char*>(data);
@@ -241,7 +444,7 @@ void BinaryTraceDecoder::feed(const void* data, std::size_t size,
       const std::size_t len = need_;
       p += len;
       n -= len;
-      process(piece, len, out);
+      process(piece, len, out, runs);
       continue;
     }
     if (n == 0) break;
@@ -253,7 +456,7 @@ void BinaryTraceDecoder::feed(const void* data, std::size_t size,
       // Move out of buffer_ before processing: decode_* never re-enters.
       std::vector<unsigned char> piece;
       piece.swap(buffer_);
-      process(piece.data(), piece.size(), out);
+      process(piece.data(), piece.size(), out, runs);
     }
   }
 }
@@ -269,6 +472,8 @@ BinaryTraceDecoder::Snapshot BinaryTraceDecoder::export_state() const {
   s.payload_crc = payload_crc_;
   s.offset = offset_;
   s.events_decoded = events_decoded_;
+  s.version = version_;
+  s.compressed = compressed_chunk_;
   return s;
 }
 
@@ -277,6 +482,11 @@ void BinaryTraceDecoder::import_state(Snapshot&& s) {
               "snapshot names an invalid decoder state");
   R2D_REQUIRE(s.buffer.size() <= s.need || s.need == 0,
               "snapshot buffer exceeds the frame it is accumulating");
+  R2D_REQUIRE(s.version == kBinaryTraceVersion ||
+                  s.version == kBinaryTraceVersionCompressed,
+              "snapshot names an unknown wire format version");
+  R2D_REQUIRE(!s.compressed || s.version == kBinaryTraceVersionCompressed,
+              "snapshot marks a compressed chunk in a version-1 stream");
   state_ = static_cast<State>(s.state);
   buffer_ = std::move(s.buffer);
   need_ = static_cast<std::size_t>(s.need);
@@ -284,6 +494,8 @@ void BinaryTraceDecoder::import_state(Snapshot&& s) {
   payload_crc_ = s.payload_crc;
   offset_ = s.offset;
   events_decoded_ = s.events_decoded;
+  version_ = s.version;
+  compressed_chunk_ = s.compressed;
 }
 
 void BinaryTraceDecoder::finish() {

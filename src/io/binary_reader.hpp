@@ -13,9 +13,15 @@
 //    batch tools (read_trace_binary, race2d_convert) use.
 //
 // Both reject every malformed input with TraceDecodeError: a stable code
-// (B001–B014) plus the absolute byte offset. A chunk whose CRC32C fails is
+// (B001–B018) plus the absolute byte offset. A chunk whose CRC32C fails is
 // rejected before any of its bytes are interpreted, so corruption cannot
 // leak half-decoded events into a detector.
+//
+// Version-2 'Z' chunks decode natively. By default every run is expanded so
+// trace_from_binary and friends see the exact event sequence; a feed() with
+// a DecodedRun sink instead materializes only the FIRST repetition of each
+// stationary run and reports the rest as (first, len, extra) records — the
+// detectors' O(1)-per-repetition replay path.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "io/binary_format.hpp"
+#include "io/delta_codec.hpp"
 #include "io/trace_source.hpp"
 #include "runtime/trace.hpp"
 
@@ -37,7 +44,13 @@ class BinaryTraceDecoder {
   /// Consumes `size` bytes, appending every event completed by them to
   /// `out`. Throws TraceDecodeError on malformed input; the decoder is then
   /// poisoned (further feeds rethrow a fresh error at the same offset).
-  void feed(const void* data, std::size_t size, std::vector<TraceEvent>& out);
+  ///
+  /// With a non-null `runs` sink, stationary compressed runs append only
+  /// their first repetition to `out` plus a DecodedRun describing the
+  /// `extra` unmaterialized repetitions (events_decoded() still counts
+  /// them). Null sink — the default — expands everything.
+  void feed(const void* data, std::size_t size, std::vector<TraceEvent>& out,
+            std::vector<DecodedRun>* runs = nullptr);
 
   /// Declares end-of-input. Throws kTruncatedInput / kMissingTrailer if the
   /// stream did not end exactly after a valid trailer.
@@ -64,6 +77,8 @@ class BinaryTraceDecoder {
     std::uint32_t payload_crc = 0;
     std::uint64_t offset = 0;
     std::uint64_t events_decoded = 0;
+    std::uint8_t version = kBinaryTraceVersion;  ///< header version (1|2)
+    bool compressed = false;  ///< current frame is a 'Z' chunk (v2 only)
   };
   Snapshot export_state() const;
   void import_state(Snapshot&& s);
@@ -82,12 +97,19 @@ class BinaryTraceDecoder {
   [[noreturn]] void fail(DecodeCode code, std::uint64_t offset,
                          const std::string& what);
   void process(const unsigned char* piece, std::size_t len,
-               std::vector<TraceEvent>& out);
+               std::vector<TraceEvent>& out, std::vector<DecodedRun>* runs);
   void decode_header(const unsigned char* p);
   void decode_marker(const unsigned char* p);
   void decode_chunk_header(const unsigned char* p);
   void decode_chunk(const unsigned char* p, std::size_t size,
                     std::vector<TraceEvent>& out);
+  void decode_compressed_chunk(const unsigned char* p, std::size_t size,
+                               std::vector<TraceEvent>& out,
+                               std::vector<DecodedRun>* runs);
+  /// Decodes one v1-delta event at p[pos]; errors point at err_base + pos.
+  TraceEvent decode_event(const unsigned char* p, std::size_t size,
+                          std::size_t& pos, EventDeltaState& regs,
+                          std::uint64_t err_base);
   void decode_trailer(const unsigned char* p);
 
   State state_ = State::kHeader;
@@ -97,6 +119,8 @@ class BinaryTraceDecoder {
   std::uint32_t payload_crc_ = 0;
   std::uint64_t offset_ = 0;  ///< absolute offset of buffer_'s first byte
   std::uint64_t events_decoded_ = 0;
+  std::uint8_t version_ = kBinaryTraceVersion;  ///< from the header (1|2)
+  bool compressed_chunk_ = false;  ///< frame being decoded is a 'Z' chunk
   DecodeCode poison_code_ = DecodeCode::kTruncatedInput;
   std::uint64_t poison_offset_ = 0;
   std::string poison_what_;
@@ -119,7 +143,7 @@ class BinaryTraceReader : public TraceEventSource {
   bool eof_ = false;
 };
 
-/// Batch drivers. read/decode are purely syntactic (codes B001–B014);
+/// Batch drivers. read/decode are purely syntactic (codes B001–B018);
 /// load_trace_binary additionally runs the trace linter, mirroring
 /// load_trace_text.
 Trace read_trace_binary(std::istream& is);

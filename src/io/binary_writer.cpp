@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "compress/chunk_codec.hpp"
 #include "io/binary_format.hpp"
 #include "io/crc32c.hpp"
 #include "io/varint.hpp"
@@ -24,11 +25,6 @@ void append_u64le(std::string& out, std::uint64_t v) {
     out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
 }
 
-std::uint64_t delta_u64(std::uint64_t now, std::uint64_t prev) {
-  // Wrap-around subtraction; zigzag keeps +/- deltas equally cheap.
-  return zigzag_encode(static_cast<std::int64_t>(now - prev));
-}
-
 }  // namespace
 
 BinaryTraceWriter::BinaryTraceWriter(std::ostream& os,
@@ -37,7 +33,9 @@ BinaryTraceWriter::BinaryTraceWriter(std::ostream& os,
   R2D_REQUIRE(options_.chunk_payload_bytes > 0,
               "chunk payload target must be positive");
   std::string header(kBinaryTraceMagic, sizeof(kBinaryTraceMagic));
-  header.push_back(static_cast<char>(kBinaryTraceVersion));
+  header.push_back(static_cast<char>(options_.compression == CompressionMode::kNone
+                                         ? kBinaryTraceVersion
+                                         : kBinaryTraceVersionCompressed));
   header.push_back('\0');  // flags
   header.push_back('\0');  // reserved
   header.push_back('\0');  // reserved
@@ -47,41 +45,8 @@ BinaryTraceWriter::BinaryTraceWriter(std::ostream& os,
 
 void BinaryTraceWriter::add(const TraceEvent& e) {
   R2D_REQUIRE(!finished_, "add() after finish()");
-  chunk_.push_back(static_cast<char>(e.op));
-  switch (e.op) {
-    case TraceOp::kFork:
-    case TraceOp::kJoin:
-      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
-      append_varint(chunk_, delta_u64(e.other, prev_other_));
-      prev_actor_ = e.actor;
-      prev_other_ = e.other;
-      break;
-    case TraceOp::kHalt:
-    case TraceOp::kSync:
-    case TraceOp::kFinishBegin:
-    case TraceOp::kFinishEnd:
-      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
-      prev_actor_ = e.actor;
-      break;
-    case TraceOp::kRead:
-    case TraceOp::kWrite:
-    case TraceOp::kRetire:
-      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
-      append_varint(chunk_, delta_u64(e.loc, prev_loc_));
-      prev_actor_ = e.actor;
-      prev_loc_ = e.loc;
-      break;
-    case TraceOp::kAcquire:
-    case TraceOp::kRelease:
-      // Sync-object ids delta against their own register (not prev_loc_):
-      // lock ids and data locations live in disjoint ranges, and mixing
-      // them would also perturb the encoded bytes of interleaved accesses.
-      append_varint(chunk_, delta_u64(e.actor, prev_actor_));
-      append_varint(chunk_, delta_u64(e.loc, prev_sync_));
-      prev_actor_ = e.actor;
-      prev_sync_ = e.loc;
-      break;
-  }
+  append_event_delta(chunk_, e, delta_);
+  if (options_.compression == CompressionMode::kRuns) chunk_raw_.push_back(e);
   ++chunk_events_;
   ++total_events_;
   if (chunk_.size() >= options_.chunk_payload_bytes) flush_chunk();
@@ -95,9 +60,21 @@ void BinaryTraceWriter::flush_chunk() {
   append_varint(payload, chunk_events_);
   payload += chunk_;
 
+  std::uint8_t marker = kChunkMarker;
+  if (options_.compression == CompressionMode::kRuns &&
+      chunk_events_ <= kMaxCompressedChunkEvents) {
+    std::string z =
+        compress_chunk_payload(chunk_raw_.data(), chunk_raw_.size());
+    if (z.size() < payload.size()) {
+      payload = std::move(z);
+      marker = kCompressedChunkMarker;
+    }
+  }
+  chunk_raw_.clear();
+
   std::string frame;
   frame.reserve(payload.size() + 9);
-  frame.push_back(static_cast<char>(kChunkMarker));
+  frame.push_back(static_cast<char>(marker));
   append_u32le(frame, static_cast<std::uint32_t>(payload.size()));
   append_u32le(frame, crc32c(payload.data(), payload.size()));
   frame += payload;
@@ -106,10 +83,7 @@ void BinaryTraceWriter::flush_chunk() {
 
   chunk_.clear();
   chunk_events_ = 0;
-  prev_actor_ = 0;
-  prev_other_ = 0;
-  prev_loc_ = 0;
-  prev_sync_ = 0;
+  delta_ = EventDeltaState{};
 }
 
 void BinaryTraceWriter::finish() {

@@ -15,7 +15,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "io/binary_format.hpp"
+#include "io/delta_codec.hpp"
 #include "runtime/trace.hpp"
 
 namespace race2d {
@@ -25,6 +28,10 @@ struct BinaryWriteOptions {
   /// bytes. Smaller chunks localize corruption better and cap the reader's
   /// resident buffer; larger chunks amortize the 9-byte frame + CRC better.
   std::size_t chunk_payload_bytes = 64 * 1024;
+  /// kRuns writes a version-2 stream whose chunks are run-compressed 'Z'
+  /// frames whenever that is smaller than the plain encoding. kNone keeps
+  /// the version-1 bytes identical to every earlier release.
+  CompressionMode compression = CompressionMode::kNone;
 };
 
 class BinaryTraceWriter {
@@ -60,15 +67,13 @@ class BinaryTraceWriter {
   std::ostream* os_;
   BinaryWriteOptions options_;
   std::string chunk_;             ///< current chunk payload (after the count)
+  std::vector<TraceEvent> chunk_raw_;  ///< buffered only under kRuns: the
+                                       ///< compressor re-derives deltas itself
   std::uint64_t chunk_events_ = 0;
   std::uint64_t total_events_ = 0;
   std::uint64_t bytes_written_ = 0;
   bool finished_ = false;
-  // Delta state, reset at every chunk boundary.
-  TaskId prev_actor_ = 0;
-  TaskId prev_other_ = 0;
-  Loc prev_loc_ = 0;
-  Loc prev_sync_ = 0;  ///< acquire/release sync-object ids (own register)
+  EventDeltaState delta_;  ///< delta registers, reset at every chunk boundary
 };
 
 /// Batch drivers over BinaryTraceWriter.

@@ -1,0 +1,70 @@
+// The per-event delta encoding shared by BinaryTraceWriter ('C' chunks) and
+// the v2 run compressor (compress/chunk_codec.cpp). One definition, two
+// users: the compressor must produce EXACTLY the byte strings the writer
+// would, or a 'Z' chunk's re-expansion could drift from its 'C' twin.
+#pragma once
+
+#include <string>
+
+#include "io/varint.hpp"
+#include "runtime/trace.hpp"
+
+namespace race2d {
+
+/// Per-chunk delta registers. Reset at every chunk boundary; in a v2
+/// compressed chunk they persist across items (a run's template bytes
+/// replay against the running registers).
+struct EventDeltaState {
+  TaskId prev_actor = 0;
+  TaskId prev_other = 0;
+  Loc prev_loc = 0;
+  Loc prev_sync = 0;
+};
+
+inline std::uint64_t event_delta_u64(std::uint64_t now, std::uint64_t prev) {
+  // Wrap-around subtraction; zigzag keeps +/- deltas equally cheap.
+  return zigzag_encode(static_cast<std::int64_t>(now - prev));
+}
+
+/// Appends the version-1 delta encoding of `e` (opcode byte + zigzag
+/// varints) to `out`, advancing the registers.
+inline void append_event_delta(std::string& out, const TraceEvent& e,
+                               EventDeltaState& st) {
+  out.push_back(static_cast<char>(e.op));
+  switch (e.op) {
+    case TraceOp::kFork:
+    case TraceOp::kJoin:
+      append_varint(out, event_delta_u64(e.actor, st.prev_actor));
+      append_varint(out, event_delta_u64(e.other, st.prev_other));
+      st.prev_actor = e.actor;
+      st.prev_other = e.other;
+      break;
+    case TraceOp::kHalt:
+    case TraceOp::kSync:
+    case TraceOp::kFinishBegin:
+    case TraceOp::kFinishEnd:
+      append_varint(out, event_delta_u64(e.actor, st.prev_actor));
+      st.prev_actor = e.actor;
+      break;
+    case TraceOp::kRead:
+    case TraceOp::kWrite:
+    case TraceOp::kRetire:
+      append_varint(out, event_delta_u64(e.actor, st.prev_actor));
+      append_varint(out, event_delta_u64(e.loc, st.prev_loc));
+      st.prev_actor = e.actor;
+      st.prev_loc = e.loc;
+      break;
+    case TraceOp::kAcquire:
+    case TraceOp::kRelease:
+      // Sync-object ids delta against their own register (not prev_loc):
+      // lock ids and data locations live in disjoint ranges, and mixing
+      // them would also perturb the encoded bytes of interleaved accesses.
+      append_varint(out, event_delta_u64(e.actor, st.prev_actor));
+      append_varint(out, event_delta_u64(e.loc, st.prev_sync));
+      st.prev_actor = e.actor;
+      st.prev_sync = e.loc;
+      break;
+  }
+}
+
+}  // namespace race2d

@@ -1,6 +1,8 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -30,7 +32,16 @@ void bump(std::atomic<std::uint64_t>& counter, std::uint64_t by = 1) {
 }  // namespace
 
 DetectionService::DetectionService(ServiceLimits limits)
-    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {
+  if (!limits_.spill_dir.empty()) {
+    // Best-effort creation; if the path stays unwritable every store fails
+    // and the eviction falls back to tombstoning — degraded, never fatal.
+    std::error_code ec;
+    std::filesystem::create_directories(limits_.spill_dir, ec);
+    spill_ = std::make_unique<SpillTier>(limits_.spill_dir,
+                                         limits_.spill_budget_bytes);
+  }
+}
 
 void DetectionService::configure_session_ids(std::uint32_t first,
                                              std::uint32_t stride) {
@@ -71,6 +82,7 @@ DetectionService::Slot* DetectionService::find(std::uint32_t id, Verb verb,
                                                Response& failure) {
   auto it = sessions_.find(id);
   if (it != sessions_.end()) return &it->second;
+  if (spill_ && spill_->contains(id)) return rehydrate(id, verb, failure);
   auto tomb = evicted_.find(id);
   if (tomb != evicted_.end()) {
     failure = make_error(verb, id, ServiceStatus::kQuotaEvicted, tomb->second);
@@ -105,6 +117,13 @@ std::uint32_t DetectionService::install(
     std::unique_ptr<DetectionSession> session, std::size_t quota_bytes) {
   const std::uint32_t id = next_session_;
   next_session_ += session_stride_;
+  install_at(id, std::move(session), quota_bytes);
+  return id;
+}
+
+DetectionService::Slot* DetectionService::install_at(
+    std::uint32_t id, std::unique_ptr<DetectionSession> session,
+    std::size_t quota_bytes) {
   Slot slot;
   slot.quota_bytes = quota_bytes;
   slot.session = std::move(session);
@@ -112,15 +131,69 @@ std::uint32_t DetectionService::install(
   R2D_ASSERT(inserted);
   live_sessions_.store(sessions_.size(), std::memory_order_relaxed);
   remeasure(it->second);
-  return id;
+  return &it->second;
+}
+
+void DetectionService::tombstone(std::uint32_t id, std::string reason) {
+  while (evicted_.size() >= kMaxTombstones) evicted_.erase(evicted_.begin());
+  evicted_[id] = std::move(reason);
 }
 
 void DetectionService::evict(std::uint32_t id, const std::string& reason) {
   auto it = sessions_.find(id);
   if (it != sessions_.end()) drop(it);
   bump(sessions_evicted_);
-  while (evicted_.size() >= kMaxTombstones) evicted_.erase(evicted_.begin());
-  evicted_[id] = reason;
+  tombstone(id, reason);
+}
+
+void DetectionService::sync_spill_metrics() {
+  if (!spill_) return;
+  spilled_sessions_.store(spill_->sessions(), std::memory_order_relaxed);
+  spill_bytes_.store(static_cast<std::size_t>(spill_->bytes()),
+                     std::memory_order_relaxed);
+}
+
+bool DetectionService::try_spill(std::uint32_t id, Slot& slot) {
+  if (!spill_ || slot.session->poisoned()) return false;
+  const std::string blob = snapshot_session(*slot.session, slot.quota_bytes);
+  SpillTier::StoreResult stored = spill_->store(id, blob);
+  // LRU victims dropped from disk are gone for real — tombstone them so
+  // their clients learn the fate instead of kUnknownSession.
+  for (const std::uint32_t victim : stored.dropped) {
+    bump(spill_drops_);
+    tombstone(victim,
+              "evicted: spill tier budget exceeded; spilled snapshot dropped");
+  }
+  sync_spill_metrics();
+  if (stored.stored) bump(spills_);
+  return stored.stored;
+}
+
+DetectionService::Slot* DetectionService::rehydrate(std::uint32_t id,
+                                                    Verb verb,
+                                                    Response& failure) {
+  std::string error;
+  std::optional<std::string> blob = spill_->load(id, &error);
+  sync_spill_metrics();
+  if (blob) {
+    RestoreOutcome outcome = restore_session(*blob);
+    if (outcome.session) {
+      const std::size_t quota = static_cast<std::size_t>(
+          std::min<std::uint64_t>(outcome.quota_bytes,
+                                  limits_.session_quota_bytes));
+      Slot* slot = install_at(id, std::move(outcome.session), quota);
+      bump(rehydrations_);
+      return slot;
+    }
+    error = std::move(outcome.error);
+  }
+  // A corrupt spill is consumed, never retried: tombstone with the K-coded
+  // reason so later verbs answer deterministically.
+  note_reject(ServiceStatus::kSnapshotReject);
+  tombstone(id, error);
+  failure = make_error(verb, id, ServiceStatus::kSnapshotReject,
+                       std::move(error));
+  return nullptr;
 }
 
 std::size_t DetectionService::evict_heaviest() {
@@ -130,6 +203,10 @@ std::size_t DetectionService::evict_heaviest() {
     if (it->second.last_bytes > heaviest->second.last_bytes) heaviest = it;
   }
   const std::size_t bytes = heaviest->second.last_bytes;
+  if (try_spill(heaviest->first, heaviest->second)) {
+    drop(heaviest);  // counted under spills, not evictions: it can come back
+    return bytes;
+  }
   std::ostringstream os;
   os << "evicted: global budget exceeded; this session was largest at "
      << bytes << " bytes";
@@ -204,8 +281,11 @@ Response DetectionService::do_feed(const Request& request) {
                       ServiceStatus::kQuotaEvicted, reason);
   }
   enforce_global_quota();
-  if (sessions_.find(request.session) == sessions_.end()) {
-    // The global sweep chose this session as the heaviest.
+  if (sessions_.find(request.session) == sessions_.end() &&
+      !(spill_ && spill_->contains(request.session))) {
+    // The global sweep chose this session as the heaviest and could not
+    // spill it. (A spilled session is still a success: this feed's bytes
+    // are in the snapshot; the next verb rehydrates it.)
     return make_error(Verb::kFeed, request.session,
                       ServiceStatus::kQuotaEvicted,
                       evicted_.count(request.session) != 0
@@ -290,6 +370,18 @@ Response DetectionService::do_snapshot(const Request& request) {
 }
 
 Response DetectionService::do_restore(const Request& request) {
+  if (request.bytes.empty() && request.session != 0) {
+    // Explicit rehydrate: no blob, just the id of a (possibly spilled)
+    // session. find() pulls it out of the cold tier; on a live session
+    // this is an idempotent no-op.
+    Response failure;
+    Slot* slot = find(request.session, Verb::kRestore, failure);
+    if (slot == nullptr) return failure;
+    Response r;
+    r.verb = Verb::kRestore;
+    r.session = request.session;
+    return r;
+  }
   if (sessions_.size() >= limits_.max_sessions) {
     std::ostringstream os;
     os << "live-session cap reached (" << limits_.max_sessions << ")";
@@ -349,6 +441,11 @@ std::string DetectionService::metrics_json() const {
      << backpressure_hits_.load(std::memory_order_relaxed)
      << ",\"snapshots\":" << snapshots_.load(std::memory_order_relaxed)
      << ",\"restores\":" << restores_.load(std::memory_order_relaxed)
+     << ",\"spills\":" << spills_.load(std::memory_order_relaxed)
+     << ",\"rehydrations\":" << rehydrations_.load(std::memory_order_relaxed)
+     << ",\"spill_drops\":" << spill_drops_.load(std::memory_order_relaxed)
+     << ",\"spilled_sessions\":" << spilled_sessions()
+     << ",\"spill_bytes\":" << spill_bytes()
      << "}";
   return os.str();
 }

@@ -12,7 +12,14 @@
 //    reason, not kUnknownSession;
 //  * global budget: if the sum of session footprints exceeds
 //    total_quota_bytes, the largest session is evicted (deterministically:
-//    greatest footprint, lowest id on ties) until the sum fits;
+//    greatest footprint, lowest id on ties) until the sum fits. With a
+//    spill directory configured, a budget eviction SPILLS the session
+//    instead: its snapshot blob is compressed to the bounded on-disk cold
+//    tier (compress/spill_tier.hpp) and a later FEED — or an explicit
+//    RESTORE with the session id and no blob — rehydrates it transparently.
+//    Per-session quota violations stay fatal (a session over its OWN quota
+//    would only thrash spill/rehydrate), as do corrupt spill files (K009 /
+//    K010 in the rejection message) and spill-tier budget drops;
 //  * backpressure: sessions refuse feeds while their report backlog is at
 //    max_pending_reports (the frame is not consumed; drain and resend).
 //
@@ -37,6 +44,7 @@
 #include <memory>
 #include <string>
 
+#include "compress/spill_tier.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
 
@@ -52,6 +60,13 @@ struct ServiceLimits {
   std::size_t total_quota_bytes = 256u << 20;
   /// Report backlog per session before feeds bounce with kBackpressure.
   std::size_t max_pending_reports = 1u << 16;
+  /// Non-empty enables the cold tier: global-budget evictions spill the
+  /// session snapshot there instead of tombstoning. The directory must
+  /// exist. Shards may share one directory (their session ids are disjoint).
+  std::string spill_dir;
+  /// Byte budget of the cold tier (COMPRESSED bytes on disk); the
+  /// least-recently-spilled sessions are dropped past it.
+  std::size_t spill_budget_bytes = 1u << 30;
 };
 
 class DetectionService {
@@ -89,6 +104,15 @@ class DetectionService {
   std::uint64_t events_total() const {
     return events_.load(std::memory_order_relaxed);
   }
+  std::size_t spilled_sessions() const {
+    return spilled_sessions_.load(std::memory_order_relaxed);
+  }
+  std::size_t spill_bytes() const {
+    return spill_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rehydrations() const {
+    return rehydrations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Slot {
@@ -106,7 +130,7 @@ class DetectionService {
   Response do_restore(const Request& request);
 
   /// kUnknownSession / kQuotaEvicted lookup failure for `id`, or nullptr
-  /// plus the live slot via `slot`.
+  /// plus the live slot via `slot`. Rehydrates spilled sessions in passing.
   Slot* find(std::uint32_t id, Verb verb, Response& failure);
   void evict(std::uint32_t id, const std::string& reason);
   void enforce_global_quota();
@@ -117,7 +141,19 @@ class DetectionService {
   /// Installs a session under a fresh id (OPEN and RESTORE share this).
   std::uint32_t install(std::unique_ptr<DetectionSession> session,
                         std::size_t quota_bytes);
+  /// Re-installs a rehydrated session under its ORIGINAL id, bypassing
+  /// next_session_ and the live cap (it was admitted once already).
+  Slot* install_at(std::uint32_t id, std::unique_ptr<DetectionSession> session,
+                   std::size_t quota_bytes);
   void drop(std::map<std::uint32_t, Slot>::iterator it);
+  /// Spills `slot`'s snapshot to the cold tier; false (caller tombstones)
+  /// when the session is poisoned, the blob will not fit, or I/O fails.
+  bool try_spill(std::uint32_t id, Slot& slot);
+  /// Loads, restores and re-installs a spilled session; on failure the id
+  /// is tombstoned with the K-coded reason and `failure` is filled.
+  Slot* rehydrate(std::uint32_t id, Verb verb, Response& failure);
+  void sync_spill_metrics();
+  void tombstone(std::uint32_t id, std::string reason);
 
   ServiceLimits limits_;
   std::map<std::uint32_t, Slot> sessions_;  ///< ordered: eviction scans are
@@ -127,6 +163,9 @@ class DetectionService {
   std::map<std::uint32_t, std::string> evicted_;
   std::uint32_t next_session_ = 1;
   std::uint32_t session_stride_ = 1;
+  /// The cold tier; null unless limits_.spill_dir is set. Owned by the
+  /// handling thread like the session map.
+  std::unique_ptr<SpillTier> spill_;
 
   // Monotonic counters; any thread may read them (metrics_json), only the
   // owning thread writes. Relaxed suffices: each is an independent
@@ -144,8 +183,14 @@ class DetectionService {
   std::atomic<std::uint64_t> backpressure_hits_{0};
   std::atomic<std::uint64_t> snapshots_{0};
   std::atomic<std::uint64_t> restores_{0};
+  std::atomic<std::uint64_t> spills_{0};
+  std::atomic<std::uint64_t> rehydrations_{0};
+  std::atomic<std::uint64_t> spill_drops_{0};
   std::atomic<std::size_t> live_sessions_{0};
   std::atomic<std::size_t> resident_bytes_{0};
+  /// Mirrors of the tier's gauges (the tier itself is single-threaded).
+  std::atomic<std::size_t> spilled_sessions_{0};
+  std::atomic<std::size_t> spill_bytes_{0};
   std::chrono::steady_clock::time_point start_;
 };
 

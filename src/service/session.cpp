@@ -92,25 +92,64 @@ DetectionSession::FeedOutcome DetectionSession::feed(const std::string& bytes) {
   }
 
   scratch_.clear();
+  runs_.clear();
   try {
-    decoder_.feed(bytes.data(), bytes.size(), scratch_);
+    decoder_.feed(bytes.data(), bytes.size(), scratch_, &runs_);
   } catch (const TraceDecodeError& e) {
     return poison(ServiceStatus::kDecodeReject, e.what());
   }
   fed_bytes_ += bytes.size();
 
   FeedOutcome out;
-  for (const TraceEvent& e : scratch_) {
+  bool rejected = false;
+  const auto feed_one = [&](const TraceEvent& e) {
     if (!lint_.feed(e)) {
       // The offending event never reaches the detector; everything decoded
       // before it was already checked and detected.
-      return poison(ServiceStatus::kLintReject,
-                    to_string(lint_.result().first_error()));
+      rejected = true;
+      return false;
     }
     drive(e);
     ++events_total_;
     ++out.events;
+    return true;
+  };
+  std::size_t run_idx = 0;
+  for (std::size_t i = 0; i < scratch_.size() && !rejected;) {
+    if (run_idx < runs_.size() && runs_[run_idx].first == i) {
+      // A stationary compressed run: feed the materialized first repetition
+      // per-event, then try to apply the `extra` unmaterialized repetitions
+      // in one step (clean same-task access runs are full no-ops on every
+      // engine state except the access ordinal). Fallback re-feeds the
+      // template slice per-event — bit-identical, just slower.
+      const DecodedRun run = runs_[run_idx++];
+      for (std::size_t j = 0; j < run.len && !rejected; ++j)
+        feed_one(scratch_[i + j]);
+      if (rejected) break;
+      const TraceEvent* tmpl = scratch_.data() + i;
+      const bool applied = std::visit(
+          [&](auto& d) {
+            return d.try_apply_clean_run(tmpl, run.len, run.extra);
+          },
+          detector_);
+      if (applied) {
+        lint_.note_replayed(static_cast<std::uint64_t>(run.len) * run.extra);
+        events_total_ += static_cast<std::uint64_t>(run.len) * run.extra;
+        out.events += static_cast<std::uint64_t>(run.len) * run.extra;
+      } else {
+        for (std::uint64_t r = 0; r < run.extra && !rejected; ++r)
+          for (std::size_t j = 0; j < run.len && !rejected; ++j)
+            feed_one(tmpl[j]);
+      }
+      i += run.len;
+    } else {
+      feed_one(scratch_[i]);
+      ++i;
+    }
   }
+  if (rejected)
+    return poison(ServiceStatus::kLintReject,
+                  to_string(lint_.result().first_error()));
   // Move this feed's fresh reports into the drain queue; the reporter's
   // totals (any/count/first) keep describing the whole session.
   std::vector<RaceReport> fresh = std::visit(

@@ -128,6 +128,7 @@ class DetectionSession {
   TraceLintStream lint_;
   std::variant<OnlineRaceDetector, DePaDetector> detector_;
   std::vector<TraceEvent> scratch_;  ///< decoded events of the current feed
+  std::vector<DecodedRun> runs_;     ///< stationary runs among them
   std::vector<RaceReport> pending_;  ///< detected, not yet drained
   std::uint64_t events_total_ = 0;
   std::uint64_t fed_bytes_ = 0;  ///< wire bytes successfully decoded

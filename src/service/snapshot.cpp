@@ -11,7 +11,10 @@ namespace race2d {
 
 namespace {
 
-constexpr char kMagic[8] = {'R', '2', 'D', 'S', 'N', 'A', 'P', '\x01'};
+// Version byte bumped to 2 when the decoder section grew its wire-format
+// version and compressed-chunk flag; version-1 blobs are refused with K002
+// (the service never persisted them across releases).
+constexpr char kMagic[8] = {'R', '2', 'D', 'S', 'N', 'A', 'P', '\x02'};
 constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 4 + 4;
 
 /// Restore-side rejection: the K-coded message restore_session returns.
@@ -133,6 +136,8 @@ std::vector<RaceReport> get_reports(Reader& r) {
 
 void put_decoder(Writer& w, const BinaryTraceDecoder::Snapshot& d) {
   w.u8(d.state);
+  w.u8(d.version);
+  w.u8(d.compressed ? 1 : 0);
   w.u64(d.need);
   w.u32(d.payload_len);
   w.u32(d.payload_crc);
@@ -147,6 +152,15 @@ BinaryTraceDecoder::Snapshot get_decoder(Reader& r) {
   d.state = r.u8();
   // 5 == State::kDone; 6 == kPoisoned, which never snapshots.
   if (d.state > 5) reject("K006", "decoder phase out of range");
+  d.version = r.u8();
+  if (d.version != kBinaryTraceVersion &&
+      d.version != kBinaryTraceVersionCompressed)
+    reject("K006", "decoder wire-format version out of range");
+  const std::uint8_t compressed = r.u8();
+  if (compressed > 1) reject("K006", "decoder compressed flag out of range");
+  if (compressed != 0 && d.version != kBinaryTraceVersionCompressed)
+    reject("K006", "compressed chunk flagged in a version-1 stream");
+  d.compressed = compressed != 0;
   d.need = r.u64();
   d.payload_len = r.u32();
   d.payload_crc = r.u32();

@@ -93,6 +93,18 @@ std::size_t WorkerPool::resident_bytes() const {
   return sum;
 }
 
+std::size_t WorkerPool::spilled_sessions() const {
+  std::size_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->service->spilled_sessions();
+  return sum;
+}
+
+std::uint64_t WorkerPool::rehydrations() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->service->rehydrations();
+  return sum;
+}
+
 void WorkerPool::maybe_enforce_global() {
   if (resident_bytes() <= limits_.total_quota_bytes) return;
   bool expected = false;
@@ -125,8 +137,17 @@ void WorkerPool::submit(Request request, Callback done) {
 
 void WorkerPool::submit_to(std::size_t shard, Request request, Callback done) {
   switch (request.verb) {
-    case Verb::kOpen:
     case Verb::kRestore:
+      if (request.bytes.empty() && request.session != 0) {
+        // Explicit rehydrate of a spilled session: no blob travels, the id
+        // says which shard owns the spill file. The session was admitted
+        // once already, so the pool cap is not re-checked (matching the
+        // shard's install_at, which bypasses its own cap the same way).
+        shard = shard_of(request.session);
+        break;
+      }
+      [[fallthrough]];
+    case Verb::kOpen:
       // Pool-wide session cap, checked before the job is queued; the
       // per-shard cap never binds first. Benign over-admission under
       // concurrent opens resolves at the shard (its own cap still holds).
@@ -188,13 +209,24 @@ Response WorkerPool::handle_frame(const std::string& payload) {
 
 std::string WorkerPool::metrics_json() const {
   std::uint64_t events = 0;
-  for (const auto& shard : shards_) events += shard->service->events_total();
+  std::size_t spilled = 0;
+  std::size_t spill_bytes = 0;
+  std::uint64_t rehydrations = 0;
+  for (const auto& shard : shards_) {
+    events += shard->service->events_total();
+    spilled += shard->service->spilled_sessions();
+    spill_bytes += shard->service->spill_bytes();
+    rehydrations += shard->service->rehydrations();
+  }
   std::ostringstream os;
   os << "{\"workers\":" << shards_.size()
      << ",\"frames\":" << frames_.load(std::memory_order_relaxed)
      << ",\"bad_frames\":" << bad_frames_.load(std::memory_order_relaxed)
      << ",\"live_sessions\":" << live_sessions()
      << ",\"resident_bytes\":" << resident_bytes()
+     << ",\"spilled_sessions\":" << spilled
+     << ",\"spill_bytes\":" << spill_bytes
+     << ",\"rehydrations\":" << rehydrations
      << ",\"events\":" << events << ",\"shards\":[";
   for (std::size_t w = 0; w < shards_.size(); ++w) {
     if (w != 0) os << ",";

@@ -79,6 +79,9 @@ class WorkerPool {
   }
   std::size_t live_sessions() const;
   std::size_t resident_bytes() const;
+  /// Cold-tier aggregates across shards (0 when no spill dir is configured).
+  std::size_t spilled_sessions() const;
+  std::uint64_t rehydrations() const;
 
   /// Transport-level frame accounting (the epoll server counts frames it
   /// reassembles itself; handle_frame counts its own). Thread-safe.

@@ -70,6 +70,16 @@ class TraceLintStream {
   /// unjoined tasks). Idempotent.
   void finish();
 
+  /// Fast-forwards the event index past `extra` repetitions of a clean
+  /// template whose FIRST repetition was just fed. Sound for pure
+  /// read/write runs: re-linting an access the linter already accepted is
+  /// idempotent on its state (the location stays tracked, no task/mutex
+  /// state moves), so only the running index needs to advance — diagnostics
+  /// from later events keep exact indices.
+  void note_replayed(std::uint64_t extra) {
+    index_ += static_cast<std::size_t>(extra);
+  }
+
   /// True while no error-level diagnostic has been emitted.
   bool ok_so_far() const { return errors_emitted_ == 0; }
   std::size_t events_seen() const { return index_; }

@@ -4,10 +4,12 @@
 // stats-vs-feed concurrency contract (metrics_json is safe to hammer from
 // other threads while workers feed — run under TSan by scripts/check.sh).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -238,6 +240,85 @@ TEST(WorkerPool, GlobalBudgetEvictsTheHeaviestSessionAsynchronously) {
   ASSERT_EQ(pool_feed(pool, fresh, trace_to_binary(racy_trace())).status,
             ServiceStatus::kOk);
   EXPECT_EQ(pool_drain(pool, fresh).size(), 1u);
+}
+
+// The cold-tier scale gate: a 2-worker pool whose in-memory budget holds a
+// handful of sessions carries >= 1000 of them at once by spilling evicted
+// sessions to disk. Every session is fed a prefix (half of them as
+// version-2 run-compressed bytes), the governor spills the overflow, and
+// the second half of each stream transparently rehydrates its session —
+// the drained reports must be bit-identical to the offline detector for
+// ALL of them, and the tier's counters must prove it actually ran.
+TEST(WorkerPool, SpillTierRetainsAThousandSessionsBeyondTheQuota) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("race2d-pool-spill-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  constexpr std::size_t kSessions = 1100;
+  ServiceLimits limits;
+  limits.max_sessions = kSessions + 8;
+  limits.total_quota_bytes = 192 * 1024;  // a few sessions' worth, no more
+  limits.spill_dir = dir.string();
+  WorkerPool pool(2, limits);
+
+  BinaryWriteOptions zopt;
+  zopt.compression = CompressionMode::kRuns;
+  std::vector<Trace> traces;
+  traces.push_back(racy_trace());
+  for (std::uint64_t seed = 0; traces.size() < 4; ++seed)
+    traces.push_back(generated(seed * 31 + 11));
+  std::vector<std::string> wires;       // even sessions: plain v1
+  std::vector<std::string> zwires;      // odd sessions: run-compressed v2
+  std::vector<std::vector<RaceReport>> expected;
+  for (const Trace& t : traces) {
+    wires.push_back(trace_to_binary(t));
+    zwires.push_back(trace_to_binary(t, zopt));
+    expected.push_back(detect_races_trace(t));
+  }
+  const auto wire_of = [&](std::size_t s) -> const std::string& {
+    return (s % 2 == 0) ? wires[s % traces.size()]
+                        : zwires[s % traces.size()];
+  };
+
+  // Phase 1: open everything and feed the first half of each stream. The
+  // governor spills sessions as the pool overshoots its budget.
+  std::vector<std::uint32_t> ids(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids[s] = pool_open(pool, s % 2 == 0 ? DetectorEngine::kDsu
+                                        : DetectorEngine::kDepa);
+    const std::string& wire = wire_of(s);
+    const Response r = pool_feed(pool, ids[s], wire.substr(0, wire.size() / 2));
+    ASSERT_EQ(r.status, ServiceStatus::kOk)
+        << "session " << s << ": " << r.message;
+  }
+  // Let the in-flight eviction sweeps land, then count: every opened
+  // session is still retained — live or in the cold tier, none lost.
+  for (int i = 0; i < 400; ++i) {
+    if (pool.live_sessions() + pool.spilled_sessions() >= kSessions &&
+        pool.spilled_sessions() > 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(pool.live_sessions() + pool.spilled_sessions(), kSessions - 2);
+  EXPECT_GT(pool.spilled_sessions(), 0u)
+      << "budget never forced a spill; resident " << pool.resident_bytes();
+
+  // Phase 2: finish every stream (rehydrating on demand), drain, compare.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string& wire = wire_of(s);
+    const Response r = pool_feed(pool, ids[s], wire.substr(wire.size() / 2));
+    ASSERT_EQ(r.status, ServiceStatus::kOk)
+        << "session " << s << ": " << r.message;
+    ASSERT_EQ(pool_drain(pool, ids[s]), expected[s % traces.size()])
+        << "session " << s;
+    const Response closed = pool_close(pool, ids[s]);
+    ASSERT_EQ(closed.status, ServiceStatus::kOk) << closed.message;
+    EXPECT_TRUE(closed.close.complete) << "session " << s;
+  }
+  EXPECT_GT(pool.rehydrations(), 0u);
+  EXPECT_EQ(pool.live_sessions(), 0u);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 // Satellite regression: metrics_json used to read per-session counters that

@@ -149,6 +149,81 @@ TEST(Snapshot, RoundTripsAtEveryChunkBoundaryBothEngines) {
   }
 }
 
+// The same property over a version-2 run-compressed stream: a snapshot cut
+// can land inside a 'Z' frame (the decoder's partial-chunk buffer, the
+// chunk dictionary lifetime) and even between the materialized first
+// repetition of a run and its fast-forwarded remainder. Every 64-byte split
+// must still finish bit-identical to the uninterrupted uncompressed run, on
+// both engines.
+TEST(Snapshot, RoundTripsCompressedStreamsAtEverySplitBothEngines) {
+  constexpr std::size_t kChunk = 64;
+  BinaryWriteOptions zopt;
+  zopt.compression = CompressionMode::kRuns;
+  zopt.chunk_payload_bytes = 512;  // several 'Z' frames even on small traces
+  // A run-heavy trace (tight access loops) plus a generated one: the former
+  // exercises the detector fast path across the snapshot boundary, the
+  // latter the literal-item paths.
+  Trace loops = parse_trace_text(
+      "fork 0 1\n"
+      "write 1 16\n"
+      "halt 1\n"
+      "read 0 16\n"
+      "join 0 1\n"
+      "halt 0\n");
+  {
+    Trace t;
+    t.push_back({TraceOp::kFork, 0, 1});
+    for (int i = 0; i < 300; ++i) {
+      t.push_back({TraceOp::kRead, 1, kInvalidTask, 0x40});
+      t.push_back({TraceOp::kWrite, 1, kInvalidTask, 0x40});
+    }
+    t.push_back({TraceOp::kHalt, 1});
+    t.push_back({TraceOp::kJoin, 0, 1});
+    t.push_back({TraceOp::kHalt, 0});
+    loops = t;
+  }
+  for (const DetectorEngine engine :
+       {DetectorEngine::kDsu, DetectorEngine::kDepa}) {
+    for (const Trace& trace : {loops, generated(123)}) {
+      const std::string wire = trace_to_binary(trace, zopt);
+      const std::vector<RaceReport> expected = detect_races_trace(trace);
+      for (std::size_t cut = 0; cut <= wire.size(); cut += kChunk) {
+        DetectionService a;
+        const std::uint32_t ida = open_session(a, engine);
+        for (std::size_t off = 0; off < cut; off += kChunk) {
+          const Response r = feed_bytes(
+              a, ida, wire.substr(off, std::min(kChunk, cut - off)));
+          ASSERT_EQ(r.status, ServiceStatus::kOk) << r.message;
+        }
+        const std::string blob = snapshot_via_service(a, ida);
+        DetectionService b;
+        Request restore;
+        restore.verb = Verb::kRestore;
+        restore.bytes = blob;
+        const Response restored = b.handle(restore);
+        ASSERT_EQ(restored.status, ServiceStatus::kOk) << restored.message;
+        const std::uint32_t idb = restored.session;
+        for (std::size_t off = cut; off < wire.size(); off += kChunk) {
+          const Response r = feed_bytes(
+              b, idb, wire.substr(off, std::min(kChunk, wire.size() - off)));
+          ASSERT_EQ(r.status, ServiceStatus::kOk)
+              << "engine " << static_cast<int>(engine) << " cut " << cut
+              << ": " << r.message;
+        }
+        EXPECT_EQ(drain_session(b, idb), expected)
+            << "engine " << static_cast<int>(engine) << " cut " << cut;
+        Request close;
+        close.verb = Verb::kClose;
+        close.session = idb;
+        const Response closed = b.handle(close);
+        ASSERT_EQ(closed.status, ServiceStatus::kOk) << closed.message;
+        EXPECT_TRUE(closed.close.complete);
+        EXPECT_EQ(closed.close.events, trace.size());
+      }
+    }
+  }
+}
+
 // Restore is the migration mechanism: a session snapshotted on one worker
 // restores onto a DIFFERENT worker of a different pool under a fresh id
 // congruent to the target shard, and finishes the stream there.
